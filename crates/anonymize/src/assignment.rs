@@ -1,0 +1,177 @@
+//! Enumeration of bucket assignments (Definition 5.2).
+//!
+//! An *assignment* Λ(b) pairs each QI instance of a bucket with one SA
+//! instance, using every instance exactly once. Invariants (Definition 5.4)
+//! are probability expressions constant across all assignments — the test
+//! suites verify soundness and completeness by brute-force enumeration here.
+
+use std::collections::BTreeMap;
+
+use pm_microdata::qi::QiId;
+use pm_microdata::value::Value;
+
+use crate::published::BucketView;
+
+/// One assignment, summarised as joint pair counts
+/// `(q, s) → #records assigned that pairing`.
+pub type AssignmentCounts = BTreeMap<(QiId, Value), usize>;
+
+/// Enumerates every *distinct* assignment of a bucket.
+///
+/// Distinctness is at the level of the induced pair-count map: permuting two
+/// identical SA instances yields the same assignment (the paper counts `q1`
+/// and `s2` "twice" in Figure 2 but treats equal pairings as one).
+///
+/// The number of distinct assignments is bounded by the multinomial of the
+/// bucket size, so this is strictly a small-bucket (test) facility.
+pub fn enumerate_assignments(bucket: &BucketView) -> Vec<AssignmentCounts> {
+    // Expand QI symbols into slots.
+    let mut slots: Vec<QiId> = Vec::with_capacity(bucket.size());
+    for &(q, c) in bucket.qi_counts() {
+        slots.extend(std::iter::repeat_n(q, c));
+    }
+    // SA instances as a count map for multiset permutation.
+    let mut remaining: Vec<(Value, usize)> = bucket.sa_counts().to_vec();
+    let mut out: Vec<AssignmentCounts> = Vec::new();
+    let mut current: Vec<Value> = Vec::with_capacity(slots.len());
+
+    fn recurse(
+        slots: &[QiId],
+        depth: usize,
+        remaining: &mut Vec<(Value, usize)>,
+        current: &mut Vec<Value>,
+        out: &mut Vec<AssignmentCounts>,
+    ) {
+        if depth == slots.len() {
+            let mut counts = AssignmentCounts::new();
+            for (&q, &s) in slots.iter().zip(current.iter()) {
+                *counts.entry((q, s)).or_default() += 1;
+            }
+            if !out.contains(&counts) {
+                out.push(counts);
+            }
+            return;
+        }
+        for i in 0..remaining.len() {
+            if remaining[i].1 == 0 {
+                continue;
+            }
+            remaining[i].1 -= 1;
+            current.push(remaining[i].0);
+            recurse(slots, depth + 1, remaining, current, out);
+            current.pop();
+            remaining[i].1 += 1;
+        }
+    }
+
+    recurse(&slots, 0, &mut remaining, &mut current, &mut out);
+    out
+}
+
+/// Evaluates a linear probability expression `Σ coef·P(q, s, b)` under an
+/// assignment, with `N` the total record count of the published table
+/// (probability terms are pair counts divided by `N`).
+pub fn evaluate_expression(
+    assignment: &AssignmentCounts,
+    terms: &[((QiId, Value), f64)],
+    total_records: usize,
+) -> f64 {
+    terms
+        .iter()
+        .map(|&((q, s), coef)| {
+            coef * assignment.get(&(q, s)).copied().unwrap_or(0) as f64
+                / total_records as f64
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::published::PublishedTable;
+    use pm_microdata::fixtures::{figure1_bucket_rows, figure1_dataset};
+
+    fn bucket1() -> (PublishedTable, usize) {
+        let d = figure1_dataset();
+        let t = PublishedTable::from_partition(&d, &figure1_bucket_rows()).unwrap();
+        (t, 0)
+    }
+
+    #[test]
+    fn figure2_assignment_count() {
+        // Bucket 1: QI slots {q1, q1, q2, q3}, SA multiset {flu×2,
+        // pneumonia, breast-cancer}. Distinct assignments = 4!/2!/2!
+        // adjusted for identical pairings; brute force gives the ground
+        // truth — just sanity-check bounds and containment of the paper's
+        // two example assignments.
+        let (t, b) = bucket1();
+        let assignments = enumerate_assignments(t.bucket(b));
+        assert!(assignments.len() > 1, "bucket 1 must be ambiguous");
+        assert!(assignments.len() <= 24);
+        // The true assignment (from Figure 1(a)) must be among them:
+        // Allen(q1)→flu, Brian(q1)→pneumonia, Cathy(q2)→breast cancer,
+        // David(q3)→flu.
+        let q1 = t.interner().lookup(&[0, 0]).unwrap();
+        let q2 = t.interner().lookup(&[1, 0]).unwrap();
+        let q3 = t.interner().lookup(&[0, 1]).unwrap();
+        let mut truth = AssignmentCounts::new();
+        *truth.entry((q1, 0)).or_default() += 1; // flu
+        *truth.entry((q1, 1)).or_default() += 1; // pneumonia
+        *truth.entry((q2, 2)).or_default() += 1; // breast cancer
+        *truth.entry((q3, 0)).or_default() += 1; // flu
+        assert!(assignments.contains(&truth));
+    }
+
+    #[test]
+    fn every_assignment_preserves_marginals() {
+        let (t, b) = bucket1();
+        let bucket = t.bucket(b);
+        for a in enumerate_assignments(bucket) {
+            // Row sums = QI multiplicities; column sums = SA multiplicities.
+            for &(q, c) in bucket.qi_counts() {
+                let got: usize = a
+                    .iter()
+                    .filter(|&(&(qq, _), _)| qq == q)
+                    .map(|(_, &cnt)| cnt)
+                    .sum();
+                assert_eq!(got, c);
+            }
+            for &(s, c) in bucket.sa_counts() {
+                let got: usize = a
+                    .iter()
+                    .filter(|&(&(_, ss), _)| ss == s)
+                    .map(|(_, &cnt)| cnt)
+                    .sum();
+                assert_eq!(got, c);
+            }
+        }
+    }
+
+    #[test]
+    fn expression_evaluation_detects_non_invariants() {
+        // Section 5.1's example: P(q1, s1, 1) alone is NOT an invariant.
+        let (t, b) = bucket1();
+        let q1 = t.interner().lookup(&[0, 0]).unwrap();
+        let terms = vec![((q1, 0u16), 1.0)];
+        let vals: Vec<f64> = enumerate_assignments(t.bucket(b))
+            .iter()
+            .map(|a| evaluate_expression(a, &terms, t.total_records()))
+            .collect();
+        let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min > 1e-9, "single term should vary across assignments");
+    }
+
+    #[test]
+    fn qi_sum_is_invariant_across_assignments() {
+        // Section 5.1: Σ_s P(q1, s, 1) is invariant (= P(q1, 1) = 2/10).
+        let (t, b) = bucket1();
+        let q1 = t.interner().lookup(&[0, 0]).unwrap();
+        let terms: Vec<((usize, u16), f64)> =
+            (0..5u16).map(|s| ((q1, s), 1.0)).collect();
+        for a in enumerate_assignments(t.bucket(b)) {
+            let v = evaluate_expression(&a, &terms, t.total_records());
+            assert!((v - 0.2).abs() < 1e-12);
+        }
+    }
+}

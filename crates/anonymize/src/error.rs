@@ -1,0 +1,54 @@
+//! Errors for bucketization and publication.
+
+use std::fmt;
+
+/// Errors raised while bucketizing or assembling a published table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnonymizeError {
+    /// The provided bucket row lists do not partition `0..n`.
+    NotAPartition,
+    /// The dataset cannot satisfy the requested diversity: some non-exempt
+    /// SA value is more frequent than the number of buckets.
+    DiversityUnsatisfiable {
+        /// The offending SA code.
+        sa_value: u16,
+        /// Its record count.
+        count: usize,
+        /// Number of buckets available.
+        buckets: usize,
+    },
+    /// Fewer records than one bucket's worth.
+    TooFewRecords {
+        /// Records present.
+        got: usize,
+        /// Minimum required (= ℓ).
+        need: usize,
+    },
+    /// The underlying dataset misses a sensitive attribute.
+    Microdata(pm_microdata::MicrodataError),
+}
+
+impl fmt::Display for AnonymizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotAPartition => write!(f, "bucket lists do not partition the record set"),
+            Self::DiversityUnsatisfiable { sa_value, count, buckets } => write!(
+                f,
+                "SA value {sa_value} occurs {count} times but only {buckets} buckets exist; \
+                 exempt it or lower ell"
+            ),
+            Self::TooFewRecords { got, need } => {
+                write!(f, "{got} records cannot fill a bucket of {need}")
+            }
+            Self::Microdata(e) => write!(f, "microdata error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnonymizeError {}
+
+impl From<pm_microdata::MicrodataError> for AnonymizeError {
+    fn from(e: pm_microdata::MicrodataError) -> Self {
+        Self::Microdata(e)
+    }
+}

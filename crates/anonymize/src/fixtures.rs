@@ -1,0 +1,31 @@
+//! Ready-made published tables for tests and examples.
+
+use pm_microdata::dataset::Dataset;
+use pm_microdata::fixtures::{figure1_bucket_rows, figure1_dataset};
+
+use crate::published::PublishedTable;
+
+/// The paper's running example: the original data of Figure 1(a) together
+/// with its bucketization `D'` of Figure 1(b)/(c).
+pub fn paper_example() -> (Dataset, PublishedTable) {
+    let data = figure1_dataset();
+    let table = PublishedTable::from_partition(&data, &figure1_bucket_rows())
+        .expect("figure 1 partition is valid");
+    (data, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_matches_figure1c() {
+        let (data, table) = paper_example();
+        assert_eq!(data.len(), 10);
+        assert_eq!(table.num_buckets(), 3);
+        assert_eq!(table.interner().distinct(), 6);
+        // Bucket sizes 4, 3, 3 (Figure 1(c)).
+        let sizes: Vec<usize> = table.buckets().map(|b| b.size()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+}

@@ -1,0 +1,92 @@
+//! (Relaxed) distinct ℓ-diversity verification.
+
+use pm_microdata::value::Value;
+
+use crate::published::PublishedTable;
+
+/// Returns the `exempt_top` most frequent SA values of a published table —
+/// the values footnote 3 of the paper treats as "not sensitive".
+pub fn most_frequent_sa(table: &PublishedTable, exempt_top: usize) -> Vec<Value> {
+    let mut counts = vec![0usize; table.sa_cardinality()];
+    for b in table.buckets() {
+        for &(s, c) in b.sa_counts() {
+            counts[s as usize] += c;
+        }
+    }
+    let mut order: Vec<usize> = (0..counts.len()).collect();
+    order.sort_by_key(|&s| std::cmp::Reverse(counts[s]));
+    order.into_iter().take(exempt_top).map(|s| s as Value).collect()
+}
+
+/// Checks relaxed distinct ℓ-diversity: in every bucket, each *non-exempt*
+/// SA value occurs at most once and the bucket holds at least `ell` records.
+///
+/// With `exempt` empty this is plain distinct ℓ-diversity for buckets of
+/// exactly `ell` records.
+pub fn satisfies_relaxed_diversity(
+    table: &PublishedTable,
+    ell: usize,
+    exempt: &[Value],
+) -> bool {
+    table.buckets().all(|b| {
+        b.size() >= ell
+            && b.sa_counts()
+                .iter()
+                .all(|&(s, c)| c <= 1 || exempt.contains(&s))
+    })
+}
+
+/// The *effective* ℓ of a bucket: its number of distinct SA values. The
+/// minimum over buckets is the table's (distinct) diversity level.
+pub fn distinct_diversity(table: &PublishedTable) -> usize {
+    table
+        .buckets()
+        .map(|b| b.distinct_sa())
+        .min()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anatomy::{AnatomyBucketizer, AnatomyConfig};
+    use pm_datagen::adult::{AdultGenerator, AdultGeneratorConfig};
+    use pm_microdata::fixtures::{figure1_bucket_rows, figure1_dataset};
+
+    #[test]
+    fn paper_example_is_3_diverse() {
+        let d = figure1_dataset();
+        let t = PublishedTable::from_partition(&d, &figure1_bucket_rows()).unwrap();
+        assert_eq!(distinct_diversity(&t), 3);
+        // Bucket 1 repeats flu (code 0), so strict distinctness fails but
+        // exempting the most frequent value (flu) passes — footnote 3's rule.
+        assert!(!satisfies_relaxed_diversity(&t, 3, &[]));
+        let exempt = most_frequent_sa(&t, 1);
+        assert_eq!(exempt, vec![0], "flu is the most frequent disease");
+        assert!(satisfies_relaxed_diversity(&t, 3, &exempt));
+        assert!(!satisfies_relaxed_diversity(&t, 4, &exempt));
+    }
+
+    #[test]
+    fn adult_bucketization_is_relaxed_5_diverse() {
+        let d = AdultGenerator::new(AdultGeneratorConfig::default()).generate();
+        let t = AnatomyBucketizer::new(AnatomyConfig { ell: 5, exempt_top: 1 })
+            .publish(&d)
+            .unwrap();
+        let exempt = most_frequent_sa(&t, 1);
+        assert!(satisfies_relaxed_diversity(&t, 5, &exempt));
+    }
+
+    #[test]
+    fn most_frequent_returns_descending_counts() {
+        let d = AdultGenerator::new(AdultGeneratorConfig { records: 3000, seed: 5 }).generate();
+        let t = AnatomyBucketizer::default().publish(&d).unwrap();
+        let top = most_frequent_sa(&t, 3);
+        assert_eq!(top.len(), 3);
+        let count = |v: Value| -> usize {
+            t.buckets().map(|b| b.sa_multiplicity(v)).sum()
+        };
+        assert!(count(top[0]) >= count(top[1]));
+        assert!(count(top[1]) >= count(top[2]));
+    }
+}

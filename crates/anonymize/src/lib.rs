@@ -1,0 +1,35 @@
+//! # pm-anonymize
+//!
+//! The bucketization substrate (the paper's publication mechanism).
+//!
+//! Bucketization [Xiao & Tao's *Anatomy*; studied further by Martin et al.]
+//! partitions records into buckets and, within each bucket, publishes the QI
+//! values verbatim but the SA values only as a multiset — breaking the
+//! record-level QI↔SA binding. This crate provides:
+//!
+//! * [`published::PublishedTable`] — the disguised table `D'` in the
+//!   abstract form of Figure 1(c): interned `q` symbols per record plus a
+//!   per-bucket SA multiset. This is the object the Privacy-MaxEnt engine
+//!   consumes.
+//! * [`anatomy::AnatomyBucketizer`] — an ℓ-diversity bucketizer using the
+//!   sorted round-robin construction, with the paper's footnote-3 rule
+//!   (the most frequent SA values may be exempted from the diversity check).
+//! * [`ldiv`] — (relaxed) distinct ℓ-diversity verification.
+//! * [`assignment`] — enumeration of the bucket *assignments* Λ(b) of
+//!   Definition 5.2, used to verify invariant soundness/completeness.
+//! * [`pseudonym`] — the pseudonym expansion of Section 6 (Figure 4) for
+//!   knowledge about individuals.
+//! * [`fixtures`] — the paper's running example as a ready-made `D'`.
+
+pub mod anatomy;
+pub mod assignment;
+pub mod error;
+pub mod fixtures;
+pub mod ldiv;
+pub mod mondrian;
+pub mod pseudonym;
+pub mod published;
+
+pub use anatomy::{AnatomyBucketizer, AnatomyConfig};
+pub use error::AnonymizeError;
+pub use published::PublishedTable;

@@ -1,0 +1,295 @@
+//! The published (disguised) table `D'` in the paper's abstract form.
+
+use std::collections::HashMap;
+
+use pm_microdata::dataset::Dataset;
+use pm_microdata::qi::{project_qi_sa, QiId, QiInterner};
+use pm_microdata::value::Value;
+
+use crate::error::AnonymizeError;
+
+/// One bucket of the published table: the distinct QI symbols (with
+/// multiplicity) and the SA multiset. Matches the rows of Figure 1(c).
+#[derive(Debug, Clone)]
+pub struct BucketView {
+    qi_counts: Vec<(QiId, usize)>,
+    sa_counts: Vec<(Value, usize)>,
+    size: usize,
+}
+
+impl BucketView {
+    /// Distinct QI symbols with multiplicities, ascending by id.
+    pub fn qi_counts(&self) -> &[(QiId, usize)] {
+        &self.qi_counts
+    }
+
+    /// Distinct SA values with multiplicities, ascending by code.
+    pub fn sa_counts(&self) -> &[(Value, usize)] {
+        &self.sa_counts
+    }
+
+    /// Records in the bucket (`N_b`).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Number of distinct QI symbols (`g` in Section 5.2).
+    pub fn distinct_qi(&self) -> usize {
+        self.qi_counts.len()
+    }
+
+    /// Number of distinct SA values (`h` in Section 5.2).
+    pub fn distinct_sa(&self) -> usize {
+        self.sa_counts.len()
+    }
+
+    /// Multiplicity of `q` in this bucket (0 if absent).
+    pub fn qi_multiplicity(&self, q: QiId) -> usize {
+        self.qi_counts
+            .binary_search_by_key(&q, |&(id, _)| id)
+            .map(|i| self.qi_counts[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Multiplicity of `s` in this bucket (0 if absent).
+    pub fn sa_multiplicity(&self, s: Value) -> usize {
+        self.sa_counts
+            .binary_search_by_key(&s, |&(v, _)| v)
+            .map(|i| self.sa_counts[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Whether `q` occurs in this bucket.
+    pub fn contains_qi(&self, q: QiId) -> bool {
+        self.qi_multiplicity(q) > 0
+    }
+
+    /// Whether `s` occurs in this bucket.
+    pub fn contains_sa(&self, s: Value) -> bool {
+        self.sa_multiplicity(s) > 0
+    }
+}
+
+/// The published table `D'`: every record's QI symbol and bucket id are
+/// public; SA values are only known as per-bucket multisets.
+///
+/// All the probabilities the paper reads "directly from the bucketized
+/// data" — `P(Q)`, `P(Q, B)`, `P(S, B)` — are methods here.
+#[derive(Debug, Clone)]
+pub struct PublishedTable {
+    interner: QiInterner,
+    buckets: Vec<BucketView>,
+    sa_cardinality: usize,
+    total: usize,
+}
+
+impl PublishedTable {
+    /// Builds `D'` from the original data and a bucket partition (lists of
+    /// row indices). Verifies the lists partition `0..data.len()`.
+    pub fn from_partition(
+        data: &Dataset,
+        partition: &[Vec<usize>],
+    ) -> Result<Self, AnonymizeError> {
+        let mut seen = vec![false; data.len()];
+        let mut covered = 0usize;
+        for rows in partition {
+            for &r in rows {
+                if r >= data.len() || seen[r] {
+                    return Err(AnonymizeError::NotAPartition);
+                }
+                seen[r] = true;
+                covered += 1;
+            }
+        }
+        if covered != data.len() {
+            return Err(AnonymizeError::NotAPartition);
+        }
+
+        let sa_cardinality = data.schema().sa_cardinality()?;
+        let (interner, pairs) = project_qi_sa(data)?;
+
+        let mut buckets = Vec::with_capacity(partition.len());
+        for rows in partition {
+            let mut qi: HashMap<QiId, usize> = HashMap::new();
+            let mut sa: HashMap<Value, usize> = HashMap::new();
+            for &r in rows {
+                let (q, s) = pairs[r];
+                *qi.entry(q).or_default() += 1;
+                *sa.entry(s).or_default() += 1;
+            }
+            let mut qi_counts: Vec<_> = qi.into_iter().collect();
+            qi_counts.sort_unstable();
+            let mut sa_counts: Vec<_> = sa.into_iter().collect();
+            sa_counts.sort_unstable();
+            buckets.push(BucketView { qi_counts, sa_counts, size: rows.len() });
+        }
+
+        Ok(Self { interner, buckets, sa_cardinality, total: data.len() })
+    }
+
+    /// The QI symbol table.
+    pub fn interner(&self) -> &QiInterner {
+        &self.interner
+    }
+
+    /// Number of buckets `m`.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Total records `N`.
+    pub fn total_records(&self) -> usize {
+        self.total
+    }
+
+    /// SA domain cardinality.
+    pub fn sa_cardinality(&self) -> usize {
+        self.sa_cardinality
+    }
+
+    /// The bucket at index `b`.
+    pub fn bucket(&self, b: usize) -> &BucketView {
+        &self.buckets[b]
+    }
+
+    /// Iterates buckets.
+    pub fn buckets(&self) -> impl Iterator<Item = &BucketView> {
+        self.buckets.iter()
+    }
+
+    /// `P(q, b)` — read directly off the published data.
+    pub fn p_qi_bucket(&self, q: QiId, b: usize) -> f64 {
+        self.buckets[b].qi_multiplicity(q) as f64 / self.total as f64
+    }
+
+    /// `P(s, b)` — read directly off the published data.
+    pub fn p_sa_bucket(&self, s: Value, b: usize) -> f64 {
+        self.buckets[b].sa_multiplicity(s) as f64 / self.total as f64
+    }
+
+    /// `P(q)` — the marginal QI distribution (undistorted by bucketization).
+    pub fn p_qi(&self, q: QiId) -> f64 {
+        self.interner.probability(q)
+    }
+
+    /// Buckets containing QI symbol `q`.
+    pub fn buckets_with_qi(&self, q: QiId) -> Vec<usize> {
+        (0..self.buckets.len())
+            .filter(|&b| self.buckets[b].contains_qi(q))
+            .collect()
+    }
+
+    /// Buckets containing SA value `s`.
+    pub fn buckets_with_sa(&self, s: Value) -> Vec<usize> {
+        (0..self.buckets.len())
+            .filter(|&b| self.buckets[b].contains_sa(s))
+            .collect()
+    }
+
+    /// Restricts the table to its first `n` buckets, renormalising nothing —
+    /// used by the Figure 7(b)/(c) data-size sweeps, which truncate the
+    /// bucket list. The interner is shared unchanged (symbols keep their
+    /// ids); `total_records` shrinks to the retained rows.
+    pub fn truncate_buckets(&self, n: usize) -> Self {
+        let n = n.min(self.buckets.len());
+        let buckets: Vec<BucketView> = self.buckets[..n].to_vec();
+        let total = buckets.iter().map(|b| b.size).sum();
+        Self {
+            interner: self.interner.clone(),
+            buckets,
+            sa_cardinality: self.sa_cardinality,
+            total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_microdata::fixtures::{figure1_bucket_rows, figure1_dataset};
+
+    fn paper_table() -> PublishedTable {
+        let d = figure1_dataset();
+        PublishedTable::from_partition(&d, &figure1_bucket_rows()).unwrap()
+    }
+
+    #[test]
+    fn figure1c_shape() {
+        let t = paper_table();
+        assert_eq!(t.num_buckets(), 3);
+        assert_eq!(t.total_records(), 10);
+        // Bucket 1 of the paper: {q1 ×2, q2, q3} and SA {s1, s2 ×2, s3}.
+        let b0 = t.bucket(0);
+        assert_eq!(b0.size(), 4);
+        assert_eq!(b0.distinct_qi(), 3);
+        assert_eq!(b0.distinct_sa(), 3);
+        let q1 = t.interner().lookup(&[0, 0]).unwrap();
+        assert_eq!(b0.qi_multiplicity(q1), 2);
+        // s2 = pneumonia? Figure 1(c) maps s1=flu? Codes: flu=0, pneumonia=1,
+        // breast cancer=2. Bucket 1 diseases: flu, pneumonia, breast cancer,
+        // flu → counts {flu:2, pneumonia:1, bc:1}.
+        assert_eq!(b0.sa_multiplicity(0), 2);
+        assert_eq!(b0.sa_multiplicity(1), 1);
+        assert_eq!(b0.sa_multiplicity(2), 1);
+    }
+
+    #[test]
+    fn published_probabilities() {
+        let t = paper_table();
+        let q1 = t.interner().lookup(&[0, 0]).unwrap();
+        // P(q1, b=0) = 2/10 (QI-invariant example in Section 5.2).
+        assert!((t.p_qi_bucket(q1, 0) - 0.2).abs() < 1e-12);
+        // P(q1) = 3/10 overall.
+        assert!((t.p_qi(q1) - 0.3).abs() < 1e-12);
+        // Bucket 2 contains one HIV (code 3): P(s4, 2) = 1/10 — the paper's
+        // SA-invariant example in Section 5.2 (bucket index 1 here, code 3).
+        assert!((t.p_sa_bucket(3, 1) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_membership_queries() {
+        let t = paper_table();
+        let q1 = t.interner().lookup(&[0, 0]).unwrap();
+        assert_eq!(t.buckets_with_qi(q1), vec![0, 1]);
+        // lung cancer (code 4) only in the last bucket.
+        assert_eq!(t.buckets_with_sa(4), vec![2]);
+        assert!(!t.bucket(2).contains_qi(q1));
+    }
+
+    #[test]
+    fn partition_validation() {
+        let d = figure1_dataset();
+        // Missing a record.
+        let r = PublishedTable::from_partition(&d, &[vec![0, 1]]);
+        assert_eq!(r.unwrap_err(), AnonymizeError::NotAPartition);
+        // Duplicate.
+        let r = PublishedTable::from_partition(
+            &d,
+            &[vec![0, 1, 2, 3, 4, 5, 6, 7, 8], vec![8, 9]],
+        );
+        assert_eq!(r.unwrap_err(), AnonymizeError::NotAPartition);
+        // Out of range.
+        let r = PublishedTable::from_partition(&d, &[vec![0, 99]]);
+        assert_eq!(r.unwrap_err(), AnonymizeError::NotAPartition);
+    }
+
+    #[test]
+    fn truncation_keeps_prefix() {
+        let t = paper_table();
+        let t2 = t.truncate_buckets(2);
+        assert_eq!(t2.num_buckets(), 2);
+        assert_eq!(t2.total_records(), 7);
+        assert_eq!(t2.bucket(0).size(), t.bucket(0).size());
+    }
+
+    #[test]
+    fn bucket_totals_consistent() {
+        let t = paper_table();
+        for b in t.buckets() {
+            let qi_total: usize = b.qi_counts().iter().map(|&(_, c)| c).sum();
+            let sa_total: usize = b.sa_counts().iter().map(|&(_, c)| c).sum();
+            assert_eq!(qi_total, b.size());
+            assert_eq!(sa_total, b.size());
+        }
+    }
+}

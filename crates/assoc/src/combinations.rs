@@ -1,0 +1,67 @@
+//! k-combination enumeration over attribute index slices.
+
+/// Returns all `k`-element subsets of `items`, each sorted in input order.
+///
+/// Used to enumerate QI-attribute antecedent templates; with at most 8 QI
+/// attributes there are ≤ 2⁸ subsets, so materialising is free.
+pub fn combinations<T: Copy>(items: &[T], k: usize) -> Vec<Vec<T>> {
+    let n = items.len();
+    if k > n {
+        return Vec::new();
+    }
+    if k == 0 {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        out.push(idx.iter().map(|&i| items[i]).collect());
+        // Advance the combination odometer.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if idx[i] != i + n - k {
+                break;
+            }
+            if i == 0 {
+                return out;
+            }
+        }
+        idx[i] += 1;
+        for j in i + 1..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_counts() {
+        assert_eq!(combinations(&[1, 2, 3, 4], 2).len(), 6);
+        assert_eq!(combinations(&[1, 2, 3, 4, 5], 3).len(), 10);
+        let eight: Vec<usize> = (0..8).collect();
+        assert_eq!(combinations(&eight, 4).len(), 70);
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert_eq!(combinations(&[1, 2], 0), vec![Vec::<i32>::new()]);
+        assert_eq!(combinations(&[1, 2], 3), Vec::<Vec<i32>>::new());
+        assert_eq!(combinations(&[7], 1), vec![vec![7]]);
+    }
+
+    #[test]
+    fn lexicographic_and_unique() {
+        let c = combinations(&[0, 1, 2, 3], 2);
+        assert_eq!(c, vec![
+            vec![0, 1], vec![0, 2], vec![0, 3],
+            vec![1, 2], vec![1, 3], vec![2, 3],
+        ]);
+    }
+}

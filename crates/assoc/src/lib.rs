@@ -1,0 +1,22 @@
+//! # pm-assoc
+//!
+//! Positive and negative association-rule mining between quasi-identifier
+//! value combinations and sensitive-attribute values (Section 4.4).
+//!
+//! The paper bounds adversarial background knowledge by the **Top-(K+, K−)
+//! strongest associations**: mine every rule `Qv ⇒ s` (positive) and
+//! `Qv ⇒ ¬s` (negative) whose support clears a minimum (3 records in the
+//! evaluation), rank each polarity by confidence, and hand the top `K+`
+//! positive and `K−` negative rules to the constraint compiler as
+//! conditional-probability knowledge `P(s | Qv) = c`.
+//!
+//! [`miner::RuleMiner`] enumerates antecedents over QI-attribute subsets of
+//! configurable arity `T` — Figure 6 of the paper sweeps exactly that
+//! parameter.
+
+pub mod combinations;
+pub mod miner;
+pub mod rule;
+
+pub use miner::{MinedRules, MinerConfig, RuleMiner};
+pub use rule::{AssociationRule, RulePolarity};

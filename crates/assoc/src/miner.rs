@@ -1,0 +1,266 @@
+//! The rule miner: antecedent enumeration, counting, and Top-(K+, K−)
+//! selection.
+
+use std::collections::HashMap;
+
+use pm_microdata::dataset::Dataset;
+use pm_microdata::value::{AttrId, Value};
+
+use crate::combinations::combinations;
+use crate::rule::{AssociationRule, RulePolarity};
+
+/// Miner configuration.
+#[derive(Debug, Clone)]
+pub struct MinerConfig {
+    /// Minimum rule support in records. The paper sets 3 ("each association
+    /// rule must be supported by at least three records").
+    pub min_support: usize,
+    /// Antecedent arities to enumerate (`T` values). The paper's Figure 5
+    /// mines all arities `1..=8`; Figure 6 isolates one `T` at a time.
+    pub arities: Vec<usize>,
+}
+
+impl Default for MinerConfig {
+    fn default() -> Self {
+        Self { min_support: 3, arities: vec![1, 2, 3, 4, 5, 6, 7, 8] }
+    }
+}
+
+/// The mined rule sets, each sorted strongest-first.
+#[derive(Debug, Clone, Default)]
+pub struct MinedRules {
+    /// Positive rules, descending confidence.
+    pub positive: Vec<AssociationRule>,
+    /// Negative rules, descending confidence.
+    pub negative: Vec<AssociationRule>,
+}
+
+impl MinedRules {
+    /// The Top-(K+, K−) bound of Section 4.4: the strongest `k_pos` positive
+    /// and `k_neg` negative rules.
+    pub fn top_k(&self, k_pos: usize, k_neg: usize) -> Vec<&AssociationRule> {
+        self.positive
+            .iter()
+            .take(k_pos)
+            .chain(self.negative.iter().take(k_neg))
+            .collect()
+    }
+
+    /// Total number of mined rules.
+    pub fn len(&self) -> usize {
+        self.positive.len() + self.negative.len()
+    }
+
+    /// Whether nothing was mined.
+    pub fn is_empty(&self) -> bool {
+        self.positive.is_empty() && self.negative.is_empty()
+    }
+}
+
+/// The association-rule miner.
+#[derive(Debug, Clone, Default)]
+pub struct RuleMiner {
+    /// Configuration used by [`RuleMiner::mine`].
+    pub config: MinerConfig,
+}
+
+impl RuleMiner {
+    /// Creates a miner.
+    pub fn new(config: MinerConfig) -> Self {
+        Self { config }
+    }
+
+    /// Mines all positive and negative rules of the configured arities from
+    /// the **original** data — Section 4.2: "All we need is to derive the
+    /// background knowledge from the original data", which also guarantees
+    /// the resulting ME constraint system is feasible.
+    pub fn mine(&self, data: &Dataset) -> MinedRules {
+        let sa_attr = data
+            .schema()
+            .sensitive()
+            .expect("mining requires a sensitive attribute");
+        let sa_card = data.schema().sa_cardinality().expect("checked above");
+        let qi_attrs = data.schema().qi_attrs().to_vec();
+
+        let mut positive = Vec::new();
+        let mut negative = Vec::new();
+        let mut key = Vec::new();
+
+        for &arity in &self.config.arities {
+            for subset in combinations(&qi_attrs, arity) {
+                // Count antecedent totals and per-SA joints in one scan.
+                let mut table: HashMap<Vec<Value>, (usize, Vec<usize>)> = HashMap::new();
+                for r in data.records() {
+                    r.project_into(&subset, &mut key);
+                    let entry = table
+                        .entry(key.clone())
+                        .or_insert_with(|| (0, vec![0; sa_card]));
+                    entry.0 += 1;
+                    entry.1[r.get(sa_attr) as usize] += 1;
+                }
+                for (qv, (total, per_sa)) in table {
+                    let antecedent: Vec<(AttrId, Value)> =
+                        subset.iter().copied().zip(qv.iter().copied()).collect();
+                    for (s, &joint) in per_sa.iter().enumerate() {
+                        // Positive rule Qv ⇒ s.
+                        if joint >= self.config.min_support {
+                            positive.push(AssociationRule {
+                                antecedent: antecedent.clone(),
+                                sa_value: s as Value,
+                                polarity: RulePolarity::Positive,
+                                antecedent_support: total,
+                                support: joint,
+                                confidence: joint as f64 / total as f64,
+                            });
+                        }
+                        // Negative rule Qv ⇒ ¬s.
+                        let against = total - joint;
+                        if against >= self.config.min_support {
+                            negative.push(AssociationRule {
+                                antecedent: antecedent.clone(),
+                                sa_value: s as Value,
+                                polarity: RulePolarity::Negative,
+                                antecedent_support: total,
+                                support: against,
+                                confidence: against as f64 / total as f64,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Strongest first: confidence desc, then support desc, then a
+        // deterministic structural order so runs are reproducible.
+        let sort = |rules: &mut Vec<AssociationRule>| {
+            rules.sort_by(|a, b| {
+                b.confidence
+                    .partial_cmp(&a.confidence)
+                    .expect("confidences are finite")
+                    .then(b.support.cmp(&a.support))
+                    .then(a.antecedent.cmp(&b.antecedent))
+                    .then(a.sa_value.cmp(&b.sa_value))
+            });
+        };
+        sort(&mut positive);
+        sort(&mut negative);
+        MinedRules { positive, negative }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_datagen::workload::{synthetic_dataset, WorkloadConfig};
+    use pm_microdata::fixtures::figure1_dataset;
+
+    #[test]
+    fn figure1_negative_breast_cancer_rule() {
+        // "It is rare for male to have breast cancer": on Figure 1's data
+        // P(breast cancer | male) = 0, so male ⇒ ¬breast-cancer is a
+        // confidence-1 negative rule.
+        let d = figure1_dataset();
+        let mined = RuleMiner::new(MinerConfig { min_support: 3, arities: vec![1] }).mine(&d);
+        let rule = mined
+            .negative
+            .iter()
+            .find(|r| r.antecedent == vec![(0, 0)] && r.sa_value == 2)
+            .expect("male ⇒ ¬breast-cancer must be mined");
+        assert_eq!(rule.confidence, 1.0);
+        assert_eq!(rule.antecedent_support, 6);
+        assert!((rule.conditional_probability() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure1_positive_flu_rule() {
+        // P(flu | male) = 3/6 — the fictitious example of Section 4.1.
+        let d = figure1_dataset();
+        let mined = RuleMiner::new(MinerConfig { min_support: 3, arities: vec![1] }).mine(&d);
+        let rule = mined
+            .positive
+            .iter()
+            .find(|r| r.antecedent == vec![(0, 0)] && r.sa_value == 0)
+            .expect("male ⇒ flu");
+        assert!((rule.confidence - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sorted_descending_by_confidence() {
+        let d = synthetic_dataset(&WorkloadConfig {
+            records: 3000,
+            correlation: 0.7,
+            seed: 5,
+            ..Default::default()
+        });
+        let mined = RuleMiner::new(MinerConfig { min_support: 3, arities: vec![1, 2] }).mine(&d);
+        assert!(!mined.is_empty());
+        for w in mined.positive.windows(2) {
+            assert!(w[0].confidence >= w[1].confidence);
+        }
+        for w in mined.negative.windows(2) {
+            assert!(w[0].confidence >= w[1].confidence);
+        }
+    }
+
+    #[test]
+    fn min_support_enforced() {
+        let d = synthetic_dataset(&WorkloadConfig { records: 500, seed: 6, ..Default::default() });
+        let mined = RuleMiner::new(MinerConfig { min_support: 10, arities: vec![1] }).mine(&d);
+        for r in mined.positive.iter().chain(&mined.negative) {
+            assert!(r.support >= 10);
+        }
+    }
+
+    #[test]
+    fn correlation_raises_top_confidence() {
+        let weak = synthetic_dataset(&WorkloadConfig {
+            records: 4000,
+            correlation: 0.1,
+            seed: 7,
+            ..Default::default()
+        });
+        let strong = synthetic_dataset(&WorkloadConfig {
+            records: 4000,
+            correlation: 0.9,
+            seed: 7,
+            ..Default::default()
+        });
+        let cfg = MinerConfig { min_support: 3, arities: vec![1] };
+        let top_weak = RuleMiner::new(cfg.clone()).mine(&weak).positive[0].confidence;
+        let top_strong = RuleMiner::new(cfg).mine(&strong).positive[0].confidence;
+        assert!(
+            top_strong > top_weak + 0.2,
+            "strong {top_strong} vs weak {top_weak}"
+        );
+    }
+
+    #[test]
+    fn top_k_takes_from_both_polarities() {
+        let d = figure1_dataset();
+        let mined = RuleMiner::new(MinerConfig { min_support: 1, arities: vec![1] }).mine(&d);
+        let picked = mined.top_k(2, 3);
+        assert_eq!(picked.len(), 5);
+        assert_eq!(
+            picked.iter().filter(|r| r.polarity == RulePolarity::Positive).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn arity_filter_respected() {
+        let d = figure1_dataset();
+        let mined = RuleMiner::new(MinerConfig { min_support: 1, arities: vec![2] }).mine(&d);
+        for r in mined.positive.iter().chain(&mined.negative) {
+            assert_eq!(r.arity(), 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let d = synthetic_dataset(&WorkloadConfig { records: 800, seed: 8, ..Default::default() });
+        let a = RuleMiner::default().mine(&d);
+        let b = RuleMiner::default().mine(&d);
+        assert_eq!(a.positive, b.positive);
+        assert_eq!(a.negative, b.negative);
+    }
+}

@@ -1,0 +1,69 @@
+//! Association rules between QI value combinations and SA values.
+
+use pm_microdata::value::{AttrId, Value};
+
+/// Polarity of an association rule (Section 4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RulePolarity {
+    /// `Qv ⇒ s`: people with `Qv` are *likely* to have `s`.
+    Positive,
+    /// `Qv ⇒ ¬s`: people with `Qv` are *unlikely* to have `s` (the paper's
+    /// "male ⇒ ¬breast-cancer" example).
+    Negative,
+}
+
+/// One mined association rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssociationRule {
+    /// Antecedent `Qv`: (attribute, value) pairs, ascending by attribute.
+    pub antecedent: Vec<(AttrId, Value)>,
+    /// The consequent SA value `s`.
+    pub sa_value: Value,
+    /// Polarity.
+    pub polarity: RulePolarity,
+    /// Records matching the antecedent (`#Qv`).
+    pub antecedent_support: usize,
+    /// Records supporting the rule: `#(Qv, s)` for positive rules,
+    /// `#(Qv, ¬s)` for negative rules.
+    pub support: usize,
+    /// Rule confidence `support / antecedent_support`.
+    pub confidence: f64,
+}
+
+impl AssociationRule {
+    /// Number of QI attributes in the antecedent (the `T` of Figure 6).
+    pub fn arity(&self) -> usize {
+        self.antecedent.len()
+    }
+
+    /// The conditional probability `P(s | Qv)` this rule pins down when
+    /// used as background knowledge: the confidence for positive rules,
+    /// `1 − confidence` for negative ones.
+    pub fn conditional_probability(&self) -> f64 {
+        match self.polarity {
+            RulePolarity::Positive => self.confidence,
+            RulePolarity::Negative => 1.0 - self.confidence,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conditional_probability_by_polarity() {
+        let mut r = AssociationRule {
+            antecedent: vec![(0, 1)],
+            sa_value: 2,
+            polarity: RulePolarity::Positive,
+            antecedent_support: 10,
+            support: 8,
+            confidence: 0.8,
+        };
+        assert!((r.conditional_probability() - 0.8).abs() < 1e-12);
+        r.polarity = RulePolarity::Negative;
+        assert!((r.conditional_probability() - 0.2).abs() < 1e-12);
+        assert_eq!(r.arity(), 1);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests: mined rules are exactly consistent with dataset counts.
+
+use pm_datagen::workload::{synthetic_dataset, WorkloadConfig};
+use pm_assoc::miner::{MinerConfig, RuleMiner};
+use pm_assoc::rule::RulePolarity;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every rule's support/confidence is re-derivable by direct counting.
+    #[test]
+    fn rule_statistics_match_direct_counts(
+        records in 30usize..120,
+        correlation in 0.0f64..1.0,
+        seed in 0u64..500,
+    ) {
+        let data = synthetic_dataset(&WorkloadConfig {
+            records,
+            qi_arities: vec![3, 2],
+            sa_arity: 4,
+            correlation,
+            seed,
+        });
+        let mined = RuleMiner::new(MinerConfig { min_support: 2, arities: vec![1, 2] })
+            .mine(&data);
+        let sa = data.schema().sensitive().unwrap();
+        for rule in mined.positive.iter().chain(&mined.negative).take(200) {
+            let attrs: Vec<usize> = rule.antecedent.iter().map(|&(a, _)| a).collect();
+            let vals: Vec<u16> = rule.antecedent.iter().map(|&(_, v)| v).collect();
+            let total = data.count_matching(&attrs, &vals);
+            prop_assert_eq!(total, rule.antecedent_support);
+            let mut joint_attrs = attrs.clone();
+            joint_attrs.push(sa);
+            let mut joint_vals = vals.clone();
+            joint_vals.push(rule.sa_value);
+            let joint = data.count_matching(&joint_attrs, &joint_vals);
+            let expect_support = match rule.polarity {
+                RulePolarity::Positive => joint,
+                RulePolarity::Negative => total - joint,
+            };
+            prop_assert_eq!(expect_support, rule.support);
+            prop_assert!(
+                (rule.confidence - expect_support as f64 / total as f64).abs() < 1e-12
+            );
+            prop_assert!(rule.support >= 2, "min support respected");
+        }
+    }
+
+    /// The conditional probability a rule pins is always a valid
+    /// probability, and polarity inversion is exact.
+    #[test]
+    fn conditional_probabilities_valid(
+        records in 30usize..100,
+        seed in 0u64..500,
+    ) {
+        let data = synthetic_dataset(&WorkloadConfig {
+            records,
+            qi_arities: vec![4],
+            sa_arity: 3,
+            correlation: 0.6,
+            seed,
+        });
+        let mined = RuleMiner::new(MinerConfig { min_support: 1, arities: vec![1] })
+            .mine(&data);
+        for rule in mined.positive.iter().chain(&mined.negative) {
+            let p = rule.conditional_probability();
+            prop_assert!((0.0..=1.0).contains(&p));
+            match rule.polarity {
+                RulePolarity::Positive => prop_assert!((p - rule.confidence).abs() < 1e-12),
+                RulePolarity::Negative => {
+                    prop_assert!((p - (1.0 - rule.confidence)).abs() < 1e-12)
+                }
+            }
+        }
+    }
+
+    /// Top-k never returns more than requested and respects the sort.
+    #[test]
+    fn top_k_contract(k_pos in 0usize..50, k_neg in 0usize..50, seed in 0u64..200) {
+        let data = synthetic_dataset(&WorkloadConfig {
+            records: 80,
+            qi_arities: vec![3, 2],
+            sa_arity: 4,
+            correlation: 0.5,
+            seed,
+        });
+        let mined = RuleMiner::new(MinerConfig { min_support: 1, arities: vec![1, 2] })
+            .mine(&data);
+        let picked = mined.top_k(k_pos, k_neg);
+        let pos = picked.iter().filter(|r| r.polarity == RulePolarity::Positive).count();
+        let neg = picked.len() - pos;
+        prop_assert!(pos <= k_pos && neg <= k_neg);
+        prop_assert_eq!(pos, k_pos.min(mined.positive.len()));
+        prop_assert_eq!(neg, k_neg.min(mined.negative.len()));
+    }
+}

@@ -1,0 +1,27 @@
+//! Constraint-generation throughput: term indexing and QI/SA-invariant
+//! assembly over the paper-scale published table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pm_bench::pipeline::{prepare, Scale};
+use privacy_maxent::invariants::data_invariants;
+use privacy_maxent::terms::TermIndex;
+
+fn bench(c: &mut Criterion) {
+    let exp = prepare(Scale::Quick, 1);
+    let mut group = c.benchmark_group("invariant_generation");
+    group.sample_size(20);
+    group.bench_function("term_index", |b| {
+        b.iter(|| TermIndex::build(&exp.table))
+    });
+    let index = TermIndex::build(&exp.table);
+    group.bench_function("invariants_full", |b| {
+        b.iter(|| data_invariants(&exp.table, &index, false))
+    });
+    group.bench_function("invariants_concise", |b| {
+        b.iter(|| data_invariants(&exp.table, &index, true))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

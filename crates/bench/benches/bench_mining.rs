@@ -1,0 +1,22 @@
+//! Association-rule mining throughput by antecedent arity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pm_assoc::miner::{MinerConfig, RuleMiner};
+use pm_datagen::adult::{AdultGenerator, AdultGeneratorConfig};
+
+fn bench(c: &mut Criterion) {
+    let data = AdultGenerator::new(AdultGeneratorConfig { records: 2500, seed: 1 }).generate();
+    let mut group = c.benchmark_group("rule_mining");
+    group.sample_size(10);
+    for t in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| {
+                RuleMiner::new(MinerConfig { min_support: 3, arities: vec![t] }).mine(&data)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

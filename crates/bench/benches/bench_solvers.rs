@@ -1,0 +1,50 @@
+//! The Malouf-style solver comparison the paper cites [18]: LBFGS vs GIS
+//! vs IIS vs steepest descent on identical maxent instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pm_bench::pipeline::{prepare, Scale};
+use privacy_maxent::engine::{Engine, EngineConfig, SolverKind};
+use privacy_maxent::knowledge::KnowledgeBase;
+
+fn bench(c: &mut Criterion) {
+    let exp = prepare(Scale::Quick, 1);
+    // Moderate-confidence rules keep the optimum interior so every solver
+    // can reach it (GIS/IIS cannot represent boundary zeros).
+    let picked: Vec<_> = exp
+        .rules
+        .positive
+        .iter()
+        .filter(|r| r.confidence > 0.3 && r.confidence < 0.7 && r.arity() == 1)
+        .take(20)
+        .collect();
+    let kb = KnowledgeBase::from_rules(picked.iter().copied(), exp.data.schema()).unwrap();
+    let mut group = c.benchmark_group("solver_comparison");
+    group.sample_size(10);
+    for solver in [
+        SolverKind::Lbfgs,
+        SolverKind::Gis,
+        SolverKind::Iis,
+        SolverKind::GradientDescent,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{solver:?}")),
+            &solver,
+            |b, &solver| {
+                b.iter(|| {
+                    let cfg = EngineConfig {
+                        solver,
+                        tolerance: 1e-6,
+                        max_iterations: 100_000,
+                        residual_limit: f64::INFINITY,
+                        ..Default::default()
+                    };
+                    Engine::new(cfg).estimate(&exp.table, &kb).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,254 @@
+//! Reproductions of the paper's result figures.
+//!
+//! Each function prints the same series the paper plots and returns the
+//! numbers for programmatic use (EXPERIMENTS.md records the paper-vs-
+//! measured comparison). Absolute numbers differ — our substrate is a
+//! synthetic Adult stand-in on different hardware — but the *shapes* are
+//! the reproduction target (see DESIGN.md §4).
+
+use std::time::Duration;
+
+use pm_anonymize::anatomy::{AnatomyBucketizer, AnatomyConfig};
+use pm_assoc::miner::{MinerConfig, RuleMiner};
+use pm_datagen::adult::{AdultGenerator, AdultGeneratorConfig};
+use privacy_maxent::engine::{Engine, EngineConfig};
+use privacy_maxent::knowledge::KnowledgeBase;
+use privacy_maxent::metrics::estimation_accuracy;
+
+use crate::pipeline::{accuracy_for_rules, prepare, ExperimentData, Scale};
+
+/// One point of an accuracy-vs-K curve.
+#[derive(Debug, Clone)]
+pub struct AccuracyPoint {
+    /// Number of rules (K).
+    pub k: usize,
+    /// Estimation accuracy (weighted KL).
+    pub accuracy: f64,
+    /// Total solver time.
+    pub solve_time: Duration,
+}
+
+/// A named curve.
+#[derive(Debug, Clone)]
+pub struct Curve {
+    /// Legend label (`K+`, `K-`, `(K+, K-)`, `T=3`, …).
+    pub label: String,
+    /// The series.
+    pub points: Vec<AccuracyPoint>,
+}
+
+fn engine_config() -> EngineConfig {
+    // The accuracy experiments tolerate asymptotic boundary residuals; the
+    // worst observed is ~1e-1 of one record on the largest K, ≈ 1e-5 in
+    // probability — invisible in the KL metric (see EXPERIMENTS.md).
+    EngineConfig { residual_limit: f64::INFINITY, ..Default::default() }
+}
+
+/// Performance-experiment config: the paper's timing runs report solves
+/// that *converge*, so the dual tolerance is the practical 1e-4 (count
+/// space) rather than the accuracy experiments' 1e-9 — boundary-heavy
+/// systems then terminate inside the iteration budget instead of polishing
+/// digits the timing axis cannot show.
+fn perf_config() -> EngineConfig {
+    EngineConfig {
+        decompose: false,
+        tolerance: 1e-4,
+        residual_limit: f64::INFINITY,
+        ..Default::default()
+    }
+}
+
+fn k_grid(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Full => vec![0, 100, 500, 1000, 5000, 10_000, 20_000, 50_000],
+        Scale::Quick => vec![0, 20, 50, 100, 250, 500, 1000, 2000],
+    }
+}
+
+fn curve_for(
+    exp: &ExperimentData,
+    label: &str,
+    ks: &[usize],
+    pick: impl Fn(usize) -> (usize, usize),
+) -> Curve {
+    let mut points = Vec::new();
+    for &k in ks {
+        let (kp, kn) = pick(k);
+        let picked = exp.rules.top_k(kp, kn);
+        let (accuracy, stats) = accuracy_for_rules(exp, &picked, engine_config());
+        points.push(AccuracyPoint { k, accuracy, solve_time: stats.total_elapsed });
+    }
+    Curve { label: label.to_string(), points }
+}
+
+fn print_curves(title: &str, xlabel: &str, curves: &[Curve]) {
+    println!("\n=== {title} ===");
+    print!("{xlabel:>10}");
+    for c in curves {
+        print!("  {:>12}", c.label);
+    }
+    println!();
+    let xs: Vec<usize> = curves[0].points.iter().map(|p| p.k).collect();
+    for (i, x) in xs.iter().enumerate() {
+        print!("{x:>10}");
+        for c in curves {
+            print!("  {:>12.4}", c.points[i].accuracy);
+        }
+        println!();
+    }
+}
+
+/// **Figure 5** — Estimation Accuracy vs. number of association rules, for
+/// the `K+`, `K−` and mixed `(K+, K−)` bounds.
+pub fn figure5(scale: Scale, seed: u64) -> Vec<Curve> {
+    let exp = prepare(scale, seed);
+    let ks = k_grid(scale);
+    let curves = vec![
+        curve_for(&exp, "K+", &ks, |k| (k, 0)),
+        curve_for(&exp, "K-", &ks, |k| (0, k)),
+        curve_for(&exp, "(K+,K-)", &ks, |k| (k / 2, k - k / 2)),
+    ];
+    print_curves(
+        "Figure 5: positive and negative association rules",
+        "K",
+        &curves,
+    );
+    curves
+}
+
+/// **Figure 6** — Estimation Accuracy vs. K for rules whose antecedents
+/// contain exactly `T` QI attributes, `T = 1..=max_t`.
+pub fn figure6(scale: Scale, seed: u64) -> Vec<Curve> {
+    let max_t = match scale {
+        Scale::Full => 8,
+        Scale::Quick => 4,
+    };
+    // Shared data; per-T rule mining.
+    let exp = prepare(scale, seed);
+    let ks = k_grid(scale);
+    let mut curves = Vec::new();
+    for t in 1..=max_t {
+        let rules = RuleMiner::new(MinerConfig { min_support: 3, arities: vec![t] })
+            .mine(&exp.data);
+        let mut points = Vec::new();
+        for &k in &ks {
+            let picked = rules.top_k(k / 2, k - k / 2);
+            let kb = KnowledgeBase::from_rules(picked.iter().copied(), exp.data.schema())
+                .expect("mined rules valid");
+            let est = Engine::new(engine_config())
+                .estimate(&exp.table, &kb)
+                .expect("mined knowledge feasible");
+            points.push(AccuracyPoint {
+                k,
+                accuracy: estimation_accuracy(&exp.truth, &est),
+                solve_time: est.stats.total_elapsed,
+            });
+        }
+        curves.push(Curve { label: format!("T={t}"), points });
+    }
+    print_curves(
+        "Figure 6: number of QI attributes in knowledge",
+        "K",
+        &curves,
+    );
+    curves
+}
+
+/// One point of a performance sweep.
+#[derive(Debug, Clone)]
+pub struct PerfPoint {
+    /// X value (constraints for 7(a), buckets for 7(b)/(c)).
+    pub x: usize,
+    /// Solver wall time.
+    pub time: Duration,
+    /// Solver iterations (single joint solve: the Section 5.5 optimisation
+    /// is disabled here, matching the paper's performance runs).
+    pub iterations: usize,
+}
+
+/// **Figure 7(a)** — running time and iterations vs. number of
+/// background-knowledge constraints (log-spaced), fixed dataset.
+pub fn figure7a(scale: Scale, seed: u64) -> Vec<PerfPoint> {
+    let exp = prepare(scale, seed);
+    let grid: Vec<usize> = match scale {
+        Scale::Full => vec![100, 300, 1000, 3000, 10_000, 30_000],
+        Scale::Quick => vec![30, 100, 300, 1000, 3000],
+    };
+    let mut out = Vec::new();
+    println!("\n=== Figure 7(a): performance vs knowledge ===");
+    println!("{:>12}  {:>12}  {:>10}", "#constraints", "time(s)", "iterations");
+    for &k in &grid {
+        let picked = exp.rules.top_k(k / 2, k - k / 2);
+        let (_, stats) = accuracy_for_rules(&exp, &picked, perf_config());
+        let point = PerfPoint {
+            x: k,
+            time: stats.solver_elapsed(),
+            iterations: stats.max_iterations(),
+        };
+        println!(
+            "{:>12}  {:>12.3}  {:>10}",
+            point.x,
+            point.time.as_secs_f64(),
+            point.iterations
+        );
+        out.push(point);
+    }
+    out
+}
+
+/// **Figures 7(b) & 7(c)** — running time (b) and iterations (c) vs. number
+/// of buckets, one curve per background-knowledge size.
+///
+/// Each dataset size is generated, bucketized and mined independently so
+/// its constraint system is self-consistent (the paper varies "the size of
+/// dataset, i.e., the number of buckets").
+pub fn figure7bc(scale: Scale, seed: u64) -> Vec<(usize, Vec<PerfPoint>)> {
+    let (max_records, constraint_curves): (usize, Vec<usize>) = match scale {
+        Scale::Full => (14_210, vec![0, 100, 1000, 10_000]),
+        Scale::Quick => (2_500, vec![0, 50, 200, 1000]),
+    };
+    let sizes: Vec<usize> = (1..=5)
+        .map(|i| max_records * i / 5 / 5 * 5) // multiples of 5 records
+        .collect();
+    let full = AdultGenerator::new(AdultGeneratorConfig { records: max_records, seed })
+        .generate();
+
+    let mut results = Vec::new();
+    println!("\n=== Figure 7(b)/(c): performance vs data size ===");
+    println!(
+        "{:>12} {:>9} {:>12} {:>11}",
+        "#constraints", "#buckets", "time(s)", "iterations"
+    );
+    for &kc in &constraint_curves {
+        let mut series = Vec::new();
+        for &n in &sizes {
+            let data = full.head(n);
+            let table = AnatomyBucketizer::new(AnatomyConfig { ell: 5, exempt_top: 1 })
+                .publish(&data)
+                .expect("bucketization succeeds");
+            let rules = RuleMiner::new(MinerConfig {
+                min_support: 3,
+                arities: scale.arities(),
+            })
+            .mine(&data);
+            let picked = rules.top_k(kc / 2, kc - kc / 2);
+            let kb = KnowledgeBase::from_rules(picked.iter().copied(), data.schema())
+                .expect("mined rules valid");
+            let est = Engine::new(perf_config()).estimate(&table, &kb).expect("feasible");
+            let point = PerfPoint {
+                x: table.num_buckets(),
+                time: est.stats.solver_elapsed(),
+                iterations: est.stats.max_iterations(),
+            };
+            println!(
+                "{kc:>12} {:>9} {:>12.3} {:>11}",
+                point.x,
+                point.time.as_secs_f64(),
+                point.iterations
+            );
+            series.push(point);
+        }
+        results.push((kc, series));
+    }
+    results
+}

@@ -1,0 +1,9 @@
+//! # pm-bench
+//!
+//! Experiment harness reproducing the evaluation of the Privacy-MaxEnt
+//! paper (Figures 5, 6 and 7(a)–(c)), plus criterion micro-benches and
+//! ablations. See `EXPERIMENTS.md` for paper-vs-measured results and
+//! `DESIGN.md` for the per-experiment index.
+
+pub mod pipeline;
+pub mod figures;

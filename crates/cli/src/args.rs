@@ -1,0 +1,187 @@
+//! Hand-rolled argument parsing for `pmx quantify`.
+
+use std::fmt;
+
+/// Where the microdata comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Source {
+    /// Load a CSV file (last column = SA).
+    File(String),
+    /// Generate synthetic data: `adult` or `medical`, with a record count.
+    Synthetic {
+        /// `adult` or `medical`.
+        kind: String,
+        /// Number of records.
+        records: usize,
+    },
+}
+
+/// How the publication is disguised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mechanism {
+    /// Anatomy bucketization with ℓ-diversity.
+    Anatomy,
+    /// Mondrian generalization with k-anonymity.
+    Mondrian {
+        /// Class-size floor.
+        k: usize,
+    },
+}
+
+/// Parsed options for `pmx quantify`.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Data source.
+    pub source: Source,
+    /// Bucket size / diversity ℓ.
+    pub ell: usize,
+    /// Exempted most-frequent SA values.
+    pub exempt: usize,
+    /// Disguising mechanism.
+    pub mechanism: Mechanism,
+    /// Knowledge bounds (total K; split half positive, half negative).
+    pub bounds: Vec<usize>,
+    /// Max antecedent arity to mine.
+    pub arity: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+/// Parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses `pmx quantify` arguments.
+pub fn parse(argv: &[String]) -> Result<Options, ParseError> {
+    let mut source: Option<Source> = None;
+    let mut ell = 5usize;
+    let mut exempt = 1usize;
+    let mut mechanism = Mechanism::Anatomy;
+    let mut bounds = vec![0usize, 10, 100, 1000];
+    let mut arity = 2usize;
+    let mut seed = 1u64;
+
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| ParseError(format!("{name} expects a value")))
+        };
+        match flag.as_str() {
+            "--input" => source = Some(Source::File(value("--input")?)),
+            "--synthetic" => {
+                let v = value("--synthetic")?;
+                let (kind, n) = v
+                    .split_once(':')
+                    .ok_or_else(|| ParseError("--synthetic expects KIND:N".into()))?;
+                if kind != "adult" && kind != "medical" {
+                    return Err(ParseError(format!("unknown synthetic kind `{kind}`")));
+                }
+                let records: usize = n
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad record count `{n}`")))?;
+                source = Some(Source::Synthetic { kind: kind.to_string(), records });
+            }
+            "--ell" => {
+                ell = value("--ell")?
+                    .parse()
+                    .map_err(|_| ParseError("bad --ell".into()))?;
+            }
+            "--exempt" => {
+                exempt = value("--exempt")?
+                    .parse()
+                    .map_err(|_| ParseError("bad --exempt".into()))?;
+            }
+            "--mondrian" => {
+                let k = value("--mondrian")?
+                    .parse()
+                    .map_err(|_| ParseError("bad --mondrian".into()))?;
+                mechanism = Mechanism::Mondrian { k };
+            }
+            "--bounds" => {
+                bounds = value("--bounds")?
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| ParseError("bad --bounds list".into()))?;
+            }
+            "--arity" => {
+                arity = value("--arity")?
+                    .parse()
+                    .map_err(|_| ParseError("bad --arity".into()))?;
+            }
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| ParseError("bad --seed".into()))?;
+            }
+            other => return Err(ParseError(format!("unknown flag `{other}`"))),
+        }
+    }
+    let source = source.ok_or_else(|| {
+        ParseError("one of --input FILE or --synthetic KIND:N is required".into())
+    })?;
+    if ell == 0 || arity == 0 {
+        return Err(ParseError("--ell and --arity must be positive".into()));
+    }
+    Ok(Options { source, ell, exempt, mechanism, bounds, arity, seed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_full_command_line() {
+        let o = parse(&argv(
+            "--synthetic adult:1000 --ell 4 --exempt 2 --bounds 0,5,50 --arity 3 --seed 9",
+        ))
+        .unwrap();
+        assert_eq!(o.source, Source::Synthetic { kind: "adult".into(), records: 1000 });
+        assert_eq!(o.ell, 4);
+        assert_eq!(o.exempt, 2);
+        assert_eq!(o.bounds, vec![0, 5, 50]);
+        assert_eq!(o.arity, 3);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.mechanism, Mechanism::Anatomy);
+    }
+
+    #[test]
+    fn mondrian_flag() {
+        let o = parse(&argv("--synthetic medical:500 --mondrian 10")).unwrap();
+        assert_eq!(o.mechanism, Mechanism::Mondrian { k: 10 });
+    }
+
+    #[test]
+    fn missing_source_is_an_error() {
+        assert!(parse(&argv("--ell 5")).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_bad_values() {
+        assert!(parse(&argv("--synthetic adult:1000 --frobnicate 1")).is_err());
+        assert!(parse(&argv("--synthetic adult")).is_err());
+        assert!(parse(&argv("--synthetic plants:100")).is_err());
+        assert!(parse(&argv("--synthetic adult:100 --bounds 1,x")).is_err());
+        assert!(parse(&argv("--synthetic adult:100 --ell 0")).is_err());
+    }
+
+    #[test]
+    fn input_file_source() {
+        let o = parse(&argv("--input /tmp/data.csv")).unwrap();
+        assert_eq!(o.source, Source::File("/tmp/data.csv".into()));
+    }
+}

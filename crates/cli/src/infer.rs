@@ -1,0 +1,122 @@
+//! Schema inference for CSV input: every column is categorical, domains are
+//! the distinct labels observed, the last column is the sensitive
+//! attribute, all others are quasi-identifiers.
+
+use std::io::BufRead;
+
+use pm_microdata::dataset::Dataset;
+use pm_microdata::schema::{Schema, SchemaBuilder};
+use pm_microdata::value::Domain;
+
+/// Inference error.
+#[derive(Debug)]
+pub struct InferError(pub String);
+
+impl std::fmt::Display for InferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for InferError {}
+
+/// Reads `text` twice (conceptually): first to collect per-column domains,
+/// then to materialise the dataset. The first line is treated as a header
+/// when none of its fields reappear later in the same column; otherwise it
+/// is data.
+pub fn infer_and_load(text: &str) -> Result<(Schema, Dataset), InferError> {
+    let mut lines = Vec::new();
+    for line in text.as_bytes().lines() {
+        let line = line.map_err(|e| InferError(format!("read error: {e}")))?;
+        if !line.trim().is_empty() {
+            lines.push(line);
+        }
+    }
+    if lines.len() < 2 {
+        return Err(InferError("need at least two non-empty lines".into()));
+    }
+    let arity = lines[0].split(',').count();
+    if arity < 2 {
+        return Err(InferError("need at least one QI column and one SA column".into()));
+    }
+    let rows: Vec<Vec<String>> = lines
+        .iter()
+        .map(|l| l.split(',').map(|f| f.trim().to_string()).collect())
+        .collect();
+    for (i, r) in rows.iter().enumerate() {
+        if r.len() != arity {
+            return Err(InferError(format!(
+                "line {} has {} fields, expected {arity}",
+                i + 1,
+                r.len()
+            )));
+        }
+    }
+    // Header heuristic: the first row is a header iff, for some column, its
+    // label never recurs below.
+    let is_header = (0..arity).any(|c| rows[1..].iter().all(|r| r[c] != rows[0][c]));
+    let data_rows = if is_header { &rows[1..] } else { &rows[..] };
+
+    // Collect domains in first-appearance order.
+    let mut domains: Vec<Vec<String>> = vec![Vec::new(); arity];
+    for r in data_rows {
+        for (c, field) in r.iter().enumerate() {
+            if !domains[c].contains(field) {
+                domains[c].push(field.clone());
+            }
+        }
+    }
+    let names: Vec<String> = if is_header {
+        rows[0].clone()
+    } else {
+        (0..arity).map(|c| format!("col{c}")).collect()
+    };
+
+    let mut builder = SchemaBuilder::new();
+    for c in 0..arity - 1 {
+        builder = builder.qi(&names[c], Domain::new(domains[c].clone()));
+    }
+    builder = builder.sensitive(&names[arity - 1], Domain::new(domains[arity - 1].clone()));
+    let schema = builder.build().map_err(|e| InferError(e.to_string()))?;
+
+    let mut data = Dataset::with_capacity(schema.clone(), data_rows.len());
+    for r in data_rows {
+        let labels: Vec<&str> = r.iter().map(String::as_str).collect();
+        data.push_labels(&labels)
+            .map_err(|e| InferError(e.to_string()))?;
+    }
+    Ok((schema, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infers_with_header() {
+        let text = "sex,disease\nmale,flu\nfemale,hiv\nmale,hiv\n";
+        let (schema, data) = infer_and_load(text).unwrap();
+        assert_eq!(schema.arity(), 2);
+        assert_eq!(schema.attribute(0).name(), "sex");
+        assert_eq!(schema.qi_attrs(), &[0]);
+        assert_eq!(schema.sensitive().unwrap(), 1);
+        assert_eq!(data.len(), 3);
+    }
+
+    #[test]
+    fn infers_without_header() {
+        let text = "male,flu\nfemale,hiv\nmale,flu\n";
+        let (schema, data) = infer_and_load(text).unwrap();
+        assert_eq!(schema.attribute(0).name(), "col0");
+        assert_eq!(data.len(), 3);
+        // "male" recurs in column 0 below line 1 → treated as data.
+        assert_eq!(data.count_matching(&[0], &[0]), 2);
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        assert!(infer_and_load("a,b\nc\n").is_err());
+        assert!(infer_and_load("only-one-line\n").is_err());
+        assert!(infer_and_load("single\ncolumn\n").is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! `pmx` — privacy quantification from the command line.
+//!
+//! ```text
+//! pmx demo
+//!     Walk through the paper's Figure 1 example.
+//!
+//! pmx quantify [options]
+//!     Quantify a publication under Top-(K+, K−) knowledge bounds and
+//!     print the privacy report (Section 4.3's "(bound, score)" tuples).
+//!
+//!     --input FILE        CSV of categorical microdata; last column is the
+//!                         sensitive attribute, all others quasi-identifiers
+//!                         (domains inferred). Alternatively:
+//!     --synthetic KIND:N  generate N records of `adult` or `medical` data
+//!     --ell N             bucket size / diversity level     [default: 5]
+//!     --exempt N          SA values exempt from diversity   [default: 1]
+//!     --mondrian K        use Mondrian generalization (k=K) instead of
+//!                         Anatomy bucketization
+//!     --bounds LIST       comma-separated K values to sweep [default: 0,10,100,1000]
+//!     --arity N           max antecedent arity to mine      [default: 2]
+//!     --seed N            generator seed                    [default: 1]
+//! ```
+
+use std::process::ExitCode;
+
+mod args;
+mod infer;
+mod quantify;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("demo") => {
+            quantify::demo();
+            ExitCode::SUCCESS
+        }
+        Some("quantify") => match args::parse(&argv[1..]) {
+            Ok(options) => match quantify::run(&options) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("pmx: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                eprintln!("pmx: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprintln!("usage: pmx <demo|quantify> [options]   (see --help in source header)");
+            ExitCode::FAILURE
+        }
+    }
+}

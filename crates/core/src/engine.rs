@@ -1,0 +1,730 @@
+//! The Privacy-MaxEnt engine: assemble, preprocess, decompose, solve.
+//!
+//! Pipeline (Sections 3–5 of the paper):
+//!
+//! 1. Index admissible terms ([`crate::terms::TermIndex`]).
+//! 2. Generate data invariants ([`crate::invariants`]) and compile
+//!    background knowledge ([`crate::compile`]).
+//! 3. Split buckets into connected components ([`crate::partition`]);
+//!    irrelevant components take the closed-form uniform solution (Thm. 5),
+//!    the rest are preprocessed ([`crate::preprocess`]) and solved via the
+//!    maxent dual (`pm_solver::MaxEntDual`).
+//! 4. Read out `P(S | Q) = Σ_B P(Q, S, B) / P(Q)` (Section 3.1).
+//!
+//! The solve happens in **count space** (targets scaled by `N`): the dual is
+//! better conditioned when right-hand sides are `O(1)` record counts rather
+//! than `O(1/N)` probabilities, and the maxent optimum simply rescales.
+
+use std::time::{Duration, Instant};
+
+use pm_anonymize::published::PublishedTable;
+use pm_linalg::CsrMatrix;
+use pm_microdata::qi::QiId;
+use pm_microdata::value::Value;
+use pm_solver::gradient::{gradient_descent, GradientDescentConfig};
+use pm_solver::scaling::{gis_with_primal, iis, ScalingConfig};
+use pm_solver::stats::SolveStats;
+use pm_solver::{Lbfgs, LbfgsConfig, MaxEntDual};
+
+use crate::compile::compile_knowledge;
+use crate::constraint::{Constraint, ConstraintOrigin};
+use crate::error::CoreError;
+use crate::invariants::data_invariants;
+use crate::knowledge::KnowledgeBase;
+use crate::partition::{connected_components, Component};
+use crate::preprocess::preprocess;
+use crate::terms::TermIndex;
+
+/// Which numerical solver minimises the dual.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverKind {
+    /// LBFGS — the paper's choice, and the fastest (Malouf \[18\]).
+    #[default]
+    Lbfgs,
+    /// Generalized Iterative Scaling (Darroch–Ratcliff).
+    Gis,
+    /// Improved Iterative Scaling (Della Pietra et al.).
+    Iis,
+    /// Steepest descent baseline.
+    GradientDescent,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Dual solver.
+    pub solver: SolverKind,
+    /// Apply the Section 5.5 optimisation: closed-form irrelevant buckets
+    /// plus independent connected-component solves. Disable to reproduce
+    /// the paper's performance experiments ("we have not applied the
+    /// optimization techniques discussed in Section 5.5").
+    pub decompose: bool,
+    /// Drop one redundant SA-invariant per bucket (Theorem 3).
+    pub concise_invariants: bool,
+    /// Convergence tolerance on the count-space constraint residual.
+    pub tolerance: f64,
+    /// Iteration budget per solve.
+    pub max_iterations: usize,
+    /// Residual (count space) above which the engine reports
+    /// [`CoreError::SolverFailed`] instead of returning a bad estimate.
+    pub residual_limit: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            solver: SolverKind::Lbfgs,
+            decompose: true,
+            concise_invariants: true,
+            tolerance: 1e-9,
+            max_iterations: 2000,
+            // Count-space residual: 1e-2 of a record ≈ 1e-6 in probability
+            // at Adult scale — far below anything visible in the KL metric.
+            // Boundary instances (confidence-1 rules interacting with
+            // invariants) approach their optimum only asymptotically, so an
+            // exact-zero tolerance would mis-report them as failures.
+            residual_limit: 1e-2,
+        }
+    }
+}
+
+/// Aggregated solve statistics — Figure 7 plots `iterations` and `elapsed`.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Per-solved-component statistics (irrelevant components don't solve).
+    pub component_stats: Vec<SolveStats>,
+    /// Wall time of the full estimate call (assembly + solves + read-out).
+    pub total_elapsed: Duration,
+    /// Number of independent components.
+    pub num_components: usize,
+    /// How many components were irrelevant (closed-form).
+    pub num_irrelevant: usize,
+    /// Constraints passed to solvers (after preprocessing).
+    pub num_constraints: usize,
+    /// Free variables passed to solvers (after preprocessing).
+    pub num_free_terms: usize,
+}
+
+impl EngineStats {
+    /// Total solver iterations across components.
+    pub fn total_iterations(&self) -> usize {
+        self.component_stats.iter().map(|s| s.iterations).sum()
+    }
+
+    /// Largest per-component iteration count (the paper's single-solve
+    /// iteration metric when `decompose = false`).
+    pub fn max_iterations(&self) -> usize {
+        self.component_stats.iter().map(|s| s.iterations).max().unwrap_or(0)
+    }
+
+    /// Summed solver wall time (excludes assembly).
+    pub fn solver_elapsed(&self) -> Duration {
+        self.component_stats.iter().map(|s| s.elapsed).sum()
+    }
+}
+
+/// The MaxEnt estimate: term values plus the derived `P(S | Q)`.
+#[derive(Debug, Clone)]
+pub struct Estimate {
+    term_values: Vec<f64>,
+    index: TermIndex,
+    /// Dense `P(s | q)`: row `q`, column `s`.
+    conditional: Vec<f64>,
+    distinct_qi: usize,
+    sa_cardinality: usize,
+    qi_marginal: Vec<f64>,
+    /// Solve statistics.
+    pub stats: EngineStats,
+}
+
+impl Estimate {
+    pub(crate) fn assemble(
+        term_values: Vec<f64>,
+        index: TermIndex,
+        table: &PublishedTable,
+        stats: EngineStats,
+    ) -> Self {
+        let distinct_qi = table.interner().distinct();
+        let sa_cardinality = table.sa_cardinality();
+        let mut joint = vec![0.0; distinct_qi * sa_cardinality];
+        for (i, t) in index.iter() {
+            joint[t.q * sa_cardinality + t.s as usize] += term_values[i];
+        }
+        let qi_marginal: Vec<f64> =
+            (0..distinct_qi).map(|q| table.p_qi(q)).collect();
+        let mut conditional = joint;
+        for q in 0..distinct_qi {
+            let pq = qi_marginal[q];
+            for s in 0..sa_cardinality {
+                let v = &mut conditional[q * sa_cardinality + s];
+                *v = if pq > 0.0 { (*v / pq).clamp(0.0, 1.0) } else { 0.0 };
+            }
+        }
+        Self {
+            term_values,
+            index,
+            conditional,
+            distinct_qi,
+            sa_cardinality,
+            qi_marginal,
+            stats,
+        }
+    }
+
+    /// The estimated joint `P(q, s, b)` (0 for inadmissible terms).
+    pub fn p_qsb(&self, q: QiId, s: Value, b: usize) -> f64 {
+        self.index
+            .get(q, s, b)
+            .map(|i| self.term_values[i])
+            .unwrap_or(0.0)
+    }
+
+    /// The estimated conditional `P*(s | q)` — the paper's target quantity.
+    pub fn conditional(&self, q: QiId, s: Value) -> f64 {
+        self.conditional[q * self.sa_cardinality + s as usize]
+    }
+
+    /// The full conditional row `P*(· | q)`.
+    pub fn conditional_row(&self, q: QiId) -> &[f64] {
+        &self.conditional[q * self.sa_cardinality..(q + 1) * self.sa_cardinality]
+    }
+
+    /// Number of distinct QI symbols.
+    pub fn distinct_qi(&self) -> usize {
+        self.distinct_qi
+    }
+
+    /// SA domain cardinality.
+    pub fn sa_cardinality(&self) -> usize {
+        self.sa_cardinality
+    }
+
+    /// `P(q)` marginals aligned with the table's interner.
+    pub fn qi_marginal(&self, q: QiId) -> f64 {
+        self.qi_marginal[q]
+    }
+
+    /// All raw term values (aligned with the internal term index).
+    pub fn term_values(&self) -> &[f64] {
+        &self.term_values
+    }
+
+    /// The term index underlying this estimate.
+    pub fn term_index(&self) -> &TermIndex {
+        &self.index
+    }
+}
+
+/// The Privacy-MaxEnt engine.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    /// Configuration for [`Engine::estimate`].
+    pub config: EngineConfig,
+}
+
+impl Engine {
+    /// Creates an engine.
+    pub fn new(config: EngineConfig) -> Self {
+        Self { config }
+    }
+
+    /// The uniform within-bucket baseline (Eq. 1 / Eq. 9) — what every
+    /// pre-existing privacy metric implicitly computes, and provably the
+    /// maxent solution when no background knowledge exists (Theorem 5).
+    pub fn uniform_estimate(table: &PublishedTable) -> Estimate {
+        let index = TermIndex::build(table);
+        let mut values = vec![0.0; index.len()];
+        fill_uniform(table, &index, (0..table.num_buckets()).collect::<Vec<_>>().as_slice(), &mut values);
+        Estimate::assemble(values, index, table, EngineStats::default())
+    }
+
+    /// Computes the maxent estimate of `P(Q, S, B)` under `kb`.
+    pub fn estimate(
+        &self,
+        table: &PublishedTable,
+        kb: &KnowledgeBase,
+    ) -> Result<Estimate, CoreError> {
+        if kb.has_individual_knowledge() {
+            return Err(CoreError::RequiresIndividualEngine);
+        }
+        let start = Instant::now();
+        let index = TermIndex::build(table);
+        let mut constraints = data_invariants(table, &index, self.config.concise_invariants);
+        let knowledge_rows = compile_knowledge(kb, table, &index)?;
+        constraints.extend(knowledge_rows);
+
+        let components: Vec<Component> = if self.config.decompose {
+            connected_components(&constraints, &index)
+        } else {
+            // One pseudo-component holding everything; knowledge rows all
+            // attach to it.
+            let knowledge: Vec<usize> = constraints
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| matches!(c.origin, ConstraintOrigin::Knowledge { .. }))
+                .map(|(i, _)| i)
+                .collect();
+            vec![Component {
+                buckets: (0..table.num_buckets()).collect(),
+                knowledge_rows: knowledge,
+            }]
+        };
+
+        // Pre-bucket invariant rows for fast per-component gathering.
+        let mut bucket_invariants: Vec<Vec<usize>> = vec![Vec::new(); table.num_buckets()];
+        for (i, c) in constraints.iter().enumerate() {
+            match c.origin {
+                ConstraintOrigin::QiInvariant { b, .. }
+                | ConstraintOrigin::SaInvariant { b, .. } => bucket_invariants[b].push(i),
+                ConstraintOrigin::Knowledge { .. } => {}
+            }
+        }
+
+        let mut values = vec![0.0; index.len()];
+        let mut stats = EngineStats {
+            num_components: components.len(),
+            ..Default::default()
+        };
+
+        for comp in &components {
+            if comp.is_irrelevant() && self.config.decompose {
+                stats.num_irrelevant += 1;
+                fill_uniform(table, &index, &comp.buckets, &mut values);
+                continue;
+            }
+            self.solve_component(
+                table,
+                &index,
+                &constraints,
+                &bucket_invariants,
+                comp,
+                &mut values,
+                &mut stats,
+            )?;
+        }
+
+        stats.total_elapsed = start.elapsed();
+        Ok(Estimate::assemble(values, index, table, stats))
+    }
+
+    /// Solves one component's maxent subproblem and scatters the result.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_component(
+        &self,
+        table: &PublishedTable,
+        index: &TermIndex,
+        constraints: &[Constraint],
+        bucket_invariants: &[Vec<usize>],
+        comp: &Component,
+        values: &mut [f64],
+        stats: &mut EngineStats,
+    ) -> Result<(), CoreError> {
+        let n = table.total_records() as f64;
+
+        // Local term space: concatenation of the component buckets' ranges.
+        let mut local_of = std::collections::HashMap::new();
+        let mut global_of = Vec::new();
+        for &b in &comp.buckets {
+            for t in index.bucket_range(b) {
+                local_of.insert(t, global_of.len());
+                global_of.push(t);
+            }
+        }
+
+        // Localised constraints, with count-space targets (× N).
+        let row_ids: Vec<usize> = comp
+            .buckets
+            .iter()
+            .flat_map(|&b| bucket_invariants[b].iter().copied())
+            .chain(comp.knowledge_rows.iter().copied())
+            .collect();
+        let local_constraints: Vec<Constraint> = row_ids
+            .iter()
+            .map(|&ci| {
+                let c = &constraints[ci];
+                Constraint {
+                    coeffs: c.coeffs.iter().map(|&(t, v)| (local_of[&t], v)).collect(),
+                    rhs: c.rhs * n,
+                    origin: c.origin.clone(),
+                }
+            })
+            .collect();
+
+        // Component record mass in counts (for GIS's slack target).
+        let comp_mass: f64 =
+            comp.buckets.iter().map(|&b| table.bucket(b).size() as f64).sum();
+
+        // Stage 1: direct solve.
+        let attempt = self.solve_constraints(&local_constraints, global_of.len(), comp_mass)?;
+        let (mut best_values, mut best_stats, mut best_residual, nc, nf) = attempt;
+        stats.num_constraints += nc;
+        stats.num_free_terms += nf;
+
+        // Stage 2 (active-set crossover): boundary optima — terms forced to
+        // zero only by *combinations* of constraints — make the exponential
+        // dual converge asymptotically. After the first solve, pin every
+        // numerically dead term to exact zero and re-solve the interior
+        // problem, which is then well-conditioned.
+        if best_residual > self.config.residual_limit
+            && self.config.solver == SolverKind::Lbfgs
+        {
+            const DEAD: f64 = 1e-6; // counts; genuine mass is ≥ O(1e-2)
+            const MAX_ROUNDS: usize = 5;
+            let mut pinned = local_constraints.to_vec();
+            let mut dead: Vec<bool> = vec![false; global_of.len()];
+            for _round in 0..MAX_ROUNDS {
+                let mut any = false;
+                for (t, &v) in best_values.iter().enumerate() {
+                    if !dead[t] && v > 0.0 && v < DEAD {
+                        dead[t] = true;
+                        pinned.push(Constraint {
+                            coeffs: vec![(t, 1.0)],
+                            rhs: 0.0,
+                            origin: ConstraintOrigin::Knowledge { index: usize::MAX },
+                        });
+                        any = true;
+                    }
+                }
+                if !any {
+                    break;
+                }
+                let r2 = self.solve_constraints(&pinned, global_of.len(), comp_mass);
+                if std::env::var("PM_DEBUG").is_ok() {
+                    match &r2 {
+                        Ok((_, _, res, nc, nf)) => eprintln!("crossover round: residual {res:.3e} nc={nc} nf={nf} (best {best_residual:.3e})"),
+                        Err(e) => eprintln!("crossover round failed: {e}"),
+                    }
+                }
+                let Ok((values2, stats2, residual2, _, _)) = r2
+                else {
+                    break; // over-pinned: keep the best solution so far
+                };
+                if residual2 < best_residual {
+                    best_values = values2;
+                    best_residual = residual2;
+                    if let Some(b) = stats2 {
+                        match &mut best_stats {
+                            Some(a) => {
+                                a.iterations += b.iterations;
+                                a.fn_evals += b.fn_evals;
+                                a.elapsed += b.elapsed;
+                                a.final_residual = b.final_residual;
+                                a.stop = b.stop;
+                            }
+                            None => best_stats = Some(b),
+                        }
+                    }
+                    if best_residual <= self.config.residual_limit {
+                        break;
+                    }
+                } else {
+                    break; // pinning stopped helping
+                }
+            }
+        }
+
+        if best_residual > self.config.residual_limit {
+            return Err(CoreError::SolverFailed { residual: best_residual });
+        }
+        if let Some(s) = best_stats {
+            stats.component_stats.push(s);
+        }
+
+        for (local, &global) in global_of.iter().enumerate() {
+            values[global] = best_values[local] / n;
+        }
+        Ok(())
+    }
+
+    /// Preprocesses and solves one constraint system (count space).
+    /// Returns the expanded local term values, the solver stats (None when
+    /// preprocessing fully determined the system), the final residual, and
+    /// the reduced system's size.
+    fn solve_constraints(
+        &self,
+        local_constraints: &[Constraint],
+        n_local: usize,
+        comp_mass: f64,
+    ) -> Result<(Vec<f64>, Option<SolveStats>, f64, usize, usize), CoreError> {
+        let reduced = preprocess(local_constraints, n_local)?;
+        let nc = reduced.rows.len();
+        let nf = reduced.num_free();
+        if nf == 0 {
+            return Ok((reduced.expand(&[]), None, 0.0, nc, 0));
+        }
+        let a = CsrMatrix::from_rows(nf, &reduced.rows);
+        let dual = MaxEntDual::new(a, reduced.rhs.clone());
+        let lambda0 = vec![0.0; dual.num_constraints()];
+        let (solution, primal) = match self.config.solver {
+            SolverKind::Lbfgs => {
+                let cfg = LbfgsConfig {
+                    tolerance: self.config.tolerance,
+                    max_iterations: self.config.max_iterations,
+                    ..Default::default()
+                };
+                let solver = Lbfgs::new(cfg);
+                let mut sol = solver.minimize(&dual, &lambda0);
+                // One warm restart (fresh curvature history) often recovers
+                // remaining digits cheaply before the crossover kicks in.
+                let mut p = dual.primal(&sol.x);
+                if dual.residual(&p) > self.config.residual_limit {
+                    let restart = solver.minimize(&dual, &sol.x);
+                    let iterations = sol.stats.iterations + restart.stats.iterations;
+                    let fn_evals = sol.stats.fn_evals + restart.stats.fn_evals;
+                    let elapsed = sol.stats.elapsed + restart.stats.elapsed;
+                    sol = restart;
+                    sol.stats.iterations = iterations;
+                    sol.stats.fn_evals = fn_evals;
+                    sol.stats.elapsed = elapsed;
+                    p = dual.primal(&sol.x);
+                }
+                (sol, p)
+            }
+            SolverKind::Iis => {
+                let cfg = ScalingConfig {
+                    tolerance: self.config.tolerance,
+                    max_iterations: self.config.max_iterations,
+                };
+                let sol = iis(&dual, &cfg);
+                let p = dual.primal(&sol.x);
+                (sol, p)
+            }
+            SolverKind::Gis => {
+                let cfg = ScalingConfig {
+                    tolerance: self.config.tolerance,
+                    max_iterations: self.config.max_iterations,
+                };
+                // Free mass = component record count − already-fixed mass.
+                let fixed_mass: f64 = reduced.fixed.iter().map(|&(_, v)| v).sum();
+                let (sol, p) = gis_with_primal(&dual, comp_mass - fixed_mass, &cfg);
+                (sol, p)
+            }
+            SolverKind::GradientDescent => {
+                let cfg = GradientDescentConfig {
+                    tolerance: self.config.tolerance,
+                    max_iterations: self.config.max_iterations,
+                    ..Default::default()
+                };
+                let sol = gradient_descent(&dual, &lambda0, &cfg);
+                let p = dual.primal(&sol.x);
+                (sol, p)
+            }
+        };
+        let residual = dual.residual(&primal);
+        Ok((reduced.expand(&primal), Some(solution.stats), residual, nc, nf))
+    }
+}
+
+/// Fills `values` with the Theorem-5 closed form for the given buckets:
+/// `P(q, s, b) = P(q, b) · (#s in b) / N_b`.
+fn fill_uniform(
+    table: &PublishedTable,
+    index: &TermIndex,
+    buckets: &[usize],
+    values: &mut [f64],
+) {
+    let n = table.total_records() as f64;
+    for &b in buckets {
+        let bucket = table.bucket(b);
+        let nb = bucket.size() as f64;
+        for &(q, qc) in bucket.qi_counts() {
+            for &(s, sc) in bucket.sa_counts() {
+                let t = index.get(q, s, b).expect("admissible by construction");
+                values[t] = (qc as f64 / n) * (sc as f64 / nb);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knowledge::Knowledge;
+    use pm_anonymize::fixtures::paper_example;
+
+    fn kb(items: Vec<Knowledge>) -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new();
+        for i in items {
+            kb.push(i).unwrap();
+        }
+        kb
+    }
+
+    /// Theorem 5 (consistency): with no knowledge, the maxent solve equals
+    /// the uniform closed form.
+    #[test]
+    fn no_knowledge_matches_uniform() {
+        let (_, table) = paper_example();
+        let uniform = Engine::uniform_estimate(&table);
+        for decompose in [true, false] {
+            let engine = Engine::new(EngineConfig { decompose, ..Default::default() });
+            let est = engine.estimate(&table, &KnowledgeBase::new()).unwrap();
+            for q in 0..est.distinct_qi() {
+                for s in 0..est.sa_cardinality() as u16 {
+                    assert!(
+                        (est.conditional(q, s) - uniform.conditional(q, s)).abs() < 1e-6,
+                        "decompose={decompose} q={q} s={s}: {} vs {}",
+                        est.conditional(q, s),
+                        uniform.conditional(q, s)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Section 3.1's worked inference: knowing P(s1|q2) = 0 and
+    /// P(s1 or s2 | q3) = 0 pins bucket 1 completely: q3 → s3, q2 → s2, and
+    /// the two q1 records split over {s1, s2}.
+    ///
+    /// Paper symbols → codes: s1 = breast cancer (2), s2 = flu (0),
+    /// s3 = pneumonia (1); q2 = {female, college}, q3 = {male, high school}.
+    #[test]
+    fn section31_zero_knowledge_inference() {
+        let (_, table) = paper_example();
+        let q1 = table.interner().lookup(&[0, 0]).unwrap();
+        let q2 = table.interner().lookup(&[1, 0]).unwrap();
+        let q3 = table.interner().lookup(&[0, 1]).unwrap();
+        let knowledge = kb(vec![
+            // P(s1 | q2) = 0: female-college never has breast cancer.
+            Knowledge::Conditional { antecedent: vec![(0, 1), (1, 0)], sa: 2, probability: 0.0 },
+            // P(s1 | q3) = 0 and P(s2 | q3) = 0.
+            Knowledge::Conditional { antecedent: vec![(0, 0), (1, 1)], sa: 2, probability: 0.0 },
+            Knowledge::Conditional { antecedent: vec![(0, 0), (1, 1)], sa: 0, probability: 0.0 },
+        ]);
+        let est = Engine::default().estimate(&table, &knowledge).unwrap();
+        // In bucket 1 (index 0): q3 must map to s3 = pneumonia (code 1).
+        // P(q3, pneumonia, b=0) = 1/10.
+        assert!((est.p_qsb(q3, 1, 0) - 0.1).abs() < 1e-6);
+        // q2 (Cathy) must map to s1 = breast cancer in bucket 1: the
+        // pneumonia is taken by q3 and flu×2 ... wait: bucket 1 SA multiset
+        // is {bc, flu, flu, pneu}; q2 cannot have bc? No: the knowledge says
+        // q2 (female college) has no *breast cancer* → q2 ∈ {flu, pneu};
+        // q3 has neither bc nor flu → q3 = pneu; so q2 = flu, and the two
+        // q1 records share {bc, flu}.
+        assert!(est.conditional(q2, 2) < 1e-6, "q2 cannot have breast cancer");
+        assert!((est.p_qsb(q2, 0, 0) - 0.1).abs() < 1e-6, "q2 → flu in bucket 1");
+        // The two q1 records hold {breast cancer, flu}: P(q1, bc, b0) = 1/10.
+        assert!((est.p_qsb(q1, 2, 0) - 0.1).abs() < 1e-6);
+    }
+
+    /// All solvers agree on the paper example with mid-strength knowledge.
+    #[test]
+    fn solvers_agree() {
+        let (_, table) = paper_example();
+        // P(flu | male) = 1/3 keeps the optimum strictly interior (1/2
+        // would hand all three flus to male records and force boundary
+        // zeros, which the iterative-scaling solvers cannot represent).
+        let knowledge = kb(vec![Knowledge::Conditional {
+            antecedent: vec![(0, 0)], // male
+            sa: 0,                    // flu
+            probability: 1.0 / 3.0,
+        }]);
+        let reference = Engine::default().estimate(&table, &knowledge).unwrap();
+        for solver in [SolverKind::Gis, SolverKind::Iis, SolverKind::GradientDescent] {
+            let engine = Engine::new(EngineConfig {
+                solver,
+                max_iterations: 200_000,
+                ..Default::default()
+            });
+            let est = engine.estimate(&table, &knowledge).unwrap();
+            for q in 0..est.distinct_qi() {
+                for s in 0..5u16 {
+                    assert!(
+                        (est.conditional(q, s) - reference.conditional(q, s)).abs() < 1e-4,
+                        "{solver:?} disagrees at q={q} s={s}: {} vs {}",
+                        est.conditional(q, s),
+                        reference.conditional(q, s),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Decomposed and joint solves agree in the presence of cross-bucket
+    /// knowledge (the Section 5.5 generalisation is exact).
+    #[test]
+    fn decomposition_is_exact() {
+        let (_, table) = paper_example();
+        let knowledge = kb(vec![Knowledge::Conditional {
+            antecedent: vec![(0, 0), (1, 1)], // q3
+            sa: 1,                            // pneumonia
+            probability: 0.5,
+        }]);
+        let joint = Engine::new(EngineConfig { decompose: false, ..Default::default() })
+            .estimate(&table, &knowledge)
+            .unwrap();
+        let split = Engine::new(EngineConfig { decompose: true, ..Default::default() })
+            .estimate(&table, &knowledge)
+            .unwrap();
+        assert_eq!(split.stats.num_irrelevant, 1, "bucket 3 is irrelevant");
+        for q in 0..joint.distinct_qi() {
+            for s in 0..5u16 {
+                assert!(
+                    (joint.conditional(q, s) - split.conditional(q, s)).abs() < 1e-6,
+                    "q={q} s={s}"
+                );
+            }
+        }
+    }
+
+    /// Knowledge constraints are actually satisfied by the estimate.
+    #[test]
+    fn knowledge_is_respected() {
+        let (_, table) = paper_example();
+        let knowledge = kb(vec![Knowledge::Conditional {
+            antecedent: vec![(0, 0)], // male
+            sa: 0,                    // flu
+            probability: 0.3,
+        }]);
+        let est = Engine::default().estimate(&table, &knowledge).unwrap();
+        // Σ_q∈male P(q)·P*(flu|q) should equal 0.3·P(male) = 0.18.
+        let mut total = 0.0;
+        for (q, tuple, _) in table.interner().iter() {
+            if tuple[0] == 0 {
+                total += est.qi_marginal(q) * est.conditional(q, 0);
+            }
+        }
+        assert!((total - 0.18).abs() < 1e-6, "P(flu, male) = {total}");
+    }
+
+    /// Estimates are proper conditional distributions.
+    #[test]
+    fn conditionals_are_distributions() {
+        let (_, table) = paper_example();
+        let knowledge = kb(vec![Knowledge::Conditional {
+            antecedent: vec![(1, 0)], // degree = college
+            sa: 3,                    // hiv
+            probability: 0.4,
+        }]);
+        let est = Engine::default().estimate(&table, &knowledge).unwrap();
+        for q in 0..est.distinct_qi() {
+            let sum: f64 = est.conditional_row(q).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6, "row {q} sums to {sum}");
+            assert!(est.conditional_row(q).iter().all(|&v| (0.0..=1.0 + 1e-9).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn individual_knowledge_rejected() {
+        let (_, table) = paper_example();
+        let knowledge = kb(vec![Knowledge::IndividualSa {
+            pseudonym: 0,
+            sa: 0,
+            probability: 0.2,
+        }]);
+        assert!(matches!(
+            Engine::default().estimate(&table, &knowledge),
+            Err(CoreError::RequiresIndividualEngine)
+        ));
+    }
+
+    #[test]
+    fn stats_reflect_structure() {
+        let (_, table) = paper_example();
+        let est = Engine::default().estimate(&table, &KnowledgeBase::new()).unwrap();
+        assert_eq!(est.stats.num_components, 3);
+        assert_eq!(est.stats.num_irrelevant, 3);
+        assert!(est.stats.component_stats.is_empty(), "nothing to solve");
+        assert_eq!(est.stats.total_iterations(), 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Errors of the Privacy-MaxEnt engine.
+
+use std::fmt;
+
+/// Errors raised while compiling or solving a Privacy-MaxEnt instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The constraint system is infeasible: preprocessing derived a
+    /// contradiction (e.g. a non-negative sum pinned to a negative value, or
+    /// an emptied constraint with non-zero residual target).
+    ///
+    /// Knowledge mined from the original data can never trigger this
+    /// (Section 4.2 — the true assignment is feasible); hand-written
+    /// knowledge can.
+    Infeasible {
+        /// Human-readable description of the contradiction.
+        detail: String,
+    },
+    /// A knowledge item references a QI tuple position, SA value, or
+    /// pseudonym outside the published table's domains.
+    InvalidKnowledge {
+        /// Description of the offending reference.
+        detail: String,
+    },
+    /// A probability parameter lies outside `[0, 1]`.
+    InvalidProbability(f64),
+    /// The solver failed to converge within its budget.
+    SolverFailed {
+        /// Final residual achieved.
+        residual: f64,
+    },
+    /// Knowledge about individuals was passed to the base engine; use
+    /// [`crate::individuals::IndividualEngine`] instead.
+    RequiresIndividualEngine,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Infeasible { detail } => write!(f, "infeasible constraint system: {detail}"),
+            Self::InvalidKnowledge { detail } => write!(f, "invalid knowledge: {detail}"),
+            Self::InvalidProbability(p) => write!(f, "probability {p} outside [0, 1]"),
+            Self::SolverFailed { residual } => {
+                write!(f, "solver failed to converge (residual {residual:.3e})")
+            }
+            Self::RequiresIndividualEngine => write!(
+                f,
+                "knowledge about individuals requires the pseudonym-expanded engine"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

@@ -1,0 +1,262 @@
+//! Inequality background knowledge (Section 4.5 — the paper's future work,
+//! implemented here as an extension).
+//!
+//! Vague knowledge like `0.3 − ε ≤ P(s | Qv) ≤ 0.3 + ε` becomes a *box*
+//! constraint `lo ≤ Σ terms ≤ hi`. Following Kazama & Tsujii's inequality
+//! maxent, the Lagrangian gains two non-negative multipliers per box:
+//!
+//! ```text
+//! p_i(λ, μ⁺, μ⁻) = exp( aᵢᵀλ + gᵢᵀ(μ⁻ − μ⁺) − 1 )
+//! dual(λ, μ)     = Σ p_i − cᵀλ − loᵀμ⁻ + hiᵀμ⁺,   μ⁺, μ⁻ ≥ 0
+//! ```
+//!
+//! which we minimise by projected gradient descent with backtracking (the
+//! equality multipliers stay free; the inequality multipliers are clamped
+//! at zero, encoding complementary slackness).
+
+use pm_linalg::CsrMatrix;
+
+use crate::error::CoreError;
+
+/// A box constraint `lo ≤ Σ coef·p ≤ hi` over term indices.
+#[derive(Debug, Clone)]
+pub struct BoxConstraint {
+    /// `(term, coefficient)` pairs (non-negative coefficients).
+    pub coeffs: Vec<(usize, f64)>,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+/// Configuration of the projected solver.
+#[derive(Debug, Clone)]
+pub struct InequalityConfig {
+    /// Step size for projected gradient descent.
+    pub step: f64,
+    /// Convergence tolerance on the projected-gradient norm.
+    pub tolerance: f64,
+    /// Iteration budget.
+    pub max_iterations: usize,
+}
+
+impl Default for InequalityConfig {
+    fn default() -> Self {
+        Self { step: 0.5, tolerance: 1e-8, max_iterations: 200_000 }
+    }
+}
+
+/// Result of an inequality-constrained maxent solve.
+#[derive(Debug, Clone)]
+pub struct InequalitySolution {
+    /// Primal term values.
+    pub p: Vec<f64>,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Final max violation of equality constraints and boxes.
+    pub violation: f64,
+}
+
+/// Solves `max H(p)` s.t. `A p = c` and the given boxes, over `n` terms.
+pub fn solve_with_boxes(
+    equalities: &CsrMatrix,
+    targets: &[f64],
+    boxes: &[BoxConstraint],
+    n_terms: usize,
+    cfg: &InequalityConfig,
+) -> Result<InequalitySolution, CoreError> {
+    for b in boxes {
+        if b.lo > b.hi {
+            return Err(CoreError::InvalidKnowledge {
+                detail: format!("empty box [{}, {}]", b.lo, b.hi),
+            });
+        }
+    }
+    let w = equalities.nrows();
+    let k = boxes.len();
+    let g = CsrMatrix::from_rows(
+        n_terms,
+        &boxes
+            .iter()
+            .map(|b| b.coeffs.clone())
+            .collect::<Vec<_>>(),
+    );
+
+    // Dual variables: equality multipliers free; box multipliers ≥ 0.
+    let mut lambda = vec![0.0; w];
+    let mut mu_plus = vec![0.0; k];
+    let mut mu_minus = vec![0.0; k];
+
+    let mut exponent = vec![0.0; n_terms];
+    let mut scratch = vec![0.0; n_terms];
+
+    // Dual value and primal at a dual point.
+    let eval = |lambda: &[f64],
+                mu_plus: &[f64],
+                mu_minus: &[f64],
+                exponent: &mut Vec<f64>,
+                scratch: &mut Vec<f64>|
+     -> (f64, Vec<f64>, Vec<f64>, Vec<f64>) {
+        equalities.matvec_transpose(lambda, exponent);
+        let diff: Vec<f64> = mu_minus.iter().zip(mu_plus).map(|(a, b)| a - b).collect();
+        g.matvec_transpose(&diff, scratch);
+        let p: Vec<f64> = (0..n_terms)
+            .map(|i| (exponent[i] + scratch[i] - 1.0).exp())
+            .collect();
+        let mut ap = vec![0.0; w];
+        equalities.matvec(&p, &mut ap);
+        let mut gp = vec![0.0; k];
+        g.matvec(&p, &mut gp);
+        let mut value: f64 = p.iter().sum();
+        for j in 0..w {
+            value -= targets[j] * lambda[j];
+        }
+        for j in 0..k {
+            value -= boxes[j].lo * mu_minus[j];
+            value += boxes[j].hi * mu_plus[j];
+        }
+        (value, p, ap, gp)
+    };
+
+    let kkt_violation = |mu_plus: &[f64], mu_minus: &[f64], ap: &[f64], gp: &[f64]| -> f64 {
+        let mut v = 0.0f64;
+        for j in 0..w {
+            v = v.max((ap[j] - targets[j]).abs());
+        }
+        for j in 0..k {
+            v = v.max((gp[j] - boxes[j].hi).max(0.0));
+            v = v.max((boxes[j].lo - gp[j]).max(0.0));
+            if mu_minus[j] > 0.0 {
+                v = v.max((gp[j] - boxes[j].lo).abs());
+            }
+            if mu_plus[j] > 0.0 {
+                v = v.max((boxes[j].hi - gp[j]).abs());
+            }
+        }
+        v
+    };
+
+    let (mut value, mut _p, mut ap, mut gp) =
+        eval(&lambda, &mu_plus, &mu_minus, &mut exponent, &mut scratch);
+    let mut iterations = 0;
+    let mut step = cfg.step;
+
+    for iter in 0..cfg.max_iterations {
+        iterations = iter + 1;
+        let violation = kkt_violation(&mu_plus, &mu_minus, &ap, &gp);
+        if violation <= cfg.tolerance {
+            return Ok(InequalitySolution { p: _p, iterations, violation });
+        }
+
+        // Projected-gradient trial with Armijo backtracking on the dual,
+        // Jacobi-preconditioned: the dual Hessian's diagonal entry for a
+        // multiplier is Σ coef²·pᵢ over its row ≈ the row's current mass,
+        // so dividing each gradient coordinate by that mass equalises the
+        // landscape across constraints of very different magnitudes.
+        // Gradients: ∂λ = Ap − c; ∂μ⁻ = Gp − lo; ∂μ⁺ = hi − Gp.
+        let precond = |mass: f64| 1.0 / mass.abs().max(1e-3);
+        let grad_lambda: Vec<f64> = (0..w)
+            .map(|j| (ap[j] - targets[j]) * precond(targets[j].max(ap[j])))
+            .collect();
+        let grad_minus: Vec<f64> = (0..k)
+            .map(|j| (gp[j] - boxes[j].lo) * precond(gp[j]))
+            .collect();
+        let grad_plus: Vec<f64> = (0..k)
+            .map(|j| (boxes[j].hi - gp[j]) * precond(gp[j]))
+            .collect();
+        let mut accepted = false;
+        for _ in 0..40 {
+            let trial_lambda: Vec<f64> =
+                (0..w).map(|j| lambda[j] - step * grad_lambda[j]).collect();
+            let trial_minus: Vec<f64> =
+                (0..k).map(|j| (mu_minus[j] - step * grad_minus[j]).max(0.0)).collect();
+            let trial_plus: Vec<f64> =
+                (0..k).map(|j| (mu_plus[j] - step * grad_plus[j]).max(0.0)).collect();
+            let (tv, tp, tap, tgp) =
+                eval(&trial_lambda, &trial_plus, &trial_minus, &mut exponent, &mut scratch);
+            if tv.is_finite() && tv < value {
+                lambda = trial_lambda;
+                mu_minus = trial_minus;
+                mu_plus = trial_plus;
+                value = tv;
+                _p = tp;
+                ap = tap;
+                gp = tgp;
+                accepted = true;
+                // Gentle step growth after success keeps progress fast.
+                step = (step * 1.25).min(cfg.step.max(1.0));
+                break;
+            }
+            step *= 0.5;
+        }
+        if !accepted {
+            break; // step collapsed: at numerical precision
+        }
+    }
+    let violation = kkt_violation(&mu_plus, &mu_minus, &ap, &gp);
+    Ok(InequalitySolution { p: _p, iterations, violation })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three terms summing to 1, with p0 boxed into [0.5, 0.6]: the box
+    /// binds at 0.5 (uniform pull) and the rest splits evenly.
+    #[test]
+    fn binding_lower_box() {
+        let a = CsrMatrix::from_rows(3, &[vec![(0, 1.0), (1, 1.0), (2, 1.0)]]);
+        let boxes = vec![BoxConstraint { coeffs: vec![(0, 1.0)], lo: 0.5, hi: 0.6 }];
+        let sol = solve_with_boxes(&a, &[1.0], &boxes, 3, &InequalityConfig::default()).unwrap();
+        assert!(sol.violation < 1e-6, "violation {}", sol.violation);
+        assert!((sol.p[0] - 0.5).abs() < 1e-4, "{:?}", sol.p);
+        assert!((sol.p[1] - 0.25).abs() < 1e-4);
+        assert!((sol.p[2] - 0.25).abs() < 1e-4);
+    }
+
+    /// A box that already contains the unconstrained optimum is inactive.
+    #[test]
+    fn slack_box_is_inactive() {
+        let a = CsrMatrix::from_rows(3, &[vec![(0, 1.0), (1, 1.0), (2, 1.0)]]);
+        let boxes = vec![BoxConstraint { coeffs: vec![(0, 1.0)], lo: 0.1, hi: 0.9 }];
+        let sol = solve_with_boxes(&a, &[1.0], &boxes, 3, &InequalityConfig::default()).unwrap();
+        for v in &sol.p {
+            assert!((v - 1.0 / 3.0).abs() < 1e-4, "{:?}", sol.p);
+        }
+    }
+
+    /// Binding upper box.
+    #[test]
+    fn binding_upper_box() {
+        let a = CsrMatrix::from_rows(4, &[vec![(0, 1.0), (1, 1.0), (2, 1.0), (3, 1.0)]]);
+        // p0 + p1 ≤ 0.2 forces the pair down from the uniform 0.5.
+        let boxes =
+            vec![BoxConstraint { coeffs: vec![(0, 1.0), (1, 1.0)], lo: 0.0, hi: 0.2 }];
+        let sol = solve_with_boxes(&a, &[1.0], &boxes, 4, &InequalityConfig::default()).unwrap();
+        assert!(sol.p[0] + sol.p[1] <= 0.2 + 1e-4);
+        assert!((sol.p[0] - 0.1).abs() < 1e-4);
+        assert!((sol.p[2] - 0.4).abs() < 1e-4);
+    }
+
+    #[test]
+    fn empty_box_rejected() {
+        let a = CsrMatrix::from_rows(1, &[vec![(0, 1.0)]]);
+        let boxes = vec![BoxConstraint { coeffs: vec![(0, 1.0)], lo: 0.9, hi: 0.1 }];
+        assert!(matches!(
+            solve_with_boxes(&a, &[1.0], &boxes, 1, &InequalityConfig::default()),
+            Err(CoreError::InvalidKnowledge { .. })
+        ));
+    }
+
+    /// Vagueness (ε-box around a point) reproduces the equality solution as
+    /// ε → 0.
+    #[test]
+    fn epsilon_box_approximates_equality() {
+        let a = CsrMatrix::from_rows(3, &[vec![(0, 1.0), (1, 1.0), (2, 1.0)]]);
+        let eps = 1e-4;
+        let boxes =
+            vec![BoxConstraint { coeffs: vec![(0, 1.0)], lo: 0.5 - eps, hi: 0.5 + eps }];
+        let sol = solve_with_boxes(&a, &[1.0], &boxes, 3, &InequalityConfig::default()).unwrap();
+        assert!((sol.p[0] - 0.5).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,47 @@
+//! # privacy-maxent
+//!
+//! A from-scratch reproduction of **"Privacy-MaxEnt: Integrating Background
+//! Knowledge in Privacy Quantification"** (Du, Teng & Zhu, SIGMOD 2008).
+//!
+//! Privacy-MaxEnt derives the adversary's least-biased estimate of
+//! `P(SA | QI)` for a bucketized publication `D'` under arbitrary linear
+//! background knowledge, by maximising the entropy of the joint distribution
+//! `P(Q, S, B)` subject to two constraint sources:
+//!
+//! 1. **Invariants of `D'`** ([`invariants`]) — the QI-, SA- and
+//!    Zero-invariant equations of Section 5, proved sound (Thm. 1), complete
+//!    (Thm. 2) and concise (Thm. 3). Zero-invariants are enforced
+//!    structurally by excluding inadmissible `(q, s, b)` terms from the
+//!    [`terms::TermIndex`].
+//! 2. **Background knowledge** ([`knowledge`]) — conditional probabilities
+//!    `P(s | Qv) = c` (typically Top-(K+, K−) association rules), compiled
+//!    into ME constraints by [`compile`]; knowledge about individuals
+//!    (Section 6) is handled by the pseudonym-expanded [`individuals`]
+//!    engine.
+//!
+//! The [`engine::Engine`] preprocesses the system (eliminating zero-forced
+//! and pinned terms — the exponential dual cannot represent exact zeros),
+//! splits it into bucket connected components ([`partition`]; irrelevant
+//! buckets get the closed-form uniform solution of Theorem 5), solves each
+//! component's maxent dual with `pm-solver`, and exposes `P(S | Q)` plus the
+//! paper's evaluation metric ([`metrics::estimation_accuracy`]).
+
+pub mod compile;
+pub mod constraint;
+pub mod engine;
+pub mod error;
+pub mod individuals;
+pub mod inequality;
+pub mod invariants;
+pub mod knowledge;
+pub mod metrics;
+pub mod partition;
+pub mod preprocess;
+pub mod ranges;
+pub mod report;
+pub mod terms;
+pub mod validate;
+
+pub use engine::{Engine, EngineConfig, Estimate};
+pub use error::CoreError;
+pub use knowledge::{Knowledge, KnowledgeBase};

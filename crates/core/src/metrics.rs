@@ -1,0 +1,204 @@
+//! Privacy quantification metrics (Section 7.1).
+//!
+//! The paper's evaluation metric is **Estimation Accuracy**: a weighted
+//! Kullback–Leibler distance between the true conditional `P(s | q)`
+//! (computed from the original data) and the maxent estimate `P*(s | q)`:
+//!
+//! ```text
+//! Accuracy = Σ_q P(q) · Σ_s P(s|q) · log( P(s|q) / P*(s|q) )
+//! ```
+//!
+//! Lower values mean the adversary's estimate is closer to the truth — i.e.
+//! *worse* privacy. The module also provides the downstream privacy scores
+//! the paper positions `P(SA | QI)` as the building block for: maximum
+//! disclosure, effective ℓ-diversity, and minimum conditional entropy.
+
+use pm_microdata::distribution::QiSaDistribution;
+use pm_microdata::value::Value;
+
+use crate::engine::Estimate;
+
+/// Floor applied to estimated probabilities inside the logarithm, guarding
+/// against `log(x/0)` when the estimate assigns (numerically) zero mass to
+/// an outcome the original data contains. For knowledge mined from the
+/// original data this cannot happen structurally; the guard covers
+/// hand-written near-inconsistent knowledge.
+const P_FLOOR: f64 = 1e-12;
+
+/// The paper's Estimation Accuracy (weighted KL distance, natural log).
+///
+/// `truth` must be built from the same dataset the published table came
+/// from, so that both sides share the QI interner's symbol ids.
+///
+/// # Panics
+/// Panics if the two sides disagree on the number of QI symbols or SA
+/// values (a sign they were built from different datasets).
+pub fn estimation_accuracy(truth: &QiSaDistribution, estimate: &Estimate) -> f64 {
+    assert_eq!(
+        truth.interner().distinct(),
+        estimate.distinct_qi(),
+        "truth and estimate must come from the same dataset"
+    );
+    assert_eq!(truth.sa_cardinality(), estimate.sa_cardinality());
+    let mut acc = 0.0;
+    for q in 0..truth.interner().distinct() {
+        let pq = truth.interner().probability(q);
+        if pq == 0.0 {
+            continue;
+        }
+        let mut kl = 0.0;
+        for s in 0..truth.sa_cardinality() {
+            let p = truth.conditional(q, s as Value);
+            if p <= 0.0 {
+                continue;
+            }
+            let pstar = estimate.conditional(q, s as Value).max(P_FLOOR);
+            kl += p * (p / pstar).ln();
+        }
+        acc += pq * kl;
+    }
+    acc.max(0.0)
+}
+
+/// Maximum disclosure: `max_{q,s} P*(s | q)` — the worst-case linking
+/// confidence an adversary attains. `1.0` means some individual's SA value
+/// is fully disclosed.
+pub fn max_disclosure(estimate: &Estimate) -> f64 {
+    let mut worst: f64 = 0.0;
+    for q in 0..estimate.distinct_qi() {
+        for &v in estimate.conditional_row(q) {
+            worst = worst.max(v);
+        }
+    }
+    worst
+}
+
+/// The QI symbol attaining [`max_disclosure`], with its best SA guess.
+pub fn most_exposed(estimate: &Estimate) -> Option<(usize, Value, f64)> {
+    let mut best: Option<(usize, Value, f64)> = None;
+    for q in 0..estimate.distinct_qi() {
+        for (s, &v) in estimate.conditional_row(q).iter().enumerate() {
+            if best.map(|(_, _, bv)| v > bv).unwrap_or(true) {
+                best = Some((q, s as Value, v));
+            }
+        }
+    }
+    best
+}
+
+/// Effective ℓ-diversity of the estimate: `1 / max_disclosure`, the paper's
+/// probabilistic reading of ℓ-diversity ("each QI can be linked to at least
+/// ℓ equally-likely values" ⇒ every `P(s|q) ≤ 1/ℓ`).
+pub fn effective_l_diversity(estimate: &Estimate) -> f64 {
+    let d = max_disclosure(estimate);
+    if d <= 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / d
+    }
+}
+
+/// Minimum conditional entropy over QI symbols, in nats:
+/// `min_q H(S | Q = q)`. Zero means some q's SA value is certain.
+pub fn min_conditional_entropy(estimate: &Estimate) -> f64 {
+    let mut min = f64::INFINITY;
+    for q in 0..estimate.distinct_qi() {
+        let h: f64 = estimate
+            .conditional_row(q)
+            .iter()
+            .map(|&p| if p > 0.0 { -p * p.ln() } else { 0.0 })
+            .sum();
+        min = min.min(h);
+    }
+    if min.is_finite() {
+        min
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::knowledge::{Knowledge, KnowledgeBase};
+    use pm_anonymize::fixtures::paper_example;
+
+    fn truth_and_table() -> (QiSaDistribution, pm_anonymize::published::PublishedTable) {
+        let (data, table) = paper_example();
+        (QiSaDistribution::from_dataset(&data).unwrap(), table)
+    }
+
+    #[test]
+    fn accuracy_zero_when_estimate_equals_truth() {
+        let (truth, table) = truth_and_table();
+        // Pin every P(s|q) to its true value via full-QI knowledge: the
+        // estimate must then reproduce the truth and KL must vanish.
+        let mut kb = KnowledgeBase::new();
+        for (q, tuple, _) in table.interner().iter() {
+            for s in 0..truth.sa_cardinality() as u16 {
+                let p = truth.conditional(q, s);
+                kb.push(Knowledge::Conditional {
+                    antecedent: vec![(0, tuple[0]), (1, tuple[1])],
+                    sa: s,
+                    probability: p,
+                })
+                .unwrap();
+            }
+        }
+        let est = Engine::default().estimate(&table, &kb).unwrap();
+        let acc = estimation_accuracy(&truth, &est);
+        assert!(acc < 1e-9, "accuracy {acc}");
+        assert!((max_disclosure(&est) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accuracy_decreases_with_knowledge() {
+        let (truth, table) = truth_and_table();
+        let baseline = estimation_accuracy(&truth, &Engine::uniform_estimate(&table));
+        // Add one true piece of knowledge: P(breast cancer | male) = 0.
+        let mut kb = KnowledgeBase::new();
+        kb.push(Knowledge::Conditional { antecedent: vec![(0, 0)], sa: 2, probability: 0.0 })
+            .unwrap();
+        let est = Engine::default().estimate(&table, &kb).unwrap();
+        let with_knowledge = estimation_accuracy(&truth, &est);
+        assert!(
+            with_knowledge < baseline,
+            "knowledge must reduce KL: {with_knowledge} vs {baseline}"
+        );
+    }
+
+    #[test]
+    fn disclosure_metrics_on_uniform_baseline() {
+        let (_, table) = truth_and_table();
+        let est = Engine::uniform_estimate(&table);
+        let d = max_disclosure(&est);
+        // Marginalising over buckets: q2 = {female, college} sits in bucket
+        // 1 (flu share 2/4) and bucket 3 (share 1/3), so P(flu | q2) =
+        // (0.1·0.5/0.1 … ) = (1/10·1/2 + 1/10·1/3)/(2/10) = 5/12, the
+        // table-wide maximum (q3 reaches the same value on pneumonia).
+        assert!((d - 5.0 / 12.0).abs() < 1e-9, "disclosure {d}");
+        assert!((effective_l_diversity(&est) - 12.0 / 5.0).abs() < 1e-9);
+        let (_, s, v) = most_exposed(&est).unwrap();
+        assert_eq!(s, 0, "flu is the most exposed value");
+        assert!((v - d).abs() < 1e-12);
+        assert!(min_conditional_entropy(&est) > 0.0);
+    }
+
+    #[test]
+    fn certainty_collapses_entropy() {
+        let (_, table) = truth_and_table();
+        let mut kb = KnowledgeBase::new();
+        // q4 = {female, junior} (Grace) is alone in bucket 2 with
+        // {bc, pneu, hiv}; pin her to breast cancer.
+        kb.push(Knowledge::Conditional {
+            antecedent: vec![(0, 1), (1, 2)],
+            sa: 2,
+            probability: 1.0,
+        })
+        .unwrap();
+        let est = Engine::default().estimate(&table, &kb).unwrap();
+        assert!((max_disclosure(&est) - 1.0).abs() < 1e-6);
+        assert!(min_conditional_entropy(&est) < 1e-6);
+    }
+}

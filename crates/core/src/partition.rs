@@ -1,0 +1,171 @@
+//! Bucket partitioning for the Section 5.5 optimisation.
+//!
+//! Lemma 2: with no background knowledge, buckets are independent, so the
+//! global maximum entropy is the product of per-bucket maxima (Theorem 4).
+//! Knowledge constraints couple the buckets they touch; buckets untouched by
+//! any knowledge row are **irrelevant** (Definition 5.6) and keep their
+//! closed-form uniform solution (Theorem 5 / Proposition 1).
+//!
+//! This module generalises the paper's irrelevant/relevant split to full
+//! **connected components**: buckets linked (transitively) by shared
+//! knowledge constraints form one component; distinct components are
+//! independent maxent problems and can be solved separately with the exact
+//! same optimum. A singleton component with no knowledge is precisely an
+//! irrelevant bucket.
+
+use crate::constraint::{Constraint, ConstraintOrigin};
+use crate::terms::TermIndex;
+
+/// Union-find over bucket indices.
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self { parent: (0..n).collect() }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// One independent subproblem.
+#[derive(Debug, Clone)]
+pub struct Component {
+    /// Buckets of this component, ascending.
+    pub buckets: Vec<usize>,
+    /// Indices (into the full constraint list) of knowledge rows touching
+    /// this component. Empty ⇔ every bucket here is irrelevant.
+    pub knowledge_rows: Vec<usize>,
+}
+
+impl Component {
+    /// Whether the component is untouched by background knowledge.
+    pub fn is_irrelevant(&self) -> bool {
+        self.knowledge_rows.is_empty()
+    }
+}
+
+/// Groups buckets into connected components induced by the knowledge rows
+/// of `constraints` (invariant rows are single-bucket and never join
+/// components).
+pub fn connected_components(
+    constraints: &[Constraint],
+    index: &TermIndex,
+) -> Vec<Component> {
+    let m = index.num_buckets();
+    let mut uf = UnionFind::new(m);
+    for c in constraints {
+        if !matches!(c.origin, ConstraintOrigin::Knowledge { .. }) {
+            continue;
+        }
+        let mut first: Option<usize> = None;
+        for &(t, _) in &c.coeffs {
+            let b = index.term(t).b;
+            match first {
+                None => first = Some(b),
+                Some(f) => uf.union(f, b),
+            }
+        }
+    }
+
+    // Gather buckets per root.
+    let mut root_of = vec![0usize; m];
+    for b in 0..m {
+        root_of[b] = uf.find(b);
+    }
+    let mut comp_id = vec![usize::MAX; m];
+    let mut components: Vec<Component> = Vec::new();
+    for b in 0..m {
+        let r = root_of[b];
+        if comp_id[r] == usize::MAX {
+            comp_id[r] = components.len();
+            components.push(Component { buckets: Vec::new(), knowledge_rows: Vec::new() });
+        }
+        components[comp_id[r]].buckets.push(b);
+    }
+    // Attach knowledge rows to their component.
+    for (ci, c) in constraints.iter().enumerate() {
+        if !matches!(c.origin, ConstraintOrigin::Knowledge { .. }) {
+            continue;
+        }
+        if let Some(&(t, _)) = c.coeffs.first() {
+            let b = index.term(t).b;
+            let comp = comp_id[root_of[b]];
+            components[comp].knowledge_rows.push(ci);
+        }
+        // Knowledge rows with no terms (possible after a degenerate compile)
+        // constrain nothing and belong to no component.
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_conditional;
+    use crate::invariants::data_invariants;
+    use pm_anonymize::fixtures::paper_example;
+
+    #[test]
+    fn no_knowledge_gives_singletons() {
+        let (_, table) = paper_example();
+        let index = TermIndex::build(&table);
+        let inv = data_invariants(&table, &index, true);
+        let comps = connected_components(&inv, &index);
+        assert_eq!(comps.len(), 3);
+        assert!(comps.iter().all(Component::is_irrelevant));
+        let mut all: Vec<usize> = comps.iter().flat_map(|c| c.buckets.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn cross_bucket_knowledge_merges() {
+        // Section 5.5's example knowledge P(s3 | q3) = 0.5 touches buckets
+        // 1 and 2 (indices 0, 1); bucket 3 stays irrelevant.
+        let (_, table) = paper_example();
+        let index = TermIndex::build(&table);
+        let mut cs = data_invariants(&table, &index, true);
+        cs.push(compile_conditional(&[(0, 0), (1, 1)], 1, 0.5, 0, &table, &index).unwrap());
+        let comps = connected_components(&cs, &index);
+        assert_eq!(comps.len(), 2);
+        let merged = comps.iter().find(|c| c.buckets.len() == 2).unwrap();
+        assert_eq!(merged.buckets, vec![0, 1]);
+        assert_eq!(merged.knowledge_rows.len(), 1);
+        let single = comps.iter().find(|c| c.buckets.len() == 1).unwrap();
+        assert!(single.is_irrelevant());
+        assert_eq!(single.buckets, vec![2]);
+    }
+
+    #[test]
+    fn union_find_path_compression() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(3, 4);
+        assert_eq!(uf.find(0), uf.find(2));
+        assert_eq!(uf.find(3), uf.find(4));
+        assert_ne!(uf.find(0), uf.find(3));
+    }
+}

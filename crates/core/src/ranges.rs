@@ -1,0 +1,247 @@
+//! Vague (inequality) background knowledge — Section 4.5.
+//!
+//! "Equations cannot express the fact that `P(s1 | q1)` is *about* 0.3" —
+//! the paper proposes `0.3 − ε ≤ P(s1 | q1) ≤ 0.3 + ε` and defers the
+//! extended (Kazama–Tsujii) maxent model to future work. This module
+//! implements it: range statements compile to box constraints and
+//! [`estimate_with_ranges`] solves the box-constrained maxent program with
+//! the projected dual solver from [`crate::inequality`].
+
+use pm_anonymize::published::PublishedTable;
+use pm_linalg::CsrMatrix;
+use pm_microdata::value::Value;
+
+use crate::compile::{compile_conditional, compile_knowledge};
+use crate::engine::{EngineStats, Estimate};
+use crate::error::CoreError;
+use crate::inequality::{solve_with_boxes, BoxConstraint, InequalityConfig};
+use crate::invariants::data_invariants;
+use crate::knowledge::KnowledgeBase;
+use crate::terms::TermIndex;
+
+/// A vague conditional statement `lo ≤ P(sa | Qv) ≤ hi`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeKnowledge {
+    /// `(position within QI tuple, value)` pairs, as in
+    /// [`crate::knowledge::Knowledge::Conditional`].
+    pub antecedent: Vec<(usize, Value)>,
+    /// The SA value.
+    pub sa: Value,
+    /// Lower bound on the conditional probability.
+    pub lo: f64,
+    /// Upper bound on the conditional probability.
+    pub hi: f64,
+}
+
+impl RangeKnowledge {
+    /// A symmetric ε-box around a point estimate — the paper's vagueness
+    /// notation `P(s|Qv) ≈ p ± ε`.
+    pub fn about(antecedent: Vec<(usize, Value)>, sa: Value, p: f64, epsilon: f64) -> Self {
+        Self {
+            antecedent,
+            sa,
+            lo: (p - epsilon).max(0.0),
+            hi: (p + epsilon).min(1.0),
+        }
+    }
+
+    /// Validates the box.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if !(0.0..=1.0).contains(&self.lo) || !(0.0..=1.0).contains(&self.hi) {
+            return Err(CoreError::InvalidProbability(self.lo.min(self.hi)));
+        }
+        if self.lo > self.hi {
+            return Err(CoreError::InvalidKnowledge {
+                detail: format!("empty probability box [{}, {}]", self.lo, self.hi),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Estimates `P(Q, S, B)` under equality knowledge `kb` **and** vague range
+/// knowledge, via the inequality-extended maxent model.
+///
+/// Restrictions of this path (documented, matching its future-work status
+/// in the paper): no bucket decomposition, and equality knowledge with
+/// probability 0 must instead be phrased as a `[0, ε]` range (the projected
+/// exponential dual cannot represent exact zeros).
+pub fn estimate_with_ranges(
+    table: &PublishedTable,
+    kb: &KnowledgeBase,
+    ranges: &[RangeKnowledge],
+    config: &InequalityConfig,
+) -> Result<Estimate, CoreError> {
+    let start = std::time::Instant::now();
+    let index = TermIndex::build(table);
+    let n = table.total_records() as f64;
+
+    // Equality constraints: invariants + point knowledge, count space.
+    let mut constraints = data_invariants(table, &index, true);
+    let knowledge_rows = compile_knowledge(kb, table, &index)?;
+    for c in &knowledge_rows {
+        if c.rhs == 0.0 {
+            return Err(CoreError::InvalidKnowledge {
+                detail: "zero-probability equality knowledge is not supported on the \
+                         inequality path; use a [0, eps] range instead"
+                    .into(),
+            });
+        }
+    }
+    constraints.extend(knowledge_rows);
+    let rows: Vec<Vec<(usize, f64)>> = constraints.iter().map(|c| c.coeffs.clone()).collect();
+    let targets: Vec<f64> = constraints.iter().map(|c| c.rhs * n).collect();
+    let equalities = CsrMatrix::from_rows(index.len(), &rows);
+
+    // Boxes: compile each range's term set once (reusing the equality
+    // compiler on a dummy probability, then re-targeting).
+    let mut boxes = Vec::with_capacity(ranges.len());
+    for (i, r) in ranges.iter().enumerate() {
+        r.validate()?;
+        let compiled = compile_conditional(&r.antecedent, r.sa, 0.5, i, table, &index)?;
+        // compile gave rhs = 0.5 · P(Qv); recover P(Qv) to scale the box.
+        let p_qv_counts = compiled.rhs * n / 0.5;
+        boxes.push(BoxConstraint {
+            coeffs: compiled.coeffs,
+            lo: r.lo * p_qv_counts,
+            hi: r.hi * p_qv_counts,
+        });
+    }
+
+    let sol = solve_with_boxes(&equalities, &targets, &boxes, index.len(), config)?;
+    if sol.violation > 1e-3 {
+        return Err(CoreError::SolverFailed { residual: sol.violation });
+    }
+    let values: Vec<f64> = sol.p.iter().map(|v| v / n).collect();
+    let stats = EngineStats {
+        num_components: 1,
+        num_constraints: constraints.len() + boxes.len(),
+        num_free_terms: index.len(),
+        total_elapsed: start.elapsed(),
+        ..Default::default()
+    };
+    Ok(Estimate::assemble(values, index, table, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::knowledge::Knowledge;
+    use pm_anonymize::fixtures::paper_example;
+
+    #[test]
+    fn epsilon_box_reproduces_equality_solution() {
+        let (_, table) = paper_example();
+        // Equality engine: P(flu | male) = 0.4.
+        let mut kb = KnowledgeBase::new();
+        kb.push(Knowledge::Conditional { antecedent: vec![(0, 0)], sa: 0, probability: 0.4 })
+            .unwrap();
+        let exact = Engine::default().estimate(&table, &kb).unwrap();
+        // Range engine: P(flu | male) ∈ [0.4 ± 1e-4].
+        let ranges =
+            vec![RangeKnowledge::about(vec![(0, 0)], 0, 0.4, 1e-4)];
+        let est = estimate_with_ranges(
+            &table,
+            &KnowledgeBase::new(),
+            &ranges,
+            &InequalityConfig::default(),
+        )
+        .unwrap();
+        for q in 0..est.distinct_qi() {
+            for s in 0..5u16 {
+                assert!(
+                    (est.conditional(q, s) - exact.conditional(q, s)).abs() < 5e-3,
+                    "q={q} s={s}: {} vs {}",
+                    est.conditional(q, s),
+                    exact.conditional(q, s)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wide_box_is_inactive() {
+        let (_, table) = paper_example();
+        let uniform = Engine::uniform_estimate(&table);
+        // The uniform value of P(flu | male-college …) lies inside [0, 1),
+        // so a wide box changes nothing.
+        let ranges = vec![RangeKnowledge {
+            antecedent: vec![(0, 0)],
+            sa: 0,
+            lo: 0.0,
+            hi: 0.99,
+        }];
+        let est = estimate_with_ranges(
+            &table,
+            &KnowledgeBase::new(),
+            &ranges,
+            &InequalityConfig::default(),
+        )
+        .unwrap();
+        for q in 0..est.distinct_qi() {
+            for s in 0..5u16 {
+                assert!(
+                    (est.conditional(q, s) - uniform.conditional(q, s)).abs() < 1e-3,
+                    "q={q} s={s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binding_box_pushes_the_estimate() {
+        let (_, table) = paper_example();
+        let uniform = Engine::uniform_estimate(&table);
+        // Uniform P(flu | male) ≈ 0.306; cap it at 0.25. (The bucket
+        // structure forces at least one male flu in bucket 1, i.e.
+        // P(flu | male) ≥ 1/6, so 0.25 is feasible and binding.)
+        let ranges = vec![RangeKnowledge {
+            antecedent: vec![(0, 0)],
+            sa: 0,
+            lo: 0.0,
+            hi: 0.25,
+        }];
+        let est = estimate_with_ranges(
+            &table,
+            &KnowledgeBase::new(),
+            &ranges,
+            &InequalityConfig::default(),
+        )
+        .unwrap();
+        let total = |e: &Estimate| -> f64 {
+            table
+                .interner()
+                .iter()
+                .filter(|&(_, tuple, _)| tuple[0] == 0)
+                .map(|(q, _, _)| e.qi_marginal(q) * e.conditional(q, 0))
+                .sum()
+        };
+        let before = total(&uniform) / 0.6; // conditional on male
+        let after = total(&est) / 0.6;
+        assert!(before > 0.25, "baseline {before} must exceed the cap");
+        assert!(after <= 0.25 + 1e-3, "boxed value {after}");
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(RangeKnowledge { antecedent: vec![], sa: 0, lo: 0.6, hi: 0.4 }
+            .validate()
+            .is_err());
+        assert!(RangeKnowledge { antecedent: vec![], sa: 0, lo: -0.1, hi: 0.4 }
+            .validate()
+            .is_err());
+        let r = RangeKnowledge::about(vec![], 0, 0.05, 0.1);
+        assert_eq!(r.lo, 0.0, "clamped at zero");
+    }
+
+    #[test]
+    fn zero_equality_rejected_on_range_path() {
+        let (_, table) = paper_example();
+        let mut kb = KnowledgeBase::new();
+        kb.push(Knowledge::Conditional { antecedent: vec![(0, 0)], sa: 2, probability: 0.0 })
+            .unwrap();
+        let r = estimate_with_ranges(&table, &kb, &[], &InequalityConfig::default());
+        assert!(matches!(r, Err(CoreError::InvalidKnowledge { .. })));
+    }
+}

@@ -1,0 +1,140 @@
+//! The probability-term index.
+//!
+//! A *probability term* `P(q, s, b)` (Definition 5.1) is a variable of the
+//! maxent program. Only **admissible** terms — `q ∈ QI(b)` and `s ∈ SA(b)` —
+//! are indexed; all others are pinned to zero by the Zero-invariant
+//! equations (Eq. 6), which this representation enforces structurally
+//! instead of materialising `|QI|·|SA|·m` rows.
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use pm_anonymize::published::PublishedTable;
+use pm_microdata::qi::QiId;
+use pm_microdata::value::Value;
+
+/// One admissible probability term `P(q, s, b)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Term {
+    /// QI symbol.
+    pub q: QiId,
+    /// SA value.
+    pub s: Value,
+    /// Bucket index.
+    pub b: usize,
+}
+
+/// Dense index of all admissible terms of a published table.
+///
+/// Terms are laid out bucket-major (all of bucket 0, then bucket 1, …),
+/// which makes per-bucket and per-component slicing free.
+#[derive(Debug, Clone)]
+pub struct TermIndex {
+    terms: Vec<Term>,
+    lookup: HashMap<(QiId, Value, usize), usize>,
+    bucket_ranges: Vec<Range<usize>>,
+}
+
+impl TermIndex {
+    /// Builds the index for a published table.
+    pub fn build(table: &PublishedTable) -> Self {
+        let mut terms = Vec::new();
+        let mut lookup = HashMap::new();
+        let mut bucket_ranges = Vec::with_capacity(table.num_buckets());
+        for b in 0..table.num_buckets() {
+            let start = terms.len();
+            let bucket = table.bucket(b);
+            for &(q, _) in bucket.qi_counts() {
+                for &(s, _) in bucket.sa_counts() {
+                    lookup.insert((q, s, b), terms.len());
+                    terms.push(Term { q, s, b });
+                }
+            }
+            bucket_ranges.push(start..terms.len());
+        }
+        Self { terms, lookup, bucket_ranges }
+    }
+
+    /// Number of admissible terms (the maxent problem's primal dimension).
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether there are no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The term at `idx`.
+    pub fn term(&self, idx: usize) -> Term {
+        self.terms[idx]
+    }
+
+    /// Index of `P(q, s, b)`, or `None` if the term is inadmissible (i.e.
+    /// pinned to zero by a Zero-invariant).
+    pub fn get(&self, q: QiId, s: Value, b: usize) -> Option<usize> {
+        self.lookup.get(&(q, s, b)).copied()
+    }
+
+    /// The contiguous index range of bucket `b`'s terms.
+    pub fn bucket_range(&self, b: usize) -> Range<usize> {
+        self.bucket_ranges[b].clone()
+    }
+
+    /// Number of buckets covered.
+    pub fn num_buckets(&self) -> usize {
+        self.bucket_ranges.len()
+    }
+
+    /// Iterates `(index, term)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Term)> + '_ {
+        self.terms.iter().copied().enumerate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_anonymize::fixtures::paper_example;
+
+    #[test]
+    fn paper_example_term_count() {
+        let (_, table) = paper_example();
+        let idx = TermIndex::build(&table);
+        // Bucket 1: 3 distinct QI × 3 distinct SA = 9 terms; bucket 2: 3×3 =
+        // 9; bucket 3: 3×3 = 9.
+        assert_eq!(idx.len(), 27);
+        assert_eq!(idx.bucket_range(0), 0..9);
+        assert_eq!(idx.bucket_range(1), 9..18);
+        assert_eq!(idx.bucket_range(2), 18..27);
+    }
+
+    #[test]
+    fn zero_invariants_are_structural() {
+        let (_, table) = paper_example();
+        let idx = TermIndex::build(&table);
+        let q1 = table.interner().lookup(&[0, 0]).unwrap();
+        // Section 5.2: q1 does not appear in the 3rd bucket → P(q1, s, 3)
+        // inadmissible for every s.
+        for s in 0..5u16 {
+            assert_eq!(idx.get(q1, s, 2), None);
+        }
+        // Breast cancer (s1, code 2) does not appear in the 3rd bucket.
+        for q in 0..6 {
+            assert_eq!(idx.get(q, 2, 2), None);
+        }
+        // But admissible terms resolve.
+        assert!(idx.get(q1, 0, 0).is_some());
+    }
+
+    #[test]
+    fn roundtrip_lookup() {
+        let (_, table) = paper_example();
+        let idx = TermIndex::build(&table);
+        for (i, t) in idx.iter() {
+            assert_eq!(idx.get(t.q, t.s, t.b), Some(i));
+            let r = idx.bucket_range(t.b);
+            assert!(r.contains(&i));
+        }
+    }
+}

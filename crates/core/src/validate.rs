@@ -1,0 +1,148 @@
+//! Runtime verification of the paper's theorems on concrete instances.
+//!
+//! These checks back the property-test suites and give users a cheap way to
+//! audit an estimate: [`verify_estimate`] confirms that a returned
+//! [`Estimate`] satisfies every invariant and every
+//! knowledge constraint to a tolerance, and [`verify_conciseness`] checks
+//! the Theorem 3 rank structure of a table's invariant system.
+
+use pm_anonymize::published::PublishedTable;
+use pm_linalg::CsrMatrix;
+
+use crate::compile::compile_knowledge;
+use crate::constraint::{Constraint, ConstraintOrigin};
+use crate::engine::Estimate;
+use crate::error::CoreError;
+use crate::invariants::data_invariants;
+use crate::knowledge::KnowledgeBase;
+use crate::terms::TermIndex;
+
+/// Outcome of [`verify_estimate`].
+#[derive(Debug, Clone)]
+pub struct Verification {
+    /// Largest invariant residual.
+    pub max_invariant_residual: f64,
+    /// Largest knowledge residual.
+    pub max_knowledge_residual: f64,
+    /// Number of constraints checked.
+    pub checked: usize,
+}
+
+impl Verification {
+    /// Whether both residuals are within `tol`.
+    pub fn passes(&self, tol: f64) -> bool {
+        self.max_invariant_residual <= tol && self.max_knowledge_residual <= tol
+    }
+}
+
+/// Re-derives the full (non-concise) constraint system and evaluates the
+/// estimate against it.
+pub fn verify_estimate(
+    table: &PublishedTable,
+    kb: &KnowledgeBase,
+    estimate: &Estimate,
+) -> Result<Verification, CoreError> {
+    let index = TermIndex::build(table);
+    let invariants = data_invariants(table, &index, false);
+    let knowledge = compile_knowledge(kb, table, &index)?;
+    let p = estimate.term_values();
+    assert_eq!(
+        p.len(),
+        index.len(),
+        "estimate must come from the same published table"
+    );
+    let max_res = |cs: &[Constraint]| {
+        cs.iter()
+            .map(|c| c.residual(p))
+            .fold(0.0f64, f64::max)
+    };
+    Ok(Verification {
+        max_invariant_residual: max_res(&invariants),
+        max_knowledge_residual: max_res(&knowledge),
+        checked: invariants.len() + knowledge.len(),
+    })
+}
+
+/// Checks Theorem 3 on every bucket of a table: the full invariant matrix
+/// has rank `g + h − 1`, i.e. exactly one redundancy. Returns the offending
+/// bucket on failure.
+pub fn verify_conciseness(table: &PublishedTable) -> Result<(), usize> {
+    let index = TermIndex::build(table);
+    let invariants = data_invariants(table, &index, false);
+    for b in 0..table.num_buckets() {
+        let range = index.bucket_range(b);
+        let rows: Vec<Vec<(usize, f64)>> = invariants
+            .iter()
+            .filter(|c| match c.origin {
+                ConstraintOrigin::QiInvariant { b: cb, .. }
+                | ConstraintOrigin::SaInvariant { b: cb, .. } => cb == b,
+                _ => false,
+            })
+            .map(|c| c.coeffs.iter().map(|&(t, v)| (t - range.start, v)).collect())
+            .collect();
+        let m = CsrMatrix::from_rows(range.len(), &rows);
+        if m.rank(1e-9) != rows.len() - 1 {
+            return Err(b);
+        }
+    }
+    Ok(())
+}
+
+/// Checks that the estimate's conditional rows are probability
+/// distributions over each symbol's admissible support.
+pub fn verify_distributions(estimate: &Estimate, tol: f64) -> bool {
+    (0..estimate.distinct_qi()).all(|q| {
+        let row = estimate.conditional_row(q);
+        let sum: f64 = row.iter().sum();
+        (sum - 1.0).abs() <= tol && row.iter().all(|&v| (-tol..=1.0 + tol).contains(&v))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::knowledge::Knowledge;
+    use pm_anonymize::fixtures::paper_example;
+
+    #[test]
+    fn engine_output_verifies() {
+        let (_, table) = paper_example();
+        let mut kb = KnowledgeBase::new();
+        kb.push(Knowledge::Conditional { antecedent: vec![(0, 0)], sa: 0, probability: 0.4 })
+            .unwrap();
+        let est = Engine::default().estimate(&table, &kb).unwrap();
+        let v = verify_estimate(&table, &kb, &est).unwrap();
+        assert!(v.passes(1e-6), "{v:?}");
+        assert!(v.checked > 10);
+        assert!(verify_distributions(&est, 1e-6));
+    }
+
+    #[test]
+    fn tampered_estimate_fails() {
+        let (_, table) = paper_example();
+        let kb = KnowledgeBase::new();
+        let est = Engine::uniform_estimate(&table);
+        let v = verify_estimate(&table, &kb, &est).unwrap();
+        assert!(v.passes(1e-9), "uniform closed form is exact");
+        // A uniform estimate checked against *incompatible* knowledge fails.
+        let mut wrong = KnowledgeBase::new();
+        wrong
+            .push(Knowledge::Conditional {
+                antecedent: vec![(0, 0)],
+                sa: 0,
+                probability: 0.9,
+            })
+            .unwrap();
+        let v = verify_estimate(&table, &wrong, &est).unwrap();
+        assert!(!v.passes(1e-6));
+        assert!(v.max_invariant_residual <= 1e-9, "invariants still hold");
+        assert!(v.max_knowledge_residual > 1e-3);
+    }
+
+    #[test]
+    fn conciseness_verifies_on_paper_example() {
+        let (_, table) = paper_example();
+        assert_eq!(verify_conciseness(&table), Ok(()));
+    }
+}

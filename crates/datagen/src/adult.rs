@@ -1,0 +1,328 @@
+//! Synthetic Adult-like census generator.
+//!
+//! Mirrors the UCI Adult schema used by the paper's evaluation: eight QI
+//! attributes and `education` (16 categories) as the sensitive attribute.
+//! Records are sampled from a latent-class model: a hidden socio-economic
+//! stratum drives education, occupation, work class and age, while
+//! marital status / relationship / sex form a second correlated block.
+//! The result is a table with strong, heavy-tailed QI↔SA associations —
+//! exactly the structure Top-(K+, K−) rule mining feeds on.
+
+use pm_microdata::dataset::Dataset;
+use pm_microdata::schema::{Schema, SchemaBuilder};
+use pm_microdata::value::{Domain, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of latent socio-economic strata.
+const CLASSES: usize = 5;
+
+/// Configuration for the generator.
+#[derive(Debug, Clone)]
+pub struct AdultGeneratorConfig {
+    /// Number of records (the paper uses 14,210 = 2,842 buckets × 5).
+    pub records: usize,
+    /// RNG seed; generation is fully deterministic given the seed.
+    pub seed: u64,
+}
+
+impl Default for AdultGeneratorConfig {
+    fn default() -> Self {
+        Self { records: 14_210, seed: 0x5eed_2008 }
+    }
+}
+
+/// The synthetic Adult generator.
+#[derive(Debug, Clone)]
+pub struct AdultGenerator {
+    config: AdultGeneratorConfig,
+}
+
+/// Builds the Adult-like schema: 8 QI attributes + 16-value education SA,
+/// matching the arities of the UCI original.
+pub fn adult_schema() -> Schema {
+    SchemaBuilder::new()
+        .qi(
+            "age",
+            Domain::new([
+                "17-24", "25-29", "30-34", "35-39", "40-44", "45-49", "50-54", "55-64", "65+",
+            ]),
+        )
+        .qi(
+            "workclass",
+            Domain::new([
+                "private",
+                "self-emp-not-inc",
+                "self-emp-inc",
+                "federal-gov",
+                "local-gov",
+                "state-gov",
+                "without-pay",
+                "never-worked",
+            ]),
+        )
+        .qi(
+            "marital-status",
+            Domain::new([
+                "married-civ-spouse",
+                "divorced",
+                "never-married",
+                "separated",
+                "widowed",
+                "married-spouse-absent",
+                "married-af-spouse",
+            ]),
+        )
+        .qi(
+            "occupation",
+            Domain::new([
+                "tech-support",
+                "craft-repair",
+                "other-service",
+                "sales",
+                "exec-managerial",
+                "prof-specialty",
+                "handlers-cleaners",
+                "machine-op-inspct",
+                "adm-clerical",
+                "farming-fishing",
+                "transport-moving",
+                "priv-house-serv",
+                "protective-serv",
+                "armed-forces",
+            ]),
+        )
+        .qi(
+            "relationship",
+            Domain::new(["wife", "own-child", "husband", "not-in-family", "other-relative", "unmarried"]),
+        )
+        .qi(
+            "race",
+            Domain::new(["white", "asian-pac-islander", "amer-indian-eskimo", "other", "black"]),
+        )
+        .qi("sex", Domain::new(["female", "male"]))
+        .qi(
+            "native-region",
+            Domain::new([
+                "north-america",
+                "central-america",
+                "south-america",
+                "western-europe",
+                "eastern-europe",
+                "east-asia",
+                "south-asia",
+                "southeast-asia",
+                "caribbean",
+                "other",
+            ]),
+        )
+        .sensitive(
+            "education",
+            Domain::new([
+                "preschool", "1st-4th", "5th-6th", "7th-8th", "9th", "10th", "11th", "12th",
+                "hs-grad", "some-college", "assoc-voc", "assoc-acdm", "bachelors", "masters",
+                "prof-school", "doctorate",
+            ]),
+        )
+        .build()
+        .expect("adult schema is valid")
+}
+
+/// Samples an index from unnormalised weights.
+fn sample_weighted(rng: &mut SmallRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut u = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// A peaked categorical distribution over `n` values centred at `mu` with
+/// geometric decay `rho` — the building block for class-conditional tables.
+fn peaked(n: usize, mu: f64, rho: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| rho.powf((i as f64 - mu).abs()))
+        .collect()
+}
+
+impl AdultGenerator {
+    /// Creates a generator.
+    pub fn new(config: AdultGeneratorConfig) -> Self {
+        Self { config }
+    }
+
+    /// Generates the dataset.
+    pub fn generate(&self) -> Dataset {
+        let schema = adult_schema();
+        let mut data = Dataset::with_capacity(schema, self.config.records);
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+
+        // Latent-class prior: lower strata are more populous, giving the
+        // heavy-tailed education marginal of the real Adult data.
+        let class_prior = [0.28, 0.30, 0.20, 0.14, 0.08];
+
+        // Class-conditional education peaks (SA has 16 levels, 0=preschool
+        // … 15=doctorate). Higher strata peak at higher education.
+        let edu_mu = [6.5, 8.0, 9.5, 12.0, 13.5];
+        let edu_rho = [0.55, 0.45, 0.5, 0.55, 0.6];
+
+        // Class-conditional occupation peaks (14 occupations ordered roughly
+        // blue-collar → professional in the domain list above; the peak map
+        // is deliberately non-monotone to create crossing associations).
+        let occ_mu = [7.0, 2.0, 8.0, 4.5, 5.0];
+
+        for _ in 0..self.config.records {
+            let c = sample_weighted(&mut rng, &class_prior);
+
+            let education = sample_weighted(&mut rng, &peaked(16, edu_mu[c], edu_rho[c]));
+
+            // Age: higher strata skew older; 9 bands.
+            let age_mu = 2.0 + 1.1 * c as f64;
+            let age = sample_weighted(&mut rng, &peaked(9, age_mu, 0.6));
+
+            // Work class: mostly private, government/self-employment rise
+            // with stratum.
+            let mut wc = vec![6.0, 0.8, 0.4, 0.5, 0.7, 0.6, 0.08, 0.05];
+            wc[2] += 0.5 * c as f64; // self-emp-inc
+            wc[3] += 0.3 * c as f64; // federal-gov
+            let workclass = sample_weighted(&mut rng, &wc);
+
+            // Sex, then marital/relationship block driven by age and sex.
+            let sex = usize::from(rng.random::<f64>() < 0.52); // 1 = male
+            let marital = if age == 0 {
+                sample_weighted(&mut rng, &[0.08, 0.02, 0.85, 0.02, 0.0, 0.02, 0.01])
+            } else {
+                let married_w = 0.35 + 0.07 * age as f64;
+                sample_weighted(
+                    &mut rng,
+                    &[married_w, 0.14, 0.25, 0.03, 0.02 * age as f64, 0.03, 0.005],
+                )
+            };
+            let relationship = match (marital, sex) {
+                (0, 1) | (6, 1) => 2,                       // husband
+                (0, 0) | (6, 0) => 0,                       // wife
+                (2, _) if age <= 1 => 1,                    // own-child
+                _ => sample_weighted(&mut rng, &[0.0, 0.1, 0.0, 0.5, 0.15, 0.25]),
+            };
+
+            // Occupation couples to class and education (professionals need
+            // degrees), pinning strong positive rules like
+            // occupation=prof-specialty ⇒ education=bachelors+.
+            let mut occ_w = peaked(14, occ_mu[c], 0.5);
+            if education >= 12 {
+                occ_w[4] += 1.5; // exec-managerial
+                occ_w[5] += 2.5; // prof-specialty
+                occ_w[0] += 0.8; // tech-support
+            }
+            if education <= 7 {
+                occ_w[6] += 1.2; // handlers-cleaners
+                occ_w[9] += 0.8; // farming-fishing
+                occ_w[5] *= 0.1;
+            }
+            let occupation = sample_weighted(&mut rng, &occ_w);
+
+            // Race / native region: mildly coupled to each other only.
+            let race = sample_weighted(&mut rng, &[8.0, 0.6, 0.15, 0.2, 1.1]);
+            let region_w: Vec<f64> = match race {
+                1 => vec![2.0, 0.1, 0.1, 0.2, 0.1, 2.0, 1.5, 1.5, 0.1, 0.3],
+                4 => vec![6.0, 0.4, 0.2, 0.1, 0.1, 0.1, 0.1, 0.1, 1.5, 0.3],
+                _ => vec![8.0, 0.5, 0.2, 0.5, 0.3, 0.1, 0.1, 0.1, 0.2, 0.2],
+            };
+            let region = sample_weighted(&mut rng, &region_w);
+
+            data.push(&[
+                age as Value,
+                workclass as Value,
+                marital as Value,
+                occupation as Value,
+                relationship as Value,
+                race as Value,
+                sex as Value,
+                region as Value,
+                education as Value,
+            ])
+            .expect("generated record is schema-valid");
+        }
+        data
+    }
+
+    /// Number of latent classes in the model (exposed for diagnostics).
+    pub fn num_classes() -> usize {
+        CLASSES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_microdata::distribution::QiSaDistribution;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = AdultGeneratorConfig { records: 500, seed: 42 };
+        let a = AdultGenerator::new(cfg.clone()).generate();
+        let b = AdultGenerator::new(cfg).generate();
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert_eq!(a.record(i).values(), b.record(i).values());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = AdultGenerator::new(AdultGeneratorConfig { records: 200, seed: 1 }).generate();
+        let b = AdultGenerator::new(AdultGeneratorConfig { records: 200, seed: 2 }).generate();
+        let same = (0..200).all(|i| a.record(i).values() == b.record(i).values());
+        assert!(!same);
+    }
+
+    #[test]
+    fn schema_matches_paper_shape() {
+        let s = adult_schema();
+        assert_eq!(s.qi_attrs().len(), 8, "paper uses eight QI attributes");
+        assert_eq!(s.sa_cardinality().unwrap(), 16, "education has 16 values");
+    }
+
+    #[test]
+    fn education_is_correlated_with_occupation() {
+        // The whole point of the generator: background knowledge must exist.
+        let d = AdultGenerator::new(AdultGeneratorConfig { records: 8000, seed: 7 }).generate();
+        let occ = d.schema().attr_by_name("occupation").unwrap();
+        let prof = d.schema().attribute(occ).domain().code("prof-specialty").unwrap();
+        let bach = d.schema().attribute(8).domain().code("bachelors").unwrap();
+        let p_bach = d.probability(&[8], &[bach]);
+        let p_bach_given_prof = d
+            .conditional_sa_probability(&[occ], &[prof], bach)
+            .unwrap()
+            .unwrap();
+        assert!(
+            p_bach_given_prof > 1.5 * p_bach,
+            "P(bachelors|prof-specialty)={p_bach_given_prof:.3} should exceed 1.5×P(bachelors)={p_bach:.3}"
+        );
+    }
+
+    #[test]
+    fn sa_marginal_not_too_peaked_for_5_diversity() {
+        let d = AdultGenerator::new(AdultGeneratorConfig::default()).generate();
+        let dist = QiSaDistribution::from_dataset(&d).unwrap();
+        let max_freq = (0..16)
+            .map(|s| dist.sa_marginal(s as Value))
+            .fold(0.0f64, f64::max);
+        // Anatomy with one exempt value tolerates a dominant SA value, but
+        // the rest must be spread out.
+        assert!(max_freq < 0.35, "max SA frequency {max_freq}");
+    }
+
+    #[test]
+    fn all_sixteen_education_values_appear() {
+        let d = AdultGenerator::new(AdultGeneratorConfig::default()).generate();
+        let dist = QiSaDistribution::from_dataset(&d).unwrap();
+        for s in 0..16 {
+            assert!(dist.sa_marginal(s as Value) > 0.0, "education level {s} missing");
+        }
+    }
+}

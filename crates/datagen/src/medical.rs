@@ -1,0 +1,203 @@
+//! Synthetic hospital-discharge microdata.
+//!
+//! A second workload in the domain of the paper's motivating example
+//! (demographics as QI, diagnosis as SA). Diseases carry strong
+//! demographic priors — breast cancer is overwhelmingly female, prostate
+//! cancer exclusively male, alzheimer skews old — so the generator yields
+//! the deterministic-looking negative rules ("male ⇒ ¬breast-cancer") the
+//! paper's introduction builds on.
+
+use pm_microdata::dataset::Dataset;
+use pm_microdata::schema::{Schema, SchemaBuilder};
+use pm_microdata::value::{Domain, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the generator.
+#[derive(Debug, Clone)]
+pub struct MedicalGeneratorConfig {
+    /// Number of discharge records.
+    pub records: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MedicalGeneratorConfig {
+    fn default() -> Self {
+        Self { records: 4_000, seed: 0xd15ea5e }
+    }
+}
+
+/// Builds the hospital schema: 4 QI attributes + 12-value diagnosis SA.
+pub fn medical_schema() -> Schema {
+    SchemaBuilder::new()
+        .qi("sex", Domain::new(["female", "male"]))
+        .qi(
+            "age-group",
+            Domain::new(["0-17", "18-34", "35-49", "50-64", "65-79", "80+"]),
+        )
+        .qi(
+            "zip-region",
+            Domain::new(["north", "south", "east", "west", "central"]),
+        )
+        .qi(
+            "insurance",
+            Domain::new(["private", "public", "uninsured"]),
+        )
+        .sensitive(
+            "diagnosis",
+            Domain::new([
+                "influenza",
+                "pneumonia",
+                "breast-cancer",
+                "prostate-cancer",
+                "hiv",
+                "hepatitis",
+                "diabetes",
+                "hypertension",
+                "asthma",
+                "alzheimer",
+                "depression",
+                "fracture",
+            ]),
+        )
+        .build()
+        .expect("medical schema is valid")
+}
+
+/// The generator.
+#[derive(Debug, Clone)]
+pub struct MedicalGenerator {
+    config: MedicalGeneratorConfig,
+}
+
+fn sample_weighted(rng: &mut SmallRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut u = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+impl MedicalGenerator {
+    /// Creates a generator.
+    pub fn new(config: MedicalGeneratorConfig) -> Self {
+        Self { config }
+    }
+
+    /// Generates the dataset.
+    pub fn generate(&self) -> Dataset {
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        let mut data = Dataset::with_capacity(medical_schema(), self.config.records);
+        for _ in 0..self.config.records {
+            let sex = usize::from(rng.random::<f64>() < 0.49); // 1 = male
+            let age = sample_weighted(&mut rng, &[0.12, 0.2, 0.2, 0.2, 0.18, 0.1]);
+            let zip = sample_weighted(&mut rng, &[1.2, 1.0, 0.9, 1.0, 1.4]);
+            let insurance = sample_weighted(&mut rng, &[0.55, 0.35, 0.10]);
+
+            // Diagnosis weights conditioned on demographics.
+            //                 flu  pneu  bc   pc   hiv  hep  diab hyp  asth alz  dep  frac
+            let mut w: [f64; 12] =
+                [1.2, 0.7, 0.25, 0.2, 0.15, 0.2, 0.8, 0.9, 0.5, 0.3, 0.7, 0.6];
+            if sex == 1 {
+                w[2] *= 0.01; // breast cancer nearly male-free
+            } else {
+                w[3] = 0.0; // prostate cancer strictly female-free
+            }
+            match age {
+                0 => {
+                    w[8] *= 2.5; // asthma
+                    w[11] *= 1.8; // fractures
+                    w[2] *= 0.05;
+                    w[3] *= 0.0;
+                    w[6] *= 0.2;
+                    w[7] *= 0.1;
+                    w[9] = 0.0; // no pediatric alzheimer
+                }
+                1 | 2 => {
+                    w[4] *= 2.0; // hiv
+                    w[10] *= 1.6; // depression
+                    w[9] *= 0.02;
+                }
+                3 => {
+                    w[6] *= 1.6;
+                    w[7] *= 1.7;
+                }
+                _ => {
+                    w[1] *= 1.8; // pneumonia
+                    w[7] *= 2.0;
+                    w[9] *= if age == 5 { 8.0 } else { 3.0 };
+                    w[4] *= 0.2;
+                }
+            }
+            if insurance == 2 {
+                w[0] *= 1.4; // untreated flu
+            }
+            let diagnosis = sample_weighted(&mut rng, &w);
+            data.push(&[
+                sex as Value,
+                age as Value,
+                zip as Value,
+                insurance as Value,
+                diagnosis as Value,
+            ])
+            .expect("generated record is schema-valid");
+        }
+        data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let cfg = MedicalGeneratorConfig { records: 300, seed: 9 };
+        let a = MedicalGenerator::new(cfg.clone()).generate();
+        let b = MedicalGenerator::new(cfg).generate();
+        assert_eq!(a.len(), 300);
+        for i in 0..300 {
+            assert_eq!(a.record(i).values(), b.record(i).values());
+        }
+    }
+
+    #[test]
+    fn prostate_cancer_is_male_only() {
+        let d = MedicalGenerator::new(MedicalGeneratorConfig { records: 5000, seed: 2 })
+            .generate();
+        let pc = 3u16;
+        // No female record carries prostate cancer.
+        assert_eq!(d.count_matching(&[0, 4], &[0, pc]), 0);
+        // But males do.
+        assert!(d.count_matching(&[0, 4], &[1, pc]) > 0);
+    }
+
+    #[test]
+    fn breast_cancer_negative_rule_exists() {
+        let d = MedicalGenerator::new(MedicalGeneratorConfig { records: 5000, seed: 3 })
+            .generate();
+        let bc = 2u16;
+        let p_bc_male = d
+            .conditional_sa_probability(&[0], &[1], bc)
+            .unwrap()
+            .unwrap();
+        let p_bc_female = d
+            .conditional_sa_probability(&[0], &[0], bc)
+            .unwrap()
+            .unwrap();
+        assert!(p_bc_male < 0.01, "P(bc | male) = {p_bc_male}");
+        assert!(p_bc_female > 10.0 * p_bc_male.max(1e-6));
+    }
+
+    #[test]
+    fn no_pediatric_alzheimer() {
+        let d = MedicalGenerator::new(MedicalGeneratorConfig { records: 5000, seed: 4 })
+            .generate();
+        assert_eq!(d.count_matching(&[1, 4], &[0, 9]), 0);
+    }
+}

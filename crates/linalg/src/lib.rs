@@ -1,0 +1,16 @@
+//! # pm-linalg
+//!
+//! Minimal dense/sparse linear-algebra kernels backing the hand-written
+//! maxent solvers in `pm-solver`.
+//!
+//! The constraint systems of Privacy-MaxEnt are extremely sparse — each
+//! QI-/SA-invariant touches at most `g·h ≤ 25` probability terms of one
+//! bucket, and background-knowledge rows touch one term per (matching QI,
+//! bucket) pair — so the workhorse is a [`sparse::CsrMatrix`] with `f64`
+//! coefficients, supporting `A·x` and `Aᵀ·x` products.
+
+pub mod dense;
+pub mod sparse;
+
+pub use dense::*;
+pub use sparse::{CsrMatrix, Triplet};

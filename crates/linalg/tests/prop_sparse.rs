@@ -1,0 +1,56 @@
+//! Property tests: CSR products agree with dense reference computations.
+
+use pm_linalg::{CsrMatrix, Triplet};
+use proptest::prelude::*;
+
+fn triplets_strategy(
+    max_dim: usize,
+    max_nnz: usize,
+) -> impl Strategy<Value = (usize, usize, Vec<Triplet>)> {
+    (1..max_dim, 1..max_dim).prop_flat_map(move |(nr, nc)| {
+        let t = (0..nr, 0..nc, -10.0f64..10.0)
+            .prop_map(|(row, col, val)| Triplet { row, col, val });
+        proptest::collection::vec(t, 0..max_nnz).prop_map(move |v| (nr, nc, v))
+    })
+}
+
+fn dense_matvec(d: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
+    d.iter()
+        .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn matvec_matches_dense((nr, nc, ts) in triplets_strategy(12, 60),
+                            seed in 0u64..1000) {
+        let m = CsrMatrix::from_triplets(nr, nc, &ts);
+        let x: Vec<f64> = (0..nc).map(|i| ((i as u64 * 2654435761 + seed) % 17) as f64 - 8.0).collect();
+        let mut y = vec![0.0; nr];
+        m.matvec(&x, &mut y);
+        let want = dense_matvec(&m.to_dense(), &x);
+        for (a, b) in y.iter().zip(&want) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transpose_matvec_matches_dense((nr, nc, ts) in triplets_strategy(12, 60)) {
+        let m = CsrMatrix::from_triplets(nr, nc, &ts);
+        let x: Vec<f64> = (0..nr).map(|i| (i as f64) - 3.0).collect();
+        let mut y = vec![0.0; nc];
+        m.matvec_transpose(&x, &mut y);
+        let d = m.to_dense();
+        for c in 0..nc {
+            let want: f64 = (0..nr).map(|r| d[r][c] * x[r]).sum();
+            prop_assert!((y[c] - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rank_bounded((nr, nc, ts) in triplets_strategy(8, 30)) {
+        let m = CsrMatrix::from_triplets(nr, nc, &ts);
+        let r = m.rank(1e-10);
+        prop_assert!(r <= nr.min(nc));
+    }
+}

@@ -1,0 +1,221 @@
+//! The `Dataset` container: schema + row-major value storage.
+
+use crate::error::MicrodataError;
+use crate::record::RecordRef;
+use crate::schema::Schema;
+use crate::value::{AttrId, Value};
+
+/// An in-memory microdata table (the original data `D` of the paper).
+///
+/// Rows are stored row-major in one flat `Vec<Value>`; a record is a
+/// `arity`-long window. This keeps the Adult-scale table (~14k × 9) in a
+/// single allocation and makes scans cache-friendly.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    schema: Schema,
+    storage: Vec<Value>,
+    rows: usize,
+}
+
+impl Dataset {
+    /// Creates an empty dataset over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        Self { schema, storage: Vec::new(), rows: 0 }
+    }
+
+    /// Creates an empty dataset with capacity for `rows` records.
+    pub fn with_capacity(schema: Schema, rows: usize) -> Self {
+        let arity = schema.arity();
+        Self { schema, storage: Vec::with_capacity(rows * arity), rows: 0 }
+    }
+
+    /// The dataset's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the dataset has no records.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Appends a record, validating arity and domain membership.
+    pub fn push(&mut self, values: &[Value]) -> Result<(), MicrodataError> {
+        if values.len() != self.schema.arity() {
+            return Err(MicrodataError::ArityMismatch {
+                got: values.len(),
+                expected: self.schema.arity(),
+            });
+        }
+        for (attr, &code) in values.iter().enumerate() {
+            let card = self.schema.attribute(attr).domain().cardinality();
+            if code as usize >= card {
+                return Err(MicrodataError::ValueOutOfDomain { attr, code, cardinality: card });
+            }
+        }
+        self.storage.extend_from_slice(values);
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Appends a record expressed as domain labels (slow path; tests/examples).
+    pub fn push_labels(&mut self, labels: &[&str]) -> Result<(), MicrodataError> {
+        let mut codes = Vec::with_capacity(labels.len());
+        for (attr, label) in labels.iter().enumerate() {
+            if attr >= self.schema.arity() {
+                break;
+            }
+            let code = self
+                .schema
+                .attribute(attr)
+                .domain()
+                .code(label)
+                .ok_or_else(|| MicrodataError::UnknownAttribute((*label).to_string()))?;
+            codes.push(code);
+        }
+        self.push(&codes)
+    }
+
+    /// The record at `row`.
+    #[inline]
+    pub fn record(&self, row: usize) -> RecordRef<'_> {
+        let arity = self.schema.arity();
+        RecordRef::new(&self.storage[row * arity..(row + 1) * arity])
+    }
+
+    /// Iterates all records.
+    pub fn records(&self) -> impl Iterator<Item = RecordRef<'_>> + '_ {
+        let arity = self.schema.arity();
+        self.storage.chunks_exact(arity).map(RecordRef::new)
+    }
+
+    /// Returns a new dataset containing the records at `rows`, in order.
+    pub fn select(&self, rows: &[usize]) -> Self {
+        let arity = self.schema.arity();
+        let mut out = Self::with_capacity(self.schema.clone(), rows.len());
+        for &r in rows {
+            out.storage.extend_from_slice(&self.storage[r * arity..(r + 1) * arity]);
+            out.rows += 1;
+        }
+        out
+    }
+
+    /// Returns the first `n` records as a new dataset.
+    pub fn head(&self, n: usize) -> Self {
+        let n = n.min(self.rows);
+        let arity = self.schema.arity();
+        let mut out = Self::with_capacity(self.schema.clone(), n);
+        out.storage.extend_from_slice(&self.storage[..n * arity]);
+        out.rows = n;
+        out
+    }
+
+    /// Counts records whose projection onto `attrs` equals `vals`.
+    pub fn count_matching(&self, attrs: &[AttrId], vals: &[Value]) -> usize {
+        debug_assert_eq!(attrs.len(), vals.len());
+        self.records()
+            .filter(|r| attrs.iter().zip(vals).all(|(&a, &v)| r.get(a) == v))
+            .count()
+    }
+
+    /// Empirical probability of the projection event `attrs = vals`.
+    pub fn probability(&self, attrs: &[AttrId], vals: &[Value]) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        self.count_matching(attrs, vals) as f64 / self.rows as f64
+    }
+
+    /// Empirical conditional probability `P(sa = s | attrs = vals)`.
+    ///
+    /// Returns `None` when the conditioning event has zero support.
+    pub fn conditional_sa_probability(
+        &self,
+        attrs: &[AttrId],
+        vals: &[Value],
+        s: Value,
+    ) -> Result<Option<f64>, MicrodataError> {
+        let sa = self.schema.sensitive()?;
+        let mut cond = 0usize;
+        let mut joint = 0usize;
+        for r in self.records() {
+            if attrs.iter().zip(vals).all(|(&a, &v)| r.get(a) == v) {
+                cond += 1;
+                if r.get(sa) == s {
+                    joint += 1;
+                }
+            }
+        }
+        Ok(if cond == 0 { None } else { Some(joint as f64 / cond as f64) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure1_dataset;
+    use crate::schema::paper_example_schema;
+
+    #[test]
+    fn figure1_counts() {
+        let d = figure1_dataset();
+        assert_eq!(d.len(), 10);
+        // P(male) = 6/10 as computed in Section 4.1's worked example.
+        assert!((d.probability(&[0], &[0]) - 0.6).abs() < 1e-12);
+        // q1 = {male, college} appears 3 times (Allen, Brian, Ethan).
+        assert_eq!(d.count_matching(&[0, 1], &[0, 0]), 3);
+    }
+
+    #[test]
+    fn conditional_probability() {
+        let d = figure1_dataset();
+        let flu = d.schema().attribute(2).domain().code("flu").unwrap();
+        // P(flu | male) = 3/6.
+        let p = d.conditional_sa_probability(&[0], &[0], flu).unwrap().unwrap();
+        assert!((p - 0.5).abs() < 1e-12);
+        // Conditioning on an absent event yields None.
+        let p = d
+            .conditional_sa_probability(&[0, 1], &[1, 1], flu)
+            .unwrap();
+        assert!(p.is_none());
+    }
+
+    #[test]
+    fn push_validation() {
+        let mut d = Dataset::new(paper_example_schema());
+        assert!(matches!(
+            d.push(&[0, 0]),
+            Err(MicrodataError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            d.push(&[0, 9, 0]),
+            Err(MicrodataError::ValueOutOfDomain { attr: 1, .. })
+        ));
+        assert!(d.push(&[0, 0, 0]).is_ok());
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn select_and_head() {
+        let d = figure1_dataset();
+        let h = d.head(3);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.record(2).values(), d.record(2).values());
+        let s = d.select(&[9, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.record(0).values(), d.record(9).values());
+        assert_eq!(s.record(1).values(), d.record(0).values());
+    }
+
+    #[test]
+    fn empty_dataset_probability_is_zero() {
+        let d = Dataset::new(paper_example_schema());
+        assert_eq!(d.probability(&[0], &[0]), 0.0);
+        assert!(d.is_empty());
+    }
+}

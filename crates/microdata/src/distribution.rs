@@ -1,0 +1,132 @@
+//! Empirical joint and conditional distributions over (QI, SA).
+//!
+//! These are the "ground truth" distributions computed from the original data
+//! `D`; the evaluation (Section 7.1) compares the MaxEnt estimate `P*(S|Q)`
+//! against [`QiSaDistribution::conditional`].
+
+use crate::dataset::Dataset;
+use crate::error::MicrodataError;
+use crate::qi::{project_qi_sa, QiId, QiInterner};
+use crate::value::Value;
+
+/// The empirical joint distribution `P(q, s)` of a dataset, indexed by
+/// interned [`QiId`] and SA code, plus the marginals needed downstream.
+#[derive(Debug, Clone)]
+pub struct QiSaDistribution {
+    interner: QiInterner,
+    sa_cardinality: usize,
+    /// joint counts, `counts[q * sa_cardinality + s]`
+    counts: Vec<usize>,
+    total: usize,
+}
+
+impl QiSaDistribution {
+    /// Computes the distribution of `data`.
+    pub fn from_dataset(data: &Dataset) -> Result<Self, MicrodataError> {
+        let sa_cardinality = data.schema().sa_cardinality()?;
+        let (interner, pairs) = project_qi_sa(data)?;
+        let mut counts = vec![0usize; interner.distinct() * sa_cardinality];
+        for &(q, s) in &pairs {
+            counts[q * sa_cardinality + s as usize] += 1;
+        }
+        Ok(Self { interner, sa_cardinality, counts, total: pairs.len() })
+    }
+
+    /// The QI interner (symbol table) underlying this distribution.
+    pub fn interner(&self) -> &QiInterner {
+        &self.interner
+    }
+
+    /// SA domain cardinality.
+    pub fn sa_cardinality(&self) -> usize {
+        self.sa_cardinality
+    }
+
+    /// Total records.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Joint count `#(q, s)`.
+    pub fn joint_count(&self, q: QiId, s: Value) -> usize {
+        self.counts[q * self.sa_cardinality + s as usize]
+    }
+
+    /// Joint probability `P(q, s)`.
+    pub fn joint(&self, q: QiId, s: Value) -> f64 {
+        self.joint_count(q, s) as f64 / self.total as f64
+    }
+
+    /// Marginal probability `P(q)`.
+    pub fn qi_marginal(&self, q: QiId) -> f64 {
+        self.interner.probability(q)
+    }
+
+    /// Marginal probability `P(s)`.
+    pub fn sa_marginal(&self, s: Value) -> f64 {
+        let c: usize = (0..self.interner.distinct())
+            .map(|q| self.joint_count(q, s))
+            .sum();
+        c as f64 / self.total as f64
+    }
+
+    /// Conditional probability `P(s | q)` — the ground truth of Section 7.1.
+    pub fn conditional(&self, q: QiId, s: Value) -> f64 {
+        let qc = self.interner.count(q);
+        if qc == 0 {
+            0.0
+        } else {
+            self.joint_count(q, s) as f64 / qc as f64
+        }
+    }
+
+    /// The full conditional row `P(· | q)` as a dense vector over SA codes.
+    pub fn conditional_row(&self, q: QiId) -> Vec<f64> {
+        (0..self.sa_cardinality)
+            .map(|s| self.conditional(q, s as Value))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure1_dataset;
+
+    #[test]
+    fn figure1_distribution() {
+        let d = figure1_dataset();
+        let dist = QiSaDistribution::from_dataset(&d).unwrap();
+        assert_eq!(dist.total(), 10);
+        let q1 = dist.interner().lookup(&[0, 0]).unwrap();
+        let flu = 0u16;
+        // Of the three {male, college} records, exactly one has flu.
+        assert!((dist.conditional(q1, flu) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((dist.joint(q1, flu) - 0.1).abs() < 1e-12);
+        // P(flu) = 3/10.
+        assert!((dist.sa_marginal(flu) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_rows_sum_to_one() {
+        let d = figure1_dataset();
+        let dist = QiSaDistribution::from_dataset(&d).unwrap();
+        for q in 0..dist.interner().distinct() {
+            let row = dist.conditional_row(q);
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "row {q} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn marginals_consistent_with_joint() {
+        let d = figure1_dataset();
+        let dist = QiSaDistribution::from_dataset(&d).unwrap();
+        for q in 0..dist.interner().distinct() {
+            let sum: f64 = (0..dist.sa_cardinality())
+                .map(|s| dist.joint(q, s as Value))
+                .sum();
+            assert!((sum - dist.qi_marginal(q)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for microdata construction and access.
+
+use std::fmt;
+
+/// Errors raised while building or querying datasets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MicrodataError {
+    /// A record's arity does not match the schema's attribute count.
+    ArityMismatch {
+        /// Number of values in the offending record.
+        got: usize,
+        /// Number of attributes in the schema.
+        expected: usize,
+    },
+    /// A value code is outside its attribute's domain.
+    ValueOutOfDomain {
+        /// Attribute position.
+        attr: usize,
+        /// Offending code.
+        code: u16,
+        /// Domain cardinality.
+        cardinality: usize,
+    },
+    /// The schema has no attribute with the requested name.
+    UnknownAttribute(String),
+    /// The schema declares no sensitive attribute where one is required.
+    NoSensitiveAttribute,
+    /// The schema declares more than one sensitive attribute.
+    ///
+    /// The paper (and this reproduction) model a single SA column; multiple
+    /// SA columns must be combined into a product domain by the caller.
+    MultipleSensitiveAttributes,
+}
+
+impl fmt::Display for MicrodataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ArityMismatch { got, expected } => {
+                write!(f, "record has {got} values but schema has {expected} attributes")
+            }
+            Self::ValueOutOfDomain { attr, code, cardinality } => write!(
+                f,
+                "value code {code} out of domain for attribute {attr} (cardinality {cardinality})"
+            ),
+            Self::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            Self::NoSensitiveAttribute => write!(f, "schema declares no sensitive attribute"),
+            Self::MultipleSensitiveAttributes => {
+                write!(f, "schema declares multiple sensitive attributes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MicrodataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = MicrodataError::ArityMismatch { got: 3, expected: 5 };
+        assert!(e.to_string().contains('3') && e.to_string().contains('5'));
+        let e = MicrodataError::ValueOutOfDomain { attr: 1, code: 9, cardinality: 4 };
+        assert!(e.to_string().contains('9'));
+        let e = MicrodataError::UnknownAttribute("zip".into());
+        assert!(e.to_string().contains("zip"));
+    }
+}

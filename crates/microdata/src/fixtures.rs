@@ -1,0 +1,45 @@
+//! Shared fixtures: the paper's running example (Figure 1).
+
+use crate::dataset::Dataset;
+use crate::schema::paper_example_schema;
+
+/// Builds the paper's Figure 1(a) original table `D` (10 records,
+/// Allen…James), over [`paper_example_schema`].
+///
+/// Value codes: gender `male=0, female=1`; degree `college=0, high school=1,
+/// junior=2, graduate=3`; disease `flu=0, pneumonia=1, breast cancer=2,
+/// hiv=3, lung cancer=4`.
+pub fn figure1_dataset() -> Dataset {
+    let mut d = Dataset::new(paper_example_schema());
+    let rows: &[[&str; 3]] = &[
+        ["male", "college", "flu"],              // Allen
+        ["male", "college", "pneumonia"],        // Brian
+        ["female", "college", "breast cancer"],  // Cathy
+        ["male", "high school", "flu"],          // David
+        ["male", "college", "hiv"],              // Ethan
+        ["male", "high school", "pneumonia"],    // Frank
+        ["female", "junior", "breast cancer"],   // Grace
+        ["female", "college", "hiv"],            // Helen
+        ["female", "graduate", "lung cancer"],   // Iris
+        ["male", "graduate", "flu"],             // James
+    ];
+    for r in rows {
+        d.push_labels(r).expect("figure 1 rows are schema-valid");
+    }
+    d
+}
+
+/// The paper's bucket layout for Figure 1(b)/(c): records grouped as
+/// `{Allen, Brian, Cathy, David}`, `{Ethan, Frank, Grace}`,
+/// `{Helen, Iris, James}` (row indices into [`figure1_dataset`]).
+///
+/// This matches the abstract form of Figure 1(c) — bucket 1 holds
+/// `q1, q1, q2, q3` with SA multiset `{s1, s2, s2, s3}`, bucket 2 holds
+/// `q1, q3, q4` with `{s1, s3, s4}`, bucket 3 holds `q2, q5, q6` with
+/// `{s2, s4, s5}` — and the pseudonym layout of Figure 4 (`{i4, i5}` are
+/// the two `q2` records, Cathy in bucket 1 and Helen in bucket 3).
+/// In the paper's symbol order: `s1` = breast cancer, `s2` = flu,
+/// `s3` = pneumonia, `s4` = HIV, `s5` = lung cancer.
+pub fn figure1_bucket_rows() -> Vec<Vec<usize>> {
+    vec![vec![0, 1, 2, 3], vec![4, 5, 6], vec![7, 8, 9]]
+}

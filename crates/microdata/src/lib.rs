@@ -1,0 +1,35 @@
+//! # pm-microdata
+//!
+//! Categorical microdata substrate for the Privacy-MaxEnt reproduction.
+//!
+//! A *microdata* table (the `D` of the paper) is a collection of records over
+//! a fixed [`schema::Schema`] of categorical attributes. Every attribute is
+//! assigned a [`schema::AttributeRole`]:
+//!
+//! * **Identifier (ID)** — names, SSNs; always removed before publication.
+//! * **Quasi-identifier (QI)** — demography usable for linking attacks.
+//! * **Sensitive attribute (SA)** — the private value (e.g. disease).
+//!
+//! Values are stored as dense `u16` codes into per-attribute domains, which
+//! keeps the 14k-record Adult-scale experiments allocation-free on the hot
+//! counting paths.
+//!
+//! The crate also provides [`qi::QiInterner`], the dense interning of distinct
+//! full-QI tuples into the `q1, q2, …` symbols of the paper's abstract form
+//! (Figure 1(c)), and the counting utilities every downstream crate uses
+//! (joint distributions, conditionals, marginals).
+
+pub mod dataset;
+pub mod distribution;
+pub mod error;
+pub mod fixtures;
+pub mod qi;
+pub mod record;
+pub mod schema;
+pub mod text;
+pub mod value;
+
+pub use dataset::Dataset;
+pub use error::MicrodataError;
+pub use schema::{AttributeRole, Schema};
+pub use value::{AttrId, Value};

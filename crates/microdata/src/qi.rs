@@ -1,0 +1,168 @@
+//! Interning of distinct full-QI tuples into the `q1, q2, …` symbols of the
+//! paper's abstract form (Figure 1(c)), and SA value aliases.
+
+use std::collections::HashMap;
+
+use crate::dataset::Dataset;
+use crate::error::MicrodataError;
+use crate::value::Value;
+
+/// Dense id of a distinct full-QI tuple (`q1, q2, …` in the paper).
+pub type QiId = usize;
+
+/// Dense id of a distinct SA value (`s1, s2, …` in the paper).
+///
+/// SA values are already dense codes in the SA domain, so `SaId == Value as
+/// usize`; the alias exists for readability at API boundaries.
+pub type SaId = usize;
+
+/// Interner mapping full-QI tuples to dense [`QiId`]s, with occurrence counts.
+///
+/// "If two people have the same QI value, their QI values will be denoted by
+/// the same symbol" — the interner is exactly that symbol table.
+#[derive(Debug, Clone, Default)]
+pub struct QiInterner {
+    map: HashMap<Vec<Value>, QiId>,
+    tuples: Vec<Vec<Value>>,
+    counts: Vec<usize>,
+    total: usize,
+}
+
+impl QiInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the interner from a dataset's QI projection, counting
+    /// occurrences. Ids are assigned in first-appearance order, matching the
+    /// paper's `q1, q2, …` numbering of Figure 1(c).
+    pub fn from_dataset(data: &Dataset) -> Self {
+        let qi_attrs = data.schema().qi_attrs();
+        let mut interner = Self::new();
+        let mut buf = Vec::with_capacity(qi_attrs.len());
+        for r in data.records() {
+            r.project_into(qi_attrs, &mut buf);
+            interner.observe(&buf);
+        }
+        interner
+    }
+
+    /// Interns one tuple occurrence, returning its id.
+    pub fn observe(&mut self, tuple: &[Value]) -> QiId {
+        self.total += 1;
+        if let Some(&id) = self.map.get(tuple) {
+            self.counts[id] += 1;
+            return id;
+        }
+        let id = self.tuples.len();
+        self.map.insert(tuple.to_vec(), id);
+        self.tuples.push(tuple.to_vec());
+        self.counts.push(1);
+        id
+    }
+
+    /// Looks up an already-interned tuple.
+    pub fn lookup(&self, tuple: &[Value]) -> Option<QiId> {
+        self.map.get(tuple).copied()
+    }
+
+    /// The tuple behind `id`.
+    pub fn tuple(&self, id: QiId) -> &[Value] {
+        &self.tuples[id]
+    }
+
+    /// Number of distinct tuples.
+    pub fn distinct(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Occurrences of `id` across all observed records.
+    pub fn count(&self, id: QiId) -> usize {
+        self.counts[id]
+    }
+
+    /// Total observed records.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Empirical `P(q)` — the sample distribution the paper uses to
+    /// approximate the population QI distribution (Section 4.1).
+    pub fn probability(&self, id: QiId) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[id] as f64 / self.total as f64
+        }
+    }
+
+    /// Iterates `(id, tuple, count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (QiId, &[Value], usize)> {
+        self.tuples
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i, t.as_slice(), self.counts[i]))
+    }
+}
+
+/// Projects every record of `data` onto `(QiId, sa_value)` pairs, building
+/// the interner along the way. This is the canonical preprocessing step
+/// before bucketization.
+pub fn project_qi_sa(data: &Dataset) -> Result<(QiInterner, Vec<(QiId, Value)>), MicrodataError> {
+    let sa = data.schema().sensitive()?;
+    let qi_attrs = data.schema().qi_attrs();
+    let mut interner = QiInterner::new();
+    let mut pairs = Vec::with_capacity(data.len());
+    let mut buf = Vec::with_capacity(qi_attrs.len());
+    for r in data.records() {
+        r.project_into(qi_attrs, &mut buf);
+        let q = interner.observe(&buf);
+        pairs.push((q, r.get(sa)));
+    }
+    Ok((interner, pairs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure1_dataset;
+
+    #[test]
+    fn figure1_interning_matches_paper() {
+        let d = figure1_dataset();
+        let (interner, pairs) = project_qi_sa(&d).unwrap();
+        // Figure 1(c): six distinct QI symbols q1..q6.
+        assert_eq!(interner.distinct(), 6);
+        assert_eq!(pairs.len(), 10);
+        // q1 = {male, college} appears three times.
+        let q1 = interner.lookup(&[0, 0]).unwrap();
+        assert_eq!(q1, 0, "first-appearance order: Allen defines q1");
+        assert_eq!(interner.count(q1), 3);
+        assert!((interner.probability(q1) - 0.3).abs() < 1e-12);
+        // q3 = {male, high school} appears twice (David, Frank).
+        let q3 = interner.lookup(&[0, 1]).unwrap();
+        assert_eq!(interner.count(q3), 2);
+    }
+
+    #[test]
+    fn observe_is_idempotent_on_ids() {
+        let mut i = QiInterner::new();
+        let a = i.observe(&[1, 2]);
+        let b = i.observe(&[3, 4]);
+        let a2 = i.observe(&[1, 2]);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.total(), 3);
+        assert_eq!(i.count(a), 2);
+        assert_eq!(i.tuple(b), &[3, 4]);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i = QiInterner::new();
+        assert_eq!(i.distinct(), 0);
+        assert_eq!(i.total(), 0);
+        assert_eq!(i.lookup(&[0]), None);
+    }
+}

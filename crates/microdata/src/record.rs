@@ -1,0 +1,65 @@
+//! Record views over a dataset's flat storage.
+
+use crate::value::{AttrId, Value};
+
+/// A borrowed view of one record's values (one `Value` per attribute, in
+/// schema order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordRef<'a> {
+    values: &'a [Value],
+}
+
+impl<'a> RecordRef<'a> {
+    /// Wraps a value slice. Callers guarantee it matches the schema arity.
+    #[inline]
+    pub(crate) fn new(values: &'a [Value]) -> Self {
+        Self { values }
+    }
+
+    /// Value of attribute `attr`.
+    #[inline]
+    pub fn get(&self, attr: AttrId) -> Value {
+        self.values[attr]
+    }
+
+    /// All values in schema order.
+    #[inline]
+    pub fn values(&self) -> &'a [Value] {
+        self.values
+    }
+
+    /// Projects the record onto the given attribute ids, writing into `out`.
+    ///
+    /// Reusing an output buffer keeps the per-record projection done millions
+    /// of times during mining allocation-free.
+    #[inline]
+    pub fn project_into(&self, attrs: &[AttrId], out: &mut Vec<Value>) {
+        out.clear();
+        out.extend(attrs.iter().map(|&a| self.values[a]));
+    }
+
+    /// Projects the record onto the given attribute ids, allocating.
+    pub fn project(&self, attrs: &[AttrId]) -> Vec<Value> {
+        let mut out = Vec::with_capacity(attrs.len());
+        self.project_into(attrs, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection() {
+        let vals = [3u16, 1, 4, 1, 5];
+        let r = RecordRef::new(&vals);
+        assert_eq!(r.get(2), 4);
+        assert_eq!(r.project(&[0, 2, 4]), vec![3, 4, 5]);
+        let mut buf = Vec::new();
+        r.project_into(&[4, 0], &mut buf);
+        assert_eq!(buf, vec![5, 3]);
+        r.project_into(&[1], &mut buf);
+        assert_eq!(buf, vec![1]); // buffer reuse clears prior content
+    }
+}

@@ -1,0 +1,229 @@
+//! Attribute schemas: names, domains, and publication roles.
+
+use crate::error::MicrodataError;
+use crate::value::{AttrId, Domain};
+
+/// The role an attribute plays in privacy-preserving publication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttributeRole {
+    /// Identity information (names, SSNs). Removed before publication.
+    Identifier,
+    /// Quasi-identifier: published in the clear, usable for linking attacks.
+    QuasiIdentifier,
+    /// Sensitive attribute: the private value the adversary wants to learn.
+    Sensitive,
+}
+
+/// One attribute: a name, a categorical [`Domain`], and a role.
+#[derive(Debug, Clone)]
+pub struct Attribute {
+    name: String,
+    domain: Domain,
+    role: AttributeRole,
+}
+
+impl Attribute {
+    /// Creates an attribute.
+    pub fn new(name: impl Into<String>, domain: Domain, role: AttributeRole) -> Self {
+        Self { name: name.into(), domain, role }
+    }
+
+    /// Attribute name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Categorical domain.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// Publication role.
+    pub fn role(&self) -> AttributeRole {
+        self.role
+    }
+}
+
+/// An ordered collection of attributes describing a microdata table.
+///
+/// The paper's model has a set of QI attributes and a *single* SA attribute;
+/// [`Schema::sensitive`] enforces that shape. Identifier attributes may be
+/// present in the original data and are dropped by the anonymizer.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+    qi: Vec<AttrId>,
+    sensitive: Option<AttrId>,
+}
+
+impl Schema {
+    /// Builds a schema, validating the single-SA invariant.
+    pub fn new(attributes: Vec<Attribute>) -> Result<Self, MicrodataError> {
+        let qi: Vec<AttrId> = attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.role == AttributeRole::QuasiIdentifier)
+            .map(|(i, _)| i)
+            .collect();
+        let sa: Vec<AttrId> = attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.role == AttributeRole::Sensitive)
+            .map(|(i, _)| i)
+            .collect();
+        let sensitive = match sa.len() {
+            0 => None,
+            1 => Some(sa[0]),
+            _ => return Err(MicrodataError::MultipleSensitiveAttributes),
+        };
+        Ok(Self { attributes, qi, sensitive })
+    }
+
+    /// Number of attributes (all roles).
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// All attributes in declaration order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// The attribute at `id`.
+    pub fn attribute(&self, id: AttrId) -> &Attribute {
+        &self.attributes[id]
+    }
+
+    /// Ids of the quasi-identifier attributes, in declaration order.
+    pub fn qi_attrs(&self) -> &[AttrId] {
+        &self.qi
+    }
+
+    /// Id of the sensitive attribute.
+    pub fn sensitive(&self) -> Result<AttrId, MicrodataError> {
+        self.sensitive.ok_or(MicrodataError::NoSensitiveAttribute)
+    }
+
+    /// Looks up an attribute id by name.
+    pub fn attr_by_name(&self, name: &str) -> Result<AttrId, MicrodataError> {
+        self.attributes
+            .iter()
+            .position(|a| a.name == name)
+            .ok_or_else(|| MicrodataError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Cardinality of the SA domain.
+    pub fn sa_cardinality(&self) -> Result<usize, MicrodataError> {
+        Ok(self.attribute(self.sensitive()?).domain().cardinality())
+    }
+}
+
+/// Convenience builder for schemas used across tests and examples.
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    attributes: Vec<Attribute>,
+}
+
+impl SchemaBuilder {
+    /// Starts an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a quasi-identifier attribute.
+    pub fn qi(mut self, name: &str, domain: Domain) -> Self {
+        self.attributes
+            .push(Attribute::new(name, domain, AttributeRole::QuasiIdentifier));
+        self
+    }
+
+    /// Adds the sensitive attribute.
+    pub fn sensitive(mut self, name: &str, domain: Domain) -> Self {
+        self.attributes
+            .push(Attribute::new(name, domain, AttributeRole::Sensitive));
+        self
+    }
+
+    /// Adds an identifier attribute.
+    pub fn identifier(mut self, name: &str, domain: Domain) -> Self {
+        self.attributes
+            .push(Attribute::new(name, domain, AttributeRole::Identifier));
+        self
+    }
+
+    /// Finalises the schema.
+    pub fn build(self) -> Result<Schema, MicrodataError> {
+        Schema::new(self.attributes)
+    }
+}
+
+/// The paper's running-example schema (Figure 1): `Gender`, `Degree` QI and
+/// `Disease` SA.
+pub fn paper_example_schema() -> Schema {
+    SchemaBuilder::new()
+        .qi("gender", Domain::new(["male", "female"]))
+        .qi(
+            "degree",
+            Domain::new(["college", "high school", "junior", "graduate"]),
+        )
+        .sensitive(
+            "disease",
+            Domain::new([
+                "flu",
+                "pneumonia",
+                "breast cancer",
+                "hiv",
+                "lung cancer",
+            ]),
+        )
+        .build()
+        .expect("paper example schema is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_roles_and_indices() {
+        let s = paper_example_schema();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.qi_attrs(), &[0, 1]);
+        assert_eq!(s.sensitive().unwrap(), 2);
+        assert_eq!(s.sa_cardinality().unwrap(), 5);
+        assert_eq!(s.attr_by_name("degree").unwrap(), 1);
+        assert!(matches!(
+            s.attr_by_name("zip"),
+            Err(MicrodataError::UnknownAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn multiple_sensitive_rejected() {
+        let r = SchemaBuilder::new()
+            .sensitive("a", Domain::anonymous(2))
+            .sensitive("b", Domain::anonymous(2))
+            .build();
+        assert!(matches!(r, Err(MicrodataError::MultipleSensitiveAttributes)));
+    }
+
+    #[test]
+    fn missing_sensitive_is_queryable() {
+        let s = SchemaBuilder::new()
+            .qi("g", Domain::anonymous(2))
+            .build()
+            .unwrap();
+        assert!(matches!(s.sensitive(), Err(MicrodataError::NoSensitiveAttribute)));
+    }
+
+    #[test]
+    fn identifier_not_counted_as_qi() {
+        let s = SchemaBuilder::new()
+            .identifier("name", Domain::anonymous(10))
+            .qi("g", Domain::anonymous(2))
+            .sensitive("d", Domain::anonymous(3))
+            .build()
+            .unwrap();
+        assert_eq!(s.qi_attrs(), &[1]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Dense value codes and attribute identifiers.
+
+/// Index of an attribute within a [`crate::schema::Schema`].
+pub type AttrId = usize;
+
+/// A categorical value, stored as a dense code into the attribute's domain.
+///
+/// `u16` bounds every domain at 65,536 categories, which is far beyond any
+/// attribute in the paper's workloads (the largest, `native-country` in the
+/// Adult schema, has 41).
+pub type Value = u16;
+
+/// A named categorical domain: the ordered list of category labels.
+///
+/// The code of a label is its position in the list. Domains are immutable
+/// once built; datasets index into them with [`Value`] codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Domain {
+    labels: Vec<String>,
+}
+
+impl Domain {
+    /// Builds a domain from category labels. Labels must be unique.
+    pub fn new<I, S>(labels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let labels: Vec<String> = labels.into_iter().map(Into::into).collect();
+        debug_assert!(
+            {
+                let mut seen = std::collections::HashSet::new();
+                labels.iter().all(|l| seen.insert(l))
+            },
+            "domain labels must be unique"
+        );
+        assert!(
+            labels.len() <= Value::MAX as usize + 1,
+            "domain exceeds Value capacity"
+        );
+        Self { labels }
+    }
+
+    /// Builds an anonymous domain `v0..v{n-1}` of the given cardinality.
+    pub fn anonymous(cardinality: usize) -> Self {
+        Self::new((0..cardinality).map(|i| format!("v{i}")))
+    }
+
+    /// Number of categories.
+    #[inline]
+    pub fn cardinality(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Label of the given code, if in range.
+    #[inline]
+    pub fn label(&self, code: Value) -> Option<&str> {
+        self.labels.get(code as usize).map(String::as_str)
+    }
+
+    /// Code of the given label, if present (linear scan; domains are small).
+    pub fn code(&self, label: &str) -> Option<Value> {
+        self.labels
+            .iter()
+            .position(|l| l == label)
+            .map(|p| p as Value)
+    }
+
+    /// Iterates `(code, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Value, &str)> {
+        self.labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (i as Value, l.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_roundtrip() {
+        let d = Domain::new(["male", "female"]);
+        assert_eq!(d.cardinality(), 2);
+        assert_eq!(d.label(0), Some("male"));
+        assert_eq!(d.label(1), Some("female"));
+        assert_eq!(d.label(2), None);
+        assert_eq!(d.code("female"), Some(1));
+        assert_eq!(d.code("other"), None);
+    }
+
+    #[test]
+    fn anonymous_domain_labels() {
+        let d = Domain::anonymous(3);
+        assert_eq!(d.cardinality(), 3);
+        assert_eq!(d.label(2), Some("v2"));
+    }
+
+    #[test]
+    fn domain_iter_order() {
+        let d = Domain::new(["a", "b", "c"]);
+        let collected: Vec<_> = d.iter().collect();
+        assert_eq!(collected, vec![(0, "a"), (1, "b"), (2, "c")]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Nonlinear conjugate gradient (Fletcher–Reeves and Polak–Ribière).
+//!
+//! Malouf's comparison \[18\], which the paper cites to justify LBFGS, also
+//! benchmarks nonlinear CG variants; this module completes the solver
+//! shoot-out in `bench_solvers`.
+
+use std::time::Instant;
+
+use crate::line_search::{strong_wolfe, WolfeParams};
+use crate::objective::Objective;
+use crate::stats::{Solution, SolveStats, StopReason};
+use pm_linalg::{copy, dot, norm_inf};
+
+/// The β update formula.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CgVariant {
+    /// Fletcher–Reeves: `β = gᵀg / g₋ᵀg₋`.
+    FletcherReeves,
+    /// Polak–Ribière (with the standard `max(β, 0)` restart guard).
+    #[default]
+    PolakRibiere,
+}
+
+/// CG configuration.
+#[derive(Debug, Clone)]
+pub struct CgConfig {
+    /// β formula.
+    pub variant: CgVariant,
+    /// Convergence tolerance on `‖∇f‖∞`.
+    pub tolerance: f64,
+    /// Iteration budget.
+    pub max_iterations: usize,
+    /// Restart to steepest descent every `restart_every` iterations
+    /// (classic n-step restart; 0 disables).
+    pub restart_every: usize,
+    /// Line-search parameters. CG needs a tighter curvature constant than
+    /// quasi-Newton methods (c2 ≈ 0.1–0.4) to keep directions descending.
+    pub wolfe: WolfeParams,
+}
+
+impl Default for CgConfig {
+    fn default() -> Self {
+        Self {
+            variant: CgVariant::default(),
+            tolerance: 1e-8,
+            max_iterations: 10_000,
+            restart_every: 0,
+            wolfe: WolfeParams { c2: 0.2, ..Default::default() },
+        }
+    }
+}
+
+/// Minimises `obj` from `x0` with nonlinear CG.
+pub fn conjugate_gradient(obj: &dyn Objective, x0: &[f64], cfg: &CgConfig) -> Solution {
+    let n = obj.dim();
+    let start = Instant::now();
+    let mut x = x0.to_vec();
+    let mut grad = vec![0.0; n];
+    let mut f = obj.eval(&x, &mut grad);
+    let mut fn_evals = 1usize;
+
+    let mut d: Vec<f64> = grad.iter().map(|g| -g).collect();
+    let mut grad_prev = vec![0.0; n];
+    let mut x_new = vec![0.0; n];
+    let mut grad_new = vec![0.0; n];
+    let mut stop = StopReason::MaxIterations;
+    let mut iterations = 0usize;
+
+    for iter in 0..cfg.max_iterations {
+        iterations = iter;
+        if norm_inf(&grad) <= cfg.tolerance {
+            stop = StopReason::Converged;
+            break;
+        }
+        let mut g0d = dot(&grad, &d);
+        if g0d >= 0.0 {
+            // Restart on non-descent direction.
+            for i in 0..n {
+                d[i] = -grad[i];
+            }
+            g0d = dot(&grad, &d);
+        }
+        let ls = strong_wolfe(obj, &x, &d, f, g0d, &cfg.wolfe, &mut x_new, &mut grad_new);
+        fn_evals += ls.evals;
+        if !ls.success {
+            stop = if norm_inf(&grad) <= cfg.tolerance.max(1e-6) {
+                StopReason::Converged
+            } else {
+                StopReason::LineSearchFailed
+            };
+            break;
+        }
+
+        copy(&grad, &mut grad_prev);
+        std::mem::swap(&mut x, &mut x_new);
+        std::mem::swap(&mut grad, &mut grad_new);
+        f = ls.f;
+
+        // β update.
+        let gg_prev = dot(&grad_prev, &grad_prev);
+        let beta = if gg_prev <= 0.0 {
+            0.0
+        } else {
+            match cfg.variant {
+                CgVariant::FletcherReeves => dot(&grad, &grad) / gg_prev,
+                CgVariant::PolakRibiere => {
+                    let mut num = 0.0;
+                    for i in 0..n {
+                        num += grad[i] * (grad[i] - grad_prev[i]);
+                    }
+                    (num / gg_prev).max(0.0)
+                }
+            }
+        };
+        let restart = cfg.restart_every > 0 && (iter + 1) % cfg.restart_every == 0;
+        for i in 0..n {
+            d[i] = -grad[i] + if restart { 0.0 } else { beta * d[i] };
+        }
+        iterations = iter + 1;
+    }
+    if stop == StopReason::MaxIterations && norm_inf(&grad) <= cfg.tolerance {
+        stop = StopReason::Converged;
+    }
+
+    Solution {
+        value: f,
+        stats: SolveStats {
+            iterations,
+            fn_evals,
+            elapsed: start.elapsed(),
+            final_residual: norm_inf(&grad),
+            stop,
+        },
+        x,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maxent::MaxEntDual;
+    use crate::objective::{DiagonalQuadratic, Rosenbrock};
+    use pm_linalg::CsrMatrix;
+
+    #[test]
+    fn both_variants_solve_quadratic() {
+        let q = DiagonalQuadratic { d: vec![1.0, 20.0, 5.0], b: vec![1.0, 2.0, -1.0] };
+        for variant in [CgVariant::FletcherReeves, CgVariant::PolakRibiere] {
+            let sol = conjugate_gradient(
+                &q,
+                &[0.0; 3],
+                &CgConfig { variant, ..Default::default() },
+            );
+            assert!(sol.stats.converged(), "{variant:?}: {:?}", sol.stats);
+            for (got, want) in sol.x.iter().zip(q.minimizer()) {
+                assert!((got - want).abs() < 1e-5, "{variant:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn polak_ribiere_solves_rosenbrock() {
+        let r = Rosenbrock { n: 2 };
+        let sol = conjugate_gradient(&r, &[-1.2, 1.0], &CgConfig::default());
+        assert!(sol.stats.converged(), "{:?}", sol.stats);
+        assert!((sol.x[0] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn cg_matches_lbfgs_on_maxent_dual() {
+        let a = CsrMatrix::from_rows(
+            4,
+            &[
+                vec![(0, 1.0), (1, 1.0)],
+                vec![(2, 1.0), (3, 1.0)],
+                vec![(0, 1.0), (2, 1.0)],
+                vec![(1, 1.0), (3, 1.0)],
+            ],
+        );
+        let dual = MaxEntDual::new(a, vec![0.3, 0.7, 0.4, 0.6]);
+        let sol = conjugate_gradient(&dual, &vec![0.0; 4], &CgConfig::default());
+        assert!(sol.stats.converged());
+        let p = dual.primal(&sol.x);
+        let want = [0.12, 0.18, 0.28, 0.42];
+        for (got, want) in p.iter().zip(want) {
+            assert!((got - want).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn periodic_restart_still_converges() {
+        let q = DiagonalQuadratic { d: vec![1.0, 100.0], b: vec![1.0, 1.0] };
+        let cfg = CgConfig { restart_every: 2, ..Default::default() };
+        let sol = conjugate_gradient(&q, &[0.0, 0.0], &cfg);
+        assert!(sol.stats.converged());
+    }
+}

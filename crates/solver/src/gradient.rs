@@ -1,0 +1,127 @@
+//! Steepest descent with strong-Wolfe line search.
+//!
+//! Kept as the simplest baseline in the Malouf-style solver comparison
+//! (`bench_solvers`); the paper cites Malouf \[18\] for exactly this kind of
+//! algorithm shoot-out.
+
+use std::time::Instant;
+
+use crate::line_search::{strong_wolfe, WolfeParams};
+use crate::objective::Objective;
+use crate::stats::{Solution, SolveStats, StopReason};
+use pm_linalg::{copy, dot, norm_inf};
+
+/// Steepest-descent configuration.
+#[derive(Debug, Clone)]
+pub struct GradientDescentConfig {
+    /// Convergence tolerance on `‖∇f‖∞`.
+    pub tolerance: f64,
+    /// Iteration budget (steepest descent needs many on ill-conditioned
+    /// problems, which is the point of the comparison).
+    pub max_iterations: usize,
+    /// Line-search parameters.
+    pub wolfe: WolfeParams,
+}
+
+impl Default for GradientDescentConfig {
+    fn default() -> Self {
+        Self {
+            tolerance: 1e-8,
+            max_iterations: 10_000,
+            wolfe: WolfeParams { c2: 0.4, ..Default::default() },
+        }
+    }
+}
+
+/// Minimises `obj` from `x0` by steepest descent.
+pub fn gradient_descent(
+    obj: &dyn Objective,
+    x0: &[f64],
+    cfg: &GradientDescentConfig,
+) -> Solution {
+    let n = obj.dim();
+    let start = Instant::now();
+    let mut x = x0.to_vec();
+    let mut grad = vec![0.0; n];
+    let mut f = obj.eval(&x, &mut grad);
+    let mut fn_evals = 1usize;
+    let mut d = vec![0.0; n];
+    let mut x_new = vec![0.0; n];
+    let mut grad_new = vec![0.0; n];
+    let mut stop = StopReason::MaxIterations;
+    let mut iterations = 0usize;
+
+    for iter in 0..cfg.max_iterations {
+        iterations = iter;
+        if norm_inf(&grad) <= cfg.tolerance {
+            stop = StopReason::Converged;
+            break;
+        }
+        copy(&grad, &mut d);
+        pm_linalg::scale(-1.0, &mut d);
+        let g0d = dot(&grad, &d);
+        let ls = strong_wolfe(obj, &x, &d, f, g0d, &cfg.wolfe, &mut x_new, &mut grad_new);
+        fn_evals += ls.evals;
+        if !ls.success {
+            // Near the optimum the Armijo test can fail purely from f64
+            // rounding; accept if the gradient is already small.
+            stop = if norm_inf(&grad) <= cfg.tolerance.max(1e-6) {
+                StopReason::Converged
+            } else {
+                StopReason::LineSearchFailed
+            };
+            break;
+        }
+        std::mem::swap(&mut x, &mut x_new);
+        std::mem::swap(&mut grad, &mut grad_new);
+        f = ls.f;
+        iterations = iter + 1;
+    }
+    if stop == StopReason::MaxIterations && norm_inf(&grad) <= cfg.tolerance {
+        stop = StopReason::Converged;
+    }
+
+    Solution {
+        value: f,
+        stats: SolveStats {
+            iterations,
+            fn_evals,
+            elapsed: start.elapsed(),
+            final_residual: norm_inf(&grad),
+            stop,
+        },
+        x,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::DiagonalQuadratic;
+
+    #[test]
+    fn solves_well_conditioned_quadratic() {
+        let q = DiagonalQuadratic { d: vec![1.0, 2.0], b: vec![3.0, 4.0] };
+        let sol = gradient_descent(&q, &[0.0, 0.0], &GradientDescentConfig::default());
+        assert!(sol.stats.converged());
+        for (got, want) in sol.x.iter().zip(q.minimizer()) {
+            assert!((got - want).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn slower_than_lbfgs_on_ill_conditioned_problem() {
+        // The defining weakness steepest descent exhibits in Malouf's
+        // comparison: iteration count scales with conditioning.
+        let q = DiagonalQuadratic { d: vec![1.0, 1000.0], b: vec![1.0, 1.0] };
+        let gd = gradient_descent(&q, &[0.0, 0.0], &GradientDescentConfig::default());
+        let lb = crate::lbfgs::Lbfgs::default().minimize(&q, &[0.0, 0.0]);
+        assert!(gd.stats.converged() && lb.stats.converged());
+        assert!(
+            gd.stats.iterations > lb.stats.iterations,
+            "gd {} vs lbfgs {}",
+            gd.stats.iterations,
+            lb.stats.iterations
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! # pm-solver
+//!
+//! Hand-written convex optimization solvers for maximum-entropy estimation.
+//!
+//! The paper solves the constrained entropy maximisation by Lagrange duality
+//! and then minimises the smooth convex dual with Nocedal's LBFGS \[16\]; it
+//! also cites the generalized \[8\] and improved \[20\] iterative-scaling
+//! algorithms and Malouf's comparison \[18\]. The Rust ecosystem offers only
+//! thin wrappers for these, so this crate implements all of them from
+//! scratch:
+//!
+//! * [`lbfgs`] — limited-memory BFGS with a strong-Wolfe line search
+//!   (two-loop recursion, Nocedal & Wright Algorithms 3.5/3.6 and 7.4/7.5),
+//! * [`gradient`] — steepest descent with the same line search,
+//! * [`newton`] — damped Newton with dense Cholesky (small problems),
+//! * [`scaling`] — GIS (Darroch–Ratcliff) and IIS (Della Pietra et al.)
+//!   iterative scaling, specialised to the maxent dual,
+//! * [`maxent`] — the dual objective `g(λ) = Σᵢ exp(aᵢᵀλ − 1) − cᵀλ`
+//!   shared by every solver, with the primal read-out `pᵢ(λ)`.
+//!
+//! Every solver reports [`stats::SolveStats`] (iterations, function
+//! evaluations, wall time) because Figure 7 of the paper plots exactly those
+//! quantities.
+
+pub mod conjugate_gradient;
+pub mod gradient;
+pub mod lbfgs;
+pub mod line_search;
+pub mod maxent;
+pub mod newton;
+pub mod objective;
+pub mod scaling;
+pub mod stats;
+
+pub use lbfgs::Lbfgs;
+pub use lbfgs::LbfgsConfig;
+pub use maxent::MaxEntDual;
+pub use objective::Objective;
+pub use stats::SolveStats;

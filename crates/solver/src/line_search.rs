@@ -1,0 +1,213 @@
+//! Strong-Wolfe line search (Nocedal & Wright, Algorithms 3.5 & 3.6).
+
+use crate::objective::Objective;
+use pm_linalg::{axpy, copy, dot};
+
+/// Line-search parameters. Defaults follow Nocedal & Wright's
+/// recommendations for quasi-Newton methods (`c1 = 1e-4`, `c2 = 0.9`).
+#[derive(Debug, Clone, Copy)]
+pub struct WolfeParams {
+    /// Sufficient-decrease (Armijo) constant.
+    pub c1: f64,
+    /// Curvature constant.
+    pub c2: f64,
+    /// Maximum bracketing/zoom iterations.
+    pub max_iters: usize,
+    /// Upper bound on the step length.
+    pub alpha_max: f64,
+}
+
+impl Default for WolfeParams {
+    fn default() -> Self {
+        Self { c1: 1e-4, c2: 0.9, max_iters: 50, alpha_max: 1e6 }
+    }
+}
+
+/// Result of a line search.
+#[derive(Debug, Clone)]
+pub struct LineSearchResult {
+    /// Accepted step length (0 on failure).
+    pub alpha: f64,
+    /// `f(x + alpha·d)`.
+    pub f: f64,
+    /// Number of objective evaluations consumed.
+    pub evals: usize,
+    /// Whether the strong Wolfe conditions were satisfied.
+    pub success: bool,
+}
+
+/// State for a point on the search ray.
+struct RayEval {
+    f: f64,
+    /// Directional derivative `∇f(x+αd)ᵀd`.
+    dphi: f64,
+}
+
+/// Searches along `d` from `x` for a step satisfying the strong Wolfe
+/// conditions. On success, `x_out` and `grad_out` hold the accepted point
+/// and its gradient.
+///
+/// `f0`/`g0d` are the objective value and directional derivative at `x`
+/// (already computed by the caller). `d` must be a descent direction
+/// (`g0d < 0`); if not, the search fails immediately.
+#[allow(clippy::too_many_arguments)]
+pub fn strong_wolfe(
+    obj: &dyn Objective,
+    x: &[f64],
+    d: &[f64],
+    f0: f64,
+    g0d: f64,
+    params: &WolfeParams,
+    x_out: &mut [f64],
+    grad_out: &mut [f64],
+) -> LineSearchResult {
+    let mut evals = 0usize;
+    if !(g0d < 0.0) || !g0d.is_finite() {
+        return LineSearchResult { alpha: 0.0, f: f0, evals, success: false };
+    }
+
+    let mut eval_at = |alpha: f64, x_out: &mut [f64], grad_out: &mut [f64]| -> RayEval {
+        copy(x, x_out);
+        axpy(alpha, d, x_out);
+        let f = obj.eval(x_out, grad_out);
+        evals += 1;
+        RayEval { f, dphi: dot(grad_out, d) }
+    };
+
+    let mut alpha_prev = 0.0;
+    let mut f_prev = f0;
+    let mut dphi_prev = g0d;
+    let mut alpha = 1.0f64.min(params.alpha_max);
+
+    // Bracketing phase (N&W Algorithm 3.5).
+    let mut bracket: Option<(f64, f64, f64, f64, f64, f64)> = None; // (lo, f_lo, dphi_lo, hi, f_hi, dphi_hi)
+    for i in 0..params.max_iters {
+        let e = eval_at(alpha, x_out, grad_out);
+        if !e.f.is_finite() {
+            // Overstepped into an infinite region (possible for exp-family
+            // duals with extreme multipliers): shrink and retry.
+            alpha = 0.5 * (alpha_prev + alpha);
+            continue;
+        }
+        if e.f > f0 + params.c1 * alpha * g0d || (i > 0 && e.f >= f_prev) {
+            bracket = Some((alpha_prev, f_prev, dphi_prev, alpha, e.f, e.dphi));
+            break;
+        }
+        if e.dphi.abs() <= -params.c2 * g0d {
+            return LineSearchResult { alpha, f: e.f, evals, success: true };
+        }
+        if e.dphi >= 0.0 {
+            bracket = Some((alpha, e.f, e.dphi, alpha_prev, f_prev, dphi_prev));
+            break;
+        }
+        alpha_prev = alpha;
+        f_prev = e.f;
+        dphi_prev = e.dphi;
+        alpha = (2.0 * alpha).min(params.alpha_max);
+        if alpha >= params.alpha_max {
+            let e = eval_at(alpha, x_out, grad_out);
+            return LineSearchResult { alpha, f: e.f, evals, success: false };
+        }
+    }
+
+    let Some((mut lo, mut f_lo, mut dphi_lo, mut hi, mut f_hi, _dphi_hi)) = bracket else {
+        return LineSearchResult { alpha: 0.0, f: f0, evals, success: false };
+    };
+
+    // Zoom phase (N&W Algorithm 3.6) with bisection/interpolation.
+    for _ in 0..params.max_iters {
+        // Quadratic interpolation using (lo, f_lo, dphi_lo) and (hi, f_hi);
+        // guarded bisection keeps the step well inside the interval.
+        let mut a = {
+            let denom = 2.0 * (f_hi - f_lo - dphi_lo * (hi - lo));
+            if denom.abs() > 1e-300 {
+                lo - dphi_lo * (hi - lo) * (hi - lo) / denom
+            } else {
+                0.5 * (lo + hi)
+            }
+        };
+        let (lo_b, hi_b) = if lo < hi { (lo, hi) } else { (hi, lo) };
+        let guard = 0.1 * (hi_b - lo_b);
+        if !(a.is_finite()) || a < lo_b + guard || a > hi_b - guard {
+            a = 0.5 * (lo + hi);
+        }
+        let e = eval_at(a, x_out, grad_out);
+        if !e.f.is_finite() || e.f > f0 + params.c1 * a * g0d || e.f >= f_lo {
+            hi = a;
+            f_hi = e.f;
+        } else {
+            if e.dphi.abs() <= -params.c2 * g0d {
+                return LineSearchResult { alpha: a, f: e.f, evals, success: true };
+            }
+            if e.dphi * (hi - lo) >= 0.0 {
+                hi = lo;
+                f_hi = f_lo;
+            }
+            lo = a;
+            f_lo = e.f;
+            dphi_lo = e.dphi;
+        }
+        if (hi - lo).abs() < 1e-16 * lo.abs().max(1.0) {
+            break;
+        }
+    }
+
+    // Fall back to the best point found if it at least decreases f.
+    if f_lo < f0 && lo > 0.0 {
+        let e = eval_at(lo, x_out, grad_out);
+        return LineSearchResult { alpha: lo, f: e.f, evals, success: true };
+    }
+    LineSearchResult { alpha: 0.0, f: f0, evals, success: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::{DiagonalQuadratic, Objective, Rosenbrock};
+
+    #[test]
+    fn exact_step_on_quadratic() {
+        // f(x) = ½x² − x: from x=0 along d=1, the minimiser is at α=1.
+        let q = DiagonalQuadratic { d: vec![1.0], b: vec![1.0] };
+        let x = [0.0];
+        let d = [1.0];
+        let mut g = vec![0.0; 1];
+        let f0 = q.eval(&x, &mut g);
+        let mut xo = vec![0.0];
+        let mut go = vec![0.0];
+        let r = strong_wolfe(&q, &x, &d, f0, g[0], &WolfeParams::default(), &mut xo, &mut go);
+        assert!(r.success);
+        // Any strong-Wolfe point must decrease f and flatten the slope.
+        assert!(r.f < f0);
+        assert!(go[0].abs() <= 0.9);
+    }
+
+    #[test]
+    fn rejects_ascent_direction() {
+        let q = DiagonalQuadratic { d: vec![1.0], b: vec![0.0] };
+        let x = [1.0];
+        let d = [1.0]; // uphill: gradient at x is +1
+        let mut g = vec![0.0; 1];
+        let f0 = q.eval(&x, &mut g);
+        let mut xo = vec![0.0];
+        let mut go = vec![0.0];
+        let r = strong_wolfe(&q, &x, &d, f0, g[0], &WolfeParams::default(), &mut xo, &mut go);
+        assert!(!r.success);
+        assert_eq!(r.alpha, 0.0);
+    }
+
+    #[test]
+    fn rosenbrock_descent_step_found() {
+        let r = Rosenbrock { n: 2 };
+        let x = [-1.2, 1.0];
+        let mut g = vec![0.0; 2];
+        let f0 = r.eval(&x, &mut g);
+        let d: Vec<f64> = g.iter().map(|v| -v).collect();
+        let g0d = pm_linalg::dot(&g, &d);
+        let mut xo = vec![0.0; 2];
+        let mut go = vec![0.0; 2];
+        let res = strong_wolfe(&r, &x, &d, f0, g0d, &WolfeParams::default(), &mut xo, &mut go);
+        assert!(res.success);
+        assert!(res.f < f0);
+    }
+}

@@ -1,0 +1,75 @@
+//! The paper's full evaluation pipeline on the synthetic Adult workload:
+//! generate → bucketize to 5-diversity → mine Top-(K+, K−) rules →
+//! quantify privacy under increasing background knowledge.
+//!
+//! This is a scaled-down interactive version of the Figure 5 experiment;
+//! the complete sweep lives in `cargo run -p pm-bench --bin experiments`.
+//!
+//! Run with: `cargo run --release --example adult_census`
+
+use pm_anonymize::anatomy::{AnatomyBucketizer, AnatomyConfig};
+use pm_anonymize::ldiv;
+use pm_assoc::miner::{MinerConfig, RuleMiner};
+use pm_datagen::adult::{AdultGenerator, AdultGeneratorConfig};
+use pm_microdata::distribution::QiSaDistribution;
+use privacy_maxent::engine::{Engine, EngineConfig};
+use privacy_maxent::knowledge::KnowledgeBase;
+use privacy_maxent::metrics;
+
+fn main() {
+    // 1. The microdata: synthetic stand-in for UCI Adult (see DESIGN.md §2),
+    //    scaled down so this example runs in seconds without --release too.
+    let records = 5_000;
+    let data = AdultGenerator::new(AdultGeneratorConfig { records, seed: 42 }).generate();
+    let truth = QiSaDistribution::from_dataset(&data).unwrap();
+    println!("generated {records} census records, 8 QI attributes, education as SA");
+
+    // 2. Bucketize with Anatomy into buckets of 5 (paper: 14,210 → 2,842
+    //    buckets), exempting the most frequent education level (footnote 3).
+    let table = AnatomyBucketizer::new(AnatomyConfig { ell: 5, exempt_top: 1 })
+        .publish(&data)
+        .expect("bucketization succeeds");
+    let exempt = ldiv::most_frequent_sa(&table, 1);
+    assert!(ldiv::satisfies_relaxed_diversity(&table, 5, &exempt));
+    println!(
+        "published {} buckets of {} records; relaxed 5-diversity holds",
+        table.num_buckets(),
+        table.total_records() / table.num_buckets()
+    );
+
+    // 3. Mine association rules from the original data (Section 4.2: the
+    //    original data itself is the best source of background knowledge).
+    let rules = RuleMiner::new(MinerConfig { min_support: 3, arities: vec![1, 2, 3] })
+        .mine(&data);
+    println!(
+        "mined {} positive and {} negative rules (min support 3)\n",
+        rules.positive.len(),
+        rules.negative.len()
+    );
+    let top = &rules.positive[0];
+    println!(
+        "strongest positive rule: {:?} => education={} (confidence {:.2}, support {})",
+        top.antecedent, top.sa_value, top.confidence, top.support
+    );
+
+    // 4. Privacy vs. amount of background knowledge (Figure 5's shape).
+    println!("\n    K   accuracy(KL)  max-disclosure  solve-time");
+    let config = EngineConfig { residual_limit: f64::INFINITY, ..Default::default() };
+    for k in [0usize, 50, 200, 1000, 5000] {
+        let picked = rules.top_k(k / 2, k / 2);
+        let kb = KnowledgeBase::from_rules(picked.iter().copied(), data.schema()).unwrap();
+        let est = Engine::new(config.clone()).estimate(&table, &kb).unwrap();
+        let acc = metrics::estimation_accuracy(&truth, &est);
+        println!(
+            "  {k:5}   {acc:10.4}   {:12.3}   {:?}",
+            metrics::max_disclosure(&est),
+            est.stats.total_elapsed
+        );
+    }
+    println!(
+        "\nReading: accuracy (weighted KL between the adversary's estimate \
+         and the truth)\nfalls as K grows — more background knowledge, less \
+         privacy. The publication's\nprivacy report should therefore be the \
+         tuple (knowledge bound, privacy score)."
+    );
+}

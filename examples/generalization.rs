@@ -1,0 +1,65 @@
+//! Privacy-MaxEnt over *generalization* (the paper's first future-work
+//! direction): Mondrian k-anonymous equivalence classes are buckets, so the
+//! unchanged engine quantifies generalized publications too — and shows how
+//! background knowledge erodes them compared to Anatomy.
+//!
+//! Run with: `cargo run --release --example generalization`
+
+use pm_anonymize::anatomy::{AnatomyBucketizer, AnatomyConfig};
+use pm_anonymize::mondrian::{Mondrian, MondrianConfig};
+use pm_assoc::miner::{MinerConfig, RuleMiner};
+use pm_datagen::medical::{MedicalGenerator, MedicalGeneratorConfig};
+use pm_microdata::distribution::QiSaDistribution;
+use privacy_maxent::engine::{Engine, EngineConfig};
+use privacy_maxent::knowledge::KnowledgeBase;
+use privacy_maxent::metrics;
+
+fn main() {
+    let data = MedicalGenerator::new(MedicalGeneratorConfig { records: 3000, seed: 17 })
+        .generate();
+    let truth = QiSaDistribution::from_dataset(&data).unwrap();
+    let rules = RuleMiner::new(MinerConfig { min_support: 3, arities: vec![1, 2] })
+        .mine(&data);
+    println!(
+        "3,000 hospital records; {} positive / {} negative rules mined\n",
+        rules.positive.len(),
+        rules.negative.len()
+    );
+
+    let anatomy = AnatomyBucketizer::new(AnatomyConfig { ell: 5, exempt_top: 2 })
+        .publish(&data)
+        .expect("anatomy succeeds");
+    let mondrian = Mondrian::new(MondrianConfig { k: 5 })
+        .publish(&data)
+        .expect("mondrian succeeds");
+    println!(
+        "anatomy: {} buckets of 5 | mondrian: {} equivalence classes (k = 5)\n",
+        anatomy.num_buckets(),
+        mondrian.num_buckets()
+    );
+
+    println!(
+        "{:>6}  {:>22}  {:>22}",
+        "K", "anatomy (KL / discl.)", "mondrian (KL / discl.)"
+    );
+    let config = EngineConfig { residual_limit: f64::INFINITY, ..Default::default() };
+    for k in [0usize, 50, 500, 2000] {
+        let picked = rules.top_k(k / 2, k - k / 2);
+        let kb = KnowledgeBase::from_rules(picked.iter().copied(), data.schema()).unwrap();
+        let engine = Engine::new(config.clone());
+        let ea = engine.estimate(&anatomy, &kb).expect("feasible");
+        let em = engine.estimate(&mondrian, &kb).expect("feasible");
+        println!(
+            "{k:>6}  {:>12.4} / {:>6.3}  {:>12.4} / {:>6.3}",
+            metrics::estimation_accuracy(&truth, &ea),
+            metrics::max_disclosure(&ea),
+            metrics::estimation_accuracy(&truth, &em),
+            metrics::max_disclosure(&em),
+        );
+    }
+    println!(
+        "\nThe same maxent machinery quantifies both mechanisms; the report \
+         tells the\npublisher which disguising method stands up better to the \
+         assumed knowledge bound."
+    );
+}

@@ -1,0 +1,74 @@
+//! Knowledge about individuals (Section 6): pseudonyms and the three
+//! constraint families, on the paper's own examples.
+//!
+//! Run with: `cargo run --example individuals`
+
+use pm_anonymize::fixtures::paper_example;
+use pm_anonymize::pseudonym::PseudonymTable;
+use privacy_maxent::individuals::IndividualEngine;
+use privacy_maxent::knowledge::{Knowledge, KnowledgeBase};
+
+fn main() {
+    let (_, table) = paper_example();
+    let diseases = ["flu", "pneumonia", "breast cancer", "hiv", "lung cancer"];
+    let pseud = PseudonymTable::from_interner(table.interner());
+
+    // Figure 4's pseudonym layout: q1 = {male, college} has three records,
+    // so Alice-with-q1 could be any of {i1, i2, i3}.
+    let q1 = table.interner().lookup(&[0, 0]).unwrap();
+    println!(
+        "q1 = (male, college) carries pseudonyms {:?} — the adversary cannot \
+         tell which record is which person\n",
+        pseud.pseudonyms_of(q1).map(|i| pseud.name(i)).collect::<Vec<_>>()
+    );
+
+    let engine = IndividualEngine::new();
+
+    // (1) "The probability that Alice (q1) has breast cancer is 0.2".
+    let mut kb = KnowledgeBase::new();
+    kb.push(Knowledge::IndividualSa { pseudonym: 0, sa: 2, probability: 0.2 })
+        .unwrap();
+    let est = engine.estimate(&table, &kb).unwrap();
+    println!("(1) P(Alice has breast cancer) = 0.2:");
+    print_posterior("Alice (i1)", &est.person_posterior(0), &diseases);
+    print_posterior("same-QI peer (i2)", &est.person_posterior(1), &diseases);
+
+    // (2) "Alice has either breast cancer or HIV".
+    let mut kb = KnowledgeBase::new();
+    kb.push(Knowledge::IndividualOneOf { pseudonym: 0, sas: vec![2, 3] })
+        .unwrap();
+    let est = engine.estimate(&table, &kb).unwrap();
+    println!("\n(2) Alice has either breast cancer or HIV:");
+    print_posterior("Alice (i1)", &est.person_posterior(0), &diseases);
+
+    // (3) "Two people among Alice (q1), Bob (q2), Charlie (q5) have HIV" —
+    // the paper's exact multi-person example.
+    let q2 = table.interner().lookup(&[1, 0]).unwrap();
+    let q5 = table.interner().lookup(&[1, 3]).unwrap();
+    let i4 = pseud.pseudonyms_of(q2).start;
+    let i9 = pseud.pseudonyms_of(q5).start;
+    let mut kb = KnowledgeBase::new();
+    kb.push(Knowledge::GroupCount { pseudonyms: vec![0, i4, i9], sa: 3, count: 2 })
+        .unwrap();
+    let est = engine.estimate(&table, &kb).unwrap();
+    println!("\n(3) Exactly two of {{Alice, Bob, Charlie}} have HIV:");
+    print_posterior("Alice (i1)", &est.person_posterior(0), &diseases);
+    print_posterior(&format!("Bob ({})", pseud.name(i4)), &est.person_posterior(i4), &diseases);
+    print_posterior(
+        &format!("Charlie ({})", pseud.name(i9)),
+        &est.person_posterior(i9),
+        &diseases,
+    );
+    let total: f64 = [0, i4, i9].iter().map(|&i| est.person_posterior(i)[3]).sum();
+    println!("    expected HIV count across the trio: {total:.3} (constraint: 2)");
+}
+
+fn print_posterior(name: &str, posterior: &[f64], diseases: &[&str]) {
+    let row: Vec<String> = posterior
+        .iter()
+        .enumerate()
+        .filter(|(_, &p)| p > 1e-6)
+        .map(|(s, &p)| format!("{}={:.3}", diseases[s], p))
+        .collect();
+    println!("    {name:18} {}", row.join("  "));
+}

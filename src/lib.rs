@@ -1,0 +1,26 @@
+//! Umbrella crate for the Privacy-MaxEnt reproduction workspace.
+//!
+//! This crate exists to host the runnable [examples](../examples) and the
+//! cross-crate integration tests in `tests/`. It re-exports the public API of
+//! every member crate so examples can `use privacy_maxent_repro::prelude::*`.
+
+pub use pm_anonymize as anonymize;
+pub use pm_assoc as assoc;
+pub use pm_datagen as datagen;
+pub use pm_linalg as linalg;
+pub use pm_microdata as microdata;
+pub use pm_solver as solver;
+pub use privacy_maxent as maxent;
+
+/// One-stop imports for examples and integration tests.
+pub mod prelude {
+    pub use pm_anonymize::{anatomy::AnatomyBucketizer, published::PublishedTable};
+    pub use pm_assoc::miner::{MinerConfig, RuleMiner};
+    pub use pm_assoc::rule::{AssociationRule, RulePolarity};
+    pub use pm_datagen::adult::{AdultGenerator, AdultGeneratorConfig};
+    pub use pm_microdata::dataset::Dataset;
+    pub use pm_microdata::schema::{AttributeRole, Schema};
+    pub use privacy_maxent::engine::{Engine, EngineConfig};
+    pub use privacy_maxent::knowledge::{Knowledge, KnowledgeBase};
+    pub use privacy_maxent::metrics;
+}

@@ -1,0 +1,101 @@
+//! Integration tests of the Section 6 individual-knowledge engine against
+//! the base engine and on randomized instances.
+
+use pm_anonymize::anatomy::{AnatomyBucketizer, AnatomyConfig};
+use pm_anonymize::fixtures::paper_example;
+use pm_anonymize::pseudonym::PseudonymTable;
+use pm_datagen::workload::{synthetic_dataset, WorkloadConfig};
+use privacy_maxent::engine::Engine;
+use privacy_maxent::individuals::IndividualEngine;
+use privacy_maxent::knowledge::{Knowledge, KnowledgeBase};
+
+#[test]
+fn mixed_knowledge_combines_both_kinds() {
+    // Distribution knowledge + individual knowledge in one base.
+    let (_, table) = paper_example();
+    let mut kb = KnowledgeBase::new();
+    kb.push(Knowledge::Conditional { antecedent: vec![(0, 0)], sa: 2, probability: 0.0 })
+        .unwrap();
+    kb.push(Knowledge::IndividualSa { pseudonym: 0, sa: 3, probability: 0.5 })
+        .unwrap();
+    let est = IndividualEngine::new().estimate(&table, &kb).unwrap();
+    // Individual part honoured…
+    assert!((est.person_posterior(0)[3] - 0.5).abs() < 1e-5);
+    // …and the distribution part: males never have breast cancer.
+    let interner = table.interner();
+    for (q, tuple, _) in interner.iter() {
+        if tuple[0] == 0 {
+            assert!(est.conditional(q, 2) < 1e-6, "male q{q} got breast cancer");
+        }
+    }
+}
+
+#[test]
+fn conditional_knowledge_matches_base_engine_through_expansion() {
+    // Pure distribution knowledge must produce identical conditionals via
+    // either engine (pseudonym expansion is a refinement, not a change).
+    let (_, table) = paper_example();
+    let mut kb = KnowledgeBase::new();
+    kb.push(Knowledge::Conditional { antecedent: vec![(1, 0)], sa: 3, probability: 0.4 })
+        .unwrap();
+    let base = Engine::default().estimate(&table, &kb).unwrap();
+    let expanded = IndividualEngine::new().estimate(&table, &kb).unwrap();
+    for q in 0..base.distinct_qi() {
+        for s in 0..5u16 {
+            assert!(
+                (base.conditional(q, s) - expanded.conditional(q, s)).abs() < 1e-5,
+                "q={q} s={s}: base {} vs expanded {}",
+                base.conditional(q, s),
+                expanded.conditional(q, s)
+            );
+        }
+    }
+}
+
+#[test]
+fn person_posteriors_are_distributions_on_random_data() {
+    for seed in 0..4u64 {
+        let data = synthetic_dataset(&WorkloadConfig {
+            records: 40,
+            qi_arities: vec![3, 2],
+            sa_arity: 4,
+            correlation: 0.4,
+            seed,
+        });
+        let table = AnatomyBucketizer::new(AnatomyConfig { ell: 4, exempt_top: 4 })
+            .publish(&data)
+            .unwrap();
+        let est = IndividualEngine::new().estimate(&table, &KnowledgeBase::new()).unwrap();
+        let pseud = PseudonymTable::from_interner(table.interner());
+        for i in 0..pseud.total() {
+            let posterior = est.person_posterior(i);
+            let sum: f64 = posterior.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "seed {seed} person {i}: sum {sum}");
+            assert!(posterior.iter().all(|&p| p >= -1e-9));
+        }
+    }
+}
+
+#[test]
+fn certainty_about_one_person_shifts_peers() {
+    // Telling the adversary one q1-person's disease redistributes the
+    // remaining bucket mass over the other q1 people.
+    let (_, table) = paper_example();
+    let baseline = IndividualEngine::new()
+        .estimate(&table, &KnowledgeBase::new())
+        .unwrap();
+    let mut kb = KnowledgeBase::new();
+    kb.push(Knowledge::IndividualOneOf { pseudonym: 0, sas: vec![3] }) // i1 has HIV
+        .unwrap();
+    let est = IndividualEngine::new().estimate(&table, &kb).unwrap();
+    // i1 pinned.
+    assert!((est.person_posterior(0)[3] - 1.0).abs() < 1e-5);
+    // Peers i2, i3 now have *less* HIV probability than baseline (i1 takes
+    // the only admissible q1-HIV slot in bucket 2).
+    for peer in [1usize, 2] {
+        assert!(
+            est.person_posterior(peer)[3] < baseline.person_posterior(peer)[3] + 1e-9,
+            "peer {peer}"
+        );
+    }
+}

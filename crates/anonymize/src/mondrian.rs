@@ -132,7 +132,7 @@ mod tests {
     fn classes_respect_k_and_partition() {
         let d = synthetic_dataset(&WorkloadConfig { records: 200, seed: 5, ..Default::default() });
         let classes = Mondrian::new(MondrianConfig { k: 7 }).partition(&d).unwrap();
-        let mut seen = vec![false; 200];
+        let mut seen = [false; 200];
         for c in &classes {
             assert!(c.len() >= 7, "class of {} records", c.len());
             for &r in c {

@@ -75,6 +75,68 @@ proptest! {
         }
     }
 
+    /// Raising the support threshold is monotone: the rules mined at a
+    /// higher `min_support` are exactly the lower-threshold rules whose
+    /// support already met it — no rule appears or changes its statistics.
+    #[test]
+    fn support_threshold_monotone(
+        lo in 1usize..4,
+        extra in 1usize..6,
+        seed in 0u64..300,
+    ) {
+        let hi = lo + extra;
+        let data = synthetic_dataset(&WorkloadConfig {
+            records: 90,
+            qi_arities: vec![3, 2],
+            sa_arity: 4,
+            correlation: 0.5,
+            seed,
+        });
+        let loose = RuleMiner::new(MinerConfig { min_support: lo, arities: vec![1, 2] })
+            .mine(&data);
+        let tight = RuleMiner::new(MinerConfig { min_support: hi, arities: vec![1, 2] })
+            .mine(&data);
+        let filtered_pos: Vec<_> =
+            loose.positive.iter().filter(|r| r.support >= hi).cloned().collect();
+        let filtered_neg: Vec<_> =
+            loose.negative.iter().filter(|r| r.support >= hi).cloned().collect();
+        prop_assert_eq!(filtered_pos, tight.positive);
+        prop_assert_eq!(filtered_neg, tight.negative);
+    }
+
+    /// Confidence sorting is genuinely monotone within each polarity, every
+    /// confidence is a valid probability, and no (antecedent, SA value)
+    /// rule is emitted twice.
+    #[test]
+    fn confidence_sorted_and_rules_unique(
+        records in 40usize..150,
+        correlation in 0.0f64..1.0,
+        seed in 0u64..300,
+    ) {
+        let data = synthetic_dataset(&WorkloadConfig {
+            records,
+            qi_arities: vec![3, 2],
+            sa_arity: 4,
+            correlation,
+            seed,
+        });
+        let mined = RuleMiner::new(MinerConfig { min_support: 1, arities: vec![1, 2] })
+            .mine(&data);
+        for rules in [&mined.positive, &mined.negative] {
+            for w in rules.windows(2) {
+                prop_assert!(w[0].confidence >= w[1].confidence);
+            }
+            let mut seen = std::collections::HashSet::new();
+            for r in rules {
+                prop_assert!(r.confidence > 0.0 && r.confidence <= 1.0);
+                prop_assert!(
+                    seen.insert((r.antecedent.clone(), r.sa_value)),
+                    "duplicate rule for {:?} => {}", r.antecedent, r.sa_value
+                );
+            }
+        }
+    }
+
     /// Top-k never returns more than requested and respects the sort.
     #[test]
     fn top_k_contract(k_pos in 0usize..50, k_neg in 0usize..50, seed in 0u64..200) {

@@ -35,6 +35,11 @@ use crate::partition::{connected_components, Component};
 use crate::preprocess::preprocess;
 use crate::terms::TermIndex;
 
+/// Result of one constraint-system solve: expanded local term values, solver
+/// stats (`None` when preprocessing fully determined the system), final
+/// residual, and the reduced system's (constraints, free terms) size.
+type SolvedSystem = (Vec<f64>, Option<SolveStats>, f64, usize, usize);
+
 /// Which numerical solver minimises the dual.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SolverKind {
@@ -445,7 +450,7 @@ impl Engine {
         local_constraints: &[Constraint],
         n_local: usize,
         comp_mass: f64,
-    ) -> Result<(Vec<f64>, Option<SolveStats>, f64, usize, usize), CoreError> {
+    ) -> Result<SolvedSystem, CoreError> {
         let reduced = preprocess(local_constraints, n_local)?;
         let nc = reduced.rows.len();
         let nf = reduced.num_free();

@@ -91,13 +91,12 @@ pub fn connected_components(
 
     // Gather buckets per root.
     let mut root_of = vec![0usize; m];
-    for b in 0..m {
-        root_of[b] = uf.find(b);
+    for (b, root) in root_of.iter_mut().enumerate() {
+        *root = uf.find(b);
     }
     let mut comp_id = vec![usize::MAX; m];
     let mut components: Vec<Component> = Vec::new();
-    for b in 0..m {
-        let r = root_of[b];
+    for (b, &r) in root_of.iter().enumerate() {
         if comp_id[r] == usize::MAX {
             comp_id[r] = components.len();
             components.push(Component { buckets: Vec::new(), knowledge_rows: Vec::new() });

@@ -1,0 +1,225 @@
+//! Minimal, dependency-free shim for the subset of the `criterion` API this
+//! workspace uses. The build environment has no network access to a crates
+//! registry, so the workspace vendors this shim via a `path` dependency.
+//!
+//! Benches compile and run under `cargo bench`, timing each target with a
+//! short warm-up followed by up to `sample_size` measured samples and
+//! printing `group/id  mean ± stddev` lines. Differences from real
+//! criterion: no statistical analysis, HTML report or saved-baseline
+//! comparison, and `measurement_time` is a *cap* on total sampling time
+//! (sampling stops early once exceeded) rather than a target to fill.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+const DEFAULT_SAMPLE_SIZE: usize = 100;
+const DEFAULT_MEASUREMENT_TIME: Duration = Duration::from_secs(5);
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            measurement_time: DEFAULT_MEASUREMENT_TIME,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&id, DEFAULT_SAMPLE_SIZE, DEFAULT_MEASUREMENT_TIME, &mut f);
+        self
+    }
+}
+
+/// A named group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.sample_size, self.measurement_time, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.sample_size, self.measurement_time, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Collects up to `sample_size` timed samples of `routine` (one call
+    /// per sample). Unlike real criterion, `measurement_time` acts as a
+    /// cap, not a target: sampling stops early (after at least two samples)
+    /// once it is exceeded. Calling `iter` twice replaces the previous
+    /// samples rather than mixing the two routines' timings.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.samples.clear();
+        // Warm-up (also primes caches / lazy statics).
+        std_black_box(routine());
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std_black_box(routine());
+            self.samples.push(start.elapsed());
+            if self.samples.len() >= 2 && budget_start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    f: &mut F,
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+        measurement_time,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    let n = b.samples.len() as f64;
+    let mean = b.samples.iter().map(Duration::as_secs_f64).sum::<f64>() / n;
+    let var = b
+        .samples
+        .iter()
+        .map(|d| (d.as_secs_f64() - mean).powi(2))
+        .sum::<f64>()
+        / n;
+    println!(
+        "{id:<48} {:>12} ± {}",
+        format_time(mean),
+        format_time(var.sqrt())
+    );
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Collects benchmark functions into a single group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        let mut ran = 0u32;
+        group.bench_function("counting", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert!(ran >= 5, "routine executed at least once per sample");
+    }
+}

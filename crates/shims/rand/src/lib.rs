@@ -1,0 +1,221 @@
+//! Minimal, dependency-free shim for the subset of the `rand` 0.9 API this
+//! workspace uses (`SmallRng`, `SeedableRng::seed_from_u64`, `Rng::random`,
+//! `Rng::random_range`).
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors this shim via a `path` dependency. The generator is
+//! xoshiro256++ (the same family the real `SmallRng` uses on 64-bit
+//! targets), seeded through SplitMix64 exactly like
+//! `rand::SeedableRng::seed_from_u64`, so generated datasets are
+//! deterministic, well distributed, and stable across runs.
+
+use std::ops::Range;
+
+/// Seedable random generator constructors.
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed (SplitMix64-expanded).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from the generator's raw output.
+pub trait Standard: Sized {
+    fn from_raw(raw: u64) -> Self;
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` using the high 53 bits, as the real crate does.
+    fn from_raw(raw: u64) -> Self {
+        (raw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn from_raw(raw: u64) -> Self {
+        raw
+    }
+}
+
+impl Standard for u32 {
+    fn from_raw(raw: u64) -> Self {
+        (raw >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn from_raw(raw: u64) -> Self {
+        raw >> 63 == 1
+    }
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange {
+    type Output;
+    fn sample(self, rng: &mut dyn RngCore) -> Self::Output;
+}
+
+// Plain modulo reduction: biased for spans that don't divide 2^64, but the
+// bias is ~span/2^64 — negligible for the tiny categorical ranges this
+// workspace samples. Spans are computed with wrapping arithmetic in the
+// widest type so ranges like `i64::MIN..i64::MAX` cannot overflow.
+macro_rules! impl_uint_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_uint_range!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_sint_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add((rng.next_u64() % span) as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_sint_range!(i64, i32);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut dyn RngCore) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let v = self.start + f64::from_raw(rng.next_u64()) * (self.end - self.start);
+        // Rounding can land exactly on `end` when the span's ULP is coarse;
+        // clamp to preserve the half-open [start, end) contract.
+        v.min(self.end.next_down())
+    }
+}
+
+/// Object-safe raw-output source, mirroring `rand_core::RngCore`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    fn random<T: Standard>(&mut self) -> T {
+        T::from_raw(self.next_u64())
+    }
+
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ small fast generator.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, identical to rand_core's seed_from_u64.
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let v = rng.random_range(0usize..5);
+            assert!(v < 5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 0..5 reachable");
+    }
+
+    #[test]
+    fn full_width_signed_range_does_not_overflow() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut saw_negative = false;
+        for _ in 0..1000 {
+            let v = rng.random_range(i64::MIN..i64::MAX);
+            saw_negative |= v < 0;
+            assert!(v < i64::MAX);
+        }
+        assert!(saw_negative, "full-width range covers negatives");
+    }
+
+    #[test]
+    fn f64_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = rng.random_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&v));
+        }
+    }
+}

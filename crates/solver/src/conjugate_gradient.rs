@@ -178,7 +178,7 @@ mod tests {
             ],
         );
         let dual = MaxEntDual::new(a, vec![0.3, 0.7, 0.4, 0.6]);
-        let sol = conjugate_gradient(&dual, &vec![0.0; 4], &CgConfig::default());
+        let sol = conjugate_gradient(&dual, &[0.0; 4], &CgConfig::default());
         assert!(sol.stats.converged());
         let p = dual.primal(&sol.x);
         let want = [0.12, 0.18, 0.28, 0.42];

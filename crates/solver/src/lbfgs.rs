@@ -208,7 +208,7 @@ mod tests {
     fn solves_higher_dimensional_rosenbrock() {
         let r = Rosenbrock { n: 10 };
         let cfg = LbfgsConfig { max_iterations: 5000, tolerance: 1e-7, ..Default::default() };
-        let sol = Lbfgs::new(cfg).minimize(&r, &vec![0.0; 10]);
+        let sol = Lbfgs::new(cfg).minimize(&r, &[0.0; 10]);
         assert!(sol.stats.converged(), "{:?}", sol.stats);
         for v in &sol.x {
             assert!((v - 1.0).abs() < 1e-4);

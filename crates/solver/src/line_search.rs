@@ -62,7 +62,7 @@ pub fn strong_wolfe(
     grad_out: &mut [f64],
 ) -> LineSearchResult {
     let mut evals = 0usize;
-    if !(g0d < 0.0) || !g0d.is_finite() {
+    if g0d >= 0.0 || !g0d.is_finite() {
         return LineSearchResult { alpha: 0.0, f: f0, evals, success: false };
     }
 

@@ -165,7 +165,7 @@ mod tests {
             ],
         );
         let dual = MaxEntDual::new(a, vec![0.3, 0.7, 0.4, 0.6]);
-        let sol = Lbfgs::default().minimize(&dual, &vec![0.0; 4]);
+        let sol = Lbfgs::default().minimize(&dual, &[0.0; 4]);
         assert!(sol.stats.converged());
         let p = dual.primal(&sol.x);
         let want = [0.3 * 0.4, 0.3 * 0.6, 0.7 * 0.4, 0.7 * 0.6];

@@ -34,6 +34,9 @@ impl Default for NewtonConfig {
 
 /// In-place dense Cholesky factorisation `M = L·Lᵀ` (lower triangle).
 /// Returns `false` if the matrix is not positive definite.
+// Inner loops read row `j` while updating row `i`; iterators would need
+// split borrows for no readability gain.
+#[allow(clippy::needless_range_loop)]
 fn cholesky(m: &mut [Vec<f64>]) -> bool {
     let n = m.len();
     for j in 0..n {
@@ -124,6 +127,9 @@ pub fn newton_maxent(dual: &MaxEntDual, lambda0: &[f64], cfg: &NewtonConfig) -> 
                 }
             }
         }
+        // Mirror the strict lower triangle; both triangles of `h` are
+        // touched, so this stays an index loop.
+        #[allow(clippy::needless_range_loop)]
         for r in 0..w {
             for s in 0..r {
                 h[s][r] = h[r][s];
@@ -221,7 +227,7 @@ mod tests {
             ],
         );
         let dual = MaxEntDual::new(a, vec![0.3, 0.7, 0.4, 0.6]);
-        let sol = newton_maxent(&dual, &vec![0.0; 4], &NewtonConfig::default());
+        let sol = newton_maxent(&dual, &[0.0; 4], &NewtonConfig::default());
         assert!(sol.stats.converged(), "{:?}", sol.stats);
         let p = dual.primal(&sol.x);
         let want = [0.12, 0.18, 0.28, 0.42];

@@ -134,10 +134,10 @@ pub fn gis(dual: &MaxEntDual, total_mass: f64, cfg: &ScalingConfig) -> Solution 
             stop = StopReason::Converged;
             break;
         }
-        for j in 0..w {
+        for (j, lam) in lambda.iter_mut().enumerate() {
             let c = dual.targets()[j];
             if ap[j] > 0.0 && c > 0.0 {
-                lambda[j] += (c / ap[j]).ln() / f_max;
+                *lam += (c / ap[j]).ln() / f_max;
             }
         }
         iterations = iter + 1;
@@ -258,7 +258,7 @@ pub fn iis(dual: &MaxEntDual, cfg: &ScalingConfig) -> Solution {
         }
         // For each constraint j, solve Σᵢ fⱼ(i)·pᵢ·exp(δⱼ·f#(i)) = cⱼ by
         // 1-D Newton with bisection fallback (the LHS is increasing in δⱼ).
-        for j in 0..w {
+        for (j, lam) in lambda.iter_mut().enumerate() {
             let c = dual.targets()[j];
             if c <= 0.0 {
                 continue;
@@ -299,7 +299,7 @@ pub fn iis(dual: &MaxEntDual, cfg: &ScalingConfig) -> Solution {
                     0.5 * (lo + hi)
                 };
             }
-            lambda[j] += delta;
+            *lam += delta;
         }
         iterations = iter + 1;
     }

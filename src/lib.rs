@@ -1,8 +1,62 @@
 //! Umbrella crate for the Privacy-MaxEnt reproduction workspace.
 //!
-//! This crate exists to host the runnable [examples](../examples) and the
-//! cross-crate integration tests in `tests/`. It re-exports the public API of
-//! every member crate so examples can `use privacy_maxent_repro::prelude::*`.
+//! Reproduces **"Privacy-MaxEnt: Integrating Background Knowledge in
+//! Privacy Quantification"** (Du, Teng & Zhu, SIGMOD 2008): the adversary's
+//! least-biased estimate of `P(SA | QI)` for a bucketized publication is the
+//! maximum-entropy joint distribution consistent with the published table's
+//! invariants plus any linear background knowledge.
+//!
+//! # Quickstart
+//!
+//! Run the paper's running example end to end:
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+//!
+//! which prints the uniform (no-knowledge) baseline, then adds the paper's
+//! motivating fact `P(breast cancer | male) = 0` and shows Grace — the only
+//! female in her bucket — becoming fully disclosed.
+//!
+//! The same pipeline in code:
+//!
+//! ```
+//! use privacy_maxent_repro::prelude::*;
+//!
+//! // Figure 1: original table D (10 patients) and its 3-bucket publication D'.
+//! let (data, table) = pm_anonymize::fixtures::paper_example();
+//!
+//! // Mine Top-(K+, K−) association rules from the original data…
+//! let mined = RuleMiner::new(MinerConfig { min_support: 3, arities: vec![1] })
+//!     .mine(&data);
+//! // …take the strongest negative rule (male ⇒ ¬breast cancer, confidence 1)…
+//! let kb = KnowledgeBase::from_rules(mined.top_k(0, 1), data.schema()).unwrap();
+//!
+//! // …and solve the constrained maxent problem.
+//! let est = Engine::default().estimate(&table, &kb).unwrap();
+//! let grace = table.interner().lookup(&[1, 2]).unwrap(); // (female, junior)
+//! assert!((est.conditional(grace, 2) - 1.0).abs() < 1e-6); // fully disclosed
+//! ```
+//!
+//! # Workspace layout
+//!
+//! | Crate | Role |
+//! |-------|------|
+//! | [`pm_microdata`] | schemas, records, datasets, empirical `P(SA \| QI)` |
+//! | [`pm_anonymize`] | Anatomy / Mondrian bucketizers, pseudonyms, `D'` |
+//! | [`pm_assoc`] | Top-(K+, K−) association-rule mining |
+//! | [`pm_linalg`] | dense + CSR sparse kernels |
+//! | [`pm_solver`] | GIS/IIS, gradient, CG, L-BFGS, Newton maxent solvers |
+//! | [`privacy_maxent`](maxent) | invariants, knowledge compilation, engine |
+//! | [`pm_datagen`] | Adult-census-like and synthetic generators |
+//! | `pm-bench` | Figure 5-7 experiment pipelines + criterion benches |
+//! | `pm-cli` | `pm` binary: anonymize, mine, quantify |
+//!
+//! Other runnable examples: `adult_census`, `breast_cancer`,
+//! `generalization`, `individuals` (Section 6 per-person knowledge).
+//!
+//! This crate re-exports the public API of every member so examples and the
+//! cross-crate integration tests in `tests/` can use one import.
 
 pub use pm_anonymize as anonymize;
 pub use pm_assoc as assoc;

@@ -1,0 +1,167 @@
+//! Golden end-to-end test on the paper's running example: anonymized table
+//! (Figure 1(c) bucket layout) + background knowledge mined from the
+//! original data → maxent engine → per-QI and per-individual disclosure
+//! probabilities, checked against hand-computed exact values.
+//!
+//! With the single strongest mined negative rule `male ⇒ ¬breast cancer`
+//! (confidence 1), the zero-forced terms are eliminated and each bucket's
+//! remaining system has only its QI/SA marginal invariants, whose maxent
+//! solution is the independence (outer-product) table — Theorem 5 /
+//! Appendix B. That makes every number below derivable by hand:
+//!
+//! * Bucket 1 holds q1×2, q2, q3 with SA counts {flu: 2, pneumonia: 1,
+//!   breast cancer: 1}. The zero rule sends all breast-cancer mass to q2
+//!   (the only female), pinning q2's bucket-1 mass entirely; q1/q3 then
+//!   split {flu, pneumonia} in proportion 2:1.
+//! * Bucket 2 holds q1, q3, q4 with {hiv, pneumonia, breast cancer}; the
+//!   breast-cancer record must be q4 (Grace) — full disclosure — and q1/q3
+//!   split {hiv, pneumonia} evenly.
+//! * Bucket 3 holds q2, q5, q6 with {hiv, lung cancer, flu} and no binding
+//!   knowledge: the uniform (independence) split, 1/3 each.
+
+use pm_anonymize::fixtures::paper_example;
+use pm_anonymize::pseudonym::PseudonymTable;
+use pm_assoc::miner::{MinerConfig, RuleMiner};
+use pm_assoc::rule::RulePolarity;
+use privacy_maxent::engine::Engine;
+use privacy_maxent::individuals::IndividualEngine;
+use privacy_maxent::knowledge::KnowledgeBase;
+
+// SA value codes of the paper-example schema.
+const FLU: u16 = 0;
+const PNEUMONIA: u16 = 1;
+const BREAST_CANCER: u16 = 2;
+const HIV: u16 = 3;
+const LUNG_CANCER: u16 = 4;
+
+const TOL: f64 = 1e-6;
+
+/// Mines the strongest negative rule from the original data and returns it
+/// as a knowledge base, asserting it is exactly `male ⇒ ¬breast cancer`.
+fn mined_knowledge() -> (KnowledgeBase, pm_anonymize::published::PublishedTable) {
+    let (data, table) = paper_example();
+    let mined = RuleMiner::new(MinerConfig { min_support: 3, arities: vec![1] }).mine(&data);
+    let top = mined.top_k(0, 1);
+    assert_eq!(top.len(), 1);
+    let rule = top[0];
+    assert_eq!(rule.polarity, RulePolarity::Negative);
+    assert_eq!(rule.antecedent, vec![(0, 0)], "antecedent is gender = male");
+    assert_eq!(rule.sa_value, BREAST_CANCER);
+    assert_eq!(rule.confidence, 1.0);
+    assert_eq!(rule.support, 6, "all six males lack breast cancer");
+    let kb = KnowledgeBase::from_rules(top, data.schema()).unwrap();
+    (kb, table)
+}
+
+#[test]
+fn golden_conditionals_from_mined_rule() {
+    let (kb, table) = mined_knowledge();
+    let est = Engine::default().estimate(&table, &kb).unwrap();
+    let q = |gender: u16, degree: u16| table.interner().lookup(&[gender, degree]).unwrap();
+    let (q1, q2, q3) = (q(0, 0), q(1, 0), q(0, 1));
+    let (q4, q5, q6) = (q(1, 2), q(1, 3), q(0, 3));
+
+    // q1 (male, college — Allen, Brian, Ethan): buckets 1 and 2.
+    // Bucket 1 independence over {q1: 2, q3: 1} × {flu: 2, pneumonia: 1}
+    // gives q1 flu 4/3, pneumonia 2/3 (counts); bucket 2 over
+    // {q1: 1, q3: 1} × {hiv: 1, pneumonia: 1} gives 1/2 each.
+    let expect_q1 = [
+        (FLU, 4.0 / 9.0),          // (4/3)/3
+        (PNEUMONIA, 7.0 / 18.0),   // (2/3 + 1/2)/3
+        (BREAST_CANCER, 0.0),
+        (HIV, 1.0 / 6.0),          // (1/2)/3
+        (LUNG_CANCER, 0.0),
+    ];
+    // q3 (male, high school — David, Frank): same buckets, half the q1 mass
+    // in bucket 1.
+    let expect_q3 = [
+        (FLU, 1.0 / 3.0),          // (2/3)/2
+        (PNEUMONIA, 5.0 / 12.0),   // (1/3 + 1/2)/2
+        (BREAST_CANCER, 0.0),
+        (HIV, 1.0 / 4.0),          // (1/2)/2
+        (LUNG_CANCER, 0.0),
+    ];
+    // q2 (female, college — Cathy, Helen): all of bucket 1's breast cancer,
+    // plus a uniform third of bucket 3.
+    let expect_q2 = [
+        (FLU, 1.0 / 6.0),
+        (PNEUMONIA, 0.0),
+        (BREAST_CANCER, 1.0 / 2.0),
+        (HIV, 1.0 / 6.0),
+        (LUNG_CANCER, 1.0 / 6.0),
+    ];
+    // q4 (female, junior — Grace): fully disclosed.
+    let expect_q4 = [
+        (FLU, 0.0),
+        (PNEUMONIA, 0.0),
+        (BREAST_CANCER, 1.0),
+        (HIV, 0.0),
+        (LUNG_CANCER, 0.0),
+    ];
+    // q5 and q6 (Iris, James): uniform over bucket 3's SA multiset.
+    let expect_b3 = [
+        (FLU, 1.0 / 3.0),
+        (PNEUMONIA, 0.0),
+        (BREAST_CANCER, 0.0),
+        (HIV, 1.0 / 3.0),
+        (LUNG_CANCER, 1.0 / 3.0),
+    ];
+
+    for (qi, expected, label) in [
+        (q1, &expect_q1, "q1"),
+        (q2, &expect_q2, "q2"),
+        (q3, &expect_q3, "q3"),
+        (q4, &expect_q4, "q4"),
+        (q5, &expect_b3, "q5"),
+        (q6, &expect_b3, "q6"),
+    ] {
+        for &(s, want) in expected.iter() {
+            let got = est.conditional(qi, s);
+            assert!(
+                (got - want).abs() < TOL,
+                "{label}: P(s{s} | q) = {got}, hand-computed {want}"
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_per_individual_disclosure() {
+    let (kb, table) = mined_knowledge();
+    let est = IndividualEngine::new().estimate(&table, &kb).unwrap();
+    let pseud = PseudonymTable::from_interner(table.interner());
+    let q4 = table.interner().lookup(&[1, 2]).unwrap();
+
+    // Without individual-specific knowledge, people sharing a QI tuple are
+    // exchangeable: each person's posterior equals their tuple's
+    // conditional (checked against the golden values via the other test).
+    let base = Engine::default().estimate(&table, &kb).unwrap();
+    for i in 0..pseud.total() {
+        let q = pseud.owner(i);
+        let posterior = est.person_posterior(i);
+        let sum: f64 = posterior.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5, "person {i} posterior sums to {sum}");
+        for (s, &p) in posterior.iter().enumerate() {
+            let want = base.conditional(q, s as u16);
+            assert!(
+                (p - want).abs() < 1e-5,
+                "person {i} (q{q}): posterior[{s}] = {p}, conditional {want}"
+            );
+        }
+    }
+
+    // Grace is the only (female, junior) record: the mined rule pins her
+    // bucket's breast-cancer record on her — disclosure probability 1.
+    let grace: Vec<_> = pseud.pseudonyms_of(q4).collect();
+    assert_eq!(grace.len(), 1);
+    let posterior = est.person_posterior(grace[0]);
+    assert!(
+        (posterior[BREAST_CANCER as usize] - 1.0).abs() < 1e-5,
+        "Grace must be fully disclosed: {posterior:?}"
+    );
+    // And she is the *only* fully disclosed individual.
+    let disclosed = (0..pseud.total())
+        .filter(|&i| est.person_posterior(i).iter().any(|&p| p > 1.0 - 1e-5))
+        .count();
+    assert_eq!(disclosed, 1);
+}

@@ -7,3 +7,4 @@
 
 pub mod pipeline;
 pub mod figures;
+pub mod parallel;

@@ -1,0 +1,300 @@
+//! Thread-sweep benchmark of the parallel component solver.
+//!
+//! Section 5.5 decomposes the Adult workload (14,210 records, 2,842
+//! buckets) into many small independent maxent systems; the engine solves
+//! them on a `pm-parallel` worker pool. This module measures the wall-time
+//! trajectory over a thread sweep and emits one machine-readable JSON
+//! report (`BENCH_parallel.json` by convention) so the perf history of the
+//! repo has comparable data points: wall time, component structure,
+//! threads, speedup — and a paranoid bit-identity check of every run
+//! against the single-thread baseline.
+
+use std::time::{Duration, Instant};
+
+use pm_anonymize::anatomy::{AnatomyBucketizer, AnatomyConfig};
+use pm_anonymize::published::PublishedTable;
+use pm_assoc::miner::{MinerConfig, RuleMiner};
+use pm_datagen::adult::{AdultGenerator, AdultGeneratorConfig};
+use privacy_maxent::engine::{Engine, EngineConfig, Estimate};
+use privacy_maxent::knowledge::KnowledgeBase;
+
+use crate::pipeline::Scale;
+
+/// Configuration of one benchmark sweep.
+#[derive(Debug, Clone)]
+pub struct ParallelBenchConfig {
+    /// Workload scale (record count).
+    pub scale: Scale,
+    /// Generator seed.
+    pub seed: u64,
+    /// Thread counts to sweep (a `threads = 1` baseline always runs first).
+    pub threads: Vec<usize>,
+    /// Exact antecedent arity of the mined knowledge (the paper's `T`).
+    /// Specific (high-arity) antecedents touch few buckets each, which is
+    /// what makes the Section 5.5 decomposition fragment into many
+    /// independent components; arity-1 rules span ~every bucket and fuse
+    /// the system into one giant component with nothing to parallelise.
+    pub arity: usize,
+    /// Top-(K+, K−) rule budget supplying the background knowledge.
+    pub k_positive: usize,
+    /// Negative-rule budget.
+    pub k_negative: usize,
+}
+
+impl Default for ParallelBenchConfig {
+    fn default() -> Self {
+        Self {
+            scale: Scale::Quick,
+            seed: 1,
+            threads: vec![1, 2, 4],
+            arity: 4,
+            k_positive: 50,
+            k_negative: 50,
+        }
+    }
+}
+
+/// The generated workload a sweep runs against.
+struct BenchWorkload {
+    records: usize,
+    table: PublishedTable,
+    kb: KnowledgeBase,
+    rules: usize,
+}
+
+fn build_workload(cfg: &ParallelBenchConfig) -> BenchWorkload {
+    let data = AdultGenerator::new(AdultGeneratorConfig {
+        records: cfg.scale.records(),
+        seed: cfg.seed,
+    })
+    .generate();
+    let table = AnatomyBucketizer::new(AnatomyConfig { ell: 5, exempt_top: 1 })
+        .publish(&data)
+        .expect("bucketization succeeds at bench scale");
+    let rules = RuleMiner::new(MinerConfig { min_support: 3, arities: vec![cfg.arity] })
+        .mine(&data);
+    let picked = rules.top_k(cfg.k_positive, cfg.k_negative);
+    let kb = KnowledgeBase::from_rules(picked.iter().copied(), data.schema())
+        .expect("mined rules are valid knowledge");
+    BenchWorkload { records: data.len(), table, kb, rules: picked.len() }
+}
+
+/// One measured run of the sweep.
+#[derive(Debug, Clone)]
+pub struct ParallelRun {
+    /// Worker threads requested (`EngineConfig::threads`).
+    pub threads: usize,
+    /// Wall time of the full `estimate` call.
+    pub wall: Duration,
+    /// Summed per-component solver time (exceeds `wall` when parallel).
+    pub solver: Duration,
+    /// `baseline wall / this wall`.
+    pub speedup: f64,
+    /// Whether the estimate is bit-identical to the 1-thread baseline.
+    pub identical_to_baseline: bool,
+}
+
+/// The full report — everything `BENCH_parallel.json` records.
+#[derive(Debug, Clone)]
+pub struct ParallelBenchReport {
+    /// Workload scale label (`"quick"` / `"full"`).
+    pub scale: String,
+    /// Generator seed.
+    pub seed: u64,
+    /// Records in the workload.
+    pub records: usize,
+    /// Buckets in the publication.
+    pub buckets: usize,
+    /// Antecedent arity of the mined knowledge.
+    pub arity: usize,
+    /// Background-knowledge rules applied (K+ + K−).
+    pub rules: usize,
+    /// Independent connected components.
+    pub components: usize,
+    /// Components solved closed-form (irrelevant, Theorem 5).
+    pub irrelevant_components: usize,
+    /// Cores the host reports.
+    pub available_parallelism: usize,
+    /// Baseline (1-thread) wall time.
+    pub baseline_wall: Duration,
+    /// The sweep, in the order run.
+    pub runs: Vec<ParallelRun>,
+}
+
+fn bench_engine_config(threads: usize) -> EngineConfig {
+    // Mirrors the figure experiments: mined knowledge is always feasible
+    // but boundary-heavy systems converge asymptotically, so the residual
+    // gate is left open (see `crate::figures::engine_config`).
+    EngineConfig { residual_limit: f64::INFINITY, threads, ..Default::default() }
+}
+
+fn estimate(w: &BenchWorkload, threads: usize) -> (Estimate, Duration) {
+    let engine = Engine::new(bench_engine_config(threads));
+    let start = Instant::now();
+    let est = engine.estimate(&w.table, &w.kb).expect("mined knowledge is feasible");
+    (est, start.elapsed())
+}
+
+/// Runs the sweep: a 1-thread baseline, then each configured thread count.
+pub fn run(cfg: &ParallelBenchConfig) -> ParallelBenchReport {
+    let w = build_workload(cfg);
+
+    // Warmup: page the workload in and stabilise allocator/caches so the
+    // measured baseline isn't charged for first-touch costs.
+    let _ = estimate(&w, 1);
+    let (baseline, baseline_wall) = estimate(&w, 1);
+    let mut report = ParallelBenchReport {
+        scale: match cfg.scale {
+            Scale::Full => "full".to_string(),
+            Scale::Quick => "quick".to_string(),
+        },
+        seed: cfg.seed,
+        records: w.records,
+        buckets: w.table.num_buckets(),
+        arity: cfg.arity,
+        rules: w.rules,
+        components: baseline.stats.num_components,
+        irrelevant_components: baseline.stats.num_irrelevant,
+        available_parallelism: pm_parallel::available_parallelism(),
+        baseline_wall,
+        runs: Vec::new(),
+    };
+
+    for &threads in &cfg.threads {
+        let (est, wall) = estimate(&w, threads);
+        report.runs.push(ParallelRun {
+            threads,
+            wall,
+            solver: est.stats.solver_elapsed(),
+            speedup: baseline_wall.as_secs_f64() / wall.as_secs_f64(),
+            identical_to_baseline: est.term_values() == baseline.term_values(),
+        });
+    }
+    report
+}
+
+impl ParallelBenchReport {
+    /// Serialises the report as pretty-printed JSON (hand-rolled: the
+    /// offline workspace has no serde).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str("  \"bench\": \"parallel_components\",\n");
+        s.push_str(&format!("  \"scale\": \"{}\",\n", self.scale));
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!("  \"records\": {},\n", self.records));
+        s.push_str(&format!("  \"buckets\": {},\n", self.buckets));
+        s.push_str(&format!("  \"arity\": {},\n", self.arity));
+        s.push_str(&format!("  \"rules\": {},\n", self.rules));
+        s.push_str(&format!("  \"components\": {},\n", self.components));
+        s.push_str(&format!(
+            "  \"irrelevant_components\": {},\n",
+            self.irrelevant_components
+        ));
+        s.push_str(&format!(
+            "  \"available_parallelism\": {},\n",
+            self.available_parallelism
+        ));
+        s.push_str(&format!(
+            "  \"baseline_wall_seconds\": {:.6},\n",
+            self.baseline_wall.as_secs_f64()
+        ));
+        s.push_str("  \"runs\": [\n");
+        for (i, r) in self.runs.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"threads\": {}, \"wall_seconds\": {:.6}, \
+                 \"solver_seconds\": {:.6}, \"speedup\": {:.3}, \
+                 \"identical_to_baseline\": {}}}{}\n",
+                r.threads,
+                r.wall.as_secs_f64(),
+                r.solver.as_secs_f64(),
+                r.speedup,
+                r.identical_to_baseline,
+                if i + 1 < self.runs.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Human-readable sweep table (stdout companion of the JSON artifact).
+    pub fn print_table(&self) {
+        println!(
+            "parallel component solver — {} scale, seed {}: {} records, \
+             {} buckets, {} arity-{} rules",
+            self.scale, self.seed, self.records, self.buckets, self.rules, self.arity
+        );
+        println!(
+            "{} components ({} irrelevant → closed form), {} cores available",
+            self.components, self.irrelevant_components, self.available_parallelism
+        );
+        println!(
+            "{:>8}  {:>12}  {:>14}  {:>8}  {:>10}",
+            "threads", "wall (s)", "solver Σ (s)", "speedup", "identical"
+        );
+        for r in &self.runs {
+            println!(
+                "{:>8}  {:>12.4}  {:>14.4}  {:>7.2}x  {:>10}",
+                r.threads,
+                r.wall.as_secs_f64(),
+                r.solver.as_secs_f64(),
+                r.speedup,
+                r.identical_to_baseline,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> ParallelBenchReport {
+        ParallelBenchReport {
+            scale: "quick".into(),
+            seed: 7,
+            records: 100,
+            buckets: 20,
+            arity: 4,
+            rules: 10,
+            components: 5,
+            irrelevant_components: 2,
+            available_parallelism: 8,
+            baseline_wall: Duration::from_millis(500),
+            runs: vec![
+                ParallelRun {
+                    threads: 1,
+                    wall: Duration::from_millis(500),
+                    solver: Duration::from_millis(450),
+                    speedup: 1.0,
+                    identical_to_baseline: true,
+                },
+                ParallelRun {
+                    threads: 2,
+                    wall: Duration::from_millis(260),
+                    solver: Duration::from_millis(450),
+                    speedup: 500.0 / 260.0,
+                    identical_to_baseline: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let j = tiny_report().to_json();
+        assert!(j.starts_with("{\n"));
+        assert!(j.ends_with("}\n"));
+        assert!(j.contains("\"bench\": \"parallel_components\""));
+        assert!(j.contains("\"buckets\": 20"));
+        assert!(j.contains("\"baseline_wall_seconds\": 0.500000"));
+        assert!(j.contains("\"threads\": 2"));
+        assert!(j.contains("\"identical_to_baseline\": true"));
+        // Exactly one trailing comma between the two runs.
+        assert_eq!(j.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn table_print_does_not_panic() {
+        tiny_report().print_table();
+    }
+}

@@ -45,6 +45,8 @@ pub struct Options {
     pub arity: usize,
     /// Generator seed.
     pub seed: u64,
+    /// Engine worker threads (0 = all available cores).
+    pub threads: usize,
 }
 
 /// Parse error.
@@ -68,6 +70,7 @@ pub fn parse(argv: &[String]) -> Result<Options, ParseError> {
     let mut bounds = vec![0usize, 10, 100, 1000];
     let mut arity = 2usize;
     let mut seed = 1u64;
+    let mut threads = 0usize;
 
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -124,6 +127,11 @@ pub fn parse(argv: &[String]) -> Result<Options, ParseError> {
                     .parse()
                     .map_err(|_| ParseError("bad --seed".into()))?;
             }
+            "--threads" => {
+                threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| ParseError("bad --threads".into()))?;
+            }
             other => return Err(ParseError(format!("unknown flag `{other}`"))),
         }
     }
@@ -133,7 +141,7 @@ pub fn parse(argv: &[String]) -> Result<Options, ParseError> {
     if ell == 0 || arity == 0 {
         return Err(ParseError("--ell and --arity must be positive".into()));
     }
-    Ok(Options { source, ell, exempt, mechanism, bounds, arity, seed })
+    Ok(Options { source, ell, exempt, mechanism, bounds, arity, seed, threads })
 }
 
 #[cfg(test)]
@@ -147,7 +155,8 @@ mod tests {
     #[test]
     fn parses_full_command_line() {
         let o = parse(&argv(
-            "--synthetic adult:1000 --ell 4 --exempt 2 --bounds 0,5,50 --arity 3 --seed 9",
+            "--synthetic adult:1000 --ell 4 --exempt 2 --bounds 0,5,50 --arity 3 --seed 9 \
+             --threads 4",
         ))
         .unwrap();
         assert_eq!(o.source, Source::Synthetic { kind: "adult".into(), records: 1000 });
@@ -156,7 +165,15 @@ mod tests {
         assert_eq!(o.bounds, vec![0, 5, 50]);
         assert_eq!(o.arity, 3);
         assert_eq!(o.seed, 9);
+        assert_eq!(o.threads, 4);
         assert_eq!(o.mechanism, Mechanism::Anatomy);
+    }
+
+    #[test]
+    fn threads_defaults_to_auto() {
+        let o = parse(&argv("--synthetic adult:100")).unwrap();
+        assert_eq!(o.threads, 0, "0 = all available cores");
+        assert!(parse(&argv("--synthetic adult:100 --threads x")).is_err());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //!     --bounds LIST       comma-separated K values to sweep [default: 0,10,100,1000]
 //!     --arity N           max antecedent arity to mine      [default: 2]
 //!     --seed N            generator seed                    [default: 1]
+//!     --threads N         engine worker threads; 0 = all cores [default: 0]
 //! ```
 
 use std::process::ExitCode;

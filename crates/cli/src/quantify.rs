@@ -94,7 +94,11 @@ pub fn run(options: &Options) -> Result<(), Box<dyn Error>> {
         &rules,
         &bounds,
         Some(&truth),
-        &EngineConfig { residual_limit: f64::INFINITY, ..Default::default() },
+        &EngineConfig {
+            residual_limit: f64::INFINITY,
+            threads: options.threads,
+            ..Default::default()
+        },
     )?;
     println!("privacy report — one row per assumed Top-(K+, K-) knowledge bound:");
     print!("{report}");

@@ -20,6 +20,22 @@ use crate::error::CoreError;
 use crate::knowledge::{Knowledge, KnowledgeBase};
 use crate::terms::TermIndex;
 
+/// Inverted index `QI symbol → buckets containing it`, built once per
+/// compilation pass. `PublishedTable::buckets_with_qi` is an `O(m)` scan;
+/// per-rule that made knowledge compilation `O(rules · tuples · m)` — the
+/// dominant cost of assembly at Adult scale. Callers compiling several
+/// statements should hoist one index and use
+/// [`compile_conditional_indexed`].
+pub(crate) fn qi_bucket_index(table: &PublishedTable) -> Vec<Vec<usize>> {
+    let mut buckets_of: Vec<Vec<usize>> = vec![Vec::new(); table.interner().distinct()];
+    for b in 0..table.num_buckets() {
+        for &(q, _) in table.bucket(b).qi_counts() {
+            buckets_of[q].push(b);
+        }
+    }
+    buckets_of
+}
+
 /// Compiles every *distribution* knowledge item of `kb` into a constraint.
 ///
 /// Returns [`CoreError::RequiresIndividualEngine`] if `kb` contains
@@ -29,23 +45,48 @@ pub fn compile_knowledge(
     table: &PublishedTable,
     index: &TermIndex,
 ) -> Result<Vec<Constraint>, CoreError> {
-    let mut out = Vec::with_capacity(kb.len());
-    for (ki, item) in kb.items().iter().enumerate() {
-        match item {
-            Knowledge::Conditional { antecedent, sa, probability } => {
-                out.push(compile_conditional(
-                    antecedent,
-                    *sa,
-                    *probability,
-                    ki,
-                    table,
-                    index,
-                )?);
-            }
-            _ => return Err(CoreError::RequiresIndividualEngine),
-        }
+    compile_knowledge_parallel(kb, table, index, 1)
+}
+
+/// [`compile_knowledge`] on a `pm-parallel` worker pool (`threads` follows
+/// the `0 = auto` convention). Rules compile independently and the map
+/// preserves input order, so the output — and any error, reported for the
+/// lowest-indexed failing rule — is identical for every thread count.
+pub fn compile_knowledge_parallel(
+    kb: &KnowledgeBase,
+    table: &PublishedTable,
+    index: &TermIndex,
+    threads: usize,
+) -> Result<Vec<Constraint>, CoreError> {
+    if kb
+        .items()
+        .iter()
+        .any(|item| !matches!(item, Knowledge::Conditional { .. }))
+    {
+        return Err(CoreError::RequiresIndividualEngine);
     }
-    Ok(out)
+    if kb.items().is_empty() {
+        // Don't tax the no-knowledge (Theorem 5 uniform) path with the
+        // inverted-index build.
+        return Ok(Vec::new());
+    }
+    let buckets_of = qi_bucket_index(table);
+    pm_parallel::map(threads, kb.items(), |ki, item| {
+        let Knowledge::Conditional { antecedent, sa, probability } = item else {
+            unreachable!("individual knowledge rejected above");
+        };
+        compile_conditional_indexed(
+            antecedent,
+            *sa,
+            *probability,
+            ki,
+            table,
+            index,
+            &buckets_of,
+        )
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Compiles one `P(sa | Qv) = p` statement.
@@ -56,6 +97,27 @@ pub fn compile_conditional(
     knowledge_index: usize,
     table: &PublishedTable,
     index: &TermIndex,
+) -> Result<Constraint, CoreError> {
+    compile_conditional_indexed(
+        antecedent,
+        sa,
+        probability,
+        knowledge_index,
+        table,
+        index,
+        &qi_bucket_index(table),
+    )
+}
+
+/// [`compile_conditional`] against a prebuilt [`qi_bucket_index`].
+pub(crate) fn compile_conditional_indexed(
+    antecedent: &[(usize, pm_microdata::value::Value)],
+    sa: pm_microdata::value::Value,
+    probability: f64,
+    knowledge_index: usize,
+    table: &PublishedTable,
+    index: &TermIndex,
+    buckets_of: &[Vec<usize>],
 ) -> Result<Constraint, CoreError> {
     if !(0.0..=1.0).contains(&probability) {
         return Err(CoreError::InvalidProbability(probability));
@@ -82,7 +144,7 @@ pub fn compile_conditional(
             continue;
         }
         matching_count += count;
-        for b in table.buckets_with_qi(q) {
+        for &b in &buckets_of[q] {
             if let Some(t) = index.get(q, sa, b) {
                 coeffs.push((t, 1.0));
             }

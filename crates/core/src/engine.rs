@@ -14,6 +14,17 @@
 //! The solve happens in **count space** (targets scaled by `N`): the dual is
 //! better conditioned when right-hand sides are `O(1)` record counts rather
 //! than `O(1/N)` probabilities, and the maxent optimum simply rescales.
+//!
+//! # Parallelism
+//!
+//! The per-component systems are independent maxent problems (that is the
+//! whole point of Section 5.5), so relevant components are solved on a
+//! [`pm_parallel`] worker pool of [`EngineConfig::threads`] threads.
+//! Irrelevant components never reach a worker: they short-circuit to the
+//! Theorem 5 closed form on the calling thread. Each component's solve is
+//! internally sequential and results are merged in component order into
+//! disjoint term ranges, so the output is **bit-identical** for every
+//! thread count (only [`EngineStats`] wall times vary).
 
 use std::time::{Duration, Instant};
 
@@ -26,12 +37,12 @@ use pm_solver::scaling::{gis_with_primal, iis, ScalingConfig};
 use pm_solver::stats::SolveStats;
 use pm_solver::{Lbfgs, LbfgsConfig, MaxEntDual};
 
-use crate::compile::compile_knowledge;
+use crate::compile::compile_knowledge_parallel;
 use crate::constraint::{Constraint, ConstraintOrigin};
 use crate::error::CoreError;
 use crate::invariants::data_invariants;
 use crate::knowledge::KnowledgeBase;
-use crate::partition::{connected_components, Component};
+use crate::partition::{connected_components, split_separable_knowledge, Component};
 use crate::preprocess::preprocess;
 use crate::terms::TermIndex;
 
@@ -39,6 +50,22 @@ use crate::terms::TermIndex;
 /// stats (`None` when preprocessing fully determined the system), final
 /// residual, and the reduced system's (constraints, free terms) size.
 type SolvedSystem = (Vec<f64>, Option<SolveStats>, f64, usize, usize);
+
+/// Outcome of one component solve, produced on a worker thread and merged
+/// on the calling thread in component order (deterministic regardless of
+/// which worker finished first).
+struct ComponentSolution {
+    /// Global term ids of this component's local term space.
+    terms: Vec<usize>,
+    /// Solved term values (probability space), aligned with `terms`.
+    values: Vec<f64>,
+    /// Solver stats (`None` when preprocessing fully determined the system).
+    stats: Option<SolveStats>,
+    /// Constraints passed to the solver after preprocessing.
+    num_constraints: usize,
+    /// Free variables passed to the solver after preprocessing.
+    num_free_terms: usize,
+}
 
 /// Which numerical solver minimises the dual.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -73,6 +100,11 @@ pub struct EngineConfig {
     /// Residual (count space) above which the engine reports
     /// [`CoreError::SolverFailed`] instead of returning a bad estimate.
     pub residual_limit: f64,
+    /// Worker threads for per-component solves. `0` (the default) means
+    /// every available core (`std::thread::available_parallelism`); `1`
+    /// forces the sequential path. Any value yields bit-identical
+    /// estimates — threads only change wall time.
+    pub threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -89,6 +121,7 @@ impl Default for EngineConfig {
             // invariants) approach their optimum only asymptotically, so an
             // exact-zero tolerance would mis-report them as failures.
             residual_limit: 1e-2,
+            threads: 0,
         }
     }
 }
@@ -255,10 +288,15 @@ impl Engine {
         let start = Instant::now();
         let index = TermIndex::build(table);
         let mut constraints = data_invariants(table, &index, self.config.concise_invariants);
-        let knowledge_rows = compile_knowledge(kb, table, &index)?;
+        let knowledge_rows =
+            compile_knowledge_parallel(kb, table, &index, self.config.threads)?;
         constraints.extend(knowledge_rows);
 
         let components: Vec<Component> = if self.config.decompose {
+            // Confidence-1 negative rules pin terms independently; split
+            // them per bucket so they don't fuse unrelated buckets into one
+            // giant component (see `split_separable_knowledge`).
+            constraints = split_separable_knowledge(constraints, &index);
             connected_components(&constraints, &index)
         } else {
             // One pseudo-component holding everything; knowledge rows all
@@ -291,29 +329,72 @@ impl Engine {
             ..Default::default()
         };
 
+        // Irrelevant components never reach a worker: the Theorem 5 closed
+        // form is a handful of multiplications, cheaper than scheduling.
+        let mut relevant: Vec<&Component> = Vec::new();
         for comp in &components {
             if comp.is_irrelevant() && self.config.decompose {
                 stats.num_irrelevant += 1;
                 fill_uniform(table, &index, &comp.buckets, &mut values);
-                continue;
+            } else {
+                relevant.push(comp);
             }
-            self.solve_component(
-                table,
-                &index,
-                &constraints,
-                &bucket_invariants,
-                comp,
-                &mut values,
-                &mut stats,
-            )?;
+        }
+
+        // Solve relevant components on the worker pool. Each solve is
+        // independent and internally sequential; the merge below runs in
+        // component order, so the estimate is bit-identical for any thread
+        // count (and any work-stealing interleaving). A failure flips the
+        // abort flag so still-queued components are skipped instead of
+        // burning a full run's work on a doomed estimate; with `threads = 1`
+        // this reproduces the sequential fail-fast exactly, with more
+        // threads the *reported* failing component may vary with timing
+        // (successful estimates never do).
+        let failed = std::sync::atomic::AtomicBool::new(false);
+        let solved = pm_parallel::map(self.config.threads, &relevant, |_, comp| {
+            if failed.load(std::sync::atomic::Ordering::Relaxed) {
+                return None; // skipped: some other component already failed
+            }
+            let result =
+                self.solve_component(table, &index, &constraints, &bucket_invariants, comp);
+            if result.is_err() {
+                failed.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
+            Some(result)
+        });
+        let mut solutions = Vec::with_capacity(solved.len());
+        for sol in solved {
+            match sol {
+                Some(Ok(s)) => solutions.push(s),
+                // Earliest-indexed observed failure.
+                Some(Err(e)) => return Err(e),
+                // Skipped slot: the error that caused it is later in the
+                // scan and will be returned there.
+                None => {}
+            }
+        }
+        debug_assert!(
+            !failed.load(std::sync::atomic::Ordering::Relaxed),
+            "abort flag set but no error surfaced"
+        );
+        for sol in solutions {
+            stats.num_constraints += sol.num_constraints;
+            stats.num_free_terms += sol.num_free_terms;
+            if let Some(s) = sol.stats {
+                stats.component_stats.push(s);
+            }
+            for (&t, &v) in sol.terms.iter().zip(&sol.values) {
+                values[t] = v;
+            }
         }
 
         stats.total_elapsed = start.elapsed();
         Ok(Estimate::assemble(values, index, table, stats))
     }
 
-    /// Solves one component's maxent subproblem and scatters the result.
-    #[allow(clippy::too_many_arguments)]
+    /// Solves one component's maxent subproblem. Pure with respect to the
+    /// engine's shared state (runs on a worker thread); the caller merges
+    /// the returned [`ComponentSolution`] in component order.
     fn solve_component(
         &self,
         table: &PublishedTable,
@@ -321,9 +402,7 @@ impl Engine {
         constraints: &[Constraint],
         bucket_invariants: &[Vec<usize>],
         comp: &Component,
-        values: &mut [f64],
-        stats: &mut EngineStats,
-    ) -> Result<(), CoreError> {
+    ) -> Result<ComponentSolution, CoreError> {
         let n = table.total_records() as f64;
 
         // Local term space: concatenation of the component buckets' ranges.
@@ -362,8 +441,6 @@ impl Engine {
         // Stage 1: direct solve.
         let attempt = self.solve_constraints(&local_constraints, global_of.len(), comp_mass)?;
         let (mut best_values, mut best_stats, mut best_residual, nc, nf) = attempt;
-        stats.num_constraints += nc;
-        stats.num_free_terms += nf;
 
         // Stage 2 (active-set crossover): boundary optima — terms forced to
         // zero only by *combinations* of constraints — make the exponential
@@ -431,14 +508,17 @@ impl Engine {
         if best_residual > self.config.residual_limit {
             return Err(CoreError::SolverFailed { residual: best_residual });
         }
-        if let Some(s) = best_stats {
-            stats.component_stats.push(s);
-        }
 
-        for (local, &global) in global_of.iter().enumerate() {
-            values[global] = best_values[local] / n;
+        for v in &mut best_values {
+            *v /= n;
         }
-        Ok(())
+        Ok(ComponentSolution {
+            terms: global_of,
+            values: best_values,
+            stats: best_stats,
+            num_constraints: nc,
+            num_free_terms: nf,
+        })
     }
 
     /// Preprocesses and solves one constraint system (count space).
@@ -519,6 +599,22 @@ impl Engine {
         Ok((reduced.expand(&primal), Some(solution.stats), residual, nc, nf))
     }
 }
+
+// Compile-time contract: everything a worker thread borrows (engine,
+// published table, term index, constraints) or returns must be
+// `Send + Sync` for the scoped pool in [`Engine::estimate`].
+const _: () = {
+    const fn send_sync<T: Send + Sync>() {}
+    send_sync::<Engine>();
+    send_sync::<EngineConfig>();
+    send_sync::<Estimate>();
+    send_sync::<Constraint>();
+    send_sync::<Component>();
+    send_sync::<ComponentSolution>();
+    send_sync::<CoreError>();
+    send_sync::<TermIndex>();
+    send_sync::<PublishedTable>();
+};
 
 /// Fills `values` with the Theorem-5 closed form for the given buckets:
 /// `P(q, s, b) = P(q, b) · (#s in b) / N_b`.
@@ -709,6 +805,26 @@ mod tests {
         }
     }
 
+    /// Infeasible knowledge still surfaces an error from the worker pool
+    /// (the abort flag skips doomed components, it must not swallow the
+    /// failure).
+    #[test]
+    fn infeasible_knowledge_errors_on_any_thread_count() {
+        let (_, table) = paper_example();
+        // P(flu | male) = 0 is infeasible: bucket 1 holds two flus but
+        // only one non-male record.
+        let knowledge = kb(vec![Knowledge::Conditional {
+            antecedent: vec![(0, 0)],
+            sa: 0,
+            probability: 0.0,
+        }]);
+        for threads in [1usize, 4] {
+            let r = Engine::new(EngineConfig { threads, ..Default::default() })
+                .estimate(&table, &knowledge);
+            assert!(r.is_err(), "threads={threads}: expected failure, got Ok");
+        }
+    }
+
     #[test]
     fn individual_knowledge_rejected() {
         let (_, table) = paper_example();
@@ -721,6 +837,62 @@ mod tests {
             Engine::default().estimate(&table, &knowledge),
             Err(CoreError::RequiresIndividualEngine)
         ));
+    }
+
+    /// Confidence-1 negative rules pin terms bucket-locally, so they must
+    /// not fuse buckets into one component — and the split decomposition
+    /// still matches the joint solve exactly.
+    #[test]
+    fn zero_rules_do_not_fuse_components() {
+        let (_, table) = paper_example();
+        // P(hiv | male) = 0 touches buckets 1 and 2.
+        let knowledge = kb(vec![Knowledge::Conditional {
+            antecedent: vec![(0, 0)],
+            sa: 3,
+            probability: 0.0,
+        }]);
+        let split = Engine::default().estimate(&table, &knowledge).unwrap();
+        assert_eq!(split.stats.num_components, 3, "buckets 1 and 2 stay separate");
+        assert_eq!(split.stats.num_irrelevant, 1, "bucket 0 is untouched");
+        let joint = Engine::new(EngineConfig { decompose: false, ..Default::default() })
+            .estimate(&table, &knowledge)
+            .unwrap();
+        for q in 0..joint.distinct_qi() {
+            for s in 0..5u16 {
+                assert!(
+                    (joint.conditional(q, s) - split.conditional(q, s)).abs() < 1e-6,
+                    "q={q} s={s}"
+                );
+            }
+        }
+    }
+
+    /// The worker-pool size never changes the estimate: per-component
+    /// solves are internally sequential and merged in component order.
+    #[test]
+    fn thread_count_is_bit_identical() {
+        let (_, table) = paper_example();
+        let knowledge = kb(vec![
+            Knowledge::Conditional { antecedent: vec![(0, 0)], sa: 0, probability: 0.3 },
+            Knowledge::Conditional { antecedent: vec![(1, 0)], sa: 3, probability: 0.4 },
+        ]);
+        let reference = Engine::new(EngineConfig { threads: 1, ..Default::default() })
+            .estimate(&table, &knowledge)
+            .unwrap();
+        for threads in [0, 2, 4, 8] {
+            let est = Engine::new(EngineConfig { threads, ..Default::default() })
+                .estimate(&table, &knowledge)
+                .unwrap();
+            assert_eq!(est.term_values(), reference.term_values(), "threads={threads}");
+            for q in 0..est.distinct_qi() {
+                assert_eq!(est.conditional_row(q), reference.conditional_row(q));
+            }
+            assert_eq!(
+                est.stats.component_stats.len(),
+                reference.stats.component_stats.len()
+            );
+            assert_eq!(est.stats.num_free_terms, reference.stats.num_free_terms);
+        }
     }
 
     #[test]

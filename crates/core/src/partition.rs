@@ -13,6 +13,8 @@
 //! same optimum. A singleton component with no knowledge is precisely an
 //! irrelevant bucket.
 
+use std::collections::BTreeMap;
+
 use crate::constraint::{Constraint, ConstraintOrigin};
 use crate::terms::TermIndex;
 
@@ -66,9 +68,61 @@ impl Component {
     }
 }
 
+/// Splits *separable* knowledge rows into per-bucket rows before
+/// partitioning.
+///
+/// A knowledge row with all-positive coefficients and a zero right-hand
+/// side — a confidence-1 negative rule, `P(s | A) = 0` — forces every term
+/// it touches to zero **individually** (a sum of non-negative terms is zero
+/// iff each is), so it carries no cross-bucket information. Left whole, it
+/// would spuriously fuse every touched bucket into one connected component;
+/// in the Adult workload the mined Top-K− rules alone are enough to weld
+/// most relevant buckets into a single giant system with nothing left to
+/// decompose. Replacing the row by one per-bucket row (same origin, same
+/// zero target) has the identical solution set and lets
+/// [`connected_components`] fragment the way Section 5.5 intends.
+pub fn split_separable_knowledge(
+    constraints: Vec<Constraint>,
+    index: &TermIndex,
+) -> Vec<Constraint> {
+    let mut out = Vec::with_capacity(constraints.len());
+    for c in constraints {
+        let separable = matches!(c.origin, ConstraintOrigin::Knowledge { .. })
+            && c.rhs == 0.0
+            && !c.coeffs.is_empty()
+            && c.coeffs.iter().all(|&(_, v)| v > 0.0);
+        if !separable {
+            out.push(c);
+            continue;
+        }
+        // BTreeMap: per-bucket rows emitted in ascending bucket order, so
+        // the split is deterministic for the engine's merge ordering.
+        let mut by_bucket: BTreeMap<usize, Vec<(usize, f64)>> = BTreeMap::new();
+        for &(t, v) in &c.coeffs {
+            by_bucket.entry(index.term(t).b).or_default().push((t, v));
+        }
+        if by_bucket.len() <= 1 {
+            out.push(c);
+            continue;
+        }
+        for (_, coeffs) in by_bucket {
+            out.push(Constraint { coeffs, rhs: 0.0, origin: c.origin.clone() });
+        }
+    }
+    out
+}
+
 /// Groups buckets into connected components induced by the knowledge rows
 /// of `constraints` (invariant rows are single-bucket and never join
 /// components).
+///
+/// # Ordering (fixed tie-breaking)
+///
+/// The output is canonical regardless of union-find internals: components
+/// ascend by their smallest bucket id, `buckets` ascend within each
+/// component, and `knowledge_rows` ascend by constraint index. The engine
+/// merges per-component solutions in this order, so the canonical ordering
+/// is what makes parallel estimates bit-identical to sequential ones.
 pub fn connected_components(
     constraints: &[Constraint],
     index: &TermIndex,
@@ -116,6 +170,14 @@ pub fn connected_components(
         // Knowledge rows with no terms (possible after a degenerate compile)
         // constrain nothing and belong to no component.
     }
+    // Enforce the canonical ordering explicitly rather than relying on the
+    // scan order above, so no future change to the union-find (or to how
+    // buckets/rows are gathered) can silently perturb engine determinism.
+    for comp in &mut components {
+        comp.buckets.sort_unstable();
+        comp.knowledge_rows.sort_unstable();
+    }
+    components.sort_by_key(|c| c.buckets[0]);
     components
 }
 
@@ -155,6 +217,61 @@ mod tests {
         let single = comps.iter().find(|c| c.buckets.len() == 1).unwrap();
         assert!(single.is_irrelevant());
         assert_eq!(single.buckets, vec![2]);
+    }
+
+    /// A confidence-1 negative rule spanning several buckets is split into
+    /// per-bucket zero rows, so it no longer fuses those buckets into one
+    /// component; an informative (non-zero) rule is left whole and fuses.
+    #[test]
+    fn separable_zero_rows_split_per_bucket() {
+        let (_, table) = paper_example();
+        let index = TermIndex::build(&table);
+        let mut cs = data_invariants(&table, &index, true);
+        // P(hiv | male) = 0 — admissible (male, hiv, b) terms live in
+        // buckets 1 and 2.
+        cs.push(compile_conditional(&[(0, 0)], 3, 0.0, 0, &table, &index).unwrap());
+        let n_before = cs.len();
+        let cs = split_separable_knowledge(cs, &index);
+        assert_eq!(cs.len(), n_before + 1, "one spanning zero row becomes two");
+        let comps = connected_components(&cs, &index);
+        assert_eq!(comps.len(), 3, "no buckets fused");
+        assert_eq!(comps.iter().filter(|c| Component::is_irrelevant(c)).count(), 1);
+
+        // The same rule with non-zero confidence couples the buckets and
+        // must be left whole.
+        let mut cs = data_invariants(&table, &index, true);
+        cs.push(compile_conditional(&[(0, 0)], 3, 0.25, 0, &table, &index).unwrap());
+        let n_before = cs.len();
+        let cs = split_separable_knowledge(cs, &index);
+        assert_eq!(cs.len(), n_before, "informative rows are not split");
+        let comps = connected_components(&cs, &index);
+        assert_eq!(comps.len(), 2, "buckets 1 and 2 fuse");
+    }
+
+    /// The canonical ordering contract: component order, bucket order and
+    /// knowledge-row order are all ascending, whatever order the knowledge
+    /// rows arrive in.
+    #[test]
+    fn ordering_is_canonical() {
+        let (_, table) = paper_example();
+        let index = TermIndex::build(&table);
+        let mut cs = data_invariants(&table, &index, true);
+        // Two knowledge rows, deliberately compiled in "reverse" bucket
+        // order: graduates appear only in bucket 2, q3 in buckets {0, 1}.
+        cs.push(compile_conditional(&[(1, 3)], 0, 0.5, 0, &table, &index).unwrap());
+        cs.push(compile_conditional(&[(0, 0), (1, 1)], 1, 0.5, 1, &table, &index).unwrap());
+        let comps = connected_components(&cs, &index);
+        let mins: Vec<usize> = comps.iter().map(|c| c.buckets[0]).collect();
+        let mut sorted = mins.clone();
+        sorted.sort_unstable();
+        assert_eq!(mins, sorted, "components ascend by smallest bucket");
+        for c in &comps {
+            assert!(c.buckets.windows(2).all(|w| w[0] < w[1]), "buckets ascend");
+            assert!(
+                c.knowledge_rows.windows(2).all(|w| w[0] < w[1]),
+                "knowledge rows ascend"
+            );
+        }
     }
 
     #[test]

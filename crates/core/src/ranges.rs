@@ -11,7 +11,7 @@ use pm_anonymize::published::PublishedTable;
 use pm_linalg::CsrMatrix;
 use pm_microdata::value::Value;
 
-use crate::compile::{compile_conditional, compile_knowledge};
+use crate::compile::{compile_conditional_indexed, compile_knowledge, qi_bucket_index};
 use crate::engine::{EngineStats, Estimate};
 use crate::error::CoreError;
 use crate::inequality::{solve_with_boxes, BoxConstraint, InequalityConfig};
@@ -94,11 +94,21 @@ pub fn estimate_with_ranges(
     let equalities = CsrMatrix::from_rows(index.len(), &rows);
 
     // Boxes: compile each range's term set once (reusing the equality
-    // compiler on a dummy probability, then re-targeting).
+    // compiler on a dummy probability, then re-targeting) against one
+    // hoisted QI→buckets index.
+    let buckets_of = qi_bucket_index(table);
     let mut boxes = Vec::with_capacity(ranges.len());
     for (i, r) in ranges.iter().enumerate() {
         r.validate()?;
-        let compiled = compile_conditional(&r.antecedent, r.sa, 0.5, i, table, &index)?;
+        let compiled = compile_conditional_indexed(
+            &r.antecedent,
+            r.sa,
+            0.5,
+            i,
+            table,
+            &index,
+            &buckets_of,
+        )?;
         // compile gave rhs = 0.5 · P(Qv); recover P(Qv) to scale the box.
         let p_qv_counts = compiled.rhs * n / 0.5;
         boxes.push(BoxConstraint {

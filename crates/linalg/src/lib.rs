@@ -14,3 +14,12 @@ pub mod sparse;
 
 pub use dense::*;
 pub use sparse::{CsrMatrix, Triplet};
+
+// Compile-time contract: kernel types cross the engine's worker-pool
+// threads (`pm-parallel`), so they must stay `Send + Sync` — no interior
+// mutability or thread-local state may creep in.
+const _: () = {
+    const fn send_sync<T: Send + Sync>() {}
+    send_sync::<CsrMatrix>();
+    send_sync::<Triplet>();
+};

@@ -1,0 +1,207 @@
+//! # pm-parallel
+//!
+//! A tiny std-only fork-join executor for embarrassingly parallel batches.
+//!
+//! The Section 5.5 decomposition splits the maxent solve into many small
+//! independent per-component systems; this crate runs such batches on a
+//! bounded pool of scoped threads (`std::thread::scope`) with **work
+//! stealing over chunks**: workers claim the next unprocessed chunk of the
+//! input from a shared atomic cursor, so a worker that draws cheap items
+//! keeps pulling work instead of idling behind a statically assigned slice.
+//!
+//! The offline build environment has no crates registry, so `rayon` is not
+//! an option — the surface here is the minimal subset the engine needs:
+//!
+//! * [`map`] / [`map_chunked`] — parallel indexed map preserving input
+//!   order. Output `i` is always the result for input `i`, regardless of
+//!   which worker computed it or when, so callers that merge results in
+//!   input order are deterministic by construction.
+//! * [`available_parallelism`] / [`resolve_threads`] — the `0 = auto`
+//!   thread-count convention shared by `EngineConfig::threads` and the CLI.
+//!
+//! No `unsafe`: workers accumulate `(index, value)` pairs locally and the
+//! caller scatters them after joining, trading one allocation per worker
+//! for a safe, dependency-free implementation. A panicking closure panics
+//! the calling thread after all workers have stopped (no work is leaked).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of hardware threads, with a serial fallback when the platform
+/// cannot tell (`std::thread::available_parallelism` errors).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+}
+
+/// Resolves a requested thread count: `0` means "use every available core"
+/// (the default of `EngineConfig::threads` and the CLI's `--threads`).
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        available_parallelism()
+    } else {
+        requested
+    }
+}
+
+/// Chunk size balancing steal overhead against load imbalance: ~4 steals
+/// per worker, so one slow chunk costs at most ~1/4 of a worker's share.
+fn default_chunk(num_items: usize, threads: usize) -> usize {
+    (num_items / (threads * 4)).max(1)
+}
+
+/// Parallel indexed map with an automatically chosen chunk size.
+///
+/// Calls `f(i, &items[i])` for every `i` and returns the results in input
+/// order. `threads` follows the [`resolve_threads`] convention (`0` =
+/// all cores); with one effective worker the map runs on the calling
+/// thread with no pool at all.
+pub fn map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = resolve_threads(threads);
+    map_chunked(threads, default_chunk(items.len(), threads), items, f)
+}
+
+/// Parallel indexed map with an explicit chunk size.
+///
+/// Workers repeatedly claim the next `chunk` items from a shared cursor
+/// until the input is exhausted (work stealing over chunks). Results are
+/// returned in input order whatever the claim interleaving was.
+///
+/// # Panics
+/// Panics if `chunk == 0`, or (propagated) if `f` panics on any item.
+pub fn map_chunked<T, R, F>(threads: usize, chunk: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let num_chunks = items.len().div_ceil(chunk);
+    let workers = resolve_threads(threads).min(num_chunks);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+
+    let worker = |out: &mut Vec<(usize, R)>| {
+        loop {
+            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+            if start >= items.len() {
+                break;
+            }
+            let end = (start + chunk).min(items.len());
+            for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                out.push((i, f(i, item)));
+            }
+        }
+    };
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    worker(&mut out);
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(pairs) => {
+                    for (i, r) in pairs {
+                        slots[i] = Some(r);
+                    }
+                }
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        for threads in [1, 2, 3, 8] {
+            let out = map(threads, &items, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn explicit_chunk_sizes() {
+        let items: Vec<usize> = (0..97).collect();
+        for chunk in [1, 2, 7, 97, 1000] {
+            let out = map_chunked(4, chunk, &items, |_, &x| x + 1);
+            assert_eq!(out, (1..98).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(map(8, &empty, |_, &x| x).is_empty());
+        assert_eq!(map(8, &[41], |_, &x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = map_chunked(64, 1, &[1, 2, 3], |_, &x| x * x);
+        assert_eq!(out, vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        let counters: Vec<AtomicU64> = (0..256).map(|_| AtomicU64::new(0)).collect();
+        map_chunked(8, 3, &(0..256).collect::<Vec<usize>>(), |_, &i| {
+            counters[i].fetch_add(1, Ordering::Relaxed)
+        });
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "item {i}");
+        }
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        assert_eq!(resolve_threads(0), available_parallelism());
+        assert_eq!(resolve_threads(3), 3);
+        let out = map(0, &(0..50).collect::<Vec<usize>>(), |_, &x| x);
+        assert_eq!(out.len(), 50);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            map_chunked(4, 1, &(0..32).collect::<Vec<usize>>(), |_, &x| {
+                assert!(x != 17, "boom at 17");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_rejected() {
+        map_chunked(2, 0, &[1], |_, &x: &i32| x);
+    }
+}

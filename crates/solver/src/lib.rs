@@ -37,3 +37,18 @@ pub use lbfgs::LbfgsConfig;
 pub use maxent::MaxEntDual;
 pub use objective::Objective;
 pub use stats::SolveStats;
+
+// Compile-time contract: the engine solves independent component systems
+// on a `pm-parallel` worker pool, sharing solver state by reference and
+// sending results back — every solver-facing type must stay `Send + Sync`.
+const _: () = {
+    const fn send_sync<T: Send + Sync>() {}
+    send_sync::<MaxEntDual>();
+    send_sync::<Lbfgs>();
+    send_sync::<LbfgsConfig>();
+    send_sync::<SolveStats>();
+    send_sync::<stats::Solution>();
+    send_sync::<stats::StopReason>();
+    send_sync::<scaling::ScalingConfig>();
+    send_sync::<gradient::GradientDescentConfig>();
+};

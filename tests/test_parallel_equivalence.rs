@@ -1,0 +1,115 @@
+//! Equivalence of the parallel and sequential engines.
+//!
+//! The Section 5.5 decomposition yields independent per-component maxent
+//! systems; the engine solves them on a worker pool and merges results in
+//! component order. These property tests pin the central contract: for any
+//! seeded workload, `threads = 2` and `threads = 8` produce **bit-identical**
+//! `P(S | Q)` tables (and raw term values) to the sequential `threads = 1`
+//! path — not merely close, identical.
+
+use pm_anonymize::anatomy::{AnatomyBucketizer, AnatomyConfig};
+use pm_anonymize::published::PublishedTable;
+use pm_assoc::miner::{MinerConfig, RuleMiner};
+use pm_datagen::adult::{AdultGenerator, AdultGeneratorConfig};
+use privacy_maxent::engine::{Engine, EngineConfig, Estimate};
+use privacy_maxent::knowledge::KnowledgeBase;
+use proptest::prelude::*;
+
+/// Seeded Adult-like workload: publication + mined Top-(K+, K−) knowledge.
+fn workload(records: usize, seed: u64, k: usize) -> (PublishedTable, KnowledgeBase) {
+    let data = AdultGenerator::new(AdultGeneratorConfig { records, seed }).generate();
+    let table = AnatomyBucketizer::new(AnatomyConfig { ell: 5, exempt_top: 1 })
+        .publish(&data)
+        .expect("bucketization succeeds");
+    let rules = RuleMiner::new(MinerConfig { min_support: 3, arities: vec![1, 2] })
+        .mine(&data);
+    let picked = rules.top_k(k / 2, k - k / 2);
+    let kb = KnowledgeBase::from_rules(picked.iter().copied(), data.schema())
+        .expect("mined rules are valid knowledge");
+    (table, kb)
+}
+
+fn estimate(table: &PublishedTable, kb: &KnowledgeBase, threads: usize) -> Estimate {
+    Engine::new(EngineConfig {
+        threads,
+        residual_limit: f64::INFINITY,
+        ..Default::default()
+    })
+    .estimate(table, kb)
+    .expect("mined knowledge is feasible")
+}
+
+/// Every observable of the two estimates is bitwise equal.
+fn assert_bit_identical(reference: &Estimate, other: &Estimate, what: &str) {
+    assert_eq!(
+        reference.term_values(),
+        other.term_values(),
+        "{what}: raw P(q, s, b) terms differ"
+    );
+    for q in 0..reference.distinct_qi() {
+        assert_eq!(
+            reference.conditional_row(q),
+            other.conditional_row(q),
+            "{what}: P(S | q={q}) differs"
+        );
+    }
+    assert_eq!(
+        reference.stats.num_components, other.stats.num_components,
+        "{what}: component structure differs"
+    );
+    assert_eq!(
+        reference.stats.num_irrelevant, other.stats.num_irrelevant,
+        "{what}: irrelevant-component count differs"
+    );
+    assert_eq!(
+        reference.stats.num_constraints, other.stats.num_constraints,
+        "{what}: reduced constraint count differs"
+    );
+    assert_eq!(
+        reference.stats.num_free_terms, other.stats.num_free_terms,
+        "{what}: free-term count differs"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The ISSUE's equivalence property: threads ∈ {1, 2, 8} agree bitwise
+    /// on seeded `pm-datagen` workloads.
+    #[test]
+    fn parallel_estimate_is_bit_identical(seed in 1u64..10_000, k in 20usize..80) {
+        let (table, kb) = workload(600, seed, k);
+        let sequential = estimate(&table, &kb, 1);
+        for threads in [2usize, 8] {
+            let parallel = estimate(&table, &kb, threads);
+            assert_bit_identical(
+                &sequential,
+                &parallel,
+                &format!("seed={seed} k={k} threads={threads}"),
+            );
+        }
+    }
+
+    /// `threads = 0` (auto = available cores) is the same fixed point.
+    #[test]
+    fn auto_thread_count_is_bit_identical(seed in 1u64..10_000) {
+        let (table, kb) = workload(400, seed, 30);
+        let sequential = estimate(&table, &kb, 1);
+        let auto = estimate(&table, &kb, 0);
+        assert_bit_identical(&sequential, &auto, &format!("seed={seed} auto"));
+    }
+}
+
+/// The no-knowledge fast path (everything irrelevant, Theorem 5) is also
+/// thread-invariant — no worker is ever spawned, but the contract holds.
+#[test]
+fn no_knowledge_is_bit_identical_across_threads() {
+    let (table, _) = workload(500, 77, 0);
+    let empty = KnowledgeBase::new();
+    let sequential = estimate(&table, &empty, 1);
+    assert_eq!(sequential.stats.num_irrelevant, sequential.stats.num_components);
+    for threads in [2usize, 8] {
+        let parallel = estimate(&table, &empty, threads);
+        assert_bit_identical(&sequential, &parallel, &format!("threads={threads}"));
+    }
+}

@@ -7,4 +7,5 @@
 
 pub mod pipeline;
 pub mod figures;
+pub mod incremental;
 pub mod parallel;

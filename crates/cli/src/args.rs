@@ -49,6 +49,18 @@ pub struct Options {
     pub threads: usize,
 }
 
+/// Parsed options for `pmx session`.
+#[derive(Debug, Clone)]
+pub struct SessionOptions {
+    /// Shared data-source / publication / engine options.
+    pub base: Options,
+    /// Script file to execute instead of reading commands from stdin.
+    pub script: Option<String>,
+    /// Warm-start dirty re-solves from cached duals (faster refreshes,
+    /// not bit-replayable).
+    pub warm_start: bool,
+}
+
 /// Parse error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError(pub String);
@@ -144,6 +156,38 @@ pub fn parse(argv: &[String]) -> Result<Options, ParseError> {
     Ok(Options { source, ell, exempt, mechanism, bounds, arity, seed, threads })
 }
 
+/// Parses `pmx session` arguments: everything `pmx quantify` accepts
+/// (minus `--bounds`, which makes no sense for a session) plus
+/// `--script FILE` and `--warm-start`.
+pub fn parse_session(argv: &[String]) -> Result<SessionOptions, ParseError> {
+    let mut script = None;
+    let mut warm_start = false;
+    let mut base_argv: Vec<String> = Vec::with_capacity(argv.len());
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--script" => {
+                script = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| ParseError("--script expects a value".into()))?,
+                );
+            }
+            "--warm-start" => warm_start = true,
+            "--bounds" => {
+                return Err(ParseError(
+                    "--bounds is a quantify option; sessions grow knowledge via \
+                     `add`/`mine` commands"
+                        .into(),
+                ))
+            }
+            other => base_argv.push(other.to_string()),
+        }
+    }
+    let base = parse(&base_argv)?;
+    Ok(SessionOptions { base, script, warm_start })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,5 +244,27 @@ mod tests {
     fn input_file_source() {
         let o = parse(&argv("--input /tmp/data.csv")).unwrap();
         assert_eq!(o.source, Source::File("/tmp/data.csv".into()));
+    }
+
+    #[test]
+    fn session_options() {
+        let o = parse_session(&argv(
+            "--synthetic medical:500 --script deltas.pmx --warm-start --threads 2",
+        ))
+        .unwrap();
+        assert_eq!(o.script.as_deref(), Some("deltas.pmx"));
+        assert!(o.warm_start);
+        assert_eq!(o.base.threads, 2);
+        assert_eq!(
+            o.base.source,
+            Source::Synthetic { kind: "medical".into(), records: 500 }
+        );
+
+        let o = parse_session(&argv("--synthetic adult:100")).unwrap();
+        assert_eq!(o.script, None);
+        assert!(!o.warm_start);
+
+        assert!(parse_session(&argv("--synthetic adult:100 --script")).is_err());
+        assert!(parse_session(&argv("--synthetic adult:100 --bounds 0,10")).is_err());
     }
 }

@@ -8,6 +8,13 @@
 //!     Quantify a publication under Top-(K+, K−) knowledge bounds and
 //!     print the privacy report (Section 4.3's "(bound, score)" tuples).
 //!
+//! pmx session [options]
+//!     Open a resident Analyst session over the publication and evolve the
+//!     adversary model with delta commands (add / mine / remove / refresh /
+//!     query / report), interactively from stdin or via --script FILE.
+//!     Each refresh re-solves only the components the deltas touched.
+//!     Extra options: --script FILE, --warm-start. `--bounds` is rejected.
+//!
 //!     --input FILE        CSV of categorical microdata; last column is the
 //!                         sensitive attribute, all others quasi-identifiers
 //!                         (domains inferred). Alternatively:
@@ -27,6 +34,7 @@ use std::process::ExitCode;
 mod args;
 mod infer;
 mod quantify;
+mod session;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -48,8 +56,23 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("session") => match args::parse_session(&argv[1..]) {
+            Ok(options) => match session::run(&options) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("pmx: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                eprintln!("pmx: {e}");
+                ExitCode::FAILURE
+            }
+        },
         _ => {
-            eprintln!("usage: pmx <demo|quantify> [options]   (see --help in source header)");
+            eprintln!(
+                "usage: pmx <demo|quantify|session> [options]   (see --help in source header)"
+            );
             ExitCode::FAILURE
         }
     }

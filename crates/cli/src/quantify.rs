@@ -17,9 +17,10 @@ use privacy_maxent::report::PrivacyReport;
 use crate::args::{Mechanism, Options, Source};
 use crate::infer;
 
-/// Runs `pmx quantify`.
-pub fn run(options: &Options) -> Result<(), Box<dyn Error>> {
-    let data: Dataset = match &options.source {
+/// Loads or generates the microdata named by `options.source`, narrating
+/// to stdout. Shared by `pmx quantify` and `pmx session`.
+pub(crate) fn load_source(options: &Options) -> Result<Dataset, Box<dyn Error>> {
+    Ok(match &options.source {
         Source::File(path) => {
             let text = std::fs::read_to_string(path)?;
             let (_, data) = infer::infer_and_load(&text)?;
@@ -46,15 +47,19 @@ pub fn run(options: &Options) -> Result<(), Box<dyn Error>> {
             println!("generated {} synthetic {kind} records (seed {})", records, options.seed);
             data
         }
-    };
+    })
+}
 
-    let table: PublishedTable = match options.mechanism {
+/// Publishes `data` with the configured mechanism, narrating to stdout.
+/// Shared by `pmx quantify` and `pmx session`.
+pub(crate) fn publish(data: &Dataset, options: &Options) -> Result<PublishedTable, Box<dyn Error>> {
+    Ok(match options.mechanism {
         Mechanism::Anatomy => {
             let t = AnatomyBucketizer::new(AnatomyConfig {
                 ell: options.ell,
                 exempt_top: options.exempt,
             })
-            .publish(&data)?;
+            .publish(data)?;
             let exempt = ldiv::most_frequent_sa(&t, options.exempt);
             println!(
                 "anatomy: {} buckets of ~{} records; relaxed {}-diversity: {}",
@@ -66,7 +71,7 @@ pub fn run(options: &Options) -> Result<(), Box<dyn Error>> {
             t
         }
         Mechanism::Mondrian { k } => {
-            let t = Mondrian::new(MondrianConfig { k }).publish(&data)?;
+            let t = Mondrian::new(MondrianConfig { k }).publish(data)?;
             println!(
                 "mondrian: {} equivalence classes (k = {k}); distinct diversity {}",
                 t.num_buckets(),
@@ -74,7 +79,13 @@ pub fn run(options: &Options) -> Result<(), Box<dyn Error>> {
             );
             t
         }
-    };
+    })
+}
+
+/// Runs `pmx quantify`.
+pub fn run(options: &Options) -> Result<(), Box<dyn Error>> {
+    let data: Dataset = load_source(options)?;
+    let table: PublishedTable = publish(&data, options)?;
 
     let arities: Vec<usize> = (1..=options.arity).collect();
     let rules = RuleMiner::new(MinerConfig { min_support: 3, arities }).mine(&data);

@@ -1,0 +1,383 @@
+//! `pmx session` — the interactive / scripted delta mode over a resident
+//! [`Analyst`].
+//!
+//! The publication is built once; the adversary model then evolves
+//! command-by-command, and each `refresh` re-solves only the components the
+//! deltas touched. Commands arrive on stdin (interactive) or from a
+//! `--script` file, one per line; a line starting with `#` is a comment
+//! (inline `#` is not — handles are spelled `#N`).
+//!
+//! ```text
+//! add <pos=val,...> <sa> <prob>   compile P(sa | Qv) = prob, mark dirty
+//! mine <k+> <k->                  add the next k+/k− strongest mined rules
+//! remove <handle>                 retract a delta (handle as printed, e.g. #3)
+//! refresh                         re-solve dirty components, report stats
+//! query <q> [<sa>]                P*(sa | q) (or the whole row) — no recompute
+//! list                            live knowledge items with their handles
+//! report                          privacy scores + last-refresh shape
+//! quit / exit                     leave the session
+//! ```
+
+use std::error::Error;
+use std::io::{BufRead, Write};
+
+use pm_assoc::miner::{MinerConfig, RuleMiner, MinedRules};
+use pm_microdata::value::Value;
+use privacy_maxent::analyst::{Analyst, KnowledgeHandle};
+use privacy_maxent::engine::EngineConfig;
+use privacy_maxent::knowledge::Knowledge;
+
+use crate::args::SessionOptions;
+use crate::quantify;
+
+/// Runs `pmx session`.
+pub fn run(options: &SessionOptions) -> Result<(), Box<dyn Error>> {
+    let data = quantify::load_source(&options.base)?;
+    let table = quantify::publish(&data, &options.base)?;
+    let rules = RuleMiner::new(MinerConfig {
+        min_support: 3,
+        arities: (1..=options.base.arity).collect(),
+    })
+    .mine(&data);
+    println!(
+        "mined {} positive / {} negative rules (arity <= {}) for `mine`",
+        rules.positive.len(),
+        rules.negative.len(),
+        options.base.arity
+    );
+    let config = EngineConfig {
+        residual_limit: f64::INFINITY,
+        threads: options.base.threads,
+        warm_start: options.warm_start,
+        ..Default::default()
+    };
+    let analyst = Analyst::new(table, config)?;
+    println!(
+        "session open: {} buckets, {} components, warm-start {}\n",
+        analyst.table().num_buckets(),
+        analyst.num_components(),
+        if options.warm_start { "on" } else { "off" },
+    );
+    let mut session = Session::new(analyst, rules, data.schema().clone());
+    let mut out = std::io::stdout();
+    match &options.script {
+        Some(path) => {
+            let file = std::fs::File::open(path)?;
+            session.drive(std::io::BufReader::new(file), &mut out)?;
+        }
+        None => {
+            let stdin = std::io::stdin();
+            session.drive(stdin.lock(), &mut out)?;
+        }
+    }
+    Ok(())
+}
+
+/// Session state: the resident analyst plus the mined-rule cursor for the
+/// `mine` command.
+pub(crate) struct Session {
+    pub(crate) analyst: Analyst,
+    pub(crate) rules: MinedRules,
+    pub(crate) schema: pm_microdata::schema::Schema,
+    /// How many (positive, negative) mined rules have been fed already.
+    mined: (usize, usize),
+}
+
+impl Session {
+    pub(crate) fn new(analyst: Analyst, rules: MinedRules, schema: pm_microdata::schema::Schema) -> Self {
+        Self { analyst, rules, schema, mined: (0, 0) }
+    }
+
+    /// Reads commands from `input` until EOF or `quit`, writing feedback to
+    /// `out`. Command errors are reported and the session continues; only
+    /// I/O errors abort.
+    pub(crate) fn drive<R: BufRead, W: Write>(
+        &mut self,
+        input: R,
+        out: &mut W,
+    ) -> std::io::Result<()> {
+        for line in input.lines() {
+            let line = line?;
+            let line = line.trim();
+            // Whole-line comments only: handles are spelled `#N`, so an
+            // inline `#` must not truncate `remove #3`.
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if matches!(line, "quit" | "exit") {
+                writeln!(out, "bye")?;
+                break;
+            }
+            match self.execute(line) {
+                Ok(msg) => writeln!(out, "{msg}")?,
+                Err(e) => writeln!(out, "error: {e}")?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes one command line, returning the feedback text.
+    pub(crate) fn execute(&mut self, line: &str) -> Result<String, Box<dyn Error>> {
+        let mut words = line.split_whitespace();
+        let cmd = words.next().expect("caller skips empty lines");
+        let rest: Vec<&str> = words.collect();
+        match cmd {
+            "add" => self.cmd_add(&rest),
+            "mine" => self.cmd_mine(&rest),
+            "remove" => self.cmd_remove(&rest),
+            "refresh" => self.cmd_refresh(),
+            "query" => self.cmd_query(&rest),
+            "list" => self.cmd_list(),
+            "report" => Ok(self.analyst.report().to_string()),
+            other => Err(format!(
+                "unknown command `{other}` (try: add, mine, remove, refresh, query, list, report, quit)"
+            )
+            .into()),
+        }
+    }
+
+    /// `add <pos=val,...> <sa> <prob>`
+    fn cmd_add(&mut self, args: &[&str]) -> Result<String, Box<dyn Error>> {
+        let [antecedent, sa, prob] = args else {
+            return Err("usage: add <pos=val,...> <sa> <prob>".into());
+        };
+        let antecedent = parse_antecedent(antecedent)?;
+        let sa: Value = sa.parse().map_err(|_| format!("bad SA value `{sa}`"))?;
+        let probability: f64 = prob.parse().map_err(|_| format!("bad probability `{prob}`"))?;
+        let handle = self
+            .analyst
+            .add_knowledge(Knowledge::Conditional { antecedent, sa, probability })?;
+        Ok(format!(
+            "added {handle}: footprint {} bucket(s); {} pending — `refresh` to apply",
+            self.analyst.footprint(handle)?.len(),
+            self.analyst.pending_buckets(),
+        ))
+    }
+
+    /// `mine <k+> <k->` — feed the next strongest mined rules as deltas.
+    fn cmd_mine(&mut self, args: &[&str]) -> Result<String, Box<dyn Error>> {
+        let [kp, kn] = args else {
+            return Err("usage: mine <k+> <k->".into());
+        };
+        let kp: usize = kp.parse().map_err(|_| format!("bad count `{kp}`"))?;
+        let kn: usize = kn.parse().map_err(|_| format!("bad count `{kn}`"))?;
+        let pos_end = (self.mined.0 + kp).min(self.rules.positive.len());
+        let neg_end = (self.mined.1 + kn).min(self.rules.negative.len());
+        let batch: Vec<_> = self.rules.positive[self.mined.0..pos_end]
+            .iter()
+            .chain(&self.rules.negative[self.mined.1..neg_end])
+            .collect();
+        if batch.is_empty() {
+            return Ok("no unmined rules left".into());
+        }
+        let handles = self.analyst.add_rules(batch.iter().copied(), &self.schema)?;
+        self.mined = (pos_end, neg_end);
+        Ok(format!(
+            "added {} mined rule(s) (now {}+ / {}−); {} pending — `refresh` to apply",
+            handles.len(),
+            pos_end,
+            neg_end,
+            self.analyst.pending_buckets(),
+        ))
+    }
+
+    /// `remove <handle>` (with or without the printed `#`)
+    fn cmd_remove(&mut self, args: &[&str]) -> Result<String, Box<dyn Error>> {
+        let [id] = args else {
+            return Err("usage: remove <handle>".into());
+        };
+        let id: u64 = id
+            .trim_start_matches('#')
+            .parse()
+            .map_err(|_| format!("bad handle `{id}`"))?;
+        let handle = KnowledgeHandle::from_id(id);
+        let removed = self.analyst.remove_knowledge(handle)?;
+        Ok(format!(
+            "removed {handle} ({removed:?}); {} pending — `refresh` to apply",
+            self.analyst.pending_buckets(),
+        ))
+    }
+
+    fn cmd_refresh(&mut self) -> Result<String, Box<dyn Error>> {
+        let stats = self.analyst.refresh()?;
+        Ok(format!(
+            "refreshed in {:.3} ms: {} component(s), {} re-solved ({} warm), \
+             {} closed-form, {} reused",
+            stats.wall.as_secs_f64() * 1e3,
+            stats.components,
+            stats.resolved,
+            stats.warm_started,
+            stats.closed_form,
+            stats.reused,
+        ))
+    }
+
+    /// `query <q> [<sa>]`
+    fn cmd_query(&mut self, args: &[&str]) -> Result<String, Box<dyn Error>> {
+        let (q, sa) = match args {
+            [q] => (q, None),
+            [q, sa] => (q, Some(sa)),
+            _ => return Err("usage: query <q> [<sa>]".into()),
+        };
+        let q: usize = q.parse().map_err(|_| format!("bad QI symbol `{q}`"))?;
+        if q >= self.analyst.table().interner().distinct() {
+            return Err(format!(
+                "QI symbol {q} out of range (table has {})",
+                self.analyst.table().interner().distinct()
+            )
+            .into());
+        }
+        let stale = if self.analyst.is_stale() { " [stale: deltas pending]" } else { "" };
+        match sa {
+            Some(sa) => {
+                let sa: Value = sa.parse().map_err(|_| format!("bad SA value `{sa}`"))?;
+                if (sa as usize) >= self.analyst.table().sa_cardinality() {
+                    return Err(format!(
+                        "SA value {sa} out of range (table has {})",
+                        self.analyst.table().sa_cardinality()
+                    )
+                    .into());
+                }
+                Ok(format!("P(sa={sa} | q={q}) = {:.6}{stale}", self.analyst.conditional(q, sa)))
+            }
+            None => {
+                let row: Vec<String> = (0..self.analyst.table().sa_cardinality() as Value)
+                    .map(|s| format!("{s}={:.4}", self.analyst.conditional(q, s)))
+                    .collect();
+                Ok(format!("P(· | q={q}): {}{stale}", row.join("  ")))
+            }
+        }
+    }
+
+    fn cmd_list(&mut self) -> Result<String, Box<dyn Error>> {
+        if self.analyst.knowledge_len() == 0 {
+            return Ok("no live knowledge".into());
+        }
+        let lines: Vec<String> = self
+            .analyst
+            .knowledge()
+            .map(|(h, k)| format!("  {h}: {k:?}"))
+            .collect();
+        Ok(lines.join("\n"))
+    }
+}
+
+/// Parses `pos=val,pos=val,...` into an antecedent.
+fn parse_antecedent(s: &str) -> Result<Vec<(usize, Value)>, Box<dyn Error>> {
+    let mut antecedent = Vec::new();
+    for pair in s.split(',') {
+        let (pos, val) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("bad antecedent pair `{pair}` (want pos=val)"))?;
+        let pos: usize = pos.parse().map_err(|_| format!("bad QI position `{pos}`"))?;
+        let val: Value = val.parse().map_err(|_| format!("bad value `{val}`"))?;
+        antecedent.push((pos, val));
+    }
+    antecedent.sort_unstable_by_key(|&(p, _)| p);
+    Ok(antecedent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_datagen::medical::{MedicalGenerator, MedicalGeneratorConfig};
+    use pm_anonymize::anatomy::{AnatomyBucketizer, AnatomyConfig};
+
+    fn medical_session() -> Session {
+        let data = MedicalGenerator::new(MedicalGeneratorConfig { records: 600, seed: 3 })
+            .generate();
+        let table = AnatomyBucketizer::new(AnatomyConfig { ell: 5, exempt_top: 2 })
+            .publish(&data)
+            .unwrap();
+        let rules = RuleMiner::new(MinerConfig { min_support: 3, arities: vec![1] })
+            .mine(&data);
+        let config = EngineConfig { residual_limit: f64::INFINITY, ..Default::default() };
+        let analyst = Analyst::new(table, config).unwrap();
+        Session::new(analyst, rules, data.schema().clone())
+    }
+
+    #[test]
+    fn scripted_session_end_to_end() {
+        let mut session = medical_session();
+        let script = "\
+# comment lines and blanks are skipped
+
+mine 5 5
+refresh
+query 0
+report
+list
+mine 3 0
+refresh
+quit
+unreachable-after-quit
+";
+        let mut out = Vec::new();
+        session.drive(script.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("added 10 mined rule(s)"), "{text}");
+        assert!(text.contains("refreshed in"), "{text}");
+        assert!(text.contains("P(· | q=0):"), "{text}");
+        assert!(text.contains("max disclosure"), "{text}");
+        assert!(text.contains("bye"), "{text}");
+        assert!(!text.contains("unreachable"), "{text}");
+    }
+
+    #[test]
+    fn add_remove_round_trip() {
+        let mut session = medical_session();
+        let baseline = session.analyst.estimate().term_values().to_vec();
+        let msg = session.execute("add 0=0 1 0.5").unwrap();
+        assert!(msg.contains("added #0"), "{msg}");
+        session.execute("refresh").unwrap();
+        assert_ne!(session.analyst.estimate().term_values(), baseline.as_slice());
+        let msg = session.execute("remove #0").unwrap();
+        assert!(msg.contains("removed #0"), "{msg}");
+        session.execute("refresh").unwrap();
+        assert_eq!(session.analyst.estimate().term_values(), baseline.as_slice());
+    }
+
+    #[test]
+    fn command_errors_do_not_kill_the_session() {
+        let mut session = medical_session();
+        for bad in [
+            "frobnicate",
+            "add",
+            "add x=1 0 0.5",
+            "add 0=0 0 nope",
+            "remove #999",
+            "query 999999",
+            "query 0 999",
+        ] {
+            assert!(session.execute(bad).is_err(), "`{bad}` should error");
+        }
+        // Still alive and serving.
+        assert!(session.execute("report").is_ok());
+        let mut out = Vec::new();
+        session.drive("remove #7\nreport\n".as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains("error: knowledge handle"),
+            "inline # must reach the command, not start a comment: {text}"
+        );
+        assert!(text.contains("max disclosure"), "{text}");
+    }
+
+    #[test]
+    fn query_flags_staleness() {
+        let mut session = medical_session();
+        session.execute("add 0=0 1 0.5").unwrap();
+        let msg = session.execute("query 0").unwrap();
+        assert!(msg.contains("[stale: deltas pending]"), "{msg}");
+        session.execute("refresh").unwrap();
+        let msg = session.execute("query 0").unwrap();
+        assert!(!msg.contains("stale"), "{msg}");
+    }
+
+    #[test]
+    fn antecedent_parser() {
+        assert_eq!(parse_antecedent("2=1,0=3").unwrap(), vec![(0, 3), (2, 1)]);
+        assert!(parse_antecedent("2").is_err());
+        assert!(parse_antecedent("a=1").is_err());
+    }
+}

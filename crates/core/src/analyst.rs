@@ -1,0 +1,1058 @@
+//! The resident [`Analyst`] session: incremental knowledge deltas with
+//! component-level dirty tracking and warm-started re-solves.
+//!
+//! The one-shot [`crate::engine::Engine::estimate`] recompiles invariants,
+//! re-partitions and re-solves every component from scratch on each call.
+//! A resident deployment evolves the *adversary model* rule-by-rule over a
+//! fixed published table ("what if the attacker also learns X?"), so almost
+//! all of that work is identical between consecutive calls. The session API
+//! amortises it:
+//!
+//! * [`Analyst::new`] compiles the D'-invariants, builds the term index and
+//!   the QI→bucket inverted index once, and solves the knowledge-free
+//!   baseline (all components irrelevant → Theorem 5 closed form).
+//! * [`Analyst::add_knowledge`] / [`Analyst::remove_knowledge`] compile the
+//!   delta eagerly, record its **bucket footprint** (the buckets its
+//!   constraint touches), mark those buckets dirty, and return a stable
+//!   [`KnowledgeHandle`]. Nothing is re-solved yet.
+//! * [`Analyst::refresh`] re-partitions (cheap: union-find over buckets)
+//!   and re-solves **only the components containing a dirty bucket**. Clean
+//!   components keep their term values verbatim; dirty irrelevant
+//!   components refill from the Theorem 5 closed form; dirty relevant
+//!   components re-solve on the `pm-parallel` pool — optionally
+//!   warm-started from the previous refresh's dual vectors
+//!   ([`crate::engine::EngineConfig::warm_start`]).
+//! * [`Analyst::conditional`], [`Analyst::batch`] and [`Analyst::report`]
+//!   serve queries from the merged current [`Estimate`] without any
+//!   recompute.
+//!
+//! # Why component-granular invalidation is sound
+//!
+//! Section 5.5 of the paper proves the constraint system decomposes into
+//! independent subproblems along bucket connected components: a constraint
+//! only couples the buckets its terms live in, so the maxent optimum of the
+//! whole system restricted to one component equals the optimum of that
+//! component solved alone. A knowledge delta can therefore only change the
+//! optimum of components it touches — and "touches" is exactly the delta's
+//! bucket footprint. Components disjoint from every footprint since the
+//! last refresh see an unchanged constraint system (any rule attached to
+//! them touches only their buckets, and no such rule was added or removed),
+//! so their previous solution *is* their current optimum and is reused
+//! bit-for-bit. Component merges and splits are covered by the same
+//! argument: a merge is caused by an added rule whose footprint lies in the
+//! merged component, a split by a removed rule whose footprint lies in all
+//! resulting parts — either way the affected components contain dirty
+//! buckets and re-solve.
+//!
+//! # Determinism
+//!
+//! With [`EngineConfig::warm_start`] off (the default), a refresh is
+//! **bit-identical** to a from-scratch [`Engine::estimate`] holding the
+//! same final knowledge set (in the same insertion order), for every thread
+//! count: clean components are reused verbatim and dirty ones re-solve the
+//! identical cold-started local system. Warm starts converge to the same
+//! optimum within tolerance but along a different path, so low-order bits
+//! differ — opt in when serving latency matters more than replayability.
+//!
+//! [`Engine::estimate`]: crate::engine::Engine::estimate
+//! [`EngineConfig::warm_start`]: crate::engine::EngineConfig::warm_start
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pm_anonymize::published::PublishedTable;
+use pm_anonymize::pseudonym::PseudonymId;
+use pm_assoc::rule::AssociationRule;
+use pm_microdata::qi::QiId;
+use pm_microdata::schema::Schema;
+use pm_microdata::value::Value;
+
+use crate::compile::{compile_items_parallel, qi_bucket_index};
+use crate::constraint::{Constraint, ConstraintOrigin};
+use crate::engine::{
+    fill_uniform, solve_component, ComponentSolution, EngineConfig, EngineStats, Estimate,
+};
+use crate::error::PmError;
+use crate::individuals::{IndividualEngine, PersonEstimate};
+use crate::invariants::data_invariants;
+use crate::knowledge::{Knowledge, KnowledgeBase};
+use crate::metrics;
+use crate::partition::{connected_components, split_separable_knowledge, Component};
+use crate::terms::TermIndex;
+
+/// Stable identifier of one knowledge item inside an [`Analyst`] session.
+///
+/// Handles are never reused within a session, survive removals of other
+/// items, and index nothing directly — they are looked up, so a stale
+/// handle yields [`PmError::StaleHandle`] instead of touching the wrong
+/// rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KnowledgeHandle(u64);
+
+impl KnowledgeHandle {
+    /// The raw id (for serialising sessions, e.g. the CLI's scripted mode).
+    pub fn id(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a handle from [`KnowledgeHandle::id`]. Forged ids are
+    /// harmless: operations on a handle the session never issued return
+    /// [`PmError::StaleHandle`].
+    pub fn from_id(id: u64) -> Self {
+        Self(id)
+    }
+}
+
+impl fmt::Display for KnowledgeHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// What one [`Analyst::refresh`] actually did.
+#[derive(Debug, Clone, Default)]
+pub struct RefreshStats {
+    /// Components in the current partition.
+    pub components: usize,
+    /// Components invalidated by the accumulated deltas.
+    pub dirty: usize,
+    /// Dirty components re-solved numerically.
+    pub resolved: usize,
+    /// Dirty irrelevant components refilled via the Theorem 5 closed form.
+    pub closed_form: usize,
+    /// Clean components whose previous solution was reused verbatim.
+    pub reused: usize,
+    /// Numeric re-solves that started from a non-zero cached dual
+    /// (always 0 with [`EngineConfig::warm_start`] off).
+    pub warm_started: usize,
+    /// Whether the Section 6 individual layer was re-solved.
+    pub individual_resolve: bool,
+    /// Wall time of the whole refresh.
+    pub wall: Duration,
+    /// Summed solver time of the numeric re-solves.
+    pub solver: Duration,
+}
+
+/// Session snapshot served by [`Analyst::report`] — privacy scores of the
+/// current estimate plus the shape of the last refresh. No recompute: the
+/// metrics fold over the already-merged conditional table.
+#[derive(Debug, Clone)]
+pub struct AnalystReport {
+    /// Live distribution-knowledge items.
+    pub knowledge_items: usize,
+    /// Individual-knowledge items ([`Analyst::set_individuals`]).
+    pub individual_items: usize,
+    /// Components in the current partition.
+    pub components: usize,
+    /// Whether deltas are pending (queries serve the pre-delta estimate
+    /// until the next [`Analyst::refresh`]).
+    pub pending_deltas: bool,
+    /// `max_{q,s} P*(s | q)` of the current estimate.
+    pub max_disclosure: f64,
+    /// `1 / max_disclosure`.
+    pub effective_l_diversity: f64,
+    /// `min_q H(S | Q = q)` in nats.
+    pub min_conditional_entropy: f64,
+    /// The last refresh's statistics.
+    pub last_refresh: RefreshStats,
+}
+
+impl fmt::Display for AnalystReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "session: {} knowledge item(s){}, {} component(s){}",
+            self.knowledge_items,
+            if self.individual_items > 0 {
+                format!(" + {} individual", self.individual_items)
+            } else {
+                String::new()
+            },
+            self.components,
+            if self.pending_deltas { " [deltas pending]" } else { "" },
+        )?;
+        writeln!(
+            f,
+            "last refresh: {} re-solved, {} closed-form, {} reused in {:.3} ms",
+            self.last_refresh.resolved,
+            self.last_refresh.closed_form,
+            self.last_refresh.reused,
+            self.last_refresh.wall.as_secs_f64() * 1e3,
+        )?;
+        write!(
+            f,
+            "max disclosure {:.4} | effective l-diversity {:.3} | min H(S|q) {:.4} nats",
+            self.max_disclosure, self.effective_l_diversity, self.min_conditional_entropy,
+        )
+    }
+}
+
+/// One live knowledge item: the compiled constraint plus its bucket
+/// footprint — the session's invalidation unit.
+struct KnowledgeEntry {
+    handle: KnowledgeHandle,
+    item: Knowledge,
+    /// Compiled constraint coefficients over global term ids (origin is
+    /// re-indexed per refresh, so only coefficients and target are cached).
+    coeffs: Vec<(usize, f64)>,
+    rhs: f64,
+    /// Buckets the constraint touches, ascending and deduplicated.
+    footprint: Vec<usize>,
+}
+
+/// Identity of a dual variable across refreshes, for warm starts. Invariant
+/// rows are identified by their bucket-local origin, knowledge rows by the
+/// stable handle (their positional index shifts as items come and go).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum DualKey {
+    Qi { q: QiId, b: usize },
+    Sa { s: Value, b: usize },
+    Knowledge { handle: KnowledgeHandle },
+}
+
+fn dual_key(origin: &ConstraintOrigin, entries: &[KnowledgeEntry]) -> Option<DualKey> {
+    match *origin {
+        ConstraintOrigin::QiInvariant { q, b } => Some(DualKey::Qi { q, b }),
+        ConstraintOrigin::SaInvariant { s, b } => Some(DualKey::Sa { s, b }),
+        ConstraintOrigin::Knowledge { index } => {
+            entries.get(index).map(|e| DualKey::Knowledge { handle: e.handle })
+        }
+    }
+}
+
+/// A long-lived Privacy-MaxEnt session over one published table.
+///
+/// See the [module docs](self) for the lifecycle and the soundness
+/// argument. The one-shot [`crate::engine::Engine::estimate`] is a thin
+/// wrapper over this type.
+#[derive(Debug)]
+pub struct Analyst {
+    table: PublishedTable,
+    config: EngineConfig,
+    index: Arc<TermIndex>,
+    /// Invariant rows (fixed for the session) followed by the current
+    /// knowledge rows; [`Analyst::rebuild_rows`] rewrites only the tail.
+    rows: Vec<Constraint>,
+    num_invariants: usize,
+    /// Per-bucket indices into the invariant prefix of `rows`.
+    bucket_invariants: Vec<Vec<usize>>,
+    /// QI symbol → buckets containing it, hoisted once for compilation.
+    qi_buckets: Vec<Vec<usize>>,
+    entries: Vec<KnowledgeEntry>,
+    next_handle: u64,
+    /// Buckets touched by deltas since the last successful refresh.
+    dirty: BTreeSet<usize>,
+    /// Whether the knowledge set changed since the last refresh.
+    stale: bool,
+    components: Vec<Component>,
+    /// Current merged term values (probability space).
+    values: Vec<f64>,
+    estimate: Estimate,
+    /// Dual vectors of the last refresh, by row identity (warm starts).
+    dual_cache: HashMap<DualKey, f64>,
+    individuals: Vec<Knowledge>,
+    individuals_stale: bool,
+    person: Option<PersonEstimate>,
+    last_refresh: RefreshStats,
+}
+
+impl fmt::Debug for KnowledgeEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KnowledgeEntry")
+            .field("handle", &self.handle)
+            .field("item", &self.item)
+            .field("footprint", &self.footprint)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Analyst {
+    /// Opens a session: builds the term index, compiles the D'-invariants
+    /// and the QI→bucket inverted index, and solves the knowledge-free
+    /// baseline (uniform within buckets, Theorem 5).
+    ///
+    /// The only fallible part is the baseline solve, and only when
+    /// [`EngineConfig::decompose`] is off (the joint invariant system then
+    /// goes through the numeric solver instead of the closed form).
+    pub fn new(table: PublishedTable, config: EngineConfig) -> Result<Self, PmError> {
+        let mut analyst = Self::new_deferred(table, config);
+        analyst.refresh()?;
+        Ok(analyst)
+    }
+
+    /// [`Analyst::new`] without the baseline refresh — every bucket starts
+    /// dirty and `estimate` is a zero placeholder until the first
+    /// [`Analyst::refresh`]. This is the one-shot `Engine::estimate` path:
+    /// it skips the baseline solve the immediate full refresh would
+    /// discard.
+    pub(crate) fn new_deferred(table: PublishedTable, config: EngineConfig) -> Self {
+        let index = Arc::new(TermIndex::build(&table));
+        let rows = data_invariants(&table, &index, config.concise_invariants);
+        let num_invariants = rows.len();
+        let mut bucket_invariants: Vec<Vec<usize>> = vec![Vec::new(); table.num_buckets()];
+        for (i, c) in rows.iter().enumerate() {
+            match c.origin {
+                ConstraintOrigin::QiInvariant { b, .. }
+                | ConstraintOrigin::SaInvariant { b, .. } => bucket_invariants[b].push(i),
+                ConstraintOrigin::Knowledge { .. } => {}
+            }
+        }
+        let qi_buckets = qi_bucket_index(&table);
+        let values = vec![0.0; index.len()];
+        let estimate =
+            Estimate::assemble(values.clone(), Arc::clone(&index), &table, EngineStats::default());
+        let dirty: BTreeSet<usize> = (0..table.num_buckets()).collect();
+        Self {
+            table,
+            config,
+            index,
+            rows,
+            num_invariants,
+            bucket_invariants,
+            qi_buckets,
+            entries: Vec::new(),
+            next_handle: 0,
+            dirty,
+            stale: true,
+            components: Vec::new(),
+            values,
+            estimate,
+            dual_cache: HashMap::new(),
+            individuals: Vec::new(),
+            individuals_stale: false,
+            person: None,
+            last_refresh: RefreshStats::default(),
+        }
+    }
+
+    /// The published table this session serves.
+    pub fn table(&self) -> &PublishedTable {
+        &self.table
+    }
+
+    /// The engine configuration the session was opened with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Adds one piece of distribution knowledge, compiling it eagerly and
+    /// dirtying the components its bucket footprint touches. Returns a
+    /// stable handle for later [`Analyst::remove_knowledge`].
+    ///
+    /// Individual knowledge (Section 6) goes through
+    /// [`Analyst::set_individuals`]; passing it here returns
+    /// [`PmError::RequiresIndividualEngine`].
+    pub fn add_knowledge(&mut self, item: Knowledge) -> Result<KnowledgeHandle, PmError> {
+        let handles = self.add_knowledge_batch(std::slice::from_ref(&item))?;
+        Ok(handles[0])
+    }
+
+    /// [`Analyst::add_knowledge`] for a whole batch: items compile in
+    /// parallel on [`EngineConfig::threads`] workers against the hoisted
+    /// QI→bucket index, and the batch registers atomically — on any
+    /// compile error (reported for the lowest-indexed failing item) the
+    /// session is unchanged.
+    pub fn add_knowledge_batch(
+        &mut self,
+        items: &[Knowledge],
+    ) -> Result<Vec<KnowledgeHandle>, PmError> {
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        if items.iter().any(Knowledge::is_individual) {
+            return Err(PmError::RequiresIndividualEngine);
+        }
+        for item in items {
+            item.validate()?;
+        }
+        let compiled = compile_items_parallel(
+            items,
+            &self.table,
+            &self.index,
+            &self.qi_buckets,
+            self.config.threads,
+        )?;
+        let mut handles = Vec::with_capacity(items.len());
+        for (item, c) in items.iter().zip(compiled) {
+            let mut footprint: Vec<usize> =
+                c.coeffs.iter().map(|&(t, _)| self.index.term(t).b).collect();
+            footprint.sort_unstable();
+            footprint.dedup();
+            self.dirty.extend(footprint.iter().copied());
+            let handle = KnowledgeHandle(self.next_handle);
+            self.next_handle += 1;
+            self.entries.push(KnowledgeEntry {
+                handle,
+                item: item.clone(),
+                coeffs: c.coeffs,
+                rhs: c.rhs,
+                footprint,
+            });
+            handles.push(handle);
+        }
+        self.stale = true;
+        Ok(handles)
+    }
+
+    /// Converts association rules to knowledge ([`Knowledge::from_rule`])
+    /// and adds them as one batch.
+    pub fn add_rules<'a, I>(
+        &mut self,
+        rules: I,
+        schema: &Schema,
+    ) -> Result<Vec<KnowledgeHandle>, PmError>
+    where
+        I: IntoIterator<Item = &'a AssociationRule>,
+    {
+        let items: Vec<Knowledge> = rules
+            .into_iter()
+            .map(|r| Knowledge::from_rule(r, schema))
+            .collect::<Result<_, _>>()?;
+        self.add_knowledge_batch(&items)
+    }
+
+    /// Removes a previously added item, dirtying its bucket footprint.
+    /// Returns the removed knowledge, or [`PmError::StaleHandle`] if the
+    /// handle is not live.
+    pub fn remove_knowledge(&mut self, handle: KnowledgeHandle) -> Result<Knowledge, PmError> {
+        let pos = self
+            .entries
+            .iter()
+            .position(|e| e.handle == handle)
+            .ok_or(PmError::StaleHandle { handle })?;
+        let entry = self.entries.remove(pos);
+        self.dirty.extend(entry.footprint.iter().copied());
+        self.dual_cache.remove(&DualKey::Knowledge { handle });
+        self.stale = true;
+        Ok(entry.item)
+    }
+
+    /// Replaces the session's Section 6 individual-knowledge set.
+    ///
+    /// The individual layer is solved by the pseudonym-expanded
+    /// [`IndividualEngine`] as one joint system (it has no component
+    /// decomposition), so its dirty tracking is a single flag: the next
+    /// [`Analyst::refresh`] re-solves it iff this set or the distribution
+    /// knowledge changed. While the set is non-empty,
+    /// [`Analyst::conditional`] and [`Analyst::batch`] serve from the
+    /// person-level estimate and [`Analyst::person_posterior`] becomes
+    /// available.
+    pub fn set_individuals(&mut self, items: Vec<Knowledge>) -> Result<(), PmError> {
+        for item in &items {
+            if !item.is_individual() {
+                return Err(PmError::InvalidKnowledge {
+                    detail: "set_individuals only accepts individual knowledge; \
+                             use add_knowledge for distribution knowledge"
+                        .into(),
+                });
+            }
+            item.validate()?;
+        }
+        self.individuals = items;
+        self.individuals_stale = true;
+        Ok(())
+    }
+
+    /// Live knowledge items with their handles, in insertion order.
+    pub fn knowledge(&self) -> impl Iterator<Item = (KnowledgeHandle, &Knowledge)> {
+        self.entries.iter().map(|e| (e.handle, &e.item))
+    }
+
+    /// Number of live distribution-knowledge items.
+    pub fn knowledge_len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The bucket footprint recorded for a live handle.
+    pub fn footprint(&self, handle: KnowledgeHandle) -> Result<&[usize], PmError> {
+        self.entries
+            .iter()
+            .find(|e| e.handle == handle)
+            .map(|e| e.footprint.as_slice())
+            .ok_or(PmError::StaleHandle { handle })
+    }
+
+    /// Whether deltas are pending (queries serve the pre-delta estimate
+    /// until [`Analyst::refresh`]).
+    pub fn is_stale(&self) -> bool {
+        self.stale || self.individuals_stale
+    }
+
+    /// Buckets dirtied by the deltas accumulated since the last refresh.
+    pub fn pending_buckets(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Components in the current partition.
+    pub fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Statistics of the last refresh.
+    pub fn last_refresh(&self) -> &RefreshStats {
+        &self.last_refresh
+    }
+
+    /// Re-solves exactly the components invalidated since the last refresh
+    /// and merges them into the served estimate.
+    ///
+    /// On a component-solve error (infeasible or non-convergent delta,
+    /// wrapped in [`PmError::Component`] with the failing component's
+    /// index) the session state is untouched: the previous estimate and
+    /// partition keep serving, the dirty set is retained, and removing the
+    /// offending delta followed by another refresh fully recovers. A
+    /// failure in the Section 6 individual layer happens *after* the
+    /// component layer merged successfully: the refreshed component
+    /// estimate serves, the individual layer stays flagged stale
+    /// ([`Analyst::is_stale`]), and the next refresh retries it.
+    pub fn refresh(&mut self) -> Result<RefreshStats, PmError> {
+        let start = Instant::now();
+        let was_stale = self.stale;
+        if !self.stale && !self.individuals_stale {
+            let stats = RefreshStats {
+                components: self.components.len(),
+                reused: self.components.len(),
+                wall: start.elapsed(),
+                ..Default::default()
+            };
+            self.last_refresh = stats.clone();
+            return Ok(stats);
+        }
+
+        // The new partition stays local until every dirty solve succeeds,
+        // so a failed refresh never changes what `report()` describes.
+        let components: Vec<Component> = if self.stale {
+            self.rebuild_rows();
+            if self.config.decompose {
+                connected_components(&self.rows, &self.index)
+            } else {
+                // One pseudo-component holding everything; knowledge rows
+                // all attach to it (no incrementality without Section 5.5).
+                let knowledge: Vec<usize> = self
+                    .rows
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| matches!(c.origin, ConstraintOrigin::Knowledge { .. }))
+                    .map(|(i, _)| i)
+                    .collect();
+                vec![Component {
+                    buckets: (0..self.table.num_buckets()).collect(),
+                    knowledge_rows: knowledge,
+                }]
+            }
+        } else {
+            std::mem::take(&mut self.components)
+        };
+
+        // Dirty = contains a bucket some delta touched. Everything else is
+        // provably unchanged (see the module docs) and reused verbatim.
+        let mut dirty_closed: Vec<usize> = Vec::new();
+        let mut dirty_numeric: Vec<usize> = Vec::new();
+        for (i, comp) in components.iter().enumerate() {
+            if !comp.buckets.iter().any(|b| self.dirty.contains(b)) {
+                continue;
+            }
+            if comp.is_irrelevant() && self.config.decompose {
+                dirty_closed.push(i);
+            } else {
+                dirty_numeric.push(i);
+            }
+        }
+
+        // Re-solve dirty numeric components on the worker pool (dirty-set
+        // scheduling). Mirrors the historical engine: an abort flag skips
+        // still-queued components once one fails, and the earliest-indexed
+        // observed failure is reported.
+        let config = &self.config;
+        let table = &self.table;
+        let index: &TermIndex = &self.index;
+        let rows = &self.rows;
+        let bucket_invariants = &self.bucket_invariants;
+        let entries = &self.entries;
+        let dual_cache = &self.dual_cache;
+        let warm_fn = move |ci: usize| -> f64 {
+            dual_key(&rows[ci].origin, entries)
+                .and_then(|k| dual_cache.get(&k).copied())
+                .unwrap_or(0.0)
+        };
+        let warm: Option<&(dyn Fn(usize) -> f64 + Sync)> =
+            if config.warm_start { Some(&warm_fn) } else { None };
+
+        let failed = AtomicBool::new(false);
+        let solved =
+            pm_parallel::map_subset(config.threads, &components, &dirty_numeric, |ci, comp| {
+                if failed.load(Ordering::Relaxed) {
+                    return None; // skipped: some other component already failed
+                }
+                let result =
+                    solve_component(config, table, index, rows, bucket_invariants, comp, warm);
+                if result.is_err() {
+                    failed.store(true, Ordering::Relaxed);
+                }
+                Some((ci, result))
+            });
+        let mut solutions: Vec<(usize, ComponentSolution)> = Vec::with_capacity(solved.len());
+        for slot in solved {
+            match slot {
+                Some((ci, Ok(sol))) => solutions.push((ci, sol)),
+                // Earliest-indexed observed failure; no state was merged,
+                // so removing the offending delta and refreshing recovers.
+                Some((ci, Err(e))) => {
+                    return Err(PmError::Component { index: ci, source: Box::new(e) })
+                }
+                // Skipped slot: the error that caused it is later in the
+                // scan and is returned there.
+                None => {}
+            }
+        }
+        debug_assert!(
+            !failed.load(Ordering::Relaxed),
+            "abort flag set but no error surfaced"
+        );
+
+        // --- Merge; only reached when every dirty solve succeeded. ---
+        self.components = components;
+        for &i in &dirty_closed {
+            fill_uniform(&self.table, &self.index, &self.components[i].buckets, &mut self.values);
+        }
+        let mut estats = EngineStats {
+            num_components: self.components.len(),
+            num_irrelevant: if self.config.decompose {
+                self.components.iter().filter(|c| c.is_irrelevant()).count()
+            } else {
+                0
+            },
+            ..Default::default()
+        };
+        let mut warm_started = 0usize;
+        for (_, sol) in solutions {
+            if sol.warm_seeded {
+                warm_started += 1;
+            }
+            estats.num_constraints += sol.num_constraints;
+            estats.num_free_terms += sol.num_free_terms;
+            for (&t, &v) in sol.terms.iter().zip(&sol.values) {
+                self.values[t] = v;
+            }
+            // No key collisions here: the only rows sharing an origin are
+            // the per-bucket splits of a separable zero rule, and those
+            // have rhs = 0, so preprocessing always eliminates them before
+            // the solver — they never appear among surviving duals.
+            for &(ci, lam) in &sol.duals {
+                if let Some(key) = dual_key(&self.rows[ci].origin, &self.entries) {
+                    self.dual_cache.insert(key, lam);
+                }
+            }
+            if let Some(s) = sol.stats {
+                estats.component_stats.push(s);
+            }
+        }
+
+        let resolved = dirty_numeric.len();
+        let closed_form = dirty_closed.len();
+        let reused = self.components.len() - resolved - closed_form;
+        self.dirty.clear();
+        self.stale = false;
+
+        estats.total_elapsed = start.elapsed();
+        let solver = estats.solver_elapsed();
+        self.estimate =
+            Estimate::assemble(self.values.clone(), Arc::clone(&self.index), &self.table, estats);
+
+        // --- Individual layer (Section 6): one joint system on top. ---
+        let individual_resolve = if self.individuals.is_empty() {
+            self.person = None;
+            self.individuals_stale = false;
+            false
+        } else if self.individuals_stale || was_stale {
+            // Mark pending *before* the fallible solve: the component layer
+            // above already merged, so on failure the session keeps serving
+            // it, stays flagged stale, and the next refresh retries this
+            // layer alone.
+            self.individuals_stale = true;
+            let mut kb = KnowledgeBase::new();
+            for e in &self.entries {
+                kb.push(e.item.clone())?;
+            }
+            for item in &self.individuals {
+                kb.push(item.clone())?;
+            }
+            let engine = IndividualEngine {
+                tolerance: self.config.tolerance,
+                max_iterations: self.config.max_iterations,
+            };
+            self.person = Some(engine.estimate(&self.table, &kb)?);
+            self.individuals_stale = false;
+            true
+        } else {
+            false
+        };
+
+        let stats = RefreshStats {
+            components: self.components.len(),
+            dirty: resolved + closed_form,
+            resolved,
+            closed_form,
+            reused,
+            warm_started,
+            individual_resolve,
+            wall: start.elapsed(),
+            solver,
+        };
+        self.last_refresh = stats.clone();
+        Ok(stats)
+    }
+
+    /// The current merged estimate (as of the last successful refresh).
+    pub fn estimate(&self) -> &Estimate {
+        &self.estimate
+    }
+
+    /// Consumes the session, returning the current estimate.
+    pub fn into_estimate(self) -> Estimate {
+        self.estimate
+    }
+
+    /// `P*(s | q)` from the current estimate — the person-level one when
+    /// individual knowledge is set, the component-level one otherwise.
+    /// No recompute; deltas pending since the last refresh are not
+    /// reflected (see [`Analyst::is_stale`]).
+    pub fn conditional(&self, q: QiId, s: Value) -> f64 {
+        match &self.person {
+            Some(p) => p.conditional(q, s),
+            None => self.estimate.conditional(q, s),
+        }
+    }
+
+    /// [`Analyst::conditional`] for a batch of `(q, s)` queries.
+    pub fn batch(&self, queries: &[(QiId, Value)]) -> Vec<f64> {
+        queries.iter().map(|&(q, s)| self.conditional(q, s)).collect()
+    }
+
+    /// The posterior SA distribution of pseudonym `i`, when individual
+    /// knowledge is set (`None` otherwise).
+    pub fn person_posterior(&self, i: PseudonymId) -> Option<Vec<f64>> {
+        self.person.as_ref().map(|p| p.person_posterior(i))
+    }
+
+    /// Privacy scores of the current estimate plus session shape.
+    pub fn report(&self) -> AnalystReport {
+        AnalystReport {
+            knowledge_items: self.entries.len(),
+            individual_items: self.individuals.len(),
+            components: self.components.len(),
+            pending_deltas: self.is_stale(),
+            max_disclosure: metrics::max_disclosure(&self.estimate),
+            effective_l_diversity: metrics::effective_l_diversity(&self.estimate),
+            min_conditional_entropy: metrics::min_conditional_entropy(&self.estimate),
+            last_refresh: self.last_refresh.clone(),
+        }
+    }
+
+    /// Rewrites the knowledge tail of `rows` from the live entries
+    /// (invariant prefix untouched), re-indexing origins to current
+    /// positions and applying the separable-zero-row split the one-shot
+    /// engine applies (only under decomposition, as there).
+    fn rebuild_rows(&mut self) {
+        self.rows.truncate(self.num_invariants);
+        let mut krows: Vec<Constraint> = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| Constraint {
+                coeffs: e.coeffs.clone(),
+                rhs: e.rhs,
+                origin: ConstraintOrigin::Knowledge { index: i },
+            })
+            .collect();
+        if self.config.decompose {
+            krows = split_separable_knowledge(krows, &self.index);
+        }
+        self.rows.extend(krows);
+    }
+}
+
+// Compile-time contract: sessions are handed between threads in resident
+// deployments; everything here must stay `Send + Sync`.
+const _: () = {
+    const fn send_sync<T: Send + Sync>() {}
+    send_sync::<Analyst>();
+    send_sync::<KnowledgeHandle>();
+    send_sync::<RefreshStats>();
+    send_sync::<AnalystReport>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use pm_anonymize::fixtures::paper_example;
+
+    fn conditional_k(antecedent: Vec<(usize, Value)>, sa: Value, p: f64) -> Knowledge {
+        Knowledge::Conditional { antecedent, sa, probability: p }
+    }
+
+    /// A fresh session's baseline equals the uniform estimate.
+    #[test]
+    fn baseline_is_uniform() {
+        let (_, table) = paper_example();
+        let uniform = Engine::uniform_estimate(&table);
+        let analyst = Analyst::new(table, EngineConfig::default()).unwrap();
+        assert_eq!(analyst.estimate().term_values(), uniform.term_values());
+        assert_eq!(analyst.last_refresh().closed_form, 3);
+        assert_eq!(analyst.last_refresh().resolved, 0);
+        assert!(!analyst.is_stale());
+    }
+
+    /// Incremental adds arrive at the same bits as one-shot estimates with
+    /// the same final knowledge set.
+    #[test]
+    fn incremental_matches_one_shot_bitwise() {
+        let (_, table) = paper_example();
+        let k1 = conditional_k(vec![(0, 0)], 0, 0.3); // P(flu | male) = 0.3
+        let k2 = conditional_k(vec![(1, 0)], 3, 0.4); // P(hiv | college) = 0.4
+        let mut kb = KnowledgeBase::new();
+        kb.push(k1.clone()).unwrap();
+        kb.push(k2.clone()).unwrap();
+        let one_shot = Engine::default().estimate(&table, &kb).unwrap();
+
+        let mut analyst = Analyst::new(table, EngineConfig::default()).unwrap();
+        analyst.add_knowledge(k1).unwrap();
+        analyst.refresh().unwrap();
+        analyst.add_knowledge(k2).unwrap();
+        analyst.refresh().unwrap();
+        assert_eq!(analyst.estimate().term_values(), one_shot.term_values());
+        for q in 0..one_shot.distinct_qi() {
+            assert_eq!(analyst.estimate().conditional_row(q), one_shot.conditional_row(q));
+        }
+    }
+
+    /// A delta re-solves only the components its footprint touches.
+    #[test]
+    fn delta_dirties_only_its_footprint() {
+        let (_, table) = paper_example();
+        let mut analyst = Analyst::new(table, EngineConfig::default()).unwrap();
+        // P(pneumonia | q3) = 0.5 touches buckets 1 and 2 (indices 0, 1);
+        // bucket 3 stays clean.
+        let h = analyst.add_knowledge(conditional_k(vec![(0, 0), (1, 1)], 1, 0.5)).unwrap();
+        assert_eq!(analyst.footprint(h).unwrap(), &[0, 1]);
+        assert!(analyst.is_stale());
+        let stats = analyst.refresh().unwrap();
+        assert_eq!(stats.components, 2, "buckets 1+2 fuse, bucket 3 alone");
+        assert_eq!(stats.resolved, 1, "only the fused component re-solves");
+        assert_eq!(stats.reused, 1, "bucket 3 is reused verbatim");
+
+        // A second, disjoint delta: P(flu | graduate) = 0.5 lives in
+        // bucket 3 only — the fused {1, 2} component must be reused.
+        analyst.add_knowledge(conditional_k(vec![(1, 3)], 0, 0.5)).unwrap();
+        let stats = analyst.refresh().unwrap();
+        assert_eq!(stats.components, 2);
+        assert_eq!(stats.resolved, 1);
+        assert_eq!(stats.reused, 1, "the untouched component is not re-solved");
+    }
+
+    /// Removing a delta restores the exact previous bits.
+    #[test]
+    fn remove_restores_previous_bits() {
+        let (_, table) = paper_example();
+        let mut analyst = Analyst::new(table, EngineConfig::default()).unwrap();
+        let baseline = analyst.estimate().term_values().to_vec();
+        let h = analyst.add_knowledge(conditional_k(vec![(0, 0)], 0, 0.3)).unwrap();
+        analyst.refresh().unwrap();
+        assert_ne!(analyst.estimate().term_values(), baseline.as_slice());
+        let removed = analyst.remove_knowledge(h).unwrap();
+        assert_eq!(removed, conditional_k(vec![(0, 0)], 0, 0.3));
+        analyst.refresh().unwrap();
+        assert_eq!(analyst.estimate().term_values(), baseline.as_slice());
+        assert_eq!(analyst.knowledge_len(), 0);
+    }
+
+    /// Stale handles are rejected, not silently ignored.
+    #[test]
+    fn stale_handles_error() {
+        let (_, table) = paper_example();
+        let mut analyst = Analyst::new(table, EngineConfig::default()).unwrap();
+        let h = analyst.add_knowledge(conditional_k(vec![(0, 0)], 0, 0.3)).unwrap();
+        analyst.remove_knowledge(h).unwrap();
+        assert!(matches!(
+            analyst.remove_knowledge(h),
+            Err(PmError::StaleHandle { handle }) if handle == h
+        ));
+        assert!(matches!(
+            analyst.remove_knowledge(KnowledgeHandle::from_id(999)),
+            Err(PmError::StaleHandle { .. })
+        ));
+    }
+
+    /// An infeasible delta fails the refresh with component context, leaves
+    /// the session serving the previous estimate, and removing the delta
+    /// fully recovers.
+    #[test]
+    fn infeasible_delta_is_recoverable() {
+        let (_, table) = paper_example();
+        let mut analyst = Analyst::new(table, EngineConfig::default()).unwrap();
+        let good = analyst.add_knowledge(conditional_k(vec![(0, 0)], 0, 0.3)).unwrap();
+        analyst.refresh().unwrap();
+        let expected = analyst.estimate().term_values().to_vec();
+
+        // P(flu | male) = 0 contradicts bucket 1's contents.
+        let components_before = analyst.num_components();
+        let bad = analyst.add_knowledge(conditional_k(vec![(0, 0)], 0, 0.0)).unwrap();
+        let err = analyst.refresh().unwrap_err();
+        assert!(matches!(err, PmError::Component { .. }), "got {err:?}");
+        assert!(
+            matches!(
+                err.root_cause(),
+                PmError::SolverFailed { .. } | PmError::Infeasible { .. }
+            ),
+            "root cause: {:?}",
+            err.root_cause()
+        );
+        // Queries still serve the pre-delta estimate, and the reported
+        // partition is still the one that produced it.
+        assert_eq!(analyst.estimate().term_values(), expected.as_slice());
+        assert_eq!(analyst.num_components(), components_before);
+        assert_eq!(analyst.report().components, components_before);
+        assert!(analyst.is_stale());
+
+        analyst.remove_knowledge(bad).unwrap();
+        analyst.refresh().unwrap();
+        assert_eq!(analyst.estimate().term_values(), expected.as_slice());
+        let _ = good;
+    }
+
+    /// Warm starts converge to the same optimum (within tolerance) as cold
+    /// re-solves, and the refresh reports them.
+    #[test]
+    fn warm_start_matches_within_tolerance() {
+        let (_, table) = paper_example();
+        let mut cold =
+            Analyst::new(table.clone(), EngineConfig::default()).unwrap();
+        let mut warm = Analyst::new(
+            table,
+            EngineConfig { warm_start: true, ..Default::default() },
+        )
+        .unwrap();
+        for analyst in [&mut cold, &mut warm] {
+            analyst.add_knowledge(conditional_k(vec![(0, 0)], 0, 0.3)).unwrap();
+            analyst.refresh().unwrap();
+            // Second delta re-solves a component whose rows now have cached
+            // duals — this is the warm-started path.
+            analyst.add_knowledge(conditional_k(vec![(0, 1)], 1, 0.4)).unwrap();
+            analyst.refresh().unwrap();
+        }
+        assert!(warm.last_refresh().warm_started > 0, "warm path not exercised");
+        assert_eq!(cold.last_refresh().warm_started, 0);
+        for q in 0..cold.estimate().distinct_qi() {
+            for s in 0..cold.estimate().sa_cardinality() as Value {
+                let c = cold.conditional(q, s);
+                let w = warm.conditional(q, s);
+                assert!((c - w).abs() < 1e-6, "q={q} s={s}: cold {c} vs warm {w}");
+            }
+        }
+    }
+
+    /// The individual layer rides on the session: set, query, clear.
+    #[test]
+    fn individual_layer_on_session() {
+        let (_, table) = paper_example();
+        let mut analyst = Analyst::new(table, EngineConfig::default()).unwrap();
+        assert!(analyst.person_posterior(0).is_none());
+        // "Alice (pseudonym 0, a q1 record) has breast cancer with p 0.2".
+        analyst
+            .set_individuals(vec![Knowledge::IndividualSa {
+                pseudonym: 0,
+                sa: 2,
+                probability: 0.2,
+            }])
+            .unwrap();
+        assert!(analyst.is_stale());
+        let stats = analyst.refresh().unwrap();
+        assert!(stats.individual_resolve);
+        let posterior = analyst.person_posterior(0).expect("individual layer live");
+        assert!((posterior.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        assert!((posterior[2] - 0.2).abs() < 1e-6, "pinned probability respected");
+        // Conditional queries now serve the person-level estimate.
+        let q1 = analyst.table().interner().lookup(&[0, 0]).unwrap();
+        let row: f64 = (0..5u16).map(|s| analyst.conditional(q1, s)).sum();
+        assert!((row - 1.0).abs() < 1e-6);
+        // A refresh with nothing stale re-solves nothing.
+        let stats = analyst.refresh().unwrap();
+        assert!(!stats.individual_resolve);
+        assert_eq!(stats.resolved, 0);
+        // Clearing the layer restores component-level serving.
+        analyst.set_individuals(Vec::new()).unwrap();
+        analyst.refresh().unwrap();
+        assert!(analyst.person_posterior(0).is_none());
+    }
+
+    /// An infeasible individual layer fails the refresh *after* the
+    /// component layer merged; the session stays flagged stale and retries
+    /// the individual layer on every refresh until it is fixed.
+    #[test]
+    fn infeasible_individual_layer_is_retried() {
+        let (_, table) = paper_example();
+        let mut analyst = Analyst::new(table, EngineConfig::default()).unwrap();
+        // Alice (pseudonym 0, a q1 record in buckets 1 and 2) "has lung
+        // cancer" — but lung cancer only occurs in bucket 3: infeasible.
+        analyst
+            .set_individuals(vec![Knowledge::IndividualOneOf { pseudonym: 0, sas: vec![4] }])
+            .unwrap();
+        assert!(analyst.refresh().is_err());
+        assert!(analyst.is_stale(), "failed individual solve must stay pending");
+        // A second refresh retries (and fails again) instead of silently
+        // reporting success with a stale person layer.
+        assert!(analyst.refresh().is_err());
+        // Clearing the bad layer recovers the session.
+        analyst.set_individuals(Vec::new()).unwrap();
+        let stats = analyst.refresh().unwrap();
+        assert!(!stats.individual_resolve);
+        assert!(!analyst.is_stale());
+        assert!(analyst.person_posterior(0).is_none());
+    }
+
+    /// Distribution knowledge must not sneak in via the individual door,
+    /// nor individuals via add_knowledge.
+    #[test]
+    fn knowledge_kind_doors_are_enforced() {
+        let (_, table) = paper_example();
+        let mut analyst = Analyst::new(table, EngineConfig::default()).unwrap();
+        assert!(matches!(
+            analyst.add_knowledge(Knowledge::IndividualSa { pseudonym: 0, sa: 0, probability: 0.5 }),
+            Err(PmError::RequiresIndividualEngine)
+        ));
+        assert!(matches!(
+            analyst.set_individuals(vec![conditional_k(vec![(0, 0)], 0, 0.5)]),
+            Err(PmError::InvalidKnowledge { .. })
+        ));
+    }
+
+    /// Queries and reports serve without recompute, and flag staleness.
+    #[test]
+    fn report_reflects_session_shape() {
+        let (_, table) = paper_example();
+        let mut analyst = Analyst::new(table, EngineConfig::default()).unwrap();
+        let q2 = analyst.table().interner().lookup(&[1, 0]).unwrap();
+        analyst
+            .add_knowledge(conditional_k(vec![(0, 0)], 2, 0.0)) // P(bc | male) = 0
+            .unwrap();
+        let before = analyst.report();
+        assert!(before.pending_deltas, "delta not refreshed yet");
+        analyst.refresh().unwrap();
+        let after = analyst.report();
+        assert!(!after.pending_deltas);
+        assert_eq!(after.knowledge_items, 1);
+        assert!(after.max_disclosure > before.max_disclosure, "knowledge leaks");
+        assert!((after.max_disclosure - 1.0).abs() < 1e-6, "Grace (q4) fully disclosed");
+        // Cathy (q2) holds bucket 1's breast cancer with certainty, but she
+        // also appears in bucket 3, so her marginal P(bc | q2) is 1/2.
+        assert!((analyst.conditional(q2, 2) - 0.5).abs() < 1e-6, "Cathy half disclosed");
+        let batch = analyst.batch(&[(q2, 2), (q2, 0)]);
+        assert_eq!(batch.len(), 2);
+        assert!((batch[0] - 0.5).abs() < 1e-6);
+        assert!(!format!("{after}").is_empty());
+    }
+}

@@ -71,9 +71,27 @@ pub fn compile_knowledge_parallel(
         return Ok(Vec::new());
     }
     let buckets_of = qi_bucket_index(table);
-    pm_parallel::map(threads, kb.items(), |ki, item| {
+    compile_items_parallel(kb.items(), table, index, &buckets_of, threads)
+}
+
+/// Compiles a slice of distribution-knowledge items against a prebuilt
+/// [`qi_bucket_index`] on a `pm-parallel` pool — the session engine's entry
+/// point ([`crate::analyst::Analyst`] hoists the inverted index once per
+/// session and compiles each delta batch through here). The emitted
+/// [`ConstraintOrigin::Knowledge`] indices are positions **within `items`**;
+/// callers that splice batches into a larger knowledge list re-index.
+///
+/// Callers must have rejected individual knowledge beforehand.
+pub(crate) fn compile_items_parallel(
+    items: &[Knowledge],
+    table: &PublishedTable,
+    index: &TermIndex,
+    buckets_of: &[Vec<usize>],
+    threads: usize,
+) -> Result<Vec<Constraint>, CoreError> {
+    pm_parallel::map(threads, items, |ki, item| {
         let Knowledge::Conditional { antecedent, sa, probability } = item else {
-            unreachable!("individual knowledge rejected above");
+            unreachable!("individual knowledge rejected by callers");
         };
         compile_conditional_indexed(
             antecedent,
@@ -82,7 +100,7 @@ pub fn compile_knowledge_parallel(
             ki,
             table,
             index,
-            &buckets_of,
+            buckets_of,
         )
     })
     .into_iter()

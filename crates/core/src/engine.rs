@@ -15,6 +15,18 @@
 //! better conditioned when right-hand sides are `O(1)` record counts rather
 //! than `O(1/N)` probabilities, and the maxent optimum simply rescales.
 //!
+//! # One-shot vs. resident
+//!
+//! Since the session redesign, the long-lived [`crate::analyst::Analyst`]
+//! owns the pipeline: it compiles invariants once, tracks background
+//! knowledge as deltas, and re-solves only invalidated components.
+//! [`Engine::estimate`] remains the one-shot facade — it spins up a
+//! throwaway session, feeds it the whole knowledge base and refreshes once,
+//! which reproduces the historical behaviour (and bit pattern) exactly.
+//! The shared component-solving machinery lives in this module
+//! ([`solve_component`]) so both entry points run the identical numeric
+//! path.
+//!
 //! # Parallelism
 //!
 //! The per-component systems are independent maxent problems (that is the
@@ -26,45 +38,62 @@
 //! disjoint term ranges, so the output is **bit-identical** for every
 //! thread count (only [`EngineStats`] wall times vary).
 
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 use pm_anonymize::published::PublishedTable;
 use pm_linalg::CsrMatrix;
 use pm_microdata::qi::QiId;
 use pm_microdata::value::Value;
 use pm_solver::gradient::{gradient_descent, GradientDescentConfig};
-use pm_solver::scaling::{gis_with_primal, iis, ScalingConfig};
+use pm_solver::scaling::{gis_with_primal_from, iis_from, ScalingConfig};
 use pm_solver::stats::SolveStats;
 use pm_solver::{Lbfgs, LbfgsConfig, MaxEntDual};
 
-use crate::compile::compile_knowledge_parallel;
+use crate::analyst::Analyst;
 use crate::constraint::{Constraint, ConstraintOrigin};
-use crate::error::CoreError;
-use crate::invariants::data_invariants;
+use crate::error::PmError;
 use crate::knowledge::KnowledgeBase;
-use crate::partition::{connected_components, split_separable_knowledge, Component};
+use crate::partition::Component;
 use crate::preprocess::preprocess;
 use crate::terms::TermIndex;
 
-/// Result of one constraint-system solve: expanded local term values, solver
-/// stats (`None` when preprocessing fully determined the system), final
-/// residual, and the reduced system's (constraints, free terms) size.
-type SolvedSystem = (Vec<f64>, Option<SolveStats>, f64, usize, usize);
-
-/// Outcome of one component solve, produced on a worker thread and merged
-/// on the calling thread in component order (deterministic regardless of
-/// which worker finished first).
-struct ComponentSolution {
-    /// Global term ids of this component's local term space.
-    terms: Vec<usize>,
-    /// Solved term values (probability space), aligned with `terms`.
+/// Result of one constraint-system solve (count space).
+struct SolvedSystem {
+    /// Expanded local term values.
     values: Vec<f64>,
     /// Solver stats (`None` when preprocessing fully determined the system).
     stats: Option<SolveStats>,
+    /// Final constraint residual.
+    residual: f64,
     /// Constraints passed to the solver after preprocessing.
     num_constraints: usize,
     /// Free variables passed to the solver after preprocessing.
     num_free_terms: usize,
+    /// `(local constraint index, dual value)` for every surviving reduced
+    /// row — the warm-start feed for the next re-solve of this system.
+    duals: Vec<(usize, f64)>,
+}
+
+/// Outcome of one component solve, produced on a worker thread and merged
+/// on the calling thread in component order (deterministic regardless of
+/// which worker finished first).
+pub(crate) struct ComponentSolution {
+    /// Global term ids of this component's local term space.
+    pub(crate) terms: Vec<usize>,
+    /// Solved term values (probability space), aligned with `terms`.
+    pub(crate) values: Vec<f64>,
+    /// Solver stats (`None` when preprocessing fully determined the system).
+    pub(crate) stats: Option<SolveStats>,
+    /// Constraints passed to the solver after preprocessing.
+    pub(crate) num_constraints: usize,
+    /// Free variables passed to the solver after preprocessing.
+    pub(crate) num_free_terms: usize,
+    /// `(global constraint index, dual value)` for the surviving rows of
+    /// the accepted solve — fed back into the session's dual cache.
+    pub(crate) duals: Vec<(usize, f64)>,
+    /// Whether any warm-start seed was non-zero (refresh statistics).
+    pub(crate) warm_seeded: bool,
 }
 
 /// Which numerical solver minimises the dual.
@@ -89,7 +118,9 @@ pub struct EngineConfig {
     /// Apply the Section 5.5 optimisation: closed-form irrelevant buckets
     /// plus independent connected-component solves. Disable to reproduce
     /// the paper's performance experiments ("we have not applied the
-    /// optimization techniques discussed in Section 5.5").
+    /// optimization techniques discussed in Section 5.5"). Note that
+    /// disabling it also disables the session engine's component-granular
+    /// invalidation: every delta dirties the single joint system.
     pub decompose: bool,
     /// Drop one redundant SA-invariant per bucket (Theorem 3).
     pub concise_invariants: bool,
@@ -98,13 +129,25 @@ pub struct EngineConfig {
     /// Iteration budget per solve.
     pub max_iterations: usize,
     /// Residual (count space) above which the engine reports
-    /// [`CoreError::SolverFailed`] instead of returning a bad estimate.
+    /// [`PmError::SolverFailed`] instead of returning a bad estimate.
     pub residual_limit: f64,
     /// Worker threads for per-component solves. `0` (the default) means
     /// every available core (`std::thread::available_parallelism`); `1`
     /// forces the sequential path. Any value yields bit-identical
     /// estimates — threads only change wall time.
     pub threads: usize,
+    /// Warm-start dirty component re-solves in the
+    /// [`crate::analyst::Analyst`] session from the previous refresh's dual
+    /// vectors (`pm-solver`'s `*_from` entry points).
+    ///
+    /// `false` (the default) keeps every re-solve cold-started and therefore
+    /// **bit-identical** to a from-scratch [`Engine::estimate`] with the
+    /// same final knowledge set. `true` trades that for speed: the warm
+    /// solve converges to the same optimum within
+    /// [`EngineConfig::tolerance`], but along a different path, so low-order
+    /// bits differ. One-shot `Engine::estimate` calls are unaffected either
+    /// way (a fresh session has no duals to warm from).
+    pub warm_start: bool,
 }
 
 impl Default for EngineConfig {
@@ -122,11 +165,19 @@ impl Default for EngineConfig {
             // exact-zero tolerance would mis-report them as failures.
             residual_limit: 1e-2,
             threads: 0,
+            warm_start: false,
         }
     }
 }
 
 /// Aggregated solve statistics — Figure 7 plots `iterations` and `elapsed`.
+///
+/// On an [`crate::analyst::Analyst`] session these describe the **last
+/// refresh**: `num_components` / `num_irrelevant` snapshot the whole current
+/// partition, while `component_stats`, `num_constraints` and
+/// `num_free_terms` cover only the components that refresh actually solved
+/// (a one-shot [`Engine::estimate`] solves everything in one refresh, so
+/// there the historical meaning is unchanged).
 #[derive(Debug, Clone, Default)]
 pub struct EngineStats {
     /// Per-solved-component statistics (irrelevant components don't solve).
@@ -165,7 +216,7 @@ impl EngineStats {
 #[derive(Debug, Clone)]
 pub struct Estimate {
     term_values: Vec<f64>,
-    index: TermIndex,
+    index: Arc<TermIndex>,
     /// Dense `P(s | q)`: row `q`, column `s`.
     conditional: Vec<f64>,
     distinct_qi: usize,
@@ -178,7 +229,7 @@ pub struct Estimate {
 impl Estimate {
     pub(crate) fn assemble(
         term_values: Vec<f64>,
-        index: TermIndex,
+        index: Arc<TermIndex>,
         table: &PublishedTable,
         stats: EngineStats,
     ) -> Self {
@@ -209,8 +260,42 @@ impl Estimate {
         }
     }
 
-    /// The estimated joint `P(q, s, b)` (0 for inadmissible terms).
+    /// Panics with a descriptive message when `(q, s)` lies outside the
+    /// published domains — the raw slice arithmetic below would otherwise
+    /// read a neighbouring row (for an oversized `s`) or panic opaquely.
+    #[track_caller]
+    fn check_query(&self, q: QiId, s: Value) {
+        self.check_qi(q);
+        assert!(
+            (s as usize) < self.sa_cardinality,
+            "SA value {s} out of range: the published table has {} sensitive values",
+            self.sa_cardinality
+        );
+    }
+
+    #[track_caller]
+    fn check_qi(&self, q: QiId) {
+        assert!(
+            q < self.distinct_qi,
+            "QI symbol {q} out of range: the published table has {} distinct QI tuples",
+            self.distinct_qi
+        );
+    }
+
+    /// The estimated joint `P(q, s, b)` (0 for admissible-domain terms that
+    /// are excluded by a Zero-invariant).
+    ///
+    /// # Panics
+    /// Panics (with a descriptive message) if `q`, `s` or `b` lies outside
+    /// the published table's domains.
+    #[track_caller]
     pub fn p_qsb(&self, q: QiId, s: Value, b: usize) -> f64 {
+        self.check_query(q, s);
+        assert!(
+            b < self.index.num_buckets(),
+            "bucket {b} out of range: the published table has {} buckets",
+            self.index.num_buckets()
+        );
         self.index
             .get(q, s, b)
             .map(|i| self.term_values[i])
@@ -218,12 +303,24 @@ impl Estimate {
     }
 
     /// The estimated conditional `P*(s | q)` — the paper's target quantity.
+    ///
+    /// # Panics
+    /// Panics (with a descriptive message) if `q` or `s` lies outside the
+    /// published table's domains.
+    #[track_caller]
     pub fn conditional(&self, q: QiId, s: Value) -> f64 {
+        self.check_query(q, s);
         self.conditional[q * self.sa_cardinality + s as usize]
     }
 
     /// The full conditional row `P*(· | q)`.
+    ///
+    /// # Panics
+    /// Panics (with a descriptive message) if `q` is not a QI symbol of the
+    /// published table.
+    #[track_caller]
     pub fn conditional_row(&self, q: QiId) -> &[f64] {
+        self.check_qi(q);
         &self.conditional[q * self.sa_cardinality..(q + 1) * self.sa_cardinality]
     }
 
@@ -238,7 +335,13 @@ impl Estimate {
     }
 
     /// `P(q)` marginals aligned with the table's interner.
+    ///
+    /// # Panics
+    /// Panics (with a descriptive message) if `q` is not a QI symbol of the
+    /// published table.
+    #[track_caller]
     pub fn qi_marginal(&self, q: QiId) -> f64 {
+        self.check_qi(q);
         self.qi_marginal[q]
     }
 
@@ -253,7 +356,12 @@ impl Estimate {
     }
 }
 
-/// The Privacy-MaxEnt engine.
+/// The Privacy-MaxEnt engine — the **one-shot** facade.
+///
+/// [`Engine::estimate`] runs the whole pipeline from scratch on every call.
+/// Callers issuing repeated estimates over one published table (an evolving
+/// adversary model) should hold a [`crate::analyst::Analyst`] session
+/// instead, which this method is a thin wrapper over.
 #[derive(Debug, Clone, Default)]
 pub struct Engine {
     /// Configuration for [`Engine::estimate`].
@@ -270,339 +378,312 @@ impl Engine {
     /// pre-existing privacy metric implicitly computes, and provably the
     /// maxent solution when no background knowledge exists (Theorem 5).
     pub fn uniform_estimate(table: &PublishedTable) -> Estimate {
-        let index = TermIndex::build(table);
+        let index = Arc::new(TermIndex::build(table));
         let mut values = vec![0.0; index.len()];
         fill_uniform(table, &index, (0..table.num_buckets()).collect::<Vec<_>>().as_slice(), &mut values);
         Estimate::assemble(values, index, table, EngineStats::default())
     }
 
     /// Computes the maxent estimate of `P(Q, S, B)` under `kb`.
+    ///
+    /// Implemented as a one-shot [`Analyst`] session: compile, partition,
+    /// refresh once, discard. The numeric path (constraint ordering,
+    /// preprocessing, cold-started solves, merge order) is identical to the
+    /// pre-session engine, so results are bit-for-bit unchanged — and
+    /// bit-identical to an incremental session arriving at the same
+    /// knowledge set with [`EngineConfig::warm_start`] off.
     pub fn estimate(
         &self,
         table: &PublishedTable,
         kb: &KnowledgeBase,
-    ) -> Result<Estimate, CoreError> {
+    ) -> Result<Estimate, PmError> {
         if kb.has_individual_knowledge() {
-            return Err(CoreError::RequiresIndividualEngine);
+            return Err(PmError::RequiresIndividualEngine);
         }
-        let start = Instant::now();
-        let index = TermIndex::build(table);
-        let mut constraints = data_invariants(table, &index, self.config.concise_invariants);
-        let knowledge_rows =
-            compile_knowledge_parallel(kb, table, &index, self.config.threads)?;
-        constraints.extend(knowledge_rows);
+        let start = std::time::Instant::now();
+        let mut analyst = Analyst::new_deferred(table.clone(), self.config.clone());
+        analyst
+            .add_knowledge_batch(kb.items())
+            .map_err(PmError::into_root_cause)?;
+        analyst.refresh().map_err(PmError::into_root_cause)?;
+        let mut estimate = analyst.into_estimate();
+        // Keep the historical meaning of `total_elapsed` for the one-shot
+        // facade (index build + compilation + solves + read-out); a session
+        // refresh alone would under-report it by the whole assembly stage,
+        // skewing the Figure 5-7 solve-time series in `pm-bench`.
+        estimate.stats.total_elapsed = start.elapsed();
+        Ok(estimate)
+    }
+}
 
-        let components: Vec<Component> = if self.config.decompose {
-            // Confidence-1 negative rules pin terms independently; split
-            // them per bucket so they don't fuse unrelated buckets into one
-            // giant component (see `split_separable_knowledge`).
-            constraints = split_separable_knowledge(constraints, &index);
-            connected_components(&constraints, &index)
-        } else {
-            // One pseudo-component holding everything; knowledge rows all
-            // attach to it.
-            let knowledge: Vec<usize> = constraints
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| matches!(c.origin, ConstraintOrigin::Knowledge { .. }))
-                .map(|(i, _)| i)
-                .collect();
-            vec![Component {
-                buckets: (0..table.num_buckets()).collect(),
-                knowledge_rows: knowledge,
-            }]
-        };
+/// Solves one component's maxent subproblem. Pure with respect to shared
+/// state (runs on a worker thread); the caller merges the returned
+/// [`ComponentSolution`] in component order.
+///
+/// `warm` maps a global constraint index to a dual seed (the session's dual
+/// cache); `None` cold-starts from the origin, which is the bit-stable
+/// path.
+pub(crate) fn solve_component(
+    config: &EngineConfig,
+    table: &PublishedTable,
+    index: &TermIndex,
+    constraints: &[Constraint],
+    bucket_invariants: &[Vec<usize>],
+    comp: &Component,
+    warm: Option<&(dyn Fn(usize) -> f64 + Sync)>,
+) -> Result<ComponentSolution, PmError> {
+    let n = table.total_records() as f64;
 
-        // Pre-bucket invariant rows for fast per-component gathering.
-        let mut bucket_invariants: Vec<Vec<usize>> = vec![Vec::new(); table.num_buckets()];
-        for (i, c) in constraints.iter().enumerate() {
-            match c.origin {
-                ConstraintOrigin::QiInvariant { b, .. }
-                | ConstraintOrigin::SaInvariant { b, .. } => bucket_invariants[b].push(i),
-                ConstraintOrigin::Knowledge { .. } => {}
-            }
+    // Local term space: concatenation of the component buckets' ranges.
+    let mut local_of = std::collections::HashMap::new();
+    let mut global_of = Vec::new();
+    for &b in &comp.buckets {
+        for t in index.bucket_range(b) {
+            local_of.insert(t, global_of.len());
+            global_of.push(t);
         }
-
-        let mut values = vec![0.0; index.len()];
-        let mut stats = EngineStats {
-            num_components: components.len(),
-            ..Default::default()
-        };
-
-        // Irrelevant components never reach a worker: the Theorem 5 closed
-        // form is a handful of multiplications, cheaper than scheduling.
-        let mut relevant: Vec<&Component> = Vec::new();
-        for comp in &components {
-            if comp.is_irrelevant() && self.config.decompose {
-                stats.num_irrelevant += 1;
-                fill_uniform(table, &index, &comp.buckets, &mut values);
-            } else {
-                relevant.push(comp);
-            }
-        }
-
-        // Solve relevant components on the worker pool. Each solve is
-        // independent and internally sequential; the merge below runs in
-        // component order, so the estimate is bit-identical for any thread
-        // count (and any work-stealing interleaving). A failure flips the
-        // abort flag so still-queued components are skipped instead of
-        // burning a full run's work on a doomed estimate; with `threads = 1`
-        // this reproduces the sequential fail-fast exactly, with more
-        // threads the *reported* failing component may vary with timing
-        // (successful estimates never do).
-        let failed = std::sync::atomic::AtomicBool::new(false);
-        let solved = pm_parallel::map(self.config.threads, &relevant, |_, comp| {
-            if failed.load(std::sync::atomic::Ordering::Relaxed) {
-                return None; // skipped: some other component already failed
-            }
-            let result =
-                self.solve_component(table, &index, &constraints, &bucket_invariants, comp);
-            if result.is_err() {
-                failed.store(true, std::sync::atomic::Ordering::Relaxed);
-            }
-            Some(result)
-        });
-        let mut solutions = Vec::with_capacity(solved.len());
-        for sol in solved {
-            match sol {
-                Some(Ok(s)) => solutions.push(s),
-                // Earliest-indexed observed failure.
-                Some(Err(e)) => return Err(e),
-                // Skipped slot: the error that caused it is later in the
-                // scan and will be returned there.
-                None => {}
-            }
-        }
-        debug_assert!(
-            !failed.load(std::sync::atomic::Ordering::Relaxed),
-            "abort flag set but no error surfaced"
-        );
-        for sol in solutions {
-            stats.num_constraints += sol.num_constraints;
-            stats.num_free_terms += sol.num_free_terms;
-            if let Some(s) = sol.stats {
-                stats.component_stats.push(s);
-            }
-            for (&t, &v) in sol.terms.iter().zip(&sol.values) {
-                values[t] = v;
-            }
-        }
-
-        stats.total_elapsed = start.elapsed();
-        Ok(Estimate::assemble(values, index, table, stats))
     }
 
-    /// Solves one component's maxent subproblem. Pure with respect to the
-    /// engine's shared state (runs on a worker thread); the caller merges
-    /// the returned [`ComponentSolution`] in component order.
-    fn solve_component(
-        &self,
-        table: &PublishedTable,
-        index: &TermIndex,
-        constraints: &[Constraint],
-        bucket_invariants: &[Vec<usize>],
-        comp: &Component,
-    ) -> Result<ComponentSolution, CoreError> {
-        let n = table.total_records() as f64;
-
-        // Local term space: concatenation of the component buckets' ranges.
-        let mut local_of = std::collections::HashMap::new();
-        let mut global_of = Vec::new();
-        for &b in &comp.buckets {
-            for t in index.bucket_range(b) {
-                local_of.insert(t, global_of.len());
-                global_of.push(t);
+    // Localised constraints, with count-space targets (× N).
+    let row_ids: Vec<usize> = comp
+        .buckets
+        .iter()
+        .flat_map(|&b| bucket_invariants[b].iter().copied())
+        .chain(comp.knowledge_rows.iter().copied())
+        .collect();
+    let local_constraints: Vec<Constraint> = row_ids
+        .iter()
+        .map(|&ci| {
+            let c = &constraints[ci];
+            Constraint {
+                coeffs: c.coeffs.iter().map(|&(t, v)| (local_of[&t], v)).collect(),
+                rhs: c.rhs * n,
+                origin: c.origin.clone(),
             }
-        }
+        })
+        .collect();
 
-        // Localised constraints, with count-space targets (× N).
-        let row_ids: Vec<usize> = comp
-            .buckets
-            .iter()
-            .flat_map(|&b| bucket_invariants[b].iter().copied())
-            .chain(comp.knowledge_rows.iter().copied())
-            .collect();
-        let local_constraints: Vec<Constraint> = row_ids
-            .iter()
-            .map(|&ci| {
-                let c = &constraints[ci];
-                Constraint {
-                    coeffs: c.coeffs.iter().map(|&(t, v)| (local_of[&t], v)).collect(),
-                    rhs: c.rhs * n,
-                    origin: c.origin.clone(),
+    // Dual seeds aligned with `local_constraints` (zeros when cold).
+    let seed: Option<Vec<f64>> =
+        warm.map(|w| row_ids.iter().map(|&ci| w(ci)).collect());
+    let warm_seeded = seed.as_ref().is_some_and(|s| s.iter().any(|&v| v != 0.0));
+
+    // Component record mass in counts (for GIS's slack target).
+    let comp_mass: f64 =
+        comp.buckets.iter().map(|&b| table.bucket(b).size() as f64).sum();
+
+    // Stage 1: direct solve.
+    let attempt =
+        solve_constraints(config, &local_constraints, global_of.len(), comp_mass, seed.as_deref())?;
+    let SolvedSystem {
+        values: mut best_values,
+        stats: mut best_stats,
+        residual: mut best_residual,
+        num_constraints: nc,
+        num_free_terms: nf,
+        duals: mut best_duals,
+    } = attempt;
+
+    // Stage 2 (active-set crossover): boundary optima — terms forced to
+    // zero only by *combinations* of constraints — make the exponential
+    // dual converge asymptotically. After the first solve, pin every
+    // numerically dead term to exact zero and re-solve the interior
+    // problem, which is then well-conditioned.
+    if best_residual > config.residual_limit && config.solver == SolverKind::Lbfgs {
+        const DEAD: f64 = 1e-6; // counts; genuine mass is ≥ O(1e-2)
+        const MAX_ROUNDS: usize = 5;
+        let mut pinned = local_constraints.to_vec();
+        let mut dead: Vec<bool> = vec![false; global_of.len()];
+        for _round in 0..MAX_ROUNDS {
+            let mut any = false;
+            for (t, &v) in best_values.iter().enumerate() {
+                if !dead[t] && v > 0.0 && v < DEAD {
+                    dead[t] = true;
+                    pinned.push(Constraint {
+                        coeffs: vec![(t, 1.0)],
+                        rhs: 0.0,
+                        origin: ConstraintOrigin::Knowledge { index: usize::MAX },
+                    });
+                    any = true;
                 }
-            })
-            .collect();
-
-        // Component record mass in counts (for GIS's slack target).
-        let comp_mass: f64 =
-            comp.buckets.iter().map(|&b| table.bucket(b).size() as f64).sum();
-
-        // Stage 1: direct solve.
-        let attempt = self.solve_constraints(&local_constraints, global_of.len(), comp_mass)?;
-        let (mut best_values, mut best_stats, mut best_residual, nc, nf) = attempt;
-
-        // Stage 2 (active-set crossover): boundary optima — terms forced to
-        // zero only by *combinations* of constraints — make the exponential
-        // dual converge asymptotically. After the first solve, pin every
-        // numerically dead term to exact zero and re-solve the interior
-        // problem, which is then well-conditioned.
-        if best_residual > self.config.residual_limit
-            && self.config.solver == SolverKind::Lbfgs
-        {
-            const DEAD: f64 = 1e-6; // counts; genuine mass is ≥ O(1e-2)
-            const MAX_ROUNDS: usize = 5;
-            let mut pinned = local_constraints.to_vec();
-            let mut dead: Vec<bool> = vec![false; global_of.len()];
-            for _round in 0..MAX_ROUNDS {
-                let mut any = false;
-                for (t, &v) in best_values.iter().enumerate() {
-                    if !dead[t] && v > 0.0 && v < DEAD {
-                        dead[t] = true;
-                        pinned.push(Constraint {
-                            coeffs: vec![(t, 1.0)],
-                            rhs: 0.0,
-                            origin: ConstraintOrigin::Knowledge { index: usize::MAX },
-                        });
-                        any = true;
+            }
+            if !any {
+                break;
+            }
+            let r2 =
+                solve_constraints(config, &pinned, global_of.len(), comp_mass, seed.as_deref());
+            if std::env::var("PM_DEBUG").is_ok() {
+                match &r2 {
+                    Ok(s) => eprintln!(
+                        "crossover round: residual {:.3e} nc={} nf={} (best {best_residual:.3e})",
+                        s.residual, s.num_constraints, s.num_free_terms
+                    ),
+                    Err(e) => eprintln!("crossover round failed: {e}"),
+                }
+            }
+            let Ok(sys2) = r2 else {
+                break; // over-pinned: keep the best solution so far
+            };
+            if sys2.residual < best_residual {
+                best_values = sys2.values;
+                best_residual = sys2.residual;
+                best_duals = sys2.duals;
+                if let Some(b) = sys2.stats {
+                    match &mut best_stats {
+                        Some(a) => {
+                            a.iterations += b.iterations;
+                            a.fn_evals += b.fn_evals;
+                            a.elapsed += b.elapsed;
+                            a.final_residual = b.final_residual;
+                            a.stop = b.stop;
+                        }
+                        None => best_stats = Some(b),
                     }
                 }
-                if !any {
+                if best_residual <= config.residual_limit {
                     break;
                 }
-                let r2 = self.solve_constraints(&pinned, global_of.len(), comp_mass);
-                if std::env::var("PM_DEBUG").is_ok() {
-                    match &r2 {
-                        Ok((_, _, res, nc, nf)) => eprintln!("crossover round: residual {res:.3e} nc={nc} nf={nf} (best {best_residual:.3e})"),
-                        Err(e) => eprintln!("crossover round failed: {e}"),
-                    }
-                }
-                let Ok((values2, stats2, residual2, _, _)) = r2
-                else {
-                    break; // over-pinned: keep the best solution so far
-                };
-                if residual2 < best_residual {
-                    best_values = values2;
-                    best_residual = residual2;
-                    if let Some(b) = stats2 {
-                        match &mut best_stats {
-                            Some(a) => {
-                                a.iterations += b.iterations;
-                                a.fn_evals += b.fn_evals;
-                                a.elapsed += b.elapsed;
-                                a.final_residual = b.final_residual;
-                                a.stop = b.stop;
-                            }
-                            None => best_stats = Some(b),
-                        }
-                    }
-                    if best_residual <= self.config.residual_limit {
-                        break;
-                    }
-                } else {
-                    break; // pinning stopped helping
-                }
+            } else {
+                break; // pinning stopped helping
             }
         }
+    }
 
-        if best_residual > self.config.residual_limit {
-            return Err(CoreError::SolverFailed { residual: best_residual });
-        }
+    if best_residual > config.residual_limit {
+        return Err(PmError::SolverFailed { residual: best_residual });
+    }
 
-        for v in &mut best_values {
-            *v /= n;
-        }
-        Ok(ComponentSolution {
-            terms: global_of,
-            values: best_values,
-            stats: best_stats,
+    for v in &mut best_values {
+        *v /= n;
+    }
+    // Crossover rows (appended past the local list) are pinning artefacts,
+    // not cacheable duals.
+    let duals: Vec<(usize, f64)> = best_duals
+        .into_iter()
+        .filter(|&(local, _)| local < local_constraints.len())
+        .map(|(local, lam)| (row_ids[local], lam))
+        .collect();
+    Ok(ComponentSolution {
+        terms: global_of,
+        values: best_values,
+        stats: best_stats,
+        num_constraints: nc,
+        num_free_terms: nf,
+        duals,
+        warm_seeded,
+    })
+}
+
+/// Preprocesses and solves one constraint system (count space).
+fn solve_constraints(
+    config: &EngineConfig,
+    local_constraints: &[Constraint],
+    n_local: usize,
+    comp_mass: f64,
+    seed: Option<&[f64]>,
+) -> Result<SolvedSystem, PmError> {
+    let reduced = preprocess(local_constraints, n_local)?;
+    let nc = reduced.rows.len();
+    let nf = reduced.num_free();
+    if nf == 0 {
+        return Ok(SolvedSystem {
+            values: reduced.expand(&[]),
+            stats: None,
+            residual: 0.0,
             num_constraints: nc,
-            num_free_terms: nf,
-        })
+            num_free_terms: 0,
+            duals: Vec::new(),
+        });
     }
-
-    /// Preprocesses and solves one constraint system (count space).
-    /// Returns the expanded local term values, the solver stats (None when
-    /// preprocessing fully determined the system), the final residual, and
-    /// the reduced system's size.
-    fn solve_constraints(
-        &self,
-        local_constraints: &[Constraint],
-        n_local: usize,
-        comp_mass: f64,
-    ) -> Result<SolvedSystem, CoreError> {
-        let reduced = preprocess(local_constraints, n_local)?;
-        let nc = reduced.rows.len();
-        let nf = reduced.num_free();
-        if nf == 0 {
-            return Ok((reduced.expand(&[]), None, 0.0, nc, 0));
+    let a = CsrMatrix::from_rows(nf, &reduced.rows);
+    let dual = MaxEntDual::new(a, reduced.rhs.clone());
+    // Warm seeds travel by *row identity* (the surviving original
+    // constraint), so a system whose preprocessing outcome changed between
+    // refreshes still seeds each surviving row with its own prior dual.
+    let lambda0: Vec<f64> = match seed {
+        Some(s) => reduced
+            .row_origin
+            .iter()
+            .map(|&o| if o < s.len() { s[o] } else { 0.0 })
+            .collect(),
+        None => vec![0.0; dual.num_constraints()],
+    };
+    let (solution, primal) = match config.solver {
+        SolverKind::Lbfgs => {
+            let cfg = LbfgsConfig {
+                tolerance: config.tolerance,
+                max_iterations: config.max_iterations,
+                ..Default::default()
+            };
+            let solver = Lbfgs::new(cfg);
+            let mut sol = solver.minimize(&dual, &lambda0);
+            // One warm restart (fresh curvature history) often recovers
+            // remaining digits cheaply before the crossover kicks in.
+            let mut p = dual.primal(&sol.x);
+            if dual.residual(&p) > config.residual_limit {
+                let restart = solver.minimize(&dual, &sol.x);
+                let iterations = sol.stats.iterations + restart.stats.iterations;
+                let fn_evals = sol.stats.fn_evals + restart.stats.fn_evals;
+                let elapsed = sol.stats.elapsed + restart.stats.elapsed;
+                sol = restart;
+                sol.stats.iterations = iterations;
+                sol.stats.fn_evals = fn_evals;
+                sol.stats.elapsed = elapsed;
+                p = dual.primal(&sol.x);
+            }
+            (sol, p)
         }
-        let a = CsrMatrix::from_rows(nf, &reduced.rows);
-        let dual = MaxEntDual::new(a, reduced.rhs.clone());
-        let lambda0 = vec![0.0; dual.num_constraints()];
-        let (solution, primal) = match self.config.solver {
-            SolverKind::Lbfgs => {
-                let cfg = LbfgsConfig {
-                    tolerance: self.config.tolerance,
-                    max_iterations: self.config.max_iterations,
-                    ..Default::default()
-                };
-                let solver = Lbfgs::new(cfg);
-                let mut sol = solver.minimize(&dual, &lambda0);
-                // One warm restart (fresh curvature history) often recovers
-                // remaining digits cheaply before the crossover kicks in.
-                let mut p = dual.primal(&sol.x);
-                if dual.residual(&p) > self.config.residual_limit {
-                    let restart = solver.minimize(&dual, &sol.x);
-                    let iterations = sol.stats.iterations + restart.stats.iterations;
-                    let fn_evals = sol.stats.fn_evals + restart.stats.fn_evals;
-                    let elapsed = sol.stats.elapsed + restart.stats.elapsed;
-                    sol = restart;
-                    sol.stats.iterations = iterations;
-                    sol.stats.fn_evals = fn_evals;
-                    sol.stats.elapsed = elapsed;
-                    p = dual.primal(&sol.x);
-                }
-                (sol, p)
-            }
-            SolverKind::Iis => {
-                let cfg = ScalingConfig {
-                    tolerance: self.config.tolerance,
-                    max_iterations: self.config.max_iterations,
-                };
-                let sol = iis(&dual, &cfg);
-                let p = dual.primal(&sol.x);
-                (sol, p)
-            }
-            SolverKind::Gis => {
-                let cfg = ScalingConfig {
-                    tolerance: self.config.tolerance,
-                    max_iterations: self.config.max_iterations,
-                };
-                // Free mass = component record count − already-fixed mass.
-                let fixed_mass: f64 = reduced.fixed.iter().map(|&(_, v)| v).sum();
-                let (sol, p) = gis_with_primal(&dual, comp_mass - fixed_mass, &cfg);
-                (sol, p)
-            }
-            SolverKind::GradientDescent => {
-                let cfg = GradientDescentConfig {
-                    tolerance: self.config.tolerance,
-                    max_iterations: self.config.max_iterations,
-                    ..Default::default()
-                };
-                let sol = gradient_descent(&dual, &lambda0, &cfg);
-                let p = dual.primal(&sol.x);
-                (sol, p)
-            }
-        };
-        let residual = dual.residual(&primal);
-        Ok((reduced.expand(&primal), Some(solution.stats), residual, nc, nf))
-    }
+        SolverKind::Iis => {
+            let cfg = ScalingConfig {
+                tolerance: config.tolerance,
+                max_iterations: config.max_iterations,
+            };
+            let sol = iis_from(&dual, &cfg, &lambda0);
+            let p = dual.primal(&sol.x);
+            (sol, p)
+        }
+        SolverKind::Gis => {
+            let cfg = ScalingConfig {
+                tolerance: config.tolerance,
+                max_iterations: config.max_iterations,
+            };
+            // Free mass = component record count − already-fixed mass.
+            let fixed_mass: f64 = reduced.fixed.iter().map(|&(_, v)| v).sum();
+            let (sol, p) =
+                gis_with_primal_from(&dual, comp_mass - fixed_mass, &cfg, &lambda0);
+            (sol, p)
+        }
+        SolverKind::GradientDescent => {
+            let cfg = GradientDescentConfig {
+                tolerance: config.tolerance,
+                max_iterations: config.max_iterations,
+                ..Default::default()
+            };
+            let sol = gradient_descent(&dual, &lambda0, &cfg);
+            let p = dual.primal(&sol.x);
+            (sol, p)
+        }
+    };
+    let residual = dual.residual(&primal);
+    let duals = reduced
+        .row_origin
+        .iter()
+        .copied()
+        .zip(solution.x.iter().copied())
+        .collect();
+    Ok(SolvedSystem {
+        values: reduced.expand(&primal),
+        stats: Some(solution.stats),
+        residual,
+        num_constraints: nc,
+        num_free_terms: nf,
+        duals,
+    })
 }
 
 // Compile-time contract: everything a worker thread borrows (engine,
 // published table, term index, constraints) or returns must be
-// `Send + Sync` for the scoped pool in [`Engine::estimate`].
+// `Send + Sync` for the scoped pool driving [`solve_component`].
 const _: () = {
     const fn send_sync<T: Send + Sync>() {}
     send_sync::<Engine>();
@@ -611,14 +692,14 @@ const _: () = {
     send_sync::<Constraint>();
     send_sync::<Component>();
     send_sync::<ComponentSolution>();
-    send_sync::<CoreError>();
+    send_sync::<PmError>();
     send_sync::<TermIndex>();
     send_sync::<PublishedTable>();
 };
 
 /// Fills `values` with the Theorem-5 closed form for the given buckets:
 /// `P(q, s, b) = P(q, b) · (#s in b) / N_b`.
-fn fill_uniform(
+pub(crate) fn fill_uniform(
     table: &PublishedTable,
     index: &TermIndex,
     buckets: &[usize],
@@ -640,6 +721,7 @@ fn fill_uniform(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::CoreError;
     use crate::knowledge::Knowledge;
     use pm_anonymize::fixtures::paper_example;
 
@@ -903,5 +985,48 @@ mod tests {
         assert_eq!(est.stats.num_irrelevant, 3);
         assert!(est.stats.component_stats.is_empty(), "nothing to solve");
         assert_eq!(est.stats.total_iterations(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "QI symbol 99 out of range")]
+    fn conditional_row_checks_qi_bounds() {
+        let (_, table) = paper_example();
+        let est = Engine::uniform_estimate(&table);
+        let _ = est.conditional_row(99);
+    }
+
+    #[test]
+    #[should_panic(expected = "SA value 200 out of range")]
+    fn conditional_checks_sa_bounds() {
+        let (_, table) = paper_example();
+        let est = Engine::uniform_estimate(&table);
+        let _ = est.conditional(0, 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket 77 out of range")]
+    fn p_qsb_checks_bucket_bounds() {
+        let (_, table) = paper_example();
+        let est = Engine::uniform_estimate(&table);
+        let _ = est.p_qsb(0, 0, 77);
+    }
+
+    #[test]
+    #[should_panic(expected = "QI symbol 42 out of range")]
+    fn p_qsb_checks_qi_bounds() {
+        let (_, table) = paper_example();
+        let est = Engine::uniform_estimate(&table);
+        let _ = est.p_qsb(42, 0, 0);
+    }
+
+    /// In-range lookups still behave exactly as before the bounds checks:
+    /// inadmissible (Zero-invariant) terms read as probability zero.
+    #[test]
+    fn p_qsb_inadmissible_term_is_zero() {
+        let (_, table) = paper_example();
+        let est = Engine::uniform_estimate(&table);
+        let q1 = table.interner().lookup(&[0, 0]).unwrap();
+        // q1 does not appear in bucket 3 → inadmissible, not a panic.
+        assert_eq!(est.p_qsb(q1, 0, 2), 0.0);
     }
 }

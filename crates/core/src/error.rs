@@ -1,10 +1,23 @@
-//! Errors of the Privacy-MaxEnt engine.
+//! The one error type of the Privacy-MaxEnt public API.
+//!
+//! Every fallible operation in this crate — [`crate::engine::Engine`],
+//! [`crate::analyst::Analyst`], knowledge compilation, the individual
+//! engine, report sweeps — returns [`PmError`]. The enum is
+//! `#[non_exhaustive]` so future subsystems can add variants without a
+//! breaking release, and it chains sources through
+//! [`std::error::Error::source`]: a failed component re-solve surfaces as
+//! [`PmError::Component`] whose source is the underlying solver/feasibility
+//! error, so `anyhow`-style chain printers show
+//! `component 17 failed: solver failed to converge (residual 3.1e0)`.
 
 use std::fmt;
 
+use crate::analyst::KnowledgeHandle;
+
 /// Errors raised while compiling or solving a Privacy-MaxEnt instance.
 #[derive(Debug, Clone, PartialEq)]
-pub enum CoreError {
+#[non_exhaustive]
+pub enum PmError {
     /// The constraint system is infeasible: preprocessing derived a
     /// contradiction (e.g. a non-negative sum pinned to a negative value, or
     /// an emptied constraint with non-zero residual target).
@@ -29,12 +42,49 @@ pub enum CoreError {
         /// Final residual achieved.
         residual: f64,
     },
-    /// Knowledge about individuals was passed to the base engine; use
-    /// [`crate::individuals::IndividualEngine`] instead.
+    /// Knowledge about individuals was passed to an entry point that only
+    /// handles distribution knowledge; use
+    /// [`crate::individuals::IndividualEngine`] or
+    /// [`crate::analyst::Analyst::set_individuals`] instead.
     RequiresIndividualEngine,
+    /// A [`KnowledgeHandle`] that was never issued by this session, or
+    /// whose item was already removed.
+    StaleHandle {
+        /// The offending handle.
+        handle: KnowledgeHandle,
+    },
+    /// An independent component's re-solve failed during a session refresh.
+    /// [`std::error::Error::source`] returns the underlying error.
+    Component {
+        /// Index of the failing component in the session's current
+        /// partition (components ascend by smallest bucket id).
+        index: usize,
+        /// The underlying failure.
+        source: Box<PmError>,
+    },
 }
 
-impl fmt::Display for CoreError {
+impl PmError {
+    /// Strips [`PmError::Component`] wrappers, returning the root cause.
+    pub fn root_cause(&self) -> &PmError {
+        match self {
+            Self::Component { source, .. } => source.root_cause(),
+            other => other,
+        }
+    }
+
+    /// Unwraps one level of [`PmError::Component`] context (identity for
+    /// every other variant) — the legacy `Engine::estimate` surface, which
+    /// predates per-component context.
+    pub(crate) fn into_root_cause(self) -> PmError {
+        match self {
+            Self::Component { source, .. } => source.into_root_cause(),
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for PmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Infeasible { detail } => write!(f, "infeasible constraint system: {detail}"),
@@ -47,8 +97,54 @@ impl fmt::Display for CoreError {
                 f,
                 "knowledge about individuals requires the pseudonym-expanded engine"
             ),
+            Self::StaleHandle { handle } => {
+                write!(f, "knowledge handle {handle:?} is not live in this session")
+            }
+            // Context only; the chain is walked via `source()`.
+            Self::Component { index, .. } => {
+                write!(f, "component {index} failed to re-solve")
+            }
         }
     }
 }
 
-impl std::error::Error for CoreError {}
+impl std::error::Error for PmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Component { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+/// Legacy name of [`PmError`], kept so pre-session call sites (and the
+/// paper-era examples in downstream forks) keep compiling.
+pub type CoreError = PmError;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn component_errors_chain_their_source() {
+        let inner = PmError::SolverFailed { residual: 3.1 };
+        let outer = PmError::Component { index: 17, source: Box::new(inner.clone()) };
+        assert_eq!(outer.to_string(), "component 17 failed to re-solve");
+        let chained = outer.source().expect("component carries a source");
+        assert_eq!(chained.to_string(), inner.to_string());
+        assert_eq!(outer.root_cause(), &inner);
+        assert!(PmError::Infeasible { detail: "x".into() }.source().is_none());
+    }
+
+    #[test]
+    fn root_cause_strips_nested_wrappers() {
+        let root = PmError::Infeasible { detail: "deep".into() };
+        let nested = PmError::Component {
+            index: 1,
+            source: Box::new(PmError::Component { index: 2, source: Box::new(root.clone()) }),
+        };
+        assert_eq!(nested.root_cause(), &root);
+        assert_eq!(nested.into_root_cause(), root);
+    }
+}

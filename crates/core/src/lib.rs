@@ -19,13 +19,20 @@
 //!    (Section 6) is handled by the pseudonym-expanded [`individuals`]
 //!    engine.
 //!
-//! The [`engine::Engine`] preprocesses the system (eliminating zero-forced
-//! and pinned terms — the exponential dual cannot represent exact zeros),
-//! splits it into bucket connected components ([`partition`]; irrelevant
-//! buckets get the closed-form uniform solution of Theorem 5), solves each
-//! component's maxent dual with `pm-solver`, and exposes `P(S | Q)` plus the
-//! paper's evaluation metric ([`metrics::estimation_accuracy`]).
+//! The resident [`analyst::Analyst`] session owns the pipeline: it
+//! preprocesses the system (eliminating zero-forced and pinned terms — the
+//! exponential dual cannot represent exact zeros), splits it into bucket
+//! connected components ([`partition`]; irrelevant buckets get the
+//! closed-form uniform solution of Theorem 5), solves each component's
+//! maxent dual with `pm-solver`, and exposes `P(S | Q)` plus the paper's
+//! evaluation metric ([`metrics::estimation_accuracy`]). Background
+//! knowledge evolves as deltas: `add_knowledge` / `remove_knowledge` dirty
+//! only the components their bucket footprints touch, and `refresh`
+//! re-solves exactly those. The one-shot [`engine::Engine::estimate`] is a
+//! thin wrapper that feeds a throwaway session. Every fallible operation
+//! returns the single [`error::PmError`].
 
+pub mod analyst;
 pub mod compile;
 pub mod constraint;
 pub mod engine;
@@ -42,6 +49,7 @@ pub mod report;
 pub mod terms;
 pub mod validate;
 
-pub use engine::{Engine, EngineConfig, Estimate};
-pub use error::CoreError;
+pub use analyst::{Analyst, AnalystReport, KnowledgeHandle, RefreshStats};
+pub use engine::{Engine, EngineConfig, EngineStats, Estimate, SolverKind};
+pub use error::{CoreError, PmError};
 pub use knowledge::{Knowledge, KnowledgeBase};

@@ -130,7 +130,7 @@ pub fn estimate_with_ranges(
         total_elapsed: start.elapsed(),
         ..Default::default()
     };
-    Ok(Estimate::assemble(values, index, table, stats))
+    Ok(Estimate::assemble(values, std::sync::Arc::new(index), table, stats))
 }
 
 #[cfg(test)]

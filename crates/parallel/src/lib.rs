@@ -16,6 +16,9 @@
 //!   order. Output `i` is always the result for input `i`, regardless of
 //!   which worker computed it or when, so callers that merge results in
 //!   input order are deterministic by construction.
+//! * [`map_subset`] — dirty-set scheduling: map only a caller-chosen set of
+//!   indices (the incremental session engine's dirty components), results
+//!   aligned with the subset.
 //! * [`available_parallelism`] / [`resolve_threads`] — the `0 = auto`
 //!   thread-count convention shared by `EngineConfig::threads` and the CLI.
 //!
@@ -62,6 +65,29 @@ where
 {
     let threads = resolve_threads(threads);
     map_chunked(threads, default_chunk(items.len(), threads), items, f)
+}
+
+/// Parallel indexed map over a *subset* of `items` — dirty-set scheduling.
+///
+/// Incremental callers (the `privacy-maxent` session engine) keep a full
+/// slate of components but only need a few *dirty* ones re-solved per
+/// refresh; this schedules exactly `indices` on the pool and returns
+/// `f(i, &items[i])` for each `i` in `indices`, **in `indices` order** —
+/// so a caller that merges results in a fixed dirty-set order stays
+/// deterministic for every thread count, exactly like [`map`].
+///
+/// Duplicate indices are allowed (each occurrence is computed); `threads`
+/// follows the [`resolve_threads`] convention.
+///
+/// # Panics
+/// Panics if any index is out of bounds, or (propagated) if `f` panics.
+pub fn map_subset<T, R, F>(threads: usize, items: &[T], indices: &[usize], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    map(threads, indices, |_, &i| f(i, &items[i]))
 }
 
 /// Parallel indexed map with an explicit chunk size.
@@ -178,6 +204,29 @@ mod tests {
         for (i, c) in counters.iter().enumerate() {
             assert_eq!(c.load(Ordering::Relaxed), 1, "item {i}");
         }
+    }
+
+    #[test]
+    fn subset_scheduling_preserves_subset_order() {
+        let items: Vec<usize> = (0..100).map(|x| x * 10).collect();
+        let dirty = [17usize, 3, 99, 3, 0];
+        for threads in [1, 2, 8] {
+            let out = map_subset(threads, &items, &dirty, |i, &v| {
+                assert_eq!(v, i * 10);
+                v + 1
+            });
+            assert_eq!(out, vec![171, 31, 991, 31, 1]);
+        }
+        let none: [usize; 0] = [];
+        assert!(map_subset(4, &items, &none, |_, &v| v).is_empty());
+    }
+
+    #[test]
+    fn subset_out_of_bounds_panics() {
+        let result = std::panic::catch_unwind(|| {
+            map_subset(2, &[1, 2, 3], &[0, 7], |_, &v: &i32| v)
+        });
+        assert!(result.is_err());
     }
 
     #[test]

@@ -21,6 +21,26 @@
 //! Every solver reports [`stats::SolveStats`] (iterations, function
 //! evaluations, wall time) because Figure 7 of the paper plots exactly those
 //! quantities.
+//!
+//! # Warm starts
+//!
+//! Every solver can resume from an arbitrary dual point, which is what the
+//! incremental `Analyst` session in `privacy-maxent` feeds with the
+//! previous refresh's multipliers:
+//!
+//! * [`Lbfgs::minimize`], [`conjugate_gradient::conjugate_gradient`],
+//!   [`newton::newton_maxent`] and [`gradient::gradient_descent`] take the
+//!   start point `x0` / `lambda0` directly — pass the cached dual instead
+//!   of zeros.
+//! * The iterative-scaling solvers historically hard-coded the origin;
+//!   [`scaling::gis_from`], [`scaling::gis_with_primal_from`] and
+//!   [`scaling::iis_from`] are their warm-start entry points (the zero-seed
+//!   [`scaling::gis`] / [`scaling::iis`] wrappers delegate to them).
+//!
+//! A warm start never changes the optimum (the dual is convex); it only
+//! changes the path — and therefore the low-order bits of the iterate the
+//! solver stops at. Callers that promise bit-identical re-solves must seed
+//! from zero.
 
 pub mod conjugate_gradient;
 pub mod gradient;

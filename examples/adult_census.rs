@@ -1,9 +1,14 @@
-//! The paper's full evaluation pipeline on the synthetic Adult workload:
-//! generate → bucketize to 5-diversity → mine Top-(K+, K−) rules →
-//! quantify privacy under increasing background knowledge.
+//! The paper's full evaluation pipeline on the synthetic Adult workload —
+//! run as a **resident session**: the publication is fixed, the assumed
+//! Top-(K+, K−) knowledge bound grows step by step, and each step only
+//! feeds the *new* rules as deltas. `refresh` re-solves the components
+//! those deltas touch and reuses everything else, which is the whole point
+//! of serving privacy reports from a long-lived `Analyst` instead of
+//! re-estimating from scratch per bound.
 //!
 //! This is a scaled-down interactive version of the Figure 5 experiment;
-//! the complete sweep lives in `cargo run -p pm-bench --bin experiments`.
+//! the complete sweep lives in `cargo run -p pm-bench --bin experiments`
+//! and the delta-vs-from-scratch timing in `--bin incremental_bench`.
 //!
 //! Run with: `cargo run --release --example adult_census`
 
@@ -12,8 +17,8 @@ use pm_anonymize::ldiv;
 use pm_assoc::miner::{MinerConfig, RuleMiner};
 use pm_datagen::adult::{AdultGenerator, AdultGeneratorConfig};
 use pm_microdata::distribution::QiSaDistribution;
-use privacy_maxent::engine::{Engine, EngineConfig};
-use privacy_maxent::knowledge::KnowledgeBase;
+use privacy_maxent::analyst::Analyst;
+use privacy_maxent::engine::EngineConfig;
 use privacy_maxent::metrics;
 
 fn main() {
@@ -52,24 +57,38 @@ fn main() {
         top.antecedent, top.sa_value, top.confidence, top.support
     );
 
-    // 4. Privacy vs. amount of background knowledge (Figure 5's shape).
-    println!("\n    K   accuracy(KL)  max-disclosure  solve-time");
+    // 4. Privacy vs. amount of background knowledge (Figure 5's shape),
+    //    served incrementally: step K→K' adds only rules [K/2, K'/2) of
+    //    each polarity and refreshes.
     let config = EngineConfig { residual_limit: f64::INFINITY, ..Default::default() };
+    let mut analyst = Analyst::new(table, config).expect("baseline solves");
+    println!("\n    K   accuracy(KL)  max-disclosure  re-solved/components  refresh");
+    let mut prev = 0usize;
     for k in [0usize, 50, 200, 1000, 5000] {
-        let picked = rules.top_k(k / 2, k / 2);
-        let kb = KnowledgeBase::from_rules(picked.iter().copied(), data.schema()).unwrap();
-        let est = Engine::new(config.clone()).estimate(&table, &kb).unwrap();
-        let acc = metrics::estimation_accuracy(&truth, &est);
+        let half = |n: usize| n / 2;
+        let new_pos = &rules.positive[half(prev).min(rules.positive.len())
+            ..half(k).min(rules.positive.len())];
+        let new_neg = &rules.negative[half(prev).min(rules.negative.len())
+            ..half(k).min(rules.negative.len())];
+        analyst
+            .add_rules(new_pos.iter().chain(new_neg), data.schema())
+            .expect("mined rules are valid knowledge");
+        let stats = analyst.refresh().expect("mined knowledge is feasible");
+        let acc = metrics::estimation_accuracy(&truth, analyst.estimate());
         println!(
-            "  {k:5}   {acc:10.4}   {:12.3}   {:?}",
-            metrics::max_disclosure(&est),
-            est.stats.total_elapsed
+            "  {k:5}   {acc:10.4}   {:12.3}   {:9}/{:<10}  {:?}",
+            analyst.report().max_disclosure,
+            stats.resolved + stats.closed_form,
+            stats.components,
+            stats.wall
         );
+        prev = k;
     }
     println!(
         "\nReading: accuracy (weighted KL between the adversary's estimate \
          and the truth)\nfalls as K grows — more background knowledge, less \
-         privacy. The publication's\nprivacy report should therefore be the \
-         tuple (knowledge bound, privacy score)."
+         privacy. Each step re-solved\nonly the components the new rules \
+         touched; the publication's privacy report is\nthe tuple (knowledge \
+         bound, privacy score)."
     );
 }

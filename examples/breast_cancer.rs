@@ -1,51 +1,53 @@
 //! The linking-attack scenario from the paper's introduction, plus the
-//! Section 3.1 inference chain, shown end to end.
-//!
-//! An adversary holds the published (bucketized) medical table and two
-//! pieces of common knowledge. Privacy-MaxEnt quantifies exactly how much
-//! those leak: deterministic re-identification of several patients.
+//! Section 3.1 inference chain — run as an evolving session: the adversary
+//! learns one fact at a time, and each `refresh` re-solves only the
+//! components the new fact invalidated.
 //!
 //! Run with: `cargo run --example breast_cancer`
 
 use pm_anonymize::fixtures::paper_example;
-use privacy_maxent::engine::Engine;
-use privacy_maxent::knowledge::{Knowledge, KnowledgeBase};
+use privacy_maxent::analyst::Analyst;
+use privacy_maxent::engine::EngineConfig;
+use privacy_maxent::knowledge::Knowledge;
 use privacy_maxent::metrics;
 
 fn main() {
     let (_, table) = paper_example();
     let diseases = ["flu", "pneumonia", "breast cancer", "hiv", "lung cancer"];
+    let mut analyst =
+        Analyst::new(table, EngineConfig::default()).expect("baseline solves");
 
-    // Section 3.1: the adversary knows
+    // Section 3.1: the adversary accumulates
     //   P(s1 | q2) = 0   — female-college patients don't have breast cancer
     //   P(s1 or s2 | q3) = 0 — male-high-school patients have neither
     //                          breast cancer nor flu
-    // (s1 = breast cancer, s2 = flu in the paper's symbol order).
-    let mut kb = KnowledgeBase::new();
-    kb.push(Knowledge::Conditional {
-        antecedent: vec![(0, 1), (1, 0)], // female, college
-        sa: 2,                            // breast cancer
-        probability: 0.0,
-    })
-    .unwrap();
-    // "P(s1 or s2 | q3) = 0" splits into two zero conditionals.
-    for sa in [2u16, 0u16] {
-        kb.push(Knowledge::Conditional {
-            antecedent: vec![(0, 0), (1, 1)], // male, high school
-            sa,
-            probability: 0.0,
-        })
-        .unwrap();
+    // (s1 = breast cancer, s2 = flu in the paper's symbol order; the
+    // disjunction splits into two zero conditionals).
+    let facts = [
+        ("P(breast cancer | female, college) = 0", vec![(0usize, 1u16), (1, 0)], 2u16),
+        ("P(breast cancer | male, high school) = 0", vec![(0, 0), (1, 1)], 2),
+        ("P(flu | male, high school) = 0", vec![(0, 0), (1, 1)], 0),
+    ];
+    println!("Adversary model evolving one fact at a time:\n");
+    for (label, antecedent, sa) in facts {
+        analyst
+            .add_knowledge(Knowledge::Conditional { antecedent, sa, probability: 0.0 })
+            .expect("valid knowledge");
+        let stats = analyst.refresh().expect("consistent with the data");
+        println!(
+            "  + {label}\n      -> re-solved {} of {} component(s), max disclosure now {:.3}",
+            stats.resolved + stats.closed_form,
+            stats.components,
+            analyst.report().max_disclosure
+        );
     }
 
-    let est = Engine::default().estimate(&table, &kb).unwrap();
-
-    println!("Adversary's posterior P(disease | QI) after the two rules:\n");
-    for (q, tuple, _) in table.interner().iter() {
+    println!("\nAdversary's posterior P(disease | QI) after the facts:\n");
+    for (q, tuple, _) in analyst.table().interner().iter() {
         let gender = if tuple[0] == 0 { "male" } else { "female" };
         let degree = ["college", "high school", "junior", "graduate"][tuple[1] as usize];
         println!("  q{} ({gender:6} {degree:11}):", q + 1);
-        for (s, &p) in est.conditional_row(q).iter().enumerate() {
+        for (s, &p) in analyst.estimate().conditional_row(q).iter().enumerate() {
             if p > 1e-9 {
                 println!("      {:13} {:.3}", diseases[s], p);
             }
@@ -54,26 +56,28 @@ fn main() {
 
     // The paper's conclusion for bucket 1: q3 → pneumonia with certainty;
     // q2 → flu with certainty; the q1 pair splits over {bc, flu}.
+    let table = analyst.table();
     let q2 = table.interner().lookup(&[1, 0]).unwrap();
     let q3 = table.interner().lookup(&[0, 1]).unwrap();
     println!("\nDeterministic conclusions the engine recovered (Section 3.1):");
     println!(
         "  David (q3) has pneumonia in bucket 1: P = {:.3}",
-        est.p_qsb(q3, 1, 0) / table.p_qi_bucket(q3, 0)
+        analyst.estimate().p_qsb(q3, 1, 0) / table.p_qi_bucket(q3, 0)
     );
     println!(
         "  Cathy (q2) has flu in bucket 1:      P = {:.3}",
-        est.p_qsb(q2, 0, 0) / table.p_qi_bucket(q2, 0)
+        analyst.estimate().p_qsb(q2, 0, 0) / table.p_qi_bucket(q2, 0)
     );
 
+    let est = analyst.estimate();
     println!(
         "\nPrivacy scores: max disclosure {:.3}, effective l-diversity {:.2}, \
          min conditional entropy {:.3} nats",
-        metrics::max_disclosure(&est),
-        metrics::effective_l_diversity(&est),
-        metrics::min_conditional_entropy(&est),
+        metrics::max_disclosure(est),
+        metrics::effective_l_diversity(est),
+        metrics::min_conditional_entropy(est),
     );
-    if let Some((q, s, p)) = metrics::most_exposed(&est) {
+    if let Some((q, s, p)) = metrics::most_exposed(est) {
         println!(
             "Most exposed tuple: q{} → {} with confidence {:.3}",
             q + 1,

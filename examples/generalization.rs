@@ -1,7 +1,9 @@
 //! Privacy-MaxEnt over *generalization* (the paper's first future-work
 //! direction): Mondrian k-anonymous equivalence classes are buckets, so the
 //! unchanged engine quantifies generalized publications too — and shows how
-//! background knowledge erodes them compared to Anatomy.
+//! background knowledge erodes them compared to Anatomy. Both publications
+//! are served by resident `Analyst` sessions fed the same growing rule set
+//! as deltas.
 //!
 //! Run with: `cargo run --release --example generalization`
 
@@ -10,8 +12,8 @@ use pm_anonymize::mondrian::{Mondrian, MondrianConfig};
 use pm_assoc::miner::{MinerConfig, RuleMiner};
 use pm_datagen::medical::{MedicalGenerator, MedicalGeneratorConfig};
 use pm_microdata::distribution::QiSaDistribution;
-use privacy_maxent::engine::{Engine, EngineConfig};
-use privacy_maxent::knowledge::KnowledgeBase;
+use privacy_maxent::analyst::Analyst;
+use privacy_maxent::engine::EngineConfig;
 use privacy_maxent::metrics;
 
 fn main() {
@@ -38,24 +40,37 @@ fn main() {
         mondrian.num_buckets()
     );
 
+    let config = EngineConfig { residual_limit: f64::INFINITY, ..Default::default() };
+    let mut sessions = [
+        Analyst::new(anatomy, config.clone()).expect("anatomy baseline solves"),
+        Analyst::new(mondrian, config).expect("mondrian baseline solves"),
+    ];
+
     println!(
         "{:>6}  {:>22}  {:>22}",
         "K", "anatomy (KL / discl.)", "mondrian (KL / discl.)"
     );
-    let config = EngineConfig { residual_limit: f64::INFINITY, ..Default::default() };
+    let mut prev = (0usize, 0usize);
     for k in [0usize, 50, 500, 2000] {
-        let picked = rules.top_k(k / 2, k - k / 2);
-        let kb = KnowledgeBase::from_rules(picked.iter().copied(), data.schema()).unwrap();
-        let engine = Engine::new(config.clone());
-        let ea = engine.estimate(&anatomy, &kb).expect("feasible");
-        let em = engine.estimate(&mondrian, &kb).expect("feasible");
+        let (kp, kn) = (k / 2, k - k / 2);
+        let new_pos = &rules.positive[prev.0.min(rules.positive.len())..kp.min(rules.positive.len())];
+        let new_neg = &rules.negative[prev.1.min(rules.negative.len())..kn.min(rules.negative.len())];
+        let mut scores = Vec::new();
+        for analyst in &mut sessions {
+            analyst
+                .add_rules(new_pos.iter().chain(new_neg), data.schema())
+                .expect("mined rules are valid knowledge");
+            analyst.refresh().expect("feasible");
+            scores.push((
+                metrics::estimation_accuracy(&truth, analyst.estimate()),
+                analyst.report().max_disclosure,
+            ));
+        }
         println!(
             "{k:>6}  {:>12.4} / {:>6.3}  {:>12.4} / {:>6.3}",
-            metrics::estimation_accuracy(&truth, &ea),
-            metrics::max_disclosure(&ea),
-            metrics::estimation_accuracy(&truth, &em),
-            metrics::max_disclosure(&em),
+            scores[0].0, scores[0].1, scores[1].0, scores[1].1,
         );
+        prev = (kp, kn);
     }
     println!(
         "\nThe same maxent machinery quantifies both mechanisms; the report \

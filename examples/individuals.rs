@@ -1,12 +1,15 @@
 //! Knowledge about individuals (Section 6): pseudonyms and the three
-//! constraint families, on the paper's own examples.
+//! constraint families, on the paper's own examples — served by one
+//! resident `Analyst` session whose individual layer is swapped per
+//! scenario with `set_individuals`.
 //!
 //! Run with: `cargo run --example individuals`
 
 use pm_anonymize::fixtures::paper_example;
 use pm_anonymize::pseudonym::PseudonymTable;
-use privacy_maxent::individuals::IndividualEngine;
-use privacy_maxent::knowledge::{Knowledge, KnowledgeBase};
+use privacy_maxent::analyst::Analyst;
+use privacy_maxent::engine::EngineConfig;
+use privacy_maxent::knowledge::Knowledge;
 
 fn main() {
     let (_, table) = paper_example();
@@ -22,44 +25,59 @@ fn main() {
         pseud.pseudonyms_of(q1).map(|i| pseud.name(i)).collect::<Vec<_>>()
     );
 
-    let engine = IndividualEngine::new();
+    let mut analyst =
+        Analyst::new(table, EngineConfig::default()).expect("baseline solves");
 
     // (1) "The probability that Alice (q1) has breast cancer is 0.2".
-    let mut kb = KnowledgeBase::new();
-    kb.push(Knowledge::IndividualSa { pseudonym: 0, sa: 2, probability: 0.2 })
+    analyst
+        .set_individuals(vec![Knowledge::IndividualSa { pseudonym: 0, sa: 2, probability: 0.2 }])
         .unwrap();
-    let est = engine.estimate(&table, &kb).unwrap();
+    let stats = analyst.refresh().unwrap();
+    assert!(stats.individual_resolve, "individual layer re-solved");
     println!("(1) P(Alice has breast cancer) = 0.2:");
-    print_posterior("Alice (i1)", &est.person_posterior(0), &diseases);
-    print_posterior("same-QI peer (i2)", &est.person_posterior(1), &diseases);
+    print_posterior("Alice (i1)", &analyst.person_posterior(0).unwrap(), &diseases);
+    print_posterior("same-QI peer (i2)", &analyst.person_posterior(1).unwrap(), &diseases);
 
-    // (2) "Alice has either breast cancer or HIV".
-    let mut kb = KnowledgeBase::new();
-    kb.push(Knowledge::IndividualOneOf { pseudonym: 0, sas: vec![2, 3] })
+    // (2) "Alice has either breast cancer or HIV". Replacing the individual
+    // set re-solves only the person layer; the component layer is clean.
+    analyst
+        .set_individuals(vec![Knowledge::IndividualOneOf { pseudonym: 0, sas: vec![2, 3] }])
         .unwrap();
-    let est = engine.estimate(&table, &kb).unwrap();
+    let stats = analyst.refresh().unwrap();
+    assert_eq!(stats.resolved, 0, "no component re-solves for an individual swap");
     println!("\n(2) Alice has either breast cancer or HIV:");
-    print_posterior("Alice (i1)", &est.person_posterior(0), &diseases);
+    print_posterior("Alice (i1)", &analyst.person_posterior(0).unwrap(), &diseases);
 
     // (3) "Two people among Alice (q1), Bob (q2), Charlie (q5) have HIV" —
     // the paper's exact multi-person example.
-    let q2 = table.interner().lookup(&[1, 0]).unwrap();
-    let q5 = table.interner().lookup(&[1, 3]).unwrap();
+    let q2 = analyst.table().interner().lookup(&[1, 0]).unwrap();
+    let q5 = analyst.table().interner().lookup(&[1, 3]).unwrap();
     let i4 = pseud.pseudonyms_of(q2).start;
     let i9 = pseud.pseudonyms_of(q5).start;
-    let mut kb = KnowledgeBase::new();
-    kb.push(Knowledge::GroupCount { pseudonyms: vec![0, i4, i9], sa: 3, count: 2 })
+    analyst
+        .set_individuals(vec![Knowledge::GroupCount {
+            pseudonyms: vec![0, i4, i9],
+            sa: 3,
+            count: 2,
+        }])
         .unwrap();
-    let est = engine.estimate(&table, &kb).unwrap();
+    analyst.refresh().unwrap();
     println!("\n(3) Exactly two of {{Alice, Bob, Charlie}} have HIV:");
-    print_posterior("Alice (i1)", &est.person_posterior(0), &diseases);
-    print_posterior(&format!("Bob ({})", pseud.name(i4)), &est.person_posterior(i4), &diseases);
+    print_posterior("Alice (i1)", &analyst.person_posterior(0).unwrap(), &diseases);
     print_posterior(
-        &format!("Charlie ({})", pseud.name(i9)),
-        &est.person_posterior(i9),
+        &format!("Bob ({})", pseud.name(i4)),
+        &analyst.person_posterior(i4).unwrap(),
         &diseases,
     );
-    let total: f64 = [0, i4, i9].iter().map(|&i| est.person_posterior(i)[3]).sum();
+    print_posterior(
+        &format!("Charlie ({})", pseud.name(i9)),
+        &analyst.person_posterior(i9).unwrap(),
+        &diseases,
+    );
+    let total: f64 = [0, i4, i9]
+        .iter()
+        .map(|&i| analyst.person_posterior(i).unwrap()[3])
+        .sum();
     println!("    expected HIV count across the trio: {total:.3} (constraint: 2)");
 }
 

@@ -1,11 +1,13 @@
-//! Quickstart: the paper's running example (Figure 1) in ~40 lines of API.
+//! Quickstart: the paper's running example (Figure 1) on the resident
+//! `Analyst` session — open once, evolve the adversary model as deltas.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use pm_anonymize::fixtures::paper_example;
 use pm_microdata::distribution::QiSaDistribution;
-use privacy_maxent::engine::Engine;
-use privacy_maxent::knowledge::{Knowledge, KnowledgeBase};
+use privacy_maxent::analyst::Analyst;
+use privacy_maxent::engine::EngineConfig;
+use privacy_maxent::knowledge::Knowledge;
 use privacy_maxent::metrics;
 
 fn main() {
@@ -15,65 +17,75 @@ fn main() {
     let truth = QiSaDistribution::from_dataset(&data).expect("schema has an SA");
     let diseases = ["flu", "pneumonia", "breast cancer", "hiv", "lung cancer"];
 
-    // --- Step 1: what prior work assumes — no background knowledge. ---
-    let baseline = Engine::uniform_estimate(&table);
+    // --- Step 1: open the session. Invariants compile and the
+    //     knowledge-free baseline (what prior work assumes) solves once.
+    let mut analyst =
+        Analyst::new(table, EngineConfig::default()).expect("baseline solve succeeds");
     println!("Without background knowledge (uniform within buckets):");
-    print_conditional(&table, &baseline, &diseases);
+    print_conditional(&analyst, &diseases);
     println!(
         "  estimation accuracy (weighted KL, lower = worse privacy): {:.4}",
-        metrics::estimation_accuracy(&truth, &baseline)
+        metrics::estimation_accuracy(&truth, analyst.estimate())
     );
-    println!(
-        "  max disclosure: {:.3}\n",
-        metrics::max_disclosure(&baseline)
-    );
+    println!("  max disclosure: {:.3}\n", analyst.report().max_disclosure);
 
-    // --- Step 2: add the paper's motivating medical knowledge:
+    // --- Step 2: the adversary learns the paper's motivating medical fact:
     //     "it is rare for male to have breast cancer" ⇒ P(bc | male) = 0.
-    let mut kb = KnowledgeBase::new();
-    kb.push(Knowledge::Conditional {
-        antecedent: vec![(0, 0)], // QI position 0 (gender) = male (code 0)
-        sa: 2,                    // breast cancer
-        probability: 0.0,
-    })
-    .expect("valid knowledge");
-
-    let est = Engine::default()
-        .estimate(&table, &kb)
-        .expect("knowledge consistent with the data");
+    //     The delta dirties only the components its buckets touch.
+    let handle = analyst
+        .add_knowledge(Knowledge::Conditional {
+            antecedent: vec![(0, 0)], // QI position 0 (gender) = male (code 0)
+            sa: 2,                    // breast cancer
+            probability: 0.0,
+        })
+        .expect("valid knowledge");
+    let stats = analyst.refresh().expect("knowledge consistent with the data");
     println!("With P(breast cancer | male) = 0:");
-    print_conditional(&table, &est, &diseases);
+    print_conditional(&analyst, &diseases);
+    println!(
+        "  refresh re-solved {} of {} component(s), reused {} ({} closed-form)",
+        stats.resolved, stats.components, stats.reused, stats.closed_form
+    );
     println!(
         "  estimation accuracy: {:.4}  (dropped — privacy got worse)",
-        metrics::estimation_accuracy(&truth, &est)
+        metrics::estimation_accuracy(&truth, analyst.estimate())
     );
-    println!("  max disclosure: {:.3}", metrics::max_disclosure(&est));
+    println!("  max disclosure: {:.3}", analyst.report().max_disclosure);
 
     // The paper's observation: the only females in buckets 1 and 2 are now
     // fully linked to breast cancer.
+    let table = analyst.table();
     let q2 = table.interner().lookup(&[1, 0]).expect("female-college exists");
     let q4 = table.interner().lookup(&[1, 2]).expect("female-junior exists");
     println!(
         "\n  Cathy's tuple (female, college): P(breast cancer) in bucket 1 \
          rose to {:.3}",
-        est.p_qsb(q2, 2, 0) / table.p_qi_bucket(q2, 0)
+        analyst.estimate().p_qsb(q2, 2, 0) / table.p_qi_bucket(q2, 0)
     );
     println!(
         "  Grace (female, junior, the only female in bucket 2): \
          P(breast cancer) = {:.3} — fully disclosed",
-        est.conditional(q4, 2)
+        analyst.conditional(q4, 2)
+    );
+
+    // --- Step 3: retract the rule. The session restores the baseline
+    //     bit-for-bit by re-solving only what the removal invalidated.
+    analyst.remove_knowledge(handle).expect("handle is live");
+    let stats = analyst.refresh().expect("baseline is always feasible");
+    println!(
+        "\nAfter retracting the rule (re-solved {}, reused {}): max disclosure {:.3}",
+        stats.resolved + stats.closed_form,
+        stats.reused,
+        analyst.report().max_disclosure
     );
 }
 
-fn print_conditional(
-    table: &pm_anonymize::published::PublishedTable,
-    est: &privacy_maxent::engine::Estimate,
-    diseases: &[&str],
-) {
-    for (q, tuple, _) in table.interner().iter() {
+fn print_conditional(analyst: &Analyst, diseases: &[&str]) {
+    for (q, tuple, _) in analyst.table().interner().iter() {
         let gender = if tuple[0] == 0 { "male" } else { "female" };
         let degree = ["college", "high school", "junior", "graduate"][tuple[1] as usize];
-        let row: Vec<String> = est
+        let row: Vec<String> = analyst
+            .estimate()
             .conditional_row(q)
             .iter()
             .enumerate()

@@ -6,19 +6,14 @@
 //! maximum-entropy joint distribution consistent with the published table's
 //! invariants plus any linear background knowledge.
 //!
-//! # Quickstart
+//! # Quickstart: the resident `Analyst` session
 //!
-//! Run the paper's running example end to end:
-//!
-//! ```bash
-//! cargo run --example quickstart
-//! ```
-//!
-//! which prints the uniform (no-knowledge) baseline, then adds the paper's
-//! motivating fact `P(breast cancer | male) = 0` and shows Grace — the only
-//! female in her bucket — becoming fully disclosed.
-//!
-//! The same pipeline in code:
+//! The core abstraction is a long-lived session over one published table.
+//! Opening it compiles the table's invariants and solves the knowledge-free
+//! baseline **once**; the adversary model then evolves as deltas —
+//! `add_knowledge` / `remove_knowledge` mark only the connected components
+//! their bucket footprints touch as dirty, and `refresh` re-solves exactly
+//! those, reusing every clean component verbatim:
 //!
 //! ```
 //! use privacy_maxent_repro::prelude::*;
@@ -26,27 +21,36 @@
 //! // Figure 1: original table D (10 patients) and its 3-bucket publication D'.
 //! let (data, table) = pm_anonymize::fixtures::paper_example();
 //!
-//! // Mine Top-(K+, K−) association rules from the original data…
-//! let mined = RuleMiner::new(MinerConfig { min_support: 3, arities: vec![1] })
-//!     .mine(&data);
-//! // …take the strongest negative rule (male ⇒ ¬breast cancer, confidence 1)…
-//! let kb = KnowledgeBase::from_rules(mined.top_k(0, 1), data.schema()).unwrap();
+//! // Open the session: invariants compiled, uniform baseline solved.
+//! let mut analyst = Analyst::new(table, EngineConfig::default()).unwrap();
+//! let grace = analyst.table().interner().lookup(&[1, 2]).unwrap(); // (female, junior)
+//! assert!(analyst.conditional(grace, 2) < 0.5); // baseline: Grace looks safe
 //!
-//! // …and solve the constrained maxent problem.
-//! let est = Engine::default().estimate(&table, &kb).unwrap();
-//! let grace = table.interner().lookup(&[1, 2]).unwrap(); // (female, junior)
-//! assert!((est.conditional(grace, 2) - 1.0).abs() < 1e-6); // fully disclosed
+//! // "What if the attacker also learns that males don't get breast cancer?"
+//! let handle = analyst
+//!     .add_knowledge(Knowledge::Conditional {
+//!         antecedent: vec![(0, 0)], // QI position 0 (gender) = male
+//!         sa: 2,                    // breast cancer
+//!         probability: 0.0,
+//!     })
+//!     .unwrap();
+//! let stats = analyst.refresh().unwrap(); // re-solves only dirty components
+//! assert_eq!(stats.reused + stats.resolved + stats.closed_form, stats.components);
+//! assert!((analyst.conditional(grace, 2) - 1.0).abs() < 1e-6); // fully disclosed
+//!
+//! // Queries serve from the merged estimate without any recompute.
+//! let report = analyst.report();
+//! assert!((report.max_disclosure - 1.0).abs() < 1e-6);
+//!
+//! // Retracting the rule restores the baseline bit-for-bit.
+//! analyst.remove_knowledge(handle).unwrap();
+//! analyst.refresh().unwrap();
+//! assert!(analyst.conditional(grace, 2) < 0.5);
+//! # let _ = data;
 //! ```
 //!
-//! # Parallel engine
-//!
-//! The Section 5.5 decomposition splits the solve into independent
-//! connected-component subproblems, which the engine runs on a
-//! [`pm_parallel`] worker pool. `EngineConfig::threads` sets the pool size
-//! (`0` = every available core, the default; `1` = the sequential path).
-//! The thread count only changes wall time, never the estimate — results
-//! merge in a fixed component order, so parallel runs are **bit-identical**
-//! to sequential ones:
+//! Association rules mined from the original data (the paper's Top-(K+, K−)
+//! bound) batch in directly:
 //!
 //! ```
 //! use privacy_maxent_repro::prelude::*;
@@ -54,23 +58,50 @@
 //! let (data, table) = pm_anonymize::fixtures::paper_example();
 //! let mined = RuleMiner::new(MinerConfig { min_support: 3, arities: vec![1] })
 //!     .mine(&data);
-//! let kb = KnowledgeBase::from_rules(mined.top_k(1, 1), data.schema()).unwrap();
-//!
-//! let sequential = Engine::new(EngineConfig { threads: 1, ..Default::default() })
-//!     .estimate(&table, &kb).unwrap();
-//! let parallel = Engine::new(EngineConfig { threads: 4, ..Default::default() })
-//!     .estimate(&table, &kb).unwrap();
-//! for q in 0..sequential.distinct_qi() {
-//!     assert_eq!(sequential.conditional_row(q), parallel.conditional_row(q));
-//! }
+//! let mut analyst = Analyst::new(table, EngineConfig::default()).unwrap();
+//! let handles = analyst.add_rules(mined.top_k(1, 1), data.schema()).unwrap();
+//! analyst.refresh().unwrap();
+//! assert_eq!(handles.len(), 2);
+//! assert!(analyst.report().max_disclosure > 0.5);
 //! ```
 //!
-//! At scale the decomposition is dramatic: the Adult workload (14,210
-//! records, 2,842 buckets) under 300 arity-4 rules fragments into ~2,600
-//! components, most irrelevant (closed-form, Theorem 5) and none larger
-//! than a few dozen buckets. `pm-bench`'s `parallel_bench` binary sweeps
-//! thread counts over exactly that workload and records wall time,
-//! component structure and speedup in `BENCH_parallel.json`.
+//! For one-off estimates the classic facade still works — `Engine::estimate`
+//! is a thin wrapper that opens a throwaway session, so it returns the exact
+//! same bits:
+//!
+//! ```
+//! use privacy_maxent_repro::prelude::*;
+//!
+//! let (data, table) = pm_anonymize::fixtures::paper_example();
+//! let mined = RuleMiner::new(MinerConfig { min_support: 3, arities: vec![1] })
+//!     .mine(&data);
+//! let kb = KnowledgeBase::from_rules(mined.top_k(0, 1), data.schema()).unwrap();
+//! let est: Estimate = Engine::default().estimate(&table, &kb).unwrap();
+//! let grace = table.interner().lookup(&[1, 2]).unwrap();
+//! assert!((est.conditional(grace, 2) - 1.0).abs() < 1e-6);
+//! ```
+//!
+//! Run `cargo run --example quickstart` for the printed walkthrough.
+//!
+//! # Incremental refreshes and determinism
+//!
+//! Section 5.5 decomposes the constraint system into independent bucket
+//! connected components; a knowledge delta can only change the optimum of
+//! components its bucket footprint touches, so `refresh` re-solves those
+//! and reuses the rest. With the default configuration every re-solve is
+//! cold-started, making any interleaving of deltas **bit-identical** to a
+//! from-scratch `Engine::estimate` holding the same final knowledge set,
+//! for every thread count ([`EngineConfig::threads`] only changes wall
+//! time). Setting [`EngineConfig::warm_start`] seeds each re-solve from the
+//! previous refresh's dual vectors instead — faster convergence, same
+//! optimum within tolerance, but not bit-replayable.
+//!
+//! At Adult scale (14,210 records, 2,842 buckets, 300 arity-4 rules →
+//! ~950 relevant components) a single-rule delta re-solves ~1 component
+//! instead of ~950; `pm-bench`'s `incremental_bench` binary measures the
+//! delta-vs-from-scratch speedup and records it in
+//! `BENCH_incremental.json`, alongside `parallel_bench`'s thread sweep in
+//! `BENCH_parallel.json`.
 //!
 //! # Workspace layout
 //!
@@ -80,12 +111,12 @@
 //! | [`pm_anonymize`] | Anatomy / Mondrian bucketizers, pseudonyms, `D'` |
 //! | [`pm_assoc`] | Top-(K+, K−) association-rule mining |
 //! | [`pm_linalg`] | dense + CSR sparse kernels |
-//! | [`pm_solver`] | GIS/IIS, gradient, CG, L-BFGS, Newton maxent solvers |
-//! | [`pm_parallel`] | scoped work-stealing executor for component solves |
-//! | [`privacy_maxent`](maxent) | invariants, knowledge compilation, parallel engine |
+//! | [`pm_solver`] | GIS/IIS, gradient, CG, L-BFGS, Newton maxent solvers (warm-startable) |
+//! | [`pm_parallel`] | scoped work-stealing executor, dirty-set scheduling |
+//! | [`privacy_maxent`](maxent) | invariants, knowledge compilation, `Analyst` session, engine |
 //! | [`pm_datagen`] | Adult-census-like and synthetic generators |
-//! | `pm-bench` | Figure 5-7 experiment pipelines, `parallel_bench`, criterion benches |
-//! | `pm-cli` | `pm` binary: anonymize, mine, quantify (`--threads`) |
+//! | `pm-bench` | Figure 5-7 pipelines, `parallel_bench`, `incremental_bench` |
+//! | `pm-cli` | `pmx` binary: demo, quantify, interactive `session` mode |
 //!
 //! Other runnable examples: `adult_census`, `breast_cancer`,
 //! `generalization`, `individuals` (Section 6 per-person knowledge).
@@ -110,7 +141,12 @@ pub mod prelude {
     pub use pm_datagen::adult::{AdultGenerator, AdultGeneratorConfig};
     pub use pm_microdata::dataset::Dataset;
     pub use pm_microdata::schema::{AttributeRole, Schema};
-    pub use privacy_maxent::engine::{Engine, EngineConfig};
+    pub use privacy_maxent::analyst::{Analyst, AnalystReport, KnowledgeHandle, RefreshStats};
+    pub use privacy_maxent::engine::{
+        Engine, EngineConfig, EngineStats, Estimate, SolverKind,
+    };
+    pub use privacy_maxent::error::PmError;
     pub use privacy_maxent::knowledge::{Knowledge, KnowledgeBase};
     pub use privacy_maxent::metrics;
+    pub use privacy_maxent::report::{PrivacyReport, ReportRow};
 }

@@ -16,11 +16,10 @@ fn bench(c: &mut Criterion) {
         let label = if decompose { "decomposed" } else { "joint" };
         group.bench_with_input(BenchmarkId::from_parameter(label), &decompose, |b, &d| {
             b.iter(|| {
-                let cfg = EngineConfig {
-                    decompose: d,
-                    residual_limit: f64::INFINITY,
-                    ..Default::default()
-                };
+                let cfg = EngineConfig::builder()
+                    .decompose(d)
+                    .residual_limit(f64::INFINITY)
+                    .build();
                 Engine::new(cfg).estimate(&exp.table, &kb).unwrap()
             })
         });

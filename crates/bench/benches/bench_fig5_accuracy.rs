@@ -16,10 +16,8 @@ fn bench(c: &mut Criterion) {
         let kb = KnowledgeBase::from_rules(picked.iter().copied(), exp.data.schema()).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(k), &kb, |b, kb| {
             b.iter(|| {
-                let cfg = EngineConfig {
-                    residual_limit: f64::INFINITY,
-                    ..Default::default()
-                };
+                let cfg =
+                    EngineConfig::builder().residual_limit(f64::INFINITY).build();
                 let est = Engine::new(cfg).estimate(&exp.table, kb).unwrap();
                 estimation_accuracy(&exp.truth, &est)
             })

@@ -10,12 +10,11 @@ use privacy_maxent::engine::{Engine, EngineConfig};
 use privacy_maxent::knowledge::KnowledgeBase;
 
 fn perf_config() -> EngineConfig {
-    EngineConfig {
-        decompose: false,
-        tolerance: 1e-4,
-        residual_limit: f64::INFINITY,
-        ..Default::default()
-    }
+    EngineConfig::builder()
+        .decompose(false)
+        .tolerance(1e-4)
+        .residual_limit(f64::INFINITY)
+        .build()
 }
 
 fn vs_knowledge(c: &mut Criterion) {

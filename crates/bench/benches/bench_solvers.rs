@@ -31,13 +31,12 @@ fn bench(c: &mut Criterion) {
             &solver,
             |b, &solver| {
                 b.iter(|| {
-                    let cfg = EngineConfig {
-                        solver,
-                        tolerance: 1e-6,
-                        max_iterations: 100_000,
-                        residual_limit: f64::INFINITY,
-                        ..Default::default()
-                    };
+                    let cfg = EngineConfig::builder()
+                        .solver(solver)
+                        .tolerance(1e-6)
+                        .max_iterations(100_000)
+                        .residual_limit(f64::INFINITY)
+                        .build();
                     Engine::new(cfg).estimate(&exp.table, &kb).unwrap()
                 })
             },

@@ -41,7 +41,7 @@ fn engine_config() -> EngineConfig {
     // The accuracy experiments tolerate asymptotic boundary residuals; the
     // worst observed is ~1e-1 of one record on the largest K, ≈ 1e-5 in
     // probability — invisible in the KL metric (see EXPERIMENTS.md).
-    EngineConfig { residual_limit: f64::INFINITY, ..Default::default() }
+    EngineConfig::builder().residual_limit(f64::INFINITY).build()
 }
 
 /// Performance-experiment config: the paper's timing runs report solves
@@ -50,12 +50,11 @@ fn engine_config() -> EngineConfig {
 /// systems then terminate inside the iteration budget instead of polishing
 /// digits the timing axis cannot show.
 fn perf_config() -> EngineConfig {
-    EngineConfig {
-        decompose: false,
-        tolerance: 1e-4,
-        residual_limit: f64::INFINITY,
-        ..Default::default()
-    }
+    EngineConfig::builder()
+        .decompose(false)
+        .tolerance(1e-4)
+        .residual_limit(f64::INFINITY)
+        .build()
 }
 
 fn k_grid(scale: Scale) -> Vec<usize> {

@@ -65,12 +65,11 @@ fn engine_config(threads: usize, warm_start: bool) -> EngineConfig {
     // Mirrors the figure experiments: mined knowledge is always feasible
     // but boundary-heavy systems converge asymptotically, so the residual
     // gate is left open (see `crate::figures::engine_config`).
-    EngineConfig {
-        residual_limit: f64::INFINITY,
-        threads,
-        warm_start,
-        ..Default::default()
-    }
+    EngineConfig::builder()
+        .residual_limit(f64::INFINITY)
+        .threads(threads)
+        .warm_start(warm_start)
+        .build()
 }
 
 /// The generated workload: publication, session-order base knowledge, and
@@ -325,13 +324,13 @@ pub fn run(cfg: &IncrementalBenchConfig) -> IncrementalBenchReport {
     for delta in &w.deltas {
         // Incremental: one rule in, one refresh.
         let t = Instant::now();
-        exact.add_knowledge(delta.clone()).expect("delta compiles");
+        let _ = exact.add_knowledge(delta.clone()).expect("delta compiles");
         let stats = exact.refresh().expect("delta is feasible");
         let incremental = t.elapsed();
 
         // Warm-started session, same delta.
         let t = Instant::now();
-        warm.add_knowledge(delta.clone()).expect("delta compiles");
+        let _ = warm.add_knowledge(delta.clone()).expect("delta compiles");
         warm.refresh().expect("delta is feasible");
         let warm_incremental = t.elapsed();
 

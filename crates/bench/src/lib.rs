@@ -9,3 +9,4 @@ pub mod pipeline;
 pub mod figures;
 pub mod incremental;
 pub mod parallel;
+pub mod concurrent;

@@ -125,7 +125,7 @@ fn bench_engine_config(threads: usize) -> EngineConfig {
     // Mirrors the figure experiments: mined knowledge is always feasible
     // but boundary-heavy systems converge asymptotically, so the residual
     // gate is left open (see `crate::figures::engine_config`).
-    EngineConfig { residual_limit: f64::INFINITY, threads, ..Default::default() }
+    EngineConfig::builder().residual_limit(f64::INFINITY).threads(threads).build()
 }
 
 fn estimate(w: &BenchWorkload, threads: usize) -> (Estimate, Duration) {

@@ -156,6 +156,31 @@ pub fn parse(argv: &[String]) -> Result<Options, ParseError> {
     Ok(Options { source, ell, exempt, mechanism, bounds, arity, seed, threads })
 }
 
+/// Parses `pmx compile` arguments: everything `pmx quantify` accepts minus
+/// `--bounds` (knowledge bounds are an adversary-model concern — the
+/// artifact is knowledge-independent by construction) and the session-only
+/// flags.
+pub fn parse_compile(argv: &[String]) -> Result<Options, ParseError> {
+    for flag in argv {
+        match flag.as_str() {
+            "--bounds" => {
+                return Err(ParseError(
+                    "--bounds is a quantify option; the compiled artifact is \
+                     knowledge-independent"
+                        .into(),
+                ))
+            }
+            "--script" | "--warm-start" => {
+                return Err(ParseError(format!(
+                    "{flag} is a session option; run `pmx session` to evolve knowledge"
+                )))
+            }
+            _ => {}
+        }
+    }
+    parse(argv)
+}
+
 /// Parses `pmx session` arguments: everything `pmx quantify` accepts
 /// (minus `--bounds`, which makes no sense for a session) plus
 /// `--script FILE` and `--warm-start`.
@@ -244,6 +269,16 @@ mod tests {
     fn input_file_source() {
         let o = parse(&argv("--input /tmp/data.csv")).unwrap();
         assert_eq!(o.source, Source::File("/tmp/data.csv".into()));
+    }
+
+    #[test]
+    fn compile_options() {
+        let o = parse_compile(&argv("--synthetic adult:1000 --ell 4 --threads 2")).unwrap();
+        assert_eq!(o.ell, 4);
+        assert_eq!(o.threads, 2);
+        assert!(parse_compile(&argv("--synthetic adult:100 --bounds 0,10")).is_err());
+        assert!(parse_compile(&argv("--synthetic adult:100 --script x.pmx")).is_err());
+        assert!(parse_compile(&argv("--synthetic adult:100 --warm-start")).is_err());
     }
 
     #[test]

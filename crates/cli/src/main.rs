@@ -8,11 +8,20 @@
 //!     Quantify a publication under Top-(K+, K−) knowledge bounds and
 //!     print the privacy report (Section 4.3's "(bound, score)" tuples).
 //!
+//! pmx compile [options]
+//!     Prebuild the shared CompiledTable artifact for a publication and
+//!     print its stats (buckets, components, invariant rank, build time).
+//!     `pmx session` runs the identical build, so anything a session can
+//!     serve, this command has fully precompiled. `--bounds`, `--script`
+//!     and `--warm-start` are rejected.
+//!
 //! pmx session [options]
 //!     Open a resident Analyst session over the publication and evolve the
 //!     adversary model with delta commands (add / mine / remove / refresh /
-//!     query / report), interactively from stdin or via --script FILE.
-//!     Each refresh re-solves only the components the deltas touched.
+//!     query / report / reset), interactively from stdin or via --script
+//!     FILE. The publication compiles once into the shared artifact; each
+//!     refresh re-solves only the components the deltas touched, and
+//!     `reset` reopens from the artifact in O(1).
 //!     Extra options: --script FILE, --warm-start. `--bounds` is rejected.
 //!
 //!     --input FILE        CSV of categorical microdata; last column is the
@@ -32,6 +41,7 @@
 use std::process::ExitCode;
 
 mod args;
+mod compile;
 mod infer;
 mod quantify;
 mod session;
@@ -45,6 +55,19 @@ fn main() -> ExitCode {
         }
         Some("quantify") => match args::parse(&argv[1..]) {
             Ok(options) => match quantify::run(&options) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("pmx: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                eprintln!("pmx: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("compile") => match args::parse_compile(&argv[1..]) {
+            Ok(options) => match compile::run(&options) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("pmx: {e}");
@@ -71,7 +94,8 @@ fn main() -> ExitCode {
         },
         _ => {
             eprintln!(
-                "usage: pmx <demo|quantify|session> [options]   (see --help in source header)"
+                "usage: pmx <demo|quantify|compile|session> [options]   \
+                 (see --help in source header)"
             );
             ExitCode::FAILURE
         }

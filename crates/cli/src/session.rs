@@ -15,11 +15,20 @@
 //! query <q> [<sa>]                P*(sa | q) (or the whole row) — no recompute
 //! list                            live knowledge items with their handles
 //! report                          privacy scores + last-refresh shape
+//! reset                           discard the adversary model and reopen the
+//!                                 session from the shared artifact (O(1): no
+//!                                 recompile, back to the Theorem 5 baseline)
 //! quit / exit                     leave the session
 //! ```
+//!
+//! The publication is compiled once into a shared `CompiledTable` artifact
+//! (the same build `pmx compile` runs); opening — and `reset`-ing — the
+//! resident session from it skips every knowledge-independent stage.
 
 use std::error::Error;
 use std::io::{BufRead, Write};
+
+use std::sync::Arc;
 
 use pm_assoc::miner::{MinerConfig, RuleMiner, MinedRules};
 use pm_microdata::value::Value;
@@ -28,12 +37,18 @@ use privacy_maxent::engine::EngineConfig;
 use privacy_maxent::knowledge::Knowledge;
 
 use crate::args::SessionOptions;
-use crate::quantify;
+use crate::compile;
 
 /// Runs `pmx session`.
 pub fn run(options: &SessionOptions) -> Result<(), Box<dyn Error>> {
-    let data = quantify::load_source(&options.base)?;
-    let table = quantify::publish(&data, &options.base)?;
+    let config = EngineConfig::builder()
+        .residual_limit(f64::INFINITY)
+        .threads(options.base.threads)
+        .warm_start(options.warm_start)
+        .build();
+    // Compile once (the same artifact build `pmx compile` runs); the
+    // session — and every `reset` — opens from it in O(1).
+    let (data, artifact) = compile::build_artifact(&options.base, config)?;
     let rules = RuleMiner::new(MinerConfig {
         min_support: 3,
         arities: (1..=options.base.arity).collect(),
@@ -45,13 +60,7 @@ pub fn run(options: &SessionOptions) -> Result<(), Box<dyn Error>> {
         rules.negative.len(),
         options.base.arity
     );
-    let config = EngineConfig {
-        residual_limit: f64::INFINITY,
-        threads: options.base.threads,
-        warm_start: options.warm_start,
-        ..Default::default()
-    };
-    let analyst = Analyst::new(table, config)?;
+    let analyst = Analyst::open(artifact);
     println!(
         "session open: {} buckets, {} components, warm-start {}\n",
         analyst.table().num_buckets(),
@@ -129,8 +138,10 @@ impl Session {
             "query" => self.cmd_query(&rest),
             "list" => self.cmd_list(),
             "report" => Ok(self.analyst.report().to_string()),
+            "reset" => self.cmd_reset(),
             other => Err(format!(
-                "unknown command `{other}` (try: add, mine, remove, refresh, query, list, report, quit)"
+                "unknown command `{other}` (try: add, mine, remove, refresh, query, list, \
+                 report, reset, quit)"
             )
             .into()),
         }
@@ -249,6 +260,18 @@ impl Session {
         }
     }
 
+    /// `reset` — drop the whole adversary model and reopen from the shared
+    /// artifact: no recompile, instantly back at the Theorem 5 baseline.
+    fn cmd_reset(&mut self) -> Result<String, Box<dyn Error>> {
+        let dropped = self.analyst.knowledge_len();
+        self.analyst = Analyst::open(Arc::clone(self.analyst.artifact()));
+        self.mined = (0, 0);
+        Ok(format!(
+            "session reset from the shared artifact: dropped {dropped} knowledge item(s), \
+             serving the knowledge-free baseline"
+        ))
+    }
+
     fn cmd_list(&mut self) -> Result<String, Box<dyn Error>> {
         if self.analyst.knowledge_len() == 0 {
             return Ok("no live knowledge".into());
@@ -291,7 +314,7 @@ mod tests {
             .unwrap();
         let rules = RuleMiner::new(MinerConfig { min_support: 3, arities: vec![1] })
             .mine(&data);
-        let config = EngineConfig { residual_limit: f64::INFINITY, ..Default::default() };
+        let config = EngineConfig::builder().residual_limit(f64::INFINITY).build();
         let analyst = Analyst::new(table, config).unwrap();
         Session::new(analyst, rules, data.schema().clone())
     }
@@ -361,6 +384,27 @@ unreachable-after-quit
             "inline # must reach the command, not start a comment: {text}"
         );
         assert!(text.contains("max disclosure"), "{text}");
+    }
+
+    /// `reset` reopens from the shared artifact: the adversary model is
+    /// gone, the baseline bits are back, and no recompile happened (the
+    /// artifact pointer is unchanged).
+    #[test]
+    fn reset_reopens_from_the_artifact() {
+        let mut session = medical_session();
+        let baseline = session.analyst.estimate().term_values().to_vec();
+        let artifact_before = Arc::as_ptr(session.analyst.artifact());
+        session.execute("mine 5 5").unwrap();
+        session.execute("refresh").unwrap();
+        assert_ne!(session.analyst.estimate().term_values(), baseline.as_slice());
+        let msg = session.execute("reset").unwrap();
+        assert!(msg.contains("dropped 10 knowledge item(s)"), "{msg}");
+        assert_eq!(session.analyst.estimate().term_values(), baseline.as_slice());
+        assert_eq!(session.analyst.knowledge_len(), 0);
+        assert_eq!(Arc::as_ptr(session.analyst.artifact()), artifact_before);
+        // The mined-rule cursor rewinds too: `mine` starts over.
+        let msg = session.execute("mine 2 0").unwrap();
+        assert!(msg.contains("now 2+ / 0−"), "{msg}");
     }
 
     #[test]

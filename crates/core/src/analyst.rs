@@ -1,30 +1,48 @@
-//! The resident [`Analyst`] session: incremental knowledge deltas with
+//! The resident [`Analyst`] session: a lightweight, forkable handle over a
+//! shared [`CompiledTable`] artifact, with incremental knowledge deltas,
 //! component-level dirty tracking and warm-started re-solves.
 //!
-//! The one-shot [`crate::engine::Engine::estimate`] recompiles invariants,
-//! re-partitions and re-solves every component from scratch on each call.
-//! A resident deployment evolves the *adversary model* rule-by-rule over a
-//! fixed published table ("what if the attacker also learns X?"), so almost
-//! all of that work is identical between consecutive calls. The session API
-//! amortises it:
+//! # Compile once, serve many
 //!
-//! * [`Analyst::new`] compiles the D'-invariants, builds the term index and
-//!   the QI→bucket inverted index once, and solves the knowledge-free
-//!   baseline (all components irrelevant → Theorem 5 closed form).
+//! Everything knowledge-independent — the term index, the D'-invariants,
+//! the QI→bucket inverted index, the baseline partition and its Theorem 5
+//! solution — is a function of the published table alone (Theorems 1–3),
+//! so it is compiled exactly once into an immutable, `Send + Sync`
+//! [`CompiledTable`]. A session is only the *per-adversary* state on top:
+//!
+//! * [`CompiledTable::build`] + [`Analyst::open`] split the old
+//!   [`Analyst::new`] into the one-time compile and an O(1) session open.
+//!   Any number of sessions (across threads) share one
+//!   `Arc<CompiledTable>`; each holds its own knowledge set, dirty
+//!   tracking, and current solution as a **copy-on-write overlay** on the
+//!   artifact's baseline (bucket → `Arc` slice — buckets never touched by
+//!   the adversary's knowledge are never copied at all).
+//! * [`Analyst::fork`] clones a session for speculative what-if deltas:
+//!   the artifact is shared, the overlay clone is reference bumps, and the
+//!   fork evolves independently of its parent (handles issued before the
+//!   fork stay valid in both).
+//! * [`Analyst::snapshot`] hands out the current [`Estimate`] as a cheap
+//!   `Arc` — query serving holds the snapshot while the session refreshes
+//!   underneath, so a refresh never blocks readers.
 //! * [`Analyst::add_knowledge`] / [`Analyst::remove_knowledge`] compile the
 //!   delta eagerly, record its **bucket footprint** (the buckets its
 //!   constraint touches), mark those buckets dirty, and return a stable
 //!   [`KnowledgeHandle`]. Nothing is re-solved yet.
 //! * [`Analyst::refresh`] re-partitions (cheap: union-find over buckets)
 //!   and re-solves **only the components containing a dirty bucket**. Clean
-//!   components keep their term values verbatim; dirty irrelevant
-//!   components refill from the Theorem 5 closed form; dirty relevant
-//!   components re-solve on the `pm-parallel` pool — optionally
-//!   warm-started from the previous refresh's dual vectors
-//!   ([`crate::engine::EngineConfig::warm_start`]).
+//!   components keep their overlay (or baseline) values verbatim; dirty
+//!   irrelevant components revert to the artifact's Theorem 5 baseline;
+//!   dirty relevant components re-solve on the `pm-parallel` pool —
+//!   optionally warm-started from the previous refresh's dual vectors
+//!   ([`EngineConfig::warm_start`]).
 //! * [`Analyst::conditional`], [`Analyst::batch`] and [`Analyst::report`]
 //!   serve queries from the merged current [`Estimate`] without any
 //!   recompute.
+//!
+//! [`Analyst::new`] survives as a thin wrapper (build + open) and the
+//! one-shot [`Engine::estimate`] as a throwaway session over an internal
+//! artifact shell; both produce bit-identical output to the pre-artifact
+//! API.
 //!
 //! # Why component-granular invalidation is sound
 //!
@@ -50,10 +68,14 @@
 //! **bit-identical** to a from-scratch [`Engine::estimate`] holding the
 //! same final knowledge set (in the same insertion order), for every thread
 //! count: clean components are reused verbatim and dirty ones re-solve the
-//! identical cold-started local system. Warm starts converge to the same
-//! optimum within tolerance but along a different path, so low-order bits
-//! differ — opt in when serving latency matters more than replayability.
+//! identical cold-started local system. The same holds for any tree of
+//! [`Analyst::fork`]s — each fork's estimate depends only on its own final
+//! knowledge set. Warm starts converge to the same optimum within
+//! tolerance but along a different path, so low-order bits differ — opt in
+//! when serving latency matters more than replayability.
 //!
+//! [`CompiledTable`]: crate::compiled::CompiledTable
+//! [`CompiledTable::build`]: crate::compiled::CompiledTable::build
 //! [`Engine::estimate`]: crate::engine::Engine::estimate
 //! [`EngineConfig::warm_start`]: crate::engine::EngineConfig::warm_start
 
@@ -70,30 +92,33 @@ use pm_microdata::qi::QiId;
 use pm_microdata::schema::Schema;
 use pm_microdata::value::Value;
 
-use crate::compile::{compile_items_parallel, qi_bucket_index};
+use crate::compile::compile_items_parallel;
+use crate::compiled::CompiledTable;
 use crate::constraint::{Constraint, ConstraintOrigin};
 use crate::engine::{
-    fill_uniform, solve_component, ComponentSolution, EngineConfig, EngineStats, Estimate,
+    solve_component, uniform_bucket_values, ComponentSolution, EngineConfig, EngineStats,
+    Estimate,
 };
 use crate::error::PmError;
 use crate::individuals::{IndividualEngine, PersonEstimate};
-use crate::invariants::data_invariants;
 use crate::knowledge::{Knowledge, KnowledgeBase};
 use crate::metrics;
-use crate::partition::{connected_components, split_separable_knowledge, Component};
-use crate::terms::TermIndex;
+use crate::partition::{knowledge_components, split_separable_knowledge, Component};
 
 /// Stable identifier of one knowledge item inside an [`Analyst`] session.
 ///
 /// Handles are never reused within a session, survive removals of other
 /// items, and index nothing directly — they are looked up, so a stale
 /// handle yields [`PmError::StaleHandle`] instead of touching the wrong
-/// rule.
+/// rule. A [`Analyst::fork`] inherits its parent's live handles; handles
+/// issued after the fork are per-session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[must_use = "a dropped handle makes its knowledge item irremovable"]
 pub struct KnowledgeHandle(u64);
 
 impl KnowledgeHandle {
     /// The raw id (for serialising sessions, e.g. the CLI's scripted mode).
+    #[must_use]
     pub fn id(self) -> u64 {
         self.0
     }
@@ -121,7 +146,7 @@ pub struct RefreshStats {
     pub dirty: usize,
     /// Dirty components re-solved numerically.
     pub resolved: usize,
-    /// Dirty irrelevant components refilled via the Theorem 5 closed form.
+    /// Dirty irrelevant components reverted to the Theorem 5 closed form.
     pub closed_form: usize,
     /// Clean components whose previous solution was reused verbatim.
     pub reused: usize,
@@ -192,6 +217,7 @@ impl fmt::Display for AnalystReport {
 
 /// One live knowledge item: the compiled constraint plus its bucket
 /// footprint — the session's invalidation unit.
+#[derive(Clone)]
 struct KnowledgeEntry {
     handle: KnowledgeHandle,
     item: Knowledge,
@@ -223,34 +249,32 @@ fn dual_key(origin: &ConstraintOrigin, entries: &[KnowledgeEntry]) -> Option<Dua
     }
 }
 
-/// A long-lived Privacy-MaxEnt session over one published table.
+/// A long-lived Privacy-MaxEnt session over one published table — a
+/// lightweight handle on a shared [`CompiledTable`] artifact.
 ///
 /// See the [module docs](self) for the lifecycle and the soundness
 /// argument. The one-shot [`crate::engine::Engine::estimate`] is a thin
 /// wrapper over this type.
 #[derive(Debug)]
 pub struct Analyst {
-    table: PublishedTable,
+    /// The shared knowledge-independent artifact.
+    artifact: Arc<CompiledTable>,
     config: EngineConfig,
-    index: Arc<TermIndex>,
-    /// Invariant rows (fixed for the session) followed by the current
-    /// knowledge rows; [`Analyst::rebuild_rows`] rewrites only the tail.
-    rows: Vec<Constraint>,
-    num_invariants: usize,
-    /// Per-bucket indices into the invariant prefix of `rows`.
-    bucket_invariants: Vec<Vec<usize>>,
-    /// QI symbol → buckets containing it, hoisted once for compilation.
-    qi_buckets: Vec<Vec<usize>>,
     entries: Vec<KnowledgeEntry>,
     next_handle: u64,
     /// Buckets touched by deltas since the last successful refresh.
     dirty: BTreeSet<usize>,
     /// Whether the knowledge set changed since the last refresh.
     stale: bool,
-    components: Vec<Component>,
-    /// Current merged term values (probability space).
-    values: Vec<f64>,
-    estimate: Estimate,
+    /// Current partition; `None` means the artifact's knowledge-free
+    /// baseline partition (the state of a freshly opened session).
+    components: Option<Vec<Component>>,
+    /// Copy-on-write solution overlay: bucket → solved term values for that
+    /// bucket's range. Buckets absent here serve the artifact's baseline.
+    overlay: HashMap<usize, Arc<[f64]>>,
+    /// The served estimate — an `Arc` so [`Analyst::snapshot`] readers keep
+    /// a consistent view across refreshes.
+    estimate: Arc<Estimate>,
     /// Dual vectors of the last refresh, by row identity (warm starts).
     dual_cache: HashMap<DualKey, f64>,
     individuals: Vec<Knowledge>,
@@ -270,70 +294,171 @@ impl fmt::Debug for KnowledgeEntry {
 }
 
 impl Analyst {
-    /// Opens a session: builds the term index, compiles the D'-invariants
-    /// and the QI→bucket inverted index, and solves the knowledge-free
-    /// baseline (uniform within buckets, Theorem 5).
+    /// Compiles `table` and opens a session over the fresh artifact — the
+    /// historical all-in-one entry point, now a thin wrapper over
+    /// [`CompiledTable::build`] + [`Analyst::open`] with bit-identical
+    /// output. Callers opening more than one session over the same table
+    /// should build the artifact once and share it.
     ///
     /// The only fallible part is the baseline solve, and only when
     /// [`EngineConfig::decompose`] is off (the joint invariant system then
     /// goes through the numeric solver instead of the closed form).
     pub fn new(table: PublishedTable, config: EngineConfig) -> Result<Self, PmError> {
-        let mut analyst = Self::new_deferred(table, config);
-        analyst.refresh()?;
-        Ok(analyst)
+        Ok(Self::open(Arc::new(CompiledTable::build(table, config)?)))
     }
 
-    /// [`Analyst::new`] without the baseline refresh — every bucket starts
-    /// dirty and `estimate` is a zero placeholder until the first
-    /// [`Analyst::refresh`]. This is the one-shot `Engine::estimate` path:
-    /// it skips the baseline solve the immediate full refresh would
-    /// discard.
-    pub(crate) fn new_deferred(table: PublishedTable, config: EngineConfig) -> Self {
-        let index = Arc::new(TermIndex::build(&table));
-        let rows = data_invariants(&table, &index, config.concise_invariants);
-        let num_invariants = rows.len();
-        let mut bucket_invariants: Vec<Vec<usize>> = vec![Vec::new(); table.num_buckets()];
-        for (i, c) in rows.iter().enumerate() {
-            match c.origin {
-                ConstraintOrigin::QiInvariant { b, .. }
-                | ConstraintOrigin::SaInvariant { b, .. } => bucket_invariants[b].push(i),
-                ConstraintOrigin::Knowledge { .. } => {}
+    /// Opens a lightweight session over a shared artifact, inheriting the
+    /// artifact's [`EngineConfig`].
+    ///
+    /// This is O(1): no compilation, no solving — the session starts with
+    /// an empty knowledge set, an empty overlay, and serves the artifact's
+    /// knowledge-free baseline estimate immediately.
+    pub fn open(artifact: Arc<CompiledTable>) -> Self {
+        let config = artifact.config().clone();
+        Self::open_inner(artifact, config)
+    }
+
+    /// [`Analyst::open`] with per-session [`EngineConfig`] overrides
+    /// (solver, tolerance, thread count, warm starts, …).
+    ///
+    /// The artifact bakes in [`EngineConfig::decompose`] and
+    /// [`EngineConfig::concise_invariants`] — its invariant rows and
+    /// baseline were built under them — so a `config` disagreeing on either
+    /// returns [`PmError::ArtifactMismatch`] instead of silently serving
+    /// estimates from a mismatched artifact. For a `decompose = false`
+    /// artifact the baked-in baseline is additionally a *numeric* solve, so
+    /// the solver knobs (`solver`, `tolerance`, `max_iterations`) must
+    /// match too; under decomposition the baseline is the closed form and
+    /// those stay freely overridable.
+    pub fn open_with(
+        artifact: Arc<CompiledTable>,
+        config: EngineConfig,
+    ) -> Result<Self, PmError> {
+        let built = artifact.config();
+        if config.decompose != built.decompose {
+            return Err(PmError::ArtifactMismatch {
+                detail: format!(
+                    "artifact was built with decompose = {}, session wants {}",
+                    built.decompose, config.decompose
+                ),
+            });
+        }
+        if config.concise_invariants != built.concise_invariants {
+            return Err(PmError::ArtifactMismatch {
+                detail: format!(
+                    "artifact was built with concise_invariants = {}, session wants {}",
+                    built.concise_invariants, config.concise_invariants
+                ),
+            });
+        }
+        // Without decomposition the baseline is a *numeric* solve baked in
+        // under the artifact's solver knobs, so a session disagreeing on
+        // any of them would serve baseline bits its own config never
+        // produces. (Under decomposition the baseline is the closed form —
+        // no solver touched it — so per-session solver overrides are fine.)
+        if !built.decompose {
+            let mismatch = if config.solver != built.solver {
+                Some(format!("solver ({:?} vs {:?})", built.solver, config.solver))
+            } else if config.tolerance != built.tolerance {
+                Some(format!("tolerance ({} vs {})", built.tolerance, config.tolerance))
+            } else if config.max_iterations != built.max_iterations {
+                Some(format!(
+                    "max_iterations ({} vs {})",
+                    built.max_iterations, config.max_iterations
+                ))
+            } else {
+                None
+            };
+            if let Some(knob) = mismatch {
+                return Err(PmError::ArtifactMismatch {
+                    detail: format!(
+                        "the artifact's decompose = false baseline was solved \
+                         numerically under its own {knob}; rebuild the artifact \
+                         with the session's config instead"
+                    ),
+                });
             }
         }
-        let qi_buckets = qi_bucket_index(&table);
-        let values = vec![0.0; index.len()];
-        let estimate =
-            Estimate::assemble(values.clone(), Arc::clone(&index), &table, EngineStats::default());
-        let dirty: BTreeSet<usize> = (0..table.num_buckets()).collect();
+        Ok(Self::open_inner(artifact, config))
+    }
+
+    fn open_inner(artifact: Arc<CompiledTable>, config: EngineConfig) -> Self {
+        let estimate = artifact.baseline_estimate();
+        let last_refresh = artifact.baseline_refresh().clone();
         Self {
-            table,
+            artifact,
             config,
-            index,
-            rows,
-            num_invariants,
-            bucket_invariants,
-            qi_buckets,
             entries: Vec::new(),
             next_handle: 0,
-            dirty,
-            stale: true,
-            components: Vec::new(),
-            values,
+            dirty: BTreeSet::new(),
+            stale: false,
+            components: None,
+            overlay: HashMap::new(),
             estimate,
             dual_cache: HashMap::new(),
             individuals: Vec::new(),
             individuals_stale: false,
             person: None,
-            last_refresh: RefreshStats::default(),
+            last_refresh,
         }
     }
 
+    /// A throwaway session over an artifact *shell* (no baseline solved) —
+    /// the one-shot `Engine::estimate` path. Every bucket starts dirty and
+    /// `estimate` is a zero placeholder until the first refresh, which
+    /// skips the baseline solve the immediate full refresh would discard.
+    pub(crate) fn new_deferred(table: PublishedTable, config: EngineConfig) -> Self {
+        let artifact = Arc::new(CompiledTable::build_shell(table, config.clone()));
+        let mut session = Self::open_inner(artifact, config);
+        session.dirty = (0..session.artifact.table().num_buckets()).collect();
+        session.stale = true;
+        session
+    }
+
+    /// Forks the session for speculative what-if deltas.
+    ///
+    /// The fork shares the artifact (an `Arc` bump) and starts from this
+    /// session's exact state — knowledge set, pending deltas, overlay,
+    /// dual cache, served estimate. From there the two evolve independently:
+    /// deltas and refreshes on one are invisible to the other, and each
+    /// stays bit-identical to a from-scratch solve of its own knowledge
+    /// set. Handles issued before the fork are valid in both sessions.
+    #[must_use = "forking has no effect on the parent; use the returned session"]
+    pub fn fork(&self) -> Self {
+        Self {
+            artifact: Arc::clone(&self.artifact),
+            config: self.config.clone(),
+            entries: self.entries.clone(),
+            next_handle: self.next_handle,
+            dirty: self.dirty.clone(),
+            stale: self.stale,
+            components: self.components.clone(),
+            // Reference bumps: the per-bucket slices are shared until a
+            // refresh on either side replaces its own entries.
+            overlay: self.overlay.clone(),
+            estimate: Arc::clone(&self.estimate),
+            dual_cache: self.dual_cache.clone(),
+            individuals: self.individuals.clone(),
+            individuals_stale: self.individuals_stale,
+            person: self.person.clone(),
+            last_refresh: self.last_refresh.clone(),
+        }
+    }
+
+    /// The shared artifact this session serves from.
+    #[must_use]
+    pub fn artifact(&self) -> &Arc<CompiledTable> {
+        &self.artifact
+    }
+
     /// The published table this session serves.
+    #[must_use]
     pub fn table(&self) -> &PublishedTable {
-        &self.table
+        self.artifact.table()
     }
 
     /// The engine configuration the session was opened with.
+    #[must_use]
     pub fn config(&self) -> &EngineConfig {
         &self.config
     }
@@ -351,7 +476,7 @@ impl Analyst {
     }
 
     /// [`Analyst::add_knowledge`] for a whole batch: items compile in
-    /// parallel on [`EngineConfig::threads`] workers against the hoisted
+    /// parallel on [`EngineConfig::threads`] workers against the artifact's
     /// QI→bucket index, and the batch registers atomically — on any
     /// compile error (reported for the lowest-indexed failing item) the
     /// session is unchanged.
@@ -370,15 +495,16 @@ impl Analyst {
         }
         let compiled = compile_items_parallel(
             items,
-            &self.table,
-            &self.index,
-            &self.qi_buckets,
+            self.artifact.table(),
+            self.artifact.term_index(),
+            self.artifact.qi_buckets(),
             self.config.threads,
         )?;
+        let index = self.artifact.term_index();
         let mut handles = Vec::with_capacity(items.len());
         for (item, c) in items.iter().zip(compiled) {
             let mut footprint: Vec<usize> =
-                c.coeffs.iter().map(|&(t, _)| self.index.term(t).b).collect();
+                c.coeffs.iter().map(|&(t, _)| index.term(t).b).collect();
             footprint.sort_unstable();
             footprint.dedup();
             self.dirty.extend(footprint.iter().copied());
@@ -457,11 +583,13 @@ impl Analyst {
     }
 
     /// Live knowledge items with their handles, in insertion order.
+    #[must_use = "iterating the knowledge set has no side effects"]
     pub fn knowledge(&self) -> impl Iterator<Item = (KnowledgeHandle, &Knowledge)> {
         self.entries.iter().map(|e| (e.handle, &e.item))
     }
 
     /// Number of live distribution-knowledge items.
+    #[must_use]
     pub fn knowledge_len(&self) -> usize {
         self.entries.len()
     }
@@ -477,21 +605,34 @@ impl Analyst {
 
     /// Whether deltas are pending (queries serve the pre-delta estimate
     /// until [`Analyst::refresh`]).
+    #[must_use]
     pub fn is_stale(&self) -> bool {
         self.stale || self.individuals_stale
     }
 
     /// Buckets dirtied by the deltas accumulated since the last refresh.
+    #[must_use]
     pub fn pending_buckets(&self) -> usize {
         self.dirty.len()
     }
 
+    /// The current partition: the session's own once it diverged, the
+    /// artifact's knowledge-free baseline before that.
+    fn current_components(&self) -> &[Component] {
+        match &self.components {
+            Some(c) => c,
+            None => self.artifact.baseline_components(),
+        }
+    }
+
     /// Components in the current partition.
+    #[must_use]
     pub fn num_components(&self) -> usize {
-        self.components.len()
+        self.current_components().len()
     }
 
     /// Statistics of the last refresh.
+    #[must_use]
     pub fn last_refresh(&self) -> &RefreshStats {
         &self.last_refresh
     }
@@ -513,8 +654,8 @@ impl Analyst {
         let was_stale = self.stale;
         if !self.stale && !self.individuals_stale {
             let stats = RefreshStats {
-                components: self.components.len(),
-                reused: self.components.len(),
+                components: self.num_components(),
+                reused: self.num_components(),
                 wall: start.elapsed(),
                 ..Default::default()
             };
@@ -522,30 +663,37 @@ impl Analyst {
             return Ok(stats);
         }
 
-        // The new partition stays local until every dirty solve succeeds,
-        // so a failed refresh never changes what `report()` describes.
-        let components: Vec<Component> = if self.stale {
-            self.rebuild_rows();
-            if self.config.decompose {
-                connected_components(&self.rows, &self.index)
+        let artifact = Arc::clone(&self.artifact);
+        let index = artifact.term_index();
+
+        // The knowledge tail and the new partition stay local until every
+        // dirty solve succeeds, so a failed refresh never changes what
+        // `report()` describes.
+        let krows: Vec<Constraint>;
+        let components: Vec<Component>;
+        if self.stale {
+            krows = self.build_knowledge_rows();
+            components = if self.config.decompose {
+                knowledge_components(&krows, artifact.num_invariants(), index)
             } else {
                 // One pseudo-component holding everything; knowledge rows
                 // all attach to it (no incrementality without Section 5.5).
-                let knowledge: Vec<usize> = self
-                    .rows
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, c)| matches!(c.origin, ConstraintOrigin::Knowledge { .. }))
-                    .map(|(i, _)| i)
-                    .collect();
                 vec![Component {
-                    buckets: (0..self.table.num_buckets()).collect(),
-                    knowledge_rows: knowledge,
+                    buckets: (0..artifact.table().num_buckets()).collect(),
+                    knowledge_rows: (0..krows.len())
+                        .map(|i| artifact.num_invariants() + i)
+                        .collect(),
                 }]
-            }
+            };
         } else {
-            std::mem::take(&mut self.components)
-        };
+            // Only the individual layer is stale: keep the partition.
+            krows = Vec::new();
+            components = match self.components.take() {
+                Some(c) => c,
+                None => artifact.baseline_components().to_vec(),
+            };
+        }
+        let rows = artifact.rows(&krows);
 
         // Dirty = contains a bucket some delta touched. Everything else is
         // provably unchanged (see the module docs) and reused verbatim.
@@ -567,14 +715,11 @@ impl Analyst {
         // still-queued components once one fails, and the earliest-indexed
         // observed failure is reported.
         let config = &self.config;
-        let table = &self.table;
-        let index: &TermIndex = &self.index;
-        let rows = &self.rows;
-        let bucket_invariants = &self.bucket_invariants;
+        let table = artifact.table();
         let entries = &self.entries;
         let dual_cache = &self.dual_cache;
         let warm_fn = move |ci: usize| -> f64 {
-            dual_key(&rows[ci].origin, entries)
+            dual_key(&rows.get(ci).origin, entries)
                 .and_then(|k| dual_cache.get(&k).copied())
                 .unwrap_or(0.0)
         };
@@ -587,8 +732,7 @@ impl Analyst {
                 if failed.load(Ordering::Relaxed) {
                     return None; // skipped: some other component already failed
                 }
-                let result =
-                    solve_component(config, table, index, rows, bucket_invariants, comp, warm);
+                let result = solve_component(config, table, index, rows, comp, warm);
                 if result.is_err() {
                     failed.store(true, Ordering::Relaxed);
                 }
@@ -614,35 +758,52 @@ impl Analyst {
         );
 
         // --- Merge; only reached when every dirty solve succeeded. ---
-        self.components = components;
+        // Dirty irrelevant components revert to the artifact's Theorem 5
+        // baseline: dropping the overlay entry *is* the closed form. A
+        // one-shot shell has no baseline, so it materialises the closed
+        // form into the overlay instead (identical values either way).
         for &i in &dirty_closed {
-            fill_uniform(&self.table, &self.index, &self.components[i].buckets, &mut self.values);
+            for &b in &components[i].buckets {
+                if artifact.has_baseline() {
+                    self.overlay.remove(&b);
+                } else {
+                    self.overlay
+                        .insert(b, uniform_bucket_values(table, index, b).into());
+                }
+            }
         }
         let mut estats = EngineStats {
-            num_components: self.components.len(),
+            num_components: components.len(),
             num_irrelevant: if self.config.decompose {
-                self.components.iter().filter(|c| c.is_irrelevant()).count()
+                components.iter().filter(|c| c.is_irrelevant()).count()
             } else {
                 0
             },
             ..Default::default()
         };
         let mut warm_started = 0usize;
-        for (_, sol) in solutions {
+        for (ci, sol) in solutions {
             if sol.warm_seeded {
                 warm_started += 1;
             }
             estats.num_constraints += sol.num_constraints;
             estats.num_free_terms += sol.num_free_terms;
-            for (&t, &v) in sol.terms.iter().zip(&sol.values) {
-                self.values[t] = v;
+            // A component's local term space is the concatenation of its
+            // buckets' ranges, so the solution splits into per-bucket
+            // overlay slices by range length.
+            let mut offset = 0usize;
+            for &b in &components[ci].buckets {
+                let len = index.bucket_range(b).len();
+                self.overlay.insert(b, Arc::from(&sol.values[offset..offset + len]));
+                offset += len;
             }
+            debug_assert_eq!(offset, sol.values.len(), "component terms must cover buckets");
             // No key collisions here: the only rows sharing an origin are
             // the per-bucket splits of a separable zero rule, and those
             // have rhs = 0, so preprocessing always eliminates them before
             // the solver — they never appear among surviving duals.
-            for &(ci, lam) in &sol.duals {
-                if let Some(key) = dual_key(&self.rows[ci].origin, &self.entries) {
+            for &(ri, lam) in &sol.duals {
+                if let Some(key) = dual_key(&rows.get(ri).origin, &self.entries) {
                     self.dual_cache.insert(key, lam);
                 }
             }
@@ -653,14 +814,14 @@ impl Analyst {
 
         let resolved = dirty_numeric.len();
         let closed_form = dirty_closed.len();
-        let reused = self.components.len() - resolved - closed_form;
+        let reused = components.len() - resolved - closed_form;
+        self.components = Some(components);
         self.dirty.clear();
         self.stale = false;
 
         estats.total_elapsed = start.elapsed();
         let solver = estats.solver_elapsed();
-        self.estimate =
-            Estimate::assemble(self.values.clone(), Arc::clone(&self.index), &self.table, estats);
+        self.estimate = Arc::new(self.assemble_estimate(estats));
 
         // --- Individual layer (Section 6): one joint system on top. ---
         let individual_resolve = if self.individuals.is_empty() {
@@ -684,7 +845,7 @@ impl Analyst {
                 tolerance: self.config.tolerance,
                 max_iterations: self.config.max_iterations,
             };
-            self.person = Some(engine.estimate(&self.table, &kb)?);
+            self.person = Some(engine.estimate(self.artifact.table(), &kb)?);
             self.individuals_stale = false;
             true
         } else {
@@ -692,7 +853,7 @@ impl Analyst {
         };
 
         let stats = RefreshStats {
-            components: self.components.len(),
+            components: self.num_components(),
             dirty: resolved + closed_form,
             resolved,
             closed_form,
@@ -707,19 +868,31 @@ impl Analyst {
     }
 
     /// The current merged estimate (as of the last successful refresh).
+    #[must_use]
     pub fn estimate(&self) -> &Estimate {
         &self.estimate
     }
 
+    /// The current estimate as a cheap `Arc` snapshot. The snapshot is
+    /// immutable and stays consistent while the session refreshes
+    /// underneath — hand it to query threads so serving never blocks on
+    /// (or races with) a refresh.
+    #[must_use]
+    pub fn snapshot(&self) -> Arc<Estimate> {
+        Arc::clone(&self.estimate)
+    }
+
     /// Consumes the session, returning the current estimate.
+    #[must_use]
     pub fn into_estimate(self) -> Estimate {
-        self.estimate
+        Arc::try_unwrap(self.estimate).unwrap_or_else(|shared| (*shared).clone())
     }
 
     /// `P*(s | q)` from the current estimate — the person-level one when
     /// individual knowledge is set, the component-level one otherwise.
     /// No recompute; deltas pending since the last refresh are not
     /// reflected (see [`Analyst::is_stale`]).
+    #[must_use]
     pub fn conditional(&self, q: QiId, s: Value) -> f64 {
         match &self.person {
             Some(p) => p.conditional(q, s),
@@ -728,22 +901,25 @@ impl Analyst {
     }
 
     /// [`Analyst::conditional`] for a batch of `(q, s)` queries.
+    #[must_use]
     pub fn batch(&self, queries: &[(QiId, Value)]) -> Vec<f64> {
         queries.iter().map(|&(q, s)| self.conditional(q, s)).collect()
     }
 
     /// The posterior SA distribution of pseudonym `i`, when individual
     /// knowledge is set (`None` otherwise).
+    #[must_use]
     pub fn person_posterior(&self, i: PseudonymId) -> Option<Vec<f64>> {
         self.person.as_ref().map(|p| p.person_posterior(i))
     }
 
     /// Privacy scores of the current estimate plus session shape.
+    #[must_use]
     pub fn report(&self) -> AnalystReport {
         AnalystReport {
             knowledge_items: self.entries.len(),
             individual_items: self.individuals.len(),
-            components: self.components.len(),
+            components: self.num_components(),
             pending_deltas: self.is_stale(),
             max_disclosure: metrics::max_disclosure(&self.estimate),
             effective_l_diversity: metrics::effective_l_diversity(&self.estimate),
@@ -752,13 +928,12 @@ impl Analyst {
         }
     }
 
-    /// Rewrites the knowledge tail of `rows` from the live entries
-    /// (invariant prefix untouched), re-indexing origins to current
-    /// positions and applying the separable-zero-row split the one-shot
-    /// engine applies (only under decomposition, as there).
-    fn rebuild_rows(&mut self) {
-        self.rows.truncate(self.num_invariants);
-        let mut krows: Vec<Constraint> = self
+    /// The knowledge tail of the virtual row list, rebuilt from the live
+    /// entries: origins re-indexed to current positions, with the
+    /// separable-zero-row split the one-shot engine applies (only under
+    /// decomposition, as there).
+    fn build_knowledge_rows(&self) -> Vec<Constraint> {
+        let krows: Vec<Constraint> = self
             .entries
             .iter()
             .enumerate()
@@ -769,9 +944,22 @@ impl Analyst {
             })
             .collect();
         if self.config.decompose {
-            krows = split_separable_knowledge(krows, &self.index);
+            split_separable_knowledge(krows, self.artifact.term_index())
+        } else {
+            krows
         }
-        self.rows.extend(krows);
+    }
+
+    /// Materialises the served estimate: the artifact's baseline values
+    /// with the session's overlay scattered on top. Overlay buckets are
+    /// disjoint term ranges, so the scatter order is irrelevant.
+    fn assemble_estimate(&self, stats: EngineStats) -> Estimate {
+        let index = self.artifact.index_arc();
+        let mut values = (**self.artifact.baseline_values()).clone();
+        for (&b, slice) in &self.overlay {
+            values[index.bucket_range(b)].copy_from_slice(slice);
+        }
+        Estimate::assemble(values, Arc::clone(index), self.artifact.table(), stats)
     }
 }
 
@@ -807,6 +995,154 @@ mod tests {
         assert!(!analyst.is_stale());
     }
 
+    /// `open` over a shared artifact serves the same baseline, and after
+    /// the same deltas arrives at the same bits as `Analyst::new` — from
+    /// several sessions over one artifact.
+    #[test]
+    fn open_matches_new_bitwise() {
+        let (_, table) = paper_example();
+        let k = conditional_k(vec![(0, 0)], 0, 0.3);
+        let mut from_new = Analyst::new(table.clone(), EngineConfig::default()).unwrap();
+        let _ = from_new.add_knowledge(k.clone()).unwrap();
+        from_new.refresh().unwrap();
+
+        let artifact =
+            Arc::new(CompiledTable::build(table, EngineConfig::default()).unwrap());
+        for _ in 0..3 {
+            let mut session = Analyst::open(Arc::clone(&artifact));
+            assert_eq!(
+                session.estimate().term_values(),
+                artifact.baseline_estimate().term_values()
+            );
+            let _ = session.add_knowledge(k.clone()).unwrap();
+            session.refresh().unwrap();
+            assert_eq!(
+                session.estimate().term_values(),
+                from_new.estimate().term_values()
+            );
+        }
+    }
+
+    /// `open_with` rejects configs the artifact was not built under.
+    #[test]
+    fn open_with_rejects_artifact_mismatch() {
+        let (_, table) = paper_example();
+        let artifact =
+            Arc::new(CompiledTable::build(table, EngineConfig::default()).unwrap());
+        // Per-session knobs are fine.
+        let session = Analyst::open_with(
+            Arc::clone(&artifact),
+            EngineConfig::builder().threads(2).warm_start(true).build(),
+        )
+        .unwrap();
+        assert_eq!(session.config().threads, 2);
+        // Artifact-baked knobs are not.
+        assert!(matches!(
+            Analyst::open_with(
+                Arc::clone(&artifact),
+                EngineConfig::builder().decompose(false).build(),
+            ),
+            Err(PmError::ArtifactMismatch { .. })
+        ));
+        assert!(matches!(
+            Analyst::open_with(
+                artifact,
+                EngineConfig::builder().concise_invariants(false).build(),
+            ),
+            Err(PmError::ArtifactMismatch { .. })
+        ));
+        // A decompose = false artifact additionally bakes the solver knobs
+        // into its numeric baseline.
+        let (_, table) = paper_example();
+        let joint = Arc::new(
+            CompiledTable::build(
+                table,
+                EngineConfig::builder().decompose(false).build(),
+            )
+            .unwrap(),
+        );
+        assert!(Analyst::open_with(
+            Arc::clone(&joint),
+            EngineConfig::builder().decompose(false).threads(2).build(),
+        )
+        .is_ok());
+        assert!(matches!(
+            Analyst::open_with(
+                Arc::clone(&joint),
+                EngineConfig::builder().decompose(false).tolerance(1e-4).build(),
+            ),
+            Err(PmError::ArtifactMismatch { .. })
+        ));
+        assert!(matches!(
+            Analyst::open_with(
+                joint,
+                EngineConfig::builder()
+                    .decompose(false)
+                    .solver(crate::engine::SolverKind::Gis)
+                    .build(),
+            ),
+            Err(PmError::ArtifactMismatch { .. })
+        ));
+    }
+
+    /// Forks evolve independently: the parent is unaffected by the fork's
+    /// deltas and vice versa, pre-fork handles work in both, and each side
+    /// matches a from-scratch solve of its own knowledge set.
+    #[test]
+    fn forks_are_independent_what_ifs() {
+        let (_, table) = paper_example();
+        let base = conditional_k(vec![(0, 0)], 0, 0.3);
+        let whatif = conditional_k(vec![(1, 0)], 3, 0.4);
+
+        let mut parent = Analyst::new(table.clone(), EngineConfig::default()).unwrap();
+        let base_handle = parent.add_knowledge(base.clone()).unwrap();
+        parent.refresh().unwrap();
+        let parent_bits = parent.estimate().term_values().to_vec();
+
+        // Fork, apply a speculative delta, refresh — parent unchanged.
+        let mut fork = parent.fork();
+        let _ = fork.add_knowledge(whatif.clone()).unwrap();
+        fork.refresh().unwrap();
+        assert_eq!(parent.estimate().term_values(), parent_bits.as_slice());
+        assert_ne!(fork.estimate().term_values(), parent_bits.as_slice());
+
+        // The fork matches a from-scratch solve of base + whatif.
+        let mut kb = KnowledgeBase::new();
+        kb.push(base).unwrap();
+        kb.push(whatif).unwrap();
+        let scratch = Engine::default().estimate(&table, &kb).unwrap();
+        assert_eq!(fork.estimate().term_values(), scratch.term_values());
+
+        // A pre-fork handle is live in the fork too; retracting it there
+        // does not retract it in the parent.
+        fork.remove_knowledge(base_handle).unwrap();
+        fork.refresh().unwrap();
+        assert_eq!(parent.knowledge_len(), 1);
+        assert!(parent.footprint(base_handle).is_ok());
+
+        // And the parent can keep evolving without disturbing the fork.
+        parent.remove_knowledge(base_handle).unwrap();
+        parent.refresh().unwrap();
+        let uniform = Engine::uniform_estimate(&table);
+        assert_eq!(parent.estimate().term_values(), uniform.term_values());
+    }
+
+    /// Snapshots are immutable views: a refresh replaces the session's
+    /// estimate without touching outstanding snapshots.
+    #[test]
+    fn snapshots_survive_refreshes() {
+        let (_, table) = paper_example();
+        let mut analyst = Analyst::new(table, EngineConfig::default()).unwrap();
+        let before = analyst.snapshot();
+        let before_bits = before.term_values().to_vec();
+        let _ = analyst.add_knowledge(conditional_k(vec![(0, 0)], 0, 0.3)).unwrap();
+        analyst.refresh().unwrap();
+        // The old snapshot still serves the pre-refresh bits…
+        assert_eq!(before.term_values(), before_bits.as_slice());
+        // …while the session (and new snapshots) serve the new ones.
+        assert_ne!(analyst.snapshot().term_values(), before_bits.as_slice());
+    }
+
     /// Incremental adds arrive at the same bits as one-shot estimates with
     /// the same final knowledge set.
     #[test]
@@ -820,9 +1156,9 @@ mod tests {
         let one_shot = Engine::default().estimate(&table, &kb).unwrap();
 
         let mut analyst = Analyst::new(table, EngineConfig::default()).unwrap();
-        analyst.add_knowledge(k1).unwrap();
+        let _ = analyst.add_knowledge(k1).unwrap();
         analyst.refresh().unwrap();
-        analyst.add_knowledge(k2).unwrap();
+        let _ = analyst.add_knowledge(k2).unwrap();
         analyst.refresh().unwrap();
         assert_eq!(analyst.estimate().term_values(), one_shot.term_values());
         for q in 0..one_shot.distinct_qi() {
@@ -847,7 +1183,7 @@ mod tests {
 
         // A second, disjoint delta: P(flu | graduate) = 0.5 lives in
         // bucket 3 only — the fused {1, 2} component must be reused.
-        analyst.add_knowledge(conditional_k(vec![(1, 3)], 0, 0.5)).unwrap();
+        let _ = analyst.add_knowledge(conditional_k(vec![(1, 3)], 0, 0.5)).unwrap();
         let stats = analyst.refresh().unwrap();
         assert_eq!(stats.components, 2);
         assert_eq!(stats.resolved, 1);
@@ -933,15 +1269,15 @@ mod tests {
             Analyst::new(table.clone(), EngineConfig::default()).unwrap();
         let mut warm = Analyst::new(
             table,
-            EngineConfig { warm_start: true, ..Default::default() },
+            EngineConfig::builder().warm_start(true).build(),
         )
         .unwrap();
         for analyst in [&mut cold, &mut warm] {
-            analyst.add_knowledge(conditional_k(vec![(0, 0)], 0, 0.3)).unwrap();
+            let _ = analyst.add_knowledge(conditional_k(vec![(0, 0)], 0, 0.3)).unwrap();
             analyst.refresh().unwrap();
             // Second delta re-solves a component whose rows now have cached
             // duals — this is the warm-started path.
-            analyst.add_knowledge(conditional_k(vec![(0, 1)], 1, 0.4)).unwrap();
+            let _ = analyst.add_knowledge(conditional_k(vec![(0, 1)], 1, 0.4)).unwrap();
             analyst.refresh().unwrap();
         }
         assert!(warm.last_refresh().warm_started > 0, "warm path not exercised");
@@ -1036,7 +1372,7 @@ mod tests {
         let (_, table) = paper_example();
         let mut analyst = Analyst::new(table, EngineConfig::default()).unwrap();
         let q2 = analyst.table().interner().lookup(&[1, 0]).unwrap();
-        analyst
+        let _ = analyst
             .add_knowledge(conditional_k(vec![(0, 0)], 2, 0.0)) // P(bc | male) = 0
             .unwrap();
         let before = analyst.report();

@@ -1,0 +1,404 @@
+//! The compile-once / serve-many artifact: [`CompiledTable`].
+//!
+//! Section 5 of the paper proves the invariant system is a function of the
+//! published table `D'` alone: the QI- and SA-invariants are sound
+//! (Theorem 1), complete (Theorem 2) and concise (Theorem 3) **for every
+//! adversary**, because they encode only what `D'` itself reveals. The same
+//! holds for every other knowledge-independent stage of the pipeline — the
+//! admissible-term index (Zero-invariants are structural), the QI→bucket
+//! inverted index used to compile knowledge, the knowledge-free partition
+//! (every bucket its own irrelevant component, Lemma 2) and its closed-form
+//! Theorem 5 solution. None of it depends on which background knowledge a
+//! particular adversary holds.
+//!
+//! [`CompiledTable::build`] therefore runs all of that exactly once and
+//! freezes the result into an immutable, `Send + Sync` artifact. Any number
+//! of [`crate::analyst::Analyst`] sessions then open over one
+//! `Arc<CompiledTable>` ([`crate::analyst::Analyst::open`]) without paying
+//! the compile again: a session holds only per-adversary state — its
+//! knowledge set, dirty tracking, and current per-component solutions as a
+//! copy-on-write overlay on the artifact's baseline. Opening a session is
+//! O(1); the consistent-query-answering literature applies the same
+//! database-only preprocessing split to serve many adversarial queries over
+//! one fixed database.
+//!
+//! The artifact also powers cheap what-if forks
+//! ([`crate::analyst::Analyst::fork`]): a fork clones the overlay (bucket →
+//! `Arc` slice, so the clone is reference bumps) and shares everything
+//! else.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pm_anonymize::published::PublishedTable;
+
+use crate::analyst::RefreshStats;
+use crate::compile::qi_bucket_index;
+use crate::constraint::{Constraint, ConstraintOrigin};
+use crate::engine::{
+    fill_uniform, solve_component, EngineConfig, EngineStats, Estimate, RowSet,
+};
+use crate::error::PmError;
+use crate::invariants::data_invariants;
+use crate::partition::{connected_components, Component};
+use crate::terms::TermIndex;
+
+/// Shape and cost of one [`CompiledTable::build`] — what `pmx compile`
+/// prints.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct CompileStats {
+    /// Records in the published table.
+    pub records: usize,
+    /// Buckets in the published table.
+    pub buckets: usize,
+    /// Distinct QI tuples.
+    pub distinct_qi: usize,
+    /// Admissible `(q, s, b)` terms (Zero-invariants already excluded).
+    pub terms: usize,
+    /// Invariant rows. With [`EngineConfig::concise_invariants`] this is
+    /// also the rank of the invariant system: Theorem 3 drops the one
+    /// redundant SA-row per bucket, leaving independent rows.
+    pub invariant_rows: usize,
+    /// Components of the knowledge-free baseline partition.
+    pub components: usize,
+    /// Wall time of the whole build (index + invariants + baseline solve).
+    pub build: Duration,
+    /// Portion of `build` spent solving the knowledge-free baseline.
+    pub baseline_solve: Duration,
+}
+
+impl fmt::Display for CompileStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "compiled artifact: {} records, {} buckets, {} distinct QI tuples",
+            self.records, self.buckets, self.distinct_qi
+        )?;
+        writeln!(
+            f,
+            "  {} admissible terms, {} invariant rows (rank), {} baseline component(s)",
+            self.terms, self.invariant_rows, self.components
+        )?;
+        write!(
+            f,
+            "  built in {:.3} ms ({:.3} ms baseline solve)",
+            self.build.as_secs_f64() * 1e3,
+            self.baseline_solve.as_secs_f64() * 1e3
+        )
+    }
+}
+
+/// Everything knowledge-independent about one published table, compiled
+/// once and shared — immutably — by any number of
+/// [`crate::analyst::Analyst`] sessions (see the [module docs](self)).
+#[derive(Debug)]
+pub struct CompiledTable {
+    table: PublishedTable,
+    config: EngineConfig,
+    index: Arc<TermIndex>,
+    /// The D'-invariant rows (Theorems 1–3). Sessions address them as the
+    /// prefix of the virtual `[invariants..., knowledge...]` row list.
+    invariants: Vec<Constraint>,
+    /// Per-bucket indices into `invariants`.
+    bucket_invariants: Vec<Vec<usize>>,
+    /// QI symbol → buckets containing it (knowledge-compilation index).
+    qi_buckets: Vec<Vec<usize>>,
+    /// The knowledge-free partition: with
+    /// [`EngineConfig::decompose`], every bucket is its own irrelevant
+    /// component; without it, one joint pseudo-component.
+    baseline_components: Vec<Component>,
+    /// The knowledge-free maxent solution over all terms (Theorem 5 closed
+    /// form under decomposition, a numeric solve of the joint invariant
+    /// system otherwise). The copy-on-write base of every session.
+    baseline_values: Arc<Vec<f64>>,
+    /// [`baseline_values`](Self::baseline_values) assembled into a served
+    /// estimate — what a freshly opened session answers queries from.
+    baseline_estimate: Arc<Estimate>,
+    /// What the baseline solve did, reported as a fresh session's
+    /// "last refresh".
+    baseline_refresh: RefreshStats,
+    /// `false` for the internal one-shot shell ([`Self::build_shell`]),
+    /// whose baseline is a zero placeholder that must never be served.
+    has_baseline: bool,
+    stats: CompileStats,
+}
+
+impl CompiledTable {
+    /// Compiles everything knowledge-independent about `table`, exactly
+    /// once: the admissible-term index, the D'-invariants and their
+    /// per-bucket index, the QI→bucket inverted index, the knowledge-free
+    /// baseline partition, and the baseline (Theorem 5) solution.
+    ///
+    /// Only the baseline solve is fallible, and only when
+    /// [`EngineConfig::decompose`] is off (the joint invariant system then
+    /// goes through the numeric solver instead of the closed form).
+    ///
+    /// Wrap the result in an [`Arc`] and hand it to
+    /// [`crate::analyst::Analyst::open`] from as many threads as you like.
+    pub fn build(table: PublishedTable, config: EngineConfig) -> Result<Self, PmError> {
+        let start = Instant::now();
+        let mut artifact = Self::build_shell(table, config);
+
+        // Knowledge-free baseline partition + solution.
+        let baseline_start = Instant::now();
+        let mut values = vec![0.0; artifact.index.len()];
+        let mut estats = EngineStats::default();
+        let mut stats = RefreshStats::default();
+        if artifact.config.decompose {
+            artifact.baseline_components =
+                connected_components(&artifact.invariants, &artifact.index);
+            let all_buckets: Vec<usize> = (0..artifact.table.num_buckets()).collect();
+            fill_uniform(&artifact.table, &artifact.index, &all_buckets, &mut values);
+            stats.closed_form = artifact.baseline_components.len();
+        } else {
+            // One joint pseudo-component through the numeric path — the
+            // exact system a knowledge-free `Engine::estimate` would solve.
+            let comp = Component {
+                buckets: (0..artifact.table.num_buckets()).collect(),
+                knowledge_rows: Vec::new(),
+            };
+            let rows = RowSet {
+                invariants: &artifact.invariants,
+                bucket_invariants: &artifact.bucket_invariants,
+                knowledge: &[],
+            };
+            let sol = solve_component(
+                &artifact.config,
+                &artifact.table,
+                &artifact.index,
+                rows,
+                &comp,
+                None,
+            )?;
+            estats.num_constraints = sol.num_constraints;
+            estats.num_free_terms = sol.num_free_terms;
+            for (&t, &v) in sol.terms.iter().zip(&sol.values) {
+                values[t] = v;
+            }
+            if let Some(s) = sol.stats {
+                estats.component_stats.push(s);
+            }
+            artifact.baseline_components = vec![comp];
+            stats.resolved = 1;
+        }
+        let baseline_solve = baseline_start.elapsed();
+
+        estats.num_components = artifact.baseline_components.len();
+        estats.num_irrelevant = if artifact.config.decompose {
+            artifact.baseline_components.len()
+        } else {
+            0
+        };
+        estats.total_elapsed = baseline_solve;
+        stats.components = artifact.baseline_components.len();
+        stats.dirty = stats.closed_form + stats.resolved;
+        stats.solver = estats.solver_elapsed();
+        stats.wall = baseline_solve;
+
+        artifact.baseline_values = Arc::new(values);
+        artifact.baseline_estimate = Arc::new(Estimate::assemble(
+            (*artifact.baseline_values).clone(),
+            Arc::clone(&artifact.index),
+            &artifact.table,
+            estats,
+        ));
+        artifact.baseline_refresh = stats;
+        artifact.has_baseline = true;
+        artifact.stats.components = artifact.baseline_components.len();
+        artifact.stats.baseline_solve = baseline_solve;
+        artifact.stats.build = start.elapsed();
+        Ok(artifact)
+    }
+
+    /// Everything except the baseline partition and solve — the internal
+    /// shell behind the one-shot `Engine::estimate`, which marks every
+    /// bucket dirty and would discard a baseline immediately. The zero
+    /// placeholder baseline is never served: a deferred session's first
+    /// refresh writes every bucket (solved or closed-form) before its
+    /// estimate is readable.
+    pub(crate) fn build_shell(table: PublishedTable, config: EngineConfig) -> Self {
+        let start = Instant::now();
+        let index = Arc::new(TermIndex::build(&table));
+        let invariants = data_invariants(&table, &index, config.concise_invariants);
+        let mut bucket_invariants: Vec<Vec<usize>> = vec![Vec::new(); table.num_buckets()];
+        for (i, c) in invariants.iter().enumerate() {
+            match c.origin {
+                ConstraintOrigin::QiInvariant { b, .. }
+                | ConstraintOrigin::SaInvariant { b, .. } => bucket_invariants[b].push(i),
+                ConstraintOrigin::Knowledge { .. } => {}
+            }
+        }
+        let qi_buckets = qi_bucket_index(&table);
+        let baseline_values = Arc::new(vec![0.0; index.len()]);
+        let baseline_estimate = Arc::new(Estimate::assemble(
+            (*baseline_values).clone(),
+            Arc::clone(&index),
+            &table,
+            EngineStats::default(),
+        ));
+        let stats = CompileStats {
+            records: table.total_records(),
+            buckets: table.num_buckets(),
+            distinct_qi: table.interner().distinct(),
+            terms: index.len(),
+            invariant_rows: invariants.len(),
+            components: 0,
+            build: start.elapsed(),
+            baseline_solve: Duration::default(),
+        };
+        Self {
+            table,
+            config,
+            index,
+            invariants,
+            bucket_invariants,
+            qi_buckets,
+            baseline_components: Vec::new(),
+            baseline_values,
+            baseline_estimate,
+            baseline_refresh: RefreshStats::default(),
+            has_baseline: false,
+            stats,
+        }
+    }
+
+    /// The published table this artifact compiled.
+    #[must_use]
+    pub fn table(&self) -> &PublishedTable {
+        &self.table
+    }
+
+    /// The configuration the artifact was built with. Sessions opened via
+    /// [`crate::analyst::Analyst::open`] inherit it.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The admissible-term index.
+    #[must_use]
+    pub fn term_index(&self) -> &TermIndex {
+        &self.index
+    }
+
+    /// Number of invariant rows (the rank of the invariant system under
+    /// [`EngineConfig::concise_invariants`], Theorem 3).
+    #[must_use]
+    pub fn num_invariants(&self) -> usize {
+        self.invariants.len()
+    }
+
+    /// Components of the knowledge-free baseline partition.
+    #[must_use]
+    pub fn num_components(&self) -> usize {
+        self.baseline_components.len()
+    }
+
+    /// The knowledge-free baseline estimate — what a freshly opened session
+    /// serves. Cheap `Arc` clone.
+    #[must_use]
+    pub fn baseline_estimate(&self) -> Arc<Estimate> {
+        Arc::clone(&self.baseline_estimate)
+    }
+
+    /// Build statistics (what `pmx compile` prints).
+    #[must_use]
+    pub fn stats(&self) -> &CompileStats {
+        &self.stats
+    }
+
+    // ---- crate-internal surface for the session engine ----
+
+    pub(crate) fn index_arc(&self) -> &Arc<TermIndex> {
+        &self.index
+    }
+
+    pub(crate) fn rows<'a>(&'a self, knowledge: &'a [Constraint]) -> RowSet<'a> {
+        RowSet {
+            invariants: &self.invariants,
+            bucket_invariants: &self.bucket_invariants,
+            knowledge,
+        }
+    }
+
+    pub(crate) fn qi_buckets(&self) -> &[Vec<usize>] {
+        &self.qi_buckets
+    }
+
+    pub(crate) fn baseline_components(&self) -> &[Component] {
+        &self.baseline_components
+    }
+
+    pub(crate) fn baseline_values(&self) -> &Arc<Vec<f64>> {
+        &self.baseline_values
+    }
+
+    pub(crate) fn baseline_refresh(&self) -> &RefreshStats {
+        &self.baseline_refresh
+    }
+
+    pub(crate) fn has_baseline(&self) -> bool {
+        self.has_baseline
+    }
+}
+
+// Compile-time contract: the whole point of the artifact is to be shared
+// across session threads behind one `Arc`.
+const _: () = {
+    const fn send_sync<T: Send + Sync>() {}
+    send_sync::<CompiledTable>();
+    send_sync::<CompileStats>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use pm_anonymize::fixtures::paper_example;
+
+    /// The artifact's baseline is the Theorem 5 uniform estimate, bit for
+    /// bit, and the build stats describe the Figure 1 publication.
+    #[test]
+    fn build_matches_uniform_baseline() {
+        let (_, table) = paper_example();
+        let uniform = Engine::uniform_estimate(&table);
+        let artifact = CompiledTable::build(table, EngineConfig::default()).unwrap();
+        assert_eq!(
+            artifact.baseline_estimate().term_values(),
+            uniform.term_values()
+        );
+        let stats = artifact.stats();
+        assert_eq!(stats.buckets, 3);
+        assert_eq!(stats.records, 10);
+        assert_eq!(stats.components, 3);
+        assert_eq!(stats.terms, artifact.term_index().len());
+        assert!(stats.invariant_rows > 0);
+        assert!(stats.build >= stats.baseline_solve);
+        assert!(!format!("{stats}").is_empty());
+    }
+
+    /// Without decomposition the baseline goes through the numeric solver
+    /// and still matches the closed form (Theorem 5 consistency).
+    #[test]
+    fn joint_baseline_matches_closed_form() {
+        let (_, table) = paper_example();
+        let uniform = Engine::uniform_estimate(&table);
+        let artifact = CompiledTable::build(
+            table,
+            EngineConfig::builder().decompose(false).build(),
+        )
+        .unwrap();
+        assert_eq!(artifact.num_components(), 1, "one joint pseudo-component");
+        let baseline = artifact.baseline_estimate();
+        for (i, (&a, &b)) in baseline
+            .term_values()
+            .iter()
+            .zip(uniform.term_values())
+            .enumerate()
+        {
+            assert!((a - b).abs() < 1e-9, "term {i}: {a} vs {b}");
+        }
+    }
+}

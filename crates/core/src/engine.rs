@@ -17,15 +17,16 @@
 //!
 //! # One-shot vs. resident
 //!
-//! Since the session redesign, the long-lived [`crate::analyst::Analyst`]
-//! owns the pipeline: it compiles invariants once, tracks background
-//! knowledge as deltas, and re-solves only invalidated components.
-//! [`Engine::estimate`] remains the one-shot facade — it spins up a
-//! throwaway session, feeds it the whole knowledge base and refreshes once,
-//! which reproduces the historical behaviour (and bit pattern) exactly.
-//! The shared component-solving machinery lives in this module
-//! ([`solve_component`]) so both entry points run the identical numeric
-//! path.
+//! Since the artifact redesign, the knowledge-independent stages live in
+//! the shared [`crate::compiled::CompiledTable`] and the long-lived
+//! [`crate::analyst::Analyst`] sessions over it own the serving: they track
+//! background knowledge as deltas and re-solve only invalidated
+//! components. [`Engine::estimate`] remains the one-shot facade — it spins
+//! up a throwaway session over an internal artifact shell, feeds it the
+//! whole knowledge base and refreshes once, which reproduces the
+//! historical behaviour (and bit pattern) exactly. The shared
+//! component-solving machinery lives in this module ([`solve_component`])
+//! so every entry point runs the identical numeric path.
 //!
 //! # Parallelism
 //!
@@ -75,6 +76,36 @@ struct SolvedSystem {
     duals: Vec<(usize, f64)>,
 }
 
+/// The constraint rows a component solve addresses, as one virtual list
+/// `[invariants..., knowledge...]` without materialising it.
+///
+/// The invariant prefix (plus its per-bucket index) lives in the shared
+/// [`crate::compiled::CompiledTable`] artifact; the knowledge tail is the
+/// session's private, per-refresh state. Global constraint indices — in
+/// [`Component::knowledge_rows`], warm-start callbacks and
+/// [`ComponentSolution::duals`] — address this virtual list: `ci <
+/// invariants.len()` is an invariant row, anything above is
+/// `knowledge[ci - invariants.len()]`.
+#[derive(Clone, Copy)]
+pub(crate) struct RowSet<'a> {
+    /// The artifact's invariant rows (prefix of the virtual list).
+    pub(crate) invariants: &'a [Constraint],
+    /// Per-bucket indices into `invariants`.
+    pub(crate) bucket_invariants: &'a [Vec<usize>],
+    /// The session's knowledge rows (tail of the virtual list).
+    pub(crate) knowledge: &'a [Constraint],
+}
+
+impl RowSet<'_> {
+    pub(crate) fn get(&self, ci: usize) -> &Constraint {
+        if ci < self.invariants.len() {
+            &self.invariants[ci]
+        } else {
+            &self.knowledge[ci - self.invariants.len()]
+        }
+    }
+}
+
 /// Outcome of one component solve, produced on a worker thread and merged
 /// on the calling thread in component order (deterministic regardless of
 /// which worker finished first).
@@ -111,7 +142,21 @@ pub enum SolverKind {
 }
 
 /// Engine configuration.
+///
+/// Construct via [`EngineConfig::default`] or, to change knobs, the
+/// [`EngineConfig::builder`]:
+///
+/// ```
+/// use privacy_maxent::engine::EngineConfig;
+/// let config = EngineConfig::builder().threads(2).warm_start(true).build();
+/// assert_eq!(config.threads, 2);
+/// ```
+///
+/// The struct is `#[non_exhaustive]`: fields stay readable (and assignable
+/// on an existing value) everywhere, but downstream crates cannot use
+/// struct-literal construction — so future knobs are not breaking changes.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct EngineConfig {
     /// Dual solver.
     pub solver: SolverKind,
@@ -170,6 +215,78 @@ impl Default for EngineConfig {
     }
 }
 
+impl EngineConfig {
+    /// Starts a builder seeded with [`EngineConfig::default`].
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder { config: Self::default() }
+    }
+}
+
+/// Builder for [`EngineConfig`] — the only way (besides `Default`) for
+/// downstream crates to construct one, since the config is
+/// `#[non_exhaustive]`. Every setter mirrors the field it names.
+#[derive(Debug, Clone)]
+#[must_use = "builders do nothing until .build() is called"]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Sets [`EngineConfig::solver`].
+    pub fn solver(mut self, solver: SolverKind) -> Self {
+        self.config.solver = solver;
+        self
+    }
+
+    /// Sets [`EngineConfig::decompose`].
+    pub fn decompose(mut self, decompose: bool) -> Self {
+        self.config.decompose = decompose;
+        self
+    }
+
+    /// Sets [`EngineConfig::concise_invariants`].
+    pub fn concise_invariants(mut self, concise: bool) -> Self {
+        self.config.concise_invariants = concise;
+        self
+    }
+
+    /// Sets [`EngineConfig::tolerance`].
+    pub fn tolerance(mut self, tolerance: f64) -> Self {
+        self.config.tolerance = tolerance;
+        self
+    }
+
+    /// Sets [`EngineConfig::max_iterations`].
+    pub fn max_iterations(mut self, max_iterations: usize) -> Self {
+        self.config.max_iterations = max_iterations;
+        self
+    }
+
+    /// Sets [`EngineConfig::residual_limit`].
+    pub fn residual_limit(mut self, residual_limit: f64) -> Self {
+        self.config.residual_limit = residual_limit;
+        self
+    }
+
+    /// Sets [`EngineConfig::threads`].
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Sets [`EngineConfig::warm_start`].
+    pub fn warm_start(mut self, warm_start: bool) -> Self {
+        self.config.warm_start = warm_start;
+        self
+    }
+
+    /// Finishes the builder.
+    #[must_use]
+    pub fn build(self) -> EngineConfig {
+        self.config
+    }
+}
+
 /// Aggregated solve statistics — Figure 7 plots `iterations` and `elapsed`.
 ///
 /// On an [`crate::analyst::Analyst`] session these describe the **last
@@ -196,17 +313,20 @@ pub struct EngineStats {
 
 impl EngineStats {
     /// Total solver iterations across components.
+    #[must_use]
     pub fn total_iterations(&self) -> usize {
         self.component_stats.iter().map(|s| s.iterations).sum()
     }
 
     /// Largest per-component iteration count (the paper's single-solve
     /// iteration metric when `decompose = false`).
+    #[must_use]
     pub fn max_iterations(&self) -> usize {
         self.component_stats.iter().map(|s| s.iterations).max().unwrap_or(0)
     }
 
     /// Summed solver wall time (excludes assembly).
+    #[must_use]
     pub fn solver_elapsed(&self) -> Duration {
         self.component_stats.iter().map(|s| s.elapsed).sum()
     }
@@ -288,6 +408,7 @@ impl Estimate {
     /// # Panics
     /// Panics (with a descriptive message) if `q`, `s` or `b` lies outside
     /// the published table's domains.
+    #[must_use]
     #[track_caller]
     pub fn p_qsb(&self, q: QiId, s: Value, b: usize) -> f64 {
         self.check_query(q, s);
@@ -307,6 +428,7 @@ impl Estimate {
     /// # Panics
     /// Panics (with a descriptive message) if `q` or `s` lies outside the
     /// published table's domains.
+    #[must_use]
     #[track_caller]
     pub fn conditional(&self, q: QiId, s: Value) -> f64 {
         self.check_query(q, s);
@@ -318,6 +440,7 @@ impl Estimate {
     /// # Panics
     /// Panics (with a descriptive message) if `q` is not a QI symbol of the
     /// published table.
+    #[must_use]
     #[track_caller]
     pub fn conditional_row(&self, q: QiId) -> &[f64] {
         self.check_qi(q);
@@ -325,11 +448,13 @@ impl Estimate {
     }
 
     /// Number of distinct QI symbols.
+    #[must_use]
     pub fn distinct_qi(&self) -> usize {
         self.distinct_qi
     }
 
     /// SA domain cardinality.
+    #[must_use]
     pub fn sa_cardinality(&self) -> usize {
         self.sa_cardinality
     }
@@ -339,6 +464,7 @@ impl Estimate {
     /// # Panics
     /// Panics (with a descriptive message) if `q` is not a QI symbol of the
     /// published table.
+    #[must_use]
     #[track_caller]
     pub fn qi_marginal(&self, q: QiId) -> f64 {
         self.check_qi(q);
@@ -346,11 +472,13 @@ impl Estimate {
     }
 
     /// All raw term values (aligned with the internal term index).
+    #[must_use]
     pub fn term_values(&self) -> &[f64] {
         &self.term_values
     }
 
     /// The term index underlying this estimate.
+    #[must_use]
     pub fn term_index(&self) -> &TermIndex {
         &self.index
     }
@@ -427,8 +555,7 @@ pub(crate) fn solve_component(
     config: &EngineConfig,
     table: &PublishedTable,
     index: &TermIndex,
-    constraints: &[Constraint],
-    bucket_invariants: &[Vec<usize>],
+    rows: RowSet<'_>,
     comp: &Component,
     warm: Option<&(dyn Fn(usize) -> f64 + Sync)>,
 ) -> Result<ComponentSolution, PmError> {
@@ -448,13 +575,13 @@ pub(crate) fn solve_component(
     let row_ids: Vec<usize> = comp
         .buckets
         .iter()
-        .flat_map(|&b| bucket_invariants[b].iter().copied())
+        .flat_map(|&b| rows.bucket_invariants[b].iter().copied())
         .chain(comp.knowledge_rows.iter().copied())
         .collect();
     let local_constraints: Vec<Constraint> = row_ids
         .iter()
         .map(|&ci| {
-            let c = &constraints[ci];
+            let c = rows.get(ci);
             Constraint {
                 coeffs: c.coeffs.iter().map(|&(t, v)| (local_of[&t], v)).collect(),
                 rhs: c.rhs * n,
@@ -697,25 +824,42 @@ const _: () = {
     send_sync::<PublishedTable>();
 };
 
-/// Fills `values` with the Theorem-5 closed form for the given buckets:
-/// `P(q, s, b) = P(q, b) · (#s in b) / N_b`.
+/// Fills `values` with the Theorem-5 closed form for the given buckets
+/// (one [`uniform_bucket_values`] copy per bucket range).
 pub(crate) fn fill_uniform(
     table: &PublishedTable,
     index: &TermIndex,
     buckets: &[usize],
     values: &mut [f64],
 ) {
-    let n = table.total_records() as f64;
     for &b in buckets {
-        let bucket = table.bucket(b);
-        let nb = bucket.size() as f64;
-        for &(q, qc) in bucket.qi_counts() {
-            for &(s, sc) in bucket.sa_counts() {
-                let t = index.get(q, s, b).expect("admissible by construction");
-                values[t] = (qc as f64 / n) * (sc as f64 / nb);
-            }
+        values[index.bucket_range(b)].copy_from_slice(&uniform_bucket_values(table, index, b));
+    }
+}
+
+/// The Theorem-5 closed form `P(q, s, b) = P(q, b) · (#s in b) / N_b` for
+/// one bucket, aligned with the bucket's term range — the single home of
+/// the formula, and the session engine's copy-on-write overlay unit (a
+/// one-shot session has no shared baseline vector to revert to, so a dirty
+/// irrelevant bucket materialises its closed form directly).
+pub(crate) fn uniform_bucket_values(
+    table: &PublishedTable,
+    index: &TermIndex,
+    b: usize,
+) -> Vec<f64> {
+    let range = index.bucket_range(b);
+    let start = range.start;
+    let mut values = vec![0.0; range.len()];
+    let n = table.total_records() as f64;
+    let bucket = table.bucket(b);
+    let nb = bucket.size() as f64;
+    for &(q, qc) in bucket.qi_counts() {
+        for &(s, sc) in bucket.sa_counts() {
+            let t = index.get(q, s, b).expect("admissible by construction");
+            values[t - start] = (qc as f64 / n) * (sc as f64 / nb);
         }
     }
+    values
 }
 
 #[cfg(test)]

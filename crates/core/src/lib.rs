@@ -19,21 +19,28 @@
 //!    (Section 6) is handled by the pseudonym-expanded [`individuals`]
 //!    engine.
 //!
-//! The resident [`analyst::Analyst`] session owns the pipeline: it
-//! preprocesses the system (eliminating zero-forced and pinned terms — the
-//! exponential dual cannot represent exact zeros), splits it into bucket
-//! connected components ([`partition`]; irrelevant buckets get the
-//! closed-form uniform solution of Theorem 5), solves each component's
-//! maxent dual with `pm-solver`, and exposes `P(S | Q)` plus the paper's
-//! evaluation metric ([`metrics::estimation_accuracy`]). Background
-//! knowledge evolves as deltas: `add_knowledge` / `remove_knowledge` dirty
-//! only the components their bucket footprints touch, and `refresh`
-//! re-solves exactly those. The one-shot [`engine::Engine::estimate`] is a
+//! The pipeline is split **compile-once / serve-many**: everything
+//! knowledge-independent — the term index, the invariants, the QI→bucket
+//! inverted index, the knowledge-free partition and its Theorem 5 baseline
+//! — freezes into an immutable, `Send + Sync`
+//! [`compiled::CompiledTable`] artifact, built exactly once per published
+//! table. Any number of resident [`analyst::Analyst`] sessions open over
+//! one `Arc` of it in O(1); each holds only per-adversary state (knowledge
+//! set, dirty tracking, a copy-on-write overlay on the baseline), supports
+//! cheap what-if [`analyst::Analyst::fork`]s, and serves `P(S | Q)` plus
+//! the paper's evaluation metric ([`metrics::estimation_accuracy`]) from
+//! `Arc`-backed [`analyst::Analyst::snapshot`]s. Background knowledge
+//! evolves as deltas: `add_knowledge` / `remove_knowledge` dirty only the
+//! components their bucket footprints touch ([`partition`]), and `refresh`
+//! preprocesses (eliminating zero-forced and pinned terms — the
+//! exponential dual cannot represent exact zeros) and re-solves exactly
+//! those with `pm-solver`. The one-shot [`engine::Engine::estimate`] is a
 //! thin wrapper that feeds a throwaway session. Every fallible operation
 //! returns the single [`error::PmError`].
 
 pub mod analyst;
 pub mod compile;
+pub mod compiled;
 pub mod constraint;
 pub mod engine;
 pub mod error;
@@ -50,6 +57,9 @@ pub mod terms;
 pub mod validate;
 
 pub use analyst::{Analyst, AnalystReport, KnowledgeHandle, RefreshStats};
-pub use engine::{Engine, EngineConfig, EngineStats, Estimate, SolverKind};
+pub use compiled::{CompileStats, CompiledTable};
+pub use engine::{
+    Engine, EngineConfig, EngineConfigBuilder, EngineStats, Estimate, SolverKind,
+};
 pub use error::{CoreError, PmError};
 pub use knowledge::{Knowledge, KnowledgeBase};

@@ -63,6 +63,7 @@ pub struct Component {
 
 impl Component {
     /// Whether the component is untouched by background knowledge.
+    #[must_use]
     pub fn is_irrelevant(&self) -> bool {
         self.knowledge_rows.is_empty()
     }
@@ -123,16 +124,48 @@ pub fn split_separable_knowledge(
 /// component, and `knowledge_rows` ascend by constraint index. The engine
 /// merges per-component solutions in this order, so the canonical ordering
 /// is what makes parallel estimates bit-identical to sequential ones.
+#[must_use]
 pub fn connected_components(
     constraints: &[Constraint],
     index: &TermIndex,
 ) -> Vec<Component> {
+    let rows: Vec<(usize, &Constraint)> = constraints
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| matches!(c.origin, ConstraintOrigin::Knowledge { .. }))
+        .collect();
+    components_from(&rows, index)
+}
+
+/// [`connected_components`] driven by the knowledge rows alone.
+///
+/// The [`crate::compiled::CompiledTable`] artifact owns the (single-bucket,
+/// partition-neutral) invariant rows and every session shares them, so the
+/// session engine partitions from its private knowledge tail without
+/// materialising a merged constraint list. Emitted `knowledge_rows` indices
+/// are `first_row + i` — the rows' positions in the virtual
+/// `[invariants..., knowledge...]` list the component solver addresses
+/// (`first_row` is the invariant count). Identical output to calling
+/// [`connected_components`] on that merged list.
+#[must_use]
+pub fn knowledge_components(
+    knowledge: &[Constraint],
+    first_row: usize,
+    index: &TermIndex,
+) -> Vec<Component> {
+    let rows: Vec<(usize, &Constraint)> = knowledge
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (first_row + i, c))
+        .collect();
+    components_from(&rows, index)
+}
+
+/// Shared core: `rows` are `(global constraint index, knowledge row)`.
+fn components_from(rows: &[(usize, &Constraint)], index: &TermIndex) -> Vec<Component> {
     let m = index.num_buckets();
     let mut uf = UnionFind::new(m);
-    for c in constraints {
-        if !matches!(c.origin, ConstraintOrigin::Knowledge { .. }) {
-            continue;
-        }
+    for &(_, c) in rows {
         let mut first: Option<usize> = None;
         for &(t, _) in &c.coeffs {
             let b = index.term(t).b;
@@ -158,10 +191,7 @@ pub fn connected_components(
         components[comp_id[r]].buckets.push(b);
     }
     // Attach knowledge rows to their component.
-    for (ci, c) in constraints.iter().enumerate() {
-        if !matches!(c.origin, ConstraintOrigin::Knowledge { .. }) {
-            continue;
-        }
+    for &(ci, c) in rows {
         if let Some(&(t, _)) = c.coeffs.first() {
             let b = index.term(t).b;
             let comp = comp_id[root_of[b]];
@@ -271,6 +301,28 @@ mod tests {
                 c.knowledge_rows.windows(2).all(|w| w[0] < w[1]),
                 "knowledge rows ascend"
             );
+        }
+    }
+
+    /// `knowledge_components` over the knowledge tail alone is equivalent
+    /// to `connected_components` over the merged invariant+knowledge list.
+    #[test]
+    fn knowledge_components_match_merged_list() {
+        let (_, table) = paper_example();
+        let index = TermIndex::build(&table);
+        let inv = data_invariants(&table, &index, true);
+        let krows = vec![
+            compile_conditional(&[(1, 3)], 0, 0.5, 0, &table, &index).unwrap(),
+            compile_conditional(&[(0, 0), (1, 1)], 1, 0.5, 1, &table, &index).unwrap(),
+        ];
+        let mut merged = inv.clone();
+        merged.extend(krows.iter().cloned());
+        let from_merged = connected_components(&merged, &index);
+        let from_tail = knowledge_components(&krows, inv.len(), &index);
+        assert_eq!(from_merged.len(), from_tail.len());
+        for (a, b) in from_merged.iter().zip(&from_tail) {
+            assert_eq!(a.buckets, b.buckets);
+            assert_eq!(a.knowledge_rows, b.knowledge_rows);
         }
     }
 

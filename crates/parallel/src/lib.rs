@@ -19,6 +19,9 @@
 //! * [`map_subset`] — dirty-set scheduling: map only a caller-chosen set of
 //!   indices (the incremental session engine's dirty components), results
 //!   aligned with the subset.
+//! * [`broadcast`] — one scoped thread per task, for driving N independent
+//!   concurrent *sessions* (shared-artifact `Analyst` handles) rather than
+//!   load-balancing a batch.
 //! * [`available_parallelism`] / [`resolve_threads`] — the `0 = auto`
 //!   thread-count convention shared by `EngineConfig::threads` and the CLI.
 //!
@@ -88,6 +91,40 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     map(threads, indices, |_, &i| f(i, &items[i]))
+}
+
+/// Runs `f(0), f(1), …, f(tasks - 1)` on `tasks` concurrent scoped
+/// threads, returning the results in task order.
+///
+/// Unlike [`map`], which load-balances a batch over a bounded pool, this
+/// spawns **one OS thread per task** — the shape for testing or driving
+/// genuinely concurrent *sessions* (e.g. N `Analyst` handles forked from
+/// one shared `CompiledTable`, each evolving its own adversary model),
+/// where every task must make progress independently rather than queue
+/// behind a worker. `tasks` may exceed the core count. With `tasks <= 1`
+/// the closure runs on the calling thread.
+///
+/// # Panics
+/// Propagates the first panicking task after all tasks have stopped.
+pub fn broadcast<R, F>(tasks: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if tasks == 0 {
+        return Vec::new();
+    }
+    if tasks == 1 {
+        return vec![f(0)];
+    }
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = (0..tasks).map(|i| s.spawn(move || f(i))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic)))
+            .collect()
+    })
 }
 
 /// Parallel indexed map with an explicit chunk size.
@@ -252,5 +289,36 @@ mod tests {
     #[should_panic(expected = "chunk size must be positive")]
     fn zero_chunk_rejected() {
         map_chunked(2, 0, &[1], |_, &x: &i32| x);
+    }
+
+    #[test]
+    fn broadcast_runs_every_task_concurrently() {
+        // More tasks than cores is fine: every task runs on its own thread.
+        let out = broadcast(8, |i| i * i);
+        assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+        assert_eq!(broadcast(1, |i| i + 41), vec![41]);
+        assert!(broadcast(0, |i| i).is_empty());
+        // All 4 tasks are live at once: each waits for every other to
+        // check in, which only terminates if none queues behind another.
+        let arrivals = AtomicU64::new(0);
+        let out = broadcast(4, |i| {
+            arrivals.fetch_add(1, Ordering::SeqCst);
+            while arrivals.load(Ordering::SeqCst) < 4 {
+                std::thread::yield_now();
+            }
+            i
+        });
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn broadcast_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            broadcast(4, |i| {
+                assert!(i != 2, "boom at 2");
+                i
+            })
+        });
+        assert!(result.is_err());
     }
 }

@@ -60,7 +60,7 @@ fn main() {
     // 4. Privacy vs. amount of background knowledge (Figure 5's shape),
     //    served incrementally: step K→K' adds only rules [K/2, K'/2) of
     //    each polarity and refreshes.
-    let config = EngineConfig { residual_limit: f64::INFINITY, ..Default::default() };
+    let config = EngineConfig::builder().residual_limit(f64::INFINITY).build();
     let mut analyst = Analyst::new(table, config).expect("baseline solves");
     println!("\n    K   accuracy(KL)  max-disclosure  re-solved/components  refresh");
     let mut prev = 0usize;

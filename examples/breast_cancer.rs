@@ -30,7 +30,7 @@ fn main() {
     ];
     println!("Adversary model evolving one fact at a time:\n");
     for (label, antecedent, sa) in facts {
-        analyst
+        let _ = analyst
             .add_knowledge(Knowledge::Conditional { antecedent, sa, probability: 0.0 })
             .expect("valid knowledge");
         let stats = analyst.refresh().expect("consistent with the data");

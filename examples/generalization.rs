@@ -40,7 +40,7 @@ fn main() {
         mondrian.num_buckets()
     );
 
-    let config = EngineConfig { residual_limit: f64::INFINITY, ..Default::default() };
+    let config = EngineConfig::builder().residual_limit(f64::INFINITY).build();
     let mut sessions = [
         Analyst::new(anatomy, config.clone()).expect("anatomy baseline solves"),
         Analyst::new(mondrian, config).expect("mondrian baseline solves"),

@@ -1,13 +1,17 @@
 //! Knowledge about individuals (Section 6): pseudonyms and the three
-//! constraint families, on the paper's own examples — served by one
-//! resident `Analyst` session whose individual layer is swapped per
-//! scenario with `set_individuals`.
+//! constraint families, on the paper's own examples — each scenario runs on
+//! its own **fork** of one base session over a shared `CompiledTable`
+//! artifact, so the component layer compiles and solves exactly once while
+//! the what-if individual layers evolve independently.
 //!
 //! Run with: `cargo run --example individuals`
+
+use std::sync::Arc;
 
 use pm_anonymize::fixtures::paper_example;
 use pm_anonymize::pseudonym::PseudonymTable;
 use privacy_maxent::analyst::Analyst;
+use privacy_maxent::compiled::CompiledTable;
 use privacy_maxent::engine::EngineConfig;
 use privacy_maxent::knowledge::Knowledge;
 
@@ -25,60 +29,71 @@ fn main() {
         pseud.pseudonyms_of(q1).map(|i| pseud.name(i)).collect::<Vec<_>>()
     );
 
-    let mut analyst =
-        Analyst::new(table, EngineConfig::default()).expect("baseline solves");
+    // Compile once; every scenario below forks the same base session.
+    let artifact = Arc::new(
+        CompiledTable::build(table, EngineConfig::default()).expect("baseline solves"),
+    );
+    let base = Analyst::open(Arc::clone(&artifact));
 
     // (1) "The probability that Alice (q1) has breast cancer is 0.2".
-    analyst
+    let mut what_if = base.fork();
+    what_if
         .set_individuals(vec![Knowledge::IndividualSa { pseudonym: 0, sa: 2, probability: 0.2 }])
         .unwrap();
-    let stats = analyst.refresh().unwrap();
+    let stats = what_if.refresh().unwrap();
     assert!(stats.individual_resolve, "individual layer re-solved");
     println!("(1) P(Alice has breast cancer) = 0.2:");
-    print_posterior("Alice (i1)", &analyst.person_posterior(0).unwrap(), &diseases);
-    print_posterior("same-QI peer (i2)", &analyst.person_posterior(1).unwrap(), &diseases);
+    print_posterior("Alice (i1)", &what_if.person_posterior(0).unwrap(), &diseases);
+    print_posterior("same-QI peer (i2)", &what_if.person_posterior(1).unwrap(), &diseases);
 
-    // (2) "Alice has either breast cancer or HIV". Replacing the individual
-    // set re-solves only the person layer; the component layer is clean.
-    analyst
+    // (2) "Alice has either breast cancer or HIV" — an independent fork of
+    // the same base; scenario (1) is untouched and the shared component
+    // layer is reused clean (no component re-solves at all).
+    let mut what_if = base.fork();
+    what_if
         .set_individuals(vec![Knowledge::IndividualOneOf { pseudonym: 0, sas: vec![2, 3] }])
         .unwrap();
-    let stats = analyst.refresh().unwrap();
+    let stats = what_if.refresh().unwrap();
     assert_eq!(stats.resolved, 0, "no component re-solves for an individual swap");
     println!("\n(2) Alice has either breast cancer or HIV:");
-    print_posterior("Alice (i1)", &analyst.person_posterior(0).unwrap(), &diseases);
+    print_posterior("Alice (i1)", &what_if.person_posterior(0).unwrap(), &diseases);
 
     // (3) "Two people among Alice (q1), Bob (q2), Charlie (q5) have HIV" —
-    // the paper's exact multi-person example.
-    let q2 = analyst.table().interner().lookup(&[1, 0]).unwrap();
-    let q5 = analyst.table().interner().lookup(&[1, 3]).unwrap();
+    // the paper's exact multi-person example, again on a fresh fork.
+    let q2 = base.table().interner().lookup(&[1, 0]).unwrap();
+    let q5 = base.table().interner().lookup(&[1, 3]).unwrap();
     let i4 = pseud.pseudonyms_of(q2).start;
     let i9 = pseud.pseudonyms_of(q5).start;
-    analyst
+    let mut what_if = base.fork();
+    what_if
         .set_individuals(vec![Knowledge::GroupCount {
             pseudonyms: vec![0, i4, i9],
             sa: 3,
             count: 2,
         }])
         .unwrap();
-    analyst.refresh().unwrap();
+    what_if.refresh().unwrap();
     println!("\n(3) Exactly two of {{Alice, Bob, Charlie}} have HIV:");
-    print_posterior("Alice (i1)", &analyst.person_posterior(0).unwrap(), &diseases);
+    print_posterior("Alice (i1)", &what_if.person_posterior(0).unwrap(), &diseases);
     print_posterior(
         &format!("Bob ({})", pseud.name(i4)),
-        &analyst.person_posterior(i4).unwrap(),
+        &what_if.person_posterior(i4).unwrap(),
         &diseases,
     );
     print_posterior(
         &format!("Charlie ({})", pseud.name(i9)),
-        &analyst.person_posterior(i9).unwrap(),
+        &what_if.person_posterior(i9).unwrap(),
         &diseases,
     );
     let total: f64 = [0, i4, i9]
         .iter()
-        .map(|&i| analyst.person_posterior(i).unwrap()[3])
+        .map(|&i| what_if.person_posterior(i).unwrap()[3])
         .sum();
     println!("    expected HIV count across the trio: {total:.3} (constraint: 2)");
+
+    // The base session never saw any of it.
+    assert!(base.person_posterior(0).is_none());
+    assert_eq!(base.knowledge_len(), 0);
 }
 
 fn print_posterior(name: &str, posterior: &[f64], diseases: &[&str]) {

@@ -1,11 +1,16 @@
-//! Quickstart: the paper's running example (Figure 1) on the resident
-//! `Analyst` session — open once, evolve the adversary model as deltas.
+//! Quickstart: the paper's running example (Figure 1), compile-once /
+//! serve-many style — the publication compiles into one shared
+//! `CompiledTable` artifact, sessions open over it in O(1), and what-if
+//! adversary models run on cheap forks.
 //!
 //! Run with: `cargo run --example quickstart`
+
+use std::sync::Arc;
 
 use pm_anonymize::fixtures::paper_example;
 use pm_microdata::distribution::QiSaDistribution;
 use privacy_maxent::analyst::Analyst;
+use privacy_maxent::compiled::CompiledTable;
 use privacy_maxent::engine::EngineConfig;
 use privacy_maxent::knowledge::Knowledge;
 use privacy_maxent::metrics;
@@ -17,10 +22,18 @@ fn main() {
     let truth = QiSaDistribution::from_dataset(&data).expect("schema has an SA");
     let diseases = ["flu", "pneumonia", "breast cancer", "hiv", "lung cancer"];
 
-    // --- Step 1: open the session. Invariants compile and the
-    //     knowledge-free baseline (what prior work assumes) solves once.
-    let mut analyst =
-        Analyst::new(table, EngineConfig::default()).expect("baseline solve succeeds");
+    // --- Step 1: compile the artifact. Everything knowledge-independent —
+    //     term index, D'-invariants, QI->bucket index, the knowledge-free
+    //     Theorem 5 baseline — happens exactly once, here.
+    let artifact = Arc::new(
+        CompiledTable::build(table, EngineConfig::default()).expect("baseline solves"),
+    );
+    println!("{}\n", artifact.stats());
+
+    // --- Step 2: open a session. O(1) — any number of analysts (across
+    //     threads) share the artifact; each holds only its own adversary
+    //     model as a copy-on-write overlay on the baseline.
+    let mut analyst = Analyst::open(Arc::clone(&artifact));
     println!("Without background knowledge (uniform within buckets):");
     print_conditional(&analyst, &diseases);
     println!(
@@ -29,8 +42,8 @@ fn main() {
     );
     println!("  max disclosure: {:.3}\n", analyst.report().max_disclosure);
 
-    // --- Step 2: the adversary learns the paper's motivating medical fact:
-    //     "it is rare for male to have breast cancer" ⇒ P(bc | male) = 0.
+    // --- Step 3: the adversary learns the paper's motivating medical fact:
+    //     "it is rare for male to have breast cancer" => P(bc | male) = 0.
     //     The delta dirties only the components its buckets touch.
     let handle = analyst
         .add_knowledge(Knowledge::Conditional {
@@ -68,7 +81,30 @@ fn main() {
         analyst.conditional(q4, 2)
     );
 
-    // --- Step 3: retract the rule. The session restores the baseline
+    // --- Step 4: a what-if fork. "What if this adversary *also* knew
+    //     P(hiv | college) = 0.4?" The fork shares the artifact and the
+    //     current overlay; the original session is untouched.
+    let mut what_if = analyst.fork();
+    let _ = what_if
+        .add_knowledge(Knowledge::Conditional {
+            antecedent: vec![(1, 0)], // degree = college
+            sa: 3,                    // hiv
+            probability: 0.4,
+        })
+        .expect("valid knowledge");
+    what_if.refresh().expect("consistent");
+    println!(
+        "\nWhat-if fork (+ P(hiv | college) = 0.4): max disclosure {:.3} \
+         — parent session still at {:.3}",
+        what_if.report().max_disclosure,
+        analyst.report().max_disclosure
+    );
+
+    // Snapshots are cheap Arc clones: readers keep a consistent estimate
+    // while the session refreshes underneath.
+    let snapshot = analyst.snapshot();
+
+    // --- Step 5: retract the rule. The session restores the baseline
     //     bit-for-bit by re-solving only what the removal invalidated.
     analyst.remove_knowledge(handle).expect("handle is live");
     let stats = analyst.refresh().expect("baseline is always feasible");
@@ -78,6 +114,7 @@ fn main() {
         stats.reused,
         analyst.report().max_disclosure
     );
+    assert!((snapshot.conditional(q4, 2) - 1.0).abs() < 1e-6, "snapshot kept the old view");
 }
 
 fn print_conditional(analyst: &Analyst, diseases: &[&str]) {

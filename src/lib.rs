@@ -6,23 +6,30 @@
 //! maximum-entropy joint distribution consistent with the published table's
 //! invariants plus any linear background knowledge.
 //!
-//! # Quickstart: the resident `Analyst` session
+//! # Quickstart: compile once, serve many
 //!
-//! The core abstraction is a long-lived session over one published table.
-//! Opening it compiles the table's invariants and solves the knowledge-free
-//! baseline **once**; the adversary model then evolves as deltas —
-//! `add_knowledge` / `remove_knowledge` mark only the connected components
-//! their bucket footprints touch as dirty, and `refresh` re-solves exactly
-//! those, reusing every clean component verbatim:
+//! Section 5 proves the invariant system is a function of the published
+//! table alone, so everything knowledge-independent — the term index, the
+//! D'-invariants, the QI→bucket inverted index, the knowledge-free
+//! Theorem 5 baseline — compiles **exactly once** into an immutable,
+//! `Send + Sync` [`CompiledTable`](maxent::compiled::CompiledTable).
+//! Any number of [`Analyst`](maxent::analyst::Analyst) sessions (across
+//! threads) then open over one `Arc` of it in O(1), each holding only its
+//! own adversary model as a copy-on-write overlay on the shared baseline:
 //!
 //! ```
+//! use std::sync::Arc;
 //! use privacy_maxent_repro::prelude::*;
 //!
 //! // Figure 1: original table D (10 patients) and its 3-bucket publication D'.
 //! let (data, table) = pm_anonymize::fixtures::paper_example();
 //!
-//! // Open the session: invariants compiled, uniform baseline solved.
-//! let mut analyst = Analyst::new(table, EngineConfig::default()).unwrap();
+//! // Compile the artifact once: invariants, term index, baseline solve.
+//! let artifact = Arc::new(CompiledTable::build(table, EngineConfig::default()).unwrap());
+//! assert!(artifact.stats().invariant_rows > 0);
+//!
+//! // Open a session: O(1), serves the Theorem 5 baseline immediately.
+//! let mut analyst = Analyst::open(Arc::clone(&artifact));
 //! let grace = analyst.table().interner().lookup(&[1, 2]).unwrap(); // (female, junior)
 //! assert!(analyst.conditional(grace, 2) < 0.5); // baseline: Grace looks safe
 //!
@@ -38,14 +45,26 @@
 //! assert_eq!(stats.reused + stats.resolved + stats.closed_form, stats.components);
 //! assert!((analyst.conditional(grace, 2) - 1.0).abs() < 1e-6); // fully disclosed
 //!
-//! // Queries serve from the merged estimate without any recompute.
-//! let report = analyst.report();
-//! assert!((report.max_disclosure - 1.0).abs() < 1e-6);
+//! // Speculative what-ifs run on cheap forks — the parent is untouched,
+//! // and each fork is bit-identical to a from-scratch solve of its own
+//! // knowledge set.
+//! let mut what_if = analyst.fork();
+//! let _ = what_if
+//!     .add_knowledge(Knowledge::Conditional {
+//!         antecedent: vec![(1, 0)], // degree = college
+//!         sa: 3,                    // hiv
+//!         probability: 0.4,
+//!     })
+//!     .unwrap();
+//! what_if.refresh().unwrap();
+//! assert!((analyst.conditional(grace, 2) - 1.0).abs() < 1e-6); // parent unchanged
 //!
-//! // Retracting the rule restores the baseline bit-for-bit.
+//! // Query serving never blocks a refresh: snapshots are Arc-backed.
+//! let snapshot = analyst.snapshot();
 //! analyst.remove_knowledge(handle).unwrap();
 //! analyst.refresh().unwrap();
-//! assert!(analyst.conditional(grace, 2) < 0.5);
+//! assert!((snapshot.conditional(grace, 2) - 1.0).abs() < 1e-6); // old view intact
+//! assert!(analyst.conditional(grace, 2) < 0.5);                 // baseline restored
 //! # let _ = data;
 //! ```
 //!
@@ -65,9 +84,10 @@
 //! assert!(analyst.report().max_disclosure > 0.5);
 //! ```
 //!
-//! For one-off estimates the classic facade still works — `Engine::estimate`
-//! is a thin wrapper that opens a throwaway session, so it returns the exact
-//! same bits:
+//! [`Analyst::new`](maxent::analyst::Analyst::new) survives as the
+//! all-in-one wrapper (build + open), and for one-off estimates the classic
+//! facade still works — `Engine::estimate` opens a throwaway session, so it
+//! returns the exact same bits:
 //!
 //! ```
 //! use privacy_maxent_repro::prelude::*;
@@ -81,27 +101,30 @@
 //! assert!((est.conditional(grace, 2) - 1.0).abs() < 1e-6);
 //! ```
 //!
-//! Run `cargo run --example quickstart` for the printed walkthrough.
+//! Run `cargo run --example quickstart` for the printed walkthrough, and
+//! `pmx compile` / `pmx session` for the CLI face of the same split.
 //!
-//! # Incremental refreshes and determinism
+//! # Incremental refreshes, forks and determinism
 //!
 //! Section 5.5 decomposes the constraint system into independent bucket
 //! connected components; a knowledge delta can only change the optimum of
 //! components its bucket footprint touches, so `refresh` re-solves those
 //! and reuses the rest. With the default configuration every re-solve is
-//! cold-started, making any interleaving of deltas **bit-identical** to a
-//! from-scratch `Engine::estimate` holding the same final knowledge set,
-//! for every thread count ([`EngineConfig::threads`] only changes wall
-//! time). Setting [`EngineConfig::warm_start`] seeds each re-solve from the
-//! previous refresh's dual vectors instead — faster convergence, same
+//! cold-started, making any interleaving of deltas — on a session or any
+//! tree of its forks — **bit-identical** to a from-scratch
+//! `Engine::estimate` holding the same final knowledge set, for every
+//! thread count ([`EngineConfig`](maxent::engine::EngineConfig)`::threads`
+//! only changes wall time). Setting `warm_start` seeds each re-solve from
+//! the previous refresh's dual vectors instead — faster convergence, same
 //! optimum within tolerance, but not bit-replayable.
 //!
-//! At Adult scale (14,210 records, 2,842 buckets, 300 arity-4 rules →
-//! ~950 relevant components) a single-rule delta re-solves ~1 component
-//! instead of ~950; `pm-bench`'s `incremental_bench` binary measures the
-//! delta-vs-from-scratch speedup and records it in
-//! `BENCH_incremental.json`, alongside `parallel_bench`'s thread sweep in
-//! `BENCH_parallel.json`.
+//! At Adult scale (14,210 records, 2,842 buckets, 300 arity-4 rules) the
+//! one-time compile costs ~10 ms while `Analyst::open` over the shared
+//! artifact is sub-microsecond — `pm-bench`'s `concurrent_bench` binary
+//! measures the open speedup and the bit-exactness of concurrent forks
+//! (`BENCH_concurrent.json`), alongside `incremental_bench`'s single-rule
+//! delta sweep (`BENCH_incremental.json`) and `parallel_bench`'s thread
+//! sweep (`BENCH_parallel.json`).
 //!
 //! # Workspace layout
 //!
@@ -112,14 +135,15 @@
 //! | [`pm_assoc`] | Top-(K+, K−) association-rule mining |
 //! | [`pm_linalg`] | dense + CSR sparse kernels |
 //! | [`pm_solver`] | GIS/IIS, gradient, CG, L-BFGS, Newton maxent solvers (warm-startable) |
-//! | [`pm_parallel`] | scoped work-stealing executor, dirty-set scheduling |
-//! | [`privacy_maxent`](maxent) | invariants, knowledge compilation, `Analyst` session, engine |
+//! | [`pm_parallel`] | scoped work-stealing executor, dirty-set scheduling, broadcast |
+//! | [`privacy_maxent`](maxent) | invariants, knowledge compilation, `CompiledTable` artifact, `Analyst` sessions |
 //! | [`pm_datagen`] | Adult-census-like and synthetic generators |
-//! | `pm-bench` | Figure 5-7 pipelines, `parallel_bench`, `incremental_bench` |
-//! | `pm-cli` | `pmx` binary: demo, quantify, interactive `session` mode |
+//! | `pm-bench` | Figure 5-7 pipelines, `parallel_bench`, `incremental_bench`, `concurrent_bench` |
+//! | `pm-cli` | `pmx` binary: demo, quantify, `compile`, interactive `session` mode |
 //!
 //! Other runnable examples: `adult_census`, `breast_cancer`,
-//! `generalization`, `individuals` (Section 6 per-person knowledge).
+//! `generalization`, `individuals` (Section 6 per-person knowledge, one
+//! fork per scenario).
 //!
 //! This crate re-exports the public API of every member so examples and the
 //! cross-crate integration tests in `tests/` can use one import.
@@ -142,8 +166,9 @@ pub mod prelude {
     pub use pm_microdata::dataset::Dataset;
     pub use pm_microdata::schema::{AttributeRole, Schema};
     pub use privacy_maxent::analyst::{Analyst, AnalystReport, KnowledgeHandle, RefreshStats};
+    pub use privacy_maxent::compiled::{CompileStats, CompiledTable};
     pub use privacy_maxent::engine::{
-        Engine, EngineConfig, EngineStats, Estimate, SolverKind,
+        Engine, EngineConfig, EngineConfigBuilder, EngineStats, Estimate, SolverKind,
     };
     pub use privacy_maxent::error::PmError;
     pub use privacy_maxent::knowledge::{Knowledge, KnowledgeBase};

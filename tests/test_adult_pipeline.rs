@@ -37,7 +37,7 @@ fn published_table_is_relaxed_5_diverse() {
 #[test]
 fn accuracy_is_monotone_in_k() {
     let (data, truth, table, rules) = pipeline(1500, 4);
-    let cfg = EngineConfig { residual_limit: f64::INFINITY, ..Default::default() };
+    let cfg = EngineConfig::builder().residual_limit(f64::INFINITY).build();
     let mut last = f64::INFINITY;
     for k in [0usize, 20, 100, 500] {
         let picked = rules.top_k(k / 2, k / 2);
@@ -61,10 +61,9 @@ fn mined_knowledge_is_always_feasible() {
         let (data, _, table, rules) = pipeline(800, 100 + seed);
         let picked = rules.top_k(150, 150);
         let kb = KnowledgeBase::from_rules(picked.iter().copied(), data.schema()).unwrap();
-        let result = Engine::new(EngineConfig {
-            residual_limit: f64::INFINITY,
-            ..Default::default()
-        })
+        let result = Engine::new(
+            EngineConfig::builder().residual_limit(f64::INFINITY).build(),
+        )
         .estimate(&table, &kb);
         assert!(result.is_ok(), "seed {seed}: {:?}", result.err());
     }
@@ -101,7 +100,7 @@ fn disclosure_grows_with_knowledge() {
     let base = metrics::max_disclosure(&Engine::uniform_estimate(&table));
     let picked = rules.top_k(300, 300);
     let kb = KnowledgeBase::from_rules(picked.iter().copied(), data.schema()).unwrap();
-    let est = Engine::new(EngineConfig { residual_limit: f64::INFINITY, ..Default::default() })
+    let est = Engine::new(EngineConfig::builder().residual_limit(f64::INFINITY).build())
         .estimate(&table, &kb)
         .unwrap();
     let with = metrics::max_disclosure(&est);
@@ -127,11 +126,10 @@ fn data_size_sweep_mechanism() {
             .mine(&data);
         let picked = rules.top_k(20, 20);
         let kb = KnowledgeBase::from_rules(picked.iter().copied(), data.schema()).unwrap();
-        let est = Engine::new(EngineConfig {
-            decompose: false, // the paper's performance runs skip Section 5.5
-            residual_limit: f64::INFINITY,
-            ..Default::default()
-        })
+        // The paper's performance runs skip Section 5.5, so decompose is off.
+        let est = Engine::new(
+            EngineConfig::builder().decompose(false).residual_limit(f64::INFINITY).build(),
+        )
         .estimate(&table, &kb)
         .unwrap();
         assert_eq!(est.stats.num_components, 1);

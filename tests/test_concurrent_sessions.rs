@@ -1,0 +1,196 @@
+//! Concurrent sharing of one `CompiledTable` artifact.
+//!
+//! The compile-once / serve-many contract: N sessions opened or forked
+//! from one `Arc<CompiledTable>` — each interleaving its own
+//! add/remove/refresh tape on its own OS thread — must each land on the
+//! exact bits of a from-scratch `Engine::estimate` holding that session's
+//! final knowledge set. The artifact is immutable and sessions share
+//! overlay slices copy-on-write, so no interleaving of thread schedules
+//! may be observable in any result.
+
+use std::sync::Arc;
+
+use pm_anonymize::anatomy::{AnatomyBucketizer, AnatomyConfig};
+use pm_anonymize::published::PublishedTable;
+use pm_assoc::miner::{MinerConfig, RuleMiner};
+use pm_datagen::adult::{AdultGenerator, AdultGeneratorConfig};
+use privacy_maxent::analyst::{Analyst, KnowledgeHandle};
+use privacy_maxent::compiled::CompiledTable;
+use privacy_maxent::engine::{Engine, EngineConfig, Estimate};
+use privacy_maxent::knowledge::{Knowledge, KnowledgeBase};
+use proptest::prelude::*;
+
+fn config() -> EngineConfig {
+    EngineConfig::builder().residual_limit(f64::INFINITY).threads(1).build()
+}
+
+/// Seeded Adult-like workload: publication + mined Top-(K+, K−) knowledge
+/// as individual items the session tapes feed one at a time.
+fn workload(records: usize, seed: u64, k: usize) -> (PublishedTable, Vec<Knowledge>) {
+    let data = AdultGenerator::new(AdultGeneratorConfig { records, seed }).generate();
+    let table = AnatomyBucketizer::new(AnatomyConfig { ell: 5, exempt_top: 1 })
+        .publish(&data)
+        .expect("bucketization succeeds");
+    let rules = RuleMiner::new(MinerConfig { min_support: 3, arities: vec![1, 2] })
+        .mine(&data);
+    let items = rules
+        .top_k(k / 2, k - k / 2)
+        .iter()
+        .map(|r| Knowledge::from_rule(r, data.schema()).expect("mined rules are valid"))
+        .collect();
+    (table, items)
+}
+
+/// Drives one session through an op tape (0 = add the next private item,
+/// 1 = remove a live item, 2 = refresh), then refreshes once more so no
+/// delta is left pending. Returns the final knowledge set in insertion
+/// order plus the final term values.
+fn drive_tape(
+    mut session: Analyst,
+    items: &[Knowledge],
+    tape: &[usize],
+) -> (Vec<Knowledge>, Vec<f64>) {
+    let mut next = 0usize;
+    let mut live: Vec<KnowledgeHandle> = session.knowledge().map(|(h, _)| h).collect();
+    for &op in tape {
+        match op {
+            0 if next < items.len() => {
+                live.push(session.add_knowledge(items[next].clone()).expect("compiles"));
+                next += 1;
+            }
+            1 if !live.is_empty() => {
+                let h = live.remove(live.len() / 2);
+                session.remove_knowledge(h).expect("handle is live");
+            }
+            _ => {
+                session.refresh().expect("mined knowledge is feasible");
+            }
+        }
+    }
+    session.refresh().expect("mined knowledge is feasible");
+    let final_items = session.knowledge().map(|(_, k)| k.clone()).collect();
+    (final_items, session.estimate().term_values().to_vec())
+}
+
+fn from_scratch(table: &PublishedTable, items: &[Knowledge]) -> Estimate {
+    let mut kb = KnowledgeBase::new();
+    for item in items {
+        kb.push(item.clone()).expect("valid knowledge");
+    }
+    Engine::new(config()).estimate(table, &kb).expect("feasible")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The ISSUE's concurrency property: N threads open/fork sessions from
+    /// one `Arc<CompiledTable>`, interleave add/remove/refresh on disjoint
+    /// private item slices, and each final estimate is bit-identical to a
+    /// from-scratch solve of that thread's knowledge set.
+    #[test]
+    fn concurrent_sessions_match_from_scratch_bitwise(
+        seed in 1u64..10_000,
+        k in 24usize..48,
+        tapes in proptest::collection::vec(
+            proptest::collection::vec(0usize..3, 6..14),
+            3..5,
+        ),
+    ) {
+        let (table, items) = workload(450, seed, k);
+        let artifact =
+            Arc::new(CompiledTable::build(table.clone(), config()).expect("baseline solves"));
+
+        // A shared base session some threads fork from; the rest open
+        // fresh sessions and replay the base items themselves.
+        let (base_items, private) = items.split_at(items.len() / 4);
+        let mut base = Analyst::open(Arc::clone(&artifact));
+        base.add_knowledge_batch(base_items).expect("base compiles");
+        base.refresh().expect("base is feasible");
+
+        // Disjoint private item slices, one per thread.
+        let n = tapes.len();
+        let per = private.len() / n;
+        let results = pm_parallel::broadcast(n, |i| {
+            let slice = &private[i * per..(i + 1) * per];
+            let session = if i % 2 == 0 {
+                base.fork()
+            } else {
+                let mut fresh = Analyst::open(Arc::clone(&artifact));
+                fresh.add_knowledge_batch(base_items).expect("base compiles");
+                fresh
+            };
+            drive_tape(session, slice, &tapes[i])
+        });
+
+        // Every thread's final bits must equal its own from-scratch solve.
+        for (i, (final_items, bits)) in results.iter().enumerate() {
+            let scratch = from_scratch(&table, final_items);
+            prop_assert_eq!(
+                bits.as_slice(),
+                scratch.term_values(),
+                "thread {} (of {}) diverged from its from-scratch solve; tape {:?}",
+                i,
+                n,
+                &tapes[i]
+            );
+        }
+
+        // …and the shared base session is untouched by all of it.
+        let base_scratch = from_scratch(&table, base_items);
+        prop_assert_eq!(base.estimate().term_values(), base_scratch.term_values());
+    }
+}
+
+/// Snapshots taken before a refresh keep serving the old estimate from
+/// reader threads while the owning session refreshes and moves on.
+#[test]
+fn snapshots_serve_readers_across_refreshes() {
+    let (table, items) = workload(400, 11, 16);
+    let artifact = Arc::new(CompiledTable::build(table, config()).expect("baseline solves"));
+    let mut session = Analyst::open(Arc::clone(&artifact));
+    let before = session.snapshot();
+    let before_bits = before.term_values().to_vec();
+
+    session.add_knowledge_batch(&items).expect("compiles");
+    session.refresh().expect("feasible");
+    let after = session.snapshot();
+    assert_ne!(after.term_values(), before_bits.as_slice());
+
+    // Reader threads hold the snapshots while the session keeps evolving.
+    let readers = pm_parallel::broadcast(4, |i| {
+        let snap = if i % 2 == 0 { Arc::clone(&before) } else { Arc::clone(&after) };
+        snap.term_values().to_vec()
+    });
+    for (i, bits) in readers.iter().enumerate() {
+        if i % 2 == 0 {
+            assert_eq!(bits.as_slice(), before_bits.as_slice(), "reader {i} lost its view");
+        } else {
+            assert_eq!(bits.as_slice(), after.term_values(), "reader {i} lost its view");
+        }
+    }
+}
+
+/// Deep fork trees stay independent: a chain of forks each adding one more
+/// rule, every node bit-identical to its own from-scratch solve.
+#[test]
+fn fork_chains_are_exact_at_every_depth() {
+    let (table, items) = workload(400, 23, 12);
+    let artifact =
+        Arc::new(CompiledTable::build(table.clone(), config()).expect("baseline solves"));
+    let mut sessions = vec![Analyst::open(Arc::clone(&artifact))];
+    let depth = 4.min(items.len());
+    for item in items.iter().take(depth) {
+        let mut next = sessions.last().unwrap().fork();
+        let _ = next.add_knowledge(item.clone()).expect("compiles");
+        next.refresh().expect("feasible");
+        sessions.push(next);
+    }
+    for (d, session) in sessions.iter().enumerate() {
+        let scratch = from_scratch(&table, &items[..d]);
+        assert_eq!(
+            session.estimate().term_values(),
+            scratch.term_values(),
+            "fork depth {d} diverged"
+        );
+    }
+}

@@ -55,7 +55,7 @@ fn empirical_kb(data: &Dataset) -> KnowledgeBase {
 }
 
 fn estimate(table: &PublishedTable, kb: &KnowledgeBase) -> Estimate {
-    Engine::new(EngineConfig { residual_limit: f64::INFINITY, ..Default::default() })
+    Engine::new(EngineConfig::builder().residual_limit(f64::INFINITY).build())
         .estimate(table, kb)
         .expect("empirical knowledge is feasible")
 }
@@ -158,21 +158,17 @@ fn permutation_and_threads_compose() {
     let partition = chunk_partition(data.len(), 5);
     let kb = empirical_kb(&data);
     let table = PublishedTable::from_partition(&data, &partition).unwrap();
-    let reference = Engine::new(EngineConfig {
-        threads: 1,
-        residual_limit: f64::INFINITY,
-        ..Default::default()
-    })
+    let reference = Engine::new(
+        EngineConfig::builder().threads(1).residual_limit(f64::INFINITY).build(),
+    )
     .estimate(&table, &kb)
     .unwrap();
 
     let permuted: Vec<Vec<usize>> = partition.iter().rev().cloned().collect();
     let permuted_table = PublishedTable::from_partition(&data, &permuted).unwrap();
-    let other = Engine::new(EngineConfig {
-        threads: 8,
-        residual_limit: f64::INFINITY,
-        ..Default::default()
-    })
+    let other = Engine::new(
+        EngineConfig::builder().threads(8).residual_limit(f64::INFINITY).build(),
+    )
     .estimate(&permuted_table, &kb)
     .unwrap();
 

@@ -19,7 +19,7 @@ use privacy_maxent::knowledge::{Knowledge, KnowledgeBase};
 use proptest::prelude::*;
 
 fn config(threads: usize) -> EngineConfig {
-    EngineConfig { threads, residual_limit: f64::INFINITY, ..Default::default() }
+    EngineConfig::builder().threads(threads).residual_limit(f64::INFINITY).build()
 }
 
 /// Seeded Adult-like workload: publication + mined Top-(K+, K−) knowledge
@@ -148,7 +148,7 @@ fn deltas_resolve_strict_subsets_at_scale() {
     analyst.refresh().unwrap();
     let mut fed: Vec<Knowledge> = head.to_vec();
     for delta in tail {
-        analyst.add_knowledge(delta.clone()).unwrap();
+        let _ = analyst.add_knowledge(delta.clone()).unwrap();
         let stats = analyst.refresh().unwrap();
         assert!(
             stats.resolved + stats.closed_form < stats.components,
@@ -172,14 +172,14 @@ fn warm_start_matches_within_tolerance_at_scale() {
     let mut cold = Analyst::new(table.clone(), config(1)).unwrap();
     let mut warm = Analyst::new(
         table,
-        EngineConfig { warm_start: true, ..config(1) },
+        EngineConfig::builder().threads(1).residual_limit(f64::INFINITY).warm_start(true).build(),
     )
     .unwrap();
     for analyst in [&mut cold, &mut warm] {
         analyst.add_knowledge_batch(head).unwrap();
         analyst.refresh().unwrap();
         for delta in tail {
-            analyst.add_knowledge(delta.clone()).unwrap();
+            let _ = analyst.add_knowledge(delta.clone()).unwrap();
             analyst.refresh().unwrap();
         }
     }

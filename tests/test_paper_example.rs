@@ -100,11 +100,9 @@ fn engine_configs_agree_on_paper_example() {
     .unwrap();
     let reference = Engine::default().estimate(&table, &kb).unwrap();
     for (decompose, concise) in [(true, false), (false, true), (false, false)] {
-        let engine = Engine::new(EngineConfig {
-            decompose,
-            concise_invariants: concise,
-            ..Default::default()
-        });
+        let engine = Engine::new(
+            EngineConfig::builder().decompose(decompose).concise_invariants(concise).build(),
+        );
         let est = engine.estimate(&table, &kb).unwrap();
         for q in 0..6 {
             for s in 0..5u16 {
@@ -129,11 +127,9 @@ fn iterative_scaling_solvers_reach_the_same_optimum() {
     .unwrap();
     let reference = Engine::default().estimate(&table, &kb).unwrap();
     for solver in [SolverKind::Gis, SolverKind::Iis] {
-        let est = Engine::new(EngineConfig {
-            solver,
-            max_iterations: 100_000,
-            ..Default::default()
-        })
+        let est = Engine::new(
+            EngineConfig::builder().solver(solver).max_iterations(100_000).build(),
+        )
         .estimate(&table, &kb)
         .unwrap();
         for q in 0..6 {

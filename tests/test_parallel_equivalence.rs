@@ -30,11 +30,9 @@ fn workload(records: usize, seed: u64, k: usize) -> (PublishedTable, KnowledgeBa
 }
 
 fn estimate(table: &PublishedTable, kb: &KnowledgeBase, threads: usize) -> Estimate {
-    Engine::new(EngineConfig {
-        threads,
-        residual_limit: f64::INFINITY,
-        ..Default::default()
-    })
+    Engine::new(
+        EngineConfig::builder().threads(threads).residual_limit(f64::INFINITY).build(),
+    )
     .estimate(table, kb)
     .expect("mined knowledge is feasible")
 }

@@ -117,7 +117,7 @@ proptest! {
     fn consistency_on_random_instances((data, partition) in instance_strategy()) {
         let table = PublishedTable::from_partition(&data, &partition).unwrap();
         let uniform = Engine::uniform_estimate(&table);
-        let solved = Engine::new(EngineConfig { decompose: false, ..Default::default() })
+        let solved = Engine::new(EngineConfig::builder().decompose(false).build())
             .estimate(&table, &KnowledgeBase::new())
             .unwrap();
         for q in 0..uniform.distinct_qi() {
@@ -171,11 +171,9 @@ proptest! {
             }
         }
         let _ = sa_attr;
-        let engine = Engine::new(EngineConfig {
-            max_iterations: 5000,
-            residual_limit: 0.05,
-            ..Default::default()
-        });
+        let engine = Engine::new(
+            EngineConfig::builder().max_iterations(5000).residual_limit(0.05).build(),
+        );
         let est = engine.estimate(&table, &kb).unwrap();
         // Conditional rows are distributions over each symbol's support.
         for q in 0..est.distinct_qi() {

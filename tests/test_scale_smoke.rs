@@ -27,11 +27,9 @@ fn run_pipeline(
     let picked = rules.top_k(k / 2, k - k / 2);
     let kb = KnowledgeBase::from_rules(picked.iter().copied(), data.schema())
         .expect("mined rules are valid knowledge");
-    let est = Engine::new(EngineConfig {
-        threads,
-        residual_limit: f64::INFINITY,
-        ..Default::default()
-    })
+    let est = Engine::new(
+        EngineConfig::builder().threads(threads).residual_limit(f64::INFINITY).build(),
+    )
     .estimate(&table, &kb)
     .expect("mined knowledge is feasible");
     (table, est)

@@ -26,6 +26,13 @@ pub enum AnonymizeError {
     },
     /// The underlying dataset misses a sensitive attribute.
     Microdata(pm_microdata::MicrodataError),
+    /// A record-level delta (insert / retract / move) is inconsistent with
+    /// the published table — e.g. retracting a QI symbol or SA value a
+    /// bucket does not hold.
+    InvalidDelta {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
 }
 
 impl fmt::Display for AnonymizeError {
@@ -41,6 +48,7 @@ impl fmt::Display for AnonymizeError {
                 write!(f, "{got} records cannot fill a bucket of {need}")
             }
             Self::Microdata(e) => write!(f, "microdata error: {e}"),
+            Self::InvalidDelta { detail } => write!(f, "invalid table delta: {detail}"),
         }
     }
 }

@@ -1,6 +1,14 @@
 //! The published (disguised) table `D'` in the paper's abstract form.
+//!
+//! The table supports **record-level deltas** — [`PublishedTable::insert_record`],
+//! [`PublishedTable::retract_record`] and [`PublishedTable::move_record`] —
+//! for live-table deployments where `D'` itself evolves (late arrivals,
+//! retractions, bucket re-assignments). Buckets are stored behind [`Arc`]s
+//! and the QI interner shares its symbol table, so cloning a table for the
+//! next epoch is cheap and a delta deep-copies only the buckets it touches.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use pm_microdata::dataset::Dataset;
 use pm_microdata::qi::{project_qi_sa, QiId, QiInterner};
@@ -68,6 +76,44 @@ impl BucketView {
     pub fn contains_sa(&self, s: Value) -> bool {
         self.sa_multiplicity(s) > 0
     }
+
+    /// Adds one `(q, s)` record occurrence, keeping both count lists sorted.
+    fn add(&mut self, q: QiId, s: Value) {
+        match self.qi_counts.binary_search_by_key(&q, |&(id, _)| id) {
+            Ok(i) => self.qi_counts[i].1 += 1,
+            Err(i) => self.qi_counts.insert(i, (q, 1)),
+        }
+        match self.sa_counts.binary_search_by_key(&s, |&(v, _)| v) {
+            Ok(i) => self.sa_counts[i].1 += 1,
+            Err(i) => self.sa_counts.insert(i, (s, 1)),
+        }
+        self.size += 1;
+    }
+
+    /// Removes one `(q, s)` record occurrence; entries whose count drops to
+    /// zero are removed entirely (the bucket looks exactly like one built
+    /// without that record). Callers validate presence first.
+    fn remove(&mut self, q: QiId, s: Value) {
+        let i = self
+            .qi_counts
+            .binary_search_by_key(&q, |&(id, _)| id)
+            .expect("caller validated QI presence");
+        if self.qi_counts[i].1 == 1 {
+            self.qi_counts.remove(i);
+        } else {
+            self.qi_counts[i].1 -= 1;
+        }
+        let i = self
+            .sa_counts
+            .binary_search_by_key(&s, |&(v, _)| v)
+            .expect("caller validated SA presence");
+        if self.sa_counts[i].1 == 1 {
+            self.sa_counts.remove(i);
+        } else {
+            self.sa_counts[i].1 -= 1;
+        }
+        self.size -= 1;
+    }
 }
 
 /// The published table `D'`: every record's QI symbol and bucket id are
@@ -78,7 +124,9 @@ impl BucketView {
 #[derive(Debug, Clone)]
 pub struct PublishedTable {
     interner: QiInterner,
-    buckets: Vec<BucketView>,
+    /// `Arc` per bucket: an epoch clone shares every bucket and a record
+    /// delta copies only the buckets it touches.
+    buckets: Vec<Arc<BucketView>>,
     sa_cardinality: usize,
     total: usize,
 }
@@ -121,7 +169,7 @@ impl PublishedTable {
             qi_counts.sort_unstable();
             let mut sa_counts: Vec<_> = sa.into_iter().collect();
             sa_counts.sort_unstable();
-            buckets.push(BucketView { qi_counts, sa_counts, size: rows.len() });
+            buckets.push(Arc::new(BucketView { qi_counts, sa_counts, size: rows.len() }));
         }
 
         Ok(Self { interner, buckets, sa_cardinality, total: data.len() })
@@ -154,7 +202,7 @@ impl PublishedTable {
 
     /// Iterates buckets.
     pub fn buckets(&self) -> impl Iterator<Item = &BucketView> {
-        self.buckets.iter()
+        self.buckets.iter().map(|b| b.as_ref())
     }
 
     /// `P(q, b)` — read directly off the published data.
@@ -192,7 +240,7 @@ impl PublishedTable {
     /// ids); `total_records` shrinks to the retained rows.
     pub fn truncate_buckets(&self, n: usize) -> Self {
         let n = n.min(self.buckets.len());
-        let buckets: Vec<BucketView> = self.buckets[..n].to_vec();
+        let buckets: Vec<Arc<BucketView>> = self.buckets[..n].to_vec();
         let total = buckets.iter().map(|b| b.size).sum();
         Self {
             interner: self.interner.clone(),
@@ -200,6 +248,136 @@ impl PublishedTable {
             sa_cardinality: self.sa_cardinality,
             total,
         }
+    }
+
+    // ---- record-level deltas (live tables) ----
+
+    fn check_bucket(&self, b: usize) -> Result<(), AnonymizeError> {
+        if b >= self.buckets.len() {
+            return Err(AnonymizeError::InvalidDelta {
+                detail: format!(
+                    "bucket {b} out of range: the table has {} buckets",
+                    self.buckets.len()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_sa(&self, sa: Value) -> Result<(), AnonymizeError> {
+        if sa as usize >= self.sa_cardinality {
+            return Err(AnonymizeError::InvalidDelta {
+                detail: format!(
+                    "SA value {sa} outside the published domain (cardinality {})",
+                    self.sa_cardinality
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Validates a retraction: bucket `b` must hold at least one occurrence
+    /// of both `q` and `sa`. (The pairing inside the bucket is exactly what
+    /// `D'` hides, so a retraction is the *caller's claim* that such a
+    /// record exists — the multisets are all the table can check.)
+    fn check_presence(&self, q: QiId, sa: Value, b: usize) -> Result<(), AnonymizeError> {
+        let bucket = &self.buckets[b];
+        if !bucket.contains_qi(q) {
+            return Err(AnonymizeError::InvalidDelta {
+                detail: format!("bucket {b} holds no record with QI symbol {q}"),
+            });
+        }
+        if !bucket.contains_sa(sa) {
+            return Err(AnonymizeError::InvalidDelta {
+                detail: format!("bucket {b} holds no record with SA value {sa}"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Inserts one record `(qi tuple, sa)` into bucket `b` (a late
+    /// arrival), interning the QI tuple if it is new. Returns the record's
+    /// QI symbol. Only bucket `b` is deep-copied; every other bucket stays
+    /// shared with clones of the pre-delta table.
+    pub fn insert_record(
+        &mut self,
+        qi: &[Value],
+        sa: Value,
+        b: usize,
+    ) -> Result<QiId, AnonymizeError> {
+        self.check_bucket(b)?;
+        self.check_sa(sa)?;
+        // Every published tuple has the schema's QI arity; a ragged tuple
+        // would poison downstream antecedent matching.
+        if self.interner.distinct() > 0 && qi.len() != self.interner.tuple(0).len() {
+            return Err(AnonymizeError::InvalidDelta {
+                detail: format!(
+                    "QI tuple {qi:?} has {} values but the published table's tuples have {}",
+                    qi.len(),
+                    self.interner.tuple(0).len()
+                ),
+            });
+        }
+        let q = self.interner.observe(qi);
+        Arc::make_mut(&mut self.buckets[b]).add(q, sa);
+        self.total += 1;
+        Ok(q)
+    }
+
+    /// Retracts one record `(qi tuple, sa)` from bucket `b`. The QI symbol
+    /// keeps its id even if its last occurrence disappears (ids are stable
+    /// across deltas). Returns the record's QI symbol.
+    pub fn retract_record(
+        &mut self,
+        qi: &[Value],
+        sa: Value,
+        b: usize,
+    ) -> Result<QiId, AnonymizeError> {
+        self.check_bucket(b)?;
+        self.check_sa(sa)?;
+        let q = self.interner.lookup(qi).ok_or_else(|| AnonymizeError::InvalidDelta {
+            detail: format!("QI tuple {qi:?} was never published"),
+        })?;
+        self.check_presence(q, sa, b)?;
+        self.interner.retract(q)?;
+        Arc::make_mut(&mut self.buckets[b]).remove(q, sa);
+        self.total -= 1;
+        Ok(q)
+    }
+
+    /// Moves one record `(qi tuple, sa)` from bucket `from` to bucket `to`
+    /// (a bucket re-assignment). Global counts — `N`, the QI marginal —
+    /// are unchanged; only the two buckets are deep-copied. Returns the
+    /// record's QI symbol.
+    pub fn move_record(
+        &mut self,
+        qi: &[Value],
+        sa: Value,
+        from: usize,
+        to: usize,
+    ) -> Result<QiId, AnonymizeError> {
+        self.check_bucket(from)?;
+        self.check_bucket(to)?;
+        if from == to {
+            return Err(AnonymizeError::InvalidDelta {
+                detail: format!("move within bucket {from} is a no-op"),
+            });
+        }
+        self.check_sa(sa)?;
+        let q = self.interner.lookup(qi).ok_or_else(|| AnonymizeError::InvalidDelta {
+            detail: format!("QI tuple {qi:?} was never published"),
+        })?;
+        self.check_presence(q, sa, from)?;
+        Arc::make_mut(&mut self.buckets[from]).remove(q, sa);
+        Arc::make_mut(&mut self.buckets[to]).add(q, sa);
+        Ok(q)
+    }
+
+    /// Whether bucket `b` is shared (pointer-equal) with the same bucket of
+    /// `other` — the structural-sharing observability hook the epoch tests
+    /// use to prove a delta copied only its touched buckets.
+    pub fn bucket_shared_with(&self, other: &Self, b: usize) -> bool {
+        Arc::ptr_eq(&self.buckets[b], &other.buckets[b])
     }
 }
 
@@ -280,6 +458,92 @@ mod tests {
         assert_eq!(t2.num_buckets(), 2);
         assert_eq!(t2.total_records(), 7);
         assert_eq!(t2.bucket(0).size(), t.bucket(0).size());
+    }
+
+    /// Record deltas mutate exactly the touched buckets — everything else
+    /// stays pointer-shared with the pre-delta clone — and a mutated table
+    /// is indistinguishable from one built with the post-delta records.
+    #[test]
+    fn record_deltas_cow_touched_buckets() {
+        let before = paper_table();
+        let mut t = before.clone();
+        // Insert a (female, graduate) flu record into bucket 2.
+        let q = t.insert_record(&[1, 3], 0, 1).unwrap();
+        assert_eq!(t.total_records(), 11);
+        assert_eq!(
+            t.bucket(1).qi_multiplicity(q),
+            before.bucket(1).qi_multiplicity(q) + 1
+        );
+        assert_eq!(
+            t.bucket(1).sa_multiplicity(0),
+            before.bucket(1).sa_multiplicity(0) + 1
+        );
+        assert_eq!(t.interner().count(q), before.interner().count(q) + 1);
+        assert!(t.bucket_shared_with(&before, 0), "bucket 0 untouched");
+        assert!(!t.bucket_shared_with(&before, 1), "bucket 1 copied");
+        assert!(t.bucket_shared_with(&before, 2), "bucket 2 untouched");
+        // Retract it again: bucket 2 looks exactly like before the insert.
+        t.retract_record(&[1, 3], 0, 1).unwrap();
+        assert_eq!(t.total_records(), 10);
+        assert_eq!(t.bucket(1).qi_multiplicity(q), before.bucket(1).qi_multiplicity(q));
+        assert_eq!(t.interner().count(q), before.interner().count(q));
+        assert_eq!(t.interner().lookup(&[1, 3]), Some(q), "id survives retraction");
+        assert_eq!(
+            t.bucket(1).qi_counts(),
+            before.bucket(1).qi_counts(),
+            "retraction restores the multiset"
+        );
+        assert_eq!(t.bucket(1).sa_counts(), before.bucket(1).sa_counts());
+    }
+
+    #[test]
+    fn move_record_preserves_global_counts() {
+        let mut t = paper_table();
+        let q1 = t.interner().lookup(&[0, 0]).unwrap();
+        let total_before = t.total_records();
+        let count_before = t.interner().count(q1);
+        // Move a (q1, flu) record from bucket 1 to bucket 3.
+        t.move_record(&[0, 0], 0, 0, 2).unwrap();
+        assert_eq!(t.total_records(), total_before);
+        assert_eq!(t.interner().count(q1), count_before);
+        assert_eq!(t.bucket(0).qi_multiplicity(q1), 1);
+        assert_eq!(t.bucket(2).qi_multiplicity(q1), 1);
+        assert_eq!(t.bucket(0).size() + t.bucket(2).size(), 4 + 3);
+    }
+
+    #[test]
+    fn invalid_deltas_are_rejected() {
+        let mut t = paper_table();
+        // Unknown bucket / SA domain / tuple.
+        assert!(matches!(
+            t.insert_record(&[0, 0], 0, 99),
+            Err(AnonymizeError::InvalidDelta { .. })
+        ));
+        assert!(matches!(
+            t.insert_record(&[0, 0], 200, 0),
+            Err(AnonymizeError::InvalidDelta { .. })
+        ));
+        // Ragged QI tuples (wrong arity) would poison antecedent matching.
+        assert!(matches!(
+            t.insert_record(&[0, 0, 0], 0, 0),
+            Err(AnonymizeError::InvalidDelta { .. })
+        ));
+        assert!(matches!(
+            t.retract_record(&[9, 9], 0, 0),
+            Err(AnonymizeError::InvalidDelta { .. })
+        ));
+        // Bucket 3 has no breast cancer (code 2): retraction is a lie.
+        assert!(matches!(
+            t.retract_record(&[0, 3], 2, 2),
+            Err(AnonymizeError::InvalidDelta { .. })
+        ));
+        // Same-bucket moves are no-ops and rejected.
+        assert!(matches!(
+            t.move_record(&[0, 0], 0, 0, 0),
+            Err(AnonymizeError::InvalidDelta { .. })
+        ));
+        // A failed delta leaves the table untouched.
+        assert_eq!(t.total_records(), 10);
     }
 
     #[test]

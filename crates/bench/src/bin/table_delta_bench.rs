@@ -1,0 +1,143 @@
+//! `table_delta_bench` — live-table epoch sweep: single-record deltas
+//! (`CompiledTable::apply` + `Analyst::rebase` + `refresh`) vs compiling
+//! the post-delta table from scratch and replaying the knowledge set.
+//!
+//! ```text
+//! cargo run --release -p pm-bench --bin table_delta_bench -- [options]
+//!
+//!     --scale quick|full      workload scale (2,500 / 14,210 records) [default: quick]
+//!     --seed N                generator seed                          [default: 1]
+//!     --arity T               exact antecedent arity of mined rules   [default: 4]
+//!     --rules N               knowledge rules, split (N/2)+ (N/2)−    [default: 300]
+//!     --deltas N              single-record deltas to measure         [default: 6]
+//!     --threads N             worker threads for both paths           [default: 1]
+//!     --out PATH              JSON report path     [default: BENCH_table_delta.json]
+//!     --min-delta-speedup X   fail unless the median speedup of the delta path
+//!                             (apply + rebase + refresh) over the from-scratch
+//!                             path (CompiledTable::build of the post-delta table
+//!                             + knowledge replay + refresh) reaches X.
+//!                             Self-skipping: when the from-scratch baseline is
+//!                             too fast to time reliably (< 20 ms) the gate is
+//!                             skipped with a note, so tiny smoke workloads
+//!                             don't flake — the Adult-scale CI run enforces it.
+//!                                                         [default: off]
+//! ```
+//!
+//! Always fails if any epoch's rebased estimate is not bit-identical to the
+//! from-scratch compile-and-replay of the same post-delta table.
+
+use std::process::ExitCode;
+
+use pm_bench::pipeline::Scale;
+use pm_bench::table_delta::{run, TableDeltaBenchConfig};
+
+/// Minimum from-scratch wall time for the speedup gate to be meaningful.
+const GATE_FLOOR_SECONDS: f64 = 0.020;
+
+fn parse(argv: &[String]) -> Result<(TableDeltaBenchConfig, String, Option<f64>), String> {
+    let mut cfg = TableDeltaBenchConfig::default();
+    let mut rules = 300usize;
+    let mut out = "BENCH_table_delta.json".to_string();
+    let mut min_speedup = None;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("{name} expects a value"))
+        };
+        match flag.as_str() {
+            "--scale" => {
+                cfg.scale = match value("--scale")?.as_str() {
+                    "quick" => Scale::Quick,
+                    "full" => Scale::Full,
+                    other => return Err(format!("unknown scale `{other}`")),
+                };
+            }
+            "--seed" => {
+                cfg.seed = value("--seed")?.parse().map_err(|_| "bad --seed".to_string())?;
+            }
+            "--arity" => {
+                cfg.arity = value("--arity")?.parse().map_err(|_| "bad --arity".to_string())?;
+            }
+            "--rules" => {
+                rules = value("--rules")?.parse().map_err(|_| "bad --rules".to_string())?;
+            }
+            "--deltas" => {
+                cfg.deltas =
+                    value("--deltas")?.parse().map_err(|_| "bad --deltas".to_string())?;
+            }
+            "--threads" => {
+                cfg.threads =
+                    value("--threads")?.parse().map_err(|_| "bad --threads".to_string())?;
+            }
+            "--out" => out = value("--out")?,
+            "--min-delta-speedup" => {
+                min_speedup = Some(
+                    value("--min-delta-speedup")?
+                        .parse::<f64>()
+                        .map_err(|_| "bad --min-delta-speedup".to_string())?,
+                );
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if cfg.arity == 0 {
+        return Err("--arity must be positive".to_string());
+    }
+    if cfg.deltas == 0 {
+        return Err("--deltas must be positive".to_string());
+    }
+    cfg.k_positive = rules / 2;
+    cfg.k_negative = rules - rules / 2;
+    Ok((cfg, out, min_speedup))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (cfg, out, min_speedup) = match parse(&argv) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("table_delta_bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = run(&cfg);
+    report.print_table();
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("table_delta_bench: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("\nwrote {out}");
+    if !report.all_identical() {
+        eprintln!(
+            "table_delta_bench: a rebased epoch diverged bitwise from the \
+             from-scratch compile-and-replay!"
+        );
+        return ExitCode::FAILURE;
+    }
+    if let Some(bar) = min_speedup {
+        let scratch_floor = report
+            .runs
+            .iter()
+            .map(|r| r.from_scratch.as_secs_f64())
+            .fold(f64::INFINITY, f64::min);
+        if scratch_floor < GATE_FLOOR_SECONDS {
+            println!(
+                "min-delta-speedup gate skipped: from-scratch baseline \
+                 ({:.1} ms) is below the {:.0} ms timing floor",
+                scratch_floor * 1e3,
+                GATE_FLOOR_SECONDS * 1e3
+            );
+        } else {
+            let median = report.median_speedup();
+            if median < bar {
+                eprintln!(
+                    "table_delta_bench: median delta speedup {median:.2}x is below \
+                     the --min-delta-speedup bar {bar:.2}x"
+                );
+                return ExitCode::FAILURE;
+            }
+            println!("min-delta-speedup gate passed: median {median:.2}x >= {bar:.2}x");
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -10,3 +10,4 @@ pub mod figures;
 pub mod incremental;
 pub mod parallel;
 pub mod concurrent;
+pub mod table_delta;

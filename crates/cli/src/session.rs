@@ -15,6 +15,14 @@
 //! query <q> [<sa>]                P*(sa | q) (or the whole row) — no recompute
 //! list                            live knowledge items with their handles
 //! report                          privacy scores + last-refresh shape
+//! insert <val,...> <sa> <bucket>  stage a late-arriving record (table delta)
+//! retract <val,...> <sa> <bucket> stage a record retraction (table delta)
+//! move <val,...> <sa> <from> <to> stage a bucket re-assignment (table delta)
+//! rebase                          apply the staged table delta: advance the
+//!                                 artifact one epoch (recompiling only the
+//!                                 touched buckets) and carry the session's
+//!                                 knowledge across; `refresh` to re-solve
+//! discard                         drop the staged (not yet rebased) delta ops
 //! reset                           discard the adversary model and reopen the
 //!                                 session from the shared artifact (O(1): no
 //!                                 recompile, back to the Theorem 5 baseline)
@@ -23,7 +31,10 @@
 //!
 //! The publication is compiled once into a shared `CompiledTable` artifact
 //! (the same build `pmx compile` runs); opening — and `reset`-ing — the
-//! resident session from it skips every knowledge-independent stage.
+//! resident session from it skips every knowledge-independent stage. The
+//! table itself is **live**: `insert` / `retract` / `move` stage record
+//! deltas and `rebase` advances the artifact to the next epoch, keeping the
+//! adversary model resident.
 
 use std::error::Error;
 use std::io::{BufRead, Write};
@@ -33,6 +44,7 @@ use std::sync::Arc;
 use pm_assoc::miner::{MinerConfig, RuleMiner, MinedRules};
 use pm_microdata::value::Value;
 use privacy_maxent::analyst::{Analyst, KnowledgeHandle};
+use privacy_maxent::delta::TableDelta;
 use privacy_maxent::engine::EngineConfig;
 use privacy_maxent::knowledge::Knowledge;
 
@@ -90,11 +102,14 @@ pub(crate) struct Session {
     pub(crate) schema: pm_microdata::schema::Schema,
     /// How many (positive, negative) mined rules have been fed already.
     mined: (usize, usize),
+    /// Record-level table delta staged by `insert`/`retract`/`move`,
+    /// applied as one epoch advance by `rebase`.
+    pending_delta: TableDelta,
 }
 
 impl Session {
     pub(crate) fn new(analyst: Analyst, rules: MinedRules, schema: pm_microdata::schema::Schema) -> Self {
-        Self { analyst, rules, schema, mined: (0, 0) }
+        Self { analyst, rules, schema, mined: (0, 0), pending_delta: TableDelta::new() }
     }
 
     /// Reads commands from `input` until EOF or `quit`, writing feedback to
@@ -138,10 +153,19 @@ impl Session {
             "query" => self.cmd_query(&rest),
             "list" => self.cmd_list(),
             "report" => Ok(self.analyst.report().to_string()),
+            "insert" => self.cmd_stage_delta("insert", &rest),
+            "retract" => self.cmd_stage_delta("retract", &rest),
+            "move" => self.cmd_stage_delta("move", &rest),
+            "rebase" => self.cmd_rebase(),
+            "discard" => {
+                let n = self.pending_delta.len();
+                self.pending_delta = TableDelta::new();
+                Ok(format!("discarded {n} staged table-delta op(s)"))
+            }
             "reset" => self.cmd_reset(),
             other => Err(format!(
                 "unknown command `{other}` (try: add, mine, remove, refresh, query, list, \
-                 report, reset, quit)"
+                 report, insert, retract, move, rebase, discard, reset, quit)"
             )
             .into()),
         }
@@ -260,12 +284,90 @@ impl Session {
         }
     }
 
+    /// `insert <val,...> <sa> <bucket>` / `retract <val,...> <sa> <bucket>`
+    /// / `move <val,...> <sa> <from> <to>` — stage one record-level table
+    /// delta; `rebase` applies the staged batch as one epoch advance.
+    fn cmd_stage_delta(&mut self, kind: &str, args: &[&str]) -> Result<String, Box<dyn Error>> {
+        use privacy_maxent::delta::DeltaOp;
+        let parse_tuple = |s: &str| -> Result<Vec<Value>, Box<dyn Error>> {
+            s.split(',')
+                .map(|v| v.parse::<Value>().map_err(|_| format!("bad QI value `{v}`").into()))
+                .collect()
+        };
+        let parse_sa = |s: &str| -> Result<Value, Box<dyn Error>> {
+            s.parse::<Value>().map_err(|_| format!("bad SA value `{s}`").into())
+        };
+        let parse_num = |s: &str, what: &str| -> Result<usize, Box<dyn Error>> {
+            s.parse::<usize>().map_err(|_| format!("bad {what} `{s}`").into())
+        };
+        // Parse fully before touching the staged delta, so a bad argument
+        // never drops previously staged ops.
+        let op = match (kind, args) {
+            ("insert", [qi, sa, bucket]) => DeltaOp::Insert {
+                qi: parse_tuple(qi)?,
+                sa: parse_sa(sa)?,
+                bucket: parse_num(bucket, "bucket")?,
+            },
+            ("retract", [qi, sa, bucket]) => DeltaOp::Retract {
+                qi: parse_tuple(qi)?,
+                sa: parse_sa(sa)?,
+                bucket: parse_num(bucket, "bucket")?,
+            },
+            ("move", [qi, sa, from, to]) => DeltaOp::Move {
+                qi: parse_tuple(qi)?,
+                sa: parse_sa(sa)?,
+                from: parse_num(from, "bucket")?,
+                to: parse_num(to, "bucket")?,
+            },
+            ("move", _) => return Err("usage: move <val,...> <sa> <from> <to>".into()),
+            _ => return Err(format!("usage: {kind} <val,...> <sa> <bucket>").into()),
+        };
+        self.pending_delta = std::mem::take(&mut self.pending_delta).push(op);
+        Ok(format!(
+            "staged {kind}: {} table-delta op(s) pending over {} bucket(s) — `rebase` to apply",
+            self.pending_delta.len(),
+            self.pending_delta.touched_buckets().len(),
+        ))
+    }
+
+    /// `rebase` — apply the staged table delta: advance the shared artifact
+    /// one epoch (recompiling only the touched buckets) and carry the
+    /// session's knowledge, overlay and handles across.
+    fn cmd_rebase(&mut self) -> Result<String, Box<dyn Error>> {
+        let delta = std::mem::take(&mut self.pending_delta);
+        let next = match self.analyst.artifact().apply(&delta) {
+            Ok(next) => Arc::new(next),
+            Err(e) => {
+                self.pending_delta = delta; // staged ops survive a bad apply
+                return Err(e.into());
+            }
+        };
+        match self.analyst.rebase(&next) {
+            Ok(stats) => Ok(format!(
+                "rebased to epoch {}: {} op(s) applied, {} bucket(s) recompiled, \
+                 {} rule(s) recompiled ({} changed), {} overlay bucket(s) carried — \
+                 `refresh` to re-solve",
+                stats.epoch,
+                delta.len(),
+                next.stats().recompiled_buckets,
+                stats.recompiled,
+                stats.changed,
+                stats.carried,
+            )),
+            Err(e) => {
+                self.pending_delta = delta; // e.g. a rule became unmatchable
+                Err(e.into())
+            }
+        }
+    }
+
     /// `reset` — drop the whole adversary model and reopen from the shared
     /// artifact: no recompile, instantly back at the Theorem 5 baseline.
     fn cmd_reset(&mut self) -> Result<String, Box<dyn Error>> {
         let dropped = self.analyst.knowledge_len();
         self.analyst = Analyst::open(Arc::clone(self.analyst.artifact()));
         self.mined = (0, 0);
+        self.pending_delta = TableDelta::new();
         Ok(format!(
             "session reset from the shared artifact: dropped {dropped} knowledge item(s), \
              serving the knowledge-free baseline"
@@ -405,6 +507,75 @@ unreachable-after-quit
         // The mined-rule cursor rewinds too: `mine` starts over.
         let msg = session.execute("mine 2 0").unwrap();
         assert!(msg.contains("now 2+ / 0−"), "{msg}");
+    }
+
+    /// Table deltas drive the session across epochs: insert/retract stage
+    /// ops, `rebase` advances the artifact (new epoch, knowledge carried),
+    /// and `refresh` re-solves only the footprint.
+    #[test]
+    fn live_table_insert_rebase_refresh() {
+        let mut session = medical_session();
+        session.execute("mine 4 4").unwrap();
+        session.execute("refresh").unwrap();
+        let knowledge_before = session.analyst.knowledge_len();
+        let epoch_before = session.analyst.epoch();
+        let tuple: Vec<String> = session
+            .analyst
+            .table()
+            .interner()
+            .tuple(0)
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        let tuple = tuple.join(",");
+
+        let msg = session.execute(&format!("insert {tuple} 0 1")).unwrap();
+        assert!(msg.contains("staged insert: 1 table-delta op(s)"), "{msg}");
+        let msg = session.execute(&format!("insert {tuple} 0 2")).unwrap();
+        assert!(msg.contains("2 table-delta op(s)"), "{msg}");
+        let msg = session.execute("rebase").unwrap();
+        assert!(msg.contains(&format!("rebased to epoch {}", epoch_before + 1)), "{msg}");
+        assert!(msg.contains("2 bucket(s) recompiled"), "{msg}");
+        assert_eq!(session.analyst.knowledge_len(), knowledge_before, "knowledge carried");
+        session.execute("refresh").unwrap();
+        assert_eq!(session.analyst.estimate().epoch(), epoch_before + 1);
+
+        // Retract one of them again; staged ops survive a failed apply.
+        let msg = session.execute(&format!("retract {tuple} 0 1")).unwrap();
+        assert!(msg.contains("staged retract"), "{msg}");
+        session.execute("rebase").unwrap();
+        session.execute("refresh").unwrap();
+        assert_eq!(session.analyst.epoch(), epoch_before + 2);
+    }
+
+    #[test]
+    fn bad_table_deltas_do_not_kill_the_session() {
+        let mut session = medical_session();
+        session.execute("insert 0,0,0,0 0 1").unwrap();
+        for bad in [
+            "insert",
+            "insert 0,0 0",
+            "insert x,0 0 1",
+            "insert 0,0 0 notabucket",
+            "move 0,0 0 1",
+        ] {
+            assert!(session.execute(bad).is_err(), "`{bad}` should error");
+        }
+        // Parse errors must not drop previously staged ops.
+        assert_eq!(session.pending_delta.len(), 1, "staged op survived bad arguments");
+        session.execute("discard").unwrap();
+        // A delta invalid against the table fails at `rebase` and stays
+        // staged; `discard` drops it.
+        session.execute("insert 0,0 0 999999").unwrap();
+        assert!(session.execute("rebase").is_err());
+        assert_eq!(session.analyst.epoch(), 0, "failed rebase leaves the epoch alone");
+        let msg = session.execute("discard").unwrap();
+        assert!(msg.contains("discarded 1 staged"), "{msg}");
+        // An empty rebase is a no-op epoch advance.
+        assert!(session.execute("rebase").is_ok());
+        assert_eq!(session.analyst.epoch(), 1);
+        // Still alive and serving.
+        assert!(session.execute("report").is_ok());
     }
 
     #[test]

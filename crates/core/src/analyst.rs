@@ -38,6 +38,13 @@
 //! * [`Analyst::conditional`], [`Analyst::batch`] and [`Analyst::report`]
 //!   serve queries from the merged current [`Estimate`] without any
 //!   recompute.
+//! * [`Analyst::rebase`] carries the whole session — knowledge entries,
+//!   overlay, dirty tracking — onto the next **table epoch** when the
+//!   published table itself changes ([`CompiledTable::apply`] under a
+//!   [`crate::delta::TableDelta`]): only the delta's bucket footprint and
+//!   the rules it could have changed are dirtied/recompiled, everything
+//!   else (including solved overlay slices, which live in epoch-stable
+//!   count space) is carried verbatim.
 //!
 //! [`Analyst::new`] survives as a thin wrapper (build + open) and the
 //! one-shot [`Engine::estimate`] as a throwaway session over an internal
@@ -76,6 +83,7 @@
 //!
 //! [`CompiledTable`]: crate::compiled::CompiledTable
 //! [`CompiledTable::build`]: crate::compiled::CompiledTable::build
+//! [`CompiledTable::apply`]: crate::compiled::CompiledTable::apply
 //! [`Engine::estimate`]: crate::engine::Engine::estimate
 //! [`EngineConfig::warm_start`]: crate::engine::EngineConfig::warm_start
 
@@ -135,6 +143,24 @@ impl fmt::Display for KnowledgeHandle {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "#{}", self.0)
     }
+}
+
+/// What one [`Analyst::rebase`] actually did.
+#[derive(Debug, Clone, Default)]
+pub struct RebaseStats {
+    /// The epoch the session now serves from.
+    pub epoch: u64,
+    /// Buckets the delta touched (all dirtied).
+    pub touched_buckets: usize,
+    /// Knowledge entries recompiled against the new epoch (a sound
+    /// overapproximation of the entries the delta could have changed).
+    pub recompiled: usize,
+    /// Recompiled entries whose constraint actually changed (their old and
+    /// new footprints dirtied too).
+    pub changed: usize,
+    /// Overlay buckets carried forward verbatim (their solved values are
+    /// provably still the post-delta optimum).
+    pub carried: usize,
 }
 
 /// What one [`Analyst::refresh`] actually did.
@@ -269,8 +295,9 @@ pub struct Analyst {
     /// Current partition; `None` means the artifact's knowledge-free
     /// baseline partition (the state of a freshly opened session).
     components: Option<Vec<Component>>,
-    /// Copy-on-write solution overlay: bucket → solved term values for that
-    /// bucket's range. Buckets absent here serve the artifact's baseline.
+    /// Copy-on-write solution overlay: bucket → solved term values (count
+    /// space — epoch-stable) for that bucket's range. Buckets absent here
+    /// serve the artifact's baseline.
     overlay: HashMap<usize, Arc<[f64]>>,
     /// The served estimate — an `Arc` so [`Analyst::snapshot`] readers keep
     /// a consistent view across refreshes.
@@ -449,6 +476,273 @@ impl Analyst {
     #[must_use]
     pub fn artifact(&self) -> &Arc<CompiledTable> {
         &self.artifact
+    }
+
+    /// The table epoch this session is pinned to (advanced by
+    /// [`Analyst::rebase`]).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.artifact.epoch()
+    }
+
+    /// Carries the session — its knowledge entries, copy-on-write overlay
+    /// and dirty tracking — forward onto the **successor epoch** of its
+    /// current artifact (produced by [`CompiledTable::apply`]).
+    ///
+    /// The rebase is footprint-local: only the delta's touched buckets are
+    /// dirtied, plus the footprints of any knowledge entry the delta could
+    /// have changed. Which entries are those? A compiled rule depends on
+    /// (a) the counts of the QI symbols matching its antecedent and (b) the
+    /// admissible `(q, sa, bucket)` combinations of those symbols — so the
+    /// delta can only have changed rules whose antecedent matches a
+    /// *candidate* symbol: one of the delta records' own QI symbols, or a
+    /// symbol present in a touched bucket before or after the delta. Those
+    /// entries are recompiled against the new epoch (in parallel, against
+    /// the artifact's shared QI→bucket index) and compared: entries whose
+    /// constraint is bit-unchanged dirty nothing. Every other entry keeps
+    /// its compiled row (term ids renumbered to the new epoch's layout —
+    /// pure offset arithmetic, since its buckets are untouched).
+    ///
+    /// Everything else carries forward: overlay slices of untouched buckets
+    /// are provably still their components' optimum (count-space solutions
+    /// do not even see the new `N`), so the next [`Analyst::refresh`]
+    /// re-solves only components intersecting the dirty set — and is
+    /// **bit-identical** to compiling the post-delta table from scratch and
+    /// replaying the same knowledge set.
+    ///
+    /// Errors:
+    /// * [`PmError::EpochMismatch`] if `new` is not the direct successor of
+    ///   the session's epoch (wrong lineage, skipped or backwards epoch) —
+    ///   rebase through each intermediate epoch in order.
+    /// * A knowledge compile error (e.g. [`PmError::InvalidKnowledge`] when
+    ///   a retraction removed the last record matching a rule's
+    ///   antecedent). The session is untouched; remove the offending item
+    ///   and rebase again.
+    /// * [`PmError::InvalidKnowledge`] when Section 6 individual knowledge
+    ///   is set ([`Analyst::set_individuals`]) and the delta inserts or
+    ///   retracts records: pseudonym ids are count-derived and would
+    ///   silently shift. Clear (or re-derive) the individual set first;
+    ///   move-only deltas keep counts, and pseudonyms, intact.
+    ///
+    /// Queries keep serving the pre-delta estimate until the next
+    /// successful [`Analyst::refresh`] ([`Analyst::is_stale`] reports the
+    /// pending state).
+    ///
+    /// [`CompiledTable::apply`]: crate::compiled::CompiledTable::apply
+    pub fn rebase(&mut self, new: &Arc<CompiledTable>) -> Result<RebaseStats, PmError> {
+        if Arc::ptr_eq(&self.artifact, new) {
+            return Ok(RebaseStats {
+                epoch: self.artifact.epoch(),
+                carried: self.overlay.len(),
+                ..Default::default()
+            });
+        }
+        if !new.is_successor_of(&self.artifact) {
+            return Err(PmError::EpochMismatch {
+                session_epoch: self.artifact.epoch(),
+                artifact_epoch: new.epoch(),
+                detail: "rebase requires the direct successor of the session's artifact \
+                         (an epoch produced by CompiledTable::apply on it — not an \
+                         ancestor, a skipped descendant, a sibling branch, or another \
+                         lineage)"
+                    .into(),
+            });
+        }
+        let delta = new.applied_delta().expect("successor epochs carry their delta");
+
+        // No-op delta: swap the artifact pointer, dirty nothing — the next
+        // refresh's fast path leaves the served estimate pointer-equal.
+        if delta.is_noop() {
+            let carried = self.overlay.len();
+            self.artifact = Arc::clone(new);
+            return Ok(RebaseStats {
+                epoch: self.artifact.epoch(),
+                carried,
+                ..Default::default()
+            });
+        }
+
+        let old = Arc::clone(&self.artifact);
+        let touched = delta.touched_buckets();
+
+        // Section 6 pseudonyms are prefix-sum offsets over the interner's
+        // record counts — unlike QiIds they are NOT stable under count
+        // changes, so a rebase would silently re-point the session's
+        // individual knowledge at different people (or out of range).
+        // Refuse count-shifting deltas while individual knowledge is set;
+        // moves only re-bucket records and stay safe.
+        if !self.individuals.is_empty() {
+            let old_interner = old.table().interner();
+            let new_interner = new.table().interner();
+            let shifted = delta.qi_symbols().iter().any(|&q| {
+                q >= old_interner.distinct() || old_interner.count(q) != new_interner.count(q)
+            });
+            if shifted {
+                return Err(PmError::InvalidKnowledge {
+                    detail: "the delta inserts or retracts records, which shifts the \
+                             pseudonym ids the session's individual knowledge is keyed \
+                             by; clear or re-derive it (set_individuals) before rebasing"
+                        .into(),
+                });
+            }
+        }
+
+        // Entries the delta could have changed (see the doc comment). A
+        // compiled rule depends on (1) the counts of its matching symbols,
+        // (2) their bucket membership, (3) per-bucket `(q, sa)`
+        // admissibility — so it needs recompiling iff its antecedent
+        // matches a delta record's symbol (counts), or a symbol whose
+        // *membership* in a touched bucket flipped (buckets_of /
+        // admissibility), or its SA value's membership flipped in a bucket
+        // holding a matching symbol. Everything else is provably
+        // bit-unchanged. With decomposition off there is one joint system
+        // anyway — recompile everything and dirty every bucket.
+        let interner = new.table().interner();
+        let matches = |antecedent: &[(usize, Value)], q: usize| {
+            let tuple = interner.tuple(q);
+            antecedent.iter().all(|&(pos, v)| tuple[pos] == v)
+        };
+        let affected: Vec<usize> = if self.config.decompose {
+            // Symbols whose counts changed (delta records) plus symbols
+            // whose membership in a touched bucket flipped.
+            let mut cand: BTreeSet<usize> = delta.qi_symbols().iter().copied().collect();
+            // Per touched bucket: SA values whose membership flipped, with
+            // the bucket's pre/post symbol pool for the matching test.
+            let mut sa_flips: Vec<(BTreeSet<Value>, Vec<usize>)> = Vec::new();
+            for &b in touched {
+                let old_b = old.table().bucket(b);
+                let new_b = new.table().bucket(b);
+                let mut pool: Vec<usize> = Vec::new();
+                for &(q, _) in old_b.qi_counts().iter().chain(new_b.qi_counts()) {
+                    if old_b.contains_qi(q) != new_b.contains_qi(q) {
+                        cand.insert(q);
+                    }
+                    pool.push(q);
+                }
+                pool.sort_unstable();
+                pool.dedup();
+                let flips: BTreeSet<Value> = old_b
+                    .sa_counts()
+                    .iter()
+                    .chain(new_b.sa_counts())
+                    .map(|&(s, _)| s)
+                    .filter(|&s| old_b.contains_sa(s) != new_b.contains_sa(s))
+                    .collect();
+                if !flips.is_empty() {
+                    sa_flips.push((flips, pool));
+                }
+            }
+            self.entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| {
+                    let Knowledge::Conditional { antecedent, sa, .. } = &e.item else {
+                        return false;
+                    };
+                    cand.iter().any(|&q| matches(antecedent, q))
+                        || sa_flips.iter().any(|(flips, pool)| {
+                            flips.contains(sa) && pool.iter().any(|&q| matches(antecedent, q))
+                        })
+                })
+                .map(|(i, _)| i)
+                .collect()
+        } else {
+            (0..self.entries.len()).collect()
+        };
+
+        // Recompile affected entries against the new epoch. Atomic: any
+        // failure (now-unmatchable antecedent) leaves the session exactly
+        // as it was.
+        let items: Vec<Knowledge> =
+            affected.iter().map(|&i| self.entries[i].item.clone()).collect();
+        let compiled = compile_items_parallel(
+            &items,
+            new.table(),
+            new.term_index(),
+            new.qi_buckets(),
+            self.config.threads,
+        )?;
+
+        // ---- Commit. ----
+        let old_index = old.term_index();
+        let new_index = new.term_index();
+        let mut changed = 0usize;
+        let mut is_affected = vec![false; self.entries.len()];
+        for &i in &affected {
+            is_affected[i] = true;
+        }
+        let mut affected_it = affected.iter().zip(compiled);
+        for (i, entry) in self.entries.iter_mut().enumerate() {
+            if is_affected[i] {
+                let (_, c) = affected_it.next().expect("one compile per affected entry");
+                // Bit-unchanged? Compare by term identity (ids shift across
+                // epochs) and the count-space target.
+                let unchanged = entry.rhs == c.rhs
+                    && entry.coeffs.len() == c.coeffs.len()
+                    && entry.coeffs.iter().zip(&c.coeffs).all(|(&(ot, ov), &(nt, nv))| {
+                        ov == nv && old_index.term(ot) == new_index.term(nt)
+                    });
+                let mut footprint: Vec<usize> =
+                    c.coeffs.iter().map(|&(t, _)| new_index.term(t).b).collect();
+                footprint.sort_unstable();
+                footprint.dedup();
+                if !unchanged {
+                    changed += 1;
+                    self.dirty.extend(entry.footprint.iter().copied());
+                    self.dirty.extend(footprint.iter().copied());
+                    self.dual_cache.remove(&DualKey::Knowledge { handle: entry.handle });
+                }
+                entry.coeffs = c.coeffs;
+                entry.rhs = c.rhs;
+                entry.footprint = footprint;
+            } else {
+                // The constraint is bit-unchanged, but term ids are
+                // per-epoch. Untouched buckets keep their local layout
+                // (offset arithmetic); a coefficient can also sit in a
+                // *touched* bucket — its `(q, sa)` presence there is
+                // provably unchanged (else the entry were affected), yet
+                // the rebuilt bucket may have reordered its local term
+                // list, so those remap by term identity.
+                for (t, _) in &mut entry.coeffs {
+                    let b = old_index.bucket_of(*t);
+                    *t = if touched.binary_search(&b).is_ok() {
+                        let term = old_index.term(*t);
+                        new_index
+                            .get(term.q, term.s, b)
+                            .expect("presence in a touched bucket is unchanged for unaffected rules")
+                    } else {
+                        *t - old_index.bucket_range(b).start + new_index.bucket_range(b).start
+                    };
+                }
+            }
+        }
+
+        self.dirty.extend(touched.iter().copied());
+        if !self.config.decompose {
+            self.dirty.extend(0..new.table().num_buckets());
+        }
+        for &b in touched {
+            // Dirty anyway, and the bucket's term range may have resized.
+            self.overlay.remove(&b);
+        }
+        self.dual_cache.retain(|k, _| match *k {
+            DualKey::Qi { b, .. } | DualKey::Sa { b, .. } => !touched.contains(&b),
+            DualKey::Knowledge { .. } => true,
+        });
+        let carried = self.overlay.len();
+        self.stale = true;
+        if !self.individuals.is_empty() {
+            // The person-level layer is a function of the table: re-solve.
+            self.individuals_stale = true;
+        }
+        self.artifact = Arc::clone(new);
+        Ok(RebaseStats {
+            epoch: self.artifact.epoch(),
+            touched_buckets: touched.len(),
+            recompiled: affected.len(),
+            changed,
+            carried,
+        })
     }
 
     /// The published table this session serves.
@@ -950,16 +1244,38 @@ impl Analyst {
         }
     }
 
-    /// Materialises the served estimate: the artifact's baseline values
-    /// with the session's overlay scattered on top. Overlay buckets are
-    /// disjoint term ranges, so the scatter order is irrelevant.
+    /// Materialises the served estimate: per bucket, the session's overlay
+    /// slice if it has one, the artifact's baseline otherwise — all in
+    /// count space — then one `÷ N` into probability space. Gathering per
+    /// bucket (instead of scattering over a global baseline vector) is what
+    /// lets the artifact advance epochs without ever materialising a
+    /// full-table baseline.
     fn assemble_estimate(&self, stats: EngineStats) -> Estimate {
         let index = self.artifact.index_arc();
-        let mut values = (**self.artifact.baseline_values()).clone();
-        for (&b, slice) in &self.overlay {
-            values[index.bucket_range(b)].copy_from_slice(slice);
+        let table = self.artifact.table();
+        let mut values = vec![0.0; index.len()];
+        for b in 0..table.num_buckets() {
+            let range = index.bucket_range(b);
+            match self.overlay.get(&b) {
+                Some(slice) => values[range].copy_from_slice(slice),
+                None => {
+                    let baseline = self.artifact.bucket_baseline(b);
+                    debug_assert!(
+                        baseline.len() == range.len(),
+                        "bucket {b} has neither overlay nor baseline values"
+                    );
+                    values[range].copy_from_slice(baseline);
+                }
+            }
         }
-        Estimate::assemble(values, Arc::clone(index), self.artifact.table(), stats)
+        crate::engine::counts_to_probabilities(&mut values, table);
+        Estimate::assemble(
+            values,
+            Arc::clone(index),
+            table,
+            self.artifact.epoch(),
+            stats,
+        )
     }
 }
 
@@ -1364,6 +1680,219 @@ mod tests {
             analyst.set_individuals(vec![conditional_k(vec![(0, 0)], 0, 0.5)]),
             Err(PmError::InvalidKnowledge { .. })
         ));
+    }
+
+    /// A session rebases onto the successor epoch: knowledge and overlay
+    /// carry forward, only the delta's footprint re-solves, and the result
+    /// is bit-identical to building the post-delta table from scratch and
+    /// replaying the same knowledge.
+    #[test]
+    fn rebase_carries_session_across_epochs() {
+        use crate::delta::TableDelta;
+
+        let (_, table) = paper_example();
+        let e0 = Arc::new(CompiledTable::build(table, EngineConfig::default()).unwrap());
+        let mut analyst = Analyst::open(Arc::clone(&e0));
+        // Footprint {0, 1}: P(pneumonia | q3) = 0.5 fuses buckets 1 and 2.
+        let k = conditional_k(vec![(0, 0), (1, 1)], 1, 0.5);
+        let _ = analyst.add_knowledge(k.clone()).unwrap();
+        analyst.refresh().unwrap();
+        assert_eq!(analyst.epoch(), 0);
+        assert_eq!(analyst.estimate().epoch(), 0);
+
+        // A late arrival lands in bucket 3 — disjoint from the knowledge
+        // footprint, and its QI tuple (female, junior) matches no rule.
+        let e1 = Arc::new(e0.apply(&TableDelta::new().insert(vec![1, 2], 4, 2)).unwrap());
+        let stats = analyst.rebase(&e1).unwrap();
+        assert_eq!(stats.epoch, 1);
+        assert_eq!(stats.touched_buckets, 1);
+        assert_eq!(stats.changed, 0, "the rule's constraint is unchanged");
+        assert_eq!(stats.carried, 2, "buckets 1+2 overlay slices carried");
+        assert!(analyst.is_stale());
+
+        let refresh = analyst.refresh().unwrap();
+        assert_eq!(refresh.closed_form, 1, "only bucket 3 reverts to Theorem 5");
+        assert_eq!(refresh.resolved, 0, "the fused component is reused verbatim");
+        assert_eq!(refresh.reused, 1);
+        assert_eq!(analyst.estimate().epoch(), 1);
+
+        // Bit-identical to a from-scratch build + replay on the new table.
+        let mut scratch =
+            Analyst::new(e1.table().clone(), EngineConfig::default()).unwrap();
+        let _ = scratch.add_knowledge(k).unwrap();
+        scratch.refresh().unwrap();
+        assert_eq!(analyst.estimate().term_values(), scratch.estimate().term_values());
+    }
+
+    /// A delta intersecting a rule's footprint (or matching its antecedent)
+    /// recompiles the rule and re-solves its component — still bit-identical
+    /// to from-scratch.
+    #[test]
+    fn rebase_recompiles_affected_rules() {
+        use crate::delta::TableDelta;
+
+        let (_, table) = paper_example();
+        let e0 = Arc::new(CompiledTable::build(table, EngineConfig::default()).unwrap());
+        let mut analyst = Analyst::open(Arc::clone(&e0));
+        // P(flu | male) = 0.3 — matches every male record.
+        let k = conditional_k(vec![(0, 0)], 0, 0.3);
+        let _ = analyst.add_knowledge(k.clone()).unwrap();
+        analyst.refresh().unwrap();
+
+        // Insert another (male, college) flu into bucket 1: the rule's
+        // matching count and coefficient set both change.
+        let e1 = Arc::new(e0.apply(&TableDelta::new().insert(vec![0, 0], 0, 0)).unwrap());
+        let stats = analyst.rebase(&e1).unwrap();
+        assert_eq!(stats.recompiled, 1);
+        assert_eq!(stats.changed, 1);
+        let refresh = analyst.refresh().unwrap();
+        assert!(refresh.resolved >= 1, "the rule's component re-solves");
+
+        let mut scratch =
+            Analyst::new(e1.table().clone(), EngineConfig::default()).unwrap();
+        let _ = scratch.add_knowledge(k).unwrap();
+        scratch.refresh().unwrap();
+        assert_eq!(analyst.estimate().term_values(), scratch.estimate().term_values());
+    }
+
+    /// Rebase targets must be the direct successor epoch — wrong lineage,
+    /// skipped epochs and backwards rebases all fail with
+    /// [`PmError::EpochMismatch`], leaving the session untouched.
+    #[test]
+    fn rebase_rejects_epoch_mismatch() {
+        use crate::delta::TableDelta;
+
+        let (_, table) = paper_example();
+        let e0 = Arc::new(CompiledTable::build(table.clone(), EngineConfig::default()).unwrap());
+        let e1 = Arc::new(e0.apply(&TableDelta::new().insert(vec![0, 0], 0, 0)).unwrap());
+        let e2 = Arc::new(e1.apply(&TableDelta::new().insert(vec![0, 0], 0, 1)).unwrap());
+        let other = Arc::new(CompiledTable::build(table, EngineConfig::default()).unwrap());
+
+        let mut analyst = Analyst::open(Arc::clone(&e0));
+        // Skipping e1 is rejected…
+        assert!(matches!(
+            analyst.rebase(&e2),
+            Err(PmError::EpochMismatch { session_epoch: 0, artifact_epoch: 2, .. })
+        ));
+        // …as is a different lineage (even at the right epoch distance)…
+        let other1 = Arc::new(other.apply(&TableDelta::new()).unwrap());
+        assert!(matches!(analyst.rebase(&other1), Err(PmError::EpochMismatch { .. })));
+        assert_eq!(analyst.epoch(), 0, "failed rebases leave the session pinned");
+        // …as is the epoch-2 child of a *sibling* branch once the session
+        // sits at epoch 1 (numerically one ahead, but the wrong parent)…
+        analyst.rebase(&e1).unwrap();
+        let sibling = Arc::new(e0.apply(&TableDelta::new().insert(vec![0, 0], 0, 2)).unwrap());
+        let nephew = Arc::new(sibling.apply(&TableDelta::new()).unwrap());
+        assert_eq!(nephew.epoch(), analyst.epoch() + 1);
+        assert!(matches!(analyst.rebase(&nephew), Err(PmError::EpochMismatch { .. })));
+        // …while stepping through each epoch in order works, and going
+        // backwards is rejected again.
+        analyst.rebase(&e2).unwrap();
+        assert_eq!(analyst.epoch(), 2);
+        assert!(matches!(analyst.rebase(&e1), Err(PmError::EpochMismatch { .. })));
+        analyst.refresh().unwrap();
+        assert_eq!(analyst.estimate().epoch(), 2);
+    }
+
+    /// A rebase that invalidates a rule (its last matching record was
+    /// retracted) fails atomically; removing the rule recovers.
+    #[test]
+    fn rebase_survives_unmatchable_rules() {
+        use crate::delta::TableDelta;
+
+        let (_, table) = paper_example();
+        // Pick a QI symbol that lives only in bucket 3 and pin a rule on
+        // its exact tuple, then retract its every occurrence (pairing each
+        // with some SA occurrence of the bucket — the multisets are all the
+        // table can verify anyway).
+        let only_b2 = table
+            .bucket(2)
+            .qi_counts()
+            .iter()
+            .map(|&(q, _)| q)
+            .find(|&q| table.buckets_with_qi(q) == vec![2])
+            .expect("some bucket-3 symbol is exclusive to it");
+        let tuple = table.interner().tuple(only_b2).to_vec();
+        let antecedent: Vec<(usize, Value)> =
+            tuple.iter().enumerate().map(|(p, &v)| (p, v)).collect();
+        let sa_pool: Vec<Value> = table
+            .bucket(2)
+            .sa_counts()
+            .iter()
+            .flat_map(|&(s, c)| std::iter::repeat_n(s, c))
+            .collect();
+        let count = table.bucket(2).qi_multiplicity(only_b2);
+        let mut delta = TableDelta::new();
+        for sa in &sa_pool[..count] {
+            delta = delta.retract(tuple.clone(), *sa, 2);
+        }
+
+        let e0 = Arc::new(CompiledTable::build(table, EngineConfig::default()).unwrap());
+        let mut analyst = Analyst::open(Arc::clone(&e0));
+        let h = analyst.add_knowledge(conditional_k(antecedent, sa_pool[0], 0.5)).unwrap();
+        analyst.refresh().unwrap();
+        let served = analyst.estimate().term_values().to_vec();
+
+        let e1 = Arc::new(e0.apply(&delta).unwrap());
+        let err = analyst.rebase(&e1).unwrap_err();
+        assert!(matches!(err, PmError::InvalidKnowledge { .. }), "got {err:?}");
+        // Atomic: still pinned to epoch 0, still serving the old bits.
+        assert_eq!(analyst.epoch(), 0);
+        assert_eq!(analyst.estimate().term_values(), served.as_slice());
+
+        // Removing the now-unmatchable rule lets the rebase through.
+        analyst.remove_knowledge(h).unwrap();
+        analyst.rebase(&e1).unwrap();
+        analyst.refresh().unwrap();
+        assert_eq!(analyst.epoch(), 1);
+    }
+
+    /// Pseudonym ids are count-derived, so while individual knowledge is
+    /// set, rebase refuses count-shifting deltas (insert/retract) but
+    /// allows pure moves, whose individual layer re-solves on refresh.
+    #[test]
+    fn rebase_guards_individual_pseudonyms() {
+        use crate::delta::TableDelta;
+
+        let (_, table) = paper_example();
+        let e0 = Arc::new(CompiledTable::build(table, EngineConfig::default()).unwrap());
+        let mut analyst = Analyst::open(Arc::clone(&e0));
+        analyst
+            .set_individuals(vec![Knowledge::IndividualSa {
+                pseudonym: 0,
+                sa: 2,
+                probability: 0.2,
+            }])
+            .unwrap();
+        analyst.refresh().unwrap();
+
+        // Inserts shift the pseudonym ranges: refused while individuals
+        // are set.
+        let e1 = Arc::new(e0.apply(&TableDelta::new().insert(vec![0, 0], 0, 0)).unwrap());
+        assert!(matches!(
+            analyst.rebase(&e1),
+            Err(PmError::InvalidKnowledge { .. })
+        ));
+        assert_eq!(analyst.epoch(), 0, "refused rebase leaves the session pinned");
+
+        // A move keeps every count (and so every pseudonym) intact: the
+        // rebase goes through and the individual layer re-solves.
+        let e1m = Arc::new(
+            e0.apply(&TableDelta::new().move_record(vec![0, 0], 0, 0, 1)).unwrap(),
+        );
+        analyst.rebase(&e1m).unwrap();
+        let stats = analyst.refresh().unwrap();
+        assert!(stats.individual_resolve, "table change re-solves the person layer");
+        let posterior = analyst.person_posterior(0).expect("individual layer live");
+        assert!((posterior[2] - 0.2).abs() < 1e-6, "pinned probability respected");
+
+        // Clearing the individual set unblocks count-shifting deltas.
+        analyst.set_individuals(Vec::new()).unwrap();
+        analyst.refresh().unwrap();
+        let e2 = Arc::new(e1m.apply(&TableDelta::new().insert(vec![0, 0], 0, 0)).unwrap());
+        analyst.rebase(&e2).unwrap();
+        analyst.refresh().unwrap();
+        assert_eq!(analyst.epoch(), 2);
     }
 
     /// Queries and reports serve without recompute, and flag staleness.

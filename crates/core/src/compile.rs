@@ -13,6 +13,8 @@
 //! tuples, so marginalising `Q⁻` is a matching scan and marginalising `B`
 //! walks the buckets containing `q`.
 
+use std::sync::Arc;
+
 use pm_anonymize::published::PublishedTable;
 
 use crate::constraint::{Constraint, ConstraintOrigin};
@@ -26,14 +28,18 @@ use crate::terms::TermIndex;
 /// dominant cost of assembly at Adult scale. Callers compiling several
 /// statements should hoist one index and use
 /// [`compile_conditional_indexed`].
-pub(crate) fn qi_bucket_index(table: &PublishedTable) -> Vec<Vec<usize>> {
+///
+/// Each symbol's bucket list sits behind its own [`Arc`] so a table-delta
+/// epoch advance clones the outer vector with reference bumps and rebuilds
+/// only the lists of symbols whose bucket membership actually changed.
+pub(crate) fn qi_bucket_index(table: &PublishedTable) -> Vec<Arc<[usize]>> {
     let mut buckets_of: Vec<Vec<usize>> = vec![Vec::new(); table.interner().distinct()];
     for b in 0..table.num_buckets() {
         for &(q, _) in table.bucket(b).qi_counts() {
             buckets_of[q].push(b);
         }
     }
-    buckets_of
+    buckets_of.into_iter().map(Arc::from).collect()
 }
 
 /// Compiles every *distribution* knowledge item of `kb` into a constraint.
@@ -71,7 +77,14 @@ pub fn compile_knowledge_parallel(
         return Ok(Vec::new());
     }
     let buckets_of = qi_bucket_index(table);
-    compile_items_parallel(kb.items(), table, index, &buckets_of, threads)
+    let n = table.total_records() as f64;
+    let mut rows = compile_items_parallel(kb.items(), table, index, &buckets_of, threads)?;
+    // The internal compiler emits count-space targets (epoch-stable); the
+    // public surface keeps the paper's probability-space notation.
+    for c in &mut rows {
+        c.rhs /= n;
+    }
+    Ok(rows)
 }
 
 /// Compiles a slice of distribution-knowledge items against a prebuilt
@@ -81,12 +94,17 @@ pub fn compile_knowledge_parallel(
 /// [`ConstraintOrigin::Knowledge`] indices are positions **within `items`**;
 /// callers that splice batches into a larger knowledge list re-index.
 ///
+/// Emitted targets are **count-space** (`rhs = probability · matching
+/// record count`): independent of the total record count `N`, so a rule
+/// untouched by a table delta compiles to bit-identical rows in every
+/// epoch. Public wrappers divide by `N` for the paper's probability view.
+///
 /// Callers must have rejected individual knowledge beforehand.
 pub(crate) fn compile_items_parallel(
     items: &[Knowledge],
     table: &PublishedTable,
     index: &TermIndex,
-    buckets_of: &[Vec<usize>],
+    buckets_of: &[Arc<[usize]>],
     threads: usize,
 ) -> Result<Vec<Constraint>, CoreError> {
     pm_parallel::map(threads, items, |ki, item| {
@@ -107,7 +125,8 @@ pub(crate) fn compile_items_parallel(
     .collect()
 }
 
-/// Compiles one `P(sa | Qv) = p` statement.
+/// Compiles one `P(sa | Qv) = p` statement (probability-space target,
+/// `rhs = p · P(Qv)`).
 pub fn compile_conditional(
     antecedent: &[(usize, pm_microdata::value::Value)],
     sa: pm_microdata::value::Value,
@@ -116,7 +135,7 @@ pub fn compile_conditional(
     table: &PublishedTable,
     index: &TermIndex,
 ) -> Result<Constraint, CoreError> {
-    compile_conditional_indexed(
+    let mut c = compile_conditional_indexed(
         antecedent,
         sa,
         probability,
@@ -124,10 +143,13 @@ pub fn compile_conditional(
         table,
         index,
         &qi_bucket_index(table),
-    )
+    )?;
+    c.rhs /= table.total_records() as f64;
+    Ok(c)
 }
 
-/// [`compile_conditional`] against a prebuilt [`qi_bucket_index`].
+/// [`compile_conditional`] against a prebuilt [`qi_bucket_index`], with a
+/// **count-space** target (see [`compile_items_parallel`]).
 pub(crate) fn compile_conditional_indexed(
     antecedent: &[(usize, pm_microdata::value::Value)],
     sa: pm_microdata::value::Value,
@@ -135,7 +157,7 @@ pub(crate) fn compile_conditional_indexed(
     knowledge_index: usize,
     table: &PublishedTable,
     index: &TermIndex,
-    buckets_of: &[Vec<usize>],
+    buckets_of: &[Arc<[usize]>],
 ) -> Result<Constraint, CoreError> {
     if !(0.0..=1.0).contains(&probability) {
         return Err(CoreError::InvalidProbability(probability));
@@ -162,7 +184,7 @@ pub(crate) fn compile_conditional_indexed(
             continue;
         }
         matching_count += count;
-        for &b in &buckets_of[q] {
+        for &b in buckets_of[q].iter() {
             if let Some(t) = index.get(q, sa, b) {
                 coeffs.push((t, 1.0));
             }
@@ -173,10 +195,12 @@ pub(crate) fn compile_conditional_indexed(
             detail: "antecedent matches no record in the published data".into(),
         });
     }
-    let p_qv = matching_count as f64 / table.total_records() as f64;
     Ok(Constraint {
         coeffs,
-        rhs: probability * p_qv,
+        // Count space: `p · |{records matching Qv}|` — exact in the integer
+        // count, independent of `N`, hence stable across table epochs that
+        // leave the matching records alone.
+        rhs: probability * matching_count as f64,
         origin: ConstraintOrigin::Knowledge { index: knowledge_index },
     })
 }

@@ -26,26 +26,56 @@
 //! ([`crate::analyst::Analyst::fork`]): a fork clones the overlay (bucket →
 //! `Arc` slice, so the clone is reference bumps) and shares everything
 //! else.
+//!
+//! # Epochs: the table itself can change
+//!
+//! Because every knowledge-independent product above is **per-bucket** —
+//! invariant rows are statements about one bucket's multisets, the term
+//! index is bucket-major, the Theorem-5 baseline factorises per bucket —
+//! the artifact stores each of them behind a per-bucket `Arc`.
+//! [`CompiledTable::apply`] advances the artifact to a new *epoch* under a
+//! record-level [`TableDelta`]: only the touched buckets' term lists,
+//! invariant rows, baselines and QI→bucket index entries are recompiled;
+//! every untouched bucket is shared by reference with the previous epoch.
+//! Count-space targets make the sharing *bit-exact*: an untouched bucket's
+//! rows do not even see the new total record count `N` (probabilities are
+//! produced only at estimate assembly). Resident sessions carry their
+//! adversary model across epochs with
+//! [`crate::analyst::Analyst::rebase`].
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use pm_anonymize::published::PublishedTable;
 
 use crate::analyst::RefreshStats;
 use crate::compile::qi_bucket_index;
-use crate::constraint::{Constraint, ConstraintOrigin};
+use crate::constraint::Constraint;
+use crate::delta::{AppliedDelta, DeltaOp, TableDelta};
 use crate::engine::{
-    fill_uniform, solve_component, EngineConfig, EngineStats, Estimate, RowSet,
+    counts_to_probabilities, solve_component, uniform_bucket_values, EngineConfig,
+    EngineStats, Estimate, RowSet,
 };
 use crate::error::PmError;
-use crate::invariants::data_invariants;
-use crate::partition::{connected_components, Component};
-use crate::terms::TermIndex;
+use crate::invariants::bucket_invariant_rows;
+use crate::partition::Component;
+use crate::terms::{BucketTerms, TermIndex};
 
-/// Shape and cost of one [`CompiledTable::build`] — what `pmx compile`
-/// prints.
+/// Distinguishes independent [`CompiledTable::build`] lineages so a session
+/// can never be rebased onto an epoch of a *different* table's history.
+static NEXT_LINEAGE: AtomicU64 = AtomicU64::new(0);
+
+/// Unique id per artifact instance. Epoch numbers alone cannot identify a
+/// parent: [`CompiledTable::apply`] takes `&self`, so two deltas applied to
+/// the same artifact fork *sibling* epochs with equal numbers —
+/// [`CompiledTable::is_successor_of`] therefore compares parent ids, not
+/// epoch arithmetic.
+static NEXT_UID: AtomicU64 = AtomicU64::new(0);
+
+/// Shape and cost of one [`CompiledTable::build`] (or one
+/// [`CompiledTable::apply`]) — what `pmx compile` prints.
 #[derive(Debug, Clone)]
 #[non_exhaustive]
 pub struct CompileStats {
@@ -63,6 +93,10 @@ pub struct CompileStats {
     pub invariant_rows: usize,
     /// Components of the knowledge-free baseline partition.
     pub components: usize,
+    /// Buckets recompiled by this build: all of them for a root
+    /// [`CompiledTable::build`], only the delta's footprint for a
+    /// [`CompiledTable::apply`].
+    pub recompiled_buckets: usize,
     /// Wall time of the whole build (index + invariants + baseline solve).
     pub build: Duration,
     /// Portion of `build` spent solving the knowledge-free baseline.
@@ -83,9 +117,10 @@ impl fmt::Display for CompileStats {
         )?;
         write!(
             f,
-            "  built in {:.3} ms ({:.3} ms baseline solve)",
+            "  built in {:.3} ms ({:.3} ms baseline solve, {} bucket(s) recompiled)",
             self.build.as_secs_f64() * 1e3,
-            self.baseline_solve.as_secs_f64() * 1e3
+            self.baseline_solve.as_secs_f64() * 1e3,
+            self.recompiled_buckets,
         )
     }
 }
@@ -97,25 +132,43 @@ impl fmt::Display for CompileStats {
 pub struct CompiledTable {
     table: PublishedTable,
     config: EngineConfig,
+    /// Which [`CompiledTable::build`] history this artifact belongs to.
+    lineage: u64,
+    /// Position in that history: 0 for the root build, parent + 1 per
+    /// [`CompiledTable::apply`].
+    epoch: u64,
+    /// Unique identity of this artifact instance (epoch numbers can
+    /// collide across sibling branches; see [`NEXT_UID`]).
+    uid: u64,
+    /// The [`Self::uid`] of the artifact this epoch was applied from
+    /// (`None` at the root).
+    parent_uid: Option<u64>,
+    /// Summary of the delta that produced this epoch (`None` at the root).
+    delta: Option<AppliedDelta>,
     index: Arc<TermIndex>,
-    /// The D'-invariant rows (Theorems 1–3). Sessions address them as the
-    /// prefix of the virtual `[invariants..., knowledge...]` row list.
-    invariants: Vec<Constraint>,
-    /// Per-bucket indices into `invariants`.
-    bucket_invariants: Vec<Vec<usize>>,
-    /// QI symbol → buckets containing it (knowledge-compilation index).
-    qi_buckets: Vec<Vec<usize>>,
-    /// The knowledge-free partition: with
+    /// The D'-invariant rows (Theorems 1–3), per bucket, in bucket-local
+    /// coordinates and count space — the epoch-shareable unit. Sessions
+    /// address them as the prefix of the virtual
+    /// `[invariants..., knowledge...]` row list via `row_offsets`.
+    bucket_rows: Vec<Arc<Vec<Constraint>>>,
+    /// Prefix sums of per-bucket invariant row counts (`len = m + 1`).
+    row_offsets: Vec<usize>,
+    /// Per-bucket Theorem-5 baseline values (count space), aligned with
+    /// each bucket's term range. Empty slices in the internal shell.
+    bucket_baselines: Vec<Arc<[f64]>>,
+    /// QI symbol → buckets containing it (knowledge-compilation index),
+    /// one `Arc` per symbol so epochs share unchanged entries.
+    qi_buckets: Vec<Arc<[usize]>>,
+    /// The knowledge-free partition, built on first use: with
     /// [`EngineConfig::decompose`], every bucket is its own irrelevant
     /// component; without it, one joint pseudo-component.
-    baseline_components: Vec<Component>,
-    /// The knowledge-free maxent solution over all terms (Theorem 5 closed
-    /// form under decomposition, a numeric solve of the joint invariant
-    /// system otherwise). The copy-on-write base of every session.
-    baseline_values: Arc<Vec<f64>>,
-    /// [`baseline_values`](Self::baseline_values) assembled into a served
-    /// estimate — what a freshly opened session answers queries from.
-    baseline_estimate: Arc<Estimate>,
+    baseline_components: OnceLock<Vec<Component>>,
+    /// The baseline assembled into a served estimate, built on first use —
+    /// what a freshly opened session answers queries from.
+    baseline_estimate: OnceLock<Arc<Estimate>>,
+    /// Engine statistics describing the baseline solve (for the lazy
+    /// estimate assembly).
+    baseline_estats: EngineStats,
     /// What the baseline solve did, reported as a fresh session's
     /// "last refresh".
     baseline_refresh: RefreshStats,
@@ -137,141 +190,264 @@ impl CompiledTable {
     ///
     /// Wrap the result in an [`Arc`] and hand it to
     /// [`crate::analyst::Analyst::open`] from as many threads as you like.
+    /// When the table later changes, advance the artifact with
+    /// [`CompiledTable::apply`] instead of rebuilding.
     pub fn build(table: PublishedTable, config: EngineConfig) -> Result<Self, PmError> {
         let start = Instant::now();
         let mut artifact = Self::build_shell(table, config);
-
-        // Knowledge-free baseline partition + solution.
-        let baseline_start = Instant::now();
-        let mut values = vec![0.0; artifact.index.len()];
-        let mut estats = EngineStats::default();
-        let mut stats = RefreshStats::default();
-        if artifact.config.decompose {
-            artifact.baseline_components =
-                connected_components(&artifact.invariants, &artifact.index);
-            let all_buckets: Vec<usize> = (0..artifact.table.num_buckets()).collect();
-            fill_uniform(&artifact.table, &artifact.index, &all_buckets, &mut values);
-            stats.closed_form = artifact.baseline_components.len();
-        } else {
-            // One joint pseudo-component through the numeric path — the
-            // exact system a knowledge-free `Engine::estimate` would solve.
-            let comp = Component {
-                buckets: (0..artifact.table.num_buckets()).collect(),
-                knowledge_rows: Vec::new(),
-            };
-            let rows = RowSet {
-                invariants: &artifact.invariants,
-                bucket_invariants: &artifact.bucket_invariants,
-                knowledge: &[],
-            };
-            let sol = solve_component(
-                &artifact.config,
-                &artifact.table,
-                &artifact.index,
-                rows,
-                &comp,
-                None,
-            )?;
-            estats.num_constraints = sol.num_constraints;
-            estats.num_free_terms = sol.num_free_terms;
-            for (&t, &v) in sol.terms.iter().zip(&sol.values) {
-                values[t] = v;
-            }
-            if let Some(s) = sol.stats {
-                estats.component_stats.push(s);
-            }
-            artifact.baseline_components = vec![comp];
-            stats.resolved = 1;
-        }
-        let baseline_solve = baseline_start.elapsed();
-
-        estats.num_components = artifact.baseline_components.len();
-        estats.num_irrelevant = if artifact.config.decompose {
-            artifact.baseline_components.len()
-        } else {
-            0
-        };
-        estats.total_elapsed = baseline_solve;
-        stats.components = artifact.baseline_components.len();
-        stats.dirty = stats.closed_form + stats.resolved;
-        stats.solver = estats.solver_elapsed();
-        stats.wall = baseline_solve;
-
-        artifact.baseline_values = Arc::new(values);
-        artifact.baseline_estimate = Arc::new(Estimate::assemble(
-            (*artifact.baseline_values).clone(),
-            Arc::clone(&artifact.index),
-            &artifact.table,
-            estats,
-        ));
-        artifact.baseline_refresh = stats;
-        artifact.has_baseline = true;
-        artifact.stats.components = artifact.baseline_components.len();
-        artifact.stats.baseline_solve = baseline_solve;
+        artifact.solve_baseline()?;
         artifact.stats.build = start.elapsed();
         Ok(artifact)
     }
 
-    /// Everything except the baseline partition and solve — the internal
-    /// shell behind the one-shot `Engine::estimate`, which marks every
-    /// bucket dirty and would discard a baseline immediately. The zero
-    /// placeholder baseline is never served: a deferred session's first
-    /// refresh writes every bucket (solved or closed-form) before its
-    /// estimate is readable.
+    /// Solves (or closed-forms) the knowledge-free baseline into
+    /// `bucket_baselines`, upgrading a shell into a servable artifact.
+    fn solve_baseline(&mut self) -> Result<(), PmError> {
+        let baseline_start = Instant::now();
+        let mut estats = EngineStats::default();
+        let mut stats = RefreshStats::default();
+        let m = self.table.num_buckets();
+        if self.config.decompose {
+            self.bucket_baselines = (0..m)
+                .map(|b| Arc::from(uniform_bucket_values(&self.table, &self.index, b)))
+                .collect();
+            stats.closed_form = m;
+            estats.num_irrelevant = m;
+            estats.num_components = m;
+        } else {
+            // One joint pseudo-component through the numeric path — the
+            // exact system a knowledge-free `Engine::estimate` would solve.
+            let comp = joint_component(m);
+            let rows = self.rows(&[]);
+            let sol = solve_component(&self.config, &self.table, &self.index, rows, &comp, None)?;
+            estats.num_constraints = sol.num_constraints;
+            estats.num_free_terms = sol.num_free_terms;
+            let mut values = vec![0.0; self.index.len()];
+            for (&t, &v) in sol.terms.iter().zip(&sol.values) {
+                values[t] = v;
+            }
+            self.bucket_baselines = (0..m)
+                .map(|b| Arc::from(&values[self.index.bucket_range(b)]))
+                .collect();
+            if let Some(s) = sol.stats {
+                estats.component_stats.push(s);
+            }
+            estats.num_components = 1;
+            stats.resolved = 1;
+        }
+        let baseline_solve = baseline_start.elapsed();
+
+        estats.total_elapsed = baseline_solve;
+        stats.components = estats.num_components;
+        stats.dirty = stats.closed_form + stats.resolved;
+        stats.solver = estats.solver_elapsed();
+        stats.wall = baseline_solve;
+
+        self.baseline_estats = estats;
+        self.baseline_refresh = stats;
+        self.has_baseline = true;
+        self.stats.components = if self.config.decompose { m } else { 1 };
+        self.stats.baseline_solve = baseline_solve;
+        Ok(())
+    }
+
+    /// Everything except the baseline solve — the internal shell behind the
+    /// one-shot `Engine::estimate`, which marks every bucket dirty and
+    /// would discard a baseline immediately. The zero placeholder baseline
+    /// is never served: a deferred session's first refresh writes every
+    /// bucket (solved or closed-form) before its estimate is readable.
     pub(crate) fn build_shell(table: PublishedTable, config: EngineConfig) -> Self {
         let start = Instant::now();
+        let m = table.num_buckets();
         let index = Arc::new(TermIndex::build(&table));
-        let invariants = data_invariants(&table, &index, config.concise_invariants);
-        let mut bucket_invariants: Vec<Vec<usize>> = vec![Vec::new(); table.num_buckets()];
-        for (i, c) in invariants.iter().enumerate() {
-            match c.origin {
-                ConstraintOrigin::QiInvariant { b, .. }
-                | ConstraintOrigin::SaInvariant { b, .. } => bucket_invariants[b].push(i),
-                ConstraintOrigin::Knowledge { .. } => {}
-            }
-        }
+        let bucket_rows: Vec<Arc<Vec<Constraint>>> = (0..m)
+            .map(|b| Arc::new(bucket_invariant_rows(table.bucket(b), b, config.concise_invariants)))
+            .collect();
+        let row_offsets = prefix_offsets(&bucket_rows);
         let qi_buckets = qi_bucket_index(&table);
-        let baseline_values = Arc::new(vec![0.0; index.len()]);
-        let baseline_estimate = Arc::new(Estimate::assemble(
-            (*baseline_values).clone(),
-            Arc::clone(&index),
-            &table,
-            EngineStats::default(),
-        ));
+        let bucket_baselines: Vec<Arc<[f64]>> =
+            (0..m).map(|_| Arc::from(Vec::new())).collect();
         let stats = CompileStats {
             records: table.total_records(),
-            buckets: table.num_buckets(),
+            buckets: m,
             distinct_qi: table.interner().distinct(),
             terms: index.len(),
-            invariant_rows: invariants.len(),
+            invariant_rows: *row_offsets.last().expect("offsets hold the leading 0"),
             components: 0,
+            recompiled_buckets: m,
             build: start.elapsed(),
             baseline_solve: Duration::default(),
         };
         Self {
             table,
             config,
+            lineage: NEXT_LINEAGE.fetch_add(1, Ordering::Relaxed),
+            epoch: 0,
+            uid: NEXT_UID.fetch_add(1, Ordering::Relaxed),
+            parent_uid: None,
+            delta: None,
             index,
-            invariants,
-            bucket_invariants,
+            bucket_rows,
+            row_offsets,
+            bucket_baselines,
             qi_buckets,
-            baseline_components: Vec::new(),
-            baseline_values,
-            baseline_estimate,
+            baseline_components: OnceLock::new(),
+            baseline_estimate: OnceLock::new(),
+            baseline_estats: EngineStats::default(),
             baseline_refresh: RefreshStats::default(),
             has_baseline: false,
             stats,
         }
     }
 
-    /// The published table this artifact compiled.
+    /// Advances the artifact to a new **epoch** under a record-level
+    /// [`TableDelta`]: applies the operations to (a clone of) the table,
+    /// then recompiles only the touched buckets' term lists, invariant
+    /// rows, Theorem-5 baselines and QI→bucket index entries — every
+    /// untouched bucket is shared by reference with this epoch.
+    ///
+    /// The result serves exactly like `CompiledTable::build` of the
+    /// post-delta table (sessions arrive at bit-identical estimates), at a
+    /// cost proportional to the delta's bucket footprint instead of the
+    /// table size. Open sessions carry their adversary model forward with
+    /// [`crate::analyst::Analyst::rebase`].
+    ///
+    /// The application is atomic: on any invalid operation
+    /// ([`PmError::InvalidDelta`]) no new epoch is produced and `self` is
+    /// untouched. Without [`EngineConfig::decompose`] the baseline is a
+    /// joint numeric solve with nothing bucket-local to share, so the new
+    /// epoch is a full rebuild (same result, none of the savings).
+    pub fn apply(&self, delta: &TableDelta) -> Result<Self, PmError> {
+        assert!(self.has_baseline, "cannot apply a delta to an internal shell");
+        let start = Instant::now();
+
+        // Stage the post-delta table; any failure leaves `self` untouched.
+        let mut table = self.table.clone();
+        let mut qs: Vec<usize> = Vec::with_capacity(delta.len());
+        for op in delta.ops() {
+            let q = match op {
+                DeltaOp::Insert { qi, sa, bucket } => table.insert_record(qi, *sa, *bucket),
+                DeltaOp::Retract { qi, sa, bucket } => table.retract_record(qi, *sa, *bucket),
+                DeltaOp::Move { qi, sa, from, to } => table.move_record(qi, *sa, *from, *to),
+            }
+            .map_err(|e| PmError::InvalidDelta {
+                detail: match e {
+                    pm_anonymize::error::AnonymizeError::InvalidDelta { detail } => detail,
+                    other => other.to_string(),
+                },
+            })?;
+            qs.push(q);
+        }
+        qs.sort_unstable();
+        qs.dedup();
+        let touched = delta.touched_buckets();
+        let applied = AppliedDelta { touched: touched.clone(), qs, ops: delta.len() };
+
+        if !self.config.decompose {
+            // The joint baseline couples every bucket: rebuild, keeping the
+            // epoch lineage so sessions can still rebase (everything
+            // dirties).
+            let mut next = Self::build_shell(table, self.config.clone());
+            next.lineage = self.lineage;
+            next.epoch = self.epoch + 1;
+            next.parent_uid = Some(self.uid);
+            next.delta = Some(applied);
+            next.solve_baseline()?;
+            next.stats.build = start.elapsed();
+            return Ok(next);
+        }
+
+        // Per-bucket incremental recompile: share every untouched bucket.
+        let mut bucket_terms = self.index.bucket_terms().to_vec();
+        let mut bucket_rows = self.bucket_rows.clone();
+        let mut bucket_baselines = self.bucket_baselines.clone();
+        for &b in &touched {
+            bucket_terms[b] = Arc::new(BucketTerms::build(table.bucket(b)));
+        }
+        let index = Arc::new(TermIndex::from_buckets(bucket_terms));
+        let baseline_start = Instant::now();
+        for &b in &touched {
+            bucket_rows[b] = Arc::new(bucket_invariant_rows(
+                table.bucket(b),
+                b,
+                self.config.concise_invariants,
+            ));
+            bucket_baselines[b] = Arc::from(uniform_bucket_values(&table, &index, b));
+        }
+        let baseline_solve = baseline_start.elapsed();
+        let row_offsets = prefix_offsets(&bucket_rows);
+
+        // QI→bucket index: edit only symbols whose membership in a touched
+        // bucket flipped (plus newly interned symbols, which by
+        // construction live only in touched buckets) — each edit patches
+        // the symbol's old sorted list instead of rescanning the table.
+        let mut qi_buckets = self.qi_buckets.clone();
+        qi_buckets.resize_with(table.interner().distinct(), || Arc::from(Vec::new()));
+        for &b in &touched {
+            let old_b = self.table.bucket(b);
+            let new_b = table.bucket(b);
+            for &(q, _) in old_b.qi_counts().iter().chain(new_b.qi_counts()) {
+                let now = new_b.contains_qi(q);
+                if old_b.contains_qi(q) == now && q < self.qi_buckets.len() {
+                    continue;
+                }
+                let mut list = qi_buckets[q].to_vec();
+                match (list.binary_search(&b), now) {
+                    (Err(i), true) => list.insert(i, b),
+                    (Ok(i), false) => {
+                        list.remove(i);
+                    }
+                    _ => continue,
+                }
+                qi_buckets[q] = Arc::from(list);
+            }
+        }
+
+        let m = table.num_buckets();
+        let stats = CompileStats {
+            records: table.total_records(),
+            buckets: m,
+            distinct_qi: table.interner().distinct(),
+            terms: index.len(),
+            invariant_rows: *row_offsets.last().expect("offsets hold the leading 0"),
+            components: m,
+            recompiled_buckets: touched.len(),
+            build: Duration::default(),
+            baseline_solve,
+        };
+        let mut next = Self {
+            table,
+            config: self.config.clone(),
+            lineage: self.lineage,
+            epoch: self.epoch + 1,
+            uid: NEXT_UID.fetch_add(1, Ordering::Relaxed),
+            parent_uid: Some(self.uid),
+            delta: Some(applied),
+            index,
+            bucket_rows,
+            row_offsets,
+            bucket_baselines,
+            qi_buckets,
+            baseline_components: OnceLock::new(),
+            baseline_estimate: OnceLock::new(),
+            baseline_estats: self.baseline_estats.clone(),
+            baseline_refresh: self.baseline_refresh.clone(),
+            has_baseline: true,
+            stats,
+        };
+        next.stats.build = start.elapsed();
+        Ok(next)
+    }
+
+    /// The published table this artifact compiled (as of this epoch).
     #[must_use]
     pub fn table(&self) -> &PublishedTable {
         &self.table
     }
 
     /// The configuration the artifact was built with. Sessions opened via
-    /// [`crate::analyst::Analyst::open`] inherit it.
+    /// [`crate::analyst::Analyst::open`] inherit it, and every epoch of a
+    /// lineage shares it.
     #[must_use]
     pub fn config(&self) -> &EngineConfig {
         &self.config
@@ -283,24 +459,63 @@ impl CompiledTable {
         &self.index
     }
 
+    /// This artifact's epoch: 0 for a root [`CompiledTable::build`],
+    /// incremented by every [`CompiledTable::apply`].
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Summary of the delta that produced this epoch (`None` at the root).
+    #[must_use]
+    pub fn applied_delta(&self) -> Option<&AppliedDelta> {
+        self.delta.as_ref()
+    }
+
+    /// Whether `self` was produced by [`CompiledTable::apply`] on exactly
+    /// `ancestor` — the relation [`crate::analyst::Analyst::rebase`]
+    /// requires. Compared by unique artifact identity, not epoch
+    /// arithmetic: `apply` takes `&self`, so two deltas applied to the same
+    /// artifact fork *sibling* epochs with equal numbers, and a session on
+    /// one branch must not rebase onto the other's children.
+    #[must_use]
+    pub fn is_successor_of(&self, ancestor: &Self) -> bool {
+        self.lineage == ancestor.lineage && self.parent_uid == Some(ancestor.uid)
+    }
+
     /// Number of invariant rows (the rank of the invariant system under
     /// [`EngineConfig::concise_invariants`], Theorem 3).
     #[must_use]
     pub fn num_invariants(&self) -> usize {
-        self.invariants.len()
+        *self.row_offsets.last().expect("offsets hold the leading 0")
     }
 
     /// Components of the knowledge-free baseline partition.
     #[must_use]
     pub fn num_components(&self) -> usize {
-        self.baseline_components.len()
+        self.baseline_components().len()
     }
 
     /// The knowledge-free baseline estimate — what a freshly opened session
-    /// serves. Cheap `Arc` clone.
+    /// serves. Assembled on first use, then a cheap `Arc` clone.
     #[must_use]
     pub fn baseline_estimate(&self) -> Arc<Estimate> {
-        Arc::clone(&self.baseline_estimate)
+        Arc::clone(self.baseline_estimate.get_or_init(|| {
+            let mut values = vec![0.0; self.index.len()];
+            for (b, baseline) in self.bucket_baselines.iter().enumerate() {
+                if !baseline.is_empty() {
+                    values[self.index.bucket_range(b)].copy_from_slice(baseline);
+                }
+            }
+            counts_to_probabilities(&mut values, &self.table);
+            Arc::new(Estimate::assemble(
+                values,
+                Arc::clone(&self.index),
+                &self.table,
+                self.epoch,
+                self.baseline_estats.clone(),
+            ))
+        }))
     }
 
     /// Build statistics (what `pmx compile` prints).
@@ -317,22 +532,32 @@ impl CompiledTable {
 
     pub(crate) fn rows<'a>(&'a self, knowledge: &'a [Constraint]) -> RowSet<'a> {
         RowSet {
-            invariants: &self.invariants,
-            bucket_invariants: &self.bucket_invariants,
+            bucket_rows: &self.bucket_rows,
+            row_offsets: &self.row_offsets,
             knowledge,
         }
     }
 
-    pub(crate) fn qi_buckets(&self) -> &[Vec<usize>] {
+    pub(crate) fn qi_buckets(&self) -> &[Arc<[usize]>] {
         &self.qi_buckets
     }
 
     pub(crate) fn baseline_components(&self) -> &[Component] {
-        &self.baseline_components
+        self.baseline_components.get_or_init(|| {
+            let m = self.table.num_buckets();
+            if self.config.decompose {
+                (0..m)
+                    .map(|b| Component { buckets: vec![b], knowledge_rows: Vec::new() })
+                    .collect()
+            } else {
+                vec![joint_component(m)]
+            }
+        })
     }
 
-    pub(crate) fn baseline_values(&self) -> &Arc<Vec<f64>> {
-        &self.baseline_values
+    /// Bucket `b`'s baseline values (count space; empty in a shell).
+    pub(crate) fn bucket_baseline(&self, b: usize) -> &Arc<[f64]> {
+        &self.bucket_baselines[b]
     }
 
     pub(crate) fn baseline_refresh(&self) -> &RefreshStats {
@@ -342,6 +567,33 @@ impl CompiledTable {
     pub(crate) fn has_baseline(&self) -> bool {
         self.has_baseline
     }
+
+    /// Structural-sharing observability for the epoch tests: whether bucket
+    /// `b`'s compile products (term list, invariant rows, baseline) are all
+    /// shared pointer-equal with `other`'s.
+    pub fn bucket_shared_with(&self, other: &Self, b: usize) -> bool {
+        self.index.bucket_shared_with(&other.index, b)
+            && Arc::ptr_eq(&self.bucket_rows[b], &other.bucket_rows[b])
+            && Arc::ptr_eq(&self.bucket_baselines[b], &other.bucket_baselines[b])
+    }
+}
+
+/// The single knowledge-free joint pseudo-component of a
+/// `decompose = false` solve (sessions attach their knowledge rows
+/// themselves).
+pub(crate) fn joint_component(num_buckets: usize) -> Component {
+    Component { buckets: (0..num_buckets).collect(), knowledge_rows: Vec::new() }
+}
+
+fn prefix_offsets(bucket_rows: &[Arc<Vec<Constraint>>]) -> Vec<usize> {
+    let mut offsets = Vec::with_capacity(bucket_rows.len() + 1);
+    let mut total = 0usize;
+    offsets.push(0);
+    for rows in bucket_rows {
+        total += rows.len();
+        offsets.push(total);
+    }
+    offsets
 }
 
 // Compile-time contract: the whole point of the artifact is to be shared
@@ -369,10 +621,13 @@ mod tests {
             artifact.baseline_estimate().term_values(),
             uniform.term_values()
         );
+        assert_eq!(artifact.epoch(), 0);
+        assert!(artifact.applied_delta().is_none());
         let stats = artifact.stats();
         assert_eq!(stats.buckets, 3);
         assert_eq!(stats.records, 10);
         assert_eq!(stats.components, 3);
+        assert_eq!(stats.recompiled_buckets, 3);
         assert_eq!(stats.terms, artifact.term_index().len());
         assert!(stats.invariant_rows > 0);
         assert!(stats.build >= stats.baseline_solve);
@@ -400,5 +655,91 @@ mod tests {
         {
             assert!((a - b).abs() < 1e-9, "term {i}: {a} vs {b}");
         }
+    }
+
+    /// `apply` advances the epoch, recompiles exactly the touched buckets,
+    /// and matches a from-scratch build of the post-delta table bit for
+    /// bit.
+    #[test]
+    fn apply_is_incremental_and_exact() {
+        let (_, table) = paper_example();
+        let e0 = CompiledTable::build(table.clone(), EngineConfig::default()).unwrap();
+        let delta = TableDelta::new().insert(vec![0, 0], 0, 1);
+        let e1 = e0.apply(&delta).unwrap();
+        assert_eq!(e1.epoch(), 1);
+        assert!(e1.is_successor_of(&e0));
+        assert!(!e0.is_successor_of(&e1));
+        assert_eq!(e1.applied_delta().unwrap().touched_buckets(), &[1]);
+        assert_eq!(e1.stats().recompiled_buckets, 1);
+        assert!(e1.bucket_shared_with(&e0, 0), "bucket 0 shared");
+        assert!(!e1.bucket_shared_with(&e0, 1), "bucket 1 recompiled");
+        assert!(e1.bucket_shared_with(&e0, 2), "bucket 2 shared");
+
+        // From-scratch build of the same post-delta table: identical bits.
+        let mut scratch_table = table;
+        scratch_table.insert_record(&[0, 0], 0, 1).unwrap();
+        let scratch = CompiledTable::build(scratch_table, EngineConfig::default()).unwrap();
+        assert_eq!(
+            e1.baseline_estimate().term_values(),
+            scratch.baseline_estimate().term_values()
+        );
+        assert_eq!(e1.num_invariants(), scratch.num_invariants());
+        assert_eq!(e1.baseline_estimate().epoch(), 1);
+        assert_eq!(scratch.baseline_estimate().epoch(), 0);
+    }
+
+    /// An invalid operation rejects the whole delta; a no-op delta shares
+    /// every bucket.
+    #[test]
+    fn apply_is_atomic_and_noop_shares_everything() {
+        let (_, table) = paper_example();
+        let e0 = CompiledTable::build(table, EngineConfig::default()).unwrap();
+        let bad = TableDelta::new()
+            .insert(vec![0, 0], 0, 1)
+            .retract(vec![0, 0], 4, 1); // bucket 2 holds no lung cancer
+        assert!(matches!(e0.apply(&bad), Err(PmError::InvalidDelta { .. })));
+
+        let e1 = e0.apply(&TableDelta::new()).unwrap();
+        assert_eq!(e1.epoch(), 1);
+        assert!(e1.applied_delta().unwrap().is_noop());
+        for b in 0..3 {
+            assert!(e1.bucket_shared_with(&e0, b));
+        }
+        assert_eq!(
+            e1.baseline_estimate().term_values(),
+            e0.baseline_estimate().term_values()
+        );
+    }
+
+    /// Epochs from different lineages never pass the successor check, even
+    /// when the tables are identical.
+    #[test]
+    fn lineages_are_distinct() {
+        let (_, table) = paper_example();
+        let a = CompiledTable::build(table.clone(), EngineConfig::default()).unwrap();
+        let b = CompiledTable::build(table, EngineConfig::default()).unwrap();
+        let a1 = a.apply(&TableDelta::new()).unwrap();
+        assert!(a1.is_successor_of(&a));
+        assert!(!a1.is_successor_of(&b));
+    }
+
+    /// `apply` takes `&self`, so epochs can fork into sibling branches with
+    /// equal epoch numbers — the successor check distinguishes them by
+    /// artifact identity, never by epoch arithmetic.
+    #[test]
+    fn sibling_branches_are_not_successors() {
+        let (_, table) = paper_example();
+        let e0 = CompiledTable::build(table, EngineConfig::default()).unwrap();
+        let branch_a = e0.apply(&TableDelta::new().insert(vec![0, 0], 0, 0)).unwrap();
+        let branch_b = e0.apply(&TableDelta::new().insert(vec![0, 0], 0, 1)).unwrap();
+        assert_eq!(branch_a.epoch(), branch_b.epoch(), "siblings share the number");
+        assert!(branch_a.is_successor_of(&e0));
+        assert!(branch_b.is_successor_of(&e0));
+        // A child of branch B is epoch 2 — numerically "one ahead" of
+        // branch A, but NOT its successor.
+        let b2 = branch_b.apply(&TableDelta::new()).unwrap();
+        assert!(b2.is_successor_of(&branch_b));
+        assert!(!b2.is_successor_of(&branch_a), "nephews are not children");
+        assert!(!branch_a.is_successor_of(&branch_b), "siblings are not parent/child");
     }
 }

@@ -1,0 +1,220 @@
+//! Live tables: record-level deltas and table **epochs**.
+//!
+//! The paper treats the published table `D'` as static — invariants are a
+//! pure function of `D'` (Theorems 1–3), which the
+//! [`crate::compiled::CompiledTable`] artifact exploits by compiling them
+//! once. A production service must additionally survive `D'` itself
+//! changing: late-arriving records, retractions, bucket re-assignments.
+//! This module is the data-plane half of that story:
+//!
+//! * A [`TableDelta`] is an ordered batch of record-level operations
+//!   (insert / retract / move).
+//! * [`crate::compiled::CompiledTable::apply`] advances an artifact to a
+//!   new **epoch**: only the touched buckets' invariant rows, term lists,
+//!   QI→bucket index entries and Theorem-5 baselines are recomputed;
+//!   everything else is structurally shared (`Arc`) with the previous
+//!   epoch. The [`AppliedDelta`] summary travels on the new artifact so
+//!   resident sessions can [`crate::analyst::Analyst::rebase`] onto it.
+//!
+//! # Why per-bucket recompilation is sound
+//!
+//! Every invariant row of Section 5 is a statement about one bucket's
+//! multisets (Eq. 4/5), and the Theorem-5 closed form is a function of one
+//! bucket's multisets — so a delta's effect on the knowledge-independent
+//! compile is confined to its touched buckets. Knowledge constraints can
+//! reach further (a rule's matching-record count is global), which is why
+//! the *session* rebase recompiles exactly the rules a delta could have
+//! changed; see [`crate::analyst::Analyst::rebase`].
+
+use pm_microdata::qi::QiId;
+use pm_microdata::value::Value;
+
+/// One record-level operation on the published table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// A late-arriving record `(qi tuple, sa)` lands in bucket `bucket`.
+    Insert {
+        /// The record's full QI tuple (projection order of the schema's
+        /// QI attributes).
+        qi: Vec<Value>,
+        /// The record's SA value.
+        sa: Value,
+        /// Destination bucket.
+        bucket: usize,
+    },
+    /// A record `(qi tuple, sa)` is retracted from bucket `bucket`.
+    Retract {
+        /// The record's full QI tuple.
+        qi: Vec<Value>,
+        /// The record's SA value.
+        sa: Value,
+        /// Source bucket.
+        bucket: usize,
+    },
+    /// A record `(qi tuple, sa)` moves from bucket `from` to bucket `to`
+    /// (a bucket re-assignment; global counts are unchanged).
+    Move {
+        /// The record's full QI tuple.
+        qi: Vec<Value>,
+        /// The record's SA value.
+        sa: Value,
+        /// Source bucket.
+        from: usize,
+        /// Destination bucket.
+        to: usize,
+    },
+}
+
+impl DeltaOp {
+    /// The buckets this operation touches.
+    pub(crate) fn buckets(&self) -> impl Iterator<Item = usize> + '_ {
+        let (a, b) = match *self {
+            Self::Insert { bucket, .. } | Self::Retract { bucket, .. } => (bucket, None),
+            Self::Move { from, to, .. } => (from, Some(to)),
+        };
+        std::iter::once(a).chain(b)
+    }
+}
+
+/// An ordered batch of record-level operations, applied atomically by
+/// [`crate::compiled::CompiledTable::apply`] to advance the table one
+/// epoch.
+///
+/// ```
+/// use privacy_maxent::delta::TableDelta;
+/// let delta = TableDelta::new()
+///     .insert(vec![0, 0], 1, 2)        // late arrival into bucket 2
+///     .retract(vec![1, 0], 3, 0)       // retraction from bucket 0
+///     .move_record(vec![0, 1], 1, 0, 1); // re-assignment 0 → 1
+/// assert_eq!(delta.len(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TableDelta {
+    ops: Vec<DeltaOp>,
+}
+
+impl TableDelta {
+    /// An empty delta (applying it is a no-op fast path: zero buckets
+    /// recompiled, sessions rebase without dirtying anything).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an insert.
+    #[must_use]
+    pub fn insert(mut self, qi: Vec<Value>, sa: Value, bucket: usize) -> Self {
+        self.ops.push(DeltaOp::Insert { qi, sa, bucket });
+        self
+    }
+
+    /// Appends a retraction.
+    #[must_use]
+    pub fn retract(mut self, qi: Vec<Value>, sa: Value, bucket: usize) -> Self {
+        self.ops.push(DeltaOp::Retract { qi, sa, bucket });
+        self
+    }
+
+    /// Appends a bucket re-assignment.
+    #[must_use]
+    pub fn move_record(mut self, qi: Vec<Value>, sa: Value, from: usize, to: usize) -> Self {
+        self.ops.push(DeltaOp::Move { qi, sa, from, to });
+        self
+    }
+
+    /// Appends an already-built operation.
+    #[must_use]
+    pub fn push(mut self, op: DeltaOp) -> Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// The operations, in application order.
+    #[must_use]
+    pub fn ops(&self) -> &[DeltaOp] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the delta holds no operations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The distinct buckets this delta touches, ascending.
+    #[must_use]
+    pub fn touched_buckets(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self.ops.iter().flat_map(DeltaOp::buckets).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// Summary of the delta that produced a [`crate::compiled::CompiledTable`]
+/// epoch, carried on the artifact so sessions can
+/// [`crate::analyst::Analyst::rebase`] onto it: which buckets changed, and
+/// which QI symbols the delta records used (the rebase uses both to decide
+/// which knowledge rules could have changed).
+#[derive(Debug, Clone)]
+pub struct AppliedDelta {
+    /// Buckets whose multisets changed (or could have), ascending.
+    pub(crate) touched: Vec<usize>,
+    /// QI symbols of the delta's records, ascending and deduplicated.
+    pub(crate) qs: Vec<QiId>,
+    /// Number of operations applied.
+    pub(crate) ops: usize,
+}
+
+impl AppliedDelta {
+    /// Buckets whose multisets changed, ascending.
+    #[must_use]
+    pub fn touched_buckets(&self) -> &[usize] {
+        &self.touched
+    }
+
+    /// QI symbols of the delta's records, ascending and deduplicated.
+    #[must_use]
+    pub fn qi_symbols(&self) -> &[QiId] {
+        &self.qs
+    }
+
+    /// Number of operations the delta held.
+    #[must_use]
+    pub fn num_ops(&self) -> usize {
+        self.ops
+    }
+
+    /// Whether the delta changed nothing.
+    #[must_use]
+    pub fn is_noop(&self) -> bool {
+        self.ops == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_ops_in_order() {
+        let d = TableDelta::new()
+            .insert(vec![0], 1, 2)
+            .retract(vec![1], 0, 2)
+            .move_record(vec![2], 3, 0, 4)
+            .push(DeltaOp::Insert { qi: vec![5], sa: 0, bucket: 1 });
+        assert_eq!(d.len(), 4);
+        assert!(!d.is_empty());
+        assert!(matches!(d.ops()[0], DeltaOp::Insert { bucket: 2, .. }));
+        assert!(matches!(d.ops()[2], DeltaOp::Move { from: 0, to: 4, .. }));
+        assert_eq!(d.touched_buckets(), vec![0, 1, 2, 4]);
+        assert!(TableDelta::new().is_empty());
+        assert!(TableDelta::new().touched_buckets().is_empty());
+    }
+}

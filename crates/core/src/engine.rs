@@ -11,9 +11,13 @@
 //!    maxent dual (`pm_solver::MaxEntDual`).
 //! 4. Read out `P(S | Q) = Σ_B P(Q, S, B) / P(Q)` (Section 3.1).
 //!
-//! The solve happens in **count space** (targets scaled by `N`): the dual is
-//! better conditioned when right-hand sides are `O(1)` record counts rather
-//! than `O(1/N)` probabilities, and the maxent optimum simply rescales.
+//! The solve happens in **count space** (targets and values are record
+//! counts; estimates divide by `N` at assembly): the dual is better
+//! conditioned when right-hand sides are `O(1)` record counts rather than
+//! `O(1/N)` probabilities, the maxent optimum simply rescales — and counts
+//! are *exact integers*, so a bucket untouched by a table delta poses a
+//! bit-identical local system in every epoch, the foundation of the
+//! live-table reuse guarantee ([`crate::delta`]).
 //!
 //! # One-shot vs. resident
 //!
@@ -25,7 +29,7 @@
 //! up a throwaway session over an internal artifact shell, feeds it the
 //! whole knowledge base and refreshes once, which reproduces the
 //! historical behaviour (and bit pattern) exactly. The shared
-//! component-solving machinery lives in this module ([`solve_component`])
+//! component-solving machinery lives in this module (`solve_component`)
 //! so every entry point runs the identical numeric path.
 //!
 //! # Parallelism
@@ -79,30 +83,52 @@ struct SolvedSystem {
 /// The constraint rows a component solve addresses, as one virtual list
 /// `[invariants..., knowledge...]` without materialising it.
 ///
-/// The invariant prefix (plus its per-bucket index) lives in the shared
-/// [`crate::compiled::CompiledTable`] artifact; the knowledge tail is the
+/// The invariant prefix lives in the shared
+/// [`crate::compiled::CompiledTable`] artifact as **per-bucket row lists in
+/// bucket-local coordinates** (so untouched buckets share them across
+/// table epochs); `row_offsets` are the prefix sums mapping a bucket to its
+/// global row range. The knowledge tail — global term coordinates — is the
 /// session's private, per-refresh state. Global constraint indices — in
 /// [`Component::knowledge_rows`], warm-start callbacks and
 /// [`ComponentSolution::duals`] — address this virtual list: `ci <
-/// invariants.len()` is an invariant row, anything above is
-/// `knowledge[ci - invariants.len()]`.
+/// num_invariants` is an invariant row, anything above is
+/// `knowledge[ci - num_invariants]`. All right-hand sides are count-space.
 #[derive(Clone, Copy)]
 pub(crate) struct RowSet<'a> {
-    /// The artifact's invariant rows (prefix of the virtual list).
-    pub(crate) invariants: &'a [Constraint],
-    /// Per-bucket indices into `invariants`.
-    pub(crate) bucket_invariants: &'a [Vec<usize>],
-    /// The session's knowledge rows (tail of the virtual list).
+    /// Per-bucket invariant rows (bucket-local coefficients, count rhs).
+    pub(crate) bucket_rows: &'a [Arc<Vec<Constraint>>],
+    /// Prefix sums of per-bucket invariant row counts (`len = m + 1`).
+    pub(crate) row_offsets: &'a [usize],
+    /// The session's knowledge rows (tail of the virtual list, global term
+    /// coordinates).
     pub(crate) knowledge: &'a [Constraint],
 }
 
 impl RowSet<'_> {
+    /// Rows in the invariant prefix.
+    pub(crate) fn num_invariants(&self) -> usize {
+        *self.row_offsets.last().expect("offsets hold the leading 0")
+    }
+
+    /// The constraint behind global row index `ci`.
+    ///
+    /// Invariant rows come back in **bucket-local** coefficients; callers
+    /// needing term ids resolve them against the bucket's term range
+    /// ([`RowSet::invariant_bucket`] names the bucket). Origins are always
+    /// valid as-is — the warm-start path only reads those.
     pub(crate) fn get(&self, ci: usize) -> &Constraint {
-        if ci < self.invariants.len() {
-            &self.invariants[ci]
+        if ci < self.num_invariants() {
+            let b = self.invariant_bucket(ci);
+            &self.bucket_rows[b][ci - self.row_offsets[b]]
         } else {
-            &self.knowledge[ci - self.invariants.len()]
+            &self.knowledge[ci - self.num_invariants()]
         }
+    }
+
+    /// The bucket owning invariant row `ci` (`ci < num_invariants`).
+    pub(crate) fn invariant_bucket(&self, ci: usize) -> usize {
+        debug_assert!(ci < self.num_invariants());
+        self.row_offsets.partition_point(|&o| o <= ci) - 1
     }
 }
 
@@ -112,7 +138,7 @@ impl RowSet<'_> {
 pub(crate) struct ComponentSolution {
     /// Global term ids of this component's local term space.
     pub(crate) terms: Vec<usize>,
-    /// Solved term values (probability space), aligned with `terms`.
+    /// Solved term values (count space), aligned with `terms`.
     pub(crate) values: Vec<f64>,
     /// Solver stats (`None` when preprocessing fully determined the system).
     pub(crate) stats: Option<SolveStats>,
@@ -333,6 +359,12 @@ impl EngineStats {
 }
 
 /// The MaxEnt estimate: term values plus the derived `P(S | Q)`.
+///
+/// An estimate is pinned to the **table epoch** it was assembled against
+/// ([`Estimate::epoch`]): in live-table deployments the published table
+/// evolves through [`crate::delta::TableDelta`]s, and bucket/QI indices
+/// from one epoch are not meaningful against another — the bounds-check
+/// panics below name the epoch so a stale-handle mix-up is diagnosable.
 #[derive(Debug, Clone)]
 pub struct Estimate {
     term_values: Vec<f64>,
@@ -342,6 +374,9 @@ pub struct Estimate {
     distinct_qi: usize,
     sa_cardinality: usize,
     qi_marginal: Vec<f64>,
+    /// Epoch of the table this estimate describes (0 for a freshly built
+    /// or delta-free table).
+    epoch: u64,
     /// Solve statistics.
     pub stats: EngineStats,
 }
@@ -351,6 +386,7 @@ impl Estimate {
         term_values: Vec<f64>,
         index: Arc<TermIndex>,
         table: &PublishedTable,
+        epoch: u64,
         stats: EngineStats,
     ) -> Self {
         let distinct_qi = table.interner().distinct();
@@ -376,8 +412,16 @@ impl Estimate {
             distinct_qi,
             sa_cardinality,
             qi_marginal,
+            epoch,
             stats,
         }
+    }
+
+    /// The table epoch this estimate was assembled against (0 for a table
+    /// that never saw a [`crate::delta::TableDelta`]).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Panics with a descriptive message when `(q, s)` lies outside the
@@ -388,7 +432,8 @@ impl Estimate {
         self.check_qi(q);
         assert!(
             (s as usize) < self.sa_cardinality,
-            "SA value {s} out of range: the published table has {} sensitive values",
+            "SA value {s} out of range: the published table at epoch {} has {} sensitive values",
+            self.epoch,
             self.sa_cardinality
         );
     }
@@ -397,7 +442,8 @@ impl Estimate {
     fn check_qi(&self, q: QiId) {
         assert!(
             q < self.distinct_qi,
-            "QI symbol {q} out of range: the published table has {} distinct QI tuples",
+            "QI symbol {q} out of range: the published table at epoch {} has {} distinct QI tuples",
+            self.epoch,
             self.distinct_qi
         );
     }
@@ -414,7 +460,8 @@ impl Estimate {
         self.check_query(q, s);
         assert!(
             b < self.index.num_buckets(),
-            "bucket {b} out of range: the published table has {} buckets",
+            "bucket {b} out of range: the published table at epoch {} has {} buckets",
+            self.epoch,
             self.index.num_buckets()
         );
         self.index
@@ -509,7 +556,8 @@ impl Engine {
         let index = Arc::new(TermIndex::build(table));
         let mut values = vec![0.0; index.len()];
         fill_uniform(table, &index, (0..table.num_buckets()).collect::<Vec<_>>().as_slice(), &mut values);
-        Estimate::assemble(values, index, table, EngineStats::default())
+        counts_to_probabilities(&mut values, table);
+        Estimate::assemble(values, index, table, 0, EngineStats::default())
     }
 
     /// Computes the maxent estimate of `P(Q, S, B)` under `kb`.
@@ -548,6 +596,12 @@ impl Engine {
 /// state (runs on a worker thread); the caller merges the returned
 /// [`ComponentSolution`] in component order.
 ///
+/// The whole solve happens in **count space** (targets and values are
+/// record counts): counts are integers, so a component whose buckets and
+/// knowledge rows are untouched by a table delta sees a bit-identical
+/// local system in every epoch — the foundation of the session engine's
+/// reuse guarantee. The caller divides by `N` when assembling an estimate.
+///
 /// `warm` maps a global constraint index to a dual seed (the session's dual
 /// cache); `None` cold-starts from the origin, which is the bit-stable
 /// path.
@@ -559,36 +613,45 @@ pub(crate) fn solve_component(
     comp: &Component,
     warm: Option<&(dyn Fn(usize) -> f64 + Sync)>,
 ) -> Result<ComponentSolution, PmError> {
-    let n = table.total_records() as f64;
-
     // Local term space: concatenation of the component buckets' ranges.
+    // `concat_start[i]` is where comp.buckets[i]'s range begins locally.
     let mut local_of = std::collections::HashMap::new();
+    let mut concat_start = Vec::with_capacity(comp.buckets.len());
     let mut global_of = Vec::new();
     for &b in &comp.buckets {
+        concat_start.push(global_of.len());
         for t in index.bucket_range(b) {
             local_of.insert(t, global_of.len());
             global_of.push(t);
         }
     }
 
-    // Localised constraints, with count-space targets (× N).
-    let row_ids: Vec<usize> = comp
-        .buckets
-        .iter()
-        .flat_map(|&b| rows.bucket_invariants[b].iter().copied())
-        .chain(comp.knowledge_rows.iter().copied())
-        .collect();
-    let local_constraints: Vec<Constraint> = row_ids
-        .iter()
-        .map(|&ci| {
-            let c = rows.get(ci);
-            Constraint {
-                coeffs: c.coeffs.iter().map(|&(t, v)| (local_of[&t], v)).collect(),
-                rhs: c.rhs * n,
+    // Localised constraints. Invariant rows arrive in bucket-local
+    // coordinates (count-space rhs) from the shared artifact and localise
+    // by offset arithmetic; knowledge rows carry global term ids and go
+    // through the map.
+    let mut row_ids: Vec<usize> = Vec::new();
+    let mut local_constraints: Vec<Constraint> = Vec::new();
+    for (i, &b) in comp.buckets.iter().enumerate() {
+        let start = concat_start[i];
+        for (k, c) in rows.bucket_rows[b].iter().enumerate() {
+            row_ids.push(rows.row_offsets[b] + k);
+            local_constraints.push(Constraint {
+                coeffs: c.coeffs.iter().map(|&(t, v)| (start + t, v)).collect(),
+                rhs: c.rhs,
                 origin: c.origin.clone(),
-            }
-        })
-        .collect();
+            });
+        }
+    }
+    for &ci in &comp.knowledge_rows {
+        let c = rows.get(ci);
+        row_ids.push(ci);
+        local_constraints.push(Constraint {
+            coeffs: c.coeffs.iter().map(|&(t, v)| (local_of[&t], v)).collect(),
+            rhs: c.rhs,
+            origin: c.origin.clone(),
+        });
+    }
 
     // Dual seeds aligned with `local_constraints` (zeros when cold).
     let seed: Option<Vec<f64>> =
@@ -680,9 +743,8 @@ pub(crate) fn solve_component(
         return Err(PmError::SolverFailed { residual: best_residual });
     }
 
-    for v in &mut best_values {
-        *v /= n;
-    }
+    // Values stay in count space — the epoch-stable currency; estimates
+    // divide by `N` at assembly.
     // Crossover rows (appended past the local list) are pinning artefacts,
     // not cacheable duals.
     let duals: Vec<(usize, f64)> = best_duals
@@ -824,8 +886,8 @@ const _: () = {
     send_sync::<PublishedTable>();
 };
 
-/// Fills `values` with the Theorem-5 closed form for the given buckets
-/// (one [`uniform_bucket_values`] copy per bucket range).
+/// Fills `values` with the Theorem-5 closed form (count space) for the
+/// given buckets (one [`uniform_bucket_values`] copy per bucket range).
 pub(crate) fn fill_uniform(
     table: &PublishedTable,
     index: &TermIndex,
@@ -837,10 +899,13 @@ pub(crate) fn fill_uniform(
     }
 }
 
-/// The Theorem-5 closed form `P(q, s, b) = P(q, b) · (#s in b) / N_b` for
-/// one bucket, aligned with the bucket's term range — the single home of
-/// the formula, and the session engine's copy-on-write overlay unit (a
-/// one-shot session has no shared baseline vector to revert to, so a dirty
+/// The Theorem-5 closed form for one bucket, aligned with the bucket's term
+/// range, in **count space**: `qc · sc / N_b` (divide by `N` for the
+/// paper's `P(q, s, b) = P(q, b) · (#s in b) / N_b`). Count space makes the
+/// value a function of the bucket's own multiset alone — bit-identical
+/// across table epochs that leave the bucket untouched. This is the single
+/// home of the formula, and the session engine's copy-on-write overlay unit
+/// (a one-shot session has no shared baseline to revert to, so a dirty
 /// irrelevant bucket materialises its closed form directly).
 pub(crate) fn uniform_bucket_values(
     table: &PublishedTable,
@@ -850,16 +915,26 @@ pub(crate) fn uniform_bucket_values(
     let range = index.bucket_range(b);
     let start = range.start;
     let mut values = vec![0.0; range.len()];
-    let n = table.total_records() as f64;
     let bucket = table.bucket(b);
     let nb = bucket.size() as f64;
     for &(q, qc) in bucket.qi_counts() {
         for &(s, sc) in bucket.sa_counts() {
             let t = index.get(q, s, b).expect("admissible by construction");
-            values[t - start] = (qc as f64 / n) * (sc as f64 / nb);
+            values[t - start] = qc as f64 * (sc as f64 / nb);
         }
     }
     values
+}
+
+/// Converts a count-space term vector into probability space in place —
+/// the one `÷ N` every estimate assembly applies, kept in a single home so
+/// all paths round identically (bit-identity across epochs and sessions
+/// depends on it).
+pub(crate) fn counts_to_probabilities(values: &mut [f64], table: &PublishedTable) {
+    let n = table.total_records() as f64;
+    for v in values {
+        *v /= n;
+    }
 }
 
 #[cfg(test)]
@@ -1161,6 +1236,19 @@ mod tests {
         let (_, table) = paper_example();
         let est = Engine::uniform_estimate(&table);
         let _ = est.p_qsb(42, 0, 0);
+    }
+
+    /// Bounds-check panics name the estimate's table epoch, so a handle
+    /// from one epoch misused against another is diagnosable (a uniform
+    /// estimate is always epoch 0 — the session path is covered by the
+    /// rebase tests, which assert `Estimate::epoch` advances).
+    #[test]
+    #[should_panic(expected = "the published table at epoch 0 has 3 buckets")]
+    fn bounds_panics_name_the_epoch() {
+        let (_, table) = paper_example();
+        let est = Engine::uniform_estimate(&table);
+        assert_eq!(est.epoch(), 0);
+        let _ = est.p_qsb(0, 0, 77);
     }
 
     /// In-range lookups still behave exactly as before the bounds checks:

@@ -70,6 +70,26 @@ pub enum PmError {
         /// The underlying failure.
         source: Box<PmError>,
     },
+    /// A record-level [`crate::delta::TableDelta`] operation is
+    /// inconsistent with the published table (unknown bucket, SA value
+    /// outside the domain, retracting a record the bucket does not hold).
+    /// The whole delta is rejected; no new epoch is produced.
+    InvalidDelta {
+        /// Description of the offending operation.
+        detail: String,
+    },
+    /// A handle from one table epoch was used against another: e.g.
+    /// [`crate::analyst::Analyst::rebase`] was given an artifact that is
+    /// not the direct successor of the session's current epoch (wrong
+    /// lineage, skipped epochs, or going backwards).
+    EpochMismatch {
+        /// The epoch the session (or handle) is pinned to.
+        session_epoch: u64,
+        /// The epoch of the artifact it was used against.
+        artifact_epoch: u64,
+        /// What went wrong, human-readably.
+        detail: String,
+    },
 }
 
 impl PmError {
@@ -115,6 +135,12 @@ impl fmt::Display for PmError {
             Self::Component { index, .. } => {
                 write!(f, "component {index} failed to re-solve")
             }
+            Self::InvalidDelta { detail } => write!(f, "invalid table delta: {detail}"),
+            Self::EpochMismatch { session_epoch, artifact_epoch, detail } => write!(
+                f,
+                "epoch mismatch: session at epoch {session_epoch}, artifact at epoch \
+                 {artifact_epoch} ({detail})"
+            ),
         }
     }
 }

@@ -14,12 +14,58 @@
 //! bucket, keeping a minimal complete system — fewer dual variables, same
 //! optimum.
 
-use pm_anonymize::published::PublishedTable;
+use pm_anonymize::published::{BucketView, PublishedTable};
 
 use crate::constraint::{Constraint, ConstraintOrigin};
 use crate::terms::TermIndex;
 
-/// Generates the invariant equations of `table`.
+/// Generates the invariant equations of one bucket in **bucket-local,
+/// count-space** form: coefficients index the bucket's own term range
+/// (offset 0 = the bucket's first admissible term) and right-hand sides are
+/// integer record counts — `qc` for a QI-invariant, `sc` for an
+/// SA-invariant.
+///
+/// This is the epoch-shareable unit the [`crate::compiled::CompiledTable`]
+/// artifact stores per bucket: nothing here depends on the total record
+/// count `N` or on any other bucket, so a table delta leaves untouched
+/// buckets' rows **bit-identical** — which is what lets a rebased session
+/// reuse their solutions verbatim. (Exact integer counts matter:
+/// `(qc / N) · N` re-scaled per epoch would drift in the low bits whenever
+/// `N` changes.) The solver consumes counts directly; probabilities appear
+/// only when an estimate is assembled (`÷ N`).
+pub(crate) fn bucket_invariant_rows(bucket: &BucketView, b: usize, concise: bool) -> Vec<Constraint> {
+    let h = bucket.distinct_sa();
+    let mut out = Vec::with_capacity(bucket.distinct_qi() + h.saturating_sub(usize::from(concise)));
+    for (qi, &(q, qc)) in bucket.qi_counts().iter().enumerate() {
+        // QI-major local layout: the terms of symbol q are the contiguous
+        // block [qi·h, (qi+1)·h).
+        let coeffs: Vec<(usize, f64)> = (qi * h..(qi + 1) * h).map(|t| (t, 1.0)).collect();
+        out.push(Constraint {
+            coeffs,
+            rhs: qc as f64,
+            origin: ConstraintOrigin::QiInvariant { q, b },
+        });
+    }
+    for (k, &(s, sc)) in bucket.sa_counts().iter().enumerate() {
+        if concise && k == 0 {
+            continue;
+        }
+        let coeffs: Vec<(usize, f64)> =
+            (0..bucket.distinct_qi()).map(|qi| (qi * h + k, 1.0)).collect();
+        out.push(Constraint {
+            coeffs,
+            rhs: sc as f64,
+            origin: ConstraintOrigin::SaInvariant { s, b },
+        });
+    }
+    out
+}
+
+/// Generates the invariant equations of `table`, in global term
+/// coordinates and probability space (`rhs = count / N`) — the public,
+/// paper-notation view. The engine itself consumes the per-bucket
+/// count-space rows (`bucket_invariant_rows`) via the compiled artifact;
+/// this wrapper globalises those same rows, so the two can never drift.
 ///
 /// With `concise = true`, the first SA-invariant of every bucket is omitted
 /// (justified by Theorem 3: removing any single invariant from a bucket's
@@ -32,43 +78,13 @@ pub fn data_invariants(
     let n = table.total_records() as f64;
     let mut out = Vec::new();
     for b in 0..table.num_buckets() {
-        let bucket = table.bucket(b);
-        for &(q, qc) in bucket.qi_counts() {
-            let coeffs: Vec<(usize, f64)> = bucket
-                .sa_counts()
-                .iter()
-                .map(|&(s, _)| {
-                    (
-                        index.get(q, s, b).expect("admissible by construction"),
-                        1.0,
-                    )
-                })
-                .collect();
-            out.push(Constraint {
-                coeffs,
-                rhs: qc as f64 / n,
-                origin: ConstraintOrigin::QiInvariant { q, b },
-            });
-        }
-        for (k, &(s, sc)) in bucket.sa_counts().iter().enumerate() {
-            if concise && k == 0 {
-                continue;
+        let start = index.bucket_range(b).start;
+        for mut c in bucket_invariant_rows(table.bucket(b), b, concise) {
+            for (t, _) in &mut c.coeffs {
+                *t += start;
             }
-            let coeffs: Vec<(usize, f64)> = bucket
-                .qi_counts()
-                .iter()
-                .map(|&(q, _)| {
-                    (
-                        index.get(q, s, b).expect("admissible by construction"),
-                        1.0,
-                    )
-                })
-                .collect();
-            out.push(Constraint {
-                coeffs,
-                rhs: sc as f64 / n,
-                origin: ConstraintOrigin::SaInvariant { s, b },
-            });
+            c.rhs /= n;
+            out.push(c);
         }
     }
     out

@@ -37,11 +37,24 @@
 //! those with `pm-solver`. The one-shot [`engine::Engine::estimate`] is a
 //! thin wrapper that feeds a throwaway session. Every fallible operation
 //! returns the single [`error::PmError`].
+//!
+//! The published table itself is **live**: a record-level
+//! [`delta::TableDelta`] advances the compiled artifact to a new *epoch*
+//! ([`compiled::CompiledTable::apply`]) recompiling only the touched
+//! buckets, and resident sessions carry their adversary model across
+//! epochs with [`analyst::Analyst::rebase`] — still bit-identical to
+//! compiling the post-delta table from scratch.
+//!
+//! See `ARCHITECTURE.md` at the repository root for the crate map and the
+//! compile → open → delta → refresh → query data-flow.
+
+#![warn(missing_docs)]
 
 pub mod analyst;
 pub mod compile;
 pub mod compiled;
 pub mod constraint;
+pub mod delta;
 pub mod engine;
 pub mod error;
 pub mod individuals;
@@ -56,8 +69,9 @@ pub mod report;
 pub mod terms;
 pub mod validate;
 
-pub use analyst::{Analyst, AnalystReport, KnowledgeHandle, RefreshStats};
+pub use analyst::{Analyst, AnalystReport, KnowledgeHandle, RebaseStats, RefreshStats};
 pub use compiled::{CompileStats, CompiledTable};
+pub use delta::{AppliedDelta, DeltaOp, TableDelta};
 pub use engine::{
     Engine, EngineConfig, EngineConfigBuilder, EngineStats, Estimate, SolverKind,
 };

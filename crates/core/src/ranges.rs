@@ -109,8 +109,9 @@ pub fn estimate_with_ranges(
             &index,
             &buckets_of,
         )?;
-        // compile gave rhs = 0.5 · P(Qv); recover P(Qv) to scale the box.
-        let p_qv_counts = compiled.rhs * n / 0.5;
+        // compile gave the count-space target 0.5 · #Qv; recover the count
+        // of matching records to scale the box.
+        let p_qv_counts = compiled.rhs / 0.5;
         boxes.push(BoxConstraint {
             coeffs: compiled.coeffs,
             lo: r.lo * p_qv_counts,
@@ -130,7 +131,7 @@ pub fn estimate_with_ranges(
         total_elapsed: start.elapsed(),
         ..Default::default()
     };
-    Ok(Estimate::assemble(values, std::sync::Arc::new(index), table, stats))
+    Ok(Estimate::assemble(values, std::sync::Arc::new(index), table, 0, stats))
 }
 
 #[cfg(test)]

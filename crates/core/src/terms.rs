@@ -5,11 +5,23 @@
 //! are indexed; all others are pinned to zero by the Zero-invariant
 //! equations (Eq. 6), which this representation enforces structurally
 //! instead of materialising `|QI|·|SA|·m` rows.
+//!
+//! # Epoch sharing
+//!
+//! The index is two-level: per-bucket term lists (`BucketTerms`, each
+//! behind an [`Arc`]) plus a global prefix-offset table. Global term ids
+//! stay bucket-major (all of bucket 0, then bucket 1, …) so per-bucket and
+//! per-component slicing is free — but because a bucket's local layout is
+//! self-contained, advancing a [`crate::compiled::CompiledTable`] to a new
+//! epoch rebuilds only the *touched* buckets' `BucketTerms` and the
+//! `O(m)` offset table; untouched buckets share their term lists (and local
+//! lookup maps) with the previous epoch by reference.
 
 use std::collections::HashMap;
 use std::ops::Range;
+use std::sync::Arc;
 
-use pm_anonymize::published::PublishedTable;
+use pm_anonymize::published::{BucketView, PublishedTable};
 use pm_microdata::qi::QiId;
 use pm_microdata::value::Value;
 
@@ -24,71 +36,139 @@ pub struct Term {
     pub b: usize,
 }
 
+/// The admissible terms of one bucket: the `(q, s)` pairs in local (bucket-
+/// relative) order plus the local lookup map. Epoch-shareable — nothing
+/// here depends on other buckets or on global offsets.
+#[derive(Debug)]
+pub(crate) struct BucketTerms {
+    /// `(q, s)` pairs, QI-major in the bucket's ascending count order.
+    pairs: Vec<(QiId, Value)>,
+    /// `(q, s)` → local offset.
+    lookup: HashMap<(QiId, Value), usize>,
+}
+
+impl BucketTerms {
+    pub(crate) fn build(bucket: &BucketView) -> Self {
+        let mut pairs = Vec::with_capacity(bucket.distinct_qi() * bucket.distinct_sa());
+        let mut lookup = HashMap::with_capacity(pairs.capacity());
+        for &(q, _) in bucket.qi_counts() {
+            for &(s, _) in bucket.sa_counts() {
+                lookup.insert((q, s), pairs.len());
+                pairs.push((q, s));
+            }
+        }
+        Self { pairs, lookup }
+    }
+
+    /// Number of admissible terms in this bucket.
+    pub(crate) fn len(&self) -> usize {
+        self.pairs.len()
+    }
+}
+
 /// Dense index of all admissible terms of a published table.
 ///
 /// Terms are laid out bucket-major (all of bucket 0, then bucket 1, …),
-/// which makes per-bucket and per-component slicing free.
+/// which makes per-bucket and per-component slicing free. See the
+/// [module docs](self) for the epoch-sharing layout.
 #[derive(Debug, Clone)]
 pub struct TermIndex {
-    terms: Vec<Term>,
-    lookup: HashMap<(QiId, Value, usize), usize>,
-    bucket_ranges: Vec<Range<usize>>,
+    buckets: Vec<Arc<BucketTerms>>,
+    /// Prefix sums of per-bucket term counts; `offsets[m]` = total terms.
+    offsets: Vec<usize>,
 }
 
 impl TermIndex {
     /// Builds the index for a published table.
     pub fn build(table: &PublishedTable) -> Self {
-        let mut terms = Vec::new();
-        let mut lookup = HashMap::new();
-        let mut bucket_ranges = Vec::with_capacity(table.num_buckets());
-        for b in 0..table.num_buckets() {
-            let start = terms.len();
-            let bucket = table.bucket(b);
-            for &(q, _) in bucket.qi_counts() {
-                for &(s, _) in bucket.sa_counts() {
-                    lookup.insert((q, s, b), terms.len());
-                    terms.push(Term { q, s, b });
-                }
-            }
-            bucket_ranges.push(start..terms.len());
+        let buckets: Vec<Arc<BucketTerms>> = (0..table.num_buckets())
+            .map(|b| Arc::new(BucketTerms::build(table.bucket(b))))
+            .collect();
+        Self::from_buckets(buckets)
+    }
+
+    /// Assembles an index from per-bucket term lists (shared or rebuilt) —
+    /// the epoch-advance entry point.
+    pub(crate) fn from_buckets(buckets: Vec<Arc<BucketTerms>>) -> Self {
+        let mut offsets = Vec::with_capacity(buckets.len() + 1);
+        let mut total = 0usize;
+        offsets.push(0);
+        for b in &buckets {
+            total += b.len();
+            offsets.push(total);
         }
-        Self { terms, lookup, bucket_ranges }
+        Self { buckets, offsets }
+    }
+
+    /// The shared per-bucket term lists (for epoch advances).
+    pub(crate) fn bucket_terms(&self) -> &[Arc<BucketTerms>] {
+        &self.buckets
     }
 
     /// Number of admissible terms (the maxent problem's primal dimension).
     pub fn len(&self) -> usize {
-        self.terms.len()
+        *self.offsets.last().expect("offsets always holds the leading 0")
     }
 
     /// Whether there are no terms.
     pub fn is_empty(&self) -> bool {
-        self.terms.is_empty()
+        self.len() == 0
     }
 
     /// The term at `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
     pub fn term(&self, idx: usize) -> Term {
-        self.terms[idx]
+        let b = self.bucket_of(idx);
+        let (q, s) = self.buckets[b].pairs[idx - self.offsets[b]];
+        Term { q, s, b }
+    }
+
+    /// The bucket whose range contains global term id `idx`.
+    pub(crate) fn bucket_of(&self, idx: usize) -> usize {
+        debug_assert!(idx < self.len(), "term id {idx} out of range");
+        // partition_point returns the first offset *greater* than idx; the
+        // bucket is the one before it.
+        self.offsets.partition_point(|&o| o <= idx) - 1
     }
 
     /// Index of `P(q, s, b)`, or `None` if the term is inadmissible (i.e.
     /// pinned to zero by a Zero-invariant).
     pub fn get(&self, q: QiId, s: Value, b: usize) -> Option<usize> {
-        self.lookup.get(&(q, s, b)).copied()
+        self.buckets
+            .get(b)?
+            .lookup
+            .get(&(q, s))
+            .map(|&local| self.offsets[b] + local)
     }
 
     /// The contiguous index range of bucket `b`'s terms.
     pub fn bucket_range(&self, b: usize) -> Range<usize> {
-        self.bucket_ranges[b].clone()
+        self.offsets[b]..self.offsets[b + 1]
     }
 
     /// Number of buckets covered.
     pub fn num_buckets(&self) -> usize {
-        self.bucket_ranges.len()
+        self.buckets.len()
     }
 
     /// Iterates `(index, term)`.
     pub fn iter(&self) -> impl Iterator<Item = (usize, Term)> + '_ {
-        self.terms.iter().copied().enumerate()
+        self.buckets.iter().enumerate().flat_map(move |(b, bt)| {
+            let start = self.offsets[b];
+            bt.pairs
+                .iter()
+                .enumerate()
+                .map(move |(i, &(q, s))| (start + i, Term { q, s, b }))
+        })
+    }
+
+    /// Whether bucket `b`'s term list is shared (pointer-equal) with the
+    /// same bucket of `other` — the structural-sharing observability hook
+    /// the epoch tests use.
+    pub fn bucket_shared_with(&self, other: &Self, b: usize) -> bool {
+        Arc::ptr_eq(&self.buckets[b], &other.buckets[b])
     }
 }
 
@@ -133,8 +213,29 @@ mod tests {
         let idx = TermIndex::build(&table);
         for (i, t) in idx.iter() {
             assert_eq!(idx.get(t.q, t.s, t.b), Some(i));
+            assert_eq!(idx.term(i), t);
             let r = idx.bucket_range(t.b);
             assert!(r.contains(&i));
+        }
+    }
+
+    /// Untouched buckets of a delta-advanced table share their term lists
+    /// by reference; only the touched bucket's list is rebuilt.
+    #[test]
+    fn epoch_advance_shares_untouched_buckets() {
+        let (_, table) = paper_example();
+        let old = TermIndex::build(&table);
+        let mut buckets = old.bucket_terms().to_vec();
+        let mut mutated = table.clone();
+        mutated.insert_record(&[0, 0], 0, 1).unwrap();
+        buckets[1] = Arc::new(BucketTerms::build(mutated.bucket(1)));
+        let new = TermIndex::from_buckets(buckets);
+        assert!(new.bucket_shared_with(&old, 0));
+        assert!(!new.bucket_shared_with(&old, 1));
+        assert!(new.bucket_shared_with(&old, 2));
+        // Offsets shifted; identities are preserved per bucket.
+        for (i, t) in new.iter() {
+            assert_eq!(new.get(t.q, t.s, t.b), Some(i));
         }
     }
 }

@@ -30,6 +30,11 @@ pub enum MicrodataError {
     /// The paper (and this reproduction) model a single SA column; multiple
     /// SA columns must be combined into a product domain by the caller.
     MultipleSensitiveAttributes,
+    /// A retraction targeted an interned symbol with no occurrences left.
+    NoOccurrences {
+        /// The offending symbol id.
+        id: usize,
+    },
 }
 
 impl fmt::Display for MicrodataError {
@@ -46,6 +51,9 @@ impl fmt::Display for MicrodataError {
             Self::NoSensitiveAttribute => write!(f, "schema declares no sensitive attribute"),
             Self::MultipleSensitiveAttributes => {
                 write!(f, "schema declares multiple sensitive attributes")
+            }
+            Self::NoOccurrences { id } => {
+                write!(f, "symbol {id} has no occurrences left to retract")
             }
         }
     }

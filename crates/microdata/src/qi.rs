@@ -2,6 +2,7 @@
 //! paper's abstract form (Figure 1(c)), and SA value aliases.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::dataset::Dataset;
 use crate::error::MicrodataError;
@@ -16,14 +17,29 @@ pub type QiId = usize;
 /// usize`; the alias exists for readability at API boundaries.
 pub type SaId = usize;
 
+/// The append-only symbol table behind [`QiInterner`]: tuple storage plus
+/// the reverse map. Split out so interner clones — one per table epoch in a
+/// live-table deployment — share it behind an [`Arc`] instead of re-hashing
+/// every distinct tuple; it is only deep-copied when a *new* tuple is
+/// observed on a shared interner.
+#[derive(Debug, Clone, Default)]
+struct TupleTable {
+    map: HashMap<Vec<Value>, QiId>,
+    tuples: Vec<Vec<Value>>,
+}
+
 /// Interner mapping full-QI tuples to dense [`QiId`]s, with occurrence counts.
 ///
 /// "If two people have the same QI value, their QI values will be denoted by
 /// the same symbol" — the interner is exactly that symbol table.
+///
+/// Ids are **stable for the lifetime of the interner** (and any clone
+/// lineage): [`QiInterner::retract`] can drive a tuple's count to zero, but
+/// its id is never reused, so handles and estimates indexed by `QiId`
+/// survive record deltas.
 #[derive(Debug, Clone, Default)]
 pub struct QiInterner {
-    map: HashMap<Vec<Value>, QiId>,
-    tuples: Vec<Vec<Value>>,
+    table: Arc<TupleTable>,
     counts: Vec<usize>,
     total: usize,
 }
@@ -51,30 +67,50 @@ impl QiInterner {
     /// Interns one tuple occurrence, returning its id.
     pub fn observe(&mut self, tuple: &[Value]) -> QiId {
         self.total += 1;
-        if let Some(&id) = self.map.get(tuple) {
+        if let Some(&id) = self.table.map.get(tuple) {
             self.counts[id] += 1;
             return id;
         }
-        let id = self.tuples.len();
-        self.map.insert(tuple.to_vec(), id);
-        self.tuples.push(tuple.to_vec());
+        // New tuple: copy-on-write the shared storage (cheap when this
+        // interner is the sole owner, a full copy only when an epoch clone
+        // actually grows the symbol table).
+        let table = Arc::make_mut(&mut self.table);
+        let id = table.tuples.len();
+        table.map.insert(tuple.to_vec(), id);
+        table.tuples.push(tuple.to_vec());
         self.counts.push(1);
         id
     }
 
+    /// Removes one occurrence of `id` (a record retraction). The tuple stays
+    /// interned — ids are never reused — with its count decremented.
+    ///
+    /// # Errors
+    /// [`MicrodataError::NoOccurrences`] if the tuple has no occurrences
+    /// left (or `id` was never issued).
+    pub fn retract(&mut self, id: QiId) -> Result<(), MicrodataError> {
+        if self.counts.get(id).copied().unwrap_or(0) == 0 {
+            return Err(MicrodataError::NoOccurrences { id });
+        }
+        self.counts[id] -= 1;
+        self.total -= 1;
+        Ok(())
+    }
+
     /// Looks up an already-interned tuple.
     pub fn lookup(&self, tuple: &[Value]) -> Option<QiId> {
-        self.map.get(tuple).copied()
+        self.table.map.get(tuple).copied()
     }
 
     /// The tuple behind `id`.
     pub fn tuple(&self, id: QiId) -> &[Value] {
-        &self.tuples[id]
+        &self.table.tuples[id]
     }
 
-    /// Number of distinct tuples.
+    /// Number of distinct tuples ever observed (retracted-to-zero tuples
+    /// keep their slot — ids are stable).
     pub fn distinct(&self) -> usize {
-        self.tuples.len()
+        self.table.tuples.len()
     }
 
     /// Occurrences of `id` across all observed records.
@@ -99,7 +135,8 @@ impl QiInterner {
 
     /// Iterates `(id, tuple, count)`.
     pub fn iter(&self) -> impl Iterator<Item = (QiId, &[Value], usize)> {
-        self.tuples
+        self.table
+            .tuples
             .iter()
             .enumerate()
             .map(|(i, t)| (i, t.as_slice(), self.counts[i]))
@@ -164,5 +201,44 @@ mod tests {
         assert_eq!(i.distinct(), 0);
         assert_eq!(i.total(), 0);
         assert_eq!(i.lookup(&[0]), None);
+    }
+
+    /// Retraction keeps ids stable: the count drops (possibly to zero), the
+    /// tuple stays interned, and re-observing it revives the same id.
+    #[test]
+    fn retract_keeps_ids_stable() {
+        let mut i = QiInterner::new();
+        let a = i.observe(&[1, 2]);
+        let b = i.observe(&[3, 4]);
+        i.retract(a).unwrap();
+        assert_eq!(i.count(a), 0);
+        assert_eq!(i.total(), 1);
+        assert_eq!(i.distinct(), 2, "retracted tuples keep their slot");
+        assert_eq!(i.lookup(&[1, 2]), Some(a));
+        assert!(i.retract(a).is_err(), "cannot retract below zero");
+        assert_eq!(i.observe(&[1, 2]), a, "revived under the same id");
+        let _ = b;
+    }
+
+    /// Epoch clones share the tuple table until one of them observes a new
+    /// tuple; counts are always private to each clone.
+    #[test]
+    fn clones_share_storage_copy_on_write() {
+        let mut base = QiInterner::new();
+        base.observe(&[1]);
+        base.observe(&[2]);
+        let mut clone = base.clone();
+        assert!(Arc::ptr_eq(&base.table, &clone.table));
+        // Observing an existing tuple touches only counts: still shared.
+        clone.observe(&[1]);
+        assert!(Arc::ptr_eq(&base.table, &clone.table));
+        assert_eq!(base.count(0), 1);
+        assert_eq!(clone.count(0), 2);
+        // A new tuple forces the copy; the base is unaffected.
+        let c = clone.observe(&[9]);
+        assert!(!Arc::ptr_eq(&base.table, &clone.table));
+        assert_eq!(base.distinct(), 2);
+        assert_eq!(clone.distinct(), 3);
+        assert_eq!(clone.tuple(c), &[9]);
     }
 }

@@ -104,6 +104,72 @@
 //! Run `cargo run --example quickstart` for the printed walkthrough, and
 //! `pmx compile` / `pmx session` for the CLI face of the same split.
 //!
+//! # Live tables: `TableDelta` epochs and session rebase
+//!
+//! The published table itself can change — late arrivals, retractions,
+//! bucket re-assignments. A [`TableDelta`](maxent::delta::TableDelta)
+//! advances the artifact one **epoch**
+//! ([`CompiledTable::apply`](maxent::compiled::CompiledTable::apply)),
+//! recompiling only the touched buckets' invariant rows, term lists and
+//! Theorem 5 baselines (everything else is `Arc`-shared with the previous
+//! epoch), and resident sessions
+//! [`rebase`](maxent::analyst::Analyst::rebase) onto it, carrying their
+//! knowledge and solved overlay across — the next `refresh` re-solves only
+//! what the delta dirtied, yet stays bit-identical to compiling the
+//! post-delta table from scratch:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use privacy_maxent_repro::prelude::*;
+//!
+//! let (_, table) = pm_anonymize::fixtures::paper_example();
+//! let epoch0 = Arc::new(CompiledTable::build(table, EngineConfig::default()).unwrap());
+//! let mut analyst = Analyst::open(Arc::clone(&epoch0));
+//! let handle = analyst
+//!     .add_knowledge(Knowledge::Conditional {
+//!         antecedent: vec![(0, 0), (1, 1)], // q3 = (male, high school)
+//!         sa: 1,                            // pneumonia
+//!         probability: 0.5,
+//!     })
+//!     .unwrap();
+//! analyst.refresh().unwrap();
+//!
+//! // A late-arriving (female, junior) lung-cancer record lands in bucket 3.
+//! let delta = TableDelta::new().insert(vec![1, 2], 4, 2);
+//! let epoch1 = Arc::new(epoch0.apply(&delta).unwrap());
+//! assert_eq!(epoch1.stats().recompiled_buckets, 1); // buckets 1 & 2 shared
+//!
+//! // Carry the session across; only the delta's footprint re-solves.
+//! let stats = analyst.rebase(&epoch1).unwrap();
+//! assert_eq!(stats.carried, 2, "solved overlay slices carried verbatim");
+//! let refresh = analyst.refresh().unwrap();
+//! assert_eq!(refresh.resolved, 0, "knowledge component untouched");
+//! assert_eq!(refresh.closed_form, 1, "bucket 3 reverts to Theorem 5");
+//! assert_eq!(analyst.estimate().epoch(), 1);
+//!
+//! // Bit-identical to compiling the post-delta table from scratch with
+//! // the same knowledge set.
+//! let scratch = Arc::new(
+//!     CompiledTable::build(epoch1.table().clone(), EngineConfig::default()).unwrap(),
+//! );
+//! let mut replay = Analyst::open(scratch);
+//! let _ = replay
+//!     .add_knowledge(Knowledge::Conditional {
+//!         antecedent: vec![(0, 0), (1, 1)],
+//!         sa: 1,
+//!         probability: 0.5,
+//!     })
+//!     .unwrap();
+//! replay.refresh().unwrap();
+//! assert_eq!(analyst.estimate().term_values(), replay.estimate().term_values());
+//! # let _ = handle;
+//! ```
+//!
+//! `pmx session` exposes the same loop interactively (`insert` / `retract`
+//! / `move` / `rebase`), and `pm-bench`'s `table_delta_bench` measures the
+//! epoch path against from-scratch recompilation
+//! (`BENCH_table_delta.json`).
+//!
 //! # Incremental refreshes, forks and determinism
 //!
 //! Section 5.5 decomposes the constraint system into independent bucket
@@ -136,9 +202,9 @@
 //! | [`pm_linalg`] | dense + CSR sparse kernels |
 //! | [`pm_solver`] | GIS/IIS, gradient, CG, L-BFGS, Newton maxent solvers (warm-startable) |
 //! | [`pm_parallel`] | scoped work-stealing executor, dirty-set scheduling, broadcast |
-//! | [`privacy_maxent`](maxent) | invariants, knowledge compilation, `CompiledTable` artifact, `Analyst` sessions |
+//! | [`privacy_maxent`] | invariants, knowledge compilation, `CompiledTable` artifact, `Analyst` sessions |
 //! | [`pm_datagen`] | Adult-census-like and synthetic generators |
-//! | `pm-bench` | Figure 5-7 pipelines, `parallel_bench`, `incremental_bench`, `concurrent_bench` |
+//! | `pm-bench` | Figure 5-7 pipelines, `parallel_bench`, `incremental_bench`, `concurrent_bench`, `table_delta_bench` |
 //! | `pm-cli` | `pmx` binary: demo, quantify, `compile`, interactive `session` mode |
 //!
 //! Other runnable examples: `adult_census`, `breast_cancer`,
@@ -146,7 +212,20 @@
 //! fork per scenario).
 //!
 //! This crate re-exports the public API of every member so examples and the
-//! cross-crate integration tests in `tests/` can use one import.
+//! cross-crate integration tests in `tests/` can use one import. For the
+//! crate map, the compile → open → delta → refresh → query data-flow and
+//! where each paper section lives in the code, see the [`architecture`]
+//! module (the rendered copy of `ARCHITECTURE.md` from the repository
+//! root).
+
+#![warn(missing_docs)]
+
+/// The workspace architecture document (`ARCHITECTURE.md` at the
+/// repository root), embedded so rustdoc readers get the crate map, the
+/// compile → open → delta → refresh → query data-flow diagram, and the
+/// paper-section → code index without leaving the docs.
+#[doc = include_str!("../ARCHITECTURE.md")]
+pub mod architecture {}
 
 pub use pm_anonymize as anonymize;
 pub use pm_assoc as assoc;
@@ -165,8 +244,11 @@ pub mod prelude {
     pub use pm_datagen::adult::{AdultGenerator, AdultGeneratorConfig};
     pub use pm_microdata::dataset::Dataset;
     pub use pm_microdata::schema::{AttributeRole, Schema};
-    pub use privacy_maxent::analyst::{Analyst, AnalystReport, KnowledgeHandle, RefreshStats};
+    pub use privacy_maxent::analyst::{
+        Analyst, AnalystReport, KnowledgeHandle, RebaseStats, RefreshStats,
+    };
     pub use privacy_maxent::compiled::{CompileStats, CompiledTable};
+    pub use privacy_maxent::delta::{AppliedDelta, DeltaOp, TableDelta};
     pub use privacy_maxent::engine::{
         Engine, EngineConfig, EngineConfigBuilder, EngineStats, Estimate, SolverKind,
     };

@@ -1,0 +1,240 @@
+//! Equivalence of the live-table epoch chain and from-scratch compilation.
+//!
+//! The `TableDelta` design's central contract: advancing a `CompiledTable`
+//! through any chain of record-level deltas — with resident sessions
+//! rebasing across each epoch while their knowledge set evolves — is
+//! **bit-identical** to building the post-delta table from scratch and
+//! replaying the same knowledge set (same insertion order), for every
+//! thread count. The incremental history (which buckets were recompiled,
+//! which components re-solved, which overlay slices carried) must be
+//! unobservable in the served estimate.
+
+use std::sync::Arc;
+
+use pm_anonymize::anatomy::{AnatomyBucketizer, AnatomyConfig};
+use pm_anonymize::published::PublishedTable;
+use pm_assoc::miner::{MinerConfig, RuleMiner};
+use pm_datagen::adult::{AdultGenerator, AdultGeneratorConfig};
+use privacy_maxent::analyst::{Analyst, KnowledgeHandle};
+use privacy_maxent::compiled::CompiledTable;
+use privacy_maxent::delta::TableDelta;
+use privacy_maxent::engine::EngineConfig;
+use privacy_maxent::knowledge::Knowledge;
+use proptest::prelude::*;
+
+fn config(threads: usize) -> EngineConfig {
+    EngineConfig::builder().threads(threads).residual_limit(f64::INFINITY).build()
+}
+
+/// Seeded Adult-like workload: publication + mined knowledge items.
+fn workload(records: usize, seed: u64, k: usize) -> (PublishedTable, Vec<Knowledge>) {
+    let data = AdultGenerator::new(AdultGeneratorConfig { records, seed }).generate();
+    let table = AnatomyBucketizer::new(AnatomyConfig { ell: 5, exempt_top: 1 })
+        .publish(&data)
+        .expect("bucketization succeeds");
+    let rules = RuleMiner::new(MinerConfig { min_support: 3, arities: vec![1, 2] })
+        .mine(&data);
+    let items = rules
+        .top_k(k / 2, k - k / 2)
+        .iter()
+        .map(|r| Knowledge::from_rule(r, data.schema()).expect("mined rules are valid"))
+        .collect();
+    (table, items)
+}
+
+/// Builds a *valid* single-record delta from a selector triple: the record
+/// is drawn from the table's own multisets (so retract/move claims hold),
+/// with op 0 = insert, 1 = retract, 2 = move to the next bucket, 3 = insert
+/// a record with a never-before-seen QI tuple (interner growth).
+fn pick_delta(table: &PublishedTable, op: usize, bucket_sel: usize, rec_sel: usize) -> TableDelta {
+    let m = table.num_buckets();
+    let b = bucket_sel % m;
+    let bucket = table.bucket(b);
+    let q = bucket.qi_counts()[rec_sel % bucket.distinct_qi()].0;
+    let s = bucket.sa_counts()[rec_sel % bucket.distinct_sa()].0;
+    let mut tuple = table.interner().tuple(q).to_vec();
+    match op % 4 {
+        0 => TableDelta::new().insert(tuple, s, (b + 1) % m),
+        1 => TableDelta::new().retract(tuple, s, b),
+        2 => TableDelta::new().move_record(tuple, s, b, (b + 1) % m),
+        _ => {
+            // A fresh tuple no schema produced: out-of-vocabulary codes are
+            // legal at the published-table level and exercise interner and
+            // QI→bucket index growth across the epoch.
+            tuple[0] += 1000 + rec_sel as u16;
+            TableDelta::new().insert(tuple, s, b)
+        }
+    }
+}
+
+/// From-scratch comparator: compile the given table, replay `items` in
+/// order, refresh once.
+fn from_scratch(table: &PublishedTable, items: &[Knowledge], threads: usize) -> Analyst {
+    let mut scratch =
+        Analyst::new(table.clone(), config(threads)).expect("baseline solves");
+    scratch.add_knowledge_batch(items).expect("knowledge compiles");
+    scratch.refresh().expect("mined knowledge is feasible");
+    scratch
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The ISSUE's property: a random tape interleaving table deltas
+    /// (insert / retract / move), knowledge adds/removes and refreshes —
+    /// with the session rebasing across every epoch — stays bit-identical
+    /// to a from-scratch compile-and-replay of the materialized table, for
+    /// threads 1 / 2 / auto.
+    #[test]
+    fn delta_knowledge_interleavings_match_from_scratch(
+        seed in 1u64..10_000,
+        k in 15usize..40,
+        ops in proptest::collection::vec((0usize..5, 0usize..1000, 0usize..1000), 6..16),
+    ) {
+        let (table, items) = workload(500, seed, k);
+        let mut artifact = Arc::new(
+            CompiledTable::build(table, config(2)).expect("baseline solves"),
+        );
+        let mut session = Analyst::open(Arc::clone(&artifact));
+        let mut next = 0usize;
+        let mut live: Vec<KnowledgeHandle> = Vec::new();
+        for &(op, sel_a, sel_b) in &ops {
+            match op {
+                // Knowledge delta: add the next mined item.
+                0 if next < items.len() => {
+                    live.push(session.add_knowledge(items[next].clone()).expect("compiles"));
+                    next += 1;
+                }
+                // Knowledge delta: retract a live item.
+                1 if !live.is_empty() => {
+                    let h = live.remove(sel_a % live.len());
+                    session.remove_knowledge(h).expect("handle is live");
+                }
+                // Table delta: advance the epoch and rebase. A delta that
+                // invalidates some rule (retraction starves its antecedent)
+                // is discarded — the atomicity half of the contract.
+                2 | 3 => {
+                    let delta = pick_delta(artifact.table(), sel_a, sel_b, sel_a);
+                    let next_epoch =
+                        Arc::new(artifact.apply(&delta).expect("selector picks valid records"));
+                    match session.rebase(&next_epoch) {
+                        Ok(stats) => {
+                            prop_assert_eq!(stats.epoch, next_epoch.epoch());
+                            artifact = next_epoch;
+                        }
+                        Err(e) => {
+                            prop_assert!(
+                                matches!(e, privacy_maxent::error::PmError::InvalidKnowledge { .. }),
+                                "unexpected rebase failure: {:?}", e
+                            );
+                        }
+                    }
+                }
+                _ => {
+                    session.refresh().expect("mined knowledge is feasible");
+                }
+            }
+        }
+        session.refresh().expect("mined knowledge is feasible");
+        prop_assert!(!session.is_stale());
+
+        // Every epoch advance must be bit-unobservable: compile the final
+        // table from scratch and replay the final knowledge set.
+        let final_items: Vec<Knowledge> = session.knowledge().map(|(_, k)| k.clone()).collect();
+        for threads in [1usize, 2, 0] {
+            let scratch = from_scratch(artifact.table(), &final_items, threads);
+            prop_assert_eq!(
+                session.estimate().term_values(),
+                scratch.estimate().term_values(),
+                "seed={} k={} threads={} ops={:?}", seed, k, threads, ops
+            );
+            for q in 0..scratch.estimate().distinct_qi() {
+                prop_assert_eq!(
+                    session.estimate().conditional_row(q),
+                    scratch.estimate().conditional_row(q),
+                    "P(S | q={}) differs", q
+                );
+            }
+        }
+        prop_assert_eq!(session.estimate().epoch(), artifact.epoch());
+    }
+}
+
+/// Epoch advances at scale recompile only the delta's bucket footprint, the
+/// rebased refresh re-solves a strict subset of components, and each epoch
+/// matches from-scratch bitwise.
+#[test]
+fn epoch_chain_is_incremental_and_exact_at_scale() {
+    let (table, items) = workload(900, 42, 40);
+    let mut artifact =
+        Arc::new(CompiledTable::build(table, config(2)).expect("baseline solves"));
+    let mut session = Analyst::open(Arc::clone(&artifact));
+    session.add_knowledge_batch(&items).unwrap();
+    session.refresh().unwrap();
+
+    for step in 0..4usize {
+        let delta = pick_delta(artifact.table(), step, step * 7 + 1, step * 13 + 3);
+        let next = Arc::new(artifact.apply(&delta).unwrap());
+
+        // Structural sharing: every untouched bucket is pointer-shared.
+        let touched = next.applied_delta().unwrap().touched_buckets().to_vec();
+        assert_eq!(next.stats().recompiled_buckets, touched.len());
+        let m = artifact.table().num_buckets();
+        assert!(touched.len() < m / 4, "a single-record delta must stay local");
+        for b in 0..m {
+            assert_eq!(
+                next.bucket_shared_with(&artifact, b),
+                !touched.contains(&b),
+                "bucket {b} sharing is wrong (touched: {touched:?})"
+            );
+        }
+
+        match session.rebase(&next) {
+            Ok(_) => artifact = next,
+            Err(e) => panic!("step {step}: rebase failed: {e}"),
+        }
+        let stats = session.refresh().unwrap();
+        assert!(
+            stats.resolved + stats.closed_form < stats.components,
+            "step {step}: rebase re-solved {} of {} components",
+            stats.resolved + stats.closed_form,
+            stats.components
+        );
+        assert!(stats.reused > 0, "step {step}: nothing was reused");
+
+        let final_items: Vec<Knowledge> = session.knowledge().map(|(_, k)| k.clone()).collect();
+        let scratch = from_scratch(artifact.table(), &final_items, 1);
+        assert_eq!(
+            session.estimate().term_values(),
+            scratch.estimate().term_values(),
+            "step {step}: rebased estimate diverged from from-scratch"
+        );
+    }
+    assert_eq!(session.epoch(), 4);
+}
+
+/// The no-op fast path: an empty delta advances the epoch without dirtying
+/// anything — zero buckets recompiled, the session's next refresh is the
+/// trivial fast path, and the served estimate stays **pointer-equal**.
+#[test]
+fn noop_delta_fast_path_is_pointer_equal() {
+    let (table, items) = workload(400, 7, 10);
+    let e0 = Arc::new(CompiledTable::build(table, config(1)).unwrap());
+    let mut session = Analyst::open(Arc::clone(&e0));
+    session.add_knowledge_batch(&items).unwrap();
+    session.refresh().unwrap();
+    let before = session.snapshot();
+
+    let e1 = Arc::new(e0.apply(&TableDelta::new()).unwrap());
+    assert_eq!(e1.stats().recompiled_buckets, 0);
+    let stats = session.rebase(&e1).unwrap();
+    assert_eq!(stats.touched_buckets, 0, "no buckets dirtied");
+    assert_eq!(stats.recompiled, 0, "no knowledge recompiled");
+    assert!(!session.is_stale(), "no-op rebase leaves nothing pending");
+    session.refresh().unwrap();
+    assert!(
+        Arc::ptr_eq(&before, &session.snapshot()),
+        "no-op delta must leave the served estimate pointer-equal"
+    );
+    assert_eq!(session.epoch(), 1);
+}

@@ -33,6 +33,14 @@ pub enum AnonymizeError {
         /// Human-readable description of the inconsistency.
         detail: String,
     },
+    /// Reassembling a table from decomposed parts
+    /// ([`crate::published::PublishedTable::from_parts`]) found them
+    /// mutually inconsistent — unsorted multisets, ids outside the symbol
+    /// table, mismatched QI/SA totals within a bucket.
+    InconsistentParts {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
 }
 
 impl fmt::Display for AnonymizeError {
@@ -49,6 +57,9 @@ impl fmt::Display for AnonymizeError {
             }
             Self::Microdata(e) => write!(f, "microdata error: {e}"),
             Self::InvalidDelta { detail } => write!(f, "invalid table delta: {detail}"),
+            Self::InconsistentParts { detail } => {
+                write!(f, "inconsistent published-table parts: {detail}")
+            }
         }
     }
 }

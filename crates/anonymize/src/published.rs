@@ -26,6 +26,44 @@ pub struct BucketView {
 }
 
 impl BucketView {
+    /// Reassembles a bucket from persisted multisets. Both lists must be
+    /// strictly ascending by key with non-zero counts, and must describe
+    /// the same number of records (every record contributes one QI symbol
+    /// occurrence and one SA value occurrence); the size is derived.
+    pub fn from_counts(
+        qi_counts: Vec<(QiId, usize)>,
+        sa_counts: Vec<(Value, usize)>,
+    ) -> Result<Self, AnonymizeError> {
+        fn check_multiset<K: Copy + Ord + std::fmt::Debug>(
+            counts: &[(K, usize)],
+            what: &str,
+        ) -> Result<usize, AnonymizeError> {
+            let mut total = 0usize;
+            for (i, &(k, c)) in counts.iter().enumerate() {
+                if c == 0 {
+                    return Err(AnonymizeError::InconsistentParts {
+                        detail: format!("{what} {k:?} has a zero count"),
+                    });
+                }
+                if i > 0 && counts[i - 1].0 >= k {
+                    return Err(AnonymizeError::InconsistentParts {
+                        detail: format!("{what} multiset is not strictly ascending at {k:?}"),
+                    });
+                }
+                total += c;
+            }
+            Ok(total)
+        }
+        let nq = check_multiset(&qi_counts, "QI symbol")?;
+        let ns = check_multiset(&sa_counts, "SA value")?;
+        if nq != ns {
+            return Err(AnonymizeError::InconsistentParts {
+                detail: format!("bucket holds {nq} QI occurrences but {ns} SA occurrences"),
+            });
+        }
+        Ok(BucketView { qi_counts, sa_counts, size: nq })
+    }
+
     /// Distinct QI symbols with multiplicities, ascending by id.
     pub fn qi_counts(&self) -> &[(QiId, usize)] {
         &self.qi_counts
@@ -173,6 +211,56 @@ impl PublishedTable {
         }
 
         Ok(Self { interner, buckets, sa_cardinality, total: data.len() })
+    }
+
+    /// Reassembles a published table from persisted parts: the QI symbol
+    /// table, the bucket views and the SA domain cardinality. The record
+    /// total is derived from the bucket sizes (it can legitimately differ
+    /// from the interner's occurrence total — [`Self::truncate_buckets`]
+    /// keeps the full symbol table).
+    ///
+    /// # Errors
+    /// [`AnonymizeError::InconsistentParts`] if any bucket references a QI
+    /// symbol outside the interner or an SA value outside the domain, or if
+    /// the interner's tuples are ragged (mixed arity).
+    pub fn from_parts(
+        interner: QiInterner,
+        buckets: Vec<Arc<BucketView>>,
+        sa_cardinality: usize,
+    ) -> Result<Self, AnonymizeError> {
+        if interner.distinct() > 0 {
+            let arity = interner.tuple(0).len();
+            if (1..interner.distinct()).any(|i| interner.tuple(i).len() != arity) {
+                return Err(AnonymizeError::InconsistentParts {
+                    detail: "interned QI tuples have mixed arity".into(),
+                });
+            }
+        }
+        let mut total = 0usize;
+        for (b, bucket) in buckets.iter().enumerate() {
+            if let Some(&(q, _)) = bucket.qi_counts.last() {
+                if q >= interner.distinct() {
+                    return Err(AnonymizeError::InconsistentParts {
+                        detail: format!(
+                            "bucket {b} references QI symbol {q} but only {} are interned",
+                            interner.distinct()
+                        ),
+                    });
+                }
+            }
+            if let Some(&(s, _)) = bucket.sa_counts.last() {
+                if s as usize >= sa_cardinality {
+                    return Err(AnonymizeError::InconsistentParts {
+                        detail: format!(
+                            "bucket {b} references SA value {s} outside the domain \
+                             (cardinality {sa_cardinality})"
+                        ),
+                    });
+                }
+            }
+            total += bucket.size;
+        }
+        Ok(Self { interner, buckets, sa_cardinality, total })
     }
 
     /// The QI symbol table.
@@ -544,6 +632,76 @@ mod tests {
         ));
         // A failed delta leaves the table untouched.
         assert_eq!(t.total_records(), 10);
+    }
+
+    /// Decompose → `from_parts` reproduces an observably identical table,
+    /// and stays fully functional (deltas apply on the reassembled copy).
+    #[test]
+    fn from_parts_round_trips_the_paper_table() {
+        let t = paper_table();
+        let buckets: Vec<Arc<BucketView>> = t
+            .buckets()
+            .map(|b| {
+                Arc::new(
+                    BucketView::from_counts(b.qi_counts().to_vec(), b.sa_counts().to_vec())
+                        .unwrap(),
+                )
+            })
+            .collect();
+        let mut rebuilt =
+            PublishedTable::from_parts(t.interner().clone(), buckets, t.sa_cardinality())
+                .unwrap();
+        assert_eq!(rebuilt.num_buckets(), t.num_buckets());
+        assert_eq!(rebuilt.total_records(), t.total_records());
+        assert_eq!(rebuilt.sa_cardinality(), t.sa_cardinality());
+        for b in 0..t.num_buckets() {
+            assert_eq!(rebuilt.bucket(b).qi_counts(), t.bucket(b).qi_counts());
+            assert_eq!(rebuilt.bucket(b).sa_counts(), t.bucket(b).sa_counts());
+        }
+        rebuilt.insert_record(&[1, 3], 0, 1).unwrap();
+        assert_eq!(rebuilt.total_records(), t.total_records() + 1);
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistencies() {
+        // Zero counts, unsorted keys, QI/SA total mismatch.
+        assert!(matches!(
+            BucketView::from_counts(vec![(0, 0)], vec![(0, 1)]),
+            Err(AnonymizeError::InconsistentParts { .. })
+        ));
+        assert!(matches!(
+            BucketView::from_counts(vec![(1, 1), (0, 1)], vec![(0, 2)]),
+            Err(AnonymizeError::InconsistentParts { .. })
+        ));
+        assert!(matches!(
+            BucketView::from_counts(vec![(0, 2)], vec![(0, 1)]),
+            Err(AnonymizeError::InconsistentParts { .. })
+        ));
+
+        let t = paper_table();
+        let oob_qi = Arc::new(
+            BucketView::from_counts(vec![(t.interner().distinct(), 1)], vec![(0, 1)]).unwrap(),
+        );
+        assert!(matches!(
+            PublishedTable::from_parts(t.interner().clone(), vec![oob_qi], t.sa_cardinality()),
+            Err(AnonymizeError::InconsistentParts { .. })
+        ));
+        let oob_sa = Arc::new(
+            BucketView::from_counts(
+                vec![(0, 1)],
+                vec![(t.sa_cardinality() as Value, 1)],
+            )
+            .unwrap(),
+        );
+        assert!(matches!(
+            PublishedTable::from_parts(t.interner().clone(), vec![oob_sa], t.sa_cardinality()),
+            Err(AnonymizeError::InconsistentParts { .. })
+        ));
+        let ragged = QiInterner::from_parts(vec![vec![0, 0], vec![1]], vec![1, 1]);
+        assert!(matches!(
+            PublishedTable::from_parts(ragged, vec![], 5),
+            Err(AnonymizeError::InconsistentParts { .. })
+        ));
     }
 
     #[test]

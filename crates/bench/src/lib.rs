@@ -11,3 +11,4 @@ pub mod incremental;
 pub mod parallel;
 pub mod concurrent;
 pub mod table_delta;
+pub mod persist;

@@ -29,7 +29,7 @@ pub enum Mechanism {
 }
 
 /// Parsed options for `pmx quantify`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Options {
     /// Data source.
     pub source: Source,
@@ -49,16 +49,34 @@ pub struct Options {
     pub threads: usize,
 }
 
+/// Parsed options for `pmx compile`.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Shared data-source / publication / engine options.
+    pub base: Options,
+    /// Save the compiled artifact as a versioned snapshot at this path.
+    pub out: Option<String>,
+}
+
 /// Parsed options for `pmx session`.
 #[derive(Debug, Clone)]
 pub struct SessionOptions {
-    /// Shared data-source / publication / engine options.
-    pub base: Options,
+    /// Shared data-source / publication / engine options. `None` when the
+    /// session serves purely from a persisted artifact (`--artifact` /
+    /// `--persist` without a data source) — the engine config then comes
+    /// from the snapshot and `mine` is unavailable.
+    pub base: Option<Options>,
     /// Script file to execute instead of reading commands from stdin.
     pub script: Option<String>,
     /// Warm-start dirty re-solves from cached duals (faster refreshes,
     /// not bit-replayable).
     pub warm_start: bool,
+    /// Open over a read-only snapshot (`CompiledTable::load`) instead of
+    /// compiling; epoch advances stay in memory.
+    pub artifact: Option<String>,
+    /// Durable persistence directory: recover (or initialise) the snapshot
+    /// + WAL there and journal every `rebase` epoch.
+    pub persist: Option<String>,
 }
 
 /// Parse error.
@@ -159,10 +177,20 @@ pub fn parse(argv: &[String]) -> Result<Options, ParseError> {
 /// Parses `pmx compile` arguments: everything `pmx quantify` accepts minus
 /// `--bounds` (knowledge bounds are an adversary-model concern — the
 /// artifact is knowledge-independent by construction) and the session-only
-/// flags.
-pub fn parse_compile(argv: &[String]) -> Result<Options, ParseError> {
-    for flag in argv {
+/// flags, plus `--out FILE` to save the artifact as a snapshot.
+pub fn parse_compile(argv: &[String]) -> Result<CompileOptions, ParseError> {
+    let mut out = None;
+    let mut base_argv: Vec<String> = Vec::with_capacity(argv.len());
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
         match flag.as_str() {
+            "--out" => {
+                out = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| ParseError("--out expects a value".into()))?,
+                );
+            }
             "--bounds" => {
                 return Err(ParseError(
                     "--bounds is a quantify option; the compiled artifact is \
@@ -170,35 +198,42 @@ pub fn parse_compile(argv: &[String]) -> Result<Options, ParseError> {
                         .into(),
                 ))
             }
-            "--script" | "--warm-start" => {
+            "--script" | "--warm-start" | "--artifact" | "--persist" => {
                 return Err(ParseError(format!(
                     "{flag} is a session option; run `pmx session` to evolve knowledge"
                 )))
             }
-            _ => {}
+            other => base_argv.push(other.to_string()),
         }
     }
-    parse(argv)
+    Ok(CompileOptions { base: parse(&base_argv)?, out })
 }
 
 /// Parses `pmx session` arguments: everything `pmx quantify` accepts
 /// (minus `--bounds`, which makes no sense for a session) plus
-/// `--script FILE` and `--warm-start`.
+/// `--script FILE`, `--warm-start`, `--artifact FILE` (open over a saved
+/// snapshot) and `--persist DIR` (durable snapshot + WAL). With
+/// `--artifact` or `--persist` the data source becomes optional; without
+/// one, the other base flags are rejected too — the engine config comes
+/// from the persisted snapshot.
 pub fn parse_session(argv: &[String]) -> Result<SessionOptions, ParseError> {
     let mut script = None;
     let mut warm_start = false;
+    let mut artifact = None;
+    let mut persist = None;
     let mut base_argv: Vec<String> = Vec::with_capacity(argv.len());
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| ParseError(format!("{name} expects a value")))
+        };
         match flag.as_str() {
-            "--script" => {
-                script = Some(
-                    it.next()
-                        .cloned()
-                        .ok_or_else(|| ParseError("--script expects a value".into()))?,
-                );
-            }
+            "--script" => script = Some(value("--script")?),
             "--warm-start" => warm_start = true,
+            "--artifact" => artifact = Some(value("--artifact")?),
+            "--persist" => persist = Some(value("--persist")?),
             "--bounds" => {
                 return Err(ParseError(
                     "--bounds is a quantify option; sessions grow knowledge via \
@@ -209,8 +244,37 @@ pub fn parse_session(argv: &[String]) -> Result<SessionOptions, ParseError> {
             other => base_argv.push(other.to_string()),
         }
     }
-    let base = parse(&base_argv)?;
-    Ok(SessionOptions { base, script, warm_start })
+    if artifact.is_some() && persist.is_some() {
+        return Err(ParseError(
+            "--artifact and --persist are mutually exclusive: the first serves a \
+             read-only snapshot, the second owns a durable snapshot + WAL directory"
+                .into(),
+        ));
+    }
+    let has_source =
+        base_argv.iter().any(|f| f == "--input" || f == "--synthetic");
+    let base = if has_source {
+        Some(parse(&base_argv)?)
+    } else if artifact.is_some() || persist.is_some() {
+        if let Some(stray) = base_argv.first() {
+            return Err(ParseError(format!(
+                "{stray} requires a data source; without --input/--synthetic the \
+                 engine config comes from the persisted artifact"
+            )));
+        }
+        if warm_start {
+            return Err(ParseError(
+                "--warm-start requires a data source; without one the engine \
+                 config comes from the persisted artifact"
+                    .into(),
+            ));
+        }
+        None
+    } else {
+        // No source and nothing persisted: surface the standard error.
+        Some(parse(&base_argv)?)
+    };
+    Ok(SessionOptions { base, script, warm_start, artifact, persist })
 }
 
 #[cfg(test)]
@@ -274,11 +338,20 @@ mod tests {
     #[test]
     fn compile_options() {
         let o = parse_compile(&argv("--synthetic adult:1000 --ell 4 --threads 2")).unwrap();
-        assert_eq!(o.ell, 4);
-        assert_eq!(o.threads, 2);
+        assert_eq!(o.base.ell, 4);
+        assert_eq!(o.base.threads, 2);
+        assert_eq!(o.out, None);
         assert!(parse_compile(&argv("--synthetic adult:100 --bounds 0,10")).is_err());
         assert!(parse_compile(&argv("--synthetic adult:100 --script x.pmx")).is_err());
         assert!(parse_compile(&argv("--synthetic adult:100 --warm-start")).is_err());
+        assert!(parse_compile(&argv("--synthetic adult:100 --persist d")).is_err());
+    }
+
+    #[test]
+    fn compile_out_flag() {
+        let o = parse_compile(&argv("--synthetic adult:100 --out table.pmx")).unwrap();
+        assert_eq!(o.out.as_deref(), Some("table.pmx"));
+        assert!(parse_compile(&argv("--synthetic adult:100 --out")).is_err());
     }
 
     #[test]
@@ -289,17 +362,52 @@ mod tests {
         .unwrap();
         assert_eq!(o.script.as_deref(), Some("deltas.pmx"));
         assert!(o.warm_start);
-        assert_eq!(o.base.threads, 2);
+        let base = o.base.expect("source given");
+        assert_eq!(base.threads, 2);
         assert_eq!(
-            o.base.source,
+            base.source,
             Source::Synthetic { kind: "medical".into(), records: 500 }
         );
 
         let o = parse_session(&argv("--synthetic adult:100")).unwrap();
         assert_eq!(o.script, None);
         assert!(!o.warm_start);
+        assert_eq!(o.artifact, None);
+        assert_eq!(o.persist, None);
 
         assert!(parse_session(&argv("--synthetic adult:100 --script")).is_err());
         assert!(parse_session(&argv("--synthetic adult:100 --bounds 0,10")).is_err());
+        assert!(parse_session(&argv("")).is_err(), "no source, nothing persisted");
+    }
+
+    #[test]
+    fn session_persistence_flags() {
+        // Artifact-only: no source needed, config comes from the snapshot.
+        let o = parse_session(&argv("--artifact table.pmx")).unwrap();
+        assert_eq!(o.artifact.as_deref(), Some("table.pmx"));
+        assert_eq!(o.base, None);
+
+        // Persist + source: recover-or-initialise the directory.
+        let o = parse_session(&argv("--persist state/ --synthetic medical:500")).unwrap();
+        assert_eq!(o.persist.as_deref(), Some("state/"));
+        assert!(o.base.is_some());
+
+        // Persist-only: recover.
+        let o = parse_session(&argv("--persist state/ --script s.pmx")).unwrap();
+        assert_eq!(o.base, None);
+        assert_eq!(o.script.as_deref(), Some("s.pmx"));
+
+        assert!(
+            parse_session(&argv("--artifact a.pmx --persist d")).is_err(),
+            "mutually exclusive"
+        );
+        assert!(
+            parse_session(&argv("--artifact a.pmx --threads 2")).is_err(),
+            "engine flags need a source"
+        );
+        assert!(
+            parse_session(&argv("--artifact a.pmx --warm-start")).is_err(),
+            "warm-start needs a source"
+        );
     }
 }

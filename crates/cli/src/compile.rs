@@ -15,7 +15,7 @@ use pm_microdata::dataset::Dataset;
 use privacy_maxent::compiled::CompiledTable;
 use privacy_maxent::engine::EngineConfig;
 
-use crate::args::Options;
+use crate::args::{CompileOptions, Options};
 use crate::quantify;
 
 /// Loads the microdata, publishes it and compiles the artifact — the
@@ -31,17 +31,25 @@ pub(crate) fn build_artifact(
     Ok((data, artifact))
 }
 
-/// Runs `pmx compile`: build the artifact once, print its stats, exit.
-pub fn run(options: &Options) -> Result<(), Box<dyn Error>> {
+/// Runs `pmx compile`: build the artifact once, print its stats, exit —
+/// optionally saving it as a versioned snapshot (`--out`) that
+/// `pmx session --artifact` / `--persist` reopens without recompiling.
+pub fn run(options: &CompileOptions) -> Result<(), Box<dyn Error>> {
     let config = EngineConfig::builder()
         .residual_limit(f64::INFINITY)
-        .threads(options.threads)
+        .threads(options.base.threads)
         .build();
-    let (_, artifact) = build_artifact(options, config)?;
+    let (_, artifact) = build_artifact(&options.base, config)?;
     println!(
         "baseline max disclosure (no background knowledge): {:.4}",
         privacy_maxent::metrics::max_disclosure(&artifact.baseline_estimate())
     );
+    if let Some(out) = &options.out {
+        let bytes = artifact.save(out)?;
+        println!(
+            "saved snapshot: {bytes} bytes -> {out} (reopen with `pmx session --artifact {out}`)"
+        );
+    }
     println!(
         "this is the exact knowledge-independent build `pmx session` runs at \
          startup; within a session, every open and `reset` reuses it in O(1)"

@@ -12,8 +12,15 @@
 //!     Prebuild the shared CompiledTable artifact for a publication and
 //!     print its stats (buckets, components, invariant rank, build time).
 //!     `pmx session` runs the identical build, so anything a session can
-//!     serve, this command has fully precompiled. `--bounds`, `--script`
+//!     serve, this command has fully precompiled. `--out FILE` saves the
+//!     artifact as a versioned snapshot that `pmx session --artifact` /
+//!     `--persist` reopens without recompiling. `--bounds`, `--script`
 //!     and `--warm-start` are rejected.
+//!
+//! pmx compact DIR
+//!     Fold a persistence directory's WAL into a fresh snapshot: recover
+//!     to the current epoch, atomically replace snapshot.pmx, reset
+//!     wal.pmx. Safe to run while no session owns the directory.
 //!
 //! pmx session [options]
 //!     Open a resident Analyst session over the publication and evolve the
@@ -22,7 +29,10 @@
 //!     FILE. The publication compiles once into the shared artifact; each
 //!     refresh re-solves only the components the deltas touched, and
 //!     `reset` reopens from the artifact in O(1).
-//!     Extra options: --script FILE, --warm-start. `--bounds` is rejected.
+//!     Extra options: --script FILE, --warm-start, --artifact FILE (open
+//!     over a saved snapshot; no recompile, no data source needed),
+//!     --persist DIR (durable snapshot + WAL: recover on start, journal
+//!     every rebase). `--bounds` is rejected.
 //!
 //!     --input FILE        CSV of categorical microdata; last column is the
 //!                         sensitive attribute, all others quasi-identifiers
@@ -76,6 +86,26 @@ fn main() -> ExitCode {
             },
             Err(e) => {
                 eprintln!("pmx: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("compact") => match argv.get(1..) {
+            Some([dir]) => match privacy_maxent::persist::compact(dir) {
+                Ok(stats) => {
+                    println!(
+                        "compacted {dir}: {} WAL record(s) folded into a {}-byte \
+                         snapshot at epoch {}",
+                        stats.folded, stats.snapshot_bytes, stats.epoch
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("pmx: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            _ => {
+                eprintln!("usage: pmx compact DIR");
                 ExitCode::FAILURE
             }
         },

@@ -35,6 +35,11 @@
 //! table itself is **live**: `insert` / `retract` / `move` stage record
 //! deltas and `rebase` advances the artifact to the next epoch, keeping the
 //! adversary model resident.
+//!
+//! The artifact is also **durable**: `--artifact FILE` opens over a saved
+//! snapshot without recompiling, and `--persist DIR` owns a snapshot + WAL
+//! directory — recovered (snapshot + committed WAL tail) at startup, with
+//! every `rebase` epoch journaled so the next start replays to it.
 
 use std::error::Error;
 use std::io::{BufRead, Write};
@@ -42,44 +47,48 @@ use std::io::{BufRead, Write};
 use std::sync::Arc;
 
 use pm_assoc::miner::{MinerConfig, RuleMiner, MinedRules};
+use pm_microdata::dataset::Dataset;
 use pm_microdata::value::Value;
 use privacy_maxent::analyst::{Analyst, KnowledgeHandle};
 use privacy_maxent::delta::TableDelta;
 use privacy_maxent::engine::EngineConfig;
 use privacy_maxent::knowledge::Knowledge;
+use privacy_maxent::persist::{recover, EpochWal, SNAPSHOT_FILE};
+use privacy_maxent::CompiledTable;
 
-use crate::args::SessionOptions;
+use crate::args::{Options, SessionOptions};
 use crate::compile;
+use crate::quantify;
 
 /// Runs `pmx session`.
 pub fn run(options: &SessionOptions) -> Result<(), Box<dyn Error>> {
-    let config = EngineConfig::builder()
-        .residual_limit(f64::INFINITY)
-        .threads(options.base.threads)
-        .warm_start(options.warm_start)
-        .build();
-    // Compile once (the same artifact build `pmx compile` runs); the
-    // session — and every `reset` — opens from it in O(1).
-    let (data, artifact) = compile::build_artifact(&options.base, config)?;
-    let rules = RuleMiner::new(MinerConfig {
-        min_support: 3,
-        arities: (1..=options.base.arity).collect(),
-    })
-    .mine(&data);
+    let (analyst, data, wal) = open_analyst(options)?;
+    let mining = match (&options.base, data) {
+        (Some(base), Some(data)) => {
+            let rules = RuleMiner::new(MinerConfig {
+                min_support: 3,
+                arities: (1..=base.arity).collect(),
+            })
+            .mine(&data);
+            println!(
+                "mined {} positive / {} negative rules (arity <= {}) for `mine`",
+                rules.positive.len(),
+                rules.negative.len(),
+                base.arity
+            );
+            Some(MiningState { rules, schema: data.schema().clone(), mined: (0, 0) })
+        }
+        _ => None,
+    };
     println!(
-        "mined {} positive / {} negative rules (arity <= {}) for `mine`",
-        rules.positive.len(),
-        rules.negative.len(),
-        options.base.arity
-    );
-    let analyst = Analyst::open(artifact);
-    println!(
-        "session open: {} buckets, {} components, warm-start {}\n",
+        "session open: {} buckets, {} components, epoch {}, warm-start {}, journal {}\n",
         analyst.table().num_buckets(),
         analyst.num_components(),
+        analyst.epoch(),
         if options.warm_start { "on" } else { "off" },
+        if wal.is_some() { "on" } else { "off" },
     );
-    let mut session = Session::new(analyst, rules, data.schema().clone());
+    let mut session = Session::new(analyst, mining, wal);
     let mut out = std::io::stdout();
     match &options.script {
         Some(path) => {
@@ -94,22 +103,93 @@ pub fn run(options: &SessionOptions) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-/// Session state: the resident analyst plus the mined-rule cursor for the
-/// `mine` command.
-pub(crate) struct Session {
-    pub(crate) analyst: Analyst,
+/// An opened session: the analyst, the base dataset (when one is needed
+/// for mining), and the WAL handle (when the session journals epochs).
+type OpenedArtifact = (Analyst, Option<Dataset>, Option<EpochWal>);
+
+/// Resolves the session's artifact: compiled from a data source, loaded
+/// from a read-only snapshot, or recovered from (or initialised into) a
+/// durable snapshot + WAL directory.
+fn open_analyst(options: &SessionOptions) -> Result<OpenedArtifact, Box<dyn Error>> {
+    let config_for = |base: &Options| {
+        EngineConfig::builder()
+            .residual_limit(f64::INFINITY)
+            .threads(base.threads)
+            .warm_start(options.warm_start)
+            .build()
+    };
+    if let Some(path) = &options.artifact {
+        let artifact = CompiledTable::load(path)?;
+        println!("loaded snapshot {path}: {}", artifact.stats());
+        let data = options.base.as_ref().map(quantify::load_source).transpose()?;
+        return Ok((Analyst::open(Arc::new(artifact)), data, None));
+    }
+    if let Some(dir) = &options.persist {
+        let dir_path = std::path::Path::new(dir);
+        if dir_path.join(SNAPSHOT_FILE).exists() {
+            let recovered = recover(dir_path)?;
+            println!(
+                "recovered {dir}: epoch {} ({} WAL record(s) replayed, {} skipped, \
+                 {} torn byte(s) truncated)",
+                recovered.artifact.epoch(),
+                recovered.replayed,
+                recovered.skipped,
+                recovered.truncated_bytes,
+            );
+            let wal = EpochWal::open_append(dir_path)?;
+            let data = options.base.as_ref().map(quantify::load_source).transpose()?;
+            return Ok((Analyst::open(Arc::new(recovered.artifact)), data, Some(wal)));
+        }
+        let base = options.base.as_ref().ok_or_else(|| {
+            format!(
+                "{dir} holds no snapshot yet; provide --input/--synthetic to \
+                 initialise it"
+            )
+        })?;
+        std::fs::create_dir_all(dir_path)?;
+        let (data, artifact) = compile::build_artifact(base, config_for(base))?;
+        let bytes = artifact.save(dir_path.join(SNAPSHOT_FILE))?;
+        let wal = EpochWal::create(dir_path, artifact.epoch())?;
+        println!("initialised {dir}: {bytes}-byte snapshot + empty WAL");
+        return Ok((Analyst::open(artifact), Some(data), Some(wal)));
+    }
+    let base = options.base.as_ref().expect("parser requires a source when nothing persists");
+    // Compile once (the same artifact build `pmx compile` runs); the
+    // session — and every `reset` — opens from it in O(1).
+    let (data, artifact) = compile::build_artifact(base, config_for(base))?;
+    Ok((Analyst::open(artifact), Some(data), None))
+}
+
+/// The mined-rule tape backing the `mine` command — present only when the
+/// session has a data source to mine from.
+pub(crate) struct MiningState {
     pub(crate) rules: MinedRules,
     pub(crate) schema: pm_microdata::schema::Schema,
     /// How many (positive, negative) mined rules have been fed already.
     mined: (usize, usize),
+}
+
+/// Session state: the resident analyst plus the mined-rule cursor for the
+/// `mine` command and the optional epoch journal.
+pub(crate) struct Session {
+    pub(crate) analyst: Analyst,
+    pub(crate) mining: Option<MiningState>,
+    /// Durable epoch journal (`--persist`): every successful `rebase`
+    /// appends its delta here. An append failure demotes the session to
+    /// in-memory with a warning rather than killing it.
+    pub(crate) wal: Option<EpochWal>,
     /// Record-level table delta staged by `insert`/`retract`/`move`,
     /// applied as one epoch advance by `rebase`.
     pending_delta: TableDelta,
 }
 
 impl Session {
-    pub(crate) fn new(analyst: Analyst, rules: MinedRules, schema: pm_microdata::schema::Schema) -> Self {
-        Self { analyst, rules, schema, mined: (0, 0), pending_delta: TableDelta::new() }
+    pub(crate) fn new(
+        analyst: Analyst,
+        mining: Option<MiningState>,
+        wal: Option<EpochWal>,
+    ) -> Self {
+        Self { analyst, mining, wal, pending_delta: TableDelta::new() }
     }
 
     /// Reads commands from `input` until EOF or `quit`, writing feedback to
@@ -196,17 +276,24 @@ impl Session {
         };
         let kp: usize = kp.parse().map_err(|_| format!("bad count `{kp}`"))?;
         let kn: usize = kn.parse().map_err(|_| format!("bad count `{kn}`"))?;
-        let pos_end = (self.mined.0 + kp).min(self.rules.positive.len());
-        let neg_end = (self.mined.1 + kn).min(self.rules.negative.len());
-        let batch: Vec<_> = self.rules.positive[self.mined.0..pos_end]
+        let Some(mining) = &mut self.mining else {
+            return Err(
+                "no data source to mine: this session serves a persisted artifact; \
+                 reopen with --input/--synthetic to enable `mine` (`add` still works)"
+                    .into(),
+            );
+        };
+        let pos_end = (mining.mined.0 + kp).min(mining.rules.positive.len());
+        let neg_end = (mining.mined.1 + kn).min(mining.rules.negative.len());
+        let batch: Vec<_> = mining.rules.positive[mining.mined.0..pos_end]
             .iter()
-            .chain(&self.rules.negative[self.mined.1..neg_end])
+            .chain(&mining.rules.negative[mining.mined.1..neg_end])
             .collect();
         if batch.is_empty() {
             return Ok("no unmined rules left".into());
         }
-        let handles = self.analyst.add_rules(batch.iter().copied(), &self.schema)?;
-        self.mined = (pos_end, neg_end);
+        let handles = self.analyst.add_rules(batch.iter().copied(), &mining.schema)?;
+        mining.mined = (pos_end, neg_end);
         Ok(format!(
             "added {} mined rule(s) (now {}+ / {}−); {} pending — `refresh` to apply",
             handles.len(),
@@ -343,17 +430,37 @@ impl Session {
             }
         };
         match self.analyst.rebase(&next) {
-            Ok(stats) => Ok(format!(
-                "rebased to epoch {}: {} op(s) applied, {} bucket(s) recompiled, \
-                 {} rule(s) recompiled ({} changed), {} overlay bucket(s) carried — \
-                 `refresh` to re-solve",
-                stats.epoch,
-                delta.len(),
-                next.stats().recompiled_buckets,
-                stats.recompiled,
-                stats.changed,
-                stats.carried,
-            )),
+            Ok(stats) => {
+                // Journal the committed epoch. A full disk or yanked volume
+                // should degrade the session, not kill it: warn and demote
+                // to in-memory.
+                let mut journal = "";
+                if let Some(wal) = &mut self.wal {
+                    let applied =
+                        next.applied_delta().expect("apply always records a delta");
+                    match wal.append(next.epoch(), &delta, applied) {
+                        Ok(()) => journal = ", journaled",
+                        Err(e) => {
+                            eprintln!(
+                                "warning: WAL append failed ({e}); continuing without \
+                                 persistence — epochs from here are not durable"
+                            );
+                            self.wal = None;
+                        }
+                    }
+                }
+                Ok(format!(
+                    "rebased to epoch {}: {} op(s) applied, {} bucket(s) recompiled, \
+                     {} rule(s) recompiled ({} changed), {} overlay bucket(s) \
+                     carried{journal} — `refresh` to re-solve",
+                    stats.epoch,
+                    delta.len(),
+                    next.stats().recompiled_buckets,
+                    stats.recompiled,
+                    stats.changed,
+                    stats.carried,
+                ))
+            }
             Err(e) => {
                 self.pending_delta = delta; // e.g. a rule became unmatchable
                 Err(e.into())
@@ -366,7 +473,9 @@ impl Session {
     fn cmd_reset(&mut self) -> Result<String, Box<dyn Error>> {
         let dropped = self.analyst.knowledge_len();
         self.analyst = Analyst::open(Arc::clone(self.analyst.artifact()));
-        self.mined = (0, 0);
+        if let Some(mining) = &mut self.mining {
+            mining.mined = (0, 0);
+        }
         self.pending_delta = TableDelta::new();
         Ok(format!(
             "session reset from the shared artifact: dropped {dropped} knowledge item(s), \
@@ -418,7 +527,63 @@ mod tests {
             .mine(&data);
         let config = EngineConfig::builder().residual_limit(f64::INFINITY).build();
         let analyst = Analyst::new(table, config).unwrap();
-        Session::new(analyst, rules, data.schema().clone())
+        let mining =
+            MiningState { rules, schema: data.schema().clone(), mined: (0, 0) };
+        Session::new(analyst, Some(mining), None)
+    }
+
+    /// A persisted session round-trip: save + WAL-journal epochs, then
+    /// recover into a fresh session serving identical estimates.
+    #[test]
+    fn persisted_session_journals_rebase_and_recovers() {
+        use privacy_maxent::persist::{recover, EpochWal, SNAPSHOT_FILE};
+
+        let dir = std::env::temp_dir()
+            .join(format!("pmx-cli-session-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let mut session = medical_session();
+        session.analyst.artifact().save(dir.join(SNAPSHOT_FILE)).unwrap();
+        session.wal = Some(EpochWal::create(&dir, session.analyst.epoch()).unwrap());
+
+        let tuple: Vec<String> = session
+            .analyst
+            .table()
+            .interner()
+            .tuple(0)
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        let tuple = tuple.join(",");
+        session.execute(&format!("insert {tuple} 0 1")).unwrap();
+        let msg = session.execute("rebase").unwrap();
+        assert!(msg.contains("journaled"), "{msg}");
+        session.execute(&format!("insert {tuple} 0 2")).unwrap();
+        session.execute("rebase").unwrap();
+        session.execute("refresh").unwrap();
+
+        let recovered = recover(&dir).unwrap();
+        assert_eq!(recovered.replayed, 2);
+        assert_eq!(recovered.artifact.epoch(), session.analyst.epoch());
+        let reopened = Analyst::open(Arc::new(recovered.artifact));
+        assert_eq!(
+            reopened.estimate().term_values(),
+            session.analyst.estimate().term_values(),
+            "recovered session serves bit-identical estimates"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Without a data source there is nothing to mine; the session says so
+    /// instead of panicking, and `add` still works.
+    #[test]
+    fn artifact_only_session_disables_mine() {
+        let mut session = medical_session();
+        session.mining = None;
+        let err = session.execute("mine 2 2").unwrap_err().to_string();
+        assert!(err.contains("no data source to mine"), "{err}");
+        assert!(session.execute("add 0=0 1 0.5").is_ok());
     }
 
     #[test]

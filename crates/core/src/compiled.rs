@@ -61,6 +61,7 @@ use crate::engine::{
 use crate::error::PmError;
 use crate::invariants::bucket_invariant_rows;
 use crate::partition::Component;
+use crate::persist::DeferredSnapshot;
 use crate::terms::{BucketTerms, TermIndex};
 
 /// Distinguishes independent [`CompiledTable::build`] lineages so a session
@@ -125,12 +126,37 @@ impl fmt::Display for CompileStats {
     }
 }
 
+/// The heavy decoded heart of an artifact — the published table, the
+/// admissible-term index and the Theorem-5 baselines. `build`/`apply`
+/// produce it directly; [`CompiledTable::load`] defers it behind the
+/// snapshot's checksum-verified bytes and hydrates on first use, which is
+/// what keeps a cold load an order of magnitude cheaper than a rebuild.
+#[derive(Debug)]
+pub(crate) struct CoreState {
+    pub(crate) table: PublishedTable,
+    pub(crate) index: Arc<TermIndex>,
+    /// Per-bucket Theorem-5 baseline values (count space), aligned with
+    /// each bucket's term range. Empty slices in the internal shell.
+    pub(crate) bucket_baselines: Vec<Arc<[f64]>>,
+}
+
+/// Either the materialized [`CoreState`] (every built artifact) or the raw
+/// checksum-verified snapshot bytes it hydrates from on first use (a loaded
+/// artifact before anything touched it).
+#[derive(Debug)]
+enum LazyCore {
+    Ready(CoreState),
+    Deferred { cell: OnceLock<CoreState>, snapshot: Box<DeferredSnapshot> },
+}
+
 /// Everything knowledge-independent about one published table, compiled
 /// once and shared — immutably — by any number of
 /// [`crate::analyst::Analyst`] sessions (see the [module docs](self)).
 #[derive(Debug)]
 pub struct CompiledTable {
-    table: PublishedTable,
+    /// The table, term index and baselines — possibly still undecoded
+    /// snapshot bytes for a freshly loaded artifact.
+    core: LazyCore,
     config: EngineConfig,
     /// Which [`CompiledTable::build`] history this artifact belongs to.
     lineage: u64,
@@ -145,20 +171,23 @@ pub struct CompiledTable {
     parent_uid: Option<u64>,
     /// Summary of the delta that produced this epoch (`None` at the root).
     delta: Option<AppliedDelta>,
-    index: Arc<TermIndex>,
     /// The D'-invariant rows (Theorems 1–3), per bucket, in bucket-local
     /// coordinates and count space — the epoch-shareable unit. Sessions
     /// address them as the prefix of the virtual
     /// `[invariants..., knowledge...]` row list via `row_offsets`.
-    bucket_rows: Vec<Arc<Vec<Constraint>>>,
-    /// Prefix sums of per-bucket invariant row counts (`len = m + 1`).
-    row_offsets: Vec<usize>,
-    /// Per-bucket Theorem-5 baseline values (count space), aligned with
-    /// each bucket's term range. Empty slices in the internal shell.
-    bucket_baselines: Vec<Arc<[f64]>>,
+    ///
+    /// Derived state: `bucket_invariant_rows` is a pure function of the
+    /// table and config, so [`CompiledTable::from_persisted`] leaves this
+    /// unset and the first use re-derives it — bit-identical by
+    /// construction. `build`/`apply` still fill it eagerly.
+    bucket_rows: OnceLock<Vec<Arc<Vec<Constraint>>>>,
+    /// Prefix sums of per-bucket invariant row counts (`len = m + 1`);
+    /// derived from `bucket_rows`, same laziness.
+    row_offsets: OnceLock<Vec<usize>>,
     /// QI symbol → buckets containing it (knowledge-compilation index),
-    /// one `Arc` per symbol so epochs share unchanged entries.
-    qi_buckets: Vec<Arc<[usize]>>,
+    /// one `Arc` per symbol so epochs share unchanged entries. Derived
+    /// state, like `bucket_rows`.
+    qi_buckets: OnceLock<Vec<Arc<[usize]>>>,
     /// The knowledge-free partition, built on first use: with
     /// [`EngineConfig::decompose`], every bucket is its own irrelevant
     /// component; without it, one joint pseudo-component.
@@ -206,35 +235,37 @@ impl CompiledTable {
         let baseline_start = Instant::now();
         let mut estats = EngineStats::default();
         let mut stats = RefreshStats::default();
-        let m = self.table.num_buckets();
-        if self.config.decompose {
-            self.bucket_baselines = (0..m)
-                .map(|b| Arc::from(uniform_bucket_values(&self.table, &self.index, b)))
-                .collect();
+        let core = self.core();
+        let m = core.table.num_buckets();
+        let baselines: Vec<Arc<[f64]>> = if self.config.decompose {
             stats.closed_form = m;
             estats.num_irrelevant = m;
             estats.num_components = m;
+            (0..m)
+                .map(|b| Arc::from(uniform_bucket_values(&core.table, &core.index, b)))
+                .collect()
         } else {
             // One joint pseudo-component through the numeric path — the
             // exact system a knowledge-free `Engine::estimate` would solve.
             let comp = joint_component(m);
             let rows = self.rows(&[]);
-            let sol = solve_component(&self.config, &self.table, &self.index, rows, &comp, None)?;
+            let sol = solve_component(&self.config, &core.table, &core.index, rows, &comp, None)?;
             estats.num_constraints = sol.num_constraints;
             estats.num_free_terms = sol.num_free_terms;
-            let mut values = vec![0.0; self.index.len()];
+            let mut values = vec![0.0; core.index.len()];
             for (&t, &v) in sol.terms.iter().zip(&sol.values) {
                 values[t] = v;
             }
-            self.bucket_baselines = (0..m)
-                .map(|b| Arc::from(&values[self.index.bucket_range(b)]))
-                .collect();
             if let Some(s) = sol.stats {
                 estats.component_stats.push(s);
             }
             estats.num_components = 1;
             stats.resolved = 1;
-        }
+            (0..m)
+                .map(|b| Arc::from(&values[core.index.bucket_range(b)]))
+                .collect()
+        };
+        self.core_mut().bucket_baselines = baselines;
         let baseline_solve = baseline_start.elapsed();
 
         estats.total_elapsed = baseline_solve;
@@ -279,24 +310,108 @@ impl CompiledTable {
             baseline_solve: Duration::default(),
         };
         Self {
-            table,
+            core: LazyCore::Ready(CoreState { table, index, bucket_baselines }),
             config,
             lineage: NEXT_LINEAGE.fetch_add(1, Ordering::Relaxed),
             epoch: 0,
             uid: NEXT_UID.fetch_add(1, Ordering::Relaxed),
             parent_uid: None,
             delta: None,
-            index,
-            bucket_rows,
-            row_offsets,
-            bucket_baselines,
-            qi_buckets,
+            bucket_rows: OnceLock::from(bucket_rows),
+            row_offsets: OnceLock::from(row_offsets),
+            qi_buckets: OnceLock::from(qi_buckets),
             baseline_components: OnceLock::new(),
             baseline_estimate: OnceLock::new(),
             baseline_estats: EngineStats::default(),
             baseline_refresh: RefreshStats::default(),
             has_baseline: false,
             stats,
+        }
+    }
+
+    /// Reassembles a servable artifact from a checksum-verified snapshot
+    /// ([`crate::persist`]). The snapshot's METADATA and CONFIG sections
+    /// are decoded eagerly (they size the [`CompileStats`]); the heavy
+    /// ground-truth sections — table, term index, Theorem-5 baselines —
+    /// stay as raw bytes inside the [`DeferredSnapshot`] and hydrate into
+    /// the [`CoreState`] on first use, and everything derived from them
+    /// (invariant rows, row offsets, QI→bucket index) re-derives lazily
+    /// from the same pure functions `build` runs. The loaded artifact is
+    /// bit-identical to the one that was saved, and the load itself pays
+    /// for none of the materialization.
+    ///
+    /// The artifact gets a **fresh lineage**: a restarted process cannot
+    /// hold sessions from the previous one, so nothing can legally rebase
+    /// across the save/load boundary anyway, and fresh ids keep the
+    /// uid/lineage allocators trivially correct.
+    pub(crate) fn from_persisted(
+        snapshot: DeferredSnapshot,
+        config: EngineConfig,
+        epoch: u64,
+        delta: Option<AppliedDelta>,
+        invariant_rows: usize,
+        load: Duration,
+    ) -> Self {
+        let m = snapshot.buckets();
+        let mut estats = EngineStats::default();
+        let mut refresh = RefreshStats::default();
+        if config.decompose {
+            estats.num_irrelevant = m;
+            estats.num_components = m;
+            refresh.closed_form = m;
+        } else {
+            estats.num_components = 1;
+            refresh.resolved = 1;
+        }
+        refresh.components = estats.num_components;
+        refresh.dirty = refresh.closed_form + refresh.resolved;
+        let stats = CompileStats {
+            records: snapshot.records(),
+            buckets: m,
+            distinct_qi: snapshot.distinct_qi(),
+            terms: snapshot.num_terms(),
+            invariant_rows,
+            components: estats.num_components,
+            recompiled_buckets: 0,
+            build: load,
+            baseline_solve: Duration::default(),
+        };
+        Self {
+            core: LazyCore::Deferred { cell: OnceLock::new(), snapshot: Box::new(snapshot) },
+            config,
+            lineage: NEXT_LINEAGE.fetch_add(1, Ordering::Relaxed),
+            epoch,
+            uid: NEXT_UID.fetch_add(1, Ordering::Relaxed),
+            parent_uid: None,
+            delta,
+            bucket_rows: OnceLock::new(),
+            row_offsets: OnceLock::new(),
+            qi_buckets: OnceLock::new(),
+            baseline_components: OnceLock::new(),
+            baseline_estimate: OnceLock::new(),
+            baseline_estats: estats,
+            baseline_refresh: refresh,
+            has_baseline: true,
+            stats,
+        }
+    }
+
+    /// The decoded core, hydrating a loaded artifact's snapshot bytes on
+    /// first use (concurrent first uses race benignly inside the
+    /// `OnceLock`; built artifacts return their state directly).
+    pub(crate) fn core(&self) -> &CoreState {
+        match &self.core {
+            LazyCore::Ready(state) => state,
+            LazyCore::Deferred { cell, snapshot } => cell.get_or_init(|| snapshot.hydrate()),
+        }
+    }
+
+    /// Mutable core access for the build paths. Only freshly built shells
+    /// are ever mutated, so a deferred (loaded) core here is a logic error.
+    fn core_mut(&mut self) -> &mut CoreState {
+        match &mut self.core {
+            LazyCore::Ready(state) => state,
+            LazyCore::Deferred { .. } => unreachable!("loaded artifacts are never re-solved"),
         }
     }
 
@@ -320,9 +435,10 @@ impl CompiledTable {
     pub fn apply(&self, delta: &TableDelta) -> Result<Self, PmError> {
         assert!(self.has_baseline, "cannot apply a delta to an internal shell");
         let start = Instant::now();
+        let core = self.core();
 
         // Stage the post-delta table; any failure leaves `self` untouched.
-        let mut table = self.table.clone();
+        let mut table = core.table.clone();
         let mut qs: Vec<usize> = Vec::with_capacity(delta.len());
         for op in delta.ops() {
             let q = match op {
@@ -358,9 +474,9 @@ impl CompiledTable {
         }
 
         // Per-bucket incremental recompile: share every untouched bucket.
-        let mut bucket_terms = self.index.bucket_terms().to_vec();
-        let mut bucket_rows = self.bucket_rows.clone();
-        let mut bucket_baselines = self.bucket_baselines.clone();
+        let mut bucket_terms = core.index.bucket_terms().to_vec();
+        let mut bucket_rows = self.bucket_rows().to_vec();
+        let mut bucket_baselines = core.bucket_baselines.clone();
         for &b in &touched {
             bucket_terms[b] = Arc::new(BucketTerms::build(table.bucket(b)));
         }
@@ -381,14 +497,15 @@ impl CompiledTable {
         // bucket flipped (plus newly interned symbols, which by
         // construction live only in touched buckets) — each edit patches
         // the symbol's old sorted list instead of rescanning the table.
-        let mut qi_buckets = self.qi_buckets.clone();
+        let mut qi_buckets = self.qi_buckets().to_vec();
         qi_buckets.resize_with(table.interner().distinct(), || Arc::from(Vec::new()));
+        let old_qi_len = self.qi_buckets().len();
         for &b in &touched {
-            let old_b = self.table.bucket(b);
+            let old_b = core.table.bucket(b);
             let new_b = table.bucket(b);
             for &(q, _) in old_b.qi_counts().iter().chain(new_b.qi_counts()) {
                 let now = new_b.contains_qi(q);
-                if old_b.contains_qi(q) == now && q < self.qi_buckets.len() {
+                if old_b.contains_qi(q) == now && q < old_qi_len {
                     continue;
                 }
                 let mut list = qi_buckets[q].to_vec();
@@ -416,18 +533,16 @@ impl CompiledTable {
             baseline_solve,
         };
         let mut next = Self {
-            table,
+            core: LazyCore::Ready(CoreState { table, index, bucket_baselines }),
             config: self.config.clone(),
             lineage: self.lineage,
             epoch: self.epoch + 1,
             uid: NEXT_UID.fetch_add(1, Ordering::Relaxed),
             parent_uid: Some(self.uid),
             delta: Some(applied),
-            index,
-            bucket_rows,
-            row_offsets,
-            bucket_baselines,
-            qi_buckets,
+            bucket_rows: OnceLock::from(bucket_rows),
+            row_offsets: OnceLock::from(row_offsets),
+            qi_buckets: OnceLock::from(qi_buckets),
             baseline_components: OnceLock::new(),
             baseline_estimate: OnceLock::new(),
             baseline_estats: self.baseline_estats.clone(),
@@ -442,7 +557,7 @@ impl CompiledTable {
     /// The published table this artifact compiled (as of this epoch).
     #[must_use]
     pub fn table(&self) -> &PublishedTable {
-        &self.table
+        &self.core().table
     }
 
     /// The configuration the artifact was built with. Sessions opened via
@@ -456,7 +571,7 @@ impl CompiledTable {
     /// The admissible-term index.
     #[must_use]
     pub fn term_index(&self) -> &TermIndex {
-        &self.index
+        &self.core().index
     }
 
     /// This artifact's epoch: 0 for a root [`CompiledTable::build`],
@@ -487,7 +602,7 @@ impl CompiledTable {
     /// [`EngineConfig::concise_invariants`], Theorem 3).
     #[must_use]
     pub fn num_invariants(&self) -> usize {
-        *self.row_offsets.last().expect("offsets hold the leading 0")
+        *self.row_offsets().last().expect("offsets hold the leading 0")
     }
 
     /// Components of the knowledge-free baseline partition.
@@ -501,17 +616,18 @@ impl CompiledTable {
     #[must_use]
     pub fn baseline_estimate(&self) -> Arc<Estimate> {
         Arc::clone(self.baseline_estimate.get_or_init(|| {
-            let mut values = vec![0.0; self.index.len()];
-            for (b, baseline) in self.bucket_baselines.iter().enumerate() {
+            let core = self.core();
+            let mut values = vec![0.0; core.index.len()];
+            for (b, baseline) in core.bucket_baselines.iter().enumerate() {
                 if !baseline.is_empty() {
-                    values[self.index.bucket_range(b)].copy_from_slice(baseline);
+                    values[core.index.bucket_range(b)].copy_from_slice(baseline);
                 }
             }
-            counts_to_probabilities(&mut values, &self.table);
+            counts_to_probabilities(&mut values, &core.table);
             Arc::new(Estimate::assemble(
                 values,
-                Arc::clone(&self.index),
-                &self.table,
+                Arc::clone(&core.index),
+                &core.table,
                 self.epoch,
                 self.baseline_estats.clone(),
             ))
@@ -527,24 +643,49 @@ impl CompiledTable {
     // ---- crate-internal surface for the session engine ----
 
     pub(crate) fn index_arc(&self) -> &Arc<TermIndex> {
-        &self.index
+        &self.core().index
     }
 
     pub(crate) fn rows<'a>(&'a self, knowledge: &'a [Constraint]) -> RowSet<'a> {
         RowSet {
-            bucket_rows: &self.bucket_rows,
-            row_offsets: &self.row_offsets,
+            bucket_rows: self.bucket_rows(),
+            row_offsets: self.row_offsets(),
             knowledge,
         }
     }
 
+    /// The per-bucket invariant rows, deriving them on first use for a
+    /// persisted artifact (`bucket_invariant_rows` is pure, so the result
+    /// is bit-identical to what `build` would have produced).
+    pub(crate) fn bucket_rows(&self) -> &[Arc<Vec<Constraint>>] {
+        self.bucket_rows.get_or_init(|| {
+            let core = self.core();
+            (0..core.table.num_buckets())
+                .map(|b| {
+                    Arc::new(bucket_invariant_rows(
+                        core.table.bucket(b),
+                        b,
+                        self.config.concise_invariants,
+                    ))
+                })
+                .collect()
+        })
+    }
+
+    /// Prefix sums of per-bucket invariant row counts, derived on first use.
+    pub(crate) fn row_offsets(&self) -> &[usize] {
+        self.row_offsets.get_or_init(|| prefix_offsets(self.bucket_rows()))
+    }
+
     pub(crate) fn qi_buckets(&self) -> &[Arc<[usize]>] {
-        &self.qi_buckets
+        self.qi_buckets.get_or_init(|| qi_bucket_index(&self.core().table))
     }
 
     pub(crate) fn baseline_components(&self) -> &[Component] {
         self.baseline_components.get_or_init(|| {
-            let m = self.table.num_buckets();
+            // `stats.buckets` is exact in every construction path, so the
+            // partition never forces a deferred core to hydrate.
+            let m = self.stats.buckets;
             if self.config.decompose {
                 (0..m)
                     .map(|b| Component { buckets: vec![b], knowledge_rows: Vec::new() })
@@ -557,7 +698,7 @@ impl CompiledTable {
 
     /// Bucket `b`'s baseline values (count space; empty in a shell).
     pub(crate) fn bucket_baseline(&self, b: usize) -> &Arc<[f64]> {
-        &self.bucket_baselines[b]
+        &self.core().bucket_baselines[b]
     }
 
     pub(crate) fn baseline_refresh(&self) -> &RefreshStats {
@@ -572,9 +713,10 @@ impl CompiledTable {
     /// `b`'s compile products (term list, invariant rows, baseline) are all
     /// shared pointer-equal with `other`'s.
     pub fn bucket_shared_with(&self, other: &Self, b: usize) -> bool {
-        self.index.bucket_shared_with(&other.index, b)
-            && Arc::ptr_eq(&self.bucket_rows[b], &other.bucket_rows[b])
-            && Arc::ptr_eq(&self.bucket_baselines[b], &other.bucket_baselines[b])
+        let (mine, theirs) = (self.core(), other.core());
+        mine.index.bucket_shared_with(&theirs.index, b)
+            && Arc::ptr_eq(&self.bucket_rows()[b], &other.bucket_rows()[b])
+            && Arc::ptr_eq(&mine.bucket_baselines[b], &theirs.bucket_baselines[b])
     }
 }
 

@@ -90,13 +90,57 @@ pub enum PmError {
         /// What went wrong, human-readably.
         detail: String,
     },
+    /// A persisted snapshot or WAL ([`crate::persist`]) failed validation:
+    /// wrong magic, a checksum mismatch, a length running past the end of
+    /// the file, an out-of-range id — anything that makes the bytes
+    /// untrustworthy. The decoder never panics or over-allocates on
+    /// corrupt input; it returns this, pointing at the offending bytes.
+    Corrupt {
+        /// The section (or file region) that failed: `"header"`,
+        /// `"meta"`, `"buckets"`, `"wal"`, ….
+        section: String,
+        /// Absolute byte offset (within the file) where validation failed.
+        offset: u64,
+        /// What exactly was wrong.
+        detail: String,
+    },
+    /// A persisted file declares a format version this build does not
+    /// read. Bump-and-migrate is deliberate: the golden-fixture test fails
+    /// loudly when the encoding drifts without a version bump.
+    UnsupportedFormat {
+        /// The version the file declares.
+        found: u32,
+        /// The version this build reads ([`crate::persist::FORMAT_VERSION`]).
+        supported: u32,
+    },
+    /// An I/O failure while reading or writing a persisted artifact. The
+    /// OS error is carried as text so [`PmError`] stays `Clone + PartialEq`.
+    Io {
+        /// The file or directory involved.
+        path: String,
+        /// The stringified OS error.
+        detail: String,
+    },
+    /// Replaying a WAL record onto the snapshot failed: the record was
+    /// fully committed (checksum and commit marker valid) but its delta no
+    /// longer applies, or its recorded summary disagrees with the replay.
+    /// [`std::error::Error::source`] returns the underlying error.
+    WalReplay {
+        /// The epoch the failing record was advancing the table to.
+        epoch: u64,
+        /// The underlying failure.
+        source: Box<PmError>,
+    },
 }
 
 impl PmError {
-    /// Strips [`PmError::Component`] wrappers, returning the root cause.
+    /// Strips [`PmError::Component`] and [`PmError::WalReplay`] wrappers,
+    /// returning the root cause.
     pub fn root_cause(&self) -> &PmError {
         match self {
-            Self::Component { source, .. } => source.root_cause(),
+            Self::Component { source, .. } | Self::WalReplay { source, .. } => {
+                source.root_cause()
+            }
             other => other,
         }
     }
@@ -141,6 +185,19 @@ impl fmt::Display for PmError {
                 "epoch mismatch: session at epoch {session_epoch}, artifact at epoch \
                  {artifact_epoch} ({detail})"
             ),
+            Self::Corrupt { section, offset, detail } => {
+                write!(f, "corrupt {section} section at byte {offset}: {detail}")
+            }
+            Self::UnsupportedFormat { found, supported } => write!(
+                f,
+                "persisted format version {found} is not readable by this build \
+                 (supports version {supported})"
+            ),
+            Self::Io { path, detail } => write!(f, "i/o error on {path}: {detail}"),
+            // Context only; the chain is walked via `source()`.
+            Self::WalReplay { epoch, .. } => {
+                write!(f, "replaying the WAL record for epoch {epoch} failed")
+            }
         }
     }
 }
@@ -148,7 +205,9 @@ impl fmt::Display for PmError {
 impl std::error::Error for PmError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            Self::Component { source, .. } => Some(source.as_ref()),
+            Self::Component { source, .. } | Self::WalReplay { source, .. } => {
+                Some(source.as_ref())
+            }
             _ => None,
         }
     }
@@ -172,6 +231,31 @@ mod tests {
         assert_eq!(chained.to_string(), inner.to_string());
         assert_eq!(outer.root_cause(), &inner);
         assert!(PmError::Infeasible { detail: "x".into() }.source().is_none());
+    }
+
+    #[test]
+    fn persist_errors_display_and_chain() {
+        let corrupt = PmError::Corrupt {
+            section: "buckets".into(),
+            offset: 96,
+            detail: "checksum mismatch".into(),
+        };
+        assert_eq!(corrupt.to_string(), "corrupt buckets section at byte 96: checksum mismatch");
+        assert!(corrupt.source().is_none());
+
+        let version = PmError::UnsupportedFormat { found: 9, supported: 1 };
+        assert_eq!(
+            version.to_string(),
+            "persisted format version 9 is not readable by this build (supports version 1)"
+        );
+
+        let io = PmError::Io { path: "/tmp/x.pmx".into(), detail: "permission denied".into() };
+        assert_eq!(io.to_string(), "i/o error on /tmp/x.pmx: permission denied");
+
+        let replay = PmError::WalReplay { epoch: 3, source: Box::new(corrupt.clone()) };
+        assert_eq!(replay.to_string(), "replaying the WAL record for epoch 3 failed");
+        assert_eq!(replay.source().expect("chained").to_string(), corrupt.to_string());
+        assert_eq!(replay.root_cause(), &corrupt);
     }
 
     #[test]

@@ -45,6 +45,40 @@
 //! epochs with [`analyst::Analyst::rebase`] — still bit-identical to
 //! compiling the post-delta table from scratch.
 //!
+//! The artifact is also **durable** ([`persist`]): a versioned,
+//! checksummed snapshot ([`compiled::CompiledTable::save`] /
+//! [`compiled::CompiledTable::load`]) plus an append-only epoch WAL
+//! ([`persist::EpochWal`]) let a restarted server [`persist::recover`] to
+//! the last fully-committed epoch — bit-identical to the in-memory chain —
+//! and [`persist::compact`] folds the log back into a fresh snapshot:
+//!
+//! ```
+//! use privacy_maxent::persist::{recover, EpochWal, SNAPSHOT_FILE};
+//! use privacy_maxent::{CompiledTable, EngineConfig, TableDelta};
+//! # fn main() -> Result<(), privacy_maxent::PmError> {
+//! # let dir = std::env::temp_dir().join(format!("pmx-lib-doc-{}", std::process::id()));
+//! # std::fs::create_dir_all(&dir).unwrap();
+//! let (_, table) = pm_anonymize::fixtures::paper_example();
+//! let artifact = CompiledTable::build(table, EngineConfig::default())?;
+//! artifact.save(dir.join(SNAPSHOT_FILE))?;
+//! let mut wal = EpochWal::create(&dir, artifact.epoch())?;
+//!
+//! // Advance an epoch and log it; a crash may tear the last append…
+//! let delta = TableDelta::new().insert(vec![0, 0], 0, 1);
+//! let next = artifact.apply(&delta)?;
+//! wal.append(next.epoch(), &delta, next.applied_delta().unwrap())?;
+//!
+//! // …and a restarted server replays snapshot + committed WAL tail.
+//! let recovered = recover(&dir)?;
+//! assert_eq!(recovered.artifact.epoch(), next.epoch());
+//! assert_eq!(
+//!     recovered.artifact.baseline_estimate().term_values(),
+//!     next.baseline_estimate().term_values(),
+//! );
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! # Ok(()) }
+//! ```
+//!
 //! See `ARCHITECTURE.md` at the repository root for the crate map and the
 //! compile → open → delta → refresh → query data-flow.
 
@@ -63,6 +97,7 @@ pub mod invariants;
 pub mod knowledge;
 pub mod metrics;
 pub mod partition;
+pub mod persist;
 pub mod preprocess;
 pub mod ranges;
 pub mod report;
@@ -77,3 +112,6 @@ pub use engine::{
 };
 pub use error::{CoreError, PmError};
 pub use knowledge::{Knowledge, KnowledgeBase};
+pub use persist::{
+    compact, recover, CompactStats, EpochWal, Recovered, FORMAT_VERSION, SNAPSHOT_FILE, WAL_FILE,
+};

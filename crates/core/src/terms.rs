@@ -19,7 +19,7 @@
 
 use std::collections::HashMap;
 use std::ops::Range;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use pm_anonymize::published::{BucketView, PublishedTable};
 use pm_microdata::qi::QiId;
@@ -43,21 +43,39 @@ pub struct Term {
 pub(crate) struct BucketTerms {
     /// `(q, s)` pairs, QI-major in the bucket's ascending count order.
     pairs: Vec<(QiId, Value)>,
-    /// `(q, s)` → local offset.
-    lookup: HashMap<(QiId, Value), usize>,
+    /// `(q, s)` → local offset; derived from `pairs` on first lookup, so an
+    /// index loaded from a snapshot never pays for hashing buckets it only
+    /// ever slices by range.
+    lookup: OnceLock<HashMap<(QiId, Value), usize>>,
 }
 
 impl BucketTerms {
     pub(crate) fn build(bucket: &BucketView) -> Self {
         let mut pairs = Vec::with_capacity(bucket.distinct_qi() * bucket.distinct_sa());
-        let mut lookup = HashMap::with_capacity(pairs.capacity());
         for &(q, _) in bucket.qi_counts() {
             for &(s, _) in bucket.sa_counts() {
-                lookup.insert((q, s), pairs.len());
                 pairs.push((q, s));
             }
         }
-        Self { pairs, lookup }
+        Self::from_pairs(pairs)
+    }
+
+    /// Wraps a persisted (or freshly generated) pair list; the lookup map
+    /// is derived lazily.
+    pub(crate) fn from_pairs(pairs: Vec<(QiId, Value)>) -> Self {
+        Self { pairs, lookup: OnceLock::new() }
+    }
+
+    /// The `(q, s)` pairs in local term order — the ground truth the
+    /// persisted encoding stores.
+    pub(crate) fn pairs(&self) -> &[(QiId, Value)] {
+        &self.pairs
+    }
+
+    /// The local lookup map, built on first use.
+    fn lookup(&self) -> &HashMap<(QiId, Value), usize> {
+        self.lookup
+            .get_or_init(|| self.pairs.iter().enumerate().map(|(i, &p)| (p, i)).collect())
     }
 
     /// Number of admissible terms in this bucket.
@@ -138,7 +156,7 @@ impl TermIndex {
     pub fn get(&self, q: QiId, s: Value, b: usize) -> Option<usize> {
         self.buckets
             .get(b)?
-            .lookup
+            .lookup()
             .get(&(q, s))
             .map(|&local| self.offsets[b] + local)
     }
@@ -217,6 +235,27 @@ mod tests {
             let r = idx.bucket_range(t.b);
             assert!(r.contains(&i));
         }
+    }
+
+    /// `from_pairs` (the snapshot-load path) is observably identical to
+    /// `build`: the lazily derived lookup map agrees with the eager one.
+    #[test]
+    fn from_pairs_matches_build() {
+        let (_, table) = paper_example();
+        let built = TermIndex::build(&table);
+        let rebuilt = TermIndex::from_buckets(
+            built
+                .bucket_terms()
+                .iter()
+                .map(|bt| Arc::new(BucketTerms::from_pairs(bt.pairs().to_vec())))
+                .collect(),
+        );
+        assert_eq!(rebuilt.len(), built.len());
+        for (i, t) in built.iter() {
+            assert_eq!(rebuilt.term(i), t);
+            assert_eq!(rebuilt.get(t.q, t.s, t.b), Some(i));
+        }
+        assert_eq!(rebuilt.get(0, 99, 0), None);
     }
 
     /// Untouched buckets of a delta-advanced table share their term lists

@@ -2,7 +2,7 @@
 //! paper's abstract form (Figure 1(c)), and SA value aliases.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::dataset::Dataset;
 use crate::error::MicrodataError;
@@ -22,10 +22,30 @@ pub type SaId = usize;
 /// live-table deployment — share it behind an [`Arc`] instead of re-hashing
 /// every distinct tuple; it is only deep-copied when a *new* tuple is
 /// observed on a shared interner.
+///
+/// The reverse map is derived state — `tuples` is ground truth — so it is
+/// built lazily on first lookup. An interner deserialized from a snapshot
+/// that only ever serves by id never pays for hashing the symbol table.
 #[derive(Debug, Clone, Default)]
 struct TupleTable {
-    map: HashMap<Vec<Value>, QiId>,
     tuples: Vec<Vec<Value>>,
+    lookup: OnceLock<HashMap<Vec<Value>, QiId>>,
+}
+
+impl TupleTable {
+    /// The reverse map, built from `tuples` on first use.
+    fn map(&self) -> &HashMap<Vec<Value>, QiId> {
+        self.lookup.get_or_init(|| {
+            self.tuples.iter().enumerate().map(|(i, t)| (t.clone(), i)).collect()
+        })
+    }
+
+    /// Mutable access for [`QiInterner::observe`]; hydrates first so the
+    /// insert lands in a complete map.
+    fn map_mut(&mut self) -> &mut HashMap<Vec<Value>, QiId> {
+        self.map();
+        self.lookup.get_mut().expect("hydrated by map()")
+    }
 }
 
 /// Interner mapping full-QI tuples to dense [`QiId`]s, with occurrence counts.
@@ -64,10 +84,28 @@ impl QiInterner {
         interner
     }
 
+    /// Reassembles an interner from its persisted parts: the tuple storage
+    /// in id order and the per-id occurrence counts. The total and the
+    /// reverse lookup map are derived (the latter lazily, on the first
+    /// [`QiInterner::lookup`] or [`QiInterner::observe`]).
+    ///
+    /// # Panics
+    /// If `tuples` and `counts` disagree on the number of distinct ids —
+    /// callers decoding untrusted bytes must validate lengths first.
+    pub fn from_parts(tuples: Vec<Vec<Value>>, counts: Vec<usize>) -> Self {
+        assert_eq!(tuples.len(), counts.len(), "one count per interned tuple");
+        let total = counts.iter().sum();
+        QiInterner {
+            table: Arc::new(TupleTable { tuples, lookup: OnceLock::new() }),
+            counts,
+            total,
+        }
+    }
+
     /// Interns one tuple occurrence, returning its id.
     pub fn observe(&mut self, tuple: &[Value]) -> QiId {
         self.total += 1;
-        if let Some(&id) = self.table.map.get(tuple) {
+        if let Some(&id) = self.table.map().get(tuple) {
             self.counts[id] += 1;
             return id;
         }
@@ -76,7 +114,7 @@ impl QiInterner {
         // actually grows the symbol table).
         let table = Arc::make_mut(&mut self.table);
         let id = table.tuples.len();
-        table.map.insert(tuple.to_vec(), id);
+        table.map_mut().insert(tuple.to_vec(), id);
         table.tuples.push(tuple.to_vec());
         self.counts.push(1);
         id
@@ -99,7 +137,7 @@ impl QiInterner {
 
     /// Looks up an already-interned tuple.
     pub fn lookup(&self, tuple: &[Value]) -> Option<QiId> {
-        self.table.map.get(tuple).copied()
+        self.table.map().get(tuple).copied()
     }
 
     /// The tuple behind `id`.
@@ -240,5 +278,30 @@ mod tests {
         assert_eq!(base.distinct(), 2);
         assert_eq!(clone.distinct(), 3);
         assert_eq!(clone.tuple(c), &[9]);
+    }
+
+    /// `from_parts` reproduces an interner observably identical to the one
+    /// it was decomposed from, and keeps growing correctly afterwards (the
+    /// lazily-derived reverse map must agree with the tuple storage).
+    #[test]
+    fn from_parts_is_equivalent_and_growable() {
+        let mut orig = QiInterner::new();
+        orig.observe(&[1, 2]);
+        orig.observe(&[3, 4]);
+        orig.observe(&[1, 2]);
+        orig.retract(1).unwrap();
+
+        let tuples: Vec<Vec<Value>> = (0..orig.distinct()).map(|i| orig.tuple(i).to_vec()).collect();
+        let counts: Vec<usize> = (0..orig.distinct()).map(|i| orig.count(i)).collect();
+        let mut rebuilt = QiInterner::from_parts(tuples, counts);
+
+        assert_eq!(rebuilt.distinct(), orig.distinct());
+        assert_eq!(rebuilt.total(), orig.total());
+        assert_eq!(rebuilt.lookup(&[1, 2]), Some(0));
+        assert_eq!(rebuilt.lookup(&[3, 4]), Some(1));
+        assert_eq!(rebuilt.lookup(&[9, 9]), None);
+        assert_eq!(rebuilt.count(1), 0, "retracted-to-zero counts persist");
+        assert_eq!(rebuilt.observe(&[1, 2]), 0, "revives the persisted id");
+        assert_eq!(rebuilt.observe(&[7, 7]), 2, "fresh tuples extend the id space");
     }
 }

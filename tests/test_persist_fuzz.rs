@@ -1,0 +1,245 @@
+//! Decoder corruption fuzzing.
+//!
+//! Whatever bytes are on disk, the loaders must fail *softly*: random
+//! single-byte flips (and random truncations, and wholesale garbage) in
+//! the snapshot or WAL must surface as structured `PmError` values —
+//! `Corrupt { section, offset, .. }` / `UnsupportedFormat` — never a
+//! panic, never an attacker-controlled allocation. The WAL recoverer is
+//! deliberately lenient about *tails* (a flip in the last record is
+//! indistinguishable from a crash mid-append), so for it the contract is:
+//! never panic, and when it succeeds, serve a bit-exact committed prefix.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use pm_anonymize::fixtures::paper_example;
+use privacy_maxent::compiled::CompiledTable;
+use privacy_maxent::delta::TableDelta;
+use privacy_maxent::engine::EngineConfig;
+use privacy_maxent::error::PmError;
+use privacy_maxent::persist::{
+    recover, EpochWal, FORMAT_VERSION, SNAPSHOT_FILE, WAL_FILE,
+};
+use proptest::prelude::*;
+
+fn config() -> EngineConfig {
+    EngineConfig::builder().threads(1).residual_limit(f64::INFINITY).build()
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pmx-fuzz-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// A persisted snapshot + 2-epoch WAL over the Figure 1 table, plus the
+/// per-epoch expected estimates.
+fn seed_dir(name: &str) -> (PathBuf, Vec<Vec<f64>>) {
+    let (_, table) = paper_example();
+    let e0 = Arc::new(CompiledTable::build(table, config()).expect("baseline solves"));
+    let dir = tmpdir(name);
+    e0.save(dir.join(SNAPSHOT_FILE)).expect("save succeeds");
+    let mut wal = EpochWal::create(&dir, e0.epoch()).expect("wal create");
+    let mut chain = vec![Arc::clone(&e0)];
+    for delta in [
+        TableDelta::new().insert(vec![0, 0], 0, 1),
+        TableDelta::new().move_record(vec![0, 0], 0, 1, 2),
+    ] {
+        let next = Arc::new(chain.last().unwrap().apply(&delta).expect("valid delta"));
+        wal.append(next.epoch(), &delta, next.applied_delta().unwrap()).expect("append");
+        chain.push(next);
+    }
+    let estimates = chain
+        .iter()
+        .map(|a| a.baseline_estimate().term_values().to_vec())
+        .collect();
+    (dir, estimates)
+}
+
+/// Structured decode failure: the error a fuzzed *snapshot* load is allowed
+/// to produce. Anything else (panic, success, or an unrelated variant) is a
+/// bug.
+fn is_decode_error(e: &PmError) -> bool {
+    matches!(e, PmError::Corrupt { .. } | PmError::UnsupportedFormat { .. })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Single-byte flips anywhere in a snapshot: every one is caught (each
+    /// byte sits under the header's field validation or a section
+    /// checksum), reported as a structured decode error, and never panics.
+    #[test]
+    fn snapshot_byte_flips_yield_corrupt(
+        offset_sel in 0usize..1_000_000,
+        bit in 0u32..8,
+    ) {
+        let (dir, _) = seed_dir("snap-flip");
+        let path = dir.join(SNAPSHOT_FILE);
+        let mut bytes = fs::read(&path).expect("read snapshot");
+        let offset = offset_sel % bytes.len();
+        bytes[offset] ^= 1 << bit;
+        fs::write(&path, &bytes).expect("write");
+        match CompiledTable::load(&path) {
+            Err(e) => {
+                prop_assert!(
+                    is_decode_error(&e),
+                    "flip at byte {} bit {}: wrong error {:?}", offset, bit, e
+                );
+                // The error chain is printable end to end (no panics in
+                // Display either).
+                let _ = format!("{e} / root: {}", e.root_cause());
+            }
+            Ok(_) => prop_assert!(
+                false,
+                "flip at byte {} bit {} went undetected", offset, bit
+            ),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Random truncations of the snapshot — every prefix is rejected
+    /// softly. (The complete file loads; any strict prefix cannot.)
+    #[test]
+    fn snapshot_truncations_yield_corrupt(cut_sel in 0usize..1_000_000) {
+        let (dir, _) = seed_dir("snap-cut");
+        let path = dir.join(SNAPSHOT_FILE);
+        let bytes = fs::read(&path).expect("read snapshot");
+        let cut = cut_sel % bytes.len();
+        fs::write(&path, &bytes[..cut]).expect("write");
+        let err = CompiledTable::load(&path).expect_err("prefix must not load");
+        prop_assert!(is_decode_error(&err), "cut at {}: wrong error {:?}", cut, err);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Single-byte flips anywhere in the WAL: `recover` must never panic.
+    /// Flips under the header are hard errors; flips in record bytes tear
+    /// the log at that record — recovery then serves a bit-exact committed
+    /// prefix and leaves a WAL that `open_append` accepts.
+    #[test]
+    fn wal_byte_flips_recover_softly(
+        offset_sel in 0usize..1_000_000,
+        bit in 0u32..8,
+    ) {
+        let (dir, expected) = seed_dir("wal-flip");
+        let path = dir.join(WAL_FILE);
+        let mut bytes = fs::read(&path).expect("read wal");
+        let offset = offset_sel % bytes.len();
+        bytes[offset] ^= 1 << bit;
+        fs::write(&path, &bytes).expect("write");
+        match recover(&dir) {
+            Ok(recovered) => {
+                let epoch = recovered.artifact.epoch() as usize;
+                prop_assert!(epoch < expected.len(), "replayed beyond the chain");
+                prop_assert!(
+                    offset >= 28,
+                    "flip at header byte {} must be a hard error, not a recovery",
+                    offset
+                );
+                prop_assert_eq!(
+                    recovered.artifact.baseline_estimate().term_values(),
+                    expected[epoch].as_slice(),
+                    "flip at byte {}: prefix not bit-exact", offset
+                );
+                prop_assert!(
+                    EpochWal::open_append(&dir).is_ok(),
+                    "flip at byte {}: recovery left a WAL open_append rejects", offset
+                );
+            }
+            Err(e) => prop_assert!(
+                is_decode_error(&e),
+                "flip at byte {} bit {}: wrong error {:?}", offset, bit, e
+            ),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Wholesale garbage files — random bytes, random length — must be
+    /// rejected softly by both loaders, however implausible the content.
+    #[test]
+    fn garbage_files_never_panic(
+        len in 0usize..4096,
+        seed in 0u64..u64::MAX,
+    ) {
+        // Cheap xorshift fill: deterministic per case, no RNG dependency.
+        let mut state = seed | 1;
+        let garbage: Vec<u8> = (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state as u8
+            })
+            .collect();
+        let dir = tmpdir("garbage");
+        fs::write(dir.join(SNAPSHOT_FILE), &garbage).expect("write");
+        fs::write(dir.join(WAL_FILE), &garbage).expect("write");
+        let snap_err =
+            CompiledTable::load(dir.join(SNAPSHOT_FILE)).expect_err("garbage must not load");
+        prop_assert!(is_decode_error(&snap_err), "snapshot: {:?}", snap_err);
+        // recover() reads the snapshot first, so garbage dies there; the
+        // WAL-only surface is open_append.
+        let wal_err = EpochWal::open_append(&dir).expect_err("garbage must not open");
+        prop_assert!(is_decode_error(&wal_err), "wal: {:?}", wal_err);
+        fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// The targeted non-random cases: wrong magic, version from the future,
+/// oversized section lengths, WAL version mismatch — each with its precise
+/// error variant.
+#[test]
+fn targeted_corruption_cases() {
+    let (dir, _) = seed_dir("targeted");
+    let path = dir.join(SNAPSHOT_FILE);
+    let pristine = fs::read(&path).unwrap();
+
+    // Wrong magic.
+    let mut bytes = pristine.clone();
+    bytes[..8].copy_from_slice(b"NOTPMXS\0");
+    fs::write(&path, &bytes).unwrap();
+    match CompiledTable::load(&path).unwrap_err() {
+        PmError::Corrupt { section, offset, .. } => {
+            assert_eq!(section, "header");
+            assert_eq!(offset, 0);
+        }
+        other => panic!("expected Corrupt header, got {other:?}"),
+    }
+
+    // Version from the future: a precise UnsupportedFormat, not Corrupt.
+    let mut bytes = pristine.clone();
+    bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 7).to_le_bytes());
+    fs::write(&path, &bytes).unwrap();
+    match CompiledTable::load(&path).unwrap_err() {
+        PmError::UnsupportedFormat { found, supported } => {
+            assert_eq!(found, FORMAT_VERSION + 7);
+            assert_eq!(supported, FORMAT_VERSION);
+        }
+        other => panic!("expected UnsupportedFormat, got {other:?}"),
+    }
+
+    // A section length claiming more bytes than the file holds: rejected
+    // by bounds-checking before any allocation is sized from it.
+    let mut bytes = pristine.clone();
+    bytes[20..28].copy_from_slice(&u64::MAX.to_le_bytes()); // META payload_len
+    fs::write(&path, &bytes).unwrap();
+    assert!(matches!(
+        CompiledTable::load(&path).unwrap_err(),
+        PmError::Corrupt { .. }
+    ));
+
+    // WAL version mismatch surfaces from recover() too.
+    fs::write(&path, &pristine).unwrap();
+    let wal_path = dir.join(WAL_FILE);
+    let mut wal_bytes = fs::read(&wal_path).unwrap();
+    wal_bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    fs::write(&wal_path, &wal_bytes).unwrap();
+    assert!(matches!(
+        recover(&dir).unwrap_err(),
+        PmError::UnsupportedFormat { .. }
+    ));
+
+    fs::remove_dir_all(&dir).ok();
+}

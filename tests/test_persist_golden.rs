@@ -1,0 +1,149 @@
+//! Format-stability golden fixture.
+//!
+//! `tests/fixtures/persist/` holds a committed snapshot of the paper's
+//! Figure 1 artifact plus a 3-epoch WAL, produced by the `#[ignore]`d
+//! `regenerate_golden_fixture` test below. The stability tests re-encode
+//! the same artifact today and require byte equality with the fixture:
+//! **any** encoding drift — field order, widths, checksum constants,
+//! section layout — fails loudly here and must be shipped as a
+//! `FORMAT_VERSION` bump (with a migration story), never silently.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use pm_anonymize::fixtures::paper_example;
+use privacy_maxent::compiled::CompiledTable;
+use privacy_maxent::delta::TableDelta;
+use privacy_maxent::engine::EngineConfig;
+use privacy_maxent::persist::{recover, EpochWal, FORMAT_VERSION, SNAPSHOT_FILE, WAL_FILE};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/persist")
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pmx-golden-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// The fixture's engine config. Pinned explicitly — the fixture bytes
+/// embed it, so changing these values is an encoding change too.
+fn fixture_config() -> EngineConfig {
+    EngineConfig::builder().threads(1).residual_limit(f64::INFINITY).build()
+}
+
+/// The fixture's three epoch deltas over the Figure 1 table.
+fn fixture_deltas() -> [TableDelta; 3] {
+    [
+        TableDelta::new().insert(vec![0, 0], 0, 1),
+        TableDelta::new().move_record(vec![0, 0], 0, 1, 2),
+        TableDelta::new().retract(vec![0, 0], 0, 2),
+    ]
+}
+
+/// Writes the fixture content (snapshot + 3-epoch WAL) into `dir`.
+fn materialize(dir: &Path) -> Vec<Arc<CompiledTable>> {
+    let (_, table) = paper_example();
+    let e0 = Arc::new(
+        CompiledTable::build(table, fixture_config()).expect("baseline solves"),
+    );
+    e0.save(dir.join(SNAPSHOT_FILE)).expect("save succeeds");
+    let mut wal = EpochWal::create(dir, e0.epoch()).expect("wal create");
+    let mut chain = vec![e0];
+    for delta in fixture_deltas() {
+        let next = Arc::new(chain.last().unwrap().apply(&delta).expect("valid delta"));
+        wal.append(next.epoch(), &delta, next.applied_delta().unwrap()).expect("append");
+        chain.push(next);
+    }
+    chain
+}
+
+const DRIFT: &str = "\n\
+    ============================================================\n\
+    PERSISTED FORMAT DRIFT DETECTED\n\
+    The bytes this build writes no longer match the committed\n\
+    golden fixture. If the encoding change is intentional, bump\n\
+    persist::FORMAT_VERSION, decide the migration story for old\n\
+    artifacts, and regenerate the fixture:\n\
+        cargo test --test test_persist_golden -- --ignored\n\
+    Silent drift would brick every artifact already on disk.\n\
+    ============================================================";
+
+/// The encoder reproduces the committed snapshot byte for byte.
+#[test]
+fn golden_snapshot_bytes_are_stable() {
+    assert_eq!(
+        FORMAT_VERSION, 1,
+        "fixture was written by format v1; regenerate it for the new version{DRIFT}"
+    );
+    let dir = tmpdir("snap");
+    materialize(&dir);
+    let fresh = fs::read(dir.join(SNAPSHOT_FILE)).expect("fresh snapshot");
+    let golden = fs::read(fixture_dir().join(SNAPSHOT_FILE)).expect(
+        "missing golden fixture; run `cargo test --test test_persist_golden -- --ignored`",
+    );
+    assert_eq!(fresh, golden, "snapshot encoding drifted{DRIFT}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// The WAL encoder reproduces the committed 3-epoch log byte for byte.
+#[test]
+fn golden_wal_bytes_are_stable() {
+    let dir = tmpdir("wal");
+    materialize(&dir);
+    let fresh = fs::read(dir.join(WAL_FILE)).expect("fresh wal");
+    let golden = fs::read(fixture_dir().join(WAL_FILE)).expect(
+        "missing golden fixture; run `cargo test --test test_persist_golden -- --ignored`",
+    );
+    assert_eq!(fresh, golden, "WAL encoding drifted{DRIFT}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// The committed fixture stays *readable*: recovery replays it to epoch 3
+/// with estimates bit-identical to today's freshly built chain. (Byte
+/// stability says we still write v1; this says we still read it.)
+#[test]
+fn golden_fixture_recovers_bit_identically() {
+    // Copy the fixture out first: recovery may repair a WAL in place, and
+    // the source tree must stay pristine under `cargo test`.
+    let dir = tmpdir("recover");
+    for file in [SNAPSHOT_FILE, WAL_FILE] {
+        fs::copy(fixture_dir().join(file), dir.join(file)).expect(
+            "missing golden fixture; run `cargo test --test test_persist_golden -- --ignored`",
+        );
+    }
+    let recovered = recover(&dir).expect("fixture recovers");
+    assert_eq!(recovered.artifact.epoch(), 3);
+    assert_eq!(recovered.replayed, 3);
+    assert_eq!(recovered.truncated_bytes, 0, "committed fixture has no torn tail");
+
+    let chain = materialize(&tmpdir("recover-ref"));
+    assert_eq!(
+        recovered.artifact.baseline_estimate().term_values(),
+        chain.last().unwrap().baseline_estimate().term_values(),
+        "fixture no longer decodes to the same estimates{DRIFT}"
+    );
+}
+
+/// Regenerates the committed fixture. Run explicitly after an intentional
+/// `FORMAT_VERSION` bump:
+///
+/// ```text
+/// cargo test --test test_persist_golden -- --ignored
+/// ```
+#[test]
+#[ignore = "writes tests/fixtures/persist; run after an intentional format bump"]
+fn regenerate_golden_fixture() {
+    let dir = fixture_dir();
+    fs::create_dir_all(&dir).expect("fixture dir");
+    materialize(&dir);
+    println!(
+        "regenerated {} and {} under {}",
+        SNAPSHOT_FILE,
+        WAL_FILE,
+        dir.display()
+    );
+}

@@ -9,8 +9,35 @@ use pm_anonymize::anatomy::{AnatomyBucketizer, AnatomyConfig};
 use pm_anonymize::published::PublishedTable;
 use pm_assoc::miner::{MinerConfig, RuleMiner};
 use pm_datagen::adult::{AdultGenerator, AdultGeneratorConfig};
+use privacy_maxent::compiled::CompiledTable;
 use privacy_maxent::engine::{Engine, EngineConfig, Estimate};
 use privacy_maxent::knowledge::KnowledgeBase;
+
+/// Cold-build → save → cold-load → bit-compare, at the given scale. The
+/// seed era's only cold-build coverage at scale was the `#[ignore]`d run
+/// below; this persisted path runs the same shape through the snapshot
+/// codec, so the tier-1 suite exercises save/load on a real pipeline too.
+fn assert_persisted_roundtrip(records: usize, seed: u64, threads: usize, name: &str) {
+    let data = AdultGenerator::new(AdultGeneratorConfig { records, seed }).generate();
+    let table = AnatomyBucketizer::new(AnatomyConfig { ell: 5, exempt_top: 1 })
+        .publish(&data)
+        .expect("bucketization succeeds");
+    let config =
+        EngineConfig::builder().threads(threads).residual_limit(f64::INFINITY).build();
+    let built = CompiledTable::build(table, config).expect("baseline solves");
+    let path = std::env::temp_dir()
+        .join(format!("pmx-scale-{}-{name}.pmx", std::process::id()));
+    built.save(&path).expect("save succeeds");
+    let loaded = CompiledTable::load(&path).expect("load succeeds");
+    assert_eq!(loaded.term_index().len(), built.term_index().len());
+    assert_eq!(loaded.num_invariants(), built.num_invariants());
+    assert_eq!(
+        loaded.baseline_estimate().term_values(),
+        built.baseline_estimate().term_values(),
+        "loaded artifact must serve the built artifact's bits"
+    );
+    std::fs::remove_file(&path).ok();
+}
 
 fn run_pipeline(
     records: usize,
@@ -60,6 +87,21 @@ fn two_hundred_bucket_pipeline_on_two_threads() {
 
     let (_, sequential) = run_pipeline(1_000, 5, vec![1, 2], 60, 1);
     assert_eq!(est.term_values(), sequential.term_values(), "bit-identical to 1 thread");
+}
+
+/// Tier-1: the 200-bucket artifact survives the snapshot codec
+/// bit-identically.
+#[test]
+fn two_hundred_bucket_artifact_persists() {
+    assert_persisted_roundtrip(1_000, 5, 2, "tier1");
+}
+
+/// Paper scale persisted: the 2,842-bucket Adult artifact through
+/// save → load, bit-identical. Run with `cargo test -- --ignored`.
+#[test]
+#[ignore = "Adult-scale (2,842 buckets); run with --ignored"]
+fn adult_scale_artifact_persists() {
+    assert_persisted_roundtrip(14_210, 1, 0, "adult");
 }
 
 /// Paper scale (Section 7): 14,210 records, 2,842 buckets. ~10 s in

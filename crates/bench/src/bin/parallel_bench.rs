@@ -9,12 +9,17 @@
 //!     --arity T           exact antecedent arity of mined rules   [default: 4]
 //!     --rules N           knowledge rules, split (N/2)+ (N/2)−    [default: 100]
 //!     --out PATH          JSON report path        [default: BENCH_parallel.json]
-//!     --min-speedup X     fail unless some sweep run reaches speedup ≥ X.
-//!                         Only enforced for runs whose thread count the host
-//!                         can actually supply (available_parallelism ≥
-//!                         threads); on smaller hosts the gate is skipped
-//!                         with a note, so CI can demand 1.5 without flaking
-//!                         single-core containers.          [default: off]
+//!     --min-speedup X     fail unless some sweep run with a thread count the
+//!                         host can actually supply (available_parallelism ≥
+//!                         threads) reaches speedup ≥ X. If no run is
+//!                         eligible — e.g. a single-core host asked to gate a
+//!                         multi-thread sweep — the gate FAILS rather than
+//!                         skipping: a gate that cannot observe what it gates
+//!                         has not passed. Arming the gate also fails the run
+//!                         on any eligible regression (a threaded run slower
+//!                         than one thread, or >10% extra total solver time).
+//!                         Run gateless hosts without this flag.
+//!                                                          [default: off]
 //! ```
 //!
 //! Prints the sweep table to stdout and writes the machine-readable report
@@ -109,22 +114,35 @@ fn main() -> ExitCode {
             .filter(|r| r.threads > 1 && r.threads <= report.available_parallelism)
             .collect();
         if eligible.is_empty() {
-            println!(
-                "min-speedup gate skipped: host has {} core(s), no multi-threaded \
-                 run is eligible",
+            // An armed gate that cannot observe a single eligible run has
+            // not passed — fail loudly instead of the old silent self-skip,
+            // which let a 1-core recording masquerade as a green sweep.
+            eprintln!(
+                "parallel_bench: --min-speedup {bar:.2} is armed but the host has \
+                 {} core(s) and no multi-threaded run is eligible; run this gate \
+                 on a multi-core host (or drop --min-speedup for a gateless \
+                 recording)",
                 report.available_parallelism
             );
-        } else {
-            let best = eligible.iter().map(|r| r.speedup).fold(0.0f64, f64::max);
-            if best < bar {
-                eprintln!(
-                    "parallel_bench: best eligible speedup {best:.2}x is below the \
-                     --min-speedup bar {bar:.2}x"
-                );
-                return ExitCode::FAILURE;
-            }
-            println!("min-speedup gate passed: best eligible speedup {best:.2}x >= {bar:.2}x");
+            return ExitCode::FAILURE;
         }
+        if let Some(r) = eligible.iter().find(|r| r.regressed()) {
+            eprintln!(
+                "parallel_bench: {} threads REGRESSED — {:.2}x baseline wall, \
+                 {:.2}x baseline solver time",
+                r.threads, r.speedup, r.solver_ratio
+            );
+            return ExitCode::FAILURE;
+        }
+        let best = eligible.iter().map(|r| r.speedup).fold(0.0f64, f64::max);
+        if best < bar {
+            eprintln!(
+                "parallel_bench: best eligible speedup {best:.2}x is below the \
+                 --min-speedup bar {bar:.2}x"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("min-speedup gate passed: best eligible speedup {best:.2}x >= {bar:.2}x");
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,148 @@
+//! `serve_bench` — closed-loop throughput + bit-identity sweep of `pmx serve`.
+//!
+//! ```text
+//! cargo run --release -p pm-bench --bin serve_bench -- [options]
+//!
+//!     --scale quick|full  workload scale (2,500 / 14,210 records) [default: quick]
+//!     --seed N            generator + tape seed                   [default: 1]
+//!     --tenants N         client connections                      [default: 8]
+//!     --phases N          knowledge phases per tenant             [default: 4]
+//!     --batches N         batch frames per phase                  [default: 50]
+//!     --batch N           queries per batch frame                 [default: 256]
+//!     --samples N         verified singles per phase              [default: 4]
+//!     --rules N           mined knowledge pool size               [default: 40]
+//!     --deltas N          table-delta epochs driven (≤ phases)    [default: 3]
+//!     --threads N         server engine threads                   [default: 1]
+//!     --out PATH          JSON report path           [default: BENCH_serve.json]
+//!     --min-qps X         fail unless mixed throughput reaches X queries/s.
+//!                         Self-skips with a note when the run is too short to
+//!                         time honestly (wall below the 250 ms floor), so
+//!                         smoke-sized runs don't flake the gate.
+//!                                                                 [default: off]
+//! ```
+//!
+//! Always exits non-zero if any sampled response diverges bitwise from the
+//! direct `Analyst` replay — throughput never buys back correctness.
+
+use std::process::ExitCode;
+
+use pm_bench::pipeline::Scale;
+use pm_bench::serve::{run, ServeBenchConfig};
+
+/// Below this wall time the qps figure is quantisation noise, so an armed
+/// `--min-qps` gate self-skips (with a note) instead of flaking.
+const GATE_FLOOR_SECONDS: f64 = 0.25;
+
+fn parse(argv: &[String]) -> Result<(ServeBenchConfig, String, Option<f64>), String> {
+    let mut cfg = ServeBenchConfig::default();
+    let mut out = "BENCH_serve.json".to_string();
+    let mut min_qps = None;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("{name} expects a value"))
+        };
+        match flag.as_str() {
+            "--scale" => {
+                cfg.scale = match value("--scale")?.as_str() {
+                    "quick" => Scale::Quick,
+                    "full" => Scale::Full,
+                    other => return Err(format!("unknown scale `{other}`")),
+                };
+            }
+            "--seed" => {
+                cfg.seed = value("--seed")?.parse().map_err(|_| "bad --seed".to_string())?;
+            }
+            "--tenants" => {
+                cfg.tenants =
+                    value("--tenants")?.parse().map_err(|_| "bad --tenants".to_string())?;
+            }
+            "--phases" => {
+                cfg.phases =
+                    value("--phases")?.parse().map_err(|_| "bad --phases".to_string())?;
+            }
+            "--batches" => {
+                cfg.batches_per_phase =
+                    value("--batches")?.parse().map_err(|_| "bad --batches".to_string())?;
+            }
+            "--batch" => {
+                cfg.batch = value("--batch")?.parse().map_err(|_| "bad --batch".to_string())?;
+            }
+            "--samples" => {
+                cfg.samples_per_phase =
+                    value("--samples")?.parse().map_err(|_| "bad --samples".to_string())?;
+            }
+            "--rules" => {
+                cfg.rules = value("--rules")?.parse().map_err(|_| "bad --rules".to_string())?;
+            }
+            "--deltas" => {
+                cfg.deltas =
+                    value("--deltas")?.parse().map_err(|_| "bad --deltas".to_string())?;
+            }
+            "--threads" => {
+                cfg.threads =
+                    value("--threads")?.parse().map_err(|_| "bad --threads".to_string())?;
+            }
+            "--out" => out = value("--out")?,
+            "--min-qps" => {
+                min_qps = Some(
+                    value("--min-qps")?
+                        .parse::<f64>()
+                        .map_err(|_| "bad --min-qps".to_string())?,
+                );
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if cfg.tenants == 0 || cfg.phases == 0 || cfg.batch == 0 {
+        return Err("--tenants, --phases and --batch must be positive".to_string());
+    }
+    if cfg.samples_per_phase == 0 {
+        return Err("--samples must be positive (the replay needs samples to verify)".to_string());
+    }
+    Ok((cfg, out, min_qps))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (cfg, out, min_qps) = match parse(&argv) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("serve_bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = run(&cfg);
+    report.print_table();
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("serve_bench: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("\nwrote {out}");
+    if !report.identical {
+        eprintln!(
+            "serve_bench: {} of {} sampled response(s) diverged bitwise from the \
+             direct Analyst replay!",
+            report.mismatches, report.samples
+        );
+        return ExitCode::FAILURE;
+    }
+    if let Some(bar) = min_qps {
+        let wall = report.wall.as_secs_f64();
+        if wall < GATE_FLOOR_SECONDS {
+            println!(
+                "min-qps gate skipped: {wall:.3} s wall is below the \
+                 {GATE_FLOOR_SECONDS:.2} s timing floor"
+            );
+        } else if report.qps < bar {
+            eprintln!(
+                "serve_bench: {:.0} queries/s is below the --min-qps bar {bar:.0}",
+                report.qps
+            );
+            return ExitCode::FAILURE;
+        } else {
+            println!("min-qps gate passed: {:.0} queries/s >= {bar:.0}", report.qps);
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -12,3 +12,4 @@ pub mod parallel;
 pub mod concurrent;
 pub mod table_delta;
 pub mod persist;
+pub mod serve;

@@ -90,8 +90,21 @@ pub struct ParallelRun {
     pub solver: Duration,
     /// `baseline wall / this wall`.
     pub speedup: f64,
+    /// `this solver Σ / baseline solver Σ` — above 1 the threads *added*
+    /// solver work (contention / oversubscription), the honest explanation
+    /// when a threaded run's wall time regresses.
+    pub solver_ratio: f64,
     /// Whether the estimate is bit-identical to the 1-thread baseline.
     pub identical_to_baseline: bool,
+}
+
+impl ParallelRun {
+    /// Whether this run regressed against the baseline: slower wall clock,
+    /// or markedly (>10%) more total solver work than one thread did.
+    #[must_use]
+    pub fn regressed(&self) -> bool {
+        self.threads > 1 && (self.speedup < 1.0 || self.solver_ratio > 1.10)
+    }
 }
 
 /// The full report — everything `BENCH_parallel.json` records.
@@ -117,6 +130,8 @@ pub struct ParallelBenchReport {
     pub available_parallelism: usize,
     /// Baseline (1-thread) wall time.
     pub baseline_wall: Duration,
+    /// Baseline (1-thread) summed per-component solver time.
+    pub baseline_solver: Duration,
     /// The sweep, in the order run.
     pub runs: Vec<ParallelRun>,
 }
@@ -143,6 +158,7 @@ pub fn run(cfg: &ParallelBenchConfig) -> ParallelBenchReport {
     // measured baseline isn't charged for first-touch costs.
     let _ = estimate(&w, 1);
     let (baseline, baseline_wall) = estimate(&w, 1);
+    let baseline_solver = baseline.stats.solver_elapsed();
     let mut report = ParallelBenchReport {
         scale: match cfg.scale {
             Scale::Full => "full".to_string(),
@@ -157,16 +173,23 @@ pub fn run(cfg: &ParallelBenchConfig) -> ParallelBenchReport {
         irrelevant_components: baseline.stats.num_irrelevant,
         available_parallelism: pm_parallel::available_parallelism(),
         baseline_wall,
+        baseline_solver,
         runs: Vec::new(),
     };
 
     for &threads in &cfg.threads {
         let (est, wall) = estimate(&w, threads);
+        let solver = est.stats.solver_elapsed();
         report.runs.push(ParallelRun {
             threads,
             wall,
-            solver: est.stats.solver_elapsed(),
+            solver,
             speedup: baseline_wall.as_secs_f64() / wall.as_secs_f64(),
+            solver_ratio: if baseline_solver.as_secs_f64() > 0.0 {
+                solver.as_secs_f64() / baseline_solver.as_secs_f64()
+            } else {
+                1.0
+            },
             identical_to_baseline: est.term_values() == baseline.term_values(),
         });
     }
@@ -198,16 +221,23 @@ impl ParallelBenchReport {
             "  \"baseline_wall_seconds\": {:.6},\n",
             self.baseline_wall.as_secs_f64()
         ));
+        s.push_str(&format!(
+            "  \"baseline_solver_seconds\": {:.6},\n",
+            self.baseline_solver.as_secs_f64()
+        ));
         s.push_str("  \"runs\": [\n");
         for (i, r) in self.runs.iter().enumerate() {
             s.push_str(&format!(
                 "    {{\"threads\": {}, \"wall_seconds\": {:.6}, \
                  \"solver_seconds\": {:.6}, \"speedup\": {:.3}, \
+                 \"solver_ratio\": {:.3}, \"regressed\": {}, \
                  \"identical_to_baseline\": {}}}{}\n",
                 r.threads,
                 r.wall.as_secs_f64(),
                 r.solver.as_secs_f64(),
                 r.speedup,
+                r.solver_ratio,
+                r.regressed(),
                 r.identical_to_baseline,
                 if i + 1 < self.runs.len() { "," } else { "" },
             ));
@@ -228,17 +258,29 @@ impl ParallelBenchReport {
             self.components, self.irrelevant_components, self.available_parallelism
         );
         println!(
-            "{:>8}  {:>12}  {:>14}  {:>8}  {:>10}",
-            "threads", "wall (s)", "solver Σ (s)", "speedup", "identical"
+            "{:>8}  {:>12}  {:>14}  {:>8}  {:>10}  {:>10}",
+            "threads", "wall (s)", "solver Σ (s)", "speedup", "solver ×", "identical"
         );
         for r in &self.runs {
             println!(
-                "{:>8}  {:>12.4}  {:>14.4}  {:>7.2}x  {:>10}",
+                "{:>8}  {:>12.4}  {:>14.4}  {:>7.2}x  {:>9.2}x  {:>10}",
                 r.threads,
                 r.wall.as_secs_f64(),
                 r.solver.as_secs_f64(),
                 r.speedup,
+                r.solver_ratio,
                 r.identical_to_baseline,
+            );
+        }
+        // Regressions are reported loudly, not buried in the table: a
+        // threaded run that went *slower* than one thread (or burned >10%
+        // more total solver time) is exactly the result this bench exists
+        // to catch.
+        for r in self.runs.iter().filter(|r| r.regressed()) {
+            println!(
+                "REGRESSION: {} threads ran at {:.2}x baseline wall and spent \
+                 {:.2}x the baseline solver time (host has {} core(s))",
+                r.threads, r.speedup, r.solver_ratio, self.available_parallelism,
             );
         }
     }
@@ -260,12 +302,14 @@ mod tests {
             irrelevant_components: 2,
             available_parallelism: 8,
             baseline_wall: Duration::from_millis(500),
+            baseline_solver: Duration::from_millis(450),
             runs: vec![
                 ParallelRun {
                     threads: 1,
                     wall: Duration::from_millis(500),
                     solver: Duration::from_millis(450),
                     speedup: 1.0,
+                    solver_ratio: 1.0,
                     identical_to_baseline: true,
                 },
                 ParallelRun {
@@ -273,6 +317,7 @@ mod tests {
                     wall: Duration::from_millis(260),
                     solver: Duration::from_millis(450),
                     speedup: 500.0 / 260.0,
+                    solver_ratio: 1.0,
                     identical_to_baseline: true,
                 },
             ],
@@ -287,10 +332,35 @@ mod tests {
         assert!(j.contains("\"bench\": \"parallel_components\""));
         assert!(j.contains("\"buckets\": 20"));
         assert!(j.contains("\"baseline_wall_seconds\": 0.500000"));
+        assert!(j.contains("\"baseline_solver_seconds\": 0.450000"));
         assert!(j.contains("\"threads\": 2"));
+        assert!(j.contains("\"solver_ratio\": 1.000"));
+        assert!(j.contains("\"regressed\": false"));
         assert!(j.contains("\"identical_to_baseline\": true"));
         // Exactly one trailing comma between the two runs.
         assert_eq!(j.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn regression_flags_slow_or_oversubscribed_runs() {
+        let healthy = ParallelRun {
+            threads: 2,
+            wall: Duration::from_millis(260),
+            solver: Duration::from_millis(450),
+            speedup: 1.9,
+            solver_ratio: 1.0,
+            identical_to_baseline: true,
+        };
+        assert!(!healthy.regressed());
+        // The committed-JSON embarrassment this check exists for: 2 threads
+        // slower than 1, solver time doubled.
+        let slower = ParallelRun { speedup: 0.92, solver_ratio: 2.0, ..healthy.clone() };
+        assert!(slower.regressed());
+        let oversubscribed = ParallelRun { solver_ratio: 1.5, ..healthy.clone() };
+        assert!(oversubscribed.regressed());
+        // The 1-thread baseline never flags itself.
+        let baseline = ParallelRun { threads: 1, speedup: 0.92, ..healthy };
+        assert!(!baseline.regressed());
     }
 
     #[test]

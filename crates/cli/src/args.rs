@@ -79,6 +79,57 @@ pub struct SessionOptions {
     pub persist: Option<String>,
 }
 
+/// Parsed options for `pmx serve`.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Shared data-source / publication / engine options (`None` when the
+    /// server opens a persisted artifact instead of compiling).
+    pub base: Option<Options>,
+    /// Serve a read-only snapshot (`CompiledTable::load`); table deltas
+    /// advance epochs in memory only.
+    pub artifact: Option<String>,
+    /// Durable persistence directory: recover (or initialise) the snapshot
+    /// + WAL and journal every table-delta epoch before publishing it.
+    pub persist: Option<String>,
+    /// Listen address (`127.0.0.1:0` binds an ephemeral port).
+    pub addr: String,
+    /// Resident-tenant cap (admission control).
+    pub max_tenants: usize,
+    /// Concurrent-connection cap (admission control).
+    pub max_connections: usize,
+    /// Largest accepted frame body, in bytes.
+    pub max_frame_bytes: usize,
+    /// Most items in one batch/knowledge/delta frame.
+    pub max_batch: usize,
+    /// Response frames buffered per connection before a slow reader is shed.
+    pub write_queue: usize,
+}
+
+/// Parsed options for `pmx loadgen`.
+#[derive(Debug, Clone)]
+pub struct LoadgenArgs {
+    /// Server address to drive.
+    pub addr: String,
+    /// Data-source options used to mine the knowledge pool the tapes draw
+    /// from (pass the same flags the server was started with); `None`
+    /// drives a query/refresh-only load.
+    pub base: Option<Options>,
+    /// Knowledge items mined into the pool.
+    pub rules: usize,
+    /// Tenants (one client thread + connection each).
+    pub tenants: usize,
+    /// Phases per tenant (each ends with a knowledge step + refresh).
+    pub phases: usize,
+    /// Batched query frames per phase.
+    pub batches: usize,
+    /// Queries per batch frame.
+    pub batch: usize,
+    /// Sampled single queries recorded after each refresh.
+    pub samples: usize,
+    /// Tape seed.
+    pub seed: u64,
+}
+
 /// Parse error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError(pub String);
@@ -277,6 +328,150 @@ pub fn parse_session(argv: &[String]) -> Result<SessionOptions, ParseError> {
     Ok(SessionOptions { base, script, warm_start, artifact, persist })
 }
 
+/// Parses `pmx serve` arguments: the session persistence flags
+/// (`--artifact` / `--persist` / a data source) plus the listen address and
+/// the admission-control limits. Session-only and quantify-only flags are
+/// rejected.
+pub fn parse_serve(argv: &[String]) -> Result<ServeOptions, ParseError> {
+    let defaults = pm_serve::registry::Limits::default();
+    let mut artifact = None;
+    let mut persist = None;
+    let mut addr = "127.0.0.1:7171".to_string();
+    let mut max_tenants = defaults.max_tenants;
+    let mut max_connections = defaults.max_connections;
+    let mut max_frame_bytes = defaults.max_frame_bytes;
+    let mut max_batch = defaults.max_batch;
+    let mut write_queue = defaults.write_queue_frames;
+    let mut base_argv: Vec<String> = Vec::with_capacity(argv.len());
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| ParseError(format!("{name} expects a value")))
+        };
+        let parse_num = |name: &str, v: String| {
+            v.parse::<usize>().map_err(|_| ParseError(format!("bad {name}")))
+        };
+        match flag.as_str() {
+            "--artifact" => artifact = Some(value("--artifact")?),
+            "--persist" => persist = Some(value("--persist")?),
+            "--addr" => addr = value("--addr")?,
+            "--max-tenants" => max_tenants = parse_num("--max-tenants", value("--max-tenants")?)?,
+            "--max-connections" => {
+                max_connections = parse_num("--max-connections", value("--max-connections")?)?;
+            }
+            "--max-frame-bytes" => {
+                max_frame_bytes = parse_num("--max-frame-bytes", value("--max-frame-bytes")?)?;
+            }
+            "--max-batch" => max_batch = parse_num("--max-batch", value("--max-batch")?)?,
+            "--write-queue" => write_queue = parse_num("--write-queue", value("--write-queue")?)?,
+            "--bounds" => {
+                return Err(ParseError(
+                    "--bounds is a quantify option; serve tenants grow knowledge \
+                     over the wire"
+                        .into(),
+                ))
+            }
+            "--script" | "--warm-start" => {
+                return Err(ParseError(format!("{flag} is a session option")))
+            }
+            other => base_argv.push(other.to_string()),
+        }
+    }
+    if artifact.is_some() && persist.is_some() {
+        return Err(ParseError(
+            "--artifact and --persist are mutually exclusive: the first serves a \
+             read-only snapshot, the second owns a durable snapshot + WAL directory"
+                .into(),
+        ));
+    }
+    if max_tenants == 0 || max_connections == 0 || max_batch == 0 || write_queue == 0 {
+        return Err(ParseError("serve limits must be positive".into()));
+    }
+    let has_source = base_argv.iter().any(|f| f == "--input" || f == "--synthetic");
+    let base = if has_source {
+        Some(parse(&base_argv)?)
+    } else if artifact.is_some() || persist.is_some() {
+        if let Some(stray) = base_argv.first() {
+            return Err(ParseError(format!(
+                "{stray} requires a data source; without --input/--synthetic the \
+                 engine config comes from the persisted artifact"
+            )));
+        }
+        None
+    } else {
+        Some(parse(&base_argv)?)
+    };
+    Ok(ServeOptions {
+        base,
+        artifact,
+        persist,
+        addr,
+        max_tenants,
+        max_connections,
+        max_frame_bytes,
+        max_batch,
+        write_queue,
+    })
+}
+
+/// Parses `pmx loadgen` arguments.
+pub fn parse_loadgen(argv: &[String]) -> Result<LoadgenArgs, ParseError> {
+    let mut addr = None;
+    let mut rules = 40usize;
+    let mut tenants = 8usize;
+    let mut phases = 4usize;
+    let mut batches = 50usize;
+    let mut batch = 256usize;
+    let mut samples = 4usize;
+    let mut seed = 0x00C0_FFEE_u64;
+    let mut base_argv: Vec<String> = Vec::with_capacity(argv.len());
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| ParseError(format!("{name} expects a value")))
+        };
+        let parse_num = |name: &str, v: String| {
+            v.parse::<usize>().map_err(|_| ParseError(format!("bad {name}")))
+        };
+        match flag.as_str() {
+            "--addr" => addr = Some(value("--addr")?),
+            "--rules" => rules = parse_num("--rules", value("--rules")?)?,
+            "--tenants" => tenants = parse_num("--tenants", value("--tenants")?)?,
+            "--phases" => phases = parse_num("--phases", value("--phases")?)?,
+            "--batches" => batches = parse_num("--batches", value("--batches")?)?,
+            "--batch" => batch = parse_num("--batch", value("--batch")?)?,
+            "--samples" => samples = parse_num("--samples", value("--samples")?)?,
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| ParseError("bad --seed".into()))?;
+            }
+            other => base_argv.push(other.to_string()),
+        }
+    }
+    let addr =
+        addr.ok_or_else(|| ParseError("--addr HOST:PORT is required".into()))?;
+    if tenants == 0 || phases == 0 || batch == 0 {
+        return Err(ParseError("--tenants, --phases and --batch must be positive".into()));
+    }
+    let has_source = base_argv.iter().any(|f| f == "--input" || f == "--synthetic");
+    let base = if has_source {
+        Some(parse(&base_argv)?)
+    } else if let Some(stray) = base_argv.first() {
+        return Err(ParseError(format!(
+            "{stray} requires a data source (--input/--synthetic) to mine the \
+             knowledge pool from"
+        )));
+    } else {
+        None
+    };
+    Ok(LoadgenArgs { addr, base, rules, tenants, phases, batches, batch, samples, seed })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -378,6 +573,61 @@ mod tests {
         assert!(parse_session(&argv("--synthetic adult:100 --script")).is_err());
         assert!(parse_session(&argv("--synthetic adult:100 --bounds 0,10")).is_err());
         assert!(parse_session(&argv("")).is_err(), "no source, nothing persisted");
+    }
+
+    #[test]
+    fn serve_options() {
+        let o = parse_serve(&argv(
+            "--synthetic adult:1000 --addr 127.0.0.1:0 --max-tenants 16 \
+             --max-connections 8 --max-batch 1024 --write-queue 32",
+        ))
+        .unwrap();
+        assert!(o.base.is_some());
+        assert_eq!(o.addr, "127.0.0.1:0");
+        assert_eq!(o.max_tenants, 16);
+        assert_eq!(o.max_connections, 8);
+        assert_eq!(o.max_batch, 1024);
+        assert_eq!(o.write_queue, 32);
+
+        let o = parse_serve(&argv("--artifact table.pmx")).unwrap();
+        assert_eq!(o.artifact.as_deref(), Some("table.pmx"));
+        assert!(o.base.is_none());
+        assert_eq!(o.addr, "127.0.0.1:7171", "default listen address");
+
+        assert!(parse_serve(&argv("--artifact a.pmx --persist d")).is_err());
+        assert!(parse_serve(&argv("--synthetic adult:100 --bounds 0,10")).is_err());
+        assert!(parse_serve(&argv("--synthetic adult:100 --script x")).is_err());
+        assert!(parse_serve(&argv("--synthetic adult:100 --max-tenants 0")).is_err());
+        assert!(parse_serve(&argv("--artifact a.pmx --threads 2")).is_err());
+        assert!(parse_serve(&argv("")).is_err(), "no source, nothing persisted");
+    }
+
+    #[test]
+    fn loadgen_options() {
+        let o = parse_loadgen(&argv(
+            "--addr 127.0.0.1:7171 --synthetic adult:1000 --rules 20 --tenants 4 \
+             --phases 2 --batches 10 --batch 64 --samples 3 --seed 7",
+        ))
+        .unwrap();
+        assert_eq!(o.addr, "127.0.0.1:7171");
+        assert!(o.base.is_some());
+        assert_eq!(o.rules, 20);
+        assert_eq!(o.tenants, 4);
+        assert_eq!(o.phases, 2);
+        assert_eq!(o.batches, 10);
+        assert_eq!(o.batch, 64);
+        assert_eq!(o.samples, 3);
+        assert_eq!(o.seed, 7);
+
+        let o = parse_loadgen(&argv("--addr 127.0.0.1:7171")).unwrap();
+        assert!(o.base.is_none(), "query-only load without a source");
+
+        assert!(parse_loadgen(&argv("")).is_err(), "--addr is required");
+        assert!(parse_loadgen(&argv("--addr x --tenants 0")).is_err());
+        assert!(
+            parse_loadgen(&argv("--addr x --ell 5")).is_err(),
+            "engine flags need a source"
+        );
     }
 
     #[test]

@@ -34,6 +34,27 @@
 //!     --persist DIR (durable snapshot + WAL: recover on start, journal
 //!     every rebase). `--bounds` is rejected.
 //!
+//! pmx serve [options]
+//!     Serve the compiled artifact over TCP as a multi-tenant session
+//!     server (length-prefixed binary protocol; one resident Analyst per
+//!     tenant id). Resolves its artifact like `pmx session`: a data
+//!     source compiles it, `--artifact FILE` loads a read-only snapshot,
+//!     `--persist DIR` recovers a durable snapshot + WAL directory and
+//!     journals every table-delta epoch before publishing it.
+//!     Extra options: --addr HOST:PORT [default: 127.0.0.1:7171],
+//!     --max-tenants N, --max-connections N, --max-frame-bytes N,
+//!     --max-batch N, --write-queue N (admission control: each cap sheds
+//!     load with a typed protocol error instead of stalling).
+//!
+//! pmx loadgen --addr HOST:PORT [options]
+//!     Drive a running `pmx serve` with the deterministic closed-loop
+//!     tape workload: batched queries, knowledge add/remove steps,
+//!     refreshes and sampled single queries, one connection per tenant.
+//!     Pass the server's data-source flags to mine a knowledge pool
+//!     (--rules N [default: 40]); omit them for a query-only load.
+//!     Extra options: --tenants N, --phases N, --batches N, --batch N,
+//!     --samples N, --seed N.
+//!
 //!     --input FILE        CSV of categorical microdata; last column is the
 //!                         sensitive attribute, all others quasi-identifiers
 //!                         (domains inferred). Alternatively:
@@ -54,6 +75,7 @@ mod args;
 mod compile;
 mod infer;
 mod quantify;
+mod serve;
 mod session;
 
 fn main() -> ExitCode {
@@ -122,9 +144,35 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("serve") => match args::parse_serve(&argv[1..]) {
+            Ok(options) => match serve::run(&options) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("pmx: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                eprintln!("pmx: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("loadgen") => match args::parse_loadgen(&argv[1..]) {
+            Ok(options) => match serve::run_loadgen(&options) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("pmx: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                eprintln!("pmx: {e}");
+                ExitCode::FAILURE
+            }
+        },
         _ => {
             eprintln!(
-                "usage: pmx <demo|quantify|compile|session> [options]   \
+                "usage: pmx <demo|quantify|compile|session|serve|loadgen> [options]   \
                  (see --help in source header)"
             );
             ExitCode::FAILURE

@@ -103,6 +103,7 @@ pub mod ranges;
 pub mod report;
 pub mod terms;
 pub mod validate;
+pub mod wire;
 
 pub use analyst::{Analyst, AnalystReport, KnowledgeHandle, RebaseStats, RefreshStats};
 pub use compiled::{CompileStats, CompiledTable};

@@ -78,6 +78,7 @@ use crate::delta::{AppliedDelta, DeltaOp, TableDelta};
 use crate::engine::{EngineConfig, SolverKind};
 use crate::error::PmError;
 use crate::terms::{BucketTerms, TermIndex};
+use crate::wire::{checksum64, Reader as R, Writer as W};
 
 /// Leading magic of a snapshot file.
 pub const MAGIC: [u8; 8] = *b"PMXSNAP\0";
@@ -103,154 +104,6 @@ const SECTION_IDS: [(u32, &str); 6] = [
 ];
 const WAL_HEADER_LEN: usize = 28;
 const WAL_COMMIT: u32 = u32::from_le_bytes(*b"CMIT");
-
-// ---------------------------------------------------------------- checksum
-
-/// 4-lane mixing checksum over little-endian 64-bit words — fast enough to
-/// verify every section on the cold-load path, and any single-byte flip
-/// deterministically changes the digest (each per-lane step is bijective,
-/// and exactly one lane's rotated contribution to the finalizer changes).
-/// Not cryptographic; it detects corruption, not adversaries.
-pub(crate) fn checksum64(bytes: &[u8]) -> u64 {
-    const K1: u64 = 0x9E37_79B9_7F4A_7C15;
-    const K2: u64 = 0xC2B2_AE3D_27D4_EB4F;
-    let mut lanes = [K1, K2, K1 ^ K2, K1.wrapping_add(K2)];
-    let mut chunks = bytes.chunks_exact(32);
-    for chunk in &mut chunks {
-        for (lane, w) in lanes.iter_mut().zip(chunk.chunks_exact(8)) {
-            let w = u64::from_le_bytes(w.try_into().expect("8-byte chunk"));
-            *lane = (*lane ^ w).wrapping_mul(K1).rotate_left(29);
-        }
-    }
-    let mut h = lanes[0]
-        .rotate_left(1)
-        .wrapping_add(lanes[1].rotate_left(7))
-        .wrapping_add(lanes[2].rotate_left(18))
-        .wrapping_add(lanes[3].rotate_left(31));
-    for tail in chunks.remainder().chunks(8) {
-        let mut buf = [0u8; 8];
-        buf[..tail.len()].copy_from_slice(tail);
-        h = (h ^ u64::from_le_bytes(buf)).wrapping_mul(K2).rotate_left(31);
-    }
-    h ^= bytes.len() as u64;
-    h ^= h >> 33;
-    h = h.wrapping_mul(K1);
-    h ^= h >> 29;
-    h = h.wrapping_mul(K2);
-    h ^ (h >> 32)
-}
-
-// ------------------------------------------------------------------ writer
-
-/// Little-endian byte sink for the hand-rolled encoders.
-#[derive(Default)]
-struct W(Vec<u8>);
-
-impl W {
-    fn u8(&mut self, v: u8) {
-        self.0.push(v);
-    }
-    fn u16(&mut self, v: u16) {
-        self.0.extend_from_slice(&v.to_le_bytes());
-    }
-    fn u32(&mut self, v: u32) {
-        self.0.extend_from_slice(&v.to_le_bytes());
-    }
-    fn u64(&mut self, v: u64) {
-        self.0.extend_from_slice(&v.to_le_bytes());
-    }
-    fn f64(&mut self, v: f64) {
-        self.u64(v.to_bits());
-    }
-    fn count(&mut self, n: usize) {
-        self.u32(u32::try_from(n).expect("count exceeds the persisted u32 range"));
-    }
-}
-
-// ------------------------------------------------------------------ reader
-
-/// Bounds-checked little-endian decoder over one section's payload. Every
-/// failure is a [`PmError::Corrupt`] carrying the section name and the
-/// absolute file offset; no read past the slice and no length-driven
-/// allocation is possible, so corrupt input can neither panic nor OOM.
-struct R<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-    /// Absolute file offset of `bytes[0]`.
-    base: u64,
-    section: &'static str,
-}
-
-impl<'a> R<'a> {
-    fn new(bytes: &'a [u8], base: u64, section: &'static str) -> Self {
-        R { bytes, pos: 0, base, section }
-    }
-
-    fn corrupt(&self, detail: impl Into<String>) -> PmError {
-        PmError::Corrupt {
-            section: self.section.to_string(),
-            offset: self.base + self.pos as u64,
-            detail: detail.into(),
-        }
-    }
-
-    fn take(&mut self, n: usize) -> Result<&'a [u8], PmError> {
-        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
-        match end {
-            Some(end) => {
-                let out = &self.bytes[self.pos..end];
-                self.pos = end;
-                Ok(out)
-            }
-            None => Err(self.corrupt(format!(
-                "need {n} more bytes but only {} remain",
-                self.bytes.len() - self.pos
-            ))),
-        }
-    }
-
-    fn u8(&mut self) -> Result<u8, PmError> {
-        Ok(self.take(1)?[0])
-    }
-    fn u16(&mut self) -> Result<u16, PmError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
-    }
-    fn u32(&mut self) -> Result<u32, PmError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
-    }
-    fn u64(&mut self) -> Result<u64, PmError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
-    }
-    fn f64(&mut self) -> Result<f64, PmError> {
-        Ok(f64::from_bits(self.u64()?))
-    }
-
-    /// A `u32` element count, rejected up front if `n` items of at least
-    /// `min_item_bytes` each cannot fit in the remaining payload — the
-    /// anti-OOM gate in front of every `Vec::with_capacity`.
-    fn len(&mut self, min_item_bytes: usize, what: &str) -> Result<usize, PmError> {
-        let n = self.u32()? as usize;
-        let remaining = self.bytes.len() - self.pos;
-        if n.saturating_mul(min_item_bytes) > remaining {
-            return Err(self.corrupt(format!(
-                "{what} count {n} cannot fit in the {remaining} bytes remaining"
-            )));
-        }
-        Ok(n)
-    }
-
-    fn remaining(&self) -> usize {
-        self.bytes.len() - self.pos
-    }
-
-    /// Rejects trailing garbage after a complete decode.
-    fn finish(&self) -> Result<(), PmError> {
-        if self.pos != self.bytes.len() {
-            return Err(self.corrupt(format!("{} trailing bytes", self.remaining())));
-        }
-        Ok(())
-    }
-}
 
 fn io_err(path: &Path, e: &std::io::Error) -> PmError {
     PmError::Io { path: path.display().to_string(), detail: e.to_string() }
@@ -388,12 +241,12 @@ pub(crate) fn encode_snapshot(artifact: &CompiledTable) -> Vec<u8> {
     out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
     out.extend_from_slice(&SECTION_COUNT.to_le_bytes());
     for (id, payload) in [
-        (1u32, &meta.0),
-        (2, &cfg.0),
-        (3, &sym.0),
-        (4, &buckets.0),
-        (5, &terms.0),
-        (6, &baselines.0),
+        (1u32, meta.bytes()),
+        (2, cfg.bytes()),
+        (3, sym.bytes()),
+        (4, buckets.bytes()),
+        (5, terms.bytes()),
+        (6, baselines.bytes()),
     ] {
         encode_section(&mut out, id, payload);
     }
@@ -849,11 +702,11 @@ fn encode_wal_record(epoch: u64, delta: &TableDelta, applied: &AppliedDelta) -> 
     p.count(applied.num_ops());
 
     let mut out = W::default();
-    out.count(p.0.len());
-    out.0.extend_from_slice(&p.0);
-    out.u64(checksum64(&p.0));
+    out.count(p.len());
+    out.extend(p.bytes());
+    out.u64(checksum64(p.bytes()));
     out.u32(WAL_COMMIT);
-    out.0
+    out.into_bytes()
 }
 
 /// One committed WAL record, decoded.
@@ -1244,7 +1097,7 @@ mod tests {
         let mut w = W::default();
         w.u32(7);
         w.u16(3);
-        let mut r = R::new(&w.0, 100, "meta");
+        let mut r = R::new(w.bytes(), 100, "meta");
         assert_eq!(r.u32().unwrap(), 7);
         assert_eq!(r.u16().unwrap(), 3);
         let err = r.u64().unwrap_err();
@@ -1260,7 +1113,7 @@ mod tests {
         // rejected before any allocation.
         let mut w = W::default();
         w.u32(u32::MAX);
-        let mut r = R::new(&w.0, 0, "terms");
+        let mut r = R::new(w.bytes(), 0, "terms");
         assert!(matches!(r.len(6, "term"), Err(PmError::Corrupt { .. })));
     }
 

@@ -1,0 +1,272 @@
+//! Little-endian byte-level encoding helpers shared by every hand-rolled
+//! wire format in the workspace.
+//!
+//! The offline build has no serde, so each format — the [`crate::persist`]
+//! snapshot/WAL layouts and the `pm-serve` network protocol — encodes by
+//! hand through the same two primitives:
+//!
+//! * [`Writer`] — an append-only little-endian byte sink.
+//! * [`Reader`] — a **bounds-checked** decoder over one payload slice.
+//!   Every failure is a typed [`PmError::Corrupt`] carrying a section name
+//!   and the absolute offset; no read past the slice and no length-driven
+//!   allocation is possible, so corrupt or adversarial input can neither
+//!   panic nor OOM the decoder. This is the property the persistence fuzz
+//!   suite (and the serve protocol-fuzz suite) lean on.
+//! * [`checksum64`] — the 4-lane mixing digest the durable formats frame
+//!   their sections with.
+//!
+//! `f64` values travel as IEEE-754 bits, so estimates round-trip exactly.
+
+use crate::error::PmError;
+
+/// 4-lane mixing checksum over little-endian 64-bit words — fast enough to
+/// verify every section on the cold-load path, and any single-byte flip
+/// deterministically changes the digest (each per-lane step is bijective,
+/// and exactly one lane's rotated contribution to the finalizer changes).
+/// Not cryptographic; it detects corruption, not adversaries.
+#[must_use]
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    const K1: u64 = 0x9E37_79B9_7F4A_7C15;
+    const K2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+    let mut lanes = [K1, K2, K1 ^ K2, K1.wrapping_add(K2)];
+    let mut chunks = bytes.chunks_exact(32);
+    for chunk in &mut chunks {
+        for (lane, w) in lanes.iter_mut().zip(chunk.chunks_exact(8)) {
+            let w = u64::from_le_bytes(w.try_into().expect("8-byte chunk"));
+            *lane = (*lane ^ w).wrapping_mul(K1).rotate_left(29);
+        }
+    }
+    let mut h = lanes[0]
+        .rotate_left(1)
+        .wrapping_add(lanes[1].rotate_left(7))
+        .wrapping_add(lanes[2].rotate_left(18))
+        .wrapping_add(lanes[3].rotate_left(31));
+    for tail in chunks.remainder().chunks(8) {
+        let mut buf = [0u8; 8];
+        buf[..tail.len()].copy_from_slice(tail);
+        h = (h ^ u64::from_le_bytes(buf)).wrapping_mul(K2).rotate_left(31);
+    }
+    h ^= bytes.len() as u64;
+    h ^= h >> 33;
+    h = h.wrapping_mul(K1);
+    h ^= h >> 29;
+    h = h.wrapping_mul(K2);
+    h ^ (h >> 32)
+}
+
+/// Little-endian byte sink for the hand-rolled encoders.
+#[derive(Default, Debug)]
+pub struct Writer(Vec<u8>);
+
+impl Writer {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+
+    /// Appends a `u16`, little-endian.
+    pub fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern (exact round-trip).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a collection length as `u32`.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds `u32::MAX` — every persisted or wired
+    /// collection in this workspace is bounded far below that.
+    pub fn count(&mut self, n: usize) {
+        self.u32(u32::try_from(n).expect("count exceeds the encoded u32 range"));
+    }
+
+    /// Appends raw bytes verbatim.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.0.extend_from_slice(bytes);
+    }
+
+    /// The bytes written so far.
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Consumes the sink, returning the encoded bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.0
+    }
+}
+
+/// Bounds-checked little-endian decoder over one payload slice. Every
+/// failure is a [`PmError::Corrupt`] carrying the section name and the
+/// absolute offset; no read past the slice and no length-driven allocation
+/// is possible, so corrupt input can neither panic nor OOM.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    /// Absolute offset of `bytes[0]` within the enclosing file or stream.
+    base: u64,
+    section: &'static str,
+}
+
+impl<'a> Reader<'a> {
+    /// A decoder over `bytes`, reporting errors against `section` at
+    /// absolute offset `base + position`.
+    #[must_use]
+    pub fn new(bytes: &'a [u8], base: u64, section: &'static str) -> Self {
+        Reader { bytes, pos: 0, base, section }
+    }
+
+    /// A [`PmError::Corrupt`] at the current position.
+    #[must_use]
+    pub fn corrupt(&self, detail: impl Into<String>) -> PmError {
+        PmError::Corrupt {
+            section: self.section.to_string(),
+            offset: self.base + self.pos as u64,
+            detail: detail.into(),
+        }
+    }
+
+    /// Takes the next `n` bytes, or errors without reading past the slice.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], PmError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let out = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(out)
+            }
+            None => Err(self.corrupt(format!(
+                "need {n} more bytes but only {} remain",
+                self.bytes.len() - self.pos
+            ))),
+        }
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, PmError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, PmError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, PmError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, PmError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    pub fn f64(&mut self) -> Result<f64, PmError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A `u32` element count, rejected up front if `n` items of at least
+    /// `min_item_bytes` each cannot fit in the remaining payload — the
+    /// anti-OOM gate in front of every `Vec::with_capacity`.
+    pub fn len(&mut self, min_item_bytes: usize, what: &str) -> Result<usize, PmError> {
+        let n = self.u32()? as usize;
+        let remaining = self.bytes.len() - self.pos;
+        if n.saturating_mul(min_item_bytes) > remaining {
+            return Err(self.corrupt(format!(
+                "{what} count {n} cannot fit in the {remaining} bytes remaining"
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Rejects trailing garbage after a complete decode.
+    pub fn finish(&self) -> Result<(), PmError> {
+        if self.pos != self.bytes.len() {
+            return Err(self.corrupt(format!("{} trailing bytes", self.remaining())));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_reader_round_trip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u16(300);
+        w.u32(70_000);
+        w.u64(1 << 40);
+        w.f64(-0.125);
+        w.count(3);
+        w.extend(b"abc");
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes, 0, "test");
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 300);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), 1 << 40);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.125f64).to_bits());
+        assert_eq!(r.len(1, "tail").unwrap(), 3);
+        assert_eq!(r.take(3).unwrap(), b"abc");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn reader_rejects_overrun_and_oversized_counts() {
+        let mut w = Writer::new();
+        w.count(1_000_000); // claims a million items in an empty payload
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, 10, "test");
+        let err = r.len(8, "items").unwrap_err();
+        assert!(matches!(err, PmError::Corrupt { .. }), "oversized count must be typed");
+
+        let mut r = Reader::new(&[1, 2], 0, "test");
+        assert!(r.u32().is_err(), "overrun must be typed, not a panic");
+    }
+}

@@ -1,0 +1,252 @@
+//! A blocking `pmx serve` client over one TCP connection — the handshake,
+//! request-id bookkeeping and response decoding the CLI, the load
+//! generator and the test suites all share.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use pm_microdata::value::Value;
+
+use crate::protocol::{
+    decode_response, encode_request, ErrorCode, HelloInfo, RefreshSummary, ReportSummary,
+    Request, Response, WireDeltaOp, WireKnowledge, FRAME_HEADER_LEN,
+};
+
+/// Largest response body the client will accept (matches the server's
+/// default frame cap with headroom).
+const MAX_RESPONSE_BYTES: usize = 64 << 20;
+
+/// A client-side failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The socket failed or closed mid-frame.
+    Io(String),
+    /// The server's bytes did not decode as a response (or answered the
+    /// wrong request id) — the connection is broken.
+    Protocol(String),
+    /// The server answered a typed error. [`ErrorCode::is_fatal`] on the
+    /// decoded code says whether the server also closed the connection.
+    Server {
+        /// The wire error code.
+        code: u16,
+        /// Human-readable detail from the server.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Protocol(e) => write!(f, "protocol error: {e}"),
+            Self::Server { code, detail } => match ErrorCode::from_code(*code) {
+                Some(c) => write!(f, "server error {c}: {detail}"),
+                None => write!(f, "server error code {code}: {detail}"),
+            },
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// One authenticated (handshaken) connection to a `pmx serve` instance.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+    hello: HelloInfo,
+}
+
+impl Client {
+    /// Connects and handshakes as `tenant`.
+    pub fn connect(addr: impl ToSocketAddrs, tenant: &str) -> Result<Self, ClientError> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| ClientError::Io(e.to_string()))?;
+        let _ = stream.set_nodelay(true);
+        let mut client = Self {
+            stream,
+            next_id: 0,
+            hello: HelloInfo { epoch: 0, buckets: 0, distinct_qi: 0, sa_cardinality: 0 },
+        };
+        match client.call(&Request::Hello { tenant: tenant.to_string() })? {
+            Response::Hello(info) => {
+                client.hello = info;
+                Ok(client)
+            }
+            other => Err(ClientError::Protocol(format!(
+                "expected a hello response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The table shape the server advertised at handshake.
+    #[must_use]
+    pub fn hello(&self) -> HelloInfo {
+        self.hello
+    }
+
+    /// Sends one request and reads its response (typed errors become
+    /// [`ClientError::Server`]).
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = encode_request(id, req);
+        self.stream.write_all(&frame).map_err(|e| ClientError::Io(e.to_string()))?;
+        let body = self.read_frame()?;
+        let (got_id, resp) = decode_response(&body).map_err(ClientError::Protocol)?;
+        if got_id != id && !matches!(resp, Response::Error { .. }) {
+            return Err(ClientError::Protocol(format!(
+                "response id {got_id} does not match request id {id}"
+            )));
+        }
+        match resp {
+            Response::Error { code, detail } => Err(ClientError::Server { code, detail }),
+            ok => Ok(ok),
+        }
+    }
+
+    fn read_frame(&mut self) -> Result<Vec<u8>, ClientError> {
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        self.stream.read_exact(&mut header).map_err(|e| ClientError::Io(e.to_string()))?;
+        let len = u32::from_le_bytes(header) as usize;
+        if len > MAX_RESPONSE_BYTES {
+            return Err(ClientError::Protocol(format!(
+                "response frame of {len} bytes exceeds the client's cap"
+            )));
+        }
+        let mut body = vec![0u8; len];
+        self.stream.read_exact(&mut body).map_err(|e| ClientError::Io(e.to_string()))?;
+        Ok(body)
+    }
+
+    fn expect<T>(
+        resp: Response,
+        extract: impl FnOnce(Response) -> Option<T>,
+        what: &str,
+    ) -> Result<T, ClientError> {
+        let debug = format!("{resp:?}");
+        extract(resp).ok_or_else(|| {
+            ClientError::Protocol(format!("expected a {what} response, got {debug}"))
+        })
+    }
+
+    /// `P*(s | q)` from the tenant's current snapshot.
+    pub fn query(&mut self, q: u32, s: Value) -> Result<f64, ClientError> {
+        let resp = self.call(&Request::Query { q, s })?;
+        Self::expect(
+            resp,
+            |r| match r {
+                Response::Query { p } => Some(p),
+                _ => None,
+            },
+            "query",
+        )
+    }
+
+    /// Batched queries, answered in order from one snapshot.
+    pub fn batch(&mut self, queries: Vec<(u32, Value)>) -> Result<Vec<f64>, ClientError> {
+        let resp = self.call(&Request::Batch { queries })?;
+        Self::expect(
+            resp,
+            |r| match r {
+                Response::Batch { ps } => Some(ps),
+                _ => None,
+            },
+            "batch",
+        )
+    }
+
+    /// Adds knowledge; returns one stable handle per item.
+    pub fn add_knowledge(
+        &mut self,
+        items: Vec<WireKnowledge>,
+    ) -> Result<Vec<u64>, ClientError> {
+        let resp = self.call(&Request::AddKnowledge { items })?;
+        Self::expect(
+            resp,
+            |r| match r {
+                Response::AddKnowledge { handles } => Some(handles),
+                _ => None,
+            },
+            "add-knowledge",
+        )
+    }
+
+    /// Removes a knowledge item by handle.
+    pub fn remove(&mut self, handle: u64) -> Result<(), ClientError> {
+        let resp = self.call(&Request::Remove { handle })?;
+        Self::expect(
+            resp,
+            |r| match r {
+                Response::Removed => Some(()),
+                _ => None,
+            },
+            "remove",
+        )
+    }
+
+    /// Catches the session up to the newest epoch and re-solves dirty work.
+    pub fn refresh(&mut self) -> Result<RefreshSummary, ClientError> {
+        let resp = self.call(&Request::Refresh)?;
+        Self::expect(
+            resp,
+            |r| match r {
+                Response::Refresh(s) => Some(s),
+                _ => None,
+            },
+            "refresh",
+        )
+    }
+
+    /// Forks this tenant's session into `tenant`.
+    pub fn fork(&mut self, tenant: &str) -> Result<(), ClientError> {
+        let resp = self.call(&Request::Fork { tenant: tenant.to_string() })?;
+        Self::expect(
+            resp,
+            |r| match r {
+                Response::Forked => Some(()),
+                _ => None,
+            },
+            "fork",
+        )
+    }
+
+    /// Applies a table delta; returns the new shared epoch.
+    pub fn table_delta(&mut self, ops: Vec<WireDeltaOp>) -> Result<u64, ClientError> {
+        let resp = self.call(&Request::TableDelta { ops })?;
+        Self::expect(
+            resp,
+            |r| match r {
+                Response::TableDelta { epoch } => Some(epoch),
+                _ => None,
+            },
+            "table-delta",
+        )
+    }
+
+    /// The tenant's privacy report.
+    pub fn report(&mut self) -> Result<ReportSummary, ClientError> {
+        let resp = self.call(&Request::Report)?;
+        Self::expect(
+            resp,
+            |r| match r {
+                Response::Report(s) => Some(s),
+                _ => None,
+            },
+            "report",
+        )
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let resp = self.call(&Request::Ping)?;
+        Self::expect(
+            resp,
+            |r| match r {
+                Response::Pong => Some(()),
+                _ => None,
+            },
+            "pong",
+        )
+    }
+}

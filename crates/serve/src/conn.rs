@@ -1,0 +1,240 @@
+//! One accepted connection: a reader thread that frames, decodes and
+//! dispatches requests, and a writer thread that drains a **bounded**
+//! response queue to the socket.
+//!
+//! The bounded queue is the backpressure mechanism. A client that stops
+//! reading fills its own queue; the next response that does not fit sheds
+//! the connection — the reader stops serving it, the writer drains what
+//! was already queued, a final [`ErrorCode::SlowConsumer`] frame goes out
+//! directly on the socket (bounded by a write timeout if the client is
+//! still wedged), and the socket closes. No other tenant, and no other
+//! connection of the *same* tenant, ever waits on a stalled peer: queries
+//! run on the reader thread against a lock-free snapshot, and the only
+//! thing a full queue blocks is this connection's own reader.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crate::protocol::{
+    decode_request, encode_response, ErrorCode, Request, Response, FRAME_HEADER_LEN,
+};
+use crate::registry::{Limits, Registry, ServeError, Tenant};
+
+/// How long the writer waits on a blocked socket before giving the
+/// connection up (applies to the shed path; a healthy client drains far
+/// faster).
+const WRITE_STALL_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// How long the shed path keeps swallowing a dead client's leftover bytes
+/// so the close does not degrade into an RST that eats the final frame.
+const SHED_DRAIN_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// Outcome of enqueueing one response frame.
+enum Enqueue {
+    Ok,
+    /// The bounded queue is full (slow consumer) or the writer died.
+    Shed,
+}
+
+struct WriteQueue {
+    tx: SyncSender<Vec<u8>>,
+    /// Set when the connection is being shed; the reader stops serving.
+    dead: Arc<AtomicBool>,
+}
+
+impl WriteQueue {
+    fn push(&self, frame: Vec<u8>) -> Enqueue {
+        match self.tx.try_send(frame) {
+            Ok(()) => Enqueue::Ok,
+            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                self.dead.store(true, Ordering::Release);
+                Enqueue::Shed
+            }
+        }
+    }
+}
+
+/// Serves one accepted connection to completion. Called on the
+/// connection's reader thread; spawns the paired writer thread and joins
+/// it before returning.
+pub(crate) fn serve_connection(stream: TcpStream, registry: &Arc<Registry>) {
+    let limits = registry.limits().clone();
+    let write_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (tx, rx) = sync_channel::<Vec<u8>>(limits.write_queue_frames.max(1));
+    let dead = Arc::new(AtomicBool::new(false));
+    let queue = WriteQueue { tx, dead: Arc::clone(&dead) };
+    let writer = thread::Builder::new()
+        .name("pmx-serve-writer".into())
+        .spawn(move || writer_loop(write_stream, &rx))
+        .expect("spawn writer thread");
+
+    reader_loop(&stream, registry, &limits.clone(), &queue);
+
+    // Dropping the sender ends the writer's drain loop.
+    drop(queue);
+    let _ = writer.join();
+    // If the connection was shed, the typed disconnect goes out *after*
+    // the writer has drained (or abandoned) the queued frames, directly on
+    // the socket — the queue that overflowed cannot carry it. By now the
+    // client is either reading again (frame delivered, then EOF) or still
+    // wedged (the write timeout bounds the attempt).
+    if dead.load(Ordering::Acquire) {
+        let mut s = &stream;
+        let _ = s.set_write_timeout(Some(WRITE_STALL_TIMEOUT));
+        let _ = s.write_all(&encode_response(
+            0,
+            &Response::Error {
+                code: ErrorCode::SlowConsumer.code(),
+                detail: format!(
+                    "client stopped reading: {} response frames already queued",
+                    limits.write_queue_frames
+                ),
+            },
+        ));
+        let _ = s.flush();
+        // FIN first, then swallow what the client already sent: closing
+        // with unread bytes in the receive buffer turns the close into an
+        // RST, which could discard the final frame before the client reads
+        // it. The drain is bounded by a short read timeout.
+        let _ = stream.shutdown(Shutdown::Write);
+        let _ = stream.set_read_timeout(Some(SHED_DRAIN_TIMEOUT));
+        let mut sink = [0u8; 4096];
+        while let Ok(n) = s.read(&mut sink) {
+            if n == 0 {
+                break;
+            }
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn writer_loop(stream: TcpStream, rx: &Receiver<Vec<u8>>) {
+    let _ = stream.set_write_timeout(Some(WRITE_STALL_TIMEOUT));
+    let mut stream = stream;
+    while let Ok(frame) = rx.recv() {
+        if stream.write_all(&frame).is_err() {
+            // Stalled or gone; drain the channel so the reader's sends
+            // never block, but write nothing further.
+            while rx.recv().is_ok() {}
+            break;
+        }
+    }
+    let _ = stream.flush();
+}
+
+/// Reads one length-prefixed frame body. `Ok(None)` is a clean EOF at a
+/// frame boundary.
+fn read_frame(
+    stream: &mut &TcpStream,
+    max_frame_bytes: usize,
+) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    match stream.read_exact(&mut header) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(_) => return Err(FrameError::Io),
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > max_frame_bytes {
+        return Err(FrameError::TooLarge { len });
+    }
+    let mut body = vec![0u8; len];
+    if stream.read_exact(&mut body).is_err() {
+        // Mid-frame EOF or error: the stream is no longer frame-aligned.
+        return Err(FrameError::Io);
+    }
+    Ok(Some(body))
+}
+
+enum FrameError {
+    /// Read failed or EOF landed mid-frame; nothing useful to answer.
+    Io,
+    /// The length prefix exceeds the cap; answered with a typed error.
+    TooLarge { len: usize },
+}
+
+fn reader_loop(
+    stream: &TcpStream,
+    registry: &Arc<Registry>,
+    limits: &Limits,
+    queue: &WriteQueue,
+) {
+    let mut reader = stream;
+    let mut tenant: Option<Arc<Tenant>> = None;
+
+    loop {
+        if queue.dead.load(Ordering::Acquire) {
+            return; // shed: stop serving, let the final frame go out
+        }
+        let body = match read_frame(&mut reader, limits.max_frame_bytes) {
+            Ok(Some(body)) => body,
+            Ok(None) => return, // clean close
+            Err(FrameError::Io) => return,
+            Err(FrameError::TooLarge { len }) => {
+                let _ = queue.push(encode_response(
+                    0,
+                    &Response::Error {
+                        code: ErrorCode::FrameTooLarge.code(),
+                        detail: format!(
+                            "frame length {len} exceeds the server's {}-byte cap",
+                            limits.max_frame_bytes
+                        ),
+                    },
+                ));
+                return; // fatal: the stream cannot be resynchronized
+            }
+        };
+
+        let (id, request) = match decode_request(&body) {
+            Ok(ok) => ok,
+            Err((id, e)) => {
+                let _ = queue.push(encode_response(
+                    id,
+                    &Response::Error { code: e.code.code(), detail: e.detail },
+                ));
+                return; // every decode failure is a fatal protocol error
+            }
+        };
+
+        let response = match (&request, &tenant) {
+            (Request::Hello { tenant: name }, None) => match registry.open_tenant(name) {
+                Ok(t) => {
+                    let info = registry.hello_info(&t);
+                    tenant = Some(t);
+                    Ok(Response::Hello(info))
+                }
+                Err(e) => Err(e),
+            },
+            (Request::Hello { .. }, Some(_)) => Err(ServeError {
+                code: ErrorCode::DuplicateHello,
+                detail: "this connection already completed its handshake".into(),
+            }),
+            (Request::Ping, _) => Ok(Response::Pong),
+            (_, None) => Err(ServeError {
+                code: ErrorCode::HandshakeRequired,
+                detail: "the first request on a connection must be hello".into(),
+            }),
+            (req, Some(t)) => registry.dispatch(t, req),
+        };
+
+        let (frame, fatal) = match response {
+            Ok(resp) => (encode_response(id, &resp), false),
+            Err(e) => (encode_response(id, &e.response()), e.code.is_fatal()),
+        };
+        match queue.push(frame) {
+            Enqueue::Ok => {}
+            Enqueue::Shed => return,
+        }
+        if fatal {
+            return;
+        }
+    }
+}

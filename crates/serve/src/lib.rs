@@ -1,0 +1,51 @@
+//! `pm-serve` — the std-only multi-tenant Privacy-MaxEnt session server
+//! behind `pmx serve`.
+//!
+//! One immutable [`CompiledTable`](privacy_maxent::compiled::CompiledTable)
+//! artifact (loaded directly or crash-recovered via
+//! [`privacy_maxent::persist::recover`]), thousands of resident
+//! [`Analyst`](privacy_maxent::analyst::Analyst) sessions keyed by tenant
+//! id, and a length-prefixed binary protocol over plain TCP — no async
+//! runtime, one thread per live connection, queries served lock-free from
+//! `Arc<Estimate>` snapshots while refreshes and epoch rebases run behind
+//! them. Table deltas journal through the existing
+//! [`EpochWal`](privacy_maxent::persist::EpochWal) *before* publishing, so
+//! a served table crash-recovers exactly like a library-embedded one.
+//!
+//! Load is shed, never queued unboundedly: frame-size caps, per-server
+//! connection and tenant caps, per-batch caps, and a bounded per-connection
+//! write queue all answer with **typed protocol errors**
+//! ([`protocol::ErrorCode`]) instead of stalling other tenants.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use pm_serve::client::Client;
+//! use pm_serve::registry::{Limits, Registry};
+//! use pm_serve::server::Server;
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let artifact: Arc<privacy_maxent::compiled::CompiledTable> = unimplemented!();
+//! // Server side: one artifact, many tenants.
+//! let registry = Arc::new(Registry::new(artifact, None, Limits::default()));
+//! let server = Server::bind("127.0.0.1:0", registry)?;
+//!
+//! // Client side: handshake as a tenant, then query/add/refresh.
+//! let mut client = Client::connect(server.addr(), "acme")?;
+//! let p = client.query(0, 1)?;
+//! println!("P*(s=1 | q=0) = {p}");
+//! # Ok(()) }
+//! ```
+//!
+//! The module split mirrors the data path: [`protocol`] (codec),
+//! [`conn`](self) + [`server`] (framing and threads), [`registry`]
+//! (sessions and epochs), [`client`] and [`loadgen`] (the other end).
+
+#![warn(missing_docs)]
+
+pub mod client;
+mod conn;
+pub mod loadgen;
+pub mod protocol;
+pub mod registry;
+pub mod server;

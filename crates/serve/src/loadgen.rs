@@ -1,0 +1,315 @@
+//! A closed-loop, deterministic load generator for `pmx serve` — shared by
+//! the `pmx loadgen` subcommand and the `serve_bench` harness.
+//!
+//! One client thread per tenant drives a **tape**: phases of batched
+//! queries, punctuated by knowledge add/remove steps, a refresh, and a few
+//! sampled single queries. Everything a worker sends is a pure function of
+//! `(seed, tenant index, knowledge pool)`, and every phase records the
+//! epoch its refresh landed on, whether its add was rolled back, and its
+//! bit-exact sampled responses — so
+//! a verifier can replay any tenant **bit-identically** against a direct
+//! [`Analyst`](privacy_maxent::analyst::Analyst) on the same artifact
+//! chain, even though tenants and table deltas interleaved freely at run
+//! time. Worker 0 doubles as the delta driver, applying one delta tape at
+//! each phase boundary, so the server's epoch order equals the tape order.
+
+use std::net::SocketAddr;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use pm_microdata::value::Value;
+
+use crate::client::{Client, ClientError};
+use crate::protocol::{WireDeltaOp, WireKnowledge};
+
+/// One knowledge step on a tenant's tape.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TapeOp {
+    /// Add this item (handle recorded in add order).
+    Add(WireKnowledge),
+    /// Remove the live handle at `index % live.len()` (in add order);
+    /// no-op while none are live.
+    Remove(usize),
+}
+
+/// A deterministic xorshift64* stream — the only randomness source in the
+/// generator, so every tape is replayable from its seed.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// A stream seeded by `seed` (zero is remapped; xorshift fixpoints at 0).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self(seed | 1)
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A draw in `0..bound` (`bound` of 0 yields 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// The knowledge tape for one tenant: `steps` add/remove ops drawn from
+/// `pool`, biased 3:1 toward adds so sessions accumulate real constraint
+/// systems.
+#[must_use]
+pub fn tenant_tape(
+    pool: &[WireKnowledge],
+    tenant: usize,
+    steps: usize,
+    seed: u64,
+) -> Vec<TapeOp> {
+    let mut rng = Rng::new(seed ^ (tenant as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut live = 0usize;
+    (0..steps)
+        .map(|_| {
+            if pool.is_empty() || (live > 0 && rng.below(4) == 0) {
+                live = live.saturating_sub(1);
+                TapeOp::Remove(rng.below(64) as usize)
+            } else {
+                live += 1;
+                TapeOp::Add(pool[rng.below(pool.len() as u64) as usize].clone())
+            }
+        })
+        .collect()
+}
+
+/// Shape of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadgenOptions {
+    /// Tenants (one client thread + one connection each).
+    pub tenants: usize,
+    /// Phases per tenant; each phase ends with a tape step + refresh.
+    pub phases: usize,
+    /// Batched query frames per phase.
+    pub batches_per_phase: usize,
+    /// Queries per batch frame.
+    pub batch: usize,
+    /// Sampled single queries recorded after each refresh.
+    pub samples_per_phase: usize,
+    /// Seed for every tape and query stream.
+    pub seed: u64,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        Self {
+            tenants: 8,
+            phases: 4,
+            batches_per_phase: 50,
+            batch: 256,
+            samples_per_phase: 4,
+            seed: 0x00C0_FFEE,
+        }
+    }
+}
+
+/// The replay-verifiable record of one tenant phase: which epoch the
+/// phase's refresh landed on, whether the phase's add was rolled back
+/// after an infeasible refresh, and the sampled single-query responses —
+/// everything an offline verifier needs to rebuild the tenant's exact
+/// session state and bit-compare.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseRecord {
+    /// Tenant index.
+    pub tenant: u32,
+    /// Zero-based phase on the tenant's tape.
+    pub phase: u32,
+    /// Epoch the serving estimate sat at when the samples were taken.
+    pub epoch: u64,
+    /// Whether this phase's add was rolled back (infeasible refresh →
+    /// remove + re-refresh, per the tape's recovery semantics).
+    pub rolled_back: bool,
+    /// Sampled `(q, s, P*(s|q))` single queries, bit-exact.
+    pub samples: Vec<(u32, Value, f64)>,
+}
+
+/// What one run did.
+#[derive(Debug, Clone, Default)]
+pub struct LoadgenReport {
+    /// Total queries answered (each batch frame counts its length).
+    pub queries: u64,
+    /// Batch frames sent.
+    pub batches: u64,
+    /// Single-query frames sent (the sampled ones).
+    pub singles: u64,
+    /// Knowledge add/remove steps applied.
+    pub knowledge_ops: u64,
+    /// Refreshes completed.
+    pub refreshes: u64,
+    /// Table deltas applied (by the worker-0 driver).
+    pub deltas: u64,
+    /// Wall time of the whole run, seconds.
+    pub wall_seconds: f64,
+    /// `queries / wall_seconds`.
+    pub qps: f64,
+    /// Per-tenant phase records for offline replay verification.
+    pub phases: Vec<PhaseRecord>,
+}
+
+/// Runs the closed loop against a live server. `pool` is the knowledge the
+/// tapes draw from; `delta_tapes` are applied in order by worker 0 at its
+/// phase boundaries (pass an empty list for a query/knowledge-only run).
+pub fn run(
+    addr: SocketAddr,
+    pool: &[WireKnowledge],
+    delta_tapes: &[Vec<WireDeltaOp>],
+    opts: &LoadgenOptions,
+) -> Result<LoadgenReport, ClientError> {
+    let report = Mutex::new(LoadgenReport::default());
+    let first_error: Mutex<Option<ClientError>> = Mutex::new(None);
+    let start = Instant::now();
+
+    std::thread::scope(|scope| {
+        for tenant in 0..opts.tenants {
+            let report = &report;
+            let first_error = &first_error;
+            scope.spawn(move || {
+                match drive_tenant(addr, tenant, pool, delta_tapes, opts) {
+                    Ok(local) => {
+                        let mut r = report.lock().expect("report lock poisoned");
+                        r.queries += local.queries;
+                        r.batches += local.batches;
+                        r.singles += local.singles;
+                        r.knowledge_ops += local.knowledge_ops;
+                        r.refreshes += local.refreshes;
+                        r.deltas += local.deltas;
+                        r.phases.extend(local.phases);
+                    }
+                    Err(e) => {
+                        first_error
+                            .lock()
+                            .expect("error lock poisoned")
+                            .get_or_insert(e);
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(e) = first_error.into_inner().expect("error lock poisoned") {
+        return Err(e);
+    }
+    let mut report = report.into_inner().expect("report lock poisoned");
+    report.wall_seconds = start.elapsed().as_secs_f64();
+    report.qps = if report.wall_seconds > 0.0 {
+        report.queries as f64 / report.wall_seconds
+    } else {
+        0.0
+    };
+    report.phases.sort_by_key(|p| (p.tenant, p.phase));
+    Ok(report)
+}
+
+/// Replays worker `tenant`'s deterministic tape against a live server.
+fn drive_tenant(
+    addr: SocketAddr,
+    tenant: usize,
+    pool: &[WireKnowledge],
+    delta_tapes: &[Vec<WireDeltaOp>],
+    opts: &LoadgenOptions,
+) -> Result<LoadgenReport, ClientError> {
+    let mut local = LoadgenReport::default();
+    let name = format!("tenant-{tenant}");
+    let mut client = Client::connect(addr, &name)?;
+    let hello = client.hello();
+    let tape = tenant_tape(pool, tenant, opts.phases, opts.seed);
+    let mut qrng =
+        Rng::new(opts.seed ^ 0xABCD_EF01 ^ (tenant as u64).wrapping_mul(0x517C_C1B7_2722_0A95));
+    let mut handles: Vec<u64> = Vec::new();
+
+    for (phase, op) in tape.iter().enumerate() {
+        // Worker 0 doubles as the delta driver: one tape per phase boundary,
+        // so the server's epoch order equals the tape order.
+        if tenant == 0 {
+            if let Some(ops) = delta_tapes.get(phase) {
+                client.table_delta(ops.clone())?;
+                local.deltas += 1;
+            }
+        }
+
+        // The query storm: batched frames against the lock-free snapshot.
+        for _ in 0..opts.batches_per_phase {
+            let queries: Vec<(u32, Value)> = (0..opts.batch)
+                .map(|_| {
+                    (
+                        qrng.below(hello.distinct_qi) as u32,
+                        qrng.below(hello.sa_cardinality) as Value,
+                    )
+                })
+                .collect();
+            let ps = client.batch(queries)?;
+            local.queries += ps.len() as u64;
+            local.batches += 1;
+        }
+
+        // One knowledge step + refresh; infeasible combinations roll the
+        // offending item back so the tape keeps moving. Which way it went
+        // is *recorded* (not re-derivable: a table delta landing between
+        // the failed refresh and the recovery refresh can flip the
+        // feasibility an offline replay would see), so the verifier forces
+        // the recorded decision rather than re-deciding it.
+        let mut rolled_back = false;
+        let epoch = match op {
+            TapeOp::Add(item) => {
+                let got = client.add_knowledge(vec![item.clone()])?;
+                handles.extend(got);
+                local.knowledge_ops += 1;
+                local.refreshes += 1;
+                match client.refresh() {
+                    Ok(summary) => summary.epoch,
+                    Err(ClientError::Server { .. }) => {
+                        rolled_back = true;
+                        let handle = handles.pop().expect("the add just pushed one");
+                        client.remove(handle)?;
+                        client.refresh()?.epoch
+                    }
+                    Err(other) => return Err(other),
+                }
+            }
+            TapeOp::Remove(index) => {
+                if !handles.is_empty() {
+                    let handle = handles.remove(index % handles.len());
+                    client.remove(handle)?;
+                    local.knowledge_ops += 1;
+                }
+                local.refreshes += 1;
+                client.refresh()?.epoch
+            }
+        };
+
+        // Sampled singles, recorded bit-exact for offline replay.
+        let mut samples = Vec::with_capacity(opts.samples_per_phase);
+        for _ in 0..opts.samples_per_phase {
+            let q = qrng.below(hello.distinct_qi) as u32;
+            let s = qrng.below(hello.sa_cardinality) as Value;
+            let p = client.query(q, s)?;
+            local.queries += 1;
+            local.singles += 1;
+            samples.push((q, s, p));
+        }
+        local.phases.push(PhaseRecord {
+            tenant: tenant as u32,
+            phase: phase as u32,
+            epoch,
+            rolled_back,
+            samples,
+        });
+    }
+    Ok(local)
+}

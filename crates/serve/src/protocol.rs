@@ -1,0 +1,1011 @@
+//! The `pmx serve` wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every frame is a little-endian `u32` length prefix (the byte length of
+//! the body, the prefix excluded) followed by the body. Request bodies
+//! start with an opcode byte and a client-chosen `u64` request id the
+//! server echoes back; response bodies start with a status byte (0 = ok,
+//! 1 = error) and the echoed id:
+//!
+//! ```text
+//! frame:     len u32 | body  (len <= the server's max_frame_bytes cap)
+//! request:   opcode u8 | request_id u64 | payload
+//! response:  status u8 | request_id u64 | payload
+//! error:     status=1  | request_id u64 | code u16 | detail (u32 len | utf8)
+//! ```
+//!
+//! The first request on a connection must be [`Request::Hello`] (magic +
+//! protocol version + tenant id); everything after it addresses that
+//! tenant's resident session. Encoding rides the shared
+//! [`privacy_maxent::wire`] helpers — the same bounds-checked [`Reader`]
+//! the persistence formats are fuzzed through, so no input byte stream can
+//! drive the decoder to a panic or an unbounded allocation.
+//!
+//! Error codes split into **protocol** errors (the server answers with the
+//! typed code and then closes the connection — the stream can no longer be
+//! trusted to be frame-aligned) and **application** errors (the request
+//! failed, the connection and the session stay live). [`ErrorCode::is_fatal`]
+//! encodes the split.
+
+use pm_microdata::value::Value;
+use privacy_maxent::delta::{DeltaOp, TableDelta};
+use privacy_maxent::error::PmError;
+use privacy_maxent::knowledge::Knowledge;
+use privacy_maxent::wire::{Reader, Writer};
+
+/// Magic opening [`Request::Hello`]: mis-directed or garbage connections
+/// fail the handshake with a typed error instead of being interpreted.
+pub const PROTO_MAGIC: [u8; 8] = *b"PMXSRV\0\0";
+/// Protocol version; bump on any frame-layout change.
+pub const PROTO_VERSION: u32 = 1;
+/// Byte length of the frame length prefix.
+pub const FRAME_HEADER_LEN: usize = 4;
+/// Upper bound accepted for a tenant id, in bytes.
+pub const MAX_TENANT_LEN: usize = 256;
+
+/// Request opcodes (first body byte).
+pub mod op {
+    /// Handshake: magic, version, tenant id.
+    pub const HELLO: u8 = 1;
+    /// Single conditional query `P*(s | q)`.
+    pub const QUERY: u8 = 2;
+    /// Batched conditional queries.
+    pub const BATCH: u8 = 3;
+    /// Add a batch of distribution-knowledge items.
+    pub const ADD_KNOWLEDGE: u8 = 4;
+    /// Remove a knowledge item by handle.
+    pub const REMOVE: u8 = 5;
+    /// Catch the session up to the latest epoch and re-solve dirty work.
+    pub const REFRESH: u8 = 6;
+    /// Fork the session into a new tenant id.
+    pub const FORK: u8 = 7;
+    /// Apply a record-level table delta, advancing the shared epoch.
+    pub const TABLE_DELTA: u8 = 8;
+    /// Privacy report of the current estimate.
+    pub const REPORT: u8 = 9;
+    /// Liveness / latency probe.
+    pub const PING: u8 = 10;
+}
+
+/// Typed protocol / application error codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+#[non_exhaustive]
+pub enum ErrorCode {
+    /// Frame length prefix exceeds the server's cap. Fatal.
+    FrameTooLarge = 1,
+    /// Body failed to decode (truncated, trailing garbage, bad counts,
+    /// out-of-range enum tags). Fatal.
+    Malformed = 2,
+    /// Handshake magic mismatch. Fatal.
+    BadMagic = 3,
+    /// Handshake protocol version mismatch. Fatal.
+    BadVersion = 4,
+    /// Unknown opcode byte. Fatal.
+    UnknownOpcode = 5,
+    /// A non-hello request arrived before the handshake. Fatal.
+    HandshakeRequired = 6,
+    /// A second hello arrived on an already-bound connection. Fatal.
+    DuplicateHello = 7,
+    /// The client read too slowly: its bounded write queue overflowed and
+    /// the server is shedding it. Fatal.
+    SlowConsumer = 8,
+    /// Admission control: the server is at its connection cap. Fatal.
+    TooManyConnections = 9,
+    /// Admission control: the server is at its resident-tenant cap. Fatal.
+    TooManyTenants = 10,
+    /// A batch exceeded the server's max_batch admission cap.
+    OversizedBatch = 11,
+    /// Catch-all application failure (engine error; detail carries the
+    /// `PmError` display).
+    App = 100,
+    /// Query coordinates outside the published domains.
+    InvalidQuery = 101,
+    /// Knowledge handle is not live in this session.
+    StaleHandle = 102,
+    /// Fork target tenant already exists.
+    TenantExists = 103,
+    /// The table delta was rejected (invalid op against the current epoch).
+    InvalidDelta = 104,
+    /// The delta made the session infeasible; it keeps serving its previous
+    /// estimate (remove the offending knowledge and refresh to recover).
+    Infeasible = 105,
+}
+
+impl ErrorCode {
+    /// Whether the server closes the connection after sending this code.
+    /// Protocol-level failures are fatal — the byte stream can no longer
+    /// be trusted to be frame-aligned; application failures keep the
+    /// connection and the tenant session live.
+    #[must_use]
+    pub fn is_fatal(self) -> bool {
+        (self as u16) < 100
+    }
+
+    /// The wire representation.
+    #[must_use]
+    pub fn code(self) -> u16 {
+        self as u16
+    }
+
+    /// Decodes a wire code (`None` for unknown codes — forward compat).
+    #[must_use]
+    pub fn from_code(code: u16) -> Option<Self> {
+        Some(match code {
+            1 => Self::FrameTooLarge,
+            2 => Self::Malformed,
+            3 => Self::BadMagic,
+            4 => Self::BadVersion,
+            5 => Self::UnknownOpcode,
+            6 => Self::HandshakeRequired,
+            7 => Self::DuplicateHello,
+            8 => Self::SlowConsumer,
+            9 => Self::TooManyConnections,
+            10 => Self::TooManyTenants,
+            11 => Self::OversizedBatch,
+            100 => Self::App,
+            101 => Self::InvalidQuery,
+            102 => Self::StaleHandle,
+            103 => Self::TenantExists,
+            104 => Self::InvalidDelta,
+            105 => Self::Infeasible,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}({})", self.code())
+    }
+}
+
+/// One `P(sa = s | Qv) = p` knowledge item in wire form (the only
+/// [`Knowledge`] variant the protocol carries — Section 6 individual
+/// knowledge is pseudonym-keyed and not epoch-stable, so it stays a
+/// library-level API).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireKnowledge {
+    /// `(position within QI tuple, value)` pairs, ascending by position.
+    pub antecedent: Vec<(u16, Value)>,
+    /// The SA value.
+    pub sa: Value,
+    /// The pinned conditional probability.
+    pub probability: f64,
+}
+
+impl WireKnowledge {
+    /// Converts to the engine's [`Knowledge`] type.
+    #[must_use]
+    pub fn into_knowledge(self) -> Knowledge {
+        Knowledge::Conditional {
+            antecedent: self
+                .antecedent
+                .into_iter()
+                .map(|(p, v)| (p as usize, v))
+                .collect(),
+            sa: self.sa,
+            probability: self.probability,
+        }
+    }
+
+    /// Converts from the engine's [`Knowledge`] type; `None` for the
+    /// individual-knowledge variants the protocol does not carry.
+    #[must_use]
+    pub fn from_knowledge(k: &Knowledge) -> Option<Self> {
+        match k {
+            Knowledge::Conditional { antecedent, sa, probability } => Some(Self {
+                antecedent: antecedent
+                    .iter()
+                    .map(|&(p, v)| (u16::try_from(p).ok().unwrap_or(u16::MAX), v))
+                    .collect(),
+                sa: *sa,
+                probability: *probability,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// One record-level table operation in wire form (mirrors
+/// [`privacy_maxent::delta::DeltaOp`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireDeltaOp {
+    /// Insert a record `(qi tuple, sa)` into `bucket`.
+    Insert {
+        /// The record's QI tuple values.
+        qi: Vec<Value>,
+        /// The record's SA value.
+        sa: Value,
+        /// Destination bucket.
+        bucket: u32,
+    },
+    /// Retract a record `(qi tuple, sa)` from `bucket`.
+    Retract {
+        /// The record's QI tuple values.
+        qi: Vec<Value>,
+        /// The record's SA value.
+        sa: Value,
+        /// Source bucket.
+        bucket: u32,
+    },
+    /// Move a record between buckets.
+    Move {
+        /// The record's QI tuple values.
+        qi: Vec<Value>,
+        /// The record's SA value.
+        sa: Value,
+        /// Source bucket.
+        from: u32,
+        /// Destination bucket.
+        to: u32,
+    },
+}
+
+impl WireDeltaOp {
+    /// Converts a batch of wire ops into an engine [`TableDelta`].
+    #[must_use]
+    pub fn into_delta(ops: Vec<Self>) -> TableDelta {
+        let mut delta = TableDelta::new();
+        for op in ops {
+            delta = match op {
+                Self::Insert { qi, sa, bucket } => delta.insert(qi, sa, bucket as usize),
+                Self::Retract { qi, sa, bucket } => delta.retract(qi, sa, bucket as usize),
+                Self::Move { qi, sa, from, to } => {
+                    delta.move_record(qi, sa, from as usize, to as usize)
+                }
+            };
+        }
+        delta
+    }
+
+    /// Converts an engine [`DeltaOp`] to wire form.
+    #[must_use]
+    pub fn from_op(op: &DeltaOp) -> Self {
+        match op {
+            DeltaOp::Insert { qi, sa, bucket } => {
+                Self::Insert { qi: qi.clone(), sa: *sa, bucket: *bucket as u32 }
+            }
+            DeltaOp::Retract { qi, sa, bucket } => {
+                Self::Retract { qi: qi.clone(), sa: *sa, bucket: *bucket as u32 }
+            }
+            DeltaOp::Move { qi, sa, from, to } => Self::Move {
+                qi: qi.clone(),
+                sa: *sa,
+                from: *from as u32,
+                to: *to as u32,
+            },
+        }
+    }
+}
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Handshake: bind this connection to `tenant`'s resident session
+    /// (creating it if absent).
+    Hello {
+        /// Tenant id (UTF-8, at most [`MAX_TENANT_LEN`] bytes).
+        tenant: String,
+    },
+    /// `P*(s | q)` from the tenant's current snapshot.
+    Query {
+        /// QI symbol id.
+        q: u32,
+        /// SA value.
+        s: Value,
+    },
+    /// Batched queries, answered in order from one snapshot.
+    Batch {
+        /// `(q, s)` pairs.
+        queries: Vec<(u32, Value)>,
+    },
+    /// Add distribution knowledge; compiles eagerly, returns handles.
+    AddKnowledge {
+        /// The items, in insertion order.
+        items: Vec<WireKnowledge>,
+    },
+    /// Remove a knowledge item by handle.
+    Remove {
+        /// The handle returned by a previous add.
+        handle: u64,
+    },
+    /// Rebase to the latest epoch and re-solve dirty components.
+    Refresh,
+    /// Fork this tenant's session into a new tenant.
+    Fork {
+        /// The new tenant id.
+        tenant: String,
+    },
+    /// Apply a record-level delta to the shared table, advancing the epoch.
+    TableDelta {
+        /// The record operations, applied atomically.
+        ops: Vec<WireDeltaOp>,
+    },
+    /// Privacy report of the tenant's current estimate.
+    Report,
+    /// Liveness probe.
+    Ping,
+}
+
+/// Deterministic slice of [`privacy_maxent::analyst::RefreshStats`] the
+/// refresh response carries (wall/solver timings are deliberately absent:
+/// every response byte is replayable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RefreshSummary {
+    /// Epoch the session now serves.
+    pub epoch: u64,
+    /// Components in the partition.
+    pub components: u64,
+    /// Components re-solved numerically.
+    pub resolved: u64,
+    /// Components reverted to the closed form.
+    pub closed_form: u64,
+    /// Components reused verbatim.
+    pub reused: u64,
+}
+
+/// Deterministic slice of the tenant's privacy report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReportSummary {
+    /// Live knowledge items.
+    pub knowledge_items: u64,
+    /// Components in the current partition.
+    pub components: u64,
+    /// Epoch of the served estimate.
+    pub epoch: u64,
+    /// `max_{q,s} P*(s | q)`.
+    pub max_disclosure: f64,
+    /// `1 / max_disclosure`.
+    pub effective_l_diversity: f64,
+    /// `min_q H(S | Q = q)` in nats.
+    pub min_conditional_entropy: f64,
+}
+
+/// Table shape the hello response advertises (what a client needs to form
+/// valid queries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HelloInfo {
+    /// Epoch of the tenant's served estimate.
+    pub epoch: u64,
+    /// Buckets in the published table.
+    pub buckets: u64,
+    /// Distinct QI symbols (valid `q` is `0..distinct_qi`).
+    pub distinct_qi: u64,
+    /// SA domain cardinality (valid `s` is `0..sa_cardinality`).
+    pub sa_cardinality: u64,
+}
+
+/// A decoded server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Handshake accepted.
+    Hello(HelloInfo),
+    /// Single query result.
+    Query {
+        /// `P*(s | q)`.
+        p: f64,
+    },
+    /// Batched query results, in request order.
+    Batch {
+        /// One probability per query.
+        ps: Vec<f64>,
+    },
+    /// Knowledge added; handles in item order.
+    AddKnowledge {
+        /// Stable per-session handles.
+        handles: Vec<u64>,
+    },
+    /// Knowledge removed.
+    Removed,
+    /// Refresh completed.
+    Refresh(RefreshSummary),
+    /// Fork created.
+    Forked,
+    /// Delta applied; the shared table is now at this epoch.
+    TableDelta {
+        /// The new epoch.
+        epoch: u64,
+    },
+    /// Privacy report.
+    Report(ReportSummary),
+    /// Pong.
+    Pong,
+    /// Typed failure.
+    Error {
+        /// The typed code ([`ErrorCode::is_fatal`] decides whether the
+        /// server closed the connection after it).
+        code: u16,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+// ----------------------------------------------------------------- encode
+
+fn put_string(w: &mut Writer, s: &str) {
+    w.count(s.len());
+    w.extend(s.as_bytes());
+}
+
+fn put_knowledge(w: &mut Writer, k: &WireKnowledge) {
+    w.u16(k.antecedent.len() as u16);
+    for &(pos, v) in &k.antecedent {
+        w.u16(pos);
+        w.u16(v);
+    }
+    w.u16(k.sa);
+    w.f64(k.probability);
+}
+
+fn put_delta_op(w: &mut Writer, op: &WireDeltaOp) {
+    match op {
+        WireDeltaOp::Insert { qi, sa, bucket } => {
+            w.u8(0);
+            w.u16(qi.len() as u16);
+            for &v in qi {
+                w.u16(v);
+            }
+            w.u16(*sa);
+            w.u32(*bucket);
+        }
+        WireDeltaOp::Retract { qi, sa, bucket } => {
+            w.u8(1);
+            w.u16(qi.len() as u16);
+            for &v in qi {
+                w.u16(v);
+            }
+            w.u16(*sa);
+            w.u32(*bucket);
+        }
+        WireDeltaOp::Move { qi, sa, from, to } => {
+            w.u8(2);
+            w.u16(qi.len() as u16);
+            for &v in qi {
+                w.u16(v);
+            }
+            w.u16(*sa);
+            w.u32(*from);
+            w.u32(*to);
+        }
+    }
+}
+
+/// Encodes a request as one complete frame (length prefix included).
+#[must_use]
+pub fn encode_request(request_id: u64, req: &Request) -> Vec<u8> {
+    let mut w = Writer::new();
+    match req {
+        Request::Hello { tenant } => {
+            w.u8(op::HELLO);
+            w.u64(request_id);
+            w.extend(&PROTO_MAGIC);
+            w.u32(PROTO_VERSION);
+            put_string(&mut w, tenant);
+        }
+        Request::Query { q, s } => {
+            w.u8(op::QUERY);
+            w.u64(request_id);
+            w.u32(*q);
+            w.u16(*s);
+        }
+        Request::Batch { queries } => {
+            w.u8(op::BATCH);
+            w.u64(request_id);
+            w.count(queries.len());
+            for &(q, s) in queries {
+                w.u32(q);
+                w.u16(s);
+            }
+        }
+        Request::AddKnowledge { items } => {
+            w.u8(op::ADD_KNOWLEDGE);
+            w.u64(request_id);
+            w.count(items.len());
+            for item in items {
+                put_knowledge(&mut w, item);
+            }
+        }
+        Request::Remove { handle } => {
+            w.u8(op::REMOVE);
+            w.u64(request_id);
+            w.u64(*handle);
+        }
+        Request::Refresh => {
+            w.u8(op::REFRESH);
+            w.u64(request_id);
+        }
+        Request::Fork { tenant } => {
+            w.u8(op::FORK);
+            w.u64(request_id);
+            put_string(&mut w, tenant);
+        }
+        Request::TableDelta { ops } => {
+            w.u8(op::TABLE_DELTA);
+            w.u64(request_id);
+            w.count(ops.len());
+            for op in ops {
+                put_delta_op(&mut w, op);
+            }
+        }
+        Request::Report => {
+            w.u8(op::REPORT);
+            w.u64(request_id);
+        }
+        Request::Ping => {
+            w.u8(op::PING);
+            w.u64(request_id);
+        }
+    }
+    frame(w.into_bytes())
+}
+
+/// Encodes a response as one complete frame (length prefix included).
+#[must_use]
+pub fn encode_response(request_id: u64, resp: &Response) -> Vec<u8> {
+    let mut w = Writer::new();
+    match resp {
+        Response::Error { code, detail } => {
+            w.u8(1);
+            w.u64(request_id);
+            w.u16(*code);
+            put_string(&mut w, detail);
+        }
+        ok => {
+            w.u8(0);
+            w.u64(request_id);
+            match ok {
+                Response::Hello(info) => {
+                    w.u8(op::HELLO);
+                    w.u64(info.epoch);
+                    w.u64(info.buckets);
+                    w.u64(info.distinct_qi);
+                    w.u64(info.sa_cardinality);
+                }
+                Response::Query { p } => {
+                    w.u8(op::QUERY);
+                    w.f64(*p);
+                }
+                Response::Batch { ps } => {
+                    w.u8(op::BATCH);
+                    w.count(ps.len());
+                    for &p in ps {
+                        w.f64(p);
+                    }
+                }
+                Response::AddKnowledge { handles } => {
+                    w.u8(op::ADD_KNOWLEDGE);
+                    w.count(handles.len());
+                    for &h in handles {
+                        w.u64(h);
+                    }
+                }
+                Response::Removed => w.u8(op::REMOVE),
+                Response::Refresh(r) => {
+                    w.u8(op::REFRESH);
+                    w.u64(r.epoch);
+                    w.u64(r.components);
+                    w.u64(r.resolved);
+                    w.u64(r.closed_form);
+                    w.u64(r.reused);
+                }
+                Response::Forked => w.u8(op::FORK),
+                Response::TableDelta { epoch } => {
+                    w.u8(op::TABLE_DELTA);
+                    w.u64(*epoch);
+                }
+                Response::Report(r) => {
+                    w.u8(op::REPORT);
+                    w.u64(r.knowledge_items);
+                    w.u64(r.components);
+                    w.u64(r.epoch);
+                    w.f64(r.max_disclosure);
+                    w.f64(r.effective_l_diversity);
+                    w.f64(r.min_conditional_entropy);
+                }
+                Response::Pong => w.u8(op::PING),
+                Response::Error { .. } => unreachable!("handled above"),
+            }
+        }
+    }
+    frame(w.into_bytes())
+}
+
+fn frame(body: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+// ----------------------------------------------------------------- decode
+
+/// A decode failure: the typed code plus detail. The connection state
+/// machine turns this into an error response and (the codes being fatal)
+/// a close.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The typed code (always fatal for decode failures).
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+fn malformed(e: &PmError) -> DecodeError {
+    DecodeError { code: ErrorCode::Malformed, detail: e.to_string() }
+}
+
+fn get_string(r: &mut Reader<'_>, max: usize, what: &str) -> Result<String, DecodeError> {
+    let len = r.len(1, what).map_err(|e| malformed(&e))?;
+    if len > max {
+        return Err(DecodeError {
+            code: ErrorCode::Malformed,
+            detail: format!("{what} length {len} exceeds the {max}-byte cap"),
+        });
+    }
+    let bytes = r.take(len).map_err(|e| malformed(&e))?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError {
+        code: ErrorCode::Malformed,
+        detail: format!("{what} is not valid UTF-8"),
+    })
+}
+
+fn get_knowledge(r: &mut Reader<'_>) -> Result<WireKnowledge, DecodeError> {
+    let n = r.u16().map_err(|e| malformed(&e))? as usize;
+    if n.saturating_mul(4) > r.remaining() {
+        return Err(DecodeError {
+            code: ErrorCode::Malformed,
+            detail: format!("antecedent count {n} cannot fit the remaining payload"),
+        });
+    }
+    let mut antecedent = Vec::with_capacity(n);
+    for _ in 0..n {
+        let pos = r.u16().map_err(|e| malformed(&e))?;
+        let v = r.u16().map_err(|e| malformed(&e))?;
+        antecedent.push((pos, v));
+    }
+    let sa = r.u16().map_err(|e| malformed(&e))?;
+    let probability = r.f64().map_err(|e| malformed(&e))?;
+    Ok(WireKnowledge { antecedent, sa, probability })
+}
+
+fn get_qi(r: &mut Reader<'_>) -> Result<Vec<Value>, DecodeError> {
+    let n = r.u16().map_err(|e| malformed(&e))? as usize;
+    if n.saturating_mul(2) > r.remaining() {
+        return Err(DecodeError {
+            code: ErrorCode::Malformed,
+            detail: format!("qi tuple length {n} cannot fit the remaining payload"),
+        });
+    }
+    let mut qi = Vec::with_capacity(n);
+    for _ in 0..n {
+        qi.push(r.u16().map_err(|e| malformed(&e))?);
+    }
+    Ok(qi)
+}
+
+fn get_delta_op(r: &mut Reader<'_>) -> Result<WireDeltaOp, DecodeError> {
+    let tag = r.u8().map_err(|e| malformed(&e))?;
+    let qi = get_qi(r)?;
+    let sa = r.u16().map_err(|e| malformed(&e))?;
+    Ok(match tag {
+        0 => WireDeltaOp::Insert { qi, sa, bucket: r.u32().map_err(|e| malformed(&e))? },
+        1 => WireDeltaOp::Retract { qi, sa, bucket: r.u32().map_err(|e| malformed(&e))? },
+        2 => WireDeltaOp::Move {
+            qi,
+            sa,
+            from: r.u32().map_err(|e| malformed(&e))?,
+            to: r.u32().map_err(|e| malformed(&e))?,
+        },
+        other => {
+            return Err(DecodeError {
+                code: ErrorCode::Malformed,
+                detail: format!("unknown delta op tag {other}"),
+            })
+        }
+    })
+}
+
+/// Decodes one request body (the frame's length prefix already stripped).
+///
+/// On failure the echoed request id is best-effort: 0 when the body is too
+/// short to even carry one.
+pub fn decode_request(body: &[u8]) -> Result<(u64, Request), (u64, DecodeError)> {
+    let mut r = Reader::new(body, 0, "request");
+    let opcode = r.u8().map_err(|e| (0, malformed(&e)))?;
+    let id = r.u64().map_err(|e| (0, malformed(&e)))?;
+    let fail = |e: DecodeError| (id, e);
+    let req = match opcode {
+        op::HELLO => {
+            let magic = r.take(8).map_err(|e| fail(malformed(&e)))?;
+            if magic != PROTO_MAGIC {
+                return Err(fail(DecodeError {
+                    code: ErrorCode::BadMagic,
+                    detail: format!("handshake magic {magic:02x?} is not PMXSRV"),
+                }));
+            }
+            let version = r.u32().map_err(|e| fail(malformed(&e)))?;
+            if version != PROTO_VERSION {
+                return Err(fail(DecodeError {
+                    code: ErrorCode::BadVersion,
+                    detail: format!(
+                        "protocol version {version} unsupported (server speaks {PROTO_VERSION})"
+                    ),
+                }));
+            }
+            let tenant = get_string(&mut r, MAX_TENANT_LEN, "tenant id").map_err(fail)?;
+            if tenant.is_empty() {
+                return Err(fail(DecodeError {
+                    code: ErrorCode::Malformed,
+                    detail: "tenant id must be non-empty".into(),
+                }));
+            }
+            Request::Hello { tenant }
+        }
+        op::QUERY => {
+            let q = r.u32().map_err(|e| fail(malformed(&e)))?;
+            let s = r.u16().map_err(|e| fail(malformed(&e)))?;
+            Request::Query { q, s }
+        }
+        op::BATCH => {
+            let n = r.len(6, "batch query").map_err(|e| fail(malformed(&e)))?;
+            let mut queries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let q = r.u32().map_err(|e| fail(malformed(&e)))?;
+                let s = r.u16().map_err(|e| fail(malformed(&e)))?;
+                queries.push((q, s));
+            }
+            Request::Batch { queries }
+        }
+        op::ADD_KNOWLEDGE => {
+            let n = r.len(12, "knowledge item").map_err(|e| fail(malformed(&e)))?;
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(get_knowledge(&mut r).map_err(fail)?);
+            }
+            Request::AddKnowledge { items }
+        }
+        op::REMOVE => Request::Remove { handle: r.u64().map_err(|e| fail(malformed(&e)))? },
+        op::REFRESH => Request::Refresh,
+        op::FORK => {
+            let tenant = get_string(&mut r, MAX_TENANT_LEN, "fork tenant id").map_err(fail)?;
+            if tenant.is_empty() {
+                return Err(fail(DecodeError {
+                    code: ErrorCode::Malformed,
+                    detail: "fork tenant id must be non-empty".into(),
+                }));
+            }
+            Request::Fork { tenant }
+        }
+        op::TABLE_DELTA => {
+            let n = r.len(9, "delta op").map_err(|e| fail(malformed(&e)))?;
+            let mut ops = Vec::with_capacity(n);
+            for _ in 0..n {
+                ops.push(get_delta_op(&mut r).map_err(fail)?);
+            }
+            Request::TableDelta { ops }
+        }
+        op::REPORT => Request::Report,
+        op::PING => Request::Ping,
+        other => {
+            return Err(fail(DecodeError {
+                code: ErrorCode::UnknownOpcode,
+                detail: format!("unknown opcode {other}"),
+            }))
+        }
+    };
+    r.finish().map_err(|e| fail(malformed(&e)))?;
+    Ok((id, req))
+}
+
+/// Decodes one response body (client side; the frame's length prefix
+/// already stripped). Errors are plain strings — a client that cannot
+/// parse a response treats the connection as broken.
+pub fn decode_response(body: &[u8]) -> Result<(u64, Response), String> {
+    let mut r = Reader::new(body, 0, "response");
+    let fail = |e: PmError| e.to_string();
+    let status = r.u8().map_err(fail)?;
+    let id = r.u64().map_err(fail)?;
+    if status == 1 {
+        let code = r.u16().map_err(fail)?;
+        let len = r.len(1, "detail").map_err(fail)?;
+        let detail = String::from_utf8_lossy(r.take(len).map_err(fail)?).into_owned();
+        r.finish().map_err(fail)?;
+        return Ok((id, Response::Error { code, detail }));
+    }
+    if status != 0 {
+        return Err(format!("unknown response status {status}"));
+    }
+    let tag = r.u8().map_err(fail)?;
+    let resp = match tag {
+        op::HELLO => Response::Hello(HelloInfo {
+            epoch: r.u64().map_err(fail)?,
+            buckets: r.u64().map_err(fail)?,
+            distinct_qi: r.u64().map_err(fail)?,
+            sa_cardinality: r.u64().map_err(fail)?,
+        }),
+        op::QUERY => Response::Query { p: r.f64().map_err(fail)? },
+        op::BATCH => {
+            let n = r.len(8, "batch result").map_err(fail)?;
+            let mut ps = Vec::with_capacity(n);
+            for _ in 0..n {
+                ps.push(r.f64().map_err(fail)?);
+            }
+            Response::Batch { ps }
+        }
+        op::ADD_KNOWLEDGE => {
+            let n = r.len(8, "handle").map_err(fail)?;
+            let mut handles = Vec::with_capacity(n);
+            for _ in 0..n {
+                handles.push(r.u64().map_err(fail)?);
+            }
+            Response::AddKnowledge { handles }
+        }
+        op::REMOVE => Response::Removed,
+        op::REFRESH => Response::Refresh(RefreshSummary {
+            epoch: r.u64().map_err(fail)?,
+            components: r.u64().map_err(fail)?,
+            resolved: r.u64().map_err(fail)?,
+            closed_form: r.u64().map_err(fail)?,
+            reused: r.u64().map_err(fail)?,
+        }),
+        op::FORK => Response::Forked,
+        op::TABLE_DELTA => Response::TableDelta { epoch: r.u64().map_err(fail)? },
+        op::REPORT => Response::Report(ReportSummary {
+            knowledge_items: r.u64().map_err(fail)?,
+            components: r.u64().map_err(fail)?,
+            epoch: r.u64().map_err(fail)?,
+            max_disclosure: r.f64().map_err(fail)?,
+            effective_l_diversity: r.f64().map_err(fail)?,
+            min_conditional_entropy: r.f64().map_err(fail)?,
+        }),
+        op::PING => Response::Pong,
+        other => return Err(format!("unknown response tag {other}")),
+    };
+    r.finish().map_err(fail)?;
+    Ok((id, resp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let frame = encode_request(42, &req);
+        let body = &frame[FRAME_HEADER_LEN..];
+        assert_eq!(
+            u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize,
+            body.len(),
+            "length prefix covers the body exactly"
+        );
+        let (id, decoded) = decode_request(body).expect("round trip");
+        assert_eq!(id, 42);
+        assert_eq!(decoded, req);
+    }
+
+    fn round_trip_response(resp: Response) {
+        let frame = encode_response(7, &resp);
+        let (id, decoded) = decode_response(&frame[FRAME_HEADER_LEN..]).expect("round trip");
+        assert_eq!(id, 7);
+        assert_eq!(decoded, resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Hello { tenant: "acme".into() });
+        round_trip_request(Request::Query { q: 3, s: 1 });
+        round_trip_request(Request::Batch { queries: vec![(0, 0), (9, 2)] });
+        round_trip_request(Request::AddKnowledge {
+            items: vec![WireKnowledge {
+                antecedent: vec![(0, 5), (2, 1)],
+                sa: 3,
+                probability: 0.25,
+            }],
+        });
+        round_trip_request(Request::Remove { handle: 11 });
+        round_trip_request(Request::Refresh);
+        round_trip_request(Request::Fork { tenant: "what-if".into() });
+        round_trip_request(Request::TableDelta {
+            ops: vec![
+                WireDeltaOp::Insert { qi: vec![1, 2], sa: 0, bucket: 4 },
+                WireDeltaOp::Retract { qi: vec![0], sa: 1, bucket: 2 },
+                WireDeltaOp::Move { qi: vec![3], sa: 2, from: 1, to: 0 },
+            ],
+        });
+        round_trip_request(Request::Report);
+        round_trip_request(Request::Ping);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::Hello(HelloInfo {
+            epoch: 3,
+            buckets: 10,
+            distinct_qi: 40,
+            sa_cardinality: 5,
+        }));
+        round_trip_response(Response::Query { p: 0.125 });
+        round_trip_response(Response::Batch { ps: vec![0.5, 0.25] });
+        round_trip_response(Response::AddKnowledge { handles: vec![0, 1, 2] });
+        round_trip_response(Response::Removed);
+        round_trip_response(Response::Refresh(RefreshSummary {
+            epoch: 1,
+            components: 5,
+            resolved: 2,
+            closed_form: 1,
+            reused: 2,
+        }));
+        round_trip_response(Response::Forked);
+        round_trip_response(Response::TableDelta { epoch: 9 });
+        round_trip_response(Response::Report(ReportSummary {
+            knowledge_items: 2,
+            components: 3,
+            epoch: 0,
+            max_disclosure: 0.6,
+            effective_l_diversity: 1.0 / 0.6,
+            min_conditional_entropy: 0.9,
+        }));
+        round_trip_response(Response::Pong);
+        round_trip_response(Response::Error { code: 2, detail: "nope".into() });
+    }
+
+    #[test]
+    fn truncated_bodies_are_typed_errors() {
+        let frame = encode_request(1, &Request::Hello { tenant: "t".into() });
+        let body = &frame[FRAME_HEADER_LEN..];
+        for cut in 0..body.len() {
+            let err = decode_request(&body[..cut]);
+            assert!(err.is_err(), "truncation at {cut} must not decode");
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_distinct_codes() {
+        let mut frame = encode_request(1, &Request::Hello { tenant: "t".into() });
+        // Opcode(1) + id(8) puts the magic at body offset 9.
+        frame[FRAME_HEADER_LEN + 9] ^= 0xFF;
+        let (_, e) = decode_request(&frame[FRAME_HEADER_LEN..]).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadMagic);
+
+        let mut frame = encode_request(1, &Request::Hello { tenant: "t".into() });
+        frame[FRAME_HEADER_LEN + 17] = 0xEE; // version word
+        let (_, e) = decode_request(&frame[FRAME_HEADER_LEN..]).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadVersion);
+    }
+
+    #[test]
+    fn oversized_counts_cannot_drive_allocation() {
+        // A batch claiming u32::MAX queries in a 10-byte payload.
+        let mut w = privacy_maxent::wire::Writer::new();
+        w.u8(op::BATCH);
+        w.u64(5);
+        w.u32(u32::MAX);
+        let (_, e) = decode_request(w.bytes()).unwrap_err();
+        assert_eq!(e.code, ErrorCode::Malformed);
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut frame = encode_request(3, &Request::Refresh);
+        frame.extend_from_slice(&[0xAA, 0xBB]);
+        // Re-frame with the longer length.
+        let body_len = frame.len() - FRAME_HEADER_LEN;
+        frame[..4].copy_from_slice(&(body_len as u32).to_le_bytes());
+        let (id, e) = decode_request(&frame[FRAME_HEADER_LEN..]).unwrap_err();
+        assert_eq!(id, 3);
+        assert_eq!(e.code, ErrorCode::Malformed);
+    }
+
+    #[test]
+    fn fatality_split_matches_the_code_ranges() {
+        assert!(ErrorCode::Malformed.is_fatal());
+        assert!(ErrorCode::SlowConsumer.is_fatal());
+        assert!(ErrorCode::TooManyTenants.is_fatal());
+        assert!(!ErrorCode::App.is_fatal());
+        assert!(!ErrorCode::StaleHandle.is_fatal());
+        for code in [1u16, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 100, 101, 102, 103, 104, 105] {
+            let c = ErrorCode::from_code(code).expect("known code");
+            assert_eq!(c.code(), code);
+        }
+        assert!(ErrorCode::from_code(999).is_none());
+    }
+}

@@ -1,0 +1,191 @@
+//! The `pmx serve` front-end: a threaded TCP accept loop over the shared
+//! [`Registry`], with a connection-count admission gate and a clean
+//! shutdown path (no async runtime — one OS thread per live connection,
+//! which at the session counts this workspace targets is cheaper than an
+//! executor the container does not have).
+
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+use crate::conn::serve_connection;
+use crate::protocol::{encode_response, ErrorCode, Response};
+use crate::registry::Registry;
+
+/// A running server: the bound address plus the handles a clean shutdown
+/// needs. Dropping the handle shuts the server down.
+pub struct Server {
+    addr: SocketAddr,
+    registry: Arc<Registry>,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+/// State the accept loop and the shutdown path share.
+struct Shared {
+    /// Live connection count — the admission gate.
+    connections: AtomicUsize,
+    /// Read-half clones of every live connection, so shutdown can unblock
+    /// readers parked in `read_exact` without per-read timeouts.
+    streams: Mutex<Vec<TcpStream>>,
+    /// Joinable reader threads (each joins its own writer before exiting).
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Decrements the live-connection count and drops the tracked stream clone
+/// even if the connection thread unwinds.
+struct ConnGuard {
+    shared: Arc<Shared>,
+    peer: Option<SocketAddr>,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.shared.connections.fetch_sub(1, Ordering::AcqRel);
+        if let Ok(mut streams) = self.shared.streams.lock() {
+            streams.retain(|s| s.peer_addr().ok() != self.peer);
+        }
+    }
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// accepting connections against `registry`.
+    pub fn bind(addr: impl ToSocketAddrs, registry: Arc<Registry>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(Shared {
+            connections: AtomicUsize::new(0),
+            streams: Mutex::new(Vec::new()),
+            workers: Mutex::new(Vec::new()),
+        });
+        let accept = {
+            let registry = Arc::clone(&registry);
+            let shutdown = Arc::clone(&shutdown);
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("pmx-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &registry, &shutdown, &shared))
+                .expect("spawn accept thread")
+        };
+        Ok(Self { addr, registry, shutdown, accept: Some(accept), shared })
+    }
+
+    /// The bound address (with the resolved port when bound to port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The registry this server dispatches into.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Live connections right now.
+    #[must_use]
+    pub fn connection_count(&self) -> usize {
+        self.shared.connections.load(Ordering::Acquire)
+    }
+
+    /// Stops accepting, unblocks and joins every connection thread, then
+    /// joins the accept loop. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Wake the accept loop out of `accept()` with a throwaway connect.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        // Unblock readers parked in read_exact.
+        if let Ok(streams) = self.shared.streams.lock() {
+            for s in streams.iter() {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }
+        let workers = {
+            let mut w = self.shared.workers.lock().expect("worker list poisoned");
+            std::mem::take(&mut *w)
+        };
+        for handle in workers {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    registry: &Arc<Registry>,
+    shutdown: &Arc<AtomicBool>,
+    shared: &Arc<Shared>,
+) {
+    let max_connections = registry.limits().max_connections;
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+
+        // Admission gate: over the cap, answer with the typed reject and
+        // close — never park the client in the backlog.
+        let live = shared.connections.fetch_add(1, Ordering::AcqRel);
+        if live >= max_connections {
+            shared.connections.fetch_sub(1, Ordering::AcqRel);
+            reject(stream, max_connections);
+            continue;
+        }
+
+        let peer = stream.peer_addr().ok();
+        if let Ok(clone) = stream.try_clone() {
+            if let Ok(mut streams) = shared.streams.lock() {
+                streams.push(clone);
+            }
+        }
+        let worker = {
+            let registry = Arc::clone(registry);
+            let shared = Arc::clone(shared);
+            thread::Builder::new().name("pmx-serve-conn".into()).spawn(move || {
+                let _guard = ConnGuard { shared, peer };
+                serve_connection(stream, &registry);
+            })
+        };
+        match worker {
+            Ok(handle) => {
+                if let Ok(mut workers) = shared.workers.lock() {
+                    // Opportunistically reap finished threads so a
+                    // long-running server's handle list stays bounded.
+                    workers.retain(|h| !h.is_finished());
+                    workers.push(handle);
+                }
+            }
+            Err(_) => {
+                shared.connections.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+    }
+}
+
+fn reject(mut stream: TcpStream, max_connections: usize) {
+    let frame = encode_response(
+        0,
+        &Response::Error {
+            code: ErrorCode::TooManyConnections.code(),
+            detail: format!("server is at its {max_connections}-connection cap"),
+        },
+    );
+    let _ = stream.write_all(&frame);
+    let _ = stream.shutdown(Shutdown::Both);
+}

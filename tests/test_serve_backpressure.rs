@@ -1,0 +1,210 @@
+//! Backpressure and admission control.
+//!
+//! The server promises that no tenant can degrade another's service by
+//! misbehaving: a client that stops reading its socket overflows its own
+//! bounded write queue and is shed with a typed `SlowConsumer` disconnect
+//! — while every other tenant keeps getting answers the whole time. The
+//! admission caps behave the same way: over-limit connections, tenants
+//! and batches are refused with their precise typed codes instead of
+//! stalling anyone, and capacity freed by a departing client is reusable.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pm_anonymize::fixtures::paper_example;
+use pm_serve::client::{Client, ClientError};
+use pm_serve::protocol::{decode_response, encode_request, ErrorCode, Request, Response};
+use pm_serve::registry::{Limits, Registry};
+use pm_serve::server::Server;
+use privacy_maxent::compiled::CompiledTable;
+use privacy_maxent::engine::EngineConfig;
+
+fn config() -> EngineConfig {
+    EngineConfig::builder().threads(1).residual_limit(f64::INFINITY).build()
+}
+
+fn boot(limits: Limits) -> Server {
+    let (_, table) = paper_example();
+    let artifact = Arc::new(CompiledTable::build(table, config()).expect("baseline solves"));
+    let registry = Arc::new(Registry::new(artifact, None, limits));
+    Server::bind("127.0.0.1:0", registry).expect("loopback bind")
+}
+
+/// A stalled consumer is shed with a typed disconnect, and a healthy
+/// tenant on the same server never notices.
+#[test]
+fn stalled_client_is_shed_without_blocking_others() {
+    let mut server = boot(Limits {
+        // A tiny write queue so the stall trips fast; big batches so each
+        // response frame is heavy enough to wedge the kernel buffers.
+        write_queue_frames: 2,
+        ..Limits::default()
+    });
+    let addr = server.addr();
+
+    // The stalled tenant: handshakes, then floods batch requests without
+    // ever reading a byte of its responses.
+    let mut stalled = TcpStream::connect(addr).expect("connect");
+    stalled
+        .write_all(&encode_request(1, &Request::Hello { tenant: "stall".into() }))
+        .expect("hello");
+    stalled
+        .set_write_timeout(Some(Duration::from_millis(200)))
+        .expect("write timeout");
+    let storm = encode_request(
+        2,
+        &Request::Batch { queries: (0..60_000).map(|i| (i % 3, (i % 2) as u16)).collect() },
+    );
+    let mut sent = 0usize;
+    for _ in 0..64 {
+        // Once the server sheds us it stops reading; our writes then jam
+        // and time out — that is the expected end state, not a failure.
+        match stalled.write_all(&storm) {
+            Ok(()) => sent += 1,
+            Err(_) => break,
+        }
+    }
+    assert!(sent >= 2, "the storm never left the building");
+
+    // Meanwhile, a healthy tenant gets full service with the stall active.
+    let healthy_done = Arc::new(AtomicBool::new(false));
+    let healthy = {
+        let done = Arc::clone(&healthy_done);
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr, "healthy").expect("hello");
+            let started = Instant::now();
+            for i in 0..200u32 {
+                let p = client.query(i % 3, (i % 2) as u16).expect("healthy query");
+                assert!(p.is_finite() && (0.0..=1.0).contains(&p));
+            }
+            client.refresh().expect("healthy refresh");
+            done.store(true, Ordering::Relaxed);
+            started.elapsed()
+        })
+    };
+    let healthy_wall = healthy.join().expect("healthy tenant thread");
+    assert!(healthy_done.load(Ordering::Relaxed));
+    assert!(
+        healthy_wall < Duration::from_secs(10),
+        "healthy tenant took {healthy_wall:?} with a stalled neighbour"
+    );
+
+    // Now drain the stalled socket: buffered responses, then the typed
+    // SlowConsumer disconnect, then EOF. (Reading unblocks the server's
+    // writer so the shed can complete.)
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let mut raw = Vec::new();
+    stalled.read_to_end(&mut raw).expect("server closes the stalled connection");
+    let mut rest = raw.as_slice();
+    let mut last = None;
+    while rest.len() >= 4 {
+        let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+        assert!(rest.len() >= 4 + len, "server sent a torn frame");
+        last = Some(decode_response(&rest[4..4 + len]).expect("server frames decode"));
+        rest = &rest[4 + len..];
+    }
+    assert!(rest.is_empty(), "trailing bytes after the last frame");
+    match last {
+        Some((_, Response::Error { code, .. })) => {
+            assert_eq!(code, ErrorCode::SlowConsumer.code(), "wrong shed code");
+        }
+        other => panic!("expected a final SlowConsumer frame, got {other:?}"),
+    }
+
+    server.shutdown();
+}
+
+/// Over-cap connections are refused with `TooManyConnections`, and the
+/// slot frees when an admitted connection departs.
+#[test]
+fn connection_cap_sheds_typed_and_recovers() {
+    let mut server = boot(Limits { max_connections: 2, ..Limits::default() });
+    let addr = server.addr();
+
+    let c1 = Client::connect(addr, "a").expect("first connection admitted");
+    let _c2 = Client::connect(addr, "b").expect("second connection admitted");
+    match Client::connect(addr, "c") {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, ErrorCode::TooManyConnections.code());
+        }
+        other => panic!("expected a typed reject, got {other:?}"),
+    }
+
+    // Departure frees the slot (the server reaps asynchronously, so poll).
+    drop(c1);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match Client::connect(addr, "c") {
+            Ok(_) => break,
+            Err(ClientError::Server { code, .. })
+                if code == ErrorCode::TooManyConnections.code() =>
+            {
+                assert!(Instant::now() < deadline, "freed slot never became admittable");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(other) => panic!("unexpected error while polling: {other:?}"),
+        }
+    }
+
+    server.shutdown();
+}
+
+/// Over-cap tenants are refused with `TooManyTenants` — via hello and via
+/// fork — without disturbing the resident tenant.
+#[test]
+fn tenant_cap_sheds_typed() {
+    let mut server = boot(Limits { max_tenants: 1, ..Limits::default() });
+    let addr = server.addr();
+
+    let mut resident = Client::connect(addr, "only").expect("first tenant admitted");
+
+    // A second tenant via hello: typed reject.
+    match Client::connect(addr, "intruder") {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, ErrorCode::TooManyTenants.code());
+        }
+        other => panic!("expected a typed reject, got {other:?}"),
+    }
+
+    // A second tenant via fork: same cap, same code.
+    match resident.fork("offspring") {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, ErrorCode::TooManyTenants.code());
+        }
+        other => panic!("expected a typed reject, got {other:?}"),
+    }
+
+    // Re-binding the *existing* tenant is not a new tenant: still admitted.
+    let mut again = Client::connect(addr, "only").expect("rebind admitted");
+    let p = again.query(0, 0).expect("resident tenant still serves");
+    assert!(p.is_finite());
+
+    server.shutdown();
+}
+
+/// Oversized batches are refused with `OversizedBatch`; a compliant batch
+/// on a fresh connection still works.
+#[test]
+fn batch_cap_sheds_typed() {
+    let mut server = boot(Limits { max_batch: 8, ..Limits::default() });
+    let addr = server.addr();
+
+    let mut client = Client::connect(addr, "t").expect("hello");
+    match client.batch((0..9).map(|i| (i % 3, 0u16)).collect()) {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, ErrorCode::OversizedBatch.code());
+        }
+        other => panic!("expected a typed reject, got {other:?}"),
+    }
+
+    let mut fresh = Client::connect(addr, "t").expect("hello");
+    let ps = fresh.batch((0..8).map(|i| (i % 3, 0u16)).collect()).expect("compliant batch");
+    assert_eq!(ps.len(), 8);
+
+    server.shutdown();
+}

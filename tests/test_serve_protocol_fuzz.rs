@@ -1,0 +1,269 @@
+//! Serve-protocol corruption fuzzing.
+//!
+//! Whatever bytes arrive on the socket, the server must fail *softly*:
+//! truncations of every valid frame at every byte offset, single-byte
+//! flips, wholesale garbage, and hostile length prefixes must surface as
+//! typed protocol error frames (or a clean close) — never a panic, never
+//! an attacker-sized allocation, and never a malformed byte in the
+//! server's own output. After every abuse the same server must keep
+//! serving healthy clients correct answers, which is the observable proof
+//! that no connection thread died screaming. (Mirrors
+//! `test_persist_fuzz.rs`, one layer up the stack.)
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use pm_anonymize::fixtures::paper_example;
+use pm_serve::client::Client;
+use pm_serve::protocol::{
+    decode_response, encode_request, ErrorCode, Request, Response, WireKnowledge,
+};
+use pm_serve::registry::{Limits, Registry};
+use pm_serve::server::Server;
+use privacy_maxent::compiled::CompiledTable;
+use privacy_maxent::engine::EngineConfig;
+use proptest::prelude::*;
+
+fn config() -> EngineConfig {
+    EngineConfig::builder().threads(1).residual_limit(f64::INFINITY).build()
+}
+
+/// One shared server over the Figure 1 table, reused by every case. It is
+/// never shut down — the whole point is that no amount of abuse kills it.
+fn server_addr() -> SocketAddr {
+    static SERVER: OnceLock<Server> = OnceLock::new();
+    SERVER
+        .get_or_init(|| {
+            let (_, table) = paper_example();
+            let artifact =
+                Arc::new(CompiledTable::build(table, config()).expect("baseline solves"));
+            let registry = Arc::new(Registry::new(artifact, None, Limits::default()));
+            Server::bind("127.0.0.1:0", registry).expect("loopback bind")
+        })
+        .addr()
+}
+
+/// The valid frames the mutations start from — one per opcode family.
+fn seed_frames() -> Vec<Vec<u8>> {
+    vec![
+        encode_request(1, &Request::Hello { tenant: "fuzz".into() }),
+        encode_request(2, &Request::Query { q: 0, s: 0 }),
+        encode_request(3, &Request::Batch { queries: vec![(0, 0), (1, 1)] }),
+        encode_request(
+            4,
+            &Request::AddKnowledge {
+                items: vec![WireKnowledge {
+                    antecedent: vec![(0, 1)],
+                    sa: 0,
+                    probability: 0.5,
+                }],
+            },
+        ),
+        encode_request(5, &Request::Remove { handle: 7 }),
+        encode_request(6, &Request::Refresh),
+        encode_request(7, &Request::Ping),
+    ]
+}
+
+/// Sends raw bytes, half-closes the write side, then drains everything the
+/// server says until it closes. Panics (failing the test) if any server
+/// output byte is not a well-formed, decodable response frame — under fuzz
+/// the *server's* output must stay pristine even when ours is garbage.
+fn abuse(addr: SocketAddr, bytes: &[u8]) -> Vec<(u64, Response)> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    // A fatally-shed connection may already be closed before we finish
+    // writing — a reset here is the server declining more abuse, not a bug.
+    let _ = stream.write_all(bytes);
+    let _ = stream.shutdown(Shutdown::Write);
+    let mut raw = Vec::new();
+    if let Err(e) = stream.read_to_end(&mut raw) {
+        match e.kind() {
+            std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe => return Vec::new(),
+            _ => panic!("unexpected read error: {e}"),
+        }
+    }
+    let mut frames = Vec::new();
+    let mut rest = raw.as_slice();
+    while !rest.is_empty() {
+        assert!(rest.len() >= 4, "server sent a torn length prefix");
+        let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+        assert!(rest.len() >= 4 + len, "server sent a torn frame body");
+        frames.push(
+            decode_response(&rest[4..4 + len]).expect("server frames always decode"),
+        );
+        rest = &rest[4 + len..];
+    }
+    frames
+}
+
+/// A healthy client on the same server gets correct service — the
+/// liveness oracle run after every batch of abuse.
+fn assert_still_serving(addr: SocketAddr) {
+    let mut client = Client::connect(addr, "healthy").expect("hello succeeds");
+    let p = client.query(0, 0).expect("query succeeds");
+    assert!(p.is_finite() && (0.0..=1.0).contains(&p), "p = {p}");
+    client.ping().expect("pong");
+}
+
+/// Every valid frame truncated at every byte offset: the server either
+/// stays silent (mid-frame EOF is a clean close) or answers with typed,
+/// well-formed frames. Exhaustive, not sampled.
+#[test]
+fn truncation_at_every_offset_never_panics() {
+    let addr = server_addr();
+    for frame in seed_frames() {
+        for cut in 0..frame.len() {
+            let frames = abuse(addr, &frame[..cut]);
+            for (_, resp) in frames {
+                if let Response::Error { code, .. } = resp {
+                    assert!(ErrorCode::from_code(code).is_some(), "untyped code {code}");
+                }
+            }
+        }
+    }
+    assert_still_serving(addr);
+}
+
+/// Every byte of every valid frame flipped (all 8 bit positions, cycled by
+/// offset so each byte sees a different bit each run of the outer loop):
+/// the stream may now mean anything, so the only contract is the hard one —
+/// typed frames out, no panic, connection lifecycle intact. Exhaustive
+/// over offsets.
+#[test]
+fn single_byte_flips_never_panic() {
+    let addr = server_addr();
+    for frame in seed_frames() {
+        for offset in 0..frame.len() {
+            for bit in [offset % 8, (offset + 5) % 8] {
+                let mut mutated = frame.clone();
+                mutated[offset] ^= 1 << bit;
+                let frames = abuse(addr, &mutated);
+                for (_, resp) in frames {
+                    if let Response::Error { code, .. } = resp {
+                        assert!(
+                            ErrorCode::from_code(code).is_some(),
+                            "flip at byte {offset} bit {bit}: untyped code {code}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    assert_still_serving(addr);
+}
+
+/// Hostile length prefixes: a length over the frame cap — up to and
+/// including `u32::MAX` — must be refused with a typed `FrameTooLarge`
+/// *before* any allocation is sized from it, then the connection closes.
+#[test]
+fn oversized_length_prefixes_are_shed_typed() {
+    let addr = server_addr();
+    let cap = Limits::default().max_frame_bytes as u32;
+    for len in [cap + 1, cap * 2, u32::MAX / 2, u32::MAX] {
+        let mut bytes = len.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0xAB; 64]); // a little fake body
+        let frames = abuse(addr, &bytes);
+        assert_eq!(frames.len(), 1, "exactly one shed frame for len {len}");
+        match &frames[0].1 {
+            Response::Error { code, .. } => {
+                assert_eq!(*code, ErrorCode::FrameTooLarge.code(), "len {len}");
+            }
+            other => panic!("len {len}: expected FrameTooLarge, got {other:?}"),
+        }
+    }
+    assert_still_serving(addr);
+}
+
+/// The targeted non-random protocol violations, each with its precise
+/// typed code.
+#[test]
+fn targeted_violations_get_precise_codes() {
+    let addr = server_addr();
+
+    // A query before any hello: HandshakeRequired.
+    let frames = abuse(addr, &encode_request(1, &Request::Query { q: 0, s: 0 }));
+    assert!(matches!(
+        &frames[0].1,
+        Response::Error { code, .. } if *code == ErrorCode::HandshakeRequired.code()
+    ));
+
+    // A second hello on a bound connection: DuplicateHello.
+    let mut double = encode_request(1, &Request::Hello { tenant: "dup".into() });
+    double.extend(encode_request(2, &Request::Hello { tenant: "dup".into() }));
+    let frames = abuse(addr, &double);
+    assert!(matches!(&frames[0].1, Response::Hello(_)));
+    assert!(matches!(
+        &frames[1].1,
+        Response::Error { code, .. } if *code == ErrorCode::DuplicateHello.code()
+    ));
+
+    // An unknown opcode byte: UnknownOpcode (magic + version are fine).
+    let mut frame = encode_request(1, &Request::Ping);
+    frame[4] = 0xEE; // the opcode byte leads the body, right after the prefix
+    let frames = abuse(addr, &frame);
+    assert!(matches!(
+        &frames[0].1,
+        Response::Error { code, .. } if *code == ErrorCode::UnknownOpcode.code()
+    ));
+
+    assert_still_serving(addr);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Wholesale garbage streams — random bytes, random length — framed
+    /// however the first four bytes happen to parse. The server sheds them
+    /// with typed frames or a silent close, and never panics.
+    #[test]
+    fn garbage_streams_never_panic(len in 1usize..2048, seed in 0u64..u64::MAX) {
+        let mut state = seed | 1;
+        let garbage: Vec<u8> = (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state as u8
+            })
+            .collect();
+        let frames = abuse(server_addr(), &garbage);
+        for (_, resp) in frames {
+            if let Response::Error { code, .. } = resp {
+                prop_assert!(ErrorCode::from_code(code).is_some(), "untyped code {}", code);
+            }
+        }
+    }
+
+    /// Garbage wrapped in an *honest* length prefix — the decoder sees the
+    /// full body and must reject it typed (Malformed / BadMagic /
+    /// BadVersion / UnknownOpcode), still without panicking.
+    #[test]
+    fn framed_garbage_is_rejected_typed(len in 1usize..512, seed in 0u64..u64::MAX) {
+        let mut state = seed | 1;
+        let body: Vec<u8> = (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state as u8
+            })
+            .collect();
+        let mut bytes = (len as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&body);
+        let frames = abuse(server_addr(), &bytes);
+        prop_assert!(!frames.is_empty(), "a complete frame always gets an answer");
+        match &frames[0].1 {
+            Response::Error { code, .. } => {
+                let code = ErrorCode::from_code(*code);
+                prop_assert!(code.is_some(), "untyped code");
+                prop_assert!(code.unwrap().is_fatal(), "garbage must be fatal");
+            }
+            other => prop_assert!(false, "expected a typed error, got {:?}", other),
+        }
+    }
+}

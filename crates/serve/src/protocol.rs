@@ -93,8 +93,6 @@ pub enum ErrorCode {
     TooManyConnections = 9,
     /// Admission control: the server is at its resident-tenant cap. Fatal.
     TooManyTenants = 10,
-    /// A batch exceeded the server's max_batch admission cap.
-    OversizedBatch = 11,
     /// Catch-all application failure (engine error; detail carries the
     /// `PmError` display).
     App = 100,
@@ -109,6 +107,10 @@ pub enum ErrorCode {
     /// The delta made the session infeasible; it keeps serving its previous
     /// estimate (remove the offending knowledge and refresh to recover).
     Infeasible = 105,
+    /// A batch exceeded the server's max_batch admission cap. The frame
+    /// decoded cleanly and the stream is still aligned, so the connection
+    /// stays live for a compliant retry.
+    OversizedBatch = 106,
 }
 
 impl ErrorCode {
@@ -141,13 +143,13 @@ impl ErrorCode {
             8 => Self::SlowConsumer,
             9 => Self::TooManyConnections,
             10 => Self::TooManyTenants,
-            11 => Self::OversizedBatch,
             100 => Self::App,
             101 => Self::InvalidQuery,
             102 => Self::StaleHandle,
             103 => Self::TenantExists,
             104 => Self::InvalidDelta,
             105 => Self::Infeasible,
+            106 => Self::OversizedBatch,
             _ => return None,
         })
     }
@@ -189,18 +191,19 @@ impl WireKnowledge {
     }
 
     /// Converts from the engine's [`Knowledge`] type; `None` for the
-    /// individual-knowledge variants the protocol does not carry.
+    /// individual-knowledge variants the protocol does not carry, or when
+    /// an antecedent position overflows the wire's `u16` (encoding a
+    /// clamped position would silently change the knowledge).
     #[must_use]
     pub fn from_knowledge(k: &Knowledge) -> Option<Self> {
         match k {
-            Knowledge::Conditional { antecedent, sa, probability } => Some(Self {
-                antecedent: antecedent
+            Knowledge::Conditional { antecedent, sa, probability } => {
+                let antecedent = antecedent
                     .iter()
-                    .map(|&(p, v)| (u16::try_from(p).ok().unwrap_or(u16::MAX), v))
-                    .collect(),
-                sa: *sa,
-                probability: *probability,
-            }),
+                    .map(|&(p, v)| u16::try_from(p).ok().map(|p| (p, v)))
+                    .collect::<Option<Vec<_>>>()?;
+                Some(Self { antecedent, sa: *sa, probability: *probability })
+            }
             _ => None,
         }
     }
@@ -1002,7 +1005,10 @@ mod tests {
         assert!(ErrorCode::TooManyTenants.is_fatal());
         assert!(!ErrorCode::App.is_fatal());
         assert!(!ErrorCode::StaleHandle.is_fatal());
-        for code in [1u16, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 100, 101, 102, 103, 104, 105] {
+        // The batch decoded cleanly, so an oversized one must not cost the
+        // connection.
+        assert!(!ErrorCode::OversizedBatch.is_fatal());
+        for code in [1u16, 2, 3, 4, 5, 6, 7, 8, 9, 10, 100, 101, 102, 103, 104, 105, 106] {
             let c = ErrorCode::from_code(code).expect("known code");
             assert_eq!(c.code(), code);
         }

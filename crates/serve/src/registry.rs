@@ -106,11 +106,19 @@ fn app_error(e: &PmError) -> ServeError {
     ServeError::new(code, e.to_string())
 }
 
+/// What a tenant currently serves: the estimate plus the bucket count of
+/// the artifact it was assembled against, captured at publication so the
+/// hello payload never mixes epochs.
+struct Served {
+    estimate: Arc<Estimate>,
+    buckets: u64,
+}
+
 /// One resident tenant: the session behind a mutex, its served snapshot
 /// in front of it, and the epoch the snapshot was produced at.
 pub struct Tenant {
     session: Mutex<Analyst>,
-    snapshot: RwLock<Arc<Estimate>>,
+    served: RwLock<Served>,
     /// Epoch of the session's artifact (advanced by catch-up rebases);
     /// read by the pruner without taking the session lock.
     epoch: AtomicU64,
@@ -118,11 +126,14 @@ pub struct Tenant {
 
 impl Tenant {
     fn new(session: Analyst) -> Self {
-        let snapshot = session.snapshot();
+        let served = Served {
+            estimate: session.snapshot(),
+            buckets: session.artifact().table().num_buckets() as u64,
+        };
         let epoch = session.epoch();
         Self {
             session: Mutex::new(session),
-            snapshot: RwLock::new(snapshot),
+            served: RwLock::new(served),
             epoch: AtomicU64::new(epoch),
         }
     }
@@ -131,7 +142,7 @@ impl Tenant {
     /// queries never wait on a refresh.
     #[must_use]
     pub fn snapshot(&self) -> Arc<Estimate> {
-        Arc::clone(&self.snapshot.read().expect("snapshot lock poisoned"))
+        Arc::clone(&self.served.read().expect("snapshot lock poisoned").estimate)
     }
 }
 
@@ -168,6 +179,10 @@ impl Chain {
 
 /// The multi-tenant registry. One per server; shared by every connection
 /// thread through an `Arc`.
+///
+/// Lock order: acquiring `chain` while holding a `tenants` guard is
+/// **forbidden** — [`Registry::apply_delta`] holds `chain` and then reads
+/// `tenants`, so the only safe order is chain first (or neither).
 pub struct Registry {
     chain: Mutex<Chain>,
     tenants: RwLock<HashMap<String, Arc<Tenant>>>,
@@ -211,6 +226,14 @@ impl Registry {
         if let Some(t) = self.tenants.read().expect("tenant lock poisoned").get(tenant) {
             return Ok(Arc::clone(t));
         }
+        // Lock order: chain before tenants, never the reverse —
+        // `apply_delta` holds the chain mutex while reading the tenants
+        // map for its prune floor, so taking the chain under the tenants
+        // write lock would be an AB-BA deadlock. Fetch the artifact first;
+        // a delta landing between here and the insert is fine, the session
+        // just starts one epoch behind and catches up lazily like any
+        // other.
+        let latest = self.latest();
         let mut tenants = self.tenants.write().expect("tenant lock poisoned");
         if let Some(t) = tenants.get(tenant) {
             return Ok(Arc::clone(t)); // lost the race to another connection
@@ -221,7 +244,7 @@ impl Registry {
                 format!("registry is at its {}-tenant cap", self.limits.max_tenants),
             ));
         }
-        let session = Analyst::open(self.latest());
+        let session = Analyst::open(latest);
         let t = Arc::new(Tenant::new(session));
         tenants.insert(tenant.to_string(), Arc::clone(&t));
         Ok(t)
@@ -350,7 +373,10 @@ impl Registry {
                 let stats = session.refresh().map_err(|e| app_error(&e))?;
                 // Publish the refreshed estimate only after success; queries
                 // in flight keep their old snapshot untouched.
-                *tenant.snapshot.write().expect("snapshot lock poisoned") = session.snapshot();
+                *tenant.served.write().expect("snapshot lock poisoned") = Served {
+                    estimate: session.snapshot(),
+                    buckets: session.artifact().table().num_buckets() as u64,
+                };
                 Ok(Response::Refresh(RefreshSummary {
                     epoch: session.epoch(),
                     components: stats.components as u64,
@@ -392,16 +418,17 @@ impl Registry {
         }
     }
 
-    /// The hello payload for a freshly bound tenant.
+    /// The hello payload for a freshly bound tenant. Every field is read
+    /// from one published [`Served`] state, so the advertised shape always
+    /// corresponds to the epoch it names even while deltas land.
     #[must_use]
     pub fn hello_info(&self, tenant: &Tenant) -> HelloInfo {
-        let snap = tenant.snapshot();
-        let table = self.latest();
+        let served = tenant.served.read().expect("snapshot lock poisoned");
         HelloInfo {
-            epoch: snap.epoch(),
-            buckets: table.table().num_buckets() as u64,
-            distinct_qi: snap.distinct_qi() as u64,
-            sa_cardinality: snap.sa_cardinality() as u64,
+            epoch: served.estimate.epoch(),
+            buckets: served.buckets,
+            distinct_qi: served.estimate.distinct_qi() as u64,
+            sa_cardinality: served.estimate.sa_cardinality() as u64,
         }
     }
 }

@@ -6,7 +6,7 @@
 
 use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 
@@ -28,9 +28,14 @@ pub struct Server {
 struct Shared {
     /// Live connection count — the admission gate.
     connections: AtomicUsize,
-    /// Read-half clones of every live connection, so shutdown can unblock
-    /// readers parked in `read_exact` without per-read timeouts.
-    streams: Mutex<Vec<TcpStream>>,
+    /// Next connection id; keys `streams` so guards remove exactly their
+    /// own entry (peer addresses are useless as keys: `getpeername` fails
+    /// on a reset connection).
+    next_conn_id: AtomicU64,
+    /// Read-half clones of every live connection, keyed by connection id,
+    /// so shutdown can unblock readers parked in `read_exact` without
+    /// per-read timeouts.
+    streams: Mutex<Vec<(u64, TcpStream)>>,
     /// Joinable reader threads (each joins its own writer before exiting).
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -39,14 +44,14 @@ struct Shared {
 /// even if the connection thread unwinds.
 struct ConnGuard {
     shared: Arc<Shared>,
-    peer: Option<SocketAddr>,
+    id: u64,
 }
 
 impl Drop for ConnGuard {
     fn drop(&mut self) {
         self.shared.connections.fetch_sub(1, Ordering::AcqRel);
         if let Ok(mut streams) = self.shared.streams.lock() {
-            streams.retain(|s| s.peer_addr().ok() != self.peer);
+            streams.retain(|&(id, _)| id != self.id);
         }
     }
 }
@@ -60,6 +65,7 @@ impl Server {
         let shutdown = Arc::new(AtomicBool::new(false));
         let shared = Arc::new(Shared {
             connections: AtomicUsize::new(0),
+            next_conn_id: AtomicU64::new(0),
             streams: Mutex::new(Vec::new()),
             workers: Mutex::new(Vec::new()),
         });
@@ -106,7 +112,7 @@ impl Server {
         }
         // Unblock readers parked in read_exact.
         if let Ok(streams) = self.shared.streams.lock() {
-            for s in streams.iter() {
+            for (_, s) in streams.iter() {
                 let _ = s.shutdown(Shutdown::Both);
             }
         }
@@ -148,17 +154,17 @@ fn accept_loop(
             continue;
         }
 
-        let peer = stream.peer_addr().ok();
+        let id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
         if let Ok(clone) = stream.try_clone() {
             if let Ok(mut streams) = shared.streams.lock() {
-                streams.push(clone);
+                streams.push((id, clone));
             }
         }
         let worker = {
             let registry = Arc::clone(registry);
             let shared = Arc::clone(shared);
             thread::Builder::new().name("pmx-serve-conn".into()).spawn(move || {
-                let _guard = ConnGuard { shared, peer };
+                let _guard = ConnGuard { shared, id };
                 serve_connection(stream, &registry);
             })
         };
@@ -173,6 +179,9 @@ fn accept_loop(
             }
             Err(_) => {
                 shared.connections.fetch_sub(1, Ordering::AcqRel);
+                if let Ok(mut streams) = shared.streams.lock() {
+                    streams.retain(|&(sid, _)| sid != id);
+                }
             }
         }
     }

@@ -10,13 +10,15 @@
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pm_anonymize::fixtures::paper_example;
 use pm_serve::client::{Client, ClientError};
-use pm_serve::protocol::{decode_response, encode_request, ErrorCode, Request, Response};
+use pm_serve::protocol::{
+    decode_response, encode_request, ErrorCode, Request, Response, WireDeltaOp,
+};
 use pm_serve::registry::{Limits, Registry};
 use pm_serve::server::Server;
 use privacy_maxent::compiled::CompiledTable;
@@ -187,8 +189,9 @@ fn tenant_cap_sheds_typed() {
     server.shutdown();
 }
 
-/// Oversized batches are refused with `OversizedBatch`; a compliant batch
-/// on a fresh connection still works.
+/// Oversized batches are refused with `OversizedBatch` — an application
+/// error, not a protocol one: the frame decoded cleanly, so the *same*
+/// connection serves a compliant retry.
 #[test]
 fn batch_cap_sheds_typed() {
     let mut server = boot(Limits { max_batch: 8, ..Limits::default() });
@@ -202,9 +205,67 @@ fn batch_cap_sheds_typed() {
         other => panic!("expected a typed reject, got {other:?}"),
     }
 
-    let mut fresh = Client::connect(addr, "t").expect("hello");
-    let ps = fresh.batch((0..8).map(|i| (i % 3, 0u16)).collect()).expect("compliant batch");
+    let ps = client.batch((0..8).map(|i| (i % 3, 0u16)).collect()).expect("compliant retry");
     assert_eq!(ps.len(), 8);
 
     server.shutdown();
+}
+
+/// Regression: `open_tenant` must not reach for the chain tip while it
+/// holds the tenants write lock — `apply_delta` takes the chain mutex and
+/// then reads the tenants map for its prune floor, so the old order could
+/// AB-BA deadlock a new tenant's hello against a racing table delta (and,
+/// the tenants lock being writer-preferring, freeze every other
+/// connection's lookup behind it).
+#[test]
+fn new_tenant_hello_races_table_deltas_without_deadlock() {
+    let (_, table) = paper_example();
+    let artifact = Arc::new(CompiledTable::build(table, config()).expect("baseline solves"));
+    let registry = Arc::new(Registry::new(artifact, None, Limits::default()));
+
+    // An op that stays valid at every epoch: inserting an existing
+    // record's tuple into an existing bucket always applies.
+    let (qi, sa) = {
+        let latest = registry.latest();
+        let table = latest.table();
+        let bucket = table.bucket(0);
+        let q = bucket.qi_counts()[0].0;
+        (table.interner().tuple(q).to_vec(), bucket.sa_counts()[0].0)
+    };
+
+    const OPENERS: usize = 4;
+    const ROUNDS: usize = 200;
+    let done = Arc::new(AtomicUsize::new(0));
+    let mut racers = Vec::new();
+    for t in 0..OPENERS {
+        let registry = Arc::clone(&registry);
+        let done = Arc::clone(&done);
+        racers.push(std::thread::spawn(move || {
+            for i in 0..ROUNDS {
+                registry.open_tenant(&format!("race-{t}-{i}")).expect("tenant admitted");
+            }
+            done.fetch_add(1, Ordering::SeqCst);
+        }));
+    }
+    {
+        let registry = Arc::clone(&registry);
+        let done = Arc::clone(&done);
+        racers.push(std::thread::spawn(move || {
+            for _ in 0..ROUNDS {
+                let op = WireDeltaOp::Insert { qi: qi.clone(), sa, bucket: 0 };
+                registry.apply_delta(vec![op]).expect("delta applies");
+            }
+            done.fetch_add(1, Ordering::SeqCst);
+        }));
+    }
+
+    // Bounded wait: a deadlock must fail the test, not hang the suite.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while done.load(Ordering::SeqCst) < OPENERS + 1 {
+        assert!(Instant::now() < deadline, "hello/table-delta race deadlocked");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    for racer in racers {
+        racer.join().expect("racer ok");
+    }
 }

@@ -1,0 +1,477 @@
+//! A comment / string / raw-string / attribute-aware tokenizer for Rust
+//! sources.
+//!
+//! This is **not** a parser: it produces a flat token stream with line
+//! numbers, which is exactly enough for the lexical rules in
+//! [`crate::rules`] to reason about guard scopes, call sequences and enum
+//! discriminants without pulling `syn` into the registry-less workspace.
+//!
+//! Contract: [`lex`] and [`lex_bytes`] **never panic**, whatever bytes they
+//! are fed (enforced by a proptest in `tests/prop_lexer.rs`). Malformed
+//! input — unterminated strings, stray quotes, broken raw-string fences —
+//! degrades to best-effort tokens, never to an abort.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`let`, `tenants`, `r#ident` minus the `r#`).
+    Ident(String),
+    /// Single punctuation character (`.`, `{`, `=` — never combined).
+    Punct(char),
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`); contents
+    /// are deliberately opaque so nothing inside a string can trip a rule.
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'_`).
+    Lifetime,
+    /// Numeric literal; `value` is `Some` for plain decimal integers (the
+    /// only numeric shape a rule inspects — enum discriminants).
+    Num(Option<u128>),
+}
+
+/// A token plus the 1-indexed line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-indexed source line.
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    #[must_use]
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the exact identifier `name`.
+    #[must_use]
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.ident() == Some(name)
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+}
+
+/// A comment with its line span and text (doc comments included — the
+/// error-code rule reads variant docs, the pragma parser reads `// pm-audit:`
+/// lines).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-indexed line the comment starts on.
+    pub line: u32,
+    /// 1-indexed line the comment ends on (multi-line block comments).
+    pub end_line: u32,
+    /// Comment text, delimiters stripped.
+    pub text: String,
+    /// Whether this is a doc comment (`///`, `//!`, `/** */`, `/*! */`).
+    pub doc: bool,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes arbitrary bytes: invalid UTF-8 is replaced lossily, then [`lex`]
+/// runs. Never panics.
+#[must_use]
+pub fn lex_bytes(bytes: &[u8]) -> Lexed {
+    lex(&String::from_utf8_lossy(bytes))
+}
+
+/// Lexes a source string into tokens and comments. Never panics.
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    Lexer { chars: src.chars().collect(), pos: 0, line: 1, out: Lexed::default() }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, tok: Tok, line: u32) {
+        self.out.tokens.push(Token { tok, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => {
+                    self.bump();
+                    self.string_body('"');
+                    self.push(Tok::Str, line);
+                }
+                'r' if matches!(self.peek(1), Some('"' | '#')) && self.is_raw_string(1) => {
+                    self.bump();
+                    self.raw_string();
+                    self.push(Tok::Str, line);
+                }
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.bump();
+                    self.string_body('"');
+                    self.push(Tok::Str, line);
+                }
+                'b' if self.peek(1) == Some('r') && self.is_raw_string(2) => {
+                    self.bump();
+                    self.bump();
+                    self.raw_string();
+                    self.push(Tok::Str, line);
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.char_literal();
+                    self.push(Tok::Char, line);
+                }
+                '\'' => self.quote(),
+                c if c.is_alphabetic() || c == '_' => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                _ => {
+                    self.bump();
+                    self.push(Tok::Punct(c), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Whether the `r` / `br` starting at `self.pos` (hash offset
+    /// `offset`) opens a raw string: zero or more `#` then `"`.
+    fn is_raw_string(&self, offset: usize) -> bool {
+        let mut i = offset;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let doc = matches!(self.peek(0), Some('/' | '!'))
+            && !(self.peek(0) == Some('/') && self.peek(1) == Some('/'));
+        if doc {
+            self.bump();
+        }
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { line, end_line: line, text, doc });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let doc = matches!(self.peek(0), Some('*' | '!')) && self.peek(1) != Some('/');
+        if doc {
+            self.bump();
+        }
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+                text.push_str("/*");
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment { line, end_line: self.line, text, doc });
+    }
+
+    /// Consumes a (non-raw) string body after the opening quote, honoring
+    /// `\"` and `\\` escapes. An unterminated string consumes to EOF.
+    fn string_body(&mut self, close: char) {
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                self.bump(); // the escaped char, whatever it is
+            } else if c == close {
+                break;
+            }
+        }
+    }
+
+    /// Consumes `#*"…"#*` after the leading `r` has been bumped.
+    fn raw_string(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != Some('"') {
+            return; // malformed fence; tokens already consumed, move on
+        }
+        self.bump();
+        // Scan for `"` followed by exactly `hashes` `#`s.
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut matched = 0usize;
+                while matched < hashes && self.peek(0) == Some('#') {
+                    matched += 1;
+                    self.bump();
+                }
+                if matched == hashes {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Consumes a char/byte literal after the opening quote has been
+    /// *peeked* (first bump here).
+    fn char_literal(&mut self) {
+        self.bump(); // opening '
+        if self.peek(0) == Some('\\') {
+            self.bump();
+            self.bump();
+        } else {
+            self.bump();
+        }
+        if self.peek(0) == Some('\'') {
+            self.bump();
+        }
+    }
+
+    /// `'` — either a char literal or a lifetime.
+    fn quote(&mut self) {
+        let line = self.line;
+        // Escaped char (`'\n'`) → literal. `'x'` → literal. Otherwise
+        // (`'a`, `'_`, `'static`) → lifetime.
+        if self.peek(1) == Some('\\')
+            || (self.peek(2) == Some('\'')
+                && self.peek(1).is_some_and(|c| c != '\'' && c != '\\'))
+        {
+            self.char_literal();
+            self.push(Tok::Char, line);
+        } else {
+            self.bump(); // '
+            while self.peek(0).is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                self.bump();
+            }
+            self.push(Tok::Lifetime, line);
+        }
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut s = String::new();
+        // Raw identifier prefix r#…
+        if self.peek(0) == Some('r')
+            && self.peek(1) == Some('#')
+            && self.peek(2).is_some_and(|c| c.is_alphabetic() || c == '_')
+        {
+            self.bump();
+            self.bump();
+        }
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if s.is_empty() {
+            // Defensive: a lone alphabetic char should always land above,
+            // but never loop without progress on odd Unicode.
+            if let Some(c) = self.bump() {
+                s.push(c);
+            }
+        }
+        self.push(Tok::Ident(s), line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut raw = String::new();
+        // Prefixed (hex/octal/binary) literals: consume the radix run.
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x' | 'o' | 'b' | 'X')) {
+            raw.push('0');
+            self.bump();
+            if let Some(c) = self.bump() {
+                raw.push(c);
+            }
+            while self.peek(0).is_some_and(|c| c.is_ascii_alphanumeric() || c == '_') {
+                if let Some(c) = self.bump() {
+                    raw.push(c);
+                }
+            }
+            self.push(Tok::Num(None), line);
+            return;
+        }
+        let mut decimal = true;
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_digit() || c == '_' {
+                raw.push(c);
+                self.bump();
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // Fraction (not a `..` range): float, value opaque.
+                decimal = false;
+                raw.push(c);
+                self.bump();
+            } else if c.is_ascii_alphabetic() {
+                // Type suffix (u16, f64, e-notation). Opaque unless it is a
+                // pure integer-width suffix, which keeps the value parseable.
+                if !matches!(c, 'u' | 'i' | 'e' | 'E' | 'f') {
+                    break;
+                }
+                if matches!(c, 'e' | 'E' | 'f') {
+                    decimal = false;
+                }
+                while self.peek(0).is_some_and(|d| d.is_ascii_alphanumeric() || d == '_') {
+                    self.bump();
+                }
+                break;
+            } else {
+                break;
+            }
+        }
+        let digits: String = raw.chars().filter(|c| *c != '_').collect();
+        let value = if decimal { digits.parse::<u128>().ok() } else { None };
+        self.push(Tok::Num(value), line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let src = r##"
+            // a comment with unwrap() inside
+            let x = "tenants.write().unwrap()"; /* chain.lock() */
+            let y = r#"Instant::now()"#;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "unwrap" || i == "chain" || i == "Instant"));
+        assert!(ids.contains(&"let".to_string()));
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("unwrap() inside"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { x.expect_something() }");
+        assert!(ids.contains(&"expect_something".to_string()));
+        let toks = lex("'a', 'b'");
+        assert_eq!(
+            toks.tokens.iter().filter(|t| t.tok == Tok::Char).count(),
+            2,
+            "char literals lex as chars, not lifetimes"
+        );
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let toks = lex(r"let c = '\''; let d = '\\'; let n = '\n';");
+        assert_eq!(toks.tokens.iter().filter(|t| t.tok == Tok::Char).count(), 3);
+    }
+
+    #[test]
+    fn numbers_parse_decimal_values() {
+        let toks = lex("FrameTooLarge = 1, App = 100, Big = 4_096, Hex = 0xFF, F = 1.5");
+        let nums: Vec<Option<u128>> = toks
+            .tokens
+            .iter()
+            .filter_map(|t| match t.tok {
+                Tok::Num(v) => Some(v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec![Some(1), Some(100), Some(4096), None, None]);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn nested_block_comments_and_unterminated_input() {
+        let lexed = lex("/* outer /* inner */ still */ code");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("code")));
+        // Unterminated constructs must not panic or loop.
+        for src in ["\"abc", "r#\"abc", "/* abc", "'", "b'", "r#", "0x", "1e"] {
+            let _ = lex(src);
+        }
+    }
+
+    #[test]
+    fn doc_comments_are_flagged() {
+        let lexed = lex("/// Fatal.\npub enum E { A = 1 }\n//! inner\n// plain");
+        assert!(lexed.comments[0].doc);
+        assert!(lexed.comments[1].doc);
+        assert!(!lexed.comments[2].doc);
+    }
+}

@@ -1,0 +1,324 @@
+//! # pm-audit — project-specific static analysis
+//!
+//! A std-only, dependency-free lint pass that mechanically enforces the
+//! contracts this workspace's correctness rests on but `rustc`/`clippy`
+//! cannot see:
+//!
+//! * **lock-order** — never acquire the serve registry's chain lock under
+//!   a live `tenants` guard (the PR 7 AB-BA deadlock class);
+//! * **determinism** — no wall-clock reads or hash-ordered iteration on
+//!   the solve/compile paths (the bit-replayability guarantee);
+//! * **panic-policy** — no `unwrap`/`expect`/panics/unchecked indexing in
+//!   the serve hot paths (one panicking worker poisons every tenant);
+//! * **error-code-range** — the wire `ErrorCode` keeps its fatal(<100) /
+//!   app(>=100) split, unique explicit discriminants, and a faithful
+//!   `from_code` inverse;
+//! * **shim-hygiene** — manifests reach `rand`/`proptest`/`criterion`
+//!   only through the vendored `crates/shims/` workspace entries.
+//!
+//! The engine lexes each source (comment/string/raw-string/attribute
+//! aware — see [`lexer`]), runs every rule whose scope matches, then
+//! applies inline suppression pragmas:
+//!
+//! ```text
+//! self.telemetry = start.elapsed(); // pm-audit: allow(determinism, reason = "telemetry only")
+//! ```
+//!
+//! A pragma suppresses diagnostics of the named rule on its own line or
+//! the next code line — and the `reason` is **mandatory**: a suppression
+//! that cannot say why it is safe is itself a diagnostic, and a pragma
+//! that suppresses nothing is a warning so dead suppressions cannot
+//! accumulate. Run it as `pm audit` (human or `--json` output, nonzero
+//! exit on findings) or via the tier-1 integration test
+//! `tests/test_audit_workspace.rs`.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+use std::collections::BTreeSet;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use report::AuditReport;
+pub use source::{Diagnostic, Pragma, Severity, SourceFile};
+
+/// Audits one lexed source file: runs every in-scope rule, applies the
+/// suppression pragmas, and appends pragma-hygiene findings. Returns the
+/// surviving diagnostics plus the number suppressed.
+#[must_use]
+pub fn audit_source(file: &SourceFile) -> (Vec<Diagnostic>, usize) {
+    let mut raw = Vec::new();
+    for rule in rules::SOURCE_RULES {
+        if (rule.applies)(&file.rel_path) {
+            (rule.check)(file, &mut raw);
+        }
+    }
+
+    // A well-formed pragma (known rule + reason) covers its own line and
+    // the next line that holds code.
+    let mut used = vec![false; file.pragmas.len()];
+    let mut out = Vec::new();
+    let mut suppressed = 0usize;
+    for d in raw {
+        let mut hit = None;
+        for (pi, p) in file.pragmas.iter().enumerate() {
+            if p.rule == d.rule
+                && p.reason.is_some()
+                && rules::is_known_rule(&p.rule)
+                && covered_lines(file, p.line).contains(&d.line)
+            {
+                hit = Some(pi);
+                break;
+            }
+        }
+        match hit {
+            Some(pi) => {
+                used[pi] = true;
+                suppressed += 1;
+            }
+            None => out.push(d),
+        }
+    }
+
+    // Pragma hygiene: malformed or unknown-rule pragmas are errors (the
+    // author believes a suppression is active; it is not), reason-less
+    // pragmas are errors (unreviewable), unused pragmas are warnings
+    // (stale suppressions hide future regressions).
+    for (pi, p) in file.pragmas.iter().enumerate() {
+        if p.rule.is_empty() {
+            out.push(pragma_diag(
+                file,
+                p.line,
+                Severity::Error,
+                "malformed pm-audit pragma; the form is \
+                 `pm-audit: allow(rule, reason = \"…\")`",
+            ));
+        } else if !rules::is_known_rule(&p.rule) {
+            out.push(pragma_diag(
+                file,
+                p.line,
+                Severity::Error,
+                &format!(
+                    "pragma names unknown rule `{}`; known rules: {}",
+                    p.rule,
+                    rules::catalog()
+                        .iter()
+                        .map(|(id, _)| *id)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            ));
+        } else if p.reason.is_none() {
+            out.push(pragma_diag(
+                file,
+                p.line,
+                Severity::Error,
+                &format!(
+                    "suppression of `{}` carries no reason; every pragma must say \
+                     why the finding is safe (`reason = \"…\"`)",
+                    p.rule
+                ),
+            ));
+        } else if !used[pi] {
+            out.push(pragma_diag(
+                file,
+                p.line,
+                Severity::Warning,
+                &format!(
+                    "pragma suppresses nothing: no `{}` finding on this line or \
+                     the next code line; delete it so stale suppressions cannot \
+                     mask future regressions",
+                    p.rule
+                ),
+            ));
+        }
+    }
+    (out, suppressed)
+}
+
+/// The lines a pragma on `pragma_line` covers: a trailing pragma (code on
+/// the same line) covers exactly that line; a standalone pragma covers the
+/// next line holding a code token.
+fn covered_lines(file: &SourceFile, pragma_line: u32) -> BTreeSet<u32> {
+    let mut lines = BTreeSet::new();
+    lines.insert(pragma_line);
+    let trailing = file.tokens.iter().any(|t| t.line == pragma_line);
+    if !trailing {
+        if let Some(next) =
+            file.tokens.iter().map(|t| t.line).filter(|l| *l > pragma_line).min()
+        {
+            lines.insert(next);
+        }
+    }
+    lines
+}
+
+fn pragma_diag(file: &SourceFile, line: u32, severity: Severity, message: &str) -> Diagnostic {
+    Diagnostic {
+        rule: "pragma".to_string(),
+        severity,
+        path: file.rel_path.clone(),
+        line,
+        message: message.to_string(),
+    }
+}
+
+/// Audits one manifest. Manifest findings are not pragma-suppressible —
+/// a shim bypass has no safe justification in a registry-less build.
+#[must_use]
+pub fn audit_manifest(rel_path: &str, text: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for rule in rules::MANIFEST_RULES {
+        if (rule.applies)(rel_path) {
+            (rule.check)(rel_path, text, &mut out);
+        }
+    }
+    out
+}
+
+/// Directories the workspace walk never descends into: build output, VCS
+/// metadata, dot-directories, and committed known-bad `fixtures` (those
+/// *must* contain violations — the analyzer tests assert on them).
+fn skip_dir(name: &str) -> bool {
+    name == "target" || name == "fixtures" || name.starts_with('.')
+}
+
+/// Walks the workspace at `root` and audits every `.rs` file and every
+/// `Cargo.toml`. File order is sorted so the report is deterministic.
+///
+/// # Errors
+/// Propagates I/O failures reading the tree (an unreadable workspace must
+/// fail the pass loudly, not pass vacuously).
+pub fn audit_workspace(root: &Path) -> io::Result<AuditReport> {
+    let mut files = Vec::new();
+    collect_files(root, root, &mut files)?;
+    files.sort();
+
+    let mut report = AuditReport::default();
+    for rel in &files {
+        let text = std::fs::read_to_string(root.join(rel))?;
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        report.files_scanned += 1;
+        if rel_str.ends_with(".rs") {
+            let file = SourceFile::parse(&rel_str, &text);
+            let (diags, suppressed) = audit_source(&file);
+            report.diagnostics.extend(diags);
+            report.suppressed += suppressed;
+        } else {
+            report.diagnostics.extend(audit_manifest(&rel_str, &text));
+        }
+    }
+    report.finish();
+    Ok(report)
+}
+
+fn collect_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            if !skip_dir(&name) {
+                collect_files(root, &path, out)?;
+            }
+        } else if ty.is_file() && (name.ends_with(".rs") || name == "Cargo.toml") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn audit(rel_path: &str, src: &str) -> (Vec<Diagnostic>, usize) {
+        audit_source(&SourceFile::parse(rel_path, src))
+    }
+
+    #[test]
+    fn pragma_suppresses_same_line_and_next_code_line() {
+        let (d, s) = audit(
+            "crates/solver/src/lbfgs.rs",
+            "fn f() {\n\
+             let a = Instant::now(); // pm-audit: allow(determinism, reason = \"telemetry\")\n\
+             // pm-audit: allow(determinism, reason = \"telemetry\")\n\
+             let b = Instant::now();\n\
+             }\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+        assert_eq!(s, 2);
+    }
+
+    #[test]
+    fn unsuppressed_findings_survive() {
+        let (d, s) = audit("crates/solver/src/lbfgs.rs", "fn f() { let a = Instant::now(); }\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(s, 0);
+    }
+
+    #[test]
+    fn reasonless_pragma_does_not_suppress_and_is_an_error() {
+        let (d, _) = audit(
+            "crates/solver/src/lbfgs.rs",
+            "// pm-audit: allow(determinism)\nlet a = Instant::now();\n",
+        );
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().any(|x| x.rule == "determinism"));
+        assert!(d.iter().any(|x| x.rule == "pragma" && x.severity == Severity::Error));
+    }
+
+    #[test]
+    fn unknown_rule_pragma_is_an_error() {
+        let (d, _) = audit(
+            "crates/core/src/lib.rs",
+            "// pm-audit: allow(lock-ordre, reason = \"typo\")\nfn f() {}\n",
+        );
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("unknown rule `lock-ordre`"));
+    }
+
+    #[test]
+    fn unused_pragma_is_a_warning() {
+        let (d, _) = audit(
+            "crates/core/src/lib.rs",
+            "// pm-audit: allow(determinism, reason = \"no finding here\")\nfn f() {}\n",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].severity, Severity::Warning);
+        assert!(d[0].message.contains("suppresses nothing"));
+    }
+
+    #[test]
+    fn wrong_rule_pragma_does_not_suppress() {
+        let (d, s) = audit(
+            "crates/solver/src/lbfgs.rs",
+            "// pm-audit: allow(lock-order, reason = \"wrong rule\")\nlet a = Instant::now();\n",
+        );
+        assert_eq!(s, 0);
+        // The determinism finding survives AND the pragma is unused.
+        assert!(d.iter().any(|x| x.rule == "determinism"));
+        assert!(d.iter().any(|x| x.rule == "pragma" && x.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn manifest_findings_flow_through() {
+        let d = audit_manifest("crates/x/Cargo.toml", "[dev-dependencies]\nrand = \"0.8\"\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "shim-hygiene");
+    }
+
+    #[test]
+    fn fixture_and_hidden_dirs_are_skipped() {
+        assert!(skip_dir("target"));
+        assert!(skip_dir("fixtures"));
+        assert!(skip_dir(".git"));
+        assert!(!skip_dir("src"));
+    }
+}

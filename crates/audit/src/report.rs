@@ -1,0 +1,172 @@
+//! Rendering: the human report (grouped by file, summary line) and the
+//! machine-readable JSON-lines report (one object per diagnostic — stable
+//! keys, suitable for CI annotation tooling).
+
+use crate::source::{Diagnostic, Severity};
+
+/// The outcome of one audit pass.
+#[derive(Debug, Default)]
+pub struct AuditReport {
+    /// Surviving (unsuppressed) diagnostics, sorted by path, line, rule.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of files the pass examined.
+    pub files_scanned: usize,
+    /// Number of suppressions that matched a diagnostic.
+    pub suppressed: usize,
+}
+
+impl AuditReport {
+    /// Sorts diagnostics into the canonical deterministic order.
+    pub fn finish(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            (&a.path, a.line, &a.rule, &a.message).cmp(&(&b.path, b.line, &b.rule, &b.message))
+        });
+        self.diagnostics.dedup();
+    }
+
+    /// Error-severity count.
+    #[must_use]
+    pub fn errors(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    /// Warning-severity count.
+    #[must_use]
+    pub fn warnings(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Warning).count()
+    }
+
+    /// Whether the pass passes: no errors, and no warnings either when
+    /// `deny_warnings` (the CI mode) is set.
+    #[must_use]
+    pub fn is_clean(&self, deny_warnings: bool) -> bool {
+        self.errors() == 0 && (!deny_warnings || self.warnings() == 0)
+    }
+
+    /// The human report.
+    #[must_use]
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        let mut last_path: Option<&str> = None;
+        for d in &self.diagnostics {
+            if last_path != Some(d.path.as_str()) {
+                if last_path.is_some() {
+                    out.push('\n');
+                }
+                last_path = Some(d.path.as_str());
+            }
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        if !self.diagnostics.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "pm-audit: {} file(s) scanned, {} error(s), {} warning(s), {} suppressed\n",
+            self.files_scanned,
+            self.errors(),
+            self.warnings(),
+            self.suppressed
+        ));
+        out
+    }
+
+    /// The machine report: one JSON object per line, then a summary object.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!(
+                "{{\"path\":{},\"line\":{},\"severity\":{},\"rule\":{},\"message\":{}}}\n",
+                json_str(&d.path),
+                d.line,
+                json_str(&d.severity.to_string()),
+                json_str(&d.rule),
+                json_str(&d.message),
+            ));
+        }
+        out.push_str(&format!(
+            "{{\"summary\":true,\"files_scanned\":{},\"errors\":{},\"warnings\":{},\"suppressed\":{}}}\n",
+            self.files_scanned,
+            self.errors(),
+            self.warnings(),
+            self.suppressed
+        ));
+        out
+    }
+}
+
+/// Minimal JSON string encoding (std-only: no serde in this workspace).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AuditReport {
+        let mut r = AuditReport {
+            diagnostics: vec![
+                Diagnostic {
+                    rule: "determinism".into(),
+                    severity: Severity::Error,
+                    path: "b.rs".into(),
+                    line: 2,
+                    message: "wall clock".into(),
+                },
+                Diagnostic {
+                    rule: "pragma".into(),
+                    severity: Severity::Warning,
+                    path: "a.rs".into(),
+                    line: 9,
+                    message: "says \"nothing\"".into(),
+                },
+            ],
+            files_scanned: 2,
+            suppressed: 1,
+        };
+        r.finish();
+        r
+    }
+
+    #[test]
+    fn finish_sorts_deterministically() {
+        let r = sample();
+        assert_eq!(r.diagnostics[0].path, "a.rs");
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.warnings(), 1);
+        assert!(!r.is_clean(false));
+        assert!(AuditReport::default().is_clean(true));
+    }
+
+    #[test]
+    fn json_lines_are_escaped_and_terminated() {
+        let j = sample().render_json();
+        assert!(j.contains("\\\"nothing\\\""));
+        assert_eq!(j.lines().count(), 3, "two diagnostics + summary");
+        assert!(j.ends_with('\n'));
+        assert!(j.contains("\"summary\":true"));
+    }
+
+    #[test]
+    fn human_report_carries_the_anchor() {
+        let h = sample().render_human();
+        assert!(h.contains("b.rs:2: error[determinism]: wall clock"));
+        assert!(h.contains("2 file(s) scanned, 1 error(s), 1 warning(s), 1 suppressed"));
+    }
+}

@@ -1,0 +1,328 @@
+//! **error-code-range** — the wire protocol's `ErrorCode` split is
+//! load-bearing: `is_fatal()` is literally `code < 100`, and the server
+//! decides whether to close the connection from that comparison. So the
+//! enum must keep fatal protocol errors below 100 and application errors
+//! at or above 100, never assign a discriminant twice, never rely on an
+//! implicit discriminant (wire bytes would silently shift), and keep the
+//! `from_code` decoder a faithful inverse of the enum. The doc comment is
+//! the declared intent: a variant documented "Fatal" must sit in the fatal
+//! range and vice versa.
+
+use std::collections::BTreeMap;
+
+use crate::source::{Diagnostic, Severity, SourceFile};
+
+/// Rule id.
+pub const ID: &str = "error-code-range";
+/// Catalog summary.
+pub const SUMMARY: &str =
+    "pm-serve protocol: ErrorCode keeps the fatal(<100)/app(>=100) split, \
+     explicit unique discriminants, and a from_code inverse that matches";
+
+/// Scope: the protocol module only.
+#[must_use]
+pub fn applies(rel_path: &str) -> bool {
+    rel_path == "crates/serve/src/protocol.rs"
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    value: Option<u128>,
+    line: u32,
+    doc_fatal: bool,
+}
+
+/// The check.
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let toks = &file.tokens;
+
+    // Locate `enum ErrorCode { … }`.
+    let Some(start) = (0..toks.len()).find(|&i| {
+        toks[i].is_ident("enum") && toks.get(i + 1).is_some_and(|t| t.is_ident("ErrorCode"))
+    }) else {
+        return; // nothing to enforce in this file revision
+    };
+    let Some(open) = (start..toks.len()).find(|&i| toks[i].is_punct('{')) else {
+        return;
+    };
+
+    // Walk the enum body at depth 1 collecting `Name [= Num] ,` entries.
+    let mut variants: Vec<Variant> = Vec::new();
+    let mut depth = 0usize;
+    let mut end = toks.len();
+    let mut i = open;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('{') || t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct('}') || t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                end = i;
+                break;
+            }
+        } else if depth == 1 {
+            if t.is_punct('#') {
+                // Skip the variant attribute's bracket group.
+                let mut d = 0usize;
+                i += 1;
+                while i < toks.len() {
+                    if toks[i].is_punct('[') {
+                        d += 1;
+                    } else if toks[i].is_punct(']') {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+            } else if let Some(name) = t.ident() {
+                let value = if toks.get(i + 1).is_some_and(|t| t.is_punct('=')) {
+                    match toks.get(i + 2).map(|t| &t.tok) {
+                        Some(crate::lexer::Tok::Num(v)) => *v,
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+                variants.push(Variant {
+                    name: name.to_string(),
+                    value,
+                    line: t.line,
+                    doc_fatal: false,
+                });
+            }
+        }
+        i += 1;
+    }
+
+    // Attach doc intent: the doc block immediately above a variant is every
+    // doc comment between the previous variant and this one.
+    let mut prev_line = toks.get(start).map_or(0, |t| t.line);
+    for v in &mut variants {
+        v.doc_fatal = file.comments.iter().any(|c| {
+            c.doc && c.line > prev_line && c.end_line < v.line && c.text.contains("Fatal")
+        });
+        prev_line = v.line;
+    }
+
+    // Range + uniqueness + explicitness checks.
+    let mut seen: BTreeMap<u128, String> = BTreeMap::new();
+    for v in &variants {
+        let Some(code) = v.value else {
+            out.push(diag(
+                file,
+                v.line,
+                &format!(
+                    "`{}` has no explicit decimal discriminant; wire codes must be \
+                     pinned — an implicit discriminant silently renumbers the \
+                     protocol when a variant is inserted",
+                    v.name
+                ),
+            ));
+            continue;
+        };
+        if let Some(first) = seen.get(&code) {
+            out.push(diag(
+                file,
+                v.line,
+                &format!(
+                    "`{}` reuses discriminant {code}, already assigned to `{first}`; \
+                     the decoder cannot distinguish them on the wire",
+                    v.name
+                ),
+            ));
+        } else {
+            seen.insert(code, v.name.clone());
+        }
+        if v.doc_fatal && code >= 100 {
+            out.push(diag(
+                file,
+                v.line,
+                &format!(
+                    "`{}` is documented Fatal but its code {code} is in the \
+                     application range (>= 100); `is_fatal()` will keep the \
+                     connection open, contradicting the doc",
+                    v.name
+                ),
+            ));
+        }
+        if !v.doc_fatal && code < 100 {
+            out.push(diag(
+                file,
+                v.line,
+                &format!(
+                    "`{}` has code {code} in the fatal range (< 100) but its doc \
+                     does not say \"Fatal\"; either move it to >= 100 or document \
+                     that the server closes the connection on it",
+                    v.name
+                ),
+            ));
+        }
+    }
+
+    // `from_code` must be a faithful inverse: every arm maps the variant's
+    // own discriminant, and every variant has an arm.
+    let by_name: BTreeMap<&str, u128> = variants
+        .iter()
+        .filter_map(|v| v.value.map(|c| (v.name.as_str(), c)))
+        .collect();
+    let mut decoded: BTreeMap<&str, (u128, u32)> = BTreeMap::new();
+    for i in end..toks.len() {
+        // `N => Self::Variant` — tokens: Num = > Self : : Ident
+        let Some(crate::lexer::Tok::Num(Some(code))) = toks.get(i).map(|t| &t.tok) else {
+            continue;
+        };
+        if toks.get(i + 1).is_some_and(|t| t.is_punct('='))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('>'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("Self"))
+            && toks.get(i + 4).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 5).is_some_and(|t| t.is_punct(':'))
+        {
+            if let Some(name) = toks.get(i + 6).and_then(|t| t.ident()) {
+                if by_name.contains_key(name) {
+                    decoded.entry(name).or_insert((*code, toks[i].line));
+                }
+            }
+        }
+    }
+    if !decoded.is_empty() {
+        for (name, (code, line)) in &decoded {
+            if by_name.get(name).is_some_and(|c| c != code) {
+                out.push(diag(
+                    file,
+                    *line,
+                    &format!(
+                        "`from_code` maps {code} to `{name}` but the enum assigns \
+                         `{name}` = {}; the decoder is not the encoder's inverse",
+                        by_name[name]
+                    ),
+                ));
+            }
+        }
+        for v in &variants {
+            if v.value.is_some() && !decoded.contains_key(v.name.as_str()) {
+                out.push(diag(
+                    file,
+                    v.line,
+                    &format!(
+                        "`{}` has no arm in `from_code`; peers sending this code \
+                         get `None` and treat a known error as unknown",
+                        v.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn diag(file: &SourceFile, line: u32, message: &str) -> Diagnostic {
+    Diagnostic {
+        rule: ID.to_string(),
+        severity: Severity::Error,
+        path: file.rel_path.clone(),
+        line,
+        message: message.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse("crates/serve/src/protocol.rs", src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    const GOOD: &str = "\
+#[repr(u16)]\n\
+pub enum ErrorCode {\n\
+    /// Bad frame. Fatal.\n\
+    FrameTooLarge = 1,\n\
+    /// Engine failure.\n\
+    App = 100,\n\
+}\n\
+impl ErrorCode {\n\
+    pub fn from_code(code: u16) -> Option<Self> {\n\
+        Some(match code {\n\
+            1 => Self::FrameTooLarge,\n\
+            100 => Self::App,\n\
+            _ => return None,\n\
+        })\n\
+    }\n\
+}\n";
+
+    #[test]
+    fn well_formed_enum_is_clean() {
+        assert!(run(GOOD).is_empty(), "{:?}", run(GOOD));
+    }
+
+    #[test]
+    fn flags_duplicate_discriminants() {
+        let d = run("enum ErrorCode {\n\
+                     /// A. Fatal.\n\
+                     A = 1,\n\
+                     /// B. Fatal.\n\
+                     B = 1,\n\
+                     }\n");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("reuses discriminant 1"));
+    }
+
+    #[test]
+    fn flags_fatal_doc_in_app_range_and_vice_versa() {
+        let d = run("enum ErrorCode {\n\
+                     /// Protocol break. Fatal.\n\
+                     Bad = 105,\n\
+                     /// App-level trouble.\n\
+                     Soft = 9,\n\
+                     }\n");
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d[0].message.contains("application range"));
+        assert!(d[1].message.contains("fatal range"));
+    }
+
+    #[test]
+    fn flags_implicit_discriminants() {
+        let d = run("enum ErrorCode {\n\
+                     /// A. Fatal.\n\
+                     A = 1,\n\
+                     /// B. Fatal.\n\
+                     B,\n\
+                     }\n");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("no explicit decimal discriminant"));
+    }
+
+    #[test]
+    fn flags_from_code_mismatch_and_omission() {
+        let d = run("enum ErrorCode {\n\
+                     /// A. Fatal.\n\
+                     A = 1,\n\
+                     /// B.\n\
+                     B = 100,\n\
+                     /// C.\n\
+                     C = 101,\n\
+                     }\n\
+                     fn from_code(code: u16) -> Option<Self> {\n\
+                     Some(match code {\n\
+                     1 => Self::A,\n\
+                     102 => Self::B,\n\
+                     _ => return None,\n\
+                     })\n\
+                     }\n");
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().any(|d| d.message.contains("not the encoder's inverse")));
+        assert!(d.iter().any(|d| d.message.contains("no arm in `from_code`")));
+    }
+
+    #[test]
+    fn files_without_the_enum_are_clean() {
+        assert!(run("fn unrelated() {}").is_empty());
+    }
+}

@@ -1,0 +1,232 @@
+//! **lock-order** — the `pm-serve` registry's documented lock order is
+//! *chain before tenants, never the reverse*: `Registry::apply_delta`
+//! holds the chain mutex while reading the tenants map for its prune
+//! floor, so acquiring the chain lock under a live `tenants` guard is an
+//! AB-BA deadlock (the exact class PR 7's review fixed in
+//! `Registry::open_tenant`). This rule flags any chain acquisition —
+//! `chain.lock(…)` or a call to a method known to take the chain lock —
+//! lexically inside a live `tenants` read/write guard scope.
+
+use crate::source::{Diagnostic, Severity, SourceFile};
+
+/// Rule id.
+pub const ID: &str = "lock-order";
+/// Catalog summary.
+pub const SUMMARY: &str =
+    "pm-serve: never acquire the chain lock while a `tenants` guard is live \
+     (chain -> tenants is the only safe order)";
+
+/// Methods on `Registry` that acquire the chain mutex internally; calling
+/// one under a tenants guard deadlocks exactly like a direct `chain.lock()`.
+const CHAIN_LOCKING_CALLS: &[&str] = &["latest", "apply_delta", "catch_up"];
+
+/// Scope: the whole serve crate.
+#[must_use]
+pub fn applies(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/serve/src/")
+}
+
+/// How long an acquired `tenants` guard stays live, lexically.
+#[derive(Debug)]
+enum GuardKind {
+    /// `let guard = …tenants.read()…;` — live until the enclosing block
+    /// closes (depth drops below the binding's depth).
+    Binding,
+    /// `if let` / `while let` / `match` scrutinee — the guard temporary
+    /// lives through the construct's body; dies when the body's brace
+    /// closes back to the header depth.
+    Scrutinee { entered: bool },
+    /// Any other expression statement — the temporary dies at the `;`.
+    Temporary,
+}
+
+#[derive(Debug)]
+struct Guard {
+    kind: GuardKind,
+    /// Brace depth at the statement that acquired the guard.
+    base: i32,
+    line: u32,
+}
+
+/// The check: a single pass with statement and brace-depth tracking.
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let toks = &file.tokens;
+    let mut depth: i32 = 0;
+    let mut guards: Vec<Guard> = Vec::new();
+    // First identifier of the current statement (`let`, `if`, …).
+    let mut stmt_head: Option<String> = None;
+    let mut stmt_fresh = true;
+
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if file.in_test_code(t.line) {
+            continue;
+        }
+        // Statement head bookkeeping.
+        if stmt_fresh {
+            if let Some(id) = t.ident() {
+                stmt_head = Some(id.to_string());
+            } else {
+                stmt_head = None;
+            }
+            stmt_fresh = false;
+        }
+        if t.is_punct(';') {
+            guards.retain(|g| !(matches!(g.kind, GuardKind::Temporary) && depth == g.base));
+            stmt_fresh = true;
+        } else if t.is_punct('{') {
+            depth += 1;
+            for g in &mut guards {
+                if let GuardKind::Scrutinee { entered } = &mut g.kind {
+                    if !*entered && depth == g.base + 1 {
+                        *entered = true;
+                    }
+                }
+            }
+            stmt_fresh = true;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            guards.retain(|g| match g.kind {
+                GuardKind::Binding => depth >= g.base,
+                GuardKind::Scrutinee { entered } => !(entered && depth <= g.base),
+                GuardKind::Temporary => depth >= g.base,
+            });
+            stmt_fresh = true;
+        }
+
+        // A `tenants` guard acquisition: `tenants . read|write (`.
+        if t.is_ident("tenants")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('.'))
+            && toks
+                .get(i + 2)
+                .and_then(|t| t.ident())
+                .is_some_and(|m| m == "read" || m == "write")
+            && toks.get(i + 3).is_some_and(|t| t.is_punct('('))
+        {
+            let kind = match stmt_head.as_deref() {
+                Some("let") => GuardKind::Binding,
+                Some("if" | "while" | "match") => GuardKind::Scrutinee { entered: false },
+                _ => GuardKind::Temporary,
+            };
+            guards.push(Guard { kind, base: depth, line: t.line });
+        }
+
+        // A chain acquisition while any tenants guard is live.
+        if guards.is_empty() {
+            continue;
+        }
+        let direct = t.is_ident("chain")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('.'))
+            && toks.get(i + 2).is_some_and(|t| t.is_ident("lock"));
+        let via_call = t
+            .ident()
+            .is_some_and(|id| CHAIN_LOCKING_CALLS.contains(&id))
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && !toks
+                .get(i.wrapping_sub(1))
+                .is_some_and(|p| i > 0 && p.is_ident("fn"));
+        if direct || via_call {
+            let what = t.ident().unwrap_or_default();
+            let guard_line = guards.last().map_or(0, |g| g.line);
+            out.push(Diagnostic {
+                rule: ID.to_string(),
+                severity: Severity::Error,
+                path: file.rel_path.clone(),
+                line: t.line,
+                message: format!(
+                    "`{what}` acquires the chain lock inside the `tenants` guard taken \
+                     on line {guard_line}; the registry's lock order is chain -> \
+                     tenants, never the reverse (AB-BA deadlock with apply_delta). \
+                     Fetch the chain state before taking the tenants lock."
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse("crates/serve/src/registry.rs", src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_chain_lock_under_tenants_write_guard() {
+        let d = run("fn open(&self) {\n\
+                     let mut tenants = self.tenants.write().unwrap();\n\
+                     let latest = self.chain.lock().unwrap();\n\
+                     }\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 3);
+        assert_eq!(d[0].rule, ID);
+    }
+
+    #[test]
+    fn flags_chain_locking_method_calls() {
+        let d = run("fn open(&self) {\n\
+                     let mut tenants = self.tenants.write().unwrap();\n\
+                     let latest = self.latest();\n\
+                     }\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn chain_before_tenants_is_the_blessed_order() {
+        let d = run("fn apply(&self) {\n\
+                     let mut chain = self.chain.lock().unwrap();\n\
+                     let min = {\n\
+                     let tenants = self.tenants.read().unwrap();\n\
+                     tenants.len()\n\
+                     };\n\
+                     chain.prune_below(min);\n\
+                     }\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn guard_scope_ends_with_its_block() {
+        let d = run("fn open(&self) {\n\
+                     {\n\
+                     let tenants = self.tenants.write().unwrap();\n\
+                     tenants.insert(k, v);\n\
+                     }\n\
+                     let latest = self.latest();\n\
+                     }\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn if_let_scrutinee_guard_covers_the_body_only() {
+        let bad = run("fn open(&self) {\n\
+                       if let Some(t) = self.tenants.read().unwrap().get(k) {\n\
+                       let l = self.latest();\n\
+                       }\n\
+                       }\n");
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert_eq!(bad[0].line, 3);
+        let good = run("fn open(&self) {\n\
+                        if let Some(t) = self.tenants.read().unwrap().get(k) {\n\
+                        return t;\n\
+                        }\n\
+                        let l = self.latest();\n\
+                        }\n");
+        assert!(good.is_empty(), "{good:?}");
+    }
+
+    #[test]
+    fn fn_definitions_are_not_calls() {
+        let d = run("impl Chain {\n\
+                     fn latest(&self) -> T {\n\
+                     let tenants = self.tenants.read().unwrap();\n\
+                     tenants.len()\n\
+                     }\n\
+                     }\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -1,0 +1,101 @@
+//! The rule registry: each rule is a pure function over a lexed
+//! [`SourceFile`] (or a `Cargo.toml` manifest) that appends
+//! [`Diagnostic`]s.
+//!
+//! Adding a rule: write a `check(&SourceFile, &mut Vec<Diagnostic>)`
+//! function in a new submodule, give it an `applies(rel_path)` scope
+//! predicate, and register it in [`SOURCE_RULES`] (or [`MANIFEST_RULES`]
+//! for manifest-level rules). The engine handles pragma suppression,
+//! ordering and reporting; the rule only has to recognise its pattern and
+//! anchor each finding to a line. Document the new rule in
+//! ARCHITECTURE.md's rule catalog.
+
+pub mod determinism;
+pub mod error_codes;
+pub mod lock_order;
+pub mod panic_policy;
+pub mod shim_hygiene;
+
+use crate::source::{Diagnostic, SourceFile};
+
+/// A registered source-level rule.
+pub struct SourceRule {
+    /// Stable rule id (what pragmas name).
+    pub id: &'static str,
+    /// One-line summary for `pmx audit --list-rules`.
+    pub summary: &'static str,
+    /// Scope predicate over the workspace-relative path.
+    pub applies: fn(&str) -> bool,
+    /// The check itself.
+    pub check: fn(&SourceFile, &mut Vec<Diagnostic>),
+}
+
+/// A registered manifest-level rule (runs on `Cargo.toml` text).
+pub struct ManifestRule {
+    /// Stable rule id.
+    pub id: &'static str,
+    /// One-line summary for `pmx audit --list-rules`.
+    pub summary: &'static str,
+    /// Scope predicate over the workspace-relative path.
+    pub applies: fn(&str) -> bool,
+    /// The check itself.
+    pub check: fn(&str, &str, &mut Vec<Diagnostic>),
+}
+
+/// Every source rule, in diagnostic-id order.
+pub const SOURCE_RULES: &[SourceRule] = &[
+    SourceRule {
+        id: lock_order::ID,
+        summary: lock_order::SUMMARY,
+        applies: lock_order::applies,
+        check: lock_order::check,
+    },
+    SourceRule {
+        id: determinism::ID,
+        summary: determinism::SUMMARY,
+        applies: determinism::applies,
+        check: determinism::check,
+    },
+    SourceRule {
+        id: panic_policy::ID,
+        summary: panic_policy::SUMMARY,
+        applies: panic_policy::applies,
+        check: panic_policy::check,
+    },
+    SourceRule {
+        id: error_codes::ID,
+        summary: error_codes::SUMMARY,
+        applies: error_codes::applies,
+        check: error_codes::check,
+    },
+];
+
+/// Every manifest rule.
+pub const MANIFEST_RULES: &[ManifestRule] = &[ManifestRule {
+    id: shim_hygiene::ID,
+    summary: shim_hygiene::SUMMARY,
+    applies: shim_hygiene::applies,
+    check: shim_hygiene::check,
+}];
+
+/// Whether `id` names a registered rule (pragmas naming anything else are
+/// flagged as typos).
+#[must_use]
+pub fn is_known_rule(id: &str) -> bool {
+    SOURCE_RULES.iter().any(|r| r.id == id) || MANIFEST_RULES.iter().any(|r| r.id == id)
+}
+
+/// `(id, summary)` for every rule, the implicit pragma-hygiene rule
+/// included — the catalog `pmx audit --list-rules` prints.
+#[must_use]
+pub fn catalog() -> Vec<(&'static str, &'static str)> {
+    let mut out: Vec<(&'static str, &'static str)> =
+        SOURCE_RULES.iter().map(|r| (r.id, r.summary)).collect();
+    out.extend(MANIFEST_RULES.iter().map(|r| (r.id, r.summary)));
+    out.push((
+        "pragma",
+        "suppression hygiene: every `pm-audit: allow(...)` names a known rule and \
+         carries a reason",
+    ));
+    out
+}

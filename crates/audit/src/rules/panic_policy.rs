@@ -1,0 +1,179 @@
+//! **panic-policy** — the `pm-serve` connection, registry and accept-loop
+//! code runs multi-tenant: one panicking worker poisons locks shared with
+//! every other tenant's session, so the serve hot paths must not contain
+//! `unwrap`/`expect`, panic-family macros, or panicking index expressions
+//! outside test code. Each site either converts to a typed
+//! `PmError`/protocol error, recovers (lock poison → `into_inner`), or
+//! carries a pragma stating the invariant that makes the panic unreachable.
+
+use crate::source::{Diagnostic, Severity, SourceFile};
+
+/// Rule id.
+pub const ID: &str = "panic-policy";
+/// Catalog summary.
+pub const SUMMARY: &str =
+    "pm-serve conn/registry/server: no unwrap/expect/panic!/indexing panics \
+     in non-test code (a panic in one worker poisons every tenant)";
+
+/// Methods that panic on the `Err`/`None` arm.
+const PANICKING_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+
+/// Macros that are a panic by construction.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords that can legitimately precede `[` (slice patterns, types) —
+/// an ident-then-`[` sequence headed by one of these is not an index
+/// expression.
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "mut", "ref", "in", "as", "dyn", "impl", "where", "pub", "return", "break", "use",
+    "static", "const", "type", "enum", "struct", "fn", "match", "if", "else", "move", "box",
+];
+
+/// Scope: the serve crate's connection, registry and server modules — the
+/// code that runs per-request on shared state. (`loadgen` is a test
+/// client; `protocol` is pure encode/decode with no shared locks.)
+#[must_use]
+pub fn applies(rel_path: &str) -> bool {
+    matches!(
+        rel_path,
+        "crates/serve/src/conn.rs" | "crates/serve/src/registry.rs" | "crates/serve/src/server.rs"
+    )
+}
+
+/// The check.
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if file.in_test_code(t.line) {
+            continue;
+        }
+        let Some(id) = t.ident() else { continue };
+
+        // `.unwrap(` / `.expect(` — exact method-name match, so
+        // `unwrap_or_else` and friends never trip this.
+        if PANICKING_METHODS.contains(&id)
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            out.push(diag(
+                file,
+                t.line,
+                &format!(
+                    "`.{id}()` in serve hot path; a panic here poisons locks shared \
+                     across tenants. Convert to a typed error, recover (poisoned \
+                     locks: `unwrap_or_else(PoisonError::into_inner)`), or state \
+                     the invariant with a pragma"
+                ),
+            ));
+            continue;
+        }
+
+        // `panic!(` and friends.
+        if PANIC_MACROS.contains(&id) && toks.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+            out.push(diag(
+                file,
+                t.line,
+                &format!(
+                    "`{id}!` in serve hot path; a panic here poisons locks shared \
+                     across tenants. Return a protocol error instead, or state the \
+                     invariant with a pragma"
+                ),
+            ));
+            continue;
+        }
+
+        // `expr[…]` indexing — panics out of bounds. `ident [` is an index
+        // expression unless the ident is a keyword (slice patterns, types).
+        if !NON_INDEX_KEYWORDS.contains(&id)
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('['))
+        {
+            out.push(diag(
+                file,
+                t.line,
+                &format!(
+                    "`{id}[…]` indexes without a bounds check and panics out of \
+                     range; use `.get()` and handle `None`, or state the bounds \
+                     invariant with a pragma"
+                ),
+            ));
+        }
+    }
+}
+
+fn diag(file: &SourceFile, line: u32, message: &str) -> Diagnostic {
+    Diagnostic {
+        rule: ID.to_string(),
+        severity: Severity::Error,
+        path: file.rel_path.clone(),
+        line,
+        message: message.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse("crates/serve/src/conn.rs", src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros() {
+        let d = run("fn f() {\n\
+                     let a = x.unwrap();\n\
+                     let b = y.expect(\"msg\");\n\
+                     panic!(\"boom\");\n\
+                     unreachable!();\n\
+                     }\n");
+        assert_eq!(d.len(), 4, "{d:?}");
+        assert_eq!(d.iter().map(|d| d.line).collect::<Vec<_>>(), vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn fallible_combinators_are_fine() {
+        let d = run("fn f() {\n\
+                     let a = x.unwrap_or_else(PoisonError::into_inner);\n\
+                     let b = y.unwrap_or_default();\n\
+                     let c = z.unwrap_or(0);\n\
+                     let d = w.expect_something_custom();\n\
+                     }\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn flags_index_expressions_not_slice_patterns() {
+        let bad = run("fn f(buf: &[u8]) { let x = buf[0]; }\n");
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        let good = run("fn f() {\n\
+                        let [a, b] = pair;\n\
+                        let v: Vec<[u8; 4]> = vec![];\n\
+                        let w = vec![1, 2];\n\
+                        }\n");
+        assert!(good.is_empty(), "{good:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let d = run("fn prod() { x.call(); }\n\
+                     #[cfg(test)]\n\
+                     mod tests {\n\
+                     #[test]\n\
+                     fn t() { y.unwrap(); assert_eq!(v[0], 1); }\n\
+                     }\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn scope_is_the_three_hot_modules() {
+        assert!(applies("crates/serve/src/registry.rs"));
+        assert!(applies("crates/serve/src/server.rs"));
+        assert!(!applies("crates/serve/src/protocol.rs"));
+        assert!(!applies("crates/serve/src/loadgen.rs"));
+    }
+}

@@ -1,0 +1,146 @@
+//! **shim-hygiene** — the workspace is registry-less: `rand`, `proptest`
+//! and `criterion` are vendored std-only shims under `crates/shims/`. A
+//! member manifest naming one of them directly (a version requirement, a
+//! git source, its own path) bypasses the vendoring and breaks the build
+//! the moment it runs without a registry. Members must inherit via
+//! `{ workspace = true }`, and the root `[workspace.dependencies]` table
+//! must keep pointing each shim at `crates/shims/`.
+
+use crate::source::{Diagnostic, Severity};
+
+/// Rule id.
+pub const ID: &str = "shim-hygiene";
+/// Catalog summary.
+pub const SUMMARY: &str =
+    "manifests: rand/proptest/criterion only via `workspace = true` \
+     inheritance from the root's crates/shims/ path entries";
+
+/// The vendored crate names.
+const SHIMMED: &[&str] = &["rand", "proptest", "criterion"];
+
+/// Scope: every manifest except the shims' own.
+#[must_use]
+pub fn applies(rel_path: &str) -> bool {
+    (rel_path == "Cargo.toml" || rel_path.ends_with("/Cargo.toml"))
+        && !rel_path.starts_with("crates/shims/")
+}
+
+/// The check: a line-oriented TOML scan (section headers + `name = value`
+/// pairs is all manifest hygiene needs — no TOML parser in a std-only
+/// crate).
+pub fn check(rel_path: &str, text: &str, out: &mut Vec<Diagnostic>) {
+    let mut section = String::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx as u32 + 1;
+        let l = raw.trim();
+        if l.starts_with('[') {
+            section = l.trim_matches(|c| c == '[' || c == ']').to_string();
+            continue;
+        }
+        let Some((key, value)) = l.split_once('=') else { continue };
+        let key = key.trim().trim_matches('"');
+        if !SHIMMED.contains(&key) {
+            continue;
+        }
+        let value = value.trim();
+        let in_root_table = section == "workspace.dependencies";
+        let in_member_table = matches!(
+            section.as_str(),
+            "dependencies" | "dev-dependencies" | "build-dependencies"
+        ) || section.starts_with("target.") && section.ends_with("dependencies");
+        if in_root_table {
+            if !value.contains("crates/shims/") {
+                out.push(diag(
+                    rel_path,
+                    line,
+                    &format!(
+                        "workspace dependency `{key}` does not path into \
+                         crates/shims/; the build is registry-less, so every \
+                         shimmed crate must resolve to its vendored shim"
+                    ),
+                ));
+            }
+        } else if in_member_table && !value.contains("workspace = true") {
+            out.push(diag(
+                rel_path,
+                line,
+                &format!(
+                    "`{key}` is named directly instead of inheriting the vendored \
+                     shim; use `{key} = {{ workspace = true }}` so the registry-less \
+                     build keeps resolving to crates/shims/{key}"
+                ),
+            ));
+        }
+    }
+}
+
+fn diag(rel_path: &str, line: u32, message: &str) -> Diagnostic {
+    Diagnostic {
+        rule: ID.to_string(),
+        severity: Severity::Error,
+        path: rel_path.to_string(),
+        line,
+        message: message.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, text: &str) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        check(path, text, &mut out);
+        out
+    }
+
+    #[test]
+    fn workspace_inheritance_is_clean() {
+        let d = run(
+            "crates/solver/Cargo.toml",
+            "[dependencies]\npm-core = { workspace = true }\n\n\
+             [dev-dependencies]\nproptest = { workspace = true }\n\
+             criterion = { workspace = true }\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn direct_versions_are_flagged() {
+        let d = run(
+            "crates/solver/Cargo.toml",
+            "[dev-dependencies]\nproptest = \"1.4\"\nrand = { version = \"0.8\" }\n",
+        );
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert_eq!(d[0].line, 2);
+        assert_eq!(d[1].line, 3);
+    }
+
+    #[test]
+    fn root_table_must_path_into_shims() {
+        let good = run(
+            "Cargo.toml",
+            "[workspace.dependencies]\nrand = { path = \"crates/shims/rand\" }\n",
+        );
+        assert!(good.is_empty(), "{good:?}");
+        let bad = run("Cargo.toml", "[workspace.dependencies]\nrand = \"0.8\"\n");
+        assert_eq!(bad.len(), 1, "{bad:?}");
+    }
+
+    #[test]
+    fn the_shims_own_manifests_are_exempt() {
+        assert!(!applies("crates/shims/rand/Cargo.toml"));
+        assert!(applies("crates/audit/Cargo.toml"));
+        assert!(applies("Cargo.toml"));
+        assert!(!applies("crates/audit/src/lib.rs"));
+    }
+
+    #[test]
+    fn unrelated_keys_and_sections_are_ignored() {
+        let d = run(
+            "crates/x/Cargo.toml",
+            "[package]\nname = \"rand-user\"\n[features]\nrand = []\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

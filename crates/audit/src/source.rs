@@ -1,0 +1,257 @@
+//! The per-file source model rules run against: the token stream, the
+//! comment list, parsed `pm-audit` suppression pragmas, and the set of
+//! lines that belong to test code (`#[cfg(test)]` modules, `#[test]` fns).
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{lex, Comment, Lexed, Token};
+
+/// Severity of a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational/maintenance finding; fails only under
+    /// `--deny-warnings` (the CI mode).
+    Warning,
+    /// Contract violation; always fails the pass unless suppressed.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Warning => write!(f, "warning"),
+            Self::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding: rule, severity, and a precise `file:line` anchor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id (`lock-order`, `determinism`, …; `pragma` for pragma
+    /// hygiene findings).
+    pub rule: String,
+    /// Severity.
+    pub severity: Severity,
+    /// Path relative to the workspace root, `/`-separated.
+    pub path: String,
+    /// 1-indexed line.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}[{}]: {}",
+            self.path, self.line, self.severity, self.rule, self.message
+        )
+    }
+}
+
+/// A parsed `// pm-audit: allow(rule, reason = "…")` suppression pragma.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// Line the pragma comment sits on.
+    pub line: u32,
+    /// The rule id it suppresses.
+    pub rule: String,
+    /// The mandatory justification (`None` = malformed pragma, which is
+    /// itself a diagnostic — a suppression without a reason is worthless
+    /// at review time).
+    pub reason: Option<String>,
+}
+
+/// One source file, lexed and indexed for the rules.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: String,
+    /// Code tokens.
+    pub tokens: Vec<Token>,
+    /// Comments (the error-code rule reads variant doc comments).
+    pub comments: Vec<Comment>,
+    /// Suppression pragmas, in line order.
+    pub pragmas: Vec<Pragma>,
+    /// Lines covered by `#[cfg(test)]` / `#[test]` items.
+    test_lines: BTreeSet<u32>,
+}
+
+impl SourceFile {
+    /// Lexes and indexes `text` as `rel_path`.
+    #[must_use]
+    pub fn parse(rel_path: &str, text: &str) -> Self {
+        let Lexed { tokens, comments } = lex(text);
+        let pragmas = comments.iter().filter_map(parse_pragma).collect();
+        let test_lines = test_regions(&tokens);
+        Self { rel_path: rel_path.replace('\\', "/"), tokens, comments, pragmas, test_lines }
+    }
+
+    /// Whether `line` lies inside test-only code, which the panic-policy
+    /// rule exempts (tests *should* unwrap).
+    #[must_use]
+    pub fn in_test_code(&self, line: u32) -> bool {
+        self.test_lines.contains(&line)
+    }
+}
+
+/// Parses one comment as a suppression pragma, if it is one.
+///
+/// Grammar: `pm-audit: allow(RULE)` or
+/// `pm-audit: allow(RULE, reason = "TEXT")`. A recognised-but-malformed
+/// pragma yields `reason: None` (or an empty rule), which the engine turns
+/// into a `pragma` diagnostic rather than silently ignoring a suppression
+/// the author believed was active.
+fn parse_pragma(c: &Comment) -> Option<Pragma> {
+    let text = c.text.trim();
+    let rest = text.strip_prefix("pm-audit:")?.trim_start();
+    let line = c.line;
+    let Some(args) = rest.strip_prefix("allow(") else {
+        return Some(Pragma { line, rule: String::new(), reason: None });
+    };
+    let Some(close) = args.rfind(')') else {
+        return Some(Pragma { line, rule: String::new(), reason: None });
+    };
+    let args = &args[..close];
+    let (rule, tail) = match args.split_once(',') {
+        Some((r, t)) => (r.trim(), t.trim()),
+        None => (args.trim(), ""),
+    };
+    let reason = tail.strip_prefix("reason").and_then(|t| {
+        let t = t.trim_start().strip_prefix('=')?.trim_start();
+        let t = t.strip_prefix('"')?;
+        let end = t.rfind('"')?;
+        let reason = t[..end].trim();
+        (!reason.is_empty()).then(|| reason.to_string())
+    });
+    Some(Pragma { line, rule: rule.to_string(), reason })
+}
+
+/// Collects the lines covered by test-gated items: an attribute whose
+/// tokens contain `test` (and not `not`, so `#[cfg(not(test))]` stays
+/// production code) marks the item it precedes — everything up to the
+/// matching close brace of the item's body — as test code.
+fn test_regions(tokens: &[Token]) -> BTreeSet<u32> {
+    let mut lines = BTreeSet::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute's bracket group.
+        let attr_line = tokens[i].line;
+        let mut j = i + 2;
+        let mut depth = 1usize;
+        let mut has_test = false;
+        let mut has_not = false;
+        while j < tokens.len() && depth > 0 {
+            let t = &tokens[j];
+            if t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(']') {
+                depth -= 1;
+            } else if t.is_ident("test") {
+                has_test = true;
+            } else if t.is_ident("not") {
+                has_not = true;
+            }
+            j += 1;
+        }
+        if !has_test || has_not {
+            i = j;
+            continue;
+        }
+        // Find the item body: the first `{` before a `;` ends the header.
+        let mut k = j;
+        let mut body_start = None;
+        while k < tokens.len() {
+            if tokens[k].is_punct('{') {
+                body_start = Some(k);
+                break;
+            }
+            if tokens[k].is_punct(';') {
+                break; // item without a body (e.g. a gated `use`)
+            }
+            k += 1;
+        }
+        let Some(open) = body_start else {
+            // Cover just the attribute + header line span.
+            for t in &tokens[i..k.min(tokens.len())] {
+                lines.insert(t.line);
+            }
+            i = k;
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut end = tokens.len();
+        for (idx, t) in tokens.iter().enumerate().skip(open) {
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    end = idx + 1;
+                    break;
+                }
+            }
+        }
+        let end_line = tokens.get(end.saturating_sub(1)).map_or(attr_line, |t| t.line);
+        for l in attr_line..=end_line {
+            lines.insert(l);
+        }
+        i = end;
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pragma_round_trip() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "let a = 1; // pm-audit: allow(determinism, reason = \"telemetry only\")\n\
+             // pm-audit: allow(lock-order)\n\
+             // pm-audit: allow(panic-policy, reason = \"\")\n\
+             // not a pragma\n",
+        );
+        assert_eq!(f.pragmas.len(), 3);
+        assert_eq!(f.pragmas[0].rule, "determinism");
+        assert_eq!(f.pragmas[0].reason.as_deref(), Some("telemetry only"));
+        assert_eq!(f.pragmas[1].rule, "lock-order");
+        assert_eq!(f.pragmas[1].reason, None, "missing reason is recorded as such");
+        assert_eq!(f.pragmas[2].reason, None, "empty reason counts as missing");
+    }
+
+    #[test]
+    fn test_regions_cover_gated_items() {
+        let src = "\
+fn prod() {\n\
+    x.unwrap();\n\
+}\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    #[test]\n\
+    fn t() {\n\
+        y.unwrap();\n\
+    }\n\
+}\n\
+fn prod2() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.in_test_code(2));
+        assert!(f.in_test_code(4));
+        assert!(f.in_test_code(8));
+        assert!(!f.in_test_code(11));
+    }
+
+    #[test]
+    fn cfg_not_test_is_production() {
+        let f = SourceFile::parse("x.rs", "#[cfg(not(test))]\nfn p() {\n    q();\n}\n");
+        assert!(!f.in_test_code(3));
+    }
+}

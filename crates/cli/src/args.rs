@@ -130,6 +130,19 @@ pub struct LoadgenArgs {
     pub seed: u64,
 }
 
+/// Parsed options for `pmx audit`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditOptions {
+    /// Workspace root to scan.
+    pub root: String,
+    /// Emit machine-readable JSON lines instead of the human report.
+    pub json: bool,
+    /// Fail on warnings too (the CI mode).
+    pub deny_warnings: bool,
+    /// Print the rule catalog and exit.
+    pub list_rules: bool,
+}
+
 /// Parse error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError(pub String);
@@ -472,6 +485,30 @@ pub fn parse_loadgen(argv: &[String]) -> Result<LoadgenArgs, ParseError> {
     Ok(LoadgenArgs { addr, base, rules, tenants, phases, batches, batch, samples, seed })
 }
 
+/// Parses `pmx audit` arguments.
+pub fn parse_audit(argv: &[String]) -> Result<AuditOptions, ParseError> {
+    let mut root = ".".to_string();
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut list_rules = false;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--root" => {
+                root = it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| ParseError("--root expects a value".into()))?;
+            }
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--list-rules" => list_rules = true,
+            other => return Err(ParseError(format!("unknown flag `{other}`"))),
+        }
+    }
+    Ok(AuditOptions { root, json, deny_warnings, list_rules })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -628,6 +665,20 @@ mod tests {
             parse_loadgen(&argv("--addr x --ell 5")).is_err(),
             "engine flags need a source"
         );
+    }
+
+    #[test]
+    fn audit_options() {
+        let o = parse_audit(&argv("")).unwrap();
+        assert_eq!(o.root, ".", "scans the current workspace by default");
+        assert!(!o.json && !o.deny_warnings && !o.list_rules);
+
+        let o = parse_audit(&argv("--root /ws --json --deny-warnings --list-rules")).unwrap();
+        assert_eq!(o.root, "/ws");
+        assert!(o.json && o.deny_warnings && o.list_rules);
+
+        assert!(parse_audit(&argv("--root")).is_err(), "--root needs a value");
+        assert!(parse_audit(&argv("--frobnicate")).is_err());
     }
 
     #[test]

@@ -1,0 +1,23 @@
+//! `pmx audit` — run the pm-audit static-analysis pass over the workspace.
+
+use std::path::Path;
+
+use crate::args::AuditOptions;
+
+/// Runs the pass. `Ok(true)` = clean, `Ok(false)` = findings (the caller
+/// exits nonzero), `Err` = the scan itself failed.
+pub fn run(options: &AuditOptions) -> Result<bool, Box<dyn std::error::Error>> {
+    if options.list_rules {
+        for (id, summary) in pm_audit::rules::catalog() {
+            println!("{id:18} {summary}");
+        }
+        return Ok(true);
+    }
+    let report = pm_audit::audit_workspace(Path::new(&options.root))?;
+    if options.json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    Ok(report.is_clean(options.deny_warnings))
+}

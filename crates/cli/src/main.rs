@@ -55,6 +55,14 @@
 //!     Extra options: --tenants N, --phases N, --batches N, --batch N,
 //!     --samples N, --seed N.
 //!
+//! pmx audit [options]
+//!     Run the project's static-analysis pass (pm-audit) over the
+//!     workspace: lock-order, determinism, panic-policy, error-code-range
+//!     and shim-hygiene rules with `file:line` diagnostics. Exits nonzero
+//!     on unsuppressed findings. Options: --root DIR [default: .],
+//!     --json (machine-readable lines), --deny-warnings (CI mode),
+//!     --list-rules.
+//!
 //!     --input FILE        CSV of categorical microdata; last column is the
 //!                         sensitive attribute, all others quasi-identifiers
 //!                         (domains inferred). Alternatively:
@@ -72,6 +80,7 @@
 use std::process::ExitCode;
 
 mod args;
+mod audit;
 mod compile;
 mod infer;
 mod quantify;
@@ -170,10 +179,24 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("audit") => match args::parse_audit(&argv[1..]) {
+            Ok(options) => match audit::run(&options) {
+                Ok(true) => ExitCode::SUCCESS,
+                Ok(false) => ExitCode::FAILURE,
+                Err(e) => {
+                    eprintln!("pmx: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                eprintln!("pmx: {e}");
+                ExitCode::FAILURE
+            }
+        },
         _ => {
             eprintln!(
-                "usage: pmx <demo|quantify|compile|session|serve|loadgen> [options]   \
-                 (see --help in source header)"
+                "usage: pmx <demo|quantify|compile|compact|session|serve|loadgen|audit> \
+                 [options]   (see --help in source header)"
             );
             ExitCode::FAILURE
         }

@@ -222,7 +222,7 @@ impl CompiledTable {
     /// When the table later changes, advance the artifact with
     /// [`CompiledTable::apply`] instead of rebuilding.
     pub fn build(table: PublishedTable, config: EngineConfig) -> Result<Self, PmError> {
-        let start = Instant::now();
+        let start = Instant::now(); // pm-audit: allow(determinism, reason = "wall-clock telemetry only: feeds solve/build duration stats, never the estimate bytes")
         let mut artifact = Self::build_shell(table, config);
         artifact.solve_baseline()?;
         artifact.stats.build = start.elapsed();
@@ -232,7 +232,7 @@ impl CompiledTable {
     /// Solves (or closed-forms) the knowledge-free baseline into
     /// `bucket_baselines`, upgrading a shell into a servable artifact.
     fn solve_baseline(&mut self) -> Result<(), PmError> {
-        let baseline_start = Instant::now();
+        let baseline_start = Instant::now(); // pm-audit: allow(determinism, reason = "wall-clock telemetry only: feeds solve/build duration stats, never the estimate bytes")
         let mut estats = EngineStats::default();
         let mut stats = RefreshStats::default();
         let core = self.core();
@@ -288,7 +288,7 @@ impl CompiledTable {
     /// is never served: a deferred session's first refresh writes every
     /// bucket (solved or closed-form) before its estimate is readable.
     pub(crate) fn build_shell(table: PublishedTable, config: EngineConfig) -> Self {
-        let start = Instant::now();
+        let start = Instant::now(); // pm-audit: allow(determinism, reason = "wall-clock telemetry only: feeds solve/build duration stats, never the estimate bytes")
         let m = table.num_buckets();
         let index = Arc::new(TermIndex::build(&table));
         let bucket_rows: Vec<Arc<Vec<Constraint>>> = (0..m)
@@ -434,7 +434,7 @@ impl CompiledTable {
     /// epoch is a full rebuild (same result, none of the savings).
     pub fn apply(&self, delta: &TableDelta) -> Result<Self, PmError> {
         assert!(self.has_baseline, "cannot apply a delta to an internal shell");
-        let start = Instant::now();
+        let start = Instant::now(); // pm-audit: allow(determinism, reason = "wall-clock telemetry only: feeds solve/build duration stats, never the estimate bytes")
         let core = self.core();
 
         // Stage the post-delta table; any failure leaves `self` untouched.
@@ -481,7 +481,7 @@ impl CompiledTable {
             bucket_terms[b] = Arc::new(BucketTerms::build(table.bucket(b)));
         }
         let index = Arc::new(TermIndex::from_buckets(bucket_terms));
-        let baseline_start = Instant::now();
+        let baseline_start = Instant::now(); // pm-audit: allow(determinism, reason = "wall-clock telemetry only: feeds solve/build duration stats, never the estimate bytes")
         for &b in &touched {
             bucket_rows[b] = Arc::new(bucket_invariant_rows(
                 table.bucket(b),

@@ -576,7 +576,7 @@ impl Engine {
         if kb.has_individual_knowledge() {
             return Err(PmError::RequiresIndividualEngine);
         }
-        let start = std::time::Instant::now();
+        let start = std::time::Instant::now(); // pm-audit: allow(determinism, reason = "wall-clock telemetry only: feeds solve/build duration stats, never the estimate bytes")
         let mut analyst = Analyst::new_deferred(table.clone(), self.config.clone());
         analyst
             .add_knowledge_batch(kb.items())

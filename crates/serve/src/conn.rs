@@ -71,10 +71,18 @@ pub(crate) fn serve_connection(stream: TcpStream, registry: &Arc<Registry>) {
     let (tx, rx) = sync_channel::<Vec<u8>>(limits.write_queue_frames.max(1));
     let dead = Arc::new(AtomicBool::new(false));
     let queue = WriteQueue { tx, dead: Arc::clone(&dead) };
-    let writer = thread::Builder::new()
+    // Thread exhaustion is a resource failure, not a bug: give this
+    // connection up cleanly rather than panicking the accept worker.
+    let writer = match thread::Builder::new()
         .name("pmx-serve-writer".into())
         .spawn(move || writer_loop(write_stream, &rx))
-        .expect("spawn writer thread");
+    {
+        Ok(handle) => handle,
+        Err(_) => {
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+    };
 
     reader_loop(&stream, registry, &limits.clone(), &queue);
 

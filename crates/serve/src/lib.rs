@@ -49,3 +49,4 @@ pub mod loadgen;
 pub mod protocol;
 pub mod registry;
 pub mod server;
+mod sync;

@@ -12,7 +12,8 @@
 //!   swap the pointer only after they succeed — so a query observes either
 //!   the whole previous estimate or the whole next one, never a mix.
 //! * **Epochs are a chain.** [`Registry::apply_delta`] locks the chain,
-//!   applies the [`TableDelta`] to the newest [`CompiledTable`], journals
+//!   applies the [`TableDelta`](privacy_maxent::delta::TableDelta) to the
+//!   newest [`CompiledTable`], journals
 //!   through the [`EpochWal`] **before** publishing (the same
 //!   journal-then-publish order `persist` recovery assumes), then pushes
 //!   the new epoch. Sessions catch up lazily: the next session-mutating
@@ -41,6 +42,7 @@ use privacy_maxent::persist::EpochWal;
 use crate::protocol::{
     ErrorCode, HelloInfo, RefreshSummary, ReportSummary, Request, Response, WireDeltaOp,
 };
+use crate::sync;
 
 /// Admission-control and framing limits. Everything here sheds load with a
 /// typed protocol error instead of a stall.
@@ -142,7 +144,7 @@ impl Tenant {
     /// queries never wait on a refresh.
     #[must_use]
     pub fn snapshot(&self) -> Arc<Estimate> {
-        Arc::clone(&self.served.read().expect("snapshot lock poisoned").estimate)
+        Arc::clone(&sync::read(&self.served).estimate)
     }
 }
 
@@ -159,6 +161,7 @@ struct Chain {
 
 impl Chain {
     fn latest(&self) -> Arc<CompiledTable> {
+        // pm-audit: allow(panic-policy, reason = "Registry::new seeds one epoch and prune_below retains at least one, so the vec is never empty")
         Arc::clone(self.epochs.last().expect("chain is never empty"))
     }
 
@@ -182,7 +185,10 @@ impl Chain {
 ///
 /// Lock order: acquiring `chain` while holding a `tenants` guard is
 /// **forbidden** — [`Registry::apply_delta`] holds `chain` and then reads
-/// `tenants`, so the only safe order is chain first (or neither).
+/// `tenants`, so the only safe order is chain first (or neither). The
+/// `lock-order` rule in `pm-audit` (run via `pmx audit` and the tier-1
+/// `test_audit_workspace` suite) enforces this mechanically: any chain
+/// acquisition lexically inside a live `tenants` guard scope is flagged.
 pub struct Registry {
     chain: Mutex<Chain>,
     tenants: RwLock<HashMap<String, Arc<Tenant>>>,
@@ -211,19 +217,19 @@ impl Registry {
     /// The newest epoch's artifact.
     #[must_use]
     pub fn latest(&self) -> Arc<CompiledTable> {
-        self.chain.lock().expect("chain lock poisoned").latest()
+        sync::lock(&self.chain).latest()
     }
 
     /// Resident tenant sessions.
     #[must_use]
     pub fn tenant_count(&self) -> usize {
-        self.tenants.read().expect("tenant lock poisoned").len()
+        sync::read(&self.tenants).len()
     }
 
     /// Looks up or creates the resident session for `tenant`, enforcing
     /// the [`Limits::max_tenants`] cap.
     pub fn open_tenant(&self, tenant: &str) -> Result<Arc<Tenant>, ServeError> {
-        if let Some(t) = self.tenants.read().expect("tenant lock poisoned").get(tenant) {
+        if let Some(t) = sync::read(&self.tenants).get(tenant) {
             return Ok(Arc::clone(t));
         }
         // Lock order: chain before tenants, never the reverse —
@@ -234,7 +240,7 @@ impl Registry {
         // just starts one epoch behind and catches up lazily like any
         // other.
         let latest = self.latest();
-        let mut tenants = self.tenants.write().expect("tenant lock poisoned");
+        let mut tenants = sync::write(&self.tenants);
         if let Some(t) = tenants.get(tenant) {
             return Ok(Arc::clone(t)); // lost the race to another connection
         }
@@ -255,19 +261,24 @@ impl Registry {
     /// assumes. Returns the new epoch number.
     pub fn apply_delta(&self, ops: Vec<WireDeltaOp>) -> Result<u64, ServeError> {
         let delta = WireDeltaOp::into_delta(ops);
-        let mut chain = self.chain.lock().expect("chain lock poisoned");
+        let mut chain = sync::lock(&self.chain);
         let latest = chain.latest();
         let next = latest.apply(&delta).map_err(|e| app_error(&e))?;
         let epoch = next.epoch();
         if let Some(wal) = chain.wal.as_mut() {
-            let applied = next.applied_delta().expect("a fresh successor carries its delta");
+            let applied = next.applied_delta().ok_or_else(|| {
+                ServeError::new(
+                    ErrorCode::App,
+                    "freshly applied epoch carries no delta payload to journal",
+                )
+            })?;
             wal.append(epoch, &delta, applied).map_err(|e| app_error(&e))?;
         }
         chain.epochs.push(Arc::new(next));
 
         // Prune epochs every resident session has already rebased past.
         let min_epoch = {
-            let tenants = self.tenants.read().expect("tenant lock poisoned");
+            let tenants = sync::read(&self.tenants);
             tenants
                 .values()
                 .map(|t| t.epoch.load(Ordering::Acquire))
@@ -283,7 +294,7 @@ impl Registry {
     fn catch_up(&self, session: &mut Analyst) -> Result<(), ServeError> {
         loop {
             let target = {
-                let chain = self.chain.lock().expect("chain lock poisoned");
+                let chain = sync::lock(&self.chain);
                 let current = session.epoch();
                 if current >= chain.base + chain.epochs.len() as u64 - 1 {
                     return Ok(());
@@ -331,7 +342,7 @@ impl Registry {
                 Ok(Response::Batch { ps })
             }
             Request::Report => {
-                let session = tenant.session.lock().expect("session lock poisoned");
+                let session = sync::lock(&tenant.session);
                 let report = session.report();
                 Ok(Response::Report(ReportSummary {
                     knowledge_items: report.knowledge_items as u64,
@@ -348,7 +359,7 @@ impl Registry {
                 }
                 let knowledge: Vec<_> =
                     items.iter().map(|k| k.clone().into_knowledge()).collect();
-                let mut session = tenant.session.lock().expect("session lock poisoned");
+                let mut session = sync::lock(&tenant.session);
                 self.catch_up(&mut session)?;
                 tenant.epoch.store(session.epoch(), Ordering::Release);
                 let handles =
@@ -358,7 +369,7 @@ impl Registry {
                 })
             }
             Request::Remove { handle } => {
-                let mut session = tenant.session.lock().expect("session lock poisoned");
+                let mut session = sync::lock(&tenant.session);
                 self.catch_up(&mut session)?;
                 tenant.epoch.store(session.epoch(), Ordering::Release);
                 session
@@ -367,13 +378,13 @@ impl Registry {
                 Ok(Response::Removed)
             }
             Request::Refresh => {
-                let mut session = tenant.session.lock().expect("session lock poisoned");
+                let mut session = sync::lock(&tenant.session);
                 self.catch_up(&mut session)?;
                 tenant.epoch.store(session.epoch(), Ordering::Release);
                 let stats = session.refresh().map_err(|e| app_error(&e))?;
                 // Publish the refreshed estimate only after success; queries
                 // in flight keep their old snapshot untouched.
-                *tenant.served.write().expect("snapshot lock poisoned") = Served {
+                *sync::write(&tenant.served) = Served {
                     estimate: session.snapshot(),
                     buckets: session.artifact().table().num_buckets() as u64,
                 };
@@ -387,12 +398,12 @@ impl Registry {
             }
             Request::Fork { tenant: target } => {
                 let fork = {
-                    let mut session = tenant.session.lock().expect("session lock poisoned");
+                    let mut session = sync::lock(&tenant.session);
                     self.catch_up(&mut session)?;
                     tenant.epoch.store(session.epoch(), Ordering::Release);
                     session.fork()
                 };
-                let mut tenants = self.tenants.write().expect("tenant lock poisoned");
+                let mut tenants = sync::write(&self.tenants);
                 if tenants.contains_key(target) {
                     return Err(ServeError::new(
                         ErrorCode::TenantExists,
@@ -419,11 +430,11 @@ impl Registry {
     }
 
     /// The hello payload for a freshly bound tenant. Every field is read
-    /// from one published [`Served`] state, so the advertised shape always
+    /// from one published `Served` state, so the advertised shape always
     /// corresponds to the epoch it names even while deltas land.
     #[must_use]
     pub fn hello_info(&self, tenant: &Tenant) -> HelloInfo {
-        let served = tenant.served.read().expect("snapshot lock poisoned");
+        let served = sync::read(&tenant.served);
         HelloInfo {
             epoch: served.estimate.epoch(),
             buckets: served.buckets,
@@ -432,6 +443,19 @@ impl Registry {
         }
     }
 }
+
+// Compile-time guarantee that everything connection threads share across
+// the registry is `Send + Sync` (same pattern as pm-linalg's matrix types):
+// a field change that silently loses the bound becomes a build error here,
+// not a distant trait-bound error at a spawn site.
+const _: () = {
+    const fn send_sync<T: Send + Sync>() {}
+    send_sync::<Registry>();
+    send_sync::<Tenant>();
+    send_sync::<Served>();
+    send_sync::<Limits>();
+    send_sync::<ServeError>();
+};
 
 fn oversized(what: &str, got: usize, cap: usize) -> ServeError {
     ServeError::new(

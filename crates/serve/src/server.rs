@@ -75,8 +75,7 @@ impl Server {
             let shared = Arc::clone(&shared);
             thread::Builder::new()
                 .name("pmx-serve-accept".into())
-                .spawn(move || accept_loop(&listener, &registry, &shutdown, &shared))
-                .expect("spawn accept thread")
+                .spawn(move || accept_loop(&listener, &registry, &shutdown, &shared))?
         };
         Ok(Self { addr, registry, shutdown, accept: Some(accept), shared })
     }
@@ -117,7 +116,7 @@ impl Server {
             }
         }
         let workers = {
-            let mut w = self.shared.workers.lock().expect("worker list poisoned");
+            let mut w = crate::sync::lock(&self.shared.workers);
             std::mem::take(&mut *w)
         };
         for handle in workers {
@@ -131,6 +130,13 @@ impl Drop for Server {
         self.shutdown();
     }
 }
+
+// The server handle crosses threads in tests and embedders; keep the
+// bound a compile-time fact (see the matching assert in `registry`).
+const _: () = {
+    const fn send_sync<T: Send + Sync>() {}
+    send_sync::<Server>();
+};
 
 fn accept_loop(
     listener: &TcpListener,

@@ -1,0 +1,61 @@
+//! Poison-recovering lock acquisition for the serve hot paths.
+//!
+//! `Mutex::lock().expect(…)` turns one panicked worker into a cascade:
+//! every later acquisition of the poisoned lock panics too, and a
+//! multi-tenant server loses *all* tenants to one bug. These helpers
+//! recover the guard with [`PoisonError::into_inner`] instead. That is
+//! sound here because everything the serve layer guards is updated with a
+//! publish-after-success discipline — the served snapshot is a single
+//! assignment after a refresh succeeds, the epoch chain pushes its new
+//! epoch as the final step, the worker list is append/drain — so the state
+//! a panicking thread leaves behind is the consistent pre-update state,
+//! and continuing to serve it is strictly better than poisoning every
+//! other tenant. (The `panic-policy` audit rule forbids new panic sites in
+//! this layer, so poisoning can only originate below the serve crate.)
+
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Locks `m`, recovering the guard if a previous holder panicked.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Read-locks `l`, recovering the guard if a previous writer panicked.
+pub(crate) fn read<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-locks `l`, recovering the guard if a previous holder panicked.
+pub(crate) fn write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn guards_recover_from_poisoning() {
+        let m = Arc::new(Mutex::new(7));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.lock().is_err(), "the mutex really is poisoned");
+        assert_eq!(*lock(&m), 7, "the helper still hands out the guard");
+
+        let l = Arc::new(RwLock::new(1));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(*read(&l), 1);
+        *write(&l) = 2;
+        assert_eq!(*read(&l), 2);
+    }
+}

@@ -40,7 +40,7 @@ pub fn gradient_descent(
     cfg: &GradientDescentConfig,
 ) -> Solution {
     let n = obj.dim();
-    let start = Instant::now();
+    let start = Instant::now(); // pm-audit: allow(determinism, reason = "wall-clock telemetry only: feeds solve/build duration stats, never the estimate bytes")
     let mut x = x0.to_vec();
     let mut grad = vec![0.0; n];
     let mut f = obj.eval(&x, &mut grad);

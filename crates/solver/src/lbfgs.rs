@@ -56,7 +56,7 @@ impl Lbfgs {
         let n = obj.dim();
         assert_eq!(x0.len(), n, "x0 dimension mismatch");
         let cfg = &self.config;
-        let start = Instant::now();
+        let start = Instant::now(); // pm-audit: allow(determinism, reason = "wall-clock telemetry only: feeds solve/build duration stats, never the estimate bytes")
 
         let mut x = x0.to_vec();
         let mut grad = vec![0.0; n];

@@ -86,7 +86,7 @@ fn cholesky_solve(l: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
 pub fn newton_maxent(dual: &MaxEntDual, lambda0: &[f64], cfg: &NewtonConfig) -> Solution {
     let w = dual.num_constraints();
     assert_eq!(lambda0.len(), w);
-    let start = Instant::now();
+    let start = Instant::now(); // pm-audit: allow(determinism, reason = "wall-clock telemetry only: feeds solve/build duration stats, never the estimate bytes")
     let a = dual.matrix();
 
     let mut lambda = lambda0.to_vec();

@@ -70,7 +70,7 @@ pub fn gis_from(
 ) -> Solution {
     let a = dual.matrix();
     check_nonnegative(a);
-    let start = Instant::now();
+    let start = Instant::now(); // pm-audit: allow(determinism, reason = "wall-clock telemetry only: feeds solve/build duration stats, never the estimate bytes")
     let n = a.ncols();
     let w = a.nrows();
 
@@ -259,7 +259,7 @@ pub fn iis(dual: &MaxEntDual, cfg: &ScalingConfig) -> Solution {
 pub fn iis_from(dual: &MaxEntDual, cfg: &ScalingConfig, lambda0: &[f64]) -> Solution {
     let a = dual.matrix();
     check_nonnegative(a);
-    let start = Instant::now();
+    let start = Instant::now(); // pm-audit: allow(determinism, reason = "wall-clock telemetry only: feeds solve/build duration stats, never the estimate bytes")
     let n = a.ncols();
     let w = a.nrows();
 

@@ -1,0 +1,9 @@
+// Known-bad fixture for the determinism rule: wall-clock reads and
+// hash-ordered iteration on the solve path.
+fn solve_badly(counts: HashMap<u64, f64>) {
+    let started = Instant::now();
+    let stamp = SystemTime::now();
+    for (k, v) in counts.iter() {
+        accumulate(k, v);
+    }
+}

@@ -1,0 +1,10 @@
+// Known-bad fixture for the error-code-range rule: a duplicated
+// discriminant and a Fatal-documented variant in the application range.
+pub enum ErrorCode {
+    /// Frame too large. Fatal.
+    FrameTooLarge = 1,
+    /// Handshake missing. Fatal.
+    HandshakeRequired = 1,
+    /// Slow consumer shed. Fatal.
+    SlowConsumer = 108,
+}

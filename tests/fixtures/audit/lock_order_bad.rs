@@ -1,0 +1,9 @@
+// Known-bad fixture for the lock-order rule: the chain lock must never be
+// acquired while a `tenants` guard is live (AB-BA with apply_delta).
+impl Registry {
+    fn open_tenant_badly(&self) {
+        let mut tenants = self.tenants.write();
+        let latest = self.latest();
+        tenants.insert(latest);
+    }
+}

@@ -1,0 +1,17 @@
+// Known-bad fixture for the panic-policy rule: panic sites in the serve
+// hot path, plus a test module the rule must exempt.
+fn handle(buf: &[u8]) {
+    let first = buf[0];
+    let n = parse(buf).unwrap();
+    let m = decode(buf).expect("decode");
+    panic!("boom");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v = vec![1];
+        assert_eq!(v[0], parse(&v).unwrap());
+    }
+}

@@ -1,0 +1,7 @@
+// Pragma-hygiene fixture: a reasonless pragma must not suppress, an
+// unknown rule id is a typo, and an unused pragma is stale.
+fn f() {
+    let start = Instant::now(); // pm-audit: allow(determinism)
+    let x = compute(); // pm-audit: allow(determinsm, reason = "typo'd rule id")
+    let y = more(); // pm-audit: allow(lock-order, reason = "suppresses nothing here")
+}

@@ -1,0 +1,8 @@
+// Suppression round-trip fixture: every violation below carries a valid
+// pragma, so auditing this file yields zero diagnostics and two
+// suppressions.
+fn timed_solve() {
+    let start = Instant::now(); // pm-audit: allow(determinism, reason = "telemetry only")
+    // pm-audit: allow(determinism, reason = "stats stamp, not result bytes")
+    let stamp = SystemTime::now();
+}

@@ -20,10 +20,13 @@ pub const SUMMARY: &str =
 /// one under a tenants guard deadlocks exactly like a direct `chain.lock()`.
 const CHAIN_LOCKING_CALLS: &[&str] = &["latest", "apply_delta", "catch_up"];
 
-/// Scope: the whole serve crate.
+/// Scope: the whole serve crate, plus the reactor crate — its workers call
+/// back into the registry (`Registry::dispatch` via the serve `Service`
+/// impl), so reactor-side code holding a `tenants` guard is bound by the
+/// same order.
 #[must_use]
 pub fn applies(rel_path: &str) -> bool {
-    rel_path.starts_with("crates/serve/src/")
+    rel_path.starts_with("crates/serve/src/") || rel_path.starts_with("crates/reactor/src/")
 }
 
 /// How long an acquired `tenants` guard stays live, lexically.

@@ -12,8 +12,10 @@ use crate::source::{Diagnostic, Severity, SourceFile};
 pub const ID: &str = "panic-policy";
 /// Catalog summary.
 pub const SUMMARY: &str =
-    "pm-serve conn/registry/server: no unwrap/expect/panic!/indexing panics \
-     in non-test code (a panic in one worker poisons every tenant)";
+    "pm-serve hot modules + the pm-reactor event loop: no unwrap/expect/\
+     panic!/indexing panics in non-test code (a panic in one worker \
+     poisons every tenant; a panic on the reactor thread kills every \
+     connection)";
 
 /// Methods that panic on the `Err`/`None` arm.
 const PANICKING_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
@@ -29,15 +31,21 @@ const NON_INDEX_KEYWORDS: &[&str] = &[
     "static", "const", "type", "enum", "struct", "fn", "match", "if", "else", "move", "box",
 ];
 
-/// Scope: the serve crate's connection, registry and server modules — the
-/// code that runs per-request on shared state. (`loadgen` is a test
-/// client; `protocol` is pure encode/decode with no shared locks.)
+/// Scope: the serve crate's per-request modules on shared state — the
+/// connection/registry/server trio plus the reactor-backend service — and
+/// the whole `pm-reactor` crate, whose single event-loop thread serves
+/// *every* connection (a panic there is a whole-server outage, one step
+/// worse than a poisoned lock). (`loadgen` is a test client; `protocol`
+/// is pure encode/decode with no shared locks.)
 #[must_use]
 pub fn applies(rel_path: &str) -> bool {
     matches!(
         rel_path,
-        "crates/serve/src/conn.rs" | "crates/serve/src/registry.rs" | "crates/serve/src/server.rs"
-    )
+        "crates/serve/src/conn.rs"
+            | "crates/serve/src/registry.rs"
+            | "crates/serve/src/server.rs"
+            | "crates/serve/src/reactor.rs"
+    ) || rel_path.starts_with("crates/reactor/src/")
 }
 
 /// The check.
@@ -170,10 +178,15 @@ mod tests {
     }
 
     #[test]
-    fn scope_is_the_three_hot_modules() {
+    fn scope_is_the_hot_modules_and_the_reactor_crate() {
         assert!(applies("crates/serve/src/registry.rs"));
         assert!(applies("crates/serve/src/server.rs"));
+        assert!(applies("crates/serve/src/reactor.rs"));
+        assert!(applies("crates/reactor/src/reactor.rs"));
+        assert!(applies("crates/reactor/src/slab.rs"));
+        assert!(applies("crates/reactor/src/sys.rs"));
         assert!(!applies("crates/serve/src/protocol.rs"));
         assert!(!applies("crates/serve/src/loadgen.rs"));
+        assert!(!applies("crates/reactor/tests/test_reactor_echo.rs"));
     }
 }

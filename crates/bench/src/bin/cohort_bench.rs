@@ -1,0 +1,179 @@
+//! `cohort_bench` — open-loop idle-cohort scaling bench of the reactor
+//! backend.
+//!
+//! ```text
+//! cargo run --release -p pm-bench --bin cohort_bench -- [options]
+//!
+//!     --connections N     handshaken connections to hold     [default: 5000]
+//!     --tenants N         tenant ids the cohort hashes into  [default: 64]
+//!     --rounds N          ping sweeps over the full cohort   [default: 3]
+//!     --workers N         reactor dispatch workers           [default: 4]
+//!     --out PATH          JSON report path      [default: BENCH_cohort.json]
+//!     --min-conns N       fail unless the cohort reached N connections
+//!                                                            [default: off]
+//!     --max-threads N     fail unless the server held the cohort on at
+//!                         most N fixed threads               [default: off]
+//!     --max-accept-ratio X  fail when accept p50 (last decile / first
+//!                         decile) exceeds X                  [default: off]
+//!     --max-ping-ratio X  fail when ping p50 (last sweep / first sweep)
+//!                         exceeds X                          [default: off]
+//! ```
+//!
+//! The ratio gates measure *flatness*: a server whose accept or ping cost
+//! grows with cohort size fails them long before it runs out of anything.
+//! Bounds should stay generous — `poll(2)` rescans every registered fd per
+//! cycle, so some O(n) drift is inherent to the backend; the gate exists to
+//! catch super-linear regressions (lock convoys, per-connection threads
+//! sneaking back in), not scheduler noise.
+
+use std::process::ExitCode;
+
+use pm_bench::cohort::{run, CohortBenchConfig};
+
+struct Gates {
+    min_conns: Option<usize>,
+    max_threads: Option<usize>,
+    max_accept_ratio: Option<f64>,
+    max_ping_ratio: Option<f64>,
+}
+
+fn parse(argv: &[String]) -> Result<(CohortBenchConfig, String, Gates), String> {
+    let mut cfg = CohortBenchConfig::default();
+    let mut out = "BENCH_cohort.json".to_string();
+    let mut gates = Gates {
+        min_conns: None,
+        max_threads: None,
+        max_accept_ratio: None,
+        max_ping_ratio: None,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("{name} expects a value"))
+        };
+        match flag.as_str() {
+            "--connections" => {
+                cfg.connections = value("--connections")?
+                    .parse()
+                    .map_err(|_| "bad --connections".to_string())?;
+            }
+            "--tenants" => {
+                cfg.tenants =
+                    value("--tenants")?.parse().map_err(|_| "bad --tenants".to_string())?;
+            }
+            "--rounds" => {
+                cfg.rounds =
+                    value("--rounds")?.parse().map_err(|_| "bad --rounds".to_string())?;
+            }
+            "--workers" => {
+                cfg.workers =
+                    value("--workers")?.parse().map_err(|_| "bad --workers".to_string())?;
+            }
+            "--out" => out = value("--out")?,
+            "--min-conns" => {
+                gates.min_conns = Some(
+                    value("--min-conns")?.parse().map_err(|_| "bad --min-conns".to_string())?,
+                );
+            }
+            "--max-threads" => {
+                gates.max_threads = Some(
+                    value("--max-threads")?
+                        .parse()
+                        .map_err(|_| "bad --max-threads".to_string())?,
+                );
+            }
+            "--max-accept-ratio" => {
+                gates.max_accept_ratio = Some(
+                    value("--max-accept-ratio")?
+                        .parse()
+                        .map_err(|_| "bad --max-accept-ratio".to_string())?,
+                );
+            }
+            "--max-ping-ratio" => {
+                gates.max_ping_ratio = Some(
+                    value("--max-ping-ratio")?
+                        .parse()
+                        .map_err(|_| "bad --max-ping-ratio".to_string())?,
+                );
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if cfg.connections == 0 || cfg.tenants == 0 || cfg.workers == 0 {
+        return Err("--connections, --tenants and --workers must be positive".to_string());
+    }
+    Ok((cfg, out, gates))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (cfg, out, gates) = match parse(&argv) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("cohort_bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = run(&cfg);
+    report.print_table();
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("cohort_bench: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("\nwrote {out}");
+
+    let mut failed = false;
+    if let Some(bar) = gates.min_conns {
+        if report.idle.connections < bar {
+            eprintln!(
+                "cohort_bench: held {} connection(s), below the --min-conns bar {bar}",
+                report.idle.connections
+            );
+            failed = true;
+        } else {
+            println!("min-conns gate passed: {} >= {bar}", report.idle.connections);
+        }
+    }
+    if let Some(bar) = gates.max_threads {
+        if report.io_threads > bar {
+            eprintln!(
+                "cohort_bench: {} fixed server thread(s) exceeds the --max-threads bar {bar}",
+                report.io_threads
+            );
+            failed = true;
+        } else {
+            println!("max-threads gate passed: {} <= {bar}", report.io_threads);
+        }
+    }
+    if let Some(bar) = gates.max_accept_ratio {
+        if report.accept_ratio > bar {
+            eprintln!(
+                "cohort_bench: accept flatness ratio {:.2} exceeds the \
+                 --max-accept-ratio bar {bar:.2}",
+                report.accept_ratio
+            );
+            failed = true;
+        } else {
+            println!(
+                "max-accept-ratio gate passed: {:.2} <= {bar:.2}",
+                report.accept_ratio
+            );
+        }
+    }
+    if let Some(bar) = gates.max_ping_ratio {
+        if report.ping_ratio > bar {
+            eprintln!(
+                "cohort_bench: ping drift ratio {:.2} exceeds the --max-ping-ratio \
+                 bar {bar:.2}",
+                report.ping_ratio
+            );
+            failed = true;
+        } else {
+            println!("max-ping-ratio gate passed: {:.2} <= {bar:.2}", report.ping_ratio);
+        }
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -13,6 +13,7 @@
 //!     --rules N           mined knowledge pool size               [default: 40]
 //!     --deltas N          table-delta epochs driven (≤ phases)    [default: 3]
 //!     --threads N         server engine threads                   [default: 1]
+//!     --backend B         serving backend: reactor|threaded  [default: reactor]
 //!     --out PATH          JSON report path           [default: BENCH_serve.json]
 //!     --min-qps X         fail unless mixed throughput reaches X queries/s.
 //!                         Self-skips with a note when the run is too short to
@@ -28,6 +29,7 @@ use std::process::ExitCode;
 
 use pm_bench::pipeline::Scale;
 use pm_bench::serve::{run, ServeBenchConfig};
+use pm_serve::server::Backend;
 
 /// Below this wall time the qps figure is quantisation noise, so an armed
 /// `--min-qps` gate self-skips (with a note) instead of flaking.
@@ -82,6 +84,13 @@ fn parse(argv: &[String]) -> Result<(ServeBenchConfig, String, Option<f64>), Str
             "--threads" => {
                 cfg.threads =
                     value("--threads")?.parse().map_err(|_| "bad --threads".to_string())?;
+            }
+            "--backend" => {
+                cfg.backend = match value("--backend")?.as_str() {
+                    "reactor" => Backend::default(),
+                    "threaded" => Backend::Threaded,
+                    other => return Err(format!("unknown backend `{other}`")),
+                };
             }
             "--out" => out = value("--out")?,
             "--min-qps" => {

@@ -13,3 +13,4 @@ pub mod concurrent;
 pub mod table_delta;
 pub mod persist;
 pub mod serve;
+pub mod cohort;

@@ -29,7 +29,7 @@ use pm_datagen::adult::{AdultGenerator, AdultGeneratorConfig};
 use pm_serve::loadgen::{self, LoadgenOptions, PhaseRecord};
 use pm_serve::protocol::{WireDeltaOp, WireKnowledge};
 use pm_serve::registry::{Limits, Registry};
-use pm_serve::server::Server;
+use pm_serve::server::{Backend, Server};
 use privacy_maxent::analyst::{Analyst, KnowledgeHandle};
 use privacy_maxent::compiled::CompiledTable;
 use privacy_maxent::delta::TableDelta;
@@ -62,6 +62,8 @@ pub struct ServeBenchConfig {
     pub deltas: usize,
     /// Engine worker threads (server side).
     pub threads: usize,
+    /// Serving backend under measurement.
+    pub backend: Backend,
 }
 
 impl Default for ServeBenchConfig {
@@ -77,6 +79,7 @@ impl Default for ServeBenchConfig {
             rules: 40,
             deltas: 3,
             threads: 1,
+            backend: Backend::default(),
         }
     }
 }
@@ -123,6 +126,8 @@ pub struct ServeBenchReport {
     pub buckets: usize,
     /// Engine worker threads on the server.
     pub threads: usize,
+    /// Serving backend, rendered (`reactor(N workers)` / `threaded`).
+    pub backend: String,
     /// Cores the host reports.
     pub available_parallelism: usize,
     /// Tenants driven.
@@ -200,7 +205,8 @@ pub fn run(cfg: &ServeBenchConfig) -> ServeBenchReport {
 
     // Boot the real server on a loopback port and drive it.
     let registry = Arc::new(Registry::new(Arc::clone(&base), None, Limits::default()));
-    let mut server = Server::bind("127.0.0.1:0", registry).expect("loopback bind succeeds");
+    let mut server = Server::bind_with("127.0.0.1:0", registry, cfg.backend)
+        .expect("loopback bind succeeds");
     let opts = LoadgenOptions {
         tenants: cfg.tenants,
         phases: cfg.phases,
@@ -238,6 +244,7 @@ pub fn run(cfg: &ServeBenchConfig) -> ServeBenchReport {
         records: data.len(),
         buckets: base.table().num_buckets(),
         threads: cfg.threads,
+        backend: cfg.backend.to_string(),
         available_parallelism: pm_parallel::available_parallelism(),
         tenants: cfg.tenants,
         phases: cfg.phases,
@@ -350,6 +357,7 @@ impl ServeBenchReport {
         s.push_str(&format!("  \"records\": {},\n", self.records));
         s.push_str(&format!("  \"buckets\": {},\n", self.buckets));
         s.push_str(&format!("  \"threads\": {},\n", self.threads));
+        s.push_str(&format!("  \"backend\": \"{}\",\n", self.backend));
         s.push_str(&format!(
             "  \"available_parallelism\": {},\n",
             self.available_parallelism
@@ -376,7 +384,7 @@ impl ServeBenchReport {
     pub fn print_table(&self) {
         println!(
             "pmx serve closed loop — {} scale, seed {}: {} records, {} buckets, \
-             {} pool rule(s), {} engine thread(s) on {} core(s)",
+             {} pool rule(s), {} engine thread(s) on {} core(s), {} backend",
             self.scale,
             self.seed,
             self.records,
@@ -384,6 +392,7 @@ impl ServeBenchReport {
             self.pool,
             self.threads,
             self.available_parallelism,
+            self.backend,
         );
         println!(
             "{} tenant(s) x {} phase(s): {} queries ({} batch frames + {} singles), \
@@ -420,6 +429,7 @@ mod tests {
             records: 100,
             buckets: 20,
             threads: 1,
+            backend: Backend::default().to_string(),
             available_parallelism: 8,
             tenants: 2,
             phases: 2,

@@ -103,6 +103,13 @@ pub struct ServeOptions {
     pub max_batch: usize,
     /// Response frames buffered per connection before a slow reader is shed.
     pub write_queue: usize,
+    /// Outbound bytes buffered per connection before a slow reader is shed
+    /// (reactor backend; the threaded backend bounds frames only).
+    pub write_buffer: usize,
+    /// Reactor worker threads (total threads = workers + 1 event loop).
+    pub workers: usize,
+    /// Use the threads-per-connection backend instead of the reactor.
+    pub threaded: bool,
 }
 
 /// Parsed options for `pmx loadgen`.
@@ -128,6 +135,11 @@ pub struct LoadgenArgs {
     pub samples: usize,
     /// Tape seed.
     pub seed: u64,
+    /// Open-loop idle mode: hold this many mostly-idle connections and
+    /// measure accept/ping latency flatness (0 = closed-loop tape mode).
+    pub idle: usize,
+    /// Ping sweeps over the idle cohort (idle mode only).
+    pub rounds: usize,
 }
 
 /// Parsed options for `pmx audit`.
@@ -355,6 +367,9 @@ pub fn parse_serve(argv: &[String]) -> Result<ServeOptions, ParseError> {
     let mut max_frame_bytes = defaults.max_frame_bytes;
     let mut max_batch = defaults.max_batch;
     let mut write_queue = defaults.write_queue_frames;
+    let mut write_buffer = defaults.write_buffer_bytes;
+    let mut workers = pm_serve::server::DEFAULT_WORKERS;
+    let mut threaded = false;
     let mut base_argv: Vec<String> = Vec::with_capacity(argv.len());
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -379,6 +394,11 @@ pub fn parse_serve(argv: &[String]) -> Result<ServeOptions, ParseError> {
             }
             "--max-batch" => max_batch = parse_num("--max-batch", value("--max-batch")?)?,
             "--write-queue" => write_queue = parse_num("--write-queue", value("--write-queue")?)?,
+            "--write-buffer" => {
+                write_buffer = parse_num("--write-buffer", value("--write-buffer")?)?;
+            }
+            "--workers" => workers = parse_num("--workers", value("--workers")?)?,
+            "--threaded" => threaded = true,
             "--bounds" => {
                 return Err(ParseError(
                     "--bounds is a quantify option; serve tenants grow knowledge \
@@ -401,6 +421,14 @@ pub fn parse_serve(argv: &[String]) -> Result<ServeOptions, ParseError> {
     }
     if max_tenants == 0 || max_connections == 0 || max_batch == 0 || write_queue == 0 {
         return Err(ParseError("serve limits must be positive".into()));
+    }
+    if workers == 0 {
+        return Err(ParseError("--workers must be positive".into()));
+    }
+    if threaded && workers != pm_serve::server::DEFAULT_WORKERS {
+        return Err(ParseError(
+            "--workers tunes the reactor backend; it has no meaning with --threaded".into(),
+        ));
     }
     let has_source = base_argv.iter().any(|f| f == "--input" || f == "--synthetic");
     let base = if has_source {
@@ -426,6 +454,9 @@ pub fn parse_serve(argv: &[String]) -> Result<ServeOptions, ParseError> {
         max_frame_bytes,
         max_batch,
         write_queue,
+        write_buffer,
+        workers,
+        threaded,
     })
 }
 
@@ -439,6 +470,8 @@ pub fn parse_loadgen(argv: &[String]) -> Result<LoadgenArgs, ParseError> {
     let mut batch = 256usize;
     let mut samples = 4usize;
     let mut seed = 0x00C0_FFEE_u64;
+    let mut idle = 0usize;
+    let mut rounds = 3usize;
     let mut base_argv: Vec<String> = Vec::with_capacity(argv.len());
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -458,6 +491,8 @@ pub fn parse_loadgen(argv: &[String]) -> Result<LoadgenArgs, ParseError> {
             "--batches" => batches = parse_num("--batches", value("--batches")?)?,
             "--batch" => batch = parse_num("--batch", value("--batch")?)?,
             "--samples" => samples = parse_num("--samples", value("--samples")?)?,
+            "--idle" => idle = parse_num("--idle", value("--idle")?)?,
+            "--rounds" => rounds = parse_num("--rounds", value("--rounds")?)?,
             "--seed" => {
                 seed = value("--seed")?
                     .parse()
@@ -471,6 +506,9 @@ pub fn parse_loadgen(argv: &[String]) -> Result<LoadgenArgs, ParseError> {
     if tenants == 0 || phases == 0 || batch == 0 {
         return Err(ParseError("--tenants, --phases and --batch must be positive".into()));
     }
+    if idle > 0 && rounds == 0 {
+        return Err(ParseError("--rounds must be positive in --idle mode".into()));
+    }
     let has_source = base_argv.iter().any(|f| f == "--input" || f == "--synthetic");
     let base = if has_source {
         Some(parse(&base_argv)?)
@@ -482,7 +520,7 @@ pub fn parse_loadgen(argv: &[String]) -> Result<LoadgenArgs, ParseError> {
     } else {
         None
     };
-    Ok(LoadgenArgs { addr, base, rules, tenants, phases, batches, batch, samples, seed })
+    Ok(LoadgenArgs { addr, base, rules, tenants, phases, batches, batch, samples, seed, idle, rounds })
 }
 
 /// Parses `pmx audit` arguments.
@@ -625,11 +663,31 @@ mod tests {
         assert_eq!(o.max_connections, 8);
         assert_eq!(o.max_batch, 1024);
         assert_eq!(o.write_queue, 32);
+        assert_eq!(o.workers, pm_serve::server::DEFAULT_WORKERS);
+        assert!(!o.threaded, "reactor is the default backend");
 
         let o = parse_serve(&argv("--artifact table.pmx")).unwrap();
         assert_eq!(o.artifact.as_deref(), Some("table.pmx"));
         assert!(o.base.is_none());
         assert_eq!(o.addr, "127.0.0.1:7171", "default listen address");
+        assert_eq!(
+            o.write_buffer,
+            pm_serve::registry::Limits::default().write_buffer_bytes
+        );
+
+        let o = parse_serve(&argv(
+            "--artifact a.pmx --workers 2 --write-buffer 1048576",
+        ))
+        .unwrap();
+        assert_eq!(o.workers, 2);
+        assert_eq!(o.write_buffer, 1 << 20);
+        let o = parse_serve(&argv("--artifact a.pmx --threaded")).unwrap();
+        assert!(o.threaded);
+        assert!(parse_serve(&argv("--artifact a.pmx --workers 0")).is_err());
+        assert!(
+            parse_serve(&argv("--artifact a.pmx --threaded --workers 2")).is_err(),
+            "--workers is a reactor knob"
+        );
 
         assert!(parse_serve(&argv("--artifact a.pmx --persist d")).is_err());
         assert!(parse_serve(&argv("--synthetic adult:100 --bounds 0,10")).is_err());
@@ -658,6 +716,13 @@ mod tests {
 
         let o = parse_loadgen(&argv("--addr 127.0.0.1:7171")).unwrap();
         assert!(o.base.is_none(), "query-only load without a source");
+        assert_eq!(o.idle, 0, "closed-loop tape mode by default");
+        assert_eq!(o.rounds, 3);
+
+        let o = parse_loadgen(&argv("--addr 127.0.0.1:7171 --idle 5000 --rounds 5")).unwrap();
+        assert_eq!(o.idle, 5000);
+        assert_eq!(o.rounds, 5);
+        assert!(parse_loadgen(&argv("--addr x --idle 10 --rounds 0")).is_err());
 
         assert!(parse_loadgen(&argv("")).is_err(), "--addr is required");
         assert!(parse_loadgen(&argv("--addr x --tenants 0")).is_err());

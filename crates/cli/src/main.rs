@@ -41,10 +41,15 @@
 //!     source compiles it, `--artifact FILE` loads a read-only snapshot,
 //!     `--persist DIR` recovers a durable snapshot + WAL directory and
 //!     journals every table-delta epoch before publishing it.
+//!     Serves on a poll(2) readiness loop by default: one event-loop
+//!     thread plus --workers N [default: 4] dispatch workers, a fixed
+//!     thread count no matter how many connections are live. --threaded
+//!     selects the original two-threads-per-connection backend instead.
 //!     Extra options: --addr HOST:PORT [default: 127.0.0.1:7171],
 //!     --max-tenants N, --max-connections N, --max-frame-bytes N,
-//!     --max-batch N, --write-queue N (admission control: each cap sheds
-//!     load with a typed protocol error instead of stalling).
+//!     --max-batch N, --write-queue N, --write-buffer BYTES (admission
+//!     control: each cap sheds load with a typed protocol error instead
+//!     of stalling).
 //!
 //! pmx loadgen --addr HOST:PORT [options]
 //!     Drive a running `pmx serve` with the deterministic closed-loop
@@ -53,7 +58,11 @@
 //!     Pass the server's data-source flags to mine a knowledge pool
 //!     (--rules N [default: 40]); omit them for a query-only load.
 //!     Extra options: --tenants N, --phases N, --batches N, --batch N,
-//!     --samples N, --seed N.
+//!     --samples N, --seed N. With --idle N the loadgen switches to the
+//!     open-loop cohort mode instead: hold N mostly-idle handshaken
+//!     connections (hashed into --tenants tenant ids) and measure
+//!     accept/ping latency flatness over --rounds N [default: 3] ping
+//!     sweeps.
 //!
 //! pmx audit [options]
 //!     Run the project's static-analysis pass (pm-audit) over the

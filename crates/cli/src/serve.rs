@@ -20,7 +20,7 @@ use pm_assoc::miner::{MinerConfig, RuleMiner};
 use pm_serve::loadgen::{self, LoadgenOptions};
 use pm_serve::protocol::WireKnowledge;
 use pm_serve::registry::{Limits, Registry};
-use pm_serve::server::Server;
+use pm_serve::server::{Backend, Server};
 use privacy_maxent::compiled::CompiledTable;
 use privacy_maxent::engine::EngineConfig;
 use privacy_maxent::knowledge::Knowledge;
@@ -90,16 +90,26 @@ pub fn start(options: &ServeOptions) -> Result<Server, Box<dyn Error>> {
         max_frame_bytes: options.max_frame_bytes,
         max_batch: options.max_batch,
         write_queue_frames: options.write_queue,
+        write_buffer_bytes: options.write_buffer,
+    };
+    let backend = if options.threaded {
+        Backend::Threaded
+    } else {
+        Backend::Reactor { workers: options.workers }
     };
     let registry = Arc::new(Registry::new(artifact, wal, limits));
-    Ok(Server::bind(options.addr.as_str(), registry)?)
+    Ok(Server::bind_with(options.addr.as_str(), registry, backend)?)
 }
 
 /// Runs `pmx serve`: bind, print the resolved address, serve until killed.
 pub fn run(options: &ServeOptions) -> Result<(), Box<dyn Error>> {
     let server = start(options)?;
+    let threads = match server.io_threads() {
+        Some(n) => format!("{n} fixed I/O thread(s)"),
+        None => "2 threads per connection".to_string(),
+    };
     println!(
-        "pmx serve listening on {} ({} tenant / {} connection caps; \
+        "pmx serve listening on {} ({} tenant / {} connection caps; {threads}; \
          kill the process to stop)",
         server.addr(),
         options.max_tenants,
@@ -135,17 +145,42 @@ fn mine_pool(base: &Options, rules: usize) -> Result<Vec<WireKnowledge>, Box<dyn
 }
 
 /// Runs `pmx loadgen` against a live server and prints the closed-loop
-/// report.
+/// (or, with `--idle N`, the open-loop cohort) report.
 pub fn run_loadgen(args: &LoadgenArgs) -> Result<(), Box<dyn Error>> {
-    let pool = match &args.base {
-        Some(base) => mine_pool(base, args.rules)?,
-        None => Vec::new(),
-    };
     let addr = args
         .addr
         .to_socket_addrs()?
         .next()
         .ok_or_else(|| format!("{} resolves to no address", args.addr))?;
+
+    if args.idle > 0 {
+        let opts = loadgen::IdleOptions {
+            connections: args.idle,
+            tenants: args.tenants,
+            rounds: args.rounds,
+        };
+        let report = loadgen::run_idle(addr, &opts)?;
+        println!(
+            "loadgen --idle: {} connection(s) held across {} tenant(s) in {:.3} s",
+            report.connections, args.tenants, report.wall_seconds,
+        );
+        println!(
+            "         accept p50 early {:.0} us / late {:.0} us; accept p99 {:.0} us",
+            report.accept_early_p50_us, report.accept_late_p50_us, report.accept_p99_us,
+        );
+        for (i, round) in report.rounds.iter().enumerate() {
+            println!(
+                "         ping sweep {i}: p50 {:.0} us, p99 {:.0} us, max {:.0} us",
+                round.p50_us, round.p99_us, round.max_us,
+            );
+        }
+        return Ok(());
+    }
+
+    let pool = match &args.base {
+        Some(base) => mine_pool(base, args.rules)?,
+        None => Vec::new(),
+    };
     let opts = LoadgenOptions {
         tenants: args.tenants,
         phases: args.phases,

@@ -1,0 +1,59 @@
+//! `pm-reactor` — std-only readiness-driven I/O for the serving stack.
+//!
+//! One event-loop thread multiplexes every connection through a raw
+//! [`poll(2)`](sys) readiness loop (the single C symbol this crate binds;
+//! std already links libc, so no `libc` crate and no new dependency — the
+//! same vendoring policy as `crates/shims/`). Connections live in a
+//! [`Slab`] of state machines: nonblocking accept → u32-LE length-prefixed
+//! frame assembly (partial frames span readiness events) → dispatch to a
+//! **fixed worker pool** → buffered nonblocking writes with a bounded
+//! [`OutBuf`] and typed shed on overflow. A self-pipe [`Waker`] lets
+//! workers and shutdown paths interrupt `poll` from any thread.
+//!
+//! The application plugs in through the [`Service`] trait; the reactor
+//! knows framing and backpressure, never the protocol. Total threads are
+//! fixed at bind time (`workers + 1`) no matter how many connections are
+//! live — that is the whole point: tens of thousands of mostly-idle
+//! sessions cost fds and buffers, not threads.
+//!
+//! Unix-only by construction (`poll(2)`, `UnixStream::pair` self-pipe).
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use pm_reactor::{Config, Outcome, Reactor, Service};
+//!
+//! struct Echo;
+//! impl Service for Echo {
+//!     type Conn = ();
+//!     fn connect(&self) -> Self::Conn {}
+//!     fn frame(&self, _conn: &mut Self::Conn, body: Vec<u8>) -> Outcome {
+//!         let mut frame = (body.len() as u32).to_le_bytes().to_vec();
+//!         frame.extend_from_slice(&body);
+//!         Outcome { frames: vec![frame], close: false }
+//!     }
+//!     fn oversized(&self, _len: usize) -> Outcome {
+//!         Outcome { frames: Vec::new(), close: true }
+//!     }
+//!     fn reject(&self) -> Option<Vec<u8>> { None }
+//!     fn drain_frame(&self) -> Option<Vec<u8>> { None }
+//!     fn shed_frame(&self, _pending: usize) -> Option<Vec<u8>> { None }
+//! }
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let reactor = Reactor::bind("127.0.0.1:0", Arc::new(Echo), Config::default())?;
+//! println!("echoing on {}", reactor.addr());
+//! # Ok(()) }
+//! ```
+
+#![warn(missing_docs)]
+
+mod outbuf;
+mod reactor;
+mod slab;
+pub mod sys;
+mod wake;
+
+pub use outbuf::OutBuf;
+pub use reactor::{Config, Outcome, Reactor, Service, FRAME_HEADER_LEN};
+pub use slab::Slab;
+pub use wake::{pair as waker_pair, WakeRx, Waker};

@@ -1,0 +1,151 @@
+//! The bounded outbound byte buffer behind each connection's nonblocking
+//! writes. Frames are appended whole; flushing writes as many bytes as
+//! the socket accepts and remembers the cursor, so one response can span
+//! many `POLLOUT` readiness events. Frame boundaries are tracked so the
+//! backpressure policy can bound *frames* and *bytes* independently.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+
+/// Pending outbound bytes for one connection.
+#[derive(Default)]
+pub struct OutBuf {
+    buf: Vec<u8>,
+    cursor: usize,
+    /// Unflushed byte counts per queued frame, oldest first.
+    frames: VecDeque<usize>,
+}
+
+impl OutBuf {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queued frames not yet fully flushed.
+    #[must_use]
+    pub fn frames_pending(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Bytes not yet flushed.
+    #[must_use]
+    pub fn bytes_pending(&self) -> usize {
+        self.buf.len().saturating_sub(self.cursor)
+    }
+
+    /// True when everything queued has reached the socket.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bytes_pending() == 0
+    }
+
+    /// Appends one complete wire frame.
+    pub fn push(&mut self, frame: &[u8]) {
+        self.buf.extend_from_slice(frame);
+        self.frames.push_back(frame.len());
+    }
+
+    /// Writes as much as the socket will take. Returns the bytes written;
+    /// `WouldBlock` stops the flush without error, any other failure is
+    /// returned. Flushed storage is reclaimed once the buffer empties.
+    pub fn flush(&mut self, mut w: impl Write) -> io::Result<usize> {
+        let mut total = 0usize;
+        while let Some(rest) = self.buf.get(self.cursor..) {
+            if rest.is_empty() {
+                break;
+            }
+            match w.write(rest) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.advance(n);
+                    total += n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if self.cursor >= self.buf.len() {
+            self.buf.clear();
+            self.cursor = 0;
+        }
+        Ok(total)
+    }
+
+    /// Advances the cursor by `n` written bytes, retiring frame
+    /// boundaries the write crossed.
+    fn advance(&mut self, mut n: usize) {
+        self.cursor += n;
+        while let Some(front) = self.frames.front_mut() {
+            if n >= *front {
+                n -= *front;
+                self.frames.pop_front();
+            } else {
+                *front -= n;
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A sink that accepts at most `cap` bytes per write and then
+    /// `WouldBlock`s, to model a congested socket.
+    struct Choked {
+        got: Vec<u8>,
+        cap: usize,
+        budget: usize,
+    }
+
+    impl Write for Choked {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.budget == 0 {
+                return Err(io::ErrorKind::WouldBlock.into());
+            }
+            let n = buf.len().min(self.cap).min(self.budget);
+            self.got.extend_from_slice(&buf[..n]);
+            self.budget -= n;
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn partial_flushes_span_calls_and_keep_frame_counts() {
+        let mut out = OutBuf::new();
+        out.push(b"aaaa");
+        out.push(b"bbbb");
+        assert_eq!(out.frames_pending(), 2);
+        assert_eq!(out.bytes_pending(), 8);
+
+        let mut sink = Choked { got: Vec::new(), cap: 3, budget: 5 };
+        let n = out.flush(&mut sink).expect("flush");
+        assert_eq!(n, 5);
+        assert_eq!(out.bytes_pending(), 3);
+        assert_eq!(out.frames_pending(), 1, "first frame fully flushed");
+
+        sink.budget = 100;
+        out.flush(&mut sink).expect("flush");
+        assert!(out.is_empty());
+        assert_eq!(out.frames_pending(), 0);
+        assert_eq!(sink.got, b"aaaabbbb");
+    }
+
+    #[test]
+    fn storage_is_reclaimed_when_drained() {
+        let mut out = OutBuf::new();
+        out.push(&[0u8; 1024]);
+        let mut sink = Choked { got: Vec::new(), cap: 4096, budget: 4096 };
+        out.flush(&mut sink).expect("flush");
+        assert!(out.is_empty());
+        out.push(b"x");
+        assert_eq!(out.bytes_pending(), 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! A minimal slab: stable `usize` tokens for per-connection state, O(1)
+//! insert/remove, vacant slots recycled through a free list. Tokens are
+//! reused, so callers that hand tokens to other threads must pair them
+//! with a generation counter (the reactor does).
+//!
+//! Every accessor is total — out-of-range or vacant tokens return `None`
+//! rather than panicking, which keeps the event loop inside the
+//! workspace's panic-policy audit rule.
+
+/// One slot: occupied payload or a recyclable hole.
+enum Entry<T> {
+    Occupied(T),
+    Vacant,
+}
+
+/// The slab.
+pub struct Slab<T> {
+    entries: Vec<Entry<T>>,
+    free: Vec<usize>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { entries: Vec::new(), free: Vec::new(), len: 0 }
+    }
+
+    /// Occupied slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no slot is occupied.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Stores `value`, returning its token.
+    pub fn insert(&mut self, value: T) -> usize {
+        self.len += 1;
+        if let Some(token) = self.free.pop() {
+            if let Some(slot) = self.entries.get_mut(token) {
+                *slot = Entry::Occupied(value);
+                return token;
+            }
+            // A free-list token outside the vector cannot happen (tokens
+            // are only pushed by `remove`), but stay total: fall through
+            // and append.
+        }
+        self.entries.push(Entry::Occupied(value));
+        self.entries.len() - 1
+    }
+
+    /// The value at `token`, if occupied.
+    #[must_use]
+    pub fn get(&self, token: usize) -> Option<&T> {
+        match self.entries.get(token) {
+            Some(Entry::Occupied(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the value at `token`, if occupied.
+    pub fn get_mut(&mut self, token: usize) -> Option<&mut T> {
+        match self.entries.get_mut(token) {
+            Some(Entry::Occupied(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Removes and returns the value at `token`; `None` if it was vacant.
+    pub fn remove(&mut self, token: usize) -> Option<T> {
+        let slot = self.entries.get_mut(token)?;
+        if matches!(slot, Entry::Vacant) {
+            return None;
+        }
+        let value = std::mem::replace(slot, Entry::Vacant);
+        self.free.push(token);
+        self.len -= 1;
+        match value {
+            Entry::Occupied(v) => Some(v),
+            Entry::Vacant => None,
+        }
+    }
+
+    /// Iterates occupied `(token, &value)` pairs in token order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> {
+        self.entries.iter().enumerate().filter_map(|(i, e)| match e {
+            Entry::Occupied(v) => Some((i, v)),
+            Entry::Vacant => None,
+        })
+    }
+
+    /// The occupied tokens, collected — for loops that mutate the slab
+    /// while walking it.
+    #[must_use]
+    pub fn tokens(&self) -> Vec<usize> {
+        self.iter().map(|(t, _)| t).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(a), Some(&"a"));
+        assert_eq!(s.get(b), Some(&"b"));
+        assert_eq!(s.remove(a), Some("a"));
+        assert_eq!(s.get(a), None);
+        assert_eq!(s.remove(a), None);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn tokens_are_recycled() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        s.remove(a);
+        let b = s.insert(2);
+        assert_eq!(a, b, "freed slot is reused");
+        assert_eq!(s.get(b), Some(&2));
+    }
+
+    #[test]
+    fn out_of_range_tokens_are_none() {
+        let mut s = Slab::<u8>::new();
+        assert!(s.get(99).is_none());
+        assert!(s.get_mut(99).is_none());
+        assert!(s.remove(99).is_none());
+    }
+
+    #[test]
+    fn iter_walks_occupied_in_token_order() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        let c = s.insert("c");
+        s.remove(b);
+        let seen: Vec<_> = s.iter().collect();
+        assert_eq!(seen, vec![(a, &"a"), (c, &"c")]);
+        assert_eq!(s.tokens(), vec![a, c]);
+    }
+}

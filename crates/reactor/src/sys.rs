@@ -1,0 +1,114 @@
+//! The one syscall std does not wrap: `poll(2)`.
+//!
+//! The workspace vendors its external *crates* as shims
+//! (`crates/shims/`); this module applies the same policy to the one C
+//! symbol the reactor needs. std already links the platform libc, so a
+//! bare `extern "C"` declaration binds `poll` without adding the `libc`
+//! crate — no new dependency, no registry access.
+//!
+//! This is the only module in the workspace that needs `unsafe`: the
+//! workspace-level `unsafe_code = "deny"` lint is overridden here, and
+//! only here, because a raw pointer + length pair crosses the FFI
+//! boundary. The wrapper below keeps the unsafety local: it takes a Rust
+//! slice, so the pointer is valid and the length is its length by
+//! construction.
+
+#![allow(unsafe_code)]
+
+use std::ffi::{c_int, c_short, c_ulong};
+use std::io;
+use std::os::fd::RawFd;
+
+/// Readable (or a peer FIN is queued behind the readable bytes).
+pub const POLLIN: c_short = 0x001;
+/// Writable without blocking.
+pub const POLLOUT: c_short = 0x004;
+/// Error condition (revents only).
+pub const POLLERR: c_short = 0x008;
+/// Peer hung up (revents only).
+pub const POLLHUP: c_short = 0x010;
+/// The fd is not open (revents only).
+pub const POLLNVAL: c_short = 0x020;
+
+/// `struct pollfd` — layout fixed by POSIX: fd, requested events, returned
+/// events.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    /// The file descriptor to watch (negative entries are ignored by the
+    /// kernel, which poll-based loops use to park a slot).
+    pub fd: RawFd,
+    /// Requested readiness (`POLLIN` / `POLLOUT`).
+    pub events: c_short,
+    /// Kernel-reported readiness; includes `POLLERR`/`POLLHUP`/`POLLNVAL`
+    /// even when not requested.
+    pub revents: c_short,
+}
+
+impl PollFd {
+    /// A fresh interest entry for `fd`.
+    #[must_use]
+    pub fn new(fd: RawFd, events: c_short) -> Self {
+        Self { fd, events, revents: 0 }
+    }
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+}
+
+/// Blocks until at least one entry is ready or `timeout_ms` elapses
+/// (negative = wait forever). Retries `EINTR` internally, so a signal
+/// never surfaces as an error. Returns the number of ready entries.
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        // SAFETY: `fds` is a live mutable slice for the duration of the
+        // call; the pointer and length describe exactly that slice, and
+        // `PollFd` is `repr(C)` with the POSIX `struct pollfd` layout.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn timeout_expires_with_no_ready_fds() {
+        let (_a, b) = UnixStream::pair().expect("pair");
+        let mut fds = [PollFd::new(b.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, 10).expect("poll");
+        assert_eq!(n, 0);
+        assert_eq!(fds[0].revents, 0);
+    }
+
+    #[test]
+    fn readable_byte_reports_pollin() {
+        let (mut a, b) = UnixStream::pair().expect("pair");
+        a.write_all(&[7]).expect("write");
+        let mut fds = [PollFd::new(b.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, 1000).expect("poll");
+        assert_eq!(n, 1);
+        assert_ne!(fds[0].revents & POLLIN, 0);
+    }
+
+    #[test]
+    fn hangup_is_reported_even_unrequested() {
+        let (a, b) = UnixStream::pair().expect("pair");
+        drop(a);
+        let mut fds = [PollFd::new(b.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, 1000).expect("poll");
+        assert_eq!(n, 1);
+        assert_ne!(fds[0].revents & (POLLIN | POLLHUP), 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! The self-pipe: a nonblocking `UnixStream` pair whose read end sits in
+//! the poll set. Any thread holding a [`Waker`] writes one byte to pull
+//! the event loop out of `poll(2)` — that is how worker completions and
+//! the shutdown flag become visible without a timeout-based busy loop.
+
+use std::io::{self, Read, Write};
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+
+/// The write end; clone freely across threads.
+#[derive(Clone)]
+pub struct Waker {
+    tx: Arc<UnixStream>,
+}
+
+impl Waker {
+    /// Nudges the event loop. A full pipe means a wakeup is already
+    /// pending, so `WouldBlock` (and any other failure) is deliberately
+    /// ignored — the loop will drain the pipe and re-check all queues.
+    pub fn wake(&self) {
+        let _ = (&*self.tx).write(&[1u8]);
+    }
+}
+
+/// The read end; owned by the event loop.
+pub struct WakeRx {
+    rx: UnixStream,
+}
+
+impl WakeRx {
+    /// The fd to register for `POLLIN`.
+    #[must_use]
+    pub fn fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+
+    /// Swallows every pending wakeup byte (nonblocking).
+    pub fn drain(&mut self) {
+        let mut sink = [0u8; 256];
+        while matches!(self.rx.read(&mut sink), Ok(n) if n > 0) {}
+    }
+}
+
+/// A connected waker pair, both ends nonblocking.
+pub fn pair() -> io::Result<(Waker, WakeRx)> {
+    let (tx, rx) = UnixStream::pair()?;
+    tx.set_nonblocking(true)?;
+    rx.set_nonblocking(true)?;
+    Ok((Waker { tx: Arc::new(tx) }, WakeRx { rx }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sys::{poll_fds, PollFd, POLLIN};
+
+    #[test]
+    fn wake_makes_the_rx_readable_and_drain_clears_it() {
+        let (waker, mut rx) = pair().expect("pair");
+        let mut fds = [PollFd::new(rx.fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 0).expect("poll"), 0, "idle pipe");
+
+        waker.wake();
+        let mut fds = [PollFd::new(rx.fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 1000).expect("poll"), 1);
+
+        rx.drain();
+        let mut fds = [PollFd::new(rx.fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 0).expect("poll"), 0, "drained");
+    }
+
+    #[test]
+    fn thousands_of_wakes_never_block() {
+        let (waker, mut rx) = pair().expect("pair");
+        for _ in 0..100_000 {
+            waker.wake(); // pipe fills; surplus wakes are dropped
+        }
+        rx.drain();
+        waker.wake();
+        let mut fds = [PollFd::new(rx.fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 1000).expect("poll"), 1);
+    }
+}

@@ -169,6 +169,37 @@ enum FrameError {
     TooLarge { len: usize },
 }
 
+/// The whole-server request semantics, shared verbatim by both backends
+/// (the threaded reader loop below and the reactor workers): handshake
+/// state machine first, then [`Registry::dispatch`]. `tenant` is this
+/// connection's handshake state and is bound by a successful hello.
+pub(crate) fn handle_request(
+    registry: &Arc<Registry>,
+    tenant: &mut Option<Arc<Tenant>>,
+    request: &Request,
+) -> Result<Response, ServeError> {
+    match (request, &*tenant) {
+        (Request::Hello { tenant: name }, None) => match registry.open_tenant(name) {
+            Ok(t) => {
+                let info = registry.hello_info(&t);
+                *tenant = Some(t);
+                Ok(Response::Hello(info))
+            }
+            Err(e) => Err(e),
+        },
+        (Request::Hello { .. }, Some(_)) => Err(ServeError {
+            code: ErrorCode::DuplicateHello,
+            detail: "this connection already completed its handshake".into(),
+        }),
+        (Request::Ping, _) => Ok(Response::Pong),
+        (_, None) => Err(ServeError {
+            code: ErrorCode::HandshakeRequired,
+            detail: "the first request on a connection must be hello".into(),
+        }),
+        (req, Some(t)) => registry.dispatch(t, req),
+    }
+}
+
 fn reader_loop(
     stream: &TcpStream,
     registry: &Arc<Registry>,
@@ -212,26 +243,7 @@ fn reader_loop(
             }
         };
 
-        let response = match (&request, &tenant) {
-            (Request::Hello { tenant: name }, None) => match registry.open_tenant(name) {
-                Ok(t) => {
-                    let info = registry.hello_info(&t);
-                    tenant = Some(t);
-                    Ok(Response::Hello(info))
-                }
-                Err(e) => Err(e),
-            },
-            (Request::Hello { .. }, Some(_)) => Err(ServeError {
-                code: ErrorCode::DuplicateHello,
-                detail: "this connection already completed its handshake".into(),
-            }),
-            (Request::Ping, _) => Ok(Response::Pong),
-            (_, None) => Err(ServeError {
-                code: ErrorCode::HandshakeRequired,
-                detail: "the first request on a connection must be hello".into(),
-            }),
-            (req, Some(t)) => registry.dispatch(t, req),
-        };
+        let response = handle_request(registry, &mut tenant, &request);
 
         let (frame, fatal) = match response {
             Ok(resp) => (encode_response(id, &resp), false),

@@ -6,7 +6,11 @@
 //! [`privacy_maxent::persist::recover`]), thousands of resident
 //! [`Analyst`](privacy_maxent::analyst::Analyst) sessions keyed by tenant
 //! id, and a length-prefixed binary protocol over plain TCP — no async
-//! runtime, one thread per live connection, queries served lock-free from
+//! runtime. The default backend is a [`pm_reactor`] readiness loop: one
+//! `poll(2)` event-loop thread plus a fixed worker pool, so total threads
+//! stay constant no matter how many connections are live; the original
+//! threads-per-connection backend remains selectable via
+//! [`server::Backend`]. Queries are served lock-free from
 //! `Arc<Estimate>` snapshots while refreshes and epoch rebases run behind
 //! them. Table deltas journal through the existing
 //! [`EpochWal`](privacy_maxent::persist::EpochWal) *before* publishing, so
@@ -38,8 +42,9 @@
 //! ```
 //!
 //! The module split mirrors the data path: [`protocol`] (codec),
-//! [`conn`](self) + [`server`] (framing and threads), [`registry`]
-//! (sessions and epochs), [`client`] and [`loadgen`] (the other end).
+//! `conn` + `reactor` + [`server`] (framing, dispatch and the two
+//! backends), [`registry`] (sessions and epochs), [`client`] and
+//! [`loadgen`] (the other end).
 
 #![warn(missing_docs)]
 
@@ -47,6 +52,7 @@ pub mod client;
 mod conn;
 pub mod loadgen;
 pub mod protocol;
+mod reactor;
 pub mod registry;
 pub mod server;
 mod sync;

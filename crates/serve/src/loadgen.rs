@@ -12,6 +12,10 @@
 //! chain, even though tenants and table deltas interleaved freely at run
 //! time. Worker 0 doubles as the delta driver, applying one delta tape at
 //! each phase boundary, so the server's epoch order equals the tape order.
+//!
+//! A second, open-loop mode ([`run_idle`]) assembles a large mostly-idle
+//! connection cohort and measures accept/ping latency flatness instead of
+//! throughput — the workload the reactor backend exists for.
 
 use std::net::SocketAddr;
 use std::sync::Mutex;
@@ -214,6 +218,121 @@ pub fn run(
     };
     report.phases.sort_by_key(|p| (p.tenant, p.phase));
     Ok(report)
+}
+
+/// Shape of one open-loop idle-cohort run ([`run_idle`]).
+#[derive(Debug, Clone)]
+pub struct IdleOptions {
+    /// Connections to open and hold (each completes a hello handshake).
+    pub connections: usize,
+    /// Distinct tenant ids the connections hash into — many connections
+    /// per tenant, like a fleet of dashboards over a few tables.
+    pub tenants: usize,
+    /// Ping sweeps over the whole cohort after it is assembled.
+    pub rounds: usize,
+}
+
+impl Default for IdleOptions {
+    fn default() -> Self {
+        Self { connections: 5000, tenants: 64, rounds: 3 }
+    }
+}
+
+/// Latency summary of one ping sweep over the cohort, microseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct PingRound {
+    /// Median ping round-trip.
+    pub p50_us: f64,
+    /// 99th-percentile ping round-trip.
+    pub p99_us: f64,
+    /// Worst ping round-trip.
+    pub max_us: f64,
+}
+
+/// What one idle-cohort run observed. The flatness claims — late accepts
+/// no slower than early ones, ping latency stable while thousands of
+/// connections sit idle — are the caller's to assert; this just reports
+/// the deciles.
+#[derive(Debug, Clone)]
+pub struct IdleReport {
+    /// Connections actually held open.
+    pub connections: usize,
+    /// Median connect+hello latency over the *first* decile of accepts
+    /// (the near-empty server), microseconds.
+    pub accept_early_p50_us: f64,
+    /// Median connect+hello latency over the *last* decile (the server
+    /// already holding ~90% of the cohort), microseconds.
+    pub accept_late_p50_us: f64,
+    /// 99th-percentile connect+hello latency over every accept.
+    pub accept_p99_us: f64,
+    /// One latency summary per ping sweep.
+    pub rounds: Vec<PingRound>,
+    /// Wall time of the whole run, seconds.
+    pub wall_seconds: f64,
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice (`p` in 0..=100).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted.get(rank.min(sorted.len() - 1)).copied().unwrap_or(0.0)
+}
+
+fn sorted(mut v: Vec<f64>) -> Vec<f64> {
+    v.sort_by(f64::total_cmp);
+    v
+}
+
+/// The open-loop cohort exerciser: opens `connections` handshaken
+/// connections one by one (recording each connect+hello latency), holds
+/// them all, then sweeps `rounds` of pings over the full cohort. Unlike
+/// [`run`], nothing here measures throughput — the subject is the *server
+/// holding a large, mostly-idle cohort*: accept latency must stay flat as
+/// the cohort grows, and a ping must not degrade because thousands of
+/// other sockets are registered with the event loop.
+pub fn run_idle(addr: SocketAddr, opts: &IdleOptions) -> Result<IdleReport, ClientError> {
+    let start = Instant::now();
+    let tenants = opts.tenants.max(1);
+    let mut clients = Vec::with_capacity(opts.connections);
+    let mut accept_us = Vec::with_capacity(opts.connections);
+    for i in 0..opts.connections {
+        let t = Instant::now();
+        let client = Client::connect(addr, &format!("cohort-{}", i % tenants))?;
+        accept_us.push(t.elapsed().as_secs_f64() * 1e6);
+        clients.push(client);
+    }
+
+    let decile = (opts.connections / 10).max(1);
+    let early = sorted(accept_us.iter().take(decile).copied().collect());
+    let late = sorted(accept_us.iter().rev().take(decile).copied().collect());
+    let all = sorted(accept_us);
+
+    let mut rounds = Vec::with_capacity(opts.rounds);
+    for _ in 0..opts.rounds {
+        let mut lat = Vec::with_capacity(clients.len());
+        for client in &mut clients {
+            let t = Instant::now();
+            client.ping()?;
+            lat.push(t.elapsed().as_secs_f64() * 1e6);
+        }
+        let lat = sorted(lat);
+        rounds.push(PingRound {
+            p50_us: percentile(&lat, 50.0),
+            p99_us: percentile(&lat, 99.0),
+            max_us: lat.last().copied().unwrap_or(0.0),
+        });
+    }
+
+    Ok(IdleReport {
+        connections: clients.len(),
+        accept_early_p50_us: percentile(&early, 50.0),
+        accept_late_p50_us: percentile(&late, 50.0),
+        accept_p99_us: percentile(&all, 99.0),
+        rounds,
+        wall_seconds: start.elapsed().as_secs_f64(),
+    })
 }
 
 /// Replays worker `tenant`'s deterministic tape against a live server.

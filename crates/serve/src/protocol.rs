@@ -93,6 +93,9 @@ pub enum ErrorCode {
     TooManyConnections = 9,
     /// Admission control: the server is at its resident-tenant cap. Fatal.
     TooManyTenants = 10,
+    /// Graceful drain: the server is shutting down and closes every
+    /// connection after sending this as its final frame. Fatal.
+    ShuttingDown = 11,
     /// Catch-all application failure (engine error; detail carries the
     /// `PmError` display).
     App = 100,
@@ -143,6 +146,7 @@ impl ErrorCode {
             8 => Self::SlowConsumer,
             9 => Self::TooManyConnections,
             10 => Self::TooManyTenants,
+            11 => Self::ShuttingDown,
             100 => Self::App,
             101 => Self::InvalidQuery,
             102 => Self::StaleHandle,
@@ -1003,12 +1007,14 @@ mod tests {
         assert!(ErrorCode::Malformed.is_fatal());
         assert!(ErrorCode::SlowConsumer.is_fatal());
         assert!(ErrorCode::TooManyTenants.is_fatal());
+        // A draining server closes every connection after this frame.
+        assert!(ErrorCode::ShuttingDown.is_fatal());
         assert!(!ErrorCode::App.is_fatal());
         assert!(!ErrorCode::StaleHandle.is_fatal());
         // The batch decoded cleanly, so an oversized one must not cost the
         // connection.
         assert!(!ErrorCode::OversizedBatch.is_fatal());
-        for code in [1u16, 2, 3, 4, 5, 6, 7, 8, 9, 10, 100, 101, 102, 103, 104, 105, 106] {
+        for code in [1u16, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 100, 101, 102, 103, 104, 105, 106] {
             let c = ErrorCode::from_code(code).expect("known code");
             assert_eq!(c.code(), code);
         }

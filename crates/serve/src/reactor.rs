@@ -1,0 +1,118 @@
+//! The reactor backend: [`pm_reactor`]'s event loop driving the same
+//! protocol, registry and typed error-code semantics as the threaded
+//! backend — one reactor thread plus a fixed worker pool instead of two
+//! threads per connection.
+//!
+//! The split of responsibilities is exact: `pm-reactor` owns sockets,
+//! u32-LE frame assembly (partial frames span readiness events), the
+//! bounded outbound byte buffer and the shed/drain close protocol; this
+//! module owns every protocol byte — it decodes requests, runs the
+//! handshake state machine ([`handle_request`], shared verbatim with the
+//! threaded reader loop) and encodes responses, including the typed
+//! frames the reactor sends at the edges of a connection's life:
+//!
+//! * over the connection cap → [`ErrorCode::TooManyConnections`],
+//! * length prefix over the cap → [`ErrorCode::FrameTooLarge`],
+//! * outbound buffer overflow  → [`ErrorCode::SlowConsumer`],
+//! * graceful drain            → [`ErrorCode::ShuttingDown`].
+//!
+//! Per-connection handshake state rides inside each job
+//! ([`pm_reactor::Service::Conn`]), so the workers mutate it without a
+//! lock: the reactor guarantees a connection never has two frames in
+//! flight, which is also what keeps responses in request order.
+
+use std::sync::Arc;
+
+use pm_reactor::{Config, Outcome, Service};
+
+use crate::conn::handle_request;
+use crate::protocol::{decode_request, encode_response, ErrorCode, Response};
+use crate::registry::{Limits, Registry, Tenant};
+
+/// The Privacy-MaxEnt protocol behind a [`pm_reactor::Reactor`].
+pub(crate) struct PmxService {
+    registry: Arc<Registry>,
+    limits: Limits,
+}
+
+impl PmxService {
+    pub(crate) fn new(registry: Arc<Registry>) -> Self {
+        let limits = registry.limits().clone();
+        Self { registry, limits }
+    }
+
+    /// The reactor tuning derived from the registry's [`Limits`]: the
+    /// threaded backend's frame-count bound carries over, plus the byte
+    /// bound that a buffer (unlike a queue of frames) makes meaningful.
+    pub(crate) fn config(&self, workers: usize) -> Config {
+        Config {
+            workers,
+            max_connections: self.limits.max_connections,
+            max_frame_bytes: self.limits.max_frame_bytes,
+            outbuf_frames: self.limits.write_queue_frames.max(1),
+            outbuf_bytes: self.limits.write_buffer_bytes.max(self.limits.max_frame_bytes),
+        }
+    }
+
+    fn error_frame(&self, code: ErrorCode, detail: String) -> Vec<u8> {
+        encode_response(0, &Response::Error { code: code.code(), detail })
+    }
+}
+
+impl Service for PmxService {
+    type Conn = Option<Arc<Tenant>>;
+
+    fn connect(&self) -> Self::Conn {
+        None
+    }
+
+    fn frame(&self, tenant: &mut Self::Conn, body: Vec<u8>) -> Outcome {
+        let (id, request) = match decode_request(&body) {
+            Ok(ok) => ok,
+            Err((id, e)) => {
+                // Every decode failure is a fatal protocol error: the
+                // stream can no longer be trusted to be frame-aligned.
+                let frame =
+                    encode_response(id, &Response::Error { code: e.code.code(), detail: e.detail });
+                return Outcome { frames: vec![frame], close: true };
+            }
+        };
+        let (frame, close) = match handle_request(&self.registry, tenant, &request) {
+            Ok(resp) => (encode_response(id, &resp), false),
+            Err(e) => (encode_response(id, &e.response()), e.code.is_fatal()),
+        };
+        Outcome { frames: vec![frame], close }
+    }
+
+    fn oversized(&self, len: usize) -> Outcome {
+        let frame = self.error_frame(
+            ErrorCode::FrameTooLarge,
+            format!(
+                "frame length {len} exceeds the server's {}-byte cap",
+                self.limits.max_frame_bytes
+            ),
+        );
+        Outcome { frames: vec![frame], close: true }
+    }
+
+    fn reject(&self) -> Option<Vec<u8>> {
+        Some(self.error_frame(
+            ErrorCode::TooManyConnections,
+            format!("server is at its {}-connection cap", self.limits.max_connections),
+        ))
+    }
+
+    fn drain_frame(&self) -> Option<Vec<u8>> {
+        Some(self.error_frame(
+            ErrorCode::ShuttingDown,
+            "server is draining: reconnect elsewhere".to_string(),
+        ))
+    }
+
+    fn shed_frame(&self, pending: usize) -> Option<Vec<u8>> {
+        Some(self.error_frame(
+            ErrorCode::SlowConsumer,
+            format!("client stopped reading: {pending} response frames already buffered"),
+        ))
+    }
+}

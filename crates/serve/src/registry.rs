@@ -63,6 +63,11 @@ pub struct Limits {
     /// Response frames buffered per connection before a slow-reading
     /// client is shed with [`ErrorCode::SlowConsumer`].
     pub write_queue_frames: usize,
+    /// Outbound *bytes* buffered per connection before the same shed
+    /// (the reactor backend's bound: its write queue is a byte buffer,
+    /// so a few huge frames can overflow it long before the frame
+    /// count does; the threaded backend bounds frames only).
+    pub write_buffer_bytes: usize,
 }
 
 impl Default for Limits {
@@ -73,6 +78,7 @@ impl Default for Limits {
             max_frame_bytes: 4 << 20,
             max_batch: 65_536,
             write_queue_frames: 256,
+            write_buffer_bytes: 8 << 20,
         }
     }
 }

@@ -1,8 +1,17 @@
-//! The `pmx serve` front-end: a threaded TCP accept loop over the shared
-//! [`Registry`], with a connection-count admission gate and a clean
-//! shutdown path (no async runtime — one OS thread per live connection,
-//! which at the session counts this workspace targets is cheaper than an
-//! executor the container does not have).
+//! The `pmx serve` front-end, in either of two shapes over the same
+//! [`Registry`]:
+//!
+//! * **Reactor** (default): one `poll(2)` event-loop thread plus a fixed
+//!   worker pool ([`pm_reactor`], wired up in `crate::reactor`). Total
+//!   threads are fixed at bind time no matter how many connections are
+//!   live — the shape that holds a many-thousand mostly-idle cohort.
+//! * **Threaded**: the original accept loop with a reader + writer
+//!   thread per connection — simpler to reason about, still the
+//!   reference semantics, and kept so the test suites can run the same
+//!   protocol contract against both shapes.
+//!
+//! Both enforce the same admission caps and typed error-code semantics;
+//! [`Backend`] is the only knob that changes.
 
 use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -12,13 +21,141 @@ use std::thread::{self, JoinHandle};
 
 use crate::conn::serve_connection;
 use crate::protocol::{encode_response, ErrorCode, Response};
+use crate::reactor::PmxService;
 use crate::registry::Registry;
+
+/// Worker threads the reactor backend runs by default (total threads =
+/// workers + 1 event loop).
+pub const DEFAULT_WORKERS: usize = 4;
+
+/// Which serving machinery [`Server::bind_with`] starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Readiness loop + fixed worker pool (`workers + 1` threads total).
+    Reactor {
+        /// Worker threads decoding/dispatching frames (min 1).
+        workers: usize,
+    },
+    /// One reader + one writer thread per live connection.
+    Threaded,
+}
+
+impl Default for Backend {
+    fn default() -> Self {
+        Self::Reactor { workers: DEFAULT_WORKERS }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Reactor { workers } => write!(f, "reactor({workers} workers)"),
+            Self::Threaded => write!(f, "threaded"),
+        }
+    }
+}
 
 /// A running server: the bound address plus the handles a clean shutdown
 /// needs. Dropping the handle shuts the server down.
 pub struct Server {
     addr: SocketAddr,
     registry: Arc<Registry>,
+    inner: Inner,
+}
+
+enum Inner {
+    Reactor(pm_reactor::Reactor),
+    Threaded(Threaded),
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// accepting connections against `registry` on the default backend.
+    pub fn bind(addr: impl ToSocketAddrs, registry: Arc<Registry>) -> std::io::Result<Self> {
+        Self::bind_with(addr, registry, Backend::default())
+    }
+
+    /// Binds with an explicit [`Backend`].
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        registry: Arc<Registry>,
+        backend: Backend,
+    ) -> std::io::Result<Self> {
+        match backend {
+            Backend::Reactor { workers } => {
+                let service = PmxService::new(Arc::clone(&registry));
+                let config = service.config(workers.max(1));
+                let reactor = pm_reactor::Reactor::bind(addr, Arc::new(service), config)?;
+                Ok(Self { addr: reactor.addr(), registry, inner: Inner::Reactor(reactor) })
+            }
+            Backend::Threaded => {
+                let threaded = Threaded::bind(addr, Arc::clone(&registry))?;
+                Ok(Self { addr: threaded.addr, registry, inner: Inner::Threaded(threaded) })
+            }
+        }
+    }
+
+    /// The bound address (with the resolved port when bound to port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The registry this server dispatches into.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Live connections right now.
+    #[must_use]
+    pub fn connection_count(&self) -> usize {
+        match &self.inner {
+            Inner::Reactor(r) => r.connection_count(),
+            Inner::Threaded(t) => t.shared.connections.load(Ordering::Acquire),
+        }
+    }
+
+    /// The fixed I/O + dispatch thread count, when the backend has one:
+    /// `Some(workers + 1)` for the reactor (independent of connection
+    /// count), `None` for the threaded backend (2 threads per live
+    /// connection, nothing fixed to report).
+    #[must_use]
+    pub fn io_threads(&self) -> Option<usize> {
+        match &self.inner {
+            Inner::Reactor(r) => Some(r.thread_count()),
+            Inner::Threaded(_) => None,
+        }
+    }
+
+    /// Stops accepting and closes every connection — the reactor backend
+    /// first sends each live connection a final
+    /// [`ErrorCode::ShuttingDown`] frame (graceful drain), the threaded
+    /// backend unblocks and joins its per-connection threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        match &mut self.inner {
+            Inner::Reactor(r) => r.shutdown(),
+            Inner::Threaded(t) => t.shutdown(),
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// The server handle crosses threads in tests and embedders; keep the
+// bound a compile-time fact (see the matching assert in `registry`).
+const _: () = {
+    const fn send_sync<T: Send + Sync>() {}
+    send_sync::<Server>();
+};
+
+/// The original threads-per-connection backend.
+struct Threaded {
+    addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
     shared: Arc<Shared>,
@@ -56,10 +193,8 @@ impl Drop for ConnGuard {
     }
 }
 
-impl Server {
-    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
-    /// accepting connections against `registry`.
-    pub fn bind(addr: impl ToSocketAddrs, registry: Arc<Registry>) -> std::io::Result<Self> {
+impl Threaded {
+    fn bind(addr: impl ToSocketAddrs, registry: Arc<Registry>) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -77,30 +212,12 @@ impl Server {
                 .name("pmx-serve-accept".into())
                 .spawn(move || accept_loop(&listener, &registry, &shutdown, &shared))?
         };
-        Ok(Self { addr, registry, shutdown, accept: Some(accept), shared })
-    }
-
-    /// The bound address (with the resolved port when bound to port 0).
-    #[must_use]
-    pub fn addr(&self) -> SocketAddr {
-        self.addr
-    }
-
-    /// The registry this server dispatches into.
-    #[must_use]
-    pub fn registry(&self) -> &Arc<Registry> {
-        &self.registry
-    }
-
-    /// Live connections right now.
-    #[must_use]
-    pub fn connection_count(&self) -> usize {
-        self.shared.connections.load(Ordering::Acquire)
+        Ok(Self { addr, shutdown, accept: Some(accept), shared })
     }
 
     /// Stops accepting, unblocks and joins every connection thread, then
     /// joins the accept loop. Idempotent.
-    pub fn shutdown(&mut self) {
+    fn shutdown(&mut self) {
         if self.shutdown.swap(true, Ordering::AcqRel) {
             return;
         }
@@ -124,19 +241,6 @@ impl Server {
         }
     }
 }
-
-impl Drop for Server {
-    fn drop(&mut self) {
-        self.shutdown();
-    }
-}
-
-// The server handle crosses threads in tests and embedders; keep the
-// bound a compile-time fact (see the matching assert in `registry`).
-const _: () = {
-    const fn send_sync<T: Send + Sync>() {}
-    send_sync::<Server>();
-};
 
 fn accept_loop(
     listener: &TcpListener,

@@ -20,58 +20,47 @@ use pm_serve::protocol::{
     decode_response, encode_request, ErrorCode, Request, Response, WireDeltaOp,
 };
 use pm_serve::registry::{Limits, Registry};
-use pm_serve::server::Server;
+use pm_serve::server::{Backend, Server};
 use privacy_maxent::compiled::CompiledTable;
 use privacy_maxent::engine::EngineConfig;
+
+/// Every admission/backpressure contract holds on both backends.
+const BACKENDS: [Backend; 2] = [Backend::Reactor { workers: 4 }, Backend::Threaded];
 
 fn config() -> EngineConfig {
     EngineConfig::builder().threads(1).residual_limit(f64::INFINITY).build()
 }
 
-fn boot(limits: Limits) -> Server {
+fn boot(limits: Limits, backend: Backend) -> Server {
     let (_, table) = paper_example();
     let artifact = Arc::new(CompiledTable::build(table, config()).expect("baseline solves"));
     let registry = Arc::new(Registry::new(artifact, None, limits));
-    Server::bind("127.0.0.1:0", registry).expect("loopback bind")
+    Server::bind_with("127.0.0.1:0", registry, backend).expect("loopback bind")
 }
 
 /// A stalled consumer is shed with a typed disconnect, and a healthy
 /// tenant on the same server never notices.
 #[test]
 fn stalled_client_is_shed_without_blocking_others() {
-    let mut server = boot(Limits {
-        // A tiny write queue so the stall trips fast; big batches so each
-        // response frame is heavy enough to wedge the kernel buffers.
-        write_queue_frames: 2,
-        ..Limits::default()
-    });
+    for backend in BACKENDS {
+        stalled_client_case(backend);
+    }
+}
+
+fn stalled_client_case(backend: Backend) {
+    let mut server = boot(
+        Limits {
+            // A tiny write queue so the shed trips as soon as the kernel
+            // socket path jams.
+            write_queue_frames: 2,
+            ..Limits::default()
+        },
+        backend,
+    );
     let addr = server.addr();
 
-    // The stalled tenant: handshakes, then floods batch requests without
-    // ever reading a byte of its responses.
-    let mut stalled = TcpStream::connect(addr).expect("connect");
-    stalled
-        .write_all(&encode_request(1, &Request::Hello { tenant: "stall".into() }))
-        .expect("hello");
-    stalled
-        .set_write_timeout(Some(Duration::from_millis(200)))
-        .expect("write timeout");
-    let storm = encode_request(
-        2,
-        &Request::Batch { queries: (0..60_000).map(|i| (i % 3, (i % 2) as u16)).collect() },
-    );
-    let mut sent = 0usize;
-    for _ in 0..64 {
-        // Once the server sheds us it stops reading; our writes then jam
-        // and time out — that is the expected end state, not a failure.
-        match stalled.write_all(&storm) {
-            Ok(()) => sent += 1,
-            Err(_) => break,
-        }
-    }
-    assert!(sent >= 2, "the storm never left the building");
-
-    // Meanwhile, a healthy tenant gets full service with the stall active.
+    // A healthy tenant runs its whole workload *while* the stall below is
+    // in progress: the shed must never block anyone else.
     let healthy_done = Arc::new(AtomicBool::new(false));
     let healthy = {
         let done = Arc::clone(&healthy_done);
@@ -87,6 +76,59 @@ fn stalled_client_is_shed_without_blocking_others() {
             started.elapsed()
         })
     };
+
+    // The stalled tenant: handshakes, then streams batch requests without
+    // ever reading a byte back. Responses outweigh requests, so the
+    // outbound path jams first: kernel buffers fill, the bounded write
+    // queue overflows, and the server sheds the connection and stops
+    // reading it. From this side the shed is unambiguous — writes that
+    // used to drain within one batch's compute time start timing out back
+    // to back.
+    let mut stalled = TcpStream::connect(addr).expect("connect");
+    stalled
+        .write_all(&encode_request(1, &Request::Hello { tenant: "stall".into() }))
+        .expect("hello");
+    stalled
+        .set_write_timeout(Some(Duration::from_millis(200)))
+        .expect("write timeout");
+    let storm = encode_request(
+        2,
+        &Request::Batch { queries: (0..4096).map(|i| (i % 3, (i % 2) as u16)).collect() },
+    );
+    // The storm has two exits, and both mean the shed already tripped:
+    // either writes time out back to back (the server stopped reading the
+    // socket — on a healthy connection it frees buffer space every few
+    // milliseconds), or the full 4,000 frames went in, a volume several
+    // times anything the kernel path can buffer, which only the post-shed
+    // input drain (reading without serving) can swallow.
+    let mut consecutive_timeouts = 0u32;
+    'storm: for _ in 0..4_000 {
+        // Partial writes must resume from the cursor: re-sending a frame
+        // from byte 0 after a timeout would desync the length-prefixed
+        // stream and turn this into a Malformed test.
+        let mut off = 0;
+        while off < storm.len() {
+            match stalled.write(&storm[off..]) {
+                Ok(n) => {
+                    off += n;
+                    consecutive_timeouts = 0;
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    consecutive_timeouts += 1;
+                    if consecutive_timeouts >= 8 {
+                        break 'storm;
+                    }
+                }
+                Err(e) => panic!("storm write failed ({backend}): {e}"),
+            }
+        }
+    }
+
     let healthy_wall = healthy.join().expect("healthy tenant thread");
     assert!(healthy_done.load(Ordering::Relaxed));
     assert!(
@@ -95,13 +137,17 @@ fn stalled_client_is_shed_without_blocking_others() {
     );
 
     // Now drain the stalled socket: buffered responses, then the typed
-    // SlowConsumer disconnect, then EOF. (Reading unblocks the server's
-    // writer so the shed can complete.)
+    // SlowConsumer disconnect, then EOF. The half-close tells the server
+    // no more requests are coming, so its post-shed input drain ends
+    // promptly instead of waiting out a timeout.
+    let _ = stalled.shutdown(std::net::Shutdown::Write);
     stalled
         .set_read_timeout(Some(Duration::from_secs(30)))
         .expect("read timeout");
     let mut raw = Vec::new();
-    stalled.read_to_end(&mut raw).expect("server closes the stalled connection");
+    stalled
+        .read_to_end(&mut raw)
+        .unwrap_or_else(|e| panic!("server never closed the stalled connection ({backend}): {e}"));
     let mut rest = raw.as_slice();
     let mut last = None;
     while rest.len() >= 4 {
@@ -113,9 +159,9 @@ fn stalled_client_is_shed_without_blocking_others() {
     assert!(rest.is_empty(), "trailing bytes after the last frame");
     match last {
         Some((_, Response::Error { code, .. })) => {
-            assert_eq!(code, ErrorCode::SlowConsumer.code(), "wrong shed code");
+            assert_eq!(code, ErrorCode::SlowConsumer.code(), "wrong shed code ({backend})");
         }
-        other => panic!("expected a final SlowConsumer frame, got {other:?}"),
+        other => panic!("expected a final SlowConsumer frame, got {other:?} ({backend})"),
     }
 
     server.shutdown();
@@ -125,7 +171,13 @@ fn stalled_client_is_shed_without_blocking_others() {
 /// slot frees when an admitted connection departs.
 #[test]
 fn connection_cap_sheds_typed_and_recovers() {
-    let mut server = boot(Limits { max_connections: 2, ..Limits::default() });
+    for backend in BACKENDS {
+        connection_cap_case(backend);
+    }
+}
+
+fn connection_cap_case(backend: Backend) {
+    let mut server = boot(Limits { max_connections: 2, ..Limits::default() }, backend);
     let addr = server.addr();
 
     let c1 = Client::connect(addr, "a").expect("first connection admitted");
@@ -160,7 +212,13 @@ fn connection_cap_sheds_typed_and_recovers() {
 /// fork — without disturbing the resident tenant.
 #[test]
 fn tenant_cap_sheds_typed() {
-    let mut server = boot(Limits { max_tenants: 1, ..Limits::default() });
+    for backend in BACKENDS {
+        tenant_cap_case(backend);
+    }
+}
+
+fn tenant_cap_case(backend: Backend) {
+    let mut server = boot(Limits { max_tenants: 1, ..Limits::default() }, backend);
     let addr = server.addr();
 
     let mut resident = Client::connect(addr, "only").expect("first tenant admitted");
@@ -194,21 +252,94 @@ fn tenant_cap_sheds_typed() {
 /// connection serves a compliant retry.
 #[test]
 fn batch_cap_sheds_typed() {
-    let mut server = boot(Limits { max_batch: 8, ..Limits::default() });
+    for backend in BACKENDS {
+        let mut server = boot(Limits { max_batch: 8, ..Limits::default() }, backend);
+        let addr = server.addr();
+
+        let mut client = Client::connect(addr, "t").expect("hello");
+        match client.batch((0..9).map(|i| (i % 3, 0u16)).collect()) {
+            Err(ClientError::Server { code, .. }) => {
+                assert_eq!(code, ErrorCode::OversizedBatch.code());
+            }
+            other => panic!("expected a typed reject, got {other:?}"),
+        }
+
+        let ps =
+            client.batch((0..8).map(|i| (i % 3, 0u16)).collect()).expect("compliant retry");
+        assert_eq!(ps.len(), 8);
+
+        server.shutdown();
+    }
+}
+
+/// Graceful drain on the reactor backend: live connections get a final
+/// typed `ShuttingDown` frame, then a clean EOF — never a silent reset.
+/// (The threaded backend just closes; the drain frame is the readiness
+/// loop's improvement, possible because it owns every socket.)
+#[test]
+fn graceful_shutdown_sends_shutting_down_then_eof() {
+    let mut server = boot(Limits::default(), Backend::Reactor { workers: 2 });
     let addr = server.addr();
 
-    let mut client = Client::connect(addr, "t").expect("hello");
-    match client.batch((0..9).map(|i| (i % 3, 0u16)).collect()) {
-        Err(ClientError::Server { code, .. }) => {
-            assert_eq!(code, ErrorCode::OversizedBatch.code());
-        }
-        other => panic!("expected a typed reject, got {other:?}"),
+    // An idle mid-handshake connection and a bound tenant both drain. The
+    // hello answer is read back *before* shutdown starts: a drain drops
+    // in-flight work by design, so the ordering contract under test is
+    // "answered requests stay answered, then the typed drain frame" — not
+    // a race between the handshake and the shutdown call.
+    let mut bound = TcpStream::connect(addr).expect("connect");
+    bound
+        .write_all(&encode_request(1, &Request::Hello { tenant: "drainee".into() }))
+        .expect("hello");
+    bound.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    let mut header = [0u8; 4];
+    bound.read_exact(&mut header).expect("hello response header");
+    let mut body = vec![0u8; u32::from_le_bytes(header) as usize];
+    bound.read_exact(&mut body).expect("hello response body");
+    let (_, hello) = decode_response(&body).expect("hello decodes");
+    assert!(matches!(hello, Response::Hello(_)), "expected a hello answer, got {hello:?}");
+    let idle = TcpStream::connect(addr).expect("connect");
+    // `connect` returns once the kernel completes the handshake, which can
+    // be before the server *accepts* — and the drain only covers accepted
+    // connections. Wait until both are registered.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.connection_count() < 2 {
+        assert!(Instant::now() < deadline, "server never accepted both connections");
+        std::thread::sleep(Duration::from_millis(5));
     }
 
-    let ps = client.batch((0..8).map(|i| (i % 3, 0u16)).collect()).expect("compliant retry");
-    assert_eq!(ps.len(), 8);
-
+    // Shutdown blocks until the drain completes, so the sockets must be
+    // read concurrently.
+    let drained = std::thread::spawn(move || {
+        let mut frames = Vec::new();
+        for mut stream in [bound, idle] {
+            stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+            let mut raw = Vec::new();
+            stream.read_to_end(&mut raw).expect("clean EOF after the drain frame");
+            let mut rest = raw.as_slice();
+            let mut conn_frames = Vec::new();
+            while rest.len() >= 4 {
+                let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+                conn_frames.push(decode_response(&rest[4..4 + len]).expect("frames decode"));
+                rest = &rest[4 + len..];
+            }
+            assert!(rest.is_empty(), "torn frame in the drain");
+            frames.push(conn_frames);
+        }
+        frames
+    });
     server.shutdown();
+    let frames = drained.join().expect("drain reader ok");
+
+    // Both connections end with the typed drain frame (for the bound one
+    // it follows the already-consumed hello answer).
+    for conn_frames in &frames {
+        match conn_frames.last() {
+            Some((_, Response::Error { code, .. })) => {
+                assert_eq!(*code, ErrorCode::ShuttingDown.code(), "wrong drain code");
+            }
+            other => panic!("expected a final ShuttingDown frame, got {other:?}"),
+        }
+    }
 }
 
 /// Regression: `open_tenant` must not reach for the chain tip while it

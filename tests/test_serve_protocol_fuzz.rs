@@ -21,7 +21,7 @@ use pm_serve::protocol::{
     decode_response, encode_request, ErrorCode, Request, Response, WireKnowledge,
 };
 use pm_serve::registry::{Limits, Registry};
-use pm_serve::server::Server;
+use pm_serve::server::{Backend, Server};
 use privacy_maxent::compiled::CompiledTable;
 use privacy_maxent::engine::EngineConfig;
 use proptest::prelude::*;
@@ -30,19 +30,25 @@ fn config() -> EngineConfig {
     EngineConfig::builder().threads(1).residual_limit(f64::INFINITY).build()
 }
 
-/// One shared server over the Figure 1 table, reused by every case. It is
-/// never shut down — the whole point is that no amount of abuse kills it.
-fn server_addr() -> SocketAddr {
-    static SERVER: OnceLock<Server> = OnceLock::new();
-    SERVER
-        .get_or_init(|| {
-            let (_, table) = paper_example();
-            let artifact =
-                Arc::new(CompiledTable::build(table, config()).expect("baseline solves"));
-            let registry = Arc::new(Registry::new(artifact, None, Limits::default()));
-            Server::bind("127.0.0.1:0", registry).expect("loopback bind")
-        })
-        .addr()
+/// One shared server per backend over the Figure 1 table, reused by every
+/// case. Neither is ever shut down — the whole point is that no amount of
+/// abuse kills them.
+fn boot(cell: &'static OnceLock<Server>, backend: Backend) -> SocketAddr {
+    cell.get_or_init(|| {
+        let (_, table) = paper_example();
+        let artifact = Arc::new(CompiledTable::build(table, config()).expect("baseline solves"));
+        let registry = Arc::new(Registry::new(artifact, None, Limits::default()));
+        Server::bind_with("127.0.0.1:0", registry, backend).expect("loopback bind")
+    })
+    .addr()
+}
+
+/// Both backends speak the identical protocol contract; every case runs
+/// against each.
+fn both_backends() -> [SocketAddr; 2] {
+    static REACTOR: OnceLock<Server> = OnceLock::new();
+    static THREADED: OnceLock<Server> = OnceLock::new();
+    [boot(&REACTOR, Backend::default()), boot(&THREADED, Backend::Threaded)]
 }
 
 /// The valid frames the mutations start from — one per opcode family.
@@ -115,18 +121,19 @@ fn assert_still_serving(addr: SocketAddr) {
 /// well-formed frames. Exhaustive, not sampled.
 #[test]
 fn truncation_at_every_offset_never_panics() {
-    let addr = server_addr();
-    for frame in seed_frames() {
-        for cut in 0..frame.len() {
-            let frames = abuse(addr, &frame[..cut]);
-            for (_, resp) in frames {
-                if let Response::Error { code, .. } = resp {
-                    assert!(ErrorCode::from_code(code).is_some(), "untyped code {code}");
+    for addr in both_backends() {
+        for frame in seed_frames() {
+            for cut in 0..frame.len() {
+                let frames = abuse(addr, &frame[..cut]);
+                for (_, resp) in frames {
+                    if let Response::Error { code, .. } = resp {
+                        assert!(ErrorCode::from_code(code).is_some(), "untyped code {code}");
+                    }
                 }
             }
         }
+        assert_still_serving(addr);
     }
-    assert_still_serving(addr);
 }
 
 /// Every byte of every valid frame flipped (all 8 bit positions, cycled by
@@ -136,25 +143,26 @@ fn truncation_at_every_offset_never_panics() {
 /// over offsets.
 #[test]
 fn single_byte_flips_never_panic() {
-    let addr = server_addr();
-    for frame in seed_frames() {
-        for offset in 0..frame.len() {
-            for bit in [offset % 8, (offset + 5) % 8] {
-                let mut mutated = frame.clone();
-                mutated[offset] ^= 1 << bit;
-                let frames = abuse(addr, &mutated);
-                for (_, resp) in frames {
-                    if let Response::Error { code, .. } = resp {
-                        assert!(
-                            ErrorCode::from_code(code).is_some(),
-                            "flip at byte {offset} bit {bit}: untyped code {code}"
-                        );
+    for addr in both_backends() {
+        for frame in seed_frames() {
+            for offset in 0..frame.len() {
+                for bit in [offset % 8, (offset + 5) % 8] {
+                    let mut mutated = frame.clone();
+                    mutated[offset] ^= 1 << bit;
+                    let frames = abuse(addr, &mutated);
+                    for (_, resp) in frames {
+                        if let Response::Error { code, .. } = resp {
+                            assert!(
+                                ErrorCode::from_code(code).is_some(),
+                                "flip at byte {offset} bit {bit}: untyped code {code}"
+                            );
+                        }
                     }
                 }
             }
         }
+        assert_still_serving(addr);
     }
-    assert_still_serving(addr);
 }
 
 /// Hostile length prefixes: a length over the frame cap — up to and
@@ -162,56 +170,91 @@ fn single_byte_flips_never_panic() {
 /// *before* any allocation is sized from it, then the connection closes.
 #[test]
 fn oversized_length_prefixes_are_shed_typed() {
-    let addr = server_addr();
-    let cap = Limits::default().max_frame_bytes as u32;
-    for len in [cap + 1, cap * 2, u32::MAX / 2, u32::MAX] {
-        let mut bytes = len.to_le_bytes().to_vec();
-        bytes.extend_from_slice(&[0xAB; 64]); // a little fake body
-        let frames = abuse(addr, &bytes);
-        assert_eq!(frames.len(), 1, "exactly one shed frame for len {len}");
-        match &frames[0].1 {
-            Response::Error { code, .. } => {
-                assert_eq!(*code, ErrorCode::FrameTooLarge.code(), "len {len}");
+    for addr in both_backends() {
+        let cap = Limits::default().max_frame_bytes as u32;
+        for len in [cap + 1, cap * 2, u32::MAX / 2, u32::MAX] {
+            let mut bytes = len.to_le_bytes().to_vec();
+            bytes.extend_from_slice(&[0xAB; 64]); // a little fake body
+            let frames = abuse(addr, &bytes);
+            assert_eq!(frames.len(), 1, "exactly one shed frame for len {len}");
+            match &frames[0].1 {
+                Response::Error { code, .. } => {
+                    assert_eq!(*code, ErrorCode::FrameTooLarge.code(), "len {len}");
+                }
+                other => panic!("len {len}: expected FrameTooLarge, got {other:?}"),
             }
-            other => panic!("len {len}: expected FrameTooLarge, got {other:?}"),
         }
+        assert_still_serving(addr);
     }
-    assert_still_serving(addr);
 }
 
 /// The targeted non-random protocol violations, each with its precise
 /// typed code.
 #[test]
 fn targeted_violations_get_precise_codes() {
-    let addr = server_addr();
+    for addr in both_backends() {
+        // A query before any hello: HandshakeRequired.
+        let frames = abuse(addr, &encode_request(1, &Request::Query { q: 0, s: 0 }));
+        assert!(matches!(
+            &frames[0].1,
+            Response::Error { code, .. } if *code == ErrorCode::HandshakeRequired.code()
+        ));
 
-    // A query before any hello: HandshakeRequired.
-    let frames = abuse(addr, &encode_request(1, &Request::Query { q: 0, s: 0 }));
-    assert!(matches!(
-        &frames[0].1,
-        Response::Error { code, .. } if *code == ErrorCode::HandshakeRequired.code()
-    ));
+        // A second hello on a bound connection: DuplicateHello.
+        let mut double = encode_request(1, &Request::Hello { tenant: "dup".into() });
+        double.extend(encode_request(2, &Request::Hello { tenant: "dup".into() }));
+        let frames = abuse(addr, &double);
+        assert!(matches!(&frames[0].1, Response::Hello(_)));
+        assert!(matches!(
+            &frames[1].1,
+            Response::Error { code, .. } if *code == ErrorCode::DuplicateHello.code()
+        ));
 
-    // A second hello on a bound connection: DuplicateHello.
-    let mut double = encode_request(1, &Request::Hello { tenant: "dup".into() });
-    double.extend(encode_request(2, &Request::Hello { tenant: "dup".into() }));
-    let frames = abuse(addr, &double);
-    assert!(matches!(&frames[0].1, Response::Hello(_)));
-    assert!(matches!(
-        &frames[1].1,
-        Response::Error { code, .. } if *code == ErrorCode::DuplicateHello.code()
-    ));
+        // An unknown opcode byte: UnknownOpcode (magic + version are fine).
+        let mut frame = encode_request(1, &Request::Ping);
+        frame[4] = 0xEE; // the opcode byte leads the body, right after the prefix
+        let frames = abuse(addr, &frame);
+        assert!(matches!(
+            &frames[0].1,
+            Response::Error { code, .. } if *code == ErrorCode::UnknownOpcode.code()
+        ));
 
-    // An unknown opcode byte: UnknownOpcode (magic + version are fine).
-    let mut frame = encode_request(1, &Request::Ping);
-    frame[4] = 0xEE; // the opcode byte leads the body, right after the prefix
-    let frames = abuse(addr, &frame);
-    assert!(matches!(
-        &frames[0].1,
-        Response::Error { code, .. } if *code == ErrorCode::UnknownOpcode.code()
-    ));
+        assert_still_serving(addr);
+    }
+}
 
-    assert_still_serving(addr);
+/// A frame dribbled to the reactor one byte at a time — every length
+/// prefix and body byte arrives in its own readiness event, with a pause
+/// between bytes so the event loop actually sees separate wakeups. The
+/// response must be identical to a one-shot send, on both backends.
+#[test]
+fn partial_frames_span_readiness_events() {
+    for addr in both_backends() {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+        let hello = encode_request(9, &Request::Hello { tenant: "dribble".into() });
+        let ping = encode_request(10, &Request::Ping);
+        for frame in [&hello, &ping] {
+            for byte in frame.iter() {
+                stream.write_all(std::slice::from_ref(byte)).expect("write one byte");
+                stream.flush().expect("flush");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        let _ = stream.shutdown(Shutdown::Write);
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).expect("read responses");
+        let mut rest = raw.as_slice();
+        let mut frames = Vec::new();
+        while !rest.is_empty() {
+            let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+            frames.push(decode_response(&rest[4..4 + len]).expect("decodes"));
+            rest = &rest[4 + len..];
+        }
+        assert_eq!(frames.len(), 2, "one answer per dribbled frame");
+        assert!(matches!(&frames[0], (9, Response::Hello(_))));
+        assert!(matches!(&frames[1], (10, Response::Pong)));
+    }
 }
 
 proptest! {
@@ -231,10 +274,12 @@ proptest! {
                 state as u8
             })
             .collect();
-        let frames = abuse(server_addr(), &garbage);
-        for (_, resp) in frames {
-            if let Response::Error { code, .. } = resp {
-                prop_assert!(ErrorCode::from_code(code).is_some(), "untyped code {}", code);
+        for addr in both_backends() {
+            let frames = abuse(addr, &garbage);
+            for (_, resp) in frames {
+                if let Response::Error { code, .. } = resp {
+                    prop_assert!(ErrorCode::from_code(code).is_some(), "untyped code {}", code);
+                }
             }
         }
     }
@@ -255,15 +300,17 @@ proptest! {
             .collect();
         let mut bytes = (len as u32).to_le_bytes().to_vec();
         bytes.extend_from_slice(&body);
-        let frames = abuse(server_addr(), &bytes);
-        prop_assert!(!frames.is_empty(), "a complete frame always gets an answer");
-        match &frames[0].1 {
-            Response::Error { code, .. } => {
-                let code = ErrorCode::from_code(*code);
-                prop_assert!(code.is_some(), "untyped code");
-                prop_assert!(code.unwrap().is_fatal(), "garbage must be fatal");
+        for addr in both_backends() {
+            let frames = abuse(addr, &bytes);
+            prop_assert!(!frames.is_empty(), "a complete frame always gets an answer");
+            match &frames[0].1 {
+                Response::Error { code, .. } => {
+                    let code = ErrorCode::from_code(*code);
+                    prop_assert!(code.is_some(), "untyped code");
+                    prop_assert!(code.unwrap().is_fatal(), "garbage must be fatal");
+                }
+                other => prop_assert!(false, "expected a typed error, got {:?}", other),
             }
-            other => prop_assert!(false, "expected a typed error, got {:?}", other),
         }
     }
 }

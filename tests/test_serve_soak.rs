@@ -23,7 +23,7 @@ use pm_serve::client::Client;
 use pm_serve::loadgen::{self, LoadgenOptions, PhaseRecord, TapeOp};
 use pm_serve::protocol::{WireDeltaOp, WireKnowledge};
 use pm_serve::registry::{Limits, Registry};
-use pm_serve::server::Server;
+use pm_serve::server::{Backend, Server};
 use privacy_maxent::analyst::{Analyst, KnowledgeHandle};
 use privacy_maxent::compiled::CompiledTable;
 use privacy_maxent::delta::TableDelta;
@@ -134,16 +134,14 @@ fn replay_tenant(
 
 /// The soak: tape-driving tenants + read-only chaos tenants, all
 /// concurrent, then a full single-threaded replay of every recorded bit.
+/// The whole storm runs once per backend — the reactor's event loop and
+/// the threaded reader/writer pairs must both be bit-invisible.
 #[test]
 fn concurrent_tapes_replay_bit_identically() {
     let (table, pool) = workload(800, SEED, 24);
     assert!(pool.len() >= 8, "soak needs a real knowledge pool");
     let base = Arc::new(CompiledTable::build(table, config()).expect("workload compiles"));
     let tapes = delta_tapes(&base, PHASES - 1);
-
-    let registry = Arc::new(Registry::new(Arc::clone(&base), None, Limits::default()));
-    let mut server = Server::bind("127.0.0.1:0", registry).expect("loopback bind");
-    let addr = server.addr();
 
     // Reconstruct the epoch chain the server will walk (worker 0 of the
     // loadgen is the sole delta driver, so tape order == epoch order).
@@ -155,6 +153,22 @@ fn concurrent_tapes_replay_bit_identically() {
         ));
     }
 
+    for backend in [Backend::default(), Backend::Threaded] {
+        soak_once(backend, &base, &pool, &tapes, &chain);
+    }
+}
+
+fn soak_once(
+    backend: Backend,
+    base: &Arc<CompiledTable>,
+    pool: &[WireKnowledge],
+    tapes: &[Vec<WireDeltaOp>],
+    chain: &[Arc<CompiledTable>],
+) {
+    let registry = Arc::new(Registry::new(Arc::clone(base), None, Limits::default()));
+    let mut server = Server::bind_with("127.0.0.1:0", registry, backend).expect("loopback bind");
+    let addr = server.addr();
+
     // Read-only chaos: each reader binds its own tenant, pins the epoch its
     // hello reported, and checks every response against that epoch's
     // baseline estimate — all while deltas and refreshes race next door.
@@ -162,7 +176,7 @@ fn concurrent_tapes_replay_bit_identically() {
     let mut readers = Vec::new();
     for r in 0..READERS {
         let stop = Arc::clone(&stop);
-        let chain = chain.clone();
+        let chain = chain.to_vec();
         readers.push(std::thread::spawn(move || {
             let mut client =
                 Client::connect(addr, &format!("reader-{r}")).expect("reader hello");
@@ -200,7 +214,7 @@ fn concurrent_tapes_replay_bit_identically() {
         samples_per_phase: 3,
         seed: SEED,
     };
-    let report = loadgen::run(addr, &pool, &tapes, &opts).expect("soak loop completes");
+    let report = loadgen::run(addr, pool, tapes, &opts).expect("soak loop completes");
     stop.store(true, Ordering::Relaxed);
     let read_checks: u64 = readers.into_iter().map(|h| h.join().expect("reader ok")).sum();
     server.shutdown();
@@ -217,7 +231,7 @@ fn concurrent_tapes_replay_bit_identically() {
             .filter(|p| p.tenant == tenant as u32)
             .collect();
         assert_eq!(records.len(), PHASES);
-        replay_tenant(&chain, &pool, tenant, &records);
+        replay_tenant(chain, pool, tenant, &records);
     }
 }
 
@@ -242,15 +256,20 @@ fn identical_runs_record_identical_bits() {
         seed: SEED ^ 7,
     };
 
+    // Two runs per backend; all four must agree — the backend itself is
+    // just as bit-invisible as the thread schedule within a backend.
     let mut recorded = Vec::new();
-    for _ in 0..2 {
+    for backend in [Backend::default(), Backend::default(), Backend::Threaded, Backend::Threaded] {
         let registry =
             Arc::new(Registry::new(Arc::clone(&base), None, Limits::default()));
-        let mut server = Server::bind("127.0.0.1:0", registry).expect("loopback bind");
+        let mut server =
+            Server::bind_with("127.0.0.1:0", registry, backend).expect("loopback bind");
         let report =
             loadgen::run(server.addr(), &pool, &tapes, &opts).expect("loop completes");
         server.shutdown();
         recorded.push(report.phases);
     }
-    assert_eq!(recorded[0], recorded[1], "two identical runs drifted");
+    assert_eq!(recorded[0], recorded[1], "two identical reactor runs drifted");
+    assert_eq!(recorded[2], recorded[3], "two identical threaded runs drifted");
+    assert_eq!(recorded[0], recorded[2], "the backends served different bits");
 }

@@ -2,8 +2,12 @@
 //! estimates across thread counts, epochs, rebases and server replay, so
 //! the solve/compile hot paths must not read wall clocks into anything
 //! observable or iterate hash-ordered collections into ordered outputs.
-//! This rule flags, inside `pm-solver`, `pm-linalg` and the core
-//! `engine`/`compiled`/`delta`/`partition` modules:
+//! This rule flags, inside `pm-solver`, `pm-linalg`, `pm-parallel` and the
+//! core `engine`/`compiled`/`delta`/`partition` modules — plus the session
+//! layer's `analyst` (batched dispatch + merge), `batch` (the cost-model
+//! batch planner) and `overlay` (flat epoch-indexed solution memory)
+//! modules, whose ordering decisions are exactly what the batching refactor
+//! made load-bearing:
 //!
 //! * any `SystemTime` use and any `Instant::now` call — wall-clock reads.
 //!   Telemetry-only timing (solver stats, `CompileStats`) is legitimate
@@ -23,8 +27,9 @@ use crate::source::{Diagnostic, Severity, SourceFile};
 pub const ID: &str = "determinism";
 /// Catalog summary.
 pub const SUMMARY: &str =
-    "solver/linalg/core hot paths: no wall-clock reads, no hash-ordered \
-     iteration into ordered outputs (bit-replayability contract)";
+    "solver/linalg/parallel/core hot paths (incl. analyst/batch/overlay): \
+     no wall-clock reads, no hash-ordered iteration into ordered outputs \
+     (bit-replayability contract)";
 
 /// Iteration methods whose order is the hash order.
 const ITER_METHODS: &[&str] = &[
@@ -39,18 +44,24 @@ const ITER_METHODS: &[&str] = &[
     "drain",
 ];
 
-/// Scope: the solver and linalg crates wholesale, plus the core modules on
-/// the compile/solve path.
+/// Scope: the solver, linalg and parallel crates wholesale, plus the core
+/// modules on the compile/solve path — including the session layer's
+/// batching/arena modules (`analyst`, `batch`, `overlay`), where a
+/// hash-ordered iteration would reorder the batch plan or the merge.
 #[must_use]
 pub fn applies(rel_path: &str) -> bool {
     rel_path.starts_with("crates/solver/src/")
         || rel_path.starts_with("crates/linalg/src/")
+        || rel_path.starts_with("crates/parallel/src/")
         || matches!(
             rel_path,
             "crates/core/src/engine.rs"
                 | "crates/core/src/compiled.rs"
                 | "crates/core/src/delta.rs"
                 | "crates/core/src/partition.rs"
+                | "crates/core/src/analyst.rs"
+                | "crates/core/src/batch.rs"
+                | "crates/core/src/overlay.rs"
         )
 }
 
@@ -249,10 +260,15 @@ mod tests {
     }
 
     #[test]
-    fn out_of_scope_paths_do_not_apply() {
+    fn scope_covers_the_solve_path_and_batching_modules() {
         assert!(applies("crates/solver/src/maxent.rs"));
         assert!(applies("crates/core/src/partition.rs"));
-        assert!(!applies("crates/core/src/analyst.rs"));
+        assert!(applies("crates/core/src/analyst.rs"), "batched dispatch + merge");
+        assert!(applies("crates/core/src/batch.rs"), "batch planner");
+        assert!(applies("crates/core/src/overlay.rs"), "flat overlay memory");
+        assert!(applies("crates/parallel/src/lib.rs"), "chunk executor");
+        assert!(!applies("crates/core/src/knowledge.rs"));
         assert!(!applies("crates/bench/src/parallel.rs"));
+        assert!(!applies("crates/audit/src/rules/determinism.rs"));
     }
 }

@@ -100,17 +100,19 @@ use pm_microdata::qi::QiId;
 use pm_microdata::schema::Schema;
 use pm_microdata::value::Value;
 
+use crate::batch;
 use crate::compile::compile_items_parallel;
 use crate::compiled::CompiledTable;
 use crate::constraint::{Constraint, ConstraintOrigin};
 use crate::engine::{
     solve_component, uniform_bucket_values, ComponentSolution, EngineConfig, EngineStats,
-    Estimate,
+    Estimate, SolveScratch,
 };
 use crate::error::PmError;
 use crate::individuals::{IndividualEngine, PersonEstimate};
 use crate::knowledge::{Knowledge, KnowledgeBase};
 use crate::metrics;
+use crate::overlay::FlatOverlay;
 use crate::partition::{knowledge_components, split_separable_knowledge, Component};
 
 /// Stable identifier of one knowledge item inside an [`Analyst`] session.
@@ -295,10 +297,17 @@ pub struct Analyst {
     /// Current partition; `None` means the artifact's knowledge-free
     /// baseline partition (the state of a freshly opened session).
     components: Option<Vec<Component>>,
-    /// Copy-on-write solution overlay: bucket → solved term values (count
-    /// space — epoch-stable) for that bucket's range. Buckets absent here
-    /// serve the artifact's baseline.
-    overlay: HashMap<usize, Arc<[f64]>>,
+    /// Whether the cached partition's *structure* may be out of date:
+    /// entries were added/removed (knowledge-row ids shift), a rebase
+    /// changed some entry's bits, or the new epoch re-numbered rows
+    /// (invariant or bucket count moved). While false, a refresh reuses
+    /// `components` verbatim instead of re-partitioning the whole table —
+    /// the steady-state path stays O(dirty components), not O(table).
+    partition_stale: bool,
+    /// Copy-on-write solution overlay: one flat epoch-indexed value buffer
+    /// plus a dense bucket → `(offset, len)` slot table (count space —
+    /// epoch-stable). Buckets without a slot serve the artifact's baseline.
+    overlay: FlatOverlay,
     /// The served estimate — an `Arc` so [`Analyst::snapshot`] readers keep
     /// a consistent view across refreshes.
     estimate: Arc<Estimate>,
@@ -412,6 +421,7 @@ impl Analyst {
     fn open_inner(artifact: Arc<CompiledTable>, config: EngineConfig) -> Self {
         let estimate = artifact.baseline_estimate();
         let last_refresh = artifact.baseline_refresh().clone();
+        let overlay = FlatOverlay::new(artifact.table().num_buckets(), artifact.epoch());
         Self {
             artifact,
             config,
@@ -420,7 +430,8 @@ impl Analyst {
             dirty: BTreeSet::new(),
             stale: false,
             components: None,
-            overlay: HashMap::new(),
+            partition_stale: true,
+            overlay,
             estimate,
             dual_cache: HashMap::new(),
             individuals: Vec::new(),
@@ -460,8 +471,10 @@ impl Analyst {
             dirty: self.dirty.clone(),
             stale: self.stale,
             components: self.components.clone(),
-            // Reference bumps: the per-bucket slices are shared until a
-            // refresh on either side replaces its own entries.
+            partition_stale: self.partition_stale,
+            // One `Arc` bump plus a slot-table memcpy: the flat value
+            // buffer is shared until a refresh on either side performs its
+            // first write (copy-on-write; see `overlay::FlatOverlay`).
             overlay: self.overlay.clone(),
             estimate: Arc::clone(&self.estimate),
             dual_cache: self.dual_cache.clone(),
@@ -476,6 +489,51 @@ impl Analyst {
     #[must_use]
     pub fn artifact(&self) -> &Arc<CompiledTable> {
         &self.artifact
+    }
+
+    // ---- Overlay observability (structural-sharing test hooks). ----
+    //
+    // These expose *identity*, not values: pointer/offset equality is how
+    // `tests/test_overlay_lifecycle.rs` proves fork copy-on-write and
+    // steady-state in-place reuse instead of merely observing equal bytes.
+
+    /// Whether this session's overlay still shares its flat value buffer
+    /// with `other`'s (true between a fork and the first copy-on-write
+    /// write on either side).
+    #[doc(hidden)]
+    #[must_use]
+    pub fn overlay_shares_buffer_with(&self, other: &Analyst) -> bool {
+        self.overlay.shares_buffer_with(&other.overlay)
+    }
+
+    /// The overlay buffer's raw address (identity across refreshes proves
+    /// in-place reuse; a change proves a copy-on-write break).
+    #[doc(hidden)]
+    #[must_use]
+    pub fn overlay_buffer_ptr(&self) -> *const f64 {
+        self.overlay.buffer_ptr()
+    }
+
+    /// Bucket `b`'s `(offset, len)` overlay slot, `None` when the bucket
+    /// serves the artifact's baseline.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn overlay_slot(&self, b: usize) -> Option<(usize, usize)> {
+        self.overlay.slot(b)
+    }
+
+    /// Number of buckets with overlay values.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn overlay_len(&self) -> usize {
+        self.overlay.len()
+    }
+
+    /// The table epoch the overlay's slot layout was built against.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn overlay_epoch(&self) -> u64 {
+        self.overlay.epoch()
     }
 
     /// The table epoch this session is pinned to (advanced by
@@ -553,6 +611,7 @@ impl Analyst {
         // No-op delta: swap the artifact pointer, dirty nothing — the next
         // refresh's fast path leaves the served estimate pointer-equal.
         if delta.is_noop() {
+            self.overlay.rebase(new.table().num_buckets(), new.epoch());
             let carried = self.overlay.len();
             self.artifact = Arc::clone(new);
             return Ok(RebaseStats {
@@ -723,14 +782,27 @@ impl Analyst {
         }
         for &b in touched {
             // Dirty anyway, and the bucket's term range may have resized.
-            self.overlay.remove(&b);
+            self.overlay.remove(b);
         }
+        // Untouched slots carry their count-space values verbatim onto the
+        // successor epoch; only the bucket count and epoch tag move.
+        self.overlay.rebase(new.table().num_buckets(), new.epoch());
         self.dual_cache.retain(|k, _| match *k {
             DualKey::Qi { b, .. } | DualKey::Sa { b, .. } => !touched.contains(&b),
             DualKey::Knowledge { .. } => true,
         });
         let carried = self.overlay.len();
         self.stale = true;
+        // The partition survives the rebase iff its row numbering does:
+        // every entry bit-unchanged (same footprints → same connectivity)
+        // and the new epoch kept the invariant-row base and bucket count
+        // (knowledge-row ids are `num_invariants + i`).
+        if changed > 0
+            || new.num_invariants() != old.num_invariants()
+            || new.table().num_buckets() != old.table().num_buckets()
+        {
+            self.partition_stale = true;
+        }
         if !self.individuals.is_empty() {
             // The person-level layer is a function of the table: re-solve.
             self.individuals_stale = true;
@@ -814,6 +886,7 @@ impl Analyst {
             handles.push(handle);
         }
         self.stale = true;
+        self.partition_stale = true;
         Ok(handles)
     }
 
@@ -847,6 +920,7 @@ impl Analyst {
         self.dirty.extend(entry.footprint.iter().copied());
         self.dual_cache.remove(&DualKey::Knowledge { handle });
         self.stale = true;
+        self.partition_stale = true;
         Ok(entry.item)
     }
 
@@ -944,7 +1018,7 @@ impl Analyst {
     /// estimate serves, the individual layer stays flagged stale
     /// ([`Analyst::is_stale`]), and the next refresh retries it.
     pub fn refresh(&mut self) -> Result<RefreshStats, PmError> {
-        let start = Instant::now();
+        let start = Instant::now(); // pm-audit: allow(determinism, reason = "wall-clock telemetry only: feeds RefreshStats durations, never the estimate bytes")
         let was_stale = self.stale;
         if !self.stale && !self.individuals_stale {
             let stats = RefreshStats {
@@ -967,18 +1041,26 @@ impl Analyst {
         let components: Vec<Component>;
         if self.stale {
             krows = self.build_knowledge_rows();
-            components = if self.config.decompose {
-                knowledge_components(&krows, artifact.num_invariants(), index)
-            } else {
+            // The knowledge rows themselves are cheap to rebuild (O(rules));
+            // the whole-table partition is not. A rebase that left every
+            // entry bit-unchanged keeps `partition_stale` false, so the
+            // steady-state delta path reuses the partition verbatim.
+            let cached = if self.partition_stale { None } else { self.components.take() };
+            components = match cached {
+                Some(c) => c,
+                None if self.config.decompose => {
+                    knowledge_components(&krows, artifact.num_invariants(), index)
+                }
                 // One pseudo-component holding everything; knowledge rows
                 // all attach to it (no incrementality without Section 5.5).
-                vec![Component {
+                None => vec![Component {
                     buckets: (0..artifact.table().num_buckets()).collect(),
                     knowledge_rows: (0..krows.len())
                         .map(|i| artifact.num_invariants() + i)
                         .collect(),
-                }]
+                }],
             };
+            self.partition_stale = false;
         } else {
             // Only the individual layer is stale: keep the partition.
             krows = Vec::new();
@@ -1005,9 +1087,14 @@ impl Analyst {
         }
 
         // Re-solve dirty numeric components on the worker pool (dirty-set
-        // scheduling). Mirrors the historical engine: an abort flag skips
-        // still-queued components once one fails, and the earliest-indexed
-        // observed failure is reported.
+        // scheduling). Tiny components are fused into batches sized by the
+        // cost model ([`EngineConfig::batch_min_cost`]) so per-task
+        // dispatch overhead — result slot, closure call, cache migration —
+        // amortises across real solver work; each worker carries ONE
+        // scratch arena across every component it solves. Mirrors the
+        // historical engine: an abort flag skips still-queued work once one
+        // component fails, and the earliest-indexed observed failure is
+        // reported.
         let config = &self.config;
         let table = artifact.table();
         let entries = &self.entries;
@@ -1020,20 +1107,47 @@ impl Analyst {
         let warm: Option<&(dyn Fn(usize) -> f64 + Sync)> =
             if config.warm_start { Some(&warm_fn) } else { None };
 
+        let costs: Vec<u64> = dirty_numeric
+            .iter()
+            .map(|&ci| batch::component_cost(index, rows, &components[ci]))
+            .collect();
+        let batches = batch::plan_batches(&dirty_numeric, &costs, config.batch_min_cost);
         let failed = AtomicBool::new(false);
-        let solved =
-            pm_parallel::map_subset(config.threads, &components, &dirty_numeric, |ci, comp| {
-                if failed.load(Ordering::Relaxed) {
-                    return None; // skipped: some other component already failed
-                }
-                let result = solve_component(config, table, index, rows, comp, warm);
-                if result.is_err() {
-                    failed.store(true, Ordering::Relaxed);
-                }
-                Some((ci, result))
-            });
-        let mut solutions: Vec<(usize, ComponentSolution)> = Vec::with_capacity(solved.len());
-        for slot in solved {
+        let solved = pm_parallel::map_chunked_with(
+            config.threads,
+            1,
+            &batches,
+            SolveScratch::default,
+            |scratch, _, batch| {
+                batch
+                    .iter()
+                    .map(|&ci| {
+                        if failed.load(Ordering::Relaxed) {
+                            return None; // skipped: another component already failed
+                        }
+                        let result = solve_component(
+                            config,
+                            table,
+                            index,
+                            rows,
+                            &components[ci],
+                            warm,
+                            scratch,
+                        );
+                        if result.is_err() {
+                            failed.store(true, Ordering::Relaxed);
+                        }
+                        Some((ci, result))
+                    })
+                    .collect::<Vec<_>>()
+            },
+        );
+        let mut solutions: Vec<(usize, ComponentSolution)> =
+            Vec::with_capacity(dirty_numeric.len());
+        // Batches concatenate to `dirty_numeric` verbatim, so this scan
+        // visits components in canonical order — the earliest-indexed
+        // failure wins, exactly as with one-task-per-component dispatch.
+        for slot in solved.into_iter().flatten() {
             match slot {
                 Some((ci, Ok(sol))) => solutions.push((ci, sol)),
                 // Earliest-indexed observed failure; no state was merged,
@@ -1059,10 +1173,9 @@ impl Analyst {
         for &i in &dirty_closed {
             for &b in &components[i].buckets {
                 if artifact.has_baseline() {
-                    self.overlay.remove(&b);
+                    self.overlay.remove(b);
                 } else {
-                    self.overlay
-                        .insert(b, uniform_bucket_values(table, index, b).into());
+                    self.overlay.insert(b, &uniform_bucket_values(table, index, b));
                 }
             }
         }
@@ -1088,7 +1201,7 @@ impl Analyst {
             let mut offset = 0usize;
             for &b in &components[ci].buckets {
                 let len = index.bucket_range(b).len();
-                self.overlay.insert(b, Arc::from(&sol.values[offset..offset + len]));
+                self.overlay.insert(b, &sol.values[offset..offset + len]);
                 offset += len;
             }
             debug_assert_eq!(offset, sol.values.len(), "component terms must cover buckets");
@@ -1253,10 +1366,15 @@ impl Analyst {
     fn assemble_estimate(&self, stats: EngineStats) -> Estimate {
         let index = self.artifact.index_arc();
         let table = self.artifact.table();
+        debug_assert_eq!(
+            self.overlay.epoch(),
+            self.artifact.epoch(),
+            "overlay slot layout must be rebased onto the served epoch"
+        );
         let mut values = vec![0.0; index.len()];
         for b in 0..table.num_buckets() {
             let range = index.bucket_range(b);
-            match self.overlay.get(&b) {
+            match self.overlay.get(b) {
                 Some(slice) => values[range].copy_from_slice(slice),
                 None => {
                     let baseline = self.artifact.bucket_baseline(b);

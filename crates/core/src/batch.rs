@@ -1,0 +1,132 @@
+//! Component batching: fuse small per-component solves into batched
+//! solver tasks sized to amortize dispatch.
+//!
+//! The Section 5.5 decomposition fragments realistic workloads into many
+//! *tiny* independent systems (Adult: ~950 relevant components, the
+//! largest ≈48 buckets). Dispatching each as its own parallel task makes
+//! the per-task fixed costs — result slot, closure call, scratch
+//! cold-start, cache migration between workers — rival the actual solver
+//! work, which is how `BENCH_parallel` ended up with multi-thread runs
+//! slower than one thread. The fix is a **cost model plus a deterministic
+//! batch plan**: estimate each dirty component's solve cost, then greedily
+//! fuse consecutive components (in canonical component order) until a
+//! batch reaches [`crate::engine::EngineConfig::batch_min_cost`]; each
+//! batch becomes one worker task that solves its components sequentially,
+//! reusing one warm scratch arena.
+//!
+//! **Bit-identity is preserved by construction**: batching changes which
+//! worker runs a component and nothing else. Every component still solves
+//! the identical local system in isolation (cold scratch state is
+//! cleared, not trusted), and the caller merges solutions in component
+//! order exactly as before — so every `batch_min_cost`, like every thread
+//! count, produces byte-identical estimates
+//! (`tests/test_batching_equivalence.rs` pins this against the unbatched
+//! sequential solve).
+
+use crate::engine::RowSet;
+use crate::partition::Component;
+use crate::terms::TermIndex;
+
+/// Estimated cost of solving `comp`: local terms plus constraint rows.
+/// Both assembly and per-iteration solver work scale with these, the
+/// numbers are already on hand (no workload probing), and the estimate is
+/// a pure function of the component — deterministic across processes.
+pub(crate) fn component_cost(index: &TermIndex, rows: RowSet<'_>, comp: &Component) -> u64 {
+    let terms: usize =
+        comp.buckets.iter().map(|&b| index.bucket_range(b).len()).sum();
+    let invariants: usize = comp
+        .buckets
+        .iter()
+        .map(|&b| rows.row_offsets[b + 1] - rows.row_offsets[b])
+        .sum();
+    (terms + invariants + comp.knowledge_rows.len()) as u64
+}
+
+/// Greedily fuses the dirty components (given in canonical solve order,
+/// with `costs[i]` the cost of `dirty[i]`) into batches whose summed cost
+/// reaches `min_cost`. Order is preserved: concatenating the returned
+/// batches yields `dirty` verbatim, so the caller's in-order merge — the
+/// bit-identity anchor — is untouched. `min_cost = 0` puts every
+/// component in its own batch (the historical one-task-per-component
+/// dispatch).
+pub(crate) fn plan_batches(dirty: &[usize], costs: &[u64], min_cost: u64) -> Vec<Vec<usize>> {
+    debug_assert_eq!(dirty.len(), costs.len());
+    let mut batches = Vec::new();
+    let mut current = Vec::new();
+    let mut acc = 0u64;
+    for (i, &ci) in dirty.iter().enumerate() {
+        current.push(ci);
+        acc = acc.saturating_add(costs[i]);
+        if acc >= min_cost {
+            batches.push(std::mem::take(&mut current));
+            acc = 0;
+        }
+    }
+    if !current.is_empty() {
+        batches.push(current);
+    }
+    batches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_min_cost_is_one_component_per_batch() {
+        let dirty = [3usize, 7, 9];
+        let costs = [5u64, 1, 100];
+        let batches = plan_batches(&dirty, &costs, 0);
+        assert_eq!(batches, vec![vec![3], vec![7], vec![9]]);
+    }
+
+    #[test]
+    fn batches_concatenate_to_the_input_order() {
+        let dirty: Vec<usize> = (0..17).map(|i| i * 2).collect();
+        let costs: Vec<u64> = (0..17).map(|i| (i % 5) as u64 + 1).collect();
+        for min_cost in [0u64, 1, 3, 7, 100, u64::MAX] {
+            let batches = plan_batches(&dirty, &costs, min_cost);
+            let flat: Vec<usize> = batches.iter().flatten().copied().collect();
+            assert_eq!(flat, dirty, "min_cost={min_cost} must preserve order");
+            assert!(batches.iter().all(|b| !b.is_empty()));
+        }
+    }
+
+    #[test]
+    fn batches_fill_to_the_cost_floor() {
+        let dirty = [0usize, 1, 2, 3, 4];
+        let costs = [4u64, 4, 4, 4, 4];
+        let batches = plan_batches(&dirty, &costs, 8);
+        assert_eq!(batches, vec![vec![0, 1], vec![2, 3], vec![4]]);
+        // Every batch except possibly the last reaches the floor.
+        let sums: Vec<u64> = batches
+            .iter()
+            .map(|b| b.iter().map(|&ci| costs[ci]).sum())
+            .collect();
+        for &s in &sums[..sums.len() - 1] {
+            assert!(s >= 8);
+        }
+    }
+
+    #[test]
+    fn huge_min_cost_yields_one_batch() {
+        let dirty = [1usize, 2, 3];
+        let costs = [10u64, 10, 10];
+        assert_eq!(plan_batches(&dirty, &costs, u64::MAX), vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn empty_dirty_set_yields_no_batches() {
+        assert!(plan_batches(&[], &[], 0).is_empty());
+        assert!(plan_batches(&[], &[], 1000).is_empty());
+    }
+
+    #[test]
+    fn one_oversized_component_is_its_own_batch() {
+        let dirty = [0usize, 1, 2];
+        let costs = [1000u64, 1, 1];
+        let batches = plan_batches(&dirty, &costs, 10);
+        assert_eq!(batches[0], vec![0], "the big component fills a batch alone");
+        assert_eq!(batches[1], vec![1, 2]);
+    }
+}

@@ -56,7 +56,7 @@ use crate::constraint::Constraint;
 use crate::delta::{AppliedDelta, DeltaOp, TableDelta};
 use crate::engine::{
     counts_to_probabilities, solve_component, uniform_bucket_values, EngineConfig,
-    EngineStats, Estimate, RowSet,
+    EngineStats, Estimate, RowSet, SolveScratch,
 };
 use crate::error::PmError;
 use crate::invariants::bucket_invariant_rows;
@@ -249,13 +249,21 @@ impl CompiledTable {
             // exact system a knowledge-free `Engine::estimate` would solve.
             let comp = joint_component(m);
             let rows = self.rows(&[]);
-            let sol = solve_component(&self.config, &core.table, &core.index, rows, &comp, None)?;
+            let sol = solve_component(
+                &self.config,
+                &core.table,
+                &core.index,
+                rows,
+                &comp,
+                None,
+                &mut SolveScratch::default(),
+            )?;
             estats.num_constraints = sol.num_constraints;
             estats.num_free_terms = sol.num_free_terms;
-            let mut values = vec![0.0; core.index.len()];
-            for (&t, &v) in sol.terms.iter().zip(&sol.values) {
-                values[t] = v;
-            }
+            // The joint component covers buckets 0..m in ascending order, so
+            // its local term concatenation *is* the global `TermIndex` layout.
+            let values = sol.values;
+            debug_assert_eq!(values.len(), core.index.len());
             if let Some(s) = sol.stats {
                 estats.component_stats.push(s);
             }

@@ -56,11 +56,11 @@ use pm_solver::stats::SolveStats;
 use pm_solver::{Lbfgs, LbfgsConfig, MaxEntDual};
 
 use crate::analyst::Analyst;
-use crate::constraint::{Constraint, ConstraintOrigin};
+use crate::constraint::Constraint;
 use crate::error::PmError;
 use crate::knowledge::KnowledgeBase;
 use crate::partition::Component;
-use crate::preprocess::preprocess;
+use crate::preprocess::{preprocess_flat, FlatRows};
 use crate::terms::TermIndex;
 
 /// Result of one constraint-system solve (count space).
@@ -136,9 +136,10 @@ impl RowSet<'_> {
 /// on the calling thread in component order (deterministic regardless of
 /// which worker finished first).
 pub(crate) struct ComponentSolution {
-    /// Global term ids of this component's local term space.
-    pub(crate) terms: Vec<usize>,
-    /// Solved term values (count space), aligned with `terms`.
+    /// Solved term values (count space), aligned with the concatenation of
+    /// the component buckets' term ranges — callers scatter by walking
+    /// `comp.buckets` and each bucket's `TermIndex::bucket_range` length
+    /// (pure offset arithmetic; no per-term id list is materialised).
     pub(crate) values: Vec<f64>,
     /// Solver stats (`None` when preprocessing fully determined the system).
     pub(crate) stats: Option<SolveStats>,
@@ -207,6 +208,18 @@ pub struct EngineConfig {
     /// forces the sequential path. Any value yields bit-identical
     /// estimates — threads only change wall time.
     pub threads: usize,
+    /// Minimum summed solve cost (local terms + constraint rows, see
+    /// `component_cost`) per parallel task: a session refresh greedily
+    /// fuses consecutive dirty components — in canonical component order —
+    /// into batches reaching this floor, and each batch dispatches as one
+    /// worker task solving its components sequentially over a shared
+    /// scratch arena. Realistic workloads fragment into hundreds of tiny
+    /// components whose per-task dispatch overhead rivals the solve
+    /// itself; batching amortizes it. `0` disables fusion (one component
+    /// per task, the historical dispatch). Like `threads`, any value is
+    /// **bit-identical**: batching only changes which worker runs a
+    /// component, never its local system or the merge order.
+    pub batch_min_cost: u64,
     /// Warm-start dirty component re-solves in the
     /// [`crate::analyst::Analyst`] session from the previous refresh's dual
     /// vectors (`pm-solver`'s `*_from` entry points).
@@ -236,6 +249,10 @@ impl Default for EngineConfig {
             // exact-zero tolerance would mis-report them as failures.
             residual_limit: 1e-2,
             threads: 0,
+            // Roughly 20–30 Adult-scale tiny components per task: large
+            // enough that dispatch stops dominating, small enough to keep
+            // hundreds of batches for the pool to balance.
+            batch_min_cost: 1024,
             warm_start: false,
         }
     }
@@ -297,6 +314,12 @@ impl EngineConfigBuilder {
     /// Sets [`EngineConfig::threads`].
     pub fn threads(mut self, threads: usize) -> Self {
         self.config.threads = threads;
+        self
+    }
+
+    /// Sets [`EngineConfig::batch_min_cost`].
+    pub fn batch_min_cost(mut self, batch_min_cost: u64) -> Self {
+        self.config.batch_min_cost = batch_min_cost;
         self
     }
 
@@ -592,6 +615,35 @@ impl Engine {
     }
 }
 
+/// Reusable per-worker scratch for [`solve_component`]: every buffer the
+/// localisation stage needs, cleared (not freed) between solves, so a
+/// worker that processes a whole batch of components performs the
+/// localisation with **zero steady-state allocations** — capacities warm
+/// up to the batch's largest component and stay. Constraint rows are
+/// assembled **contiguously per component** ([`FlatRows`] CSR-style
+/// storage: one coefficient buffer + prefix-sum bounds), replacing the
+/// per-row `Vec` clones and the per-term `HashMap` the historical path
+/// paid for on every solve.
+#[derive(Debug, Default)]
+pub(crate) struct SolveScratch {
+    /// Local start offset of each component bucket's term range.
+    concat_start: Vec<usize>,
+    /// Global constraint index of each local row.
+    row_ids: Vec<usize>,
+    /// Flat local rows: concatenated coefficients…
+    coeffs: Vec<(usize, f64)>,
+    /// …prefix-sum row bounds (`len = rows + 1`)…
+    bounds: Vec<usize>,
+    /// …and count-space targets.
+    rhs: Vec<f64>,
+    /// Dual seeds aligned with the local rows (warm starts).
+    seed: Vec<f64>,
+    /// Crossover (stage 2) pinned-system buffers.
+    pin_coeffs: Vec<(usize, f64)>,
+    pin_bounds: Vec<usize>,
+    pin_rhs: Vec<f64>,
+}
+
 /// Solves one component's maxent subproblem. Pure with respect to shared
 /// state (runs on a worker thread); the caller merges the returned
 /// [`ComponentSolution`] in component order.
@@ -604,7 +656,9 @@ impl Engine {
 ///
 /// `warm` maps a global constraint index to a dual seed (the session's dual
 /// cache); `None` cold-starts from the origin, which is the bit-stable
-/// path.
+/// path. `scratch` is cleared before use, so a reused (batch) scratch and
+/// a fresh one produce identical results — only allocation traffic
+/// differs.
 pub(crate) fn solve_component(
     config: &EngineConfig,
     table: &PublishedTable,
@@ -612,59 +666,85 @@ pub(crate) fn solve_component(
     rows: RowSet<'_>,
     comp: &Component,
     warm: Option<&(dyn Fn(usize) -> f64 + Sync)>,
+    scratch: &mut SolveScratch,
 ) -> Result<ComponentSolution, PmError> {
+    let SolveScratch {
+        concat_start,
+        row_ids,
+        coeffs,
+        bounds,
+        rhs,
+        seed,
+        pin_coeffs,
+        pin_bounds,
+        pin_rhs,
+    } = scratch;
+    concat_start.clear();
+    row_ids.clear();
+    coeffs.clear();
+    bounds.clear();
+    rhs.clear();
+    seed.clear();
+
     // Local term space: concatenation of the component buckets' ranges.
     // `concat_start[i]` is where comp.buckets[i]'s range begins locally.
-    let mut local_of = std::collections::HashMap::new();
-    let mut concat_start = Vec::with_capacity(comp.buckets.len());
-    let mut global_of = Vec::new();
+    let mut n_local = 0usize;
     for &b in &comp.buckets {
-        concat_start.push(global_of.len());
-        for t in index.bucket_range(b) {
-            local_of.insert(t, global_of.len());
-            global_of.push(t);
-        }
+        concat_start.push(n_local);
+        n_local += index.bucket_range(b).len();
     }
+    // A global term localises by pure offset arithmetic: find its bucket,
+    // find the bucket's position in the component, add the in-bucket
+    // offset — no per-term map to build or hash.
+    let local_of = |t: usize| -> usize {
+        let b = index.bucket_of(t);
+        let pos = comp
+            .buckets
+            .binary_search(&b)
+            .expect("knowledge row terms lie in the component's buckets");
+        concat_start[pos] + (t - index.bucket_range(b).start)
+    };
 
-    // Localised constraints. Invariant rows arrive in bucket-local
-    // coordinates (count-space rhs) from the shared artifact and localise
-    // by offset arithmetic; knowledge rows carry global term ids and go
-    // through the map.
-    let mut row_ids: Vec<usize> = Vec::new();
-    let mut local_constraints: Vec<Constraint> = Vec::new();
+    // Localised constraints, assembled contiguously (CSR-style rows).
+    // Invariant rows arrive in bucket-local coordinates (count-space rhs)
+    // from the shared artifact and localise by offset arithmetic;
+    // knowledge rows carry global term ids through `local_of`.
+    bounds.push(0);
     for (i, &b) in comp.buckets.iter().enumerate() {
         let start = concat_start[i];
         for (k, c) in rows.bucket_rows[b].iter().enumerate() {
             row_ids.push(rows.row_offsets[b] + k);
-            local_constraints.push(Constraint {
-                coeffs: c.coeffs.iter().map(|&(t, v)| (start + t, v)).collect(),
-                rhs: c.rhs,
-                origin: c.origin.clone(),
-            });
+            coeffs.extend(c.coeffs.iter().map(|&(t, v)| (start + t, v)));
+            bounds.push(coeffs.len());
+            rhs.push(c.rhs);
         }
     }
     for &ci in &comp.knowledge_rows {
         let c = rows.get(ci);
         row_ids.push(ci);
-        local_constraints.push(Constraint {
-            coeffs: c.coeffs.iter().map(|&(t, v)| (local_of[&t], v)).collect(),
-            rhs: c.rhs,
-            origin: c.origin.clone(),
-        });
+        coeffs.extend(c.coeffs.iter().map(|&(t, v)| (local_of(t), v)));
+        bounds.push(coeffs.len());
+        rhs.push(c.rhs);
     }
+    let num_rows = rhs.len();
+    let local = FlatRows { coeffs, bounds, rhs };
 
-    // Dual seeds aligned with `local_constraints` (zeros when cold).
-    let seed: Option<Vec<f64>> =
-        warm.map(|w| row_ids.iter().map(|&ci| w(ci)).collect());
-    let warm_seeded = seed.as_ref().is_some_and(|s| s.iter().any(|&v| v != 0.0));
+    // Dual seeds aligned with the local rows (zeros when cold).
+    let seed: Option<&[f64]> = match warm {
+        Some(w) => {
+            seed.extend(row_ids.iter().map(|&ci| w(ci)));
+            Some(seed.as_slice())
+        }
+        None => None,
+    };
+    let warm_seeded = seed.is_some_and(|s| s.iter().any(|&v| v != 0.0));
 
     // Component record mass in counts (for GIS's slack target).
     let comp_mass: f64 =
         comp.buckets.iter().map(|&b| table.bucket(b).size() as f64).sum();
 
     // Stage 1: direct solve.
-    let attempt =
-        solve_constraints(config, &local_constraints, global_of.len(), comp_mass, seed.as_deref())?;
+    let attempt = solve_constraints(config, local, n_local, comp_mass, seed)?;
     let SolvedSystem {
         values: mut best_values,
         stats: mut best_stats,
@@ -682,26 +762,29 @@ pub(crate) fn solve_component(
     if best_residual > config.residual_limit && config.solver == SolverKind::Lbfgs {
         const DEAD: f64 = 1e-6; // counts; genuine mass is ≥ O(1e-2)
         const MAX_ROUNDS: usize = 5;
-        let mut pinned = local_constraints.to_vec();
-        let mut dead: Vec<bool> = vec![false; global_of.len()];
+        pin_coeffs.clear();
+        pin_bounds.clear();
+        pin_rhs.clear();
+        pin_coeffs.extend_from_slice(local.coeffs);
+        pin_bounds.extend_from_slice(local.bounds);
+        pin_rhs.extend_from_slice(local.rhs);
+        let mut dead: Vec<bool> = vec![false; n_local];
         for _round in 0..MAX_ROUNDS {
             let mut any = false;
             for (t, &v) in best_values.iter().enumerate() {
                 if !dead[t] && v > 0.0 && v < DEAD {
                     dead[t] = true;
-                    pinned.push(Constraint {
-                        coeffs: vec![(t, 1.0)],
-                        rhs: 0.0,
-                        origin: ConstraintOrigin::Knowledge { index: usize::MAX },
-                    });
+                    pin_coeffs.push((t, 1.0));
+                    pin_bounds.push(pin_coeffs.len());
+                    pin_rhs.push(0.0);
                     any = true;
                 }
             }
             if !any {
                 break;
             }
-            let r2 =
-                solve_constraints(config, &pinned, global_of.len(), comp_mass, seed.as_deref());
+            let pinned = FlatRows { coeffs: pin_coeffs, bounds: pin_bounds, rhs: pin_rhs };
+            let r2 = solve_constraints(config, pinned, n_local, comp_mass, seed);
             if std::env::var("PM_DEBUG").is_ok() {
                 match &r2 {
                     Ok(s) => eprintln!(
@@ -749,11 +832,10 @@ pub(crate) fn solve_component(
     // not cacheable duals.
     let duals: Vec<(usize, f64)> = best_duals
         .into_iter()
-        .filter(|&(local, _)| local < local_constraints.len())
+        .filter(|&(local, _)| local < num_rows)
         .map(|(local, lam)| (row_ids[local], lam))
         .collect();
     Ok(ComponentSolution {
-        terms: global_of,
         values: best_values,
         stats: best_stats,
         num_constraints: nc,
@@ -766,12 +848,12 @@ pub(crate) fn solve_component(
 /// Preprocesses and solves one constraint system (count space).
 fn solve_constraints(
     config: &EngineConfig,
-    local_constraints: &[Constraint],
+    rows: FlatRows<'_>,
     n_local: usize,
     comp_mass: f64,
     seed: Option<&[f64]>,
 ) -> Result<SolvedSystem, PmError> {
-    let reduced = preprocess(local_constraints, n_local)?;
+    let reduced = preprocess_flat(rows, n_local)?;
     let nc = reduced.rows.len();
     let nf = reduced.num_free();
     if nf == 0 {

@@ -85,6 +85,7 @@
 #![warn(missing_docs)]
 
 pub mod analyst;
+mod batch;
 pub mod compile;
 pub mod compiled;
 pub mod constraint;
@@ -96,6 +97,7 @@ pub mod inequality;
 pub mod invariants;
 pub mod knowledge;
 pub mod metrics;
+mod overlay;
 pub mod partition;
 pub mod persist;
 pub mod preprocess;

@@ -1,0 +1,301 @@
+//! The session's flat, epoch-indexed solution overlay.
+//!
+//! An [`crate::analyst::Analyst`] session's current solution used to live
+//! in a `HashMap<bucket, Arc<[f64]>>` — one heap allocation and one
+//! pointer chase per overlaid bucket, re-hashed on every merge and every
+//! estimate assembly. At Adult scale a refresh touches ~950 tiny
+//! components, so the map dominated the actual solver work. This module
+//! replaces it with a [`FlatOverlay`]: **one** shared flat `f64` buffer of
+//! count-space values plus a dense per-bucket slot table of
+//! `(offset, len)` entries into it (the two-level
+//! [`crate::terms::TermIndex`] already owns the term-range offsets; the
+//! slot table mirrors that layout for the overlay's own storage).
+//!
+//! Semantics are unchanged:
+//!
+//! * A bucket without a slot serves the artifact's baseline — exactly the
+//!   old "absent key" case.
+//! * [`Analyst::fork`] clones the overlay: the value buffer is an `Arc`,
+//!   so a fork is a reference bump plus a memcpy of the slot table —
+//!   **copy-on-write**: the first merge on either side clones (and
+//!   compacts) its own buffer, leaving the other side's bytes untouched.
+//! * Steady-state refreshes write **in place**: a re-solved bucket whose
+//!   slot already has the right length is overwritten inside the uniquely
+//!   owned buffer — zero allocations, the foundation of the
+//!   allocation-honesty contract in `tests/test_alloc_honesty.rs`.
+//! * The overlay is **epoch-indexed**: it records the table epoch its slot
+//!   layout was built against, and [`FlatOverlay::rebase`] advances it
+//!   (the values themselves are count-space and epoch-stable; the tag
+//!   exists so a layout/epoch mismatch is an assert, not silent garbage).
+//!
+//! Determinism: slots are addressed by bucket id and compaction walks the
+//! slot table in bucket order — no hash-ordered iteration anywhere
+//! (enforced by pm-audit's `determinism` rule, which covers this module).
+//!
+//! [`Analyst::fork`]: crate::analyst::Analyst::fork
+
+use std::sync::Arc;
+
+/// Slot sentinel: the bucket has no overlay values (serve the baseline).
+const ABSENT: usize = usize::MAX;
+
+/// Flat copy-on-write solution overlay (see the [module docs](self)).
+#[derive(Debug, Clone)]
+pub(crate) struct FlatOverlay {
+    /// The shared flat value buffer (count space). `Arc` so forks are
+    /// reference bumps; uniquely owned buffers mutate in place.
+    values: Arc<Vec<f64>>,
+    /// Per-bucket `(offset, len)` into `values`; `offset == ABSENT` means
+    /// the bucket serves the artifact's baseline.
+    slots: Vec<(usize, usize)>,
+    /// Number of buckets with a live slot.
+    present: usize,
+    /// Values no longer referenced by any slot (removed or resized
+    /// buckets); reclaimed by the compaction a copy-on-write clone runs.
+    dead: usize,
+    /// Table epoch the slot layout was built against.
+    epoch: u64,
+}
+
+impl FlatOverlay {
+    /// An empty overlay over `num_buckets` buckets at `epoch` — every
+    /// bucket serves the baseline.
+    pub(crate) fn new(num_buckets: usize, epoch: u64) -> Self {
+        Self {
+            values: Arc::new(Vec::new()),
+            slots: vec![(ABSENT, 0); num_buckets],
+            present: 0,
+            dead: 0,
+            epoch,
+        }
+    }
+
+    /// The bucket's overlay values, or `None` to serve the baseline.
+    pub(crate) fn get(&self, b: usize) -> Option<&[f64]> {
+        let (offset, len) = self.slots[b];
+        if offset == ABSENT {
+            None
+        } else {
+            Some(&self.values[offset..offset + len])
+        }
+    }
+
+    /// Stores `src` as bucket `b`'s overlay values.
+    ///
+    /// Steady state (same length, uniquely owned buffer) writes in place
+    /// with zero allocations. A shared buffer (live fork) is cloned and
+    /// compacted first — copy-on-write — so the other holders never see
+    /// the write. A length change (the bucket's term range resized across
+    /// a rebase) appends and retires the old slot.
+    pub(crate) fn insert(&mut self, b: usize, src: &[f64]) {
+        let (offset, len) = self.slots[b];
+        if offset != ABSENT && len == src.len() {
+            self.make_unique();
+            let (offset, _) = self.slots[b]; // compaction may have moved it
+            Arc::get_mut(&mut self.values).expect("buffer unique after make_unique")
+                [offset..offset + len]
+                .copy_from_slice(src);
+            return;
+        }
+        if offset != ABSENT {
+            self.dead += len;
+        } else {
+            self.present += 1;
+        }
+        self.make_unique();
+        let values = Arc::get_mut(&mut self.values).expect("buffer unique after make_unique");
+        self.slots[b] = (values.len(), src.len());
+        values.extend_from_slice(src);
+    }
+
+    /// Drops bucket `b`'s overlay values (it serves the baseline again).
+    /// The bytes become dead until the next copy-on-write compaction.
+    /// Out-of-range buckets (a rebase delta can mint buckets beyond the
+    /// session's current count) are a no-op, like the absent-key case.
+    pub(crate) fn remove(&mut self, b: usize) {
+        let Some(&(offset, len)) = self.slots.get(b) else {
+            return;
+        };
+        if offset != ABSENT {
+            self.slots[b] = (ABSENT, 0);
+            self.present -= 1;
+            self.dead += len;
+        }
+    }
+
+    /// Number of buckets with overlay values.
+    pub(crate) fn len(&self) -> usize {
+        self.present
+    }
+
+    /// The epoch the slot layout was built against.
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Carries the overlay onto a new table epoch: the caller has already
+    /// removed every touched bucket; untouched slots keep their values
+    /// verbatim (count space is epoch-stable). Only the bucket count and
+    /// the epoch tag change.
+    pub(crate) fn rebase(&mut self, num_buckets: usize, epoch: u64) {
+        for b in num_buckets..self.slots.len() {
+            self.remove(b);
+        }
+        self.slots.resize(num_buckets, (ABSENT, 0));
+        self.epoch = epoch;
+    }
+
+    /// Ensures the value buffer is uniquely owned, cloning **and
+    /// compacting** it when shared (the copy-on-write break after a fork):
+    /// live slots are rewritten contiguously in bucket order — a
+    /// deterministic layout — and dead bytes are reclaimed.
+    fn make_unique(&mut self) {
+        if Arc::get_mut(&mut self.values).is_some() {
+            return;
+        }
+        let mut compact = Vec::with_capacity(self.values.len() - self.dead);
+        for slot in &mut self.slots {
+            let (offset, len) = *slot;
+            if offset == ABSENT {
+                continue;
+            }
+            let new_offset = compact.len();
+            compact.extend_from_slice(&self.values[offset..offset + len]);
+            *slot = (new_offset, len);
+        }
+        self.dead = 0;
+        self.values = Arc::new(compact);
+    }
+
+    // ---- Observability hooks (structural-sharing tests). ----
+
+    /// Whether this overlay still shares its value buffer with `other`
+    /// (true between a fork and the first copy-on-write break).
+    pub(crate) fn shares_buffer_with(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.values, &other.values)
+    }
+
+    /// The raw buffer address — pointer identity across operations proves
+    /// in-place reuse (or, when it changes, a copy-on-write break).
+    pub(crate) fn buffer_ptr(&self) -> *const f64 {
+        self.values.as_ptr()
+    }
+
+    /// Bucket `b`'s `(offset, len)` slot, `None` when it serves the
+    /// baseline — offset identity across refreshes proves slot reuse.
+    pub(crate) fn slot(&self, b: usize) -> Option<(usize, usize)> {
+        let (offset, len) = self.slots[b];
+        (offset != ABSENT).then_some((offset, len))
+    }
+
+    /// Dead values awaiting compaction (observability for tests).
+    #[cfg(test)]
+    pub(crate) fn dead_values(&self) -> usize {
+        self.dead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absent_buckets_serve_baseline() {
+        let o = FlatOverlay::new(4, 0);
+        assert_eq!(o.len(), 0);
+        for b in 0..4 {
+            assert!(o.get(b).is_none());
+            assert!(o.slot(b).is_none());
+        }
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut o = FlatOverlay::new(3, 0);
+        o.insert(1, &[1.0, 2.0]);
+        o.insert(0, &[3.0]);
+        assert_eq!(o.len(), 2);
+        assert_eq!(o.get(0), Some(&[3.0][..]));
+        assert_eq!(o.get(1), Some(&[1.0, 2.0][..]));
+        assert!(o.get(2).is_none());
+        o.remove(1);
+        assert_eq!(o.len(), 1);
+        assert!(o.get(1).is_none());
+        assert_eq!(o.dead_values(), 2);
+        // Double remove is a no-op.
+        o.remove(1);
+        assert_eq!(o.len(), 1);
+        assert_eq!(o.dead_values(), 2);
+    }
+
+    #[test]
+    fn same_length_insert_reuses_slot_and_buffer_in_place() {
+        let mut o = FlatOverlay::new(2, 0);
+        o.insert(0, &[1.0, 2.0]);
+        o.insert(1, &[3.0]);
+        let ptr = o.buffer_ptr();
+        let slot0 = o.slot(0);
+        o.insert(0, &[9.0, 8.0]);
+        assert_eq!(o.buffer_ptr(), ptr, "in-place write must not reallocate");
+        assert_eq!(o.slot(0), slot0, "in-place write must not move the slot");
+        assert_eq!(o.get(0), Some(&[9.0, 8.0][..]));
+        assert_eq!(o.get(1), Some(&[3.0][..]));
+    }
+
+    #[test]
+    fn resized_insert_retires_the_old_slot() {
+        let mut o = FlatOverlay::new(2, 0);
+        o.insert(0, &[1.0, 2.0]);
+        o.insert(0, &[5.0, 6.0, 7.0]);
+        assert_eq!(o.len(), 1);
+        assert_eq!(o.get(0), Some(&[5.0, 6.0, 7.0][..]));
+        assert_eq!(o.dead_values(), 2);
+    }
+
+    #[test]
+    fn clone_shares_until_first_write_then_cow_breaks() {
+        let mut parent = FlatOverlay::new(3, 0);
+        parent.insert(0, &[1.0]);
+        parent.insert(2, &[2.0, 3.0]);
+        let fork = parent.clone();
+        assert!(parent.shares_buffer_with(&fork));
+
+        // Parent writes: its buffer breaks away, the fork's is untouched.
+        let fork_ptr = fork.buffer_ptr();
+        parent.insert(0, &[9.0]);
+        assert!(!parent.shares_buffer_with(&fork));
+        assert_eq!(fork.buffer_ptr(), fork_ptr);
+        assert_eq!(fork.get(0), Some(&[1.0][..]));
+        assert_eq!(parent.get(0), Some(&[9.0][..]));
+        assert_eq!(parent.get(2), Some(&[2.0, 3.0][..]), "unwritten slots carry over");
+    }
+
+    #[test]
+    fn cow_break_compacts_dead_values() {
+        let mut o = FlatOverlay::new(3, 0);
+        o.insert(0, &[1.0, 2.0]);
+        o.insert(1, &[3.0]);
+        o.remove(0);
+        assert_eq!(o.dead_values(), 2);
+        let fork = o.clone();
+        o.insert(2, &[4.0]); // shared → clone + compact
+        assert_eq!(o.dead_values(), 0);
+        assert_eq!(o.slot(1), Some((0, 1)), "compaction packs live slots in bucket order");
+        assert_eq!(o.get(1), Some(&[3.0][..]));
+        assert_eq!(fork.get(1), Some(&[3.0][..]));
+    }
+
+    #[test]
+    fn rebase_resizes_and_advances_epoch() {
+        let mut o = FlatOverlay::new(3, 0);
+        o.insert(0, &[1.0]);
+        o.insert(2, &[2.0]);
+        o.rebase(2, 1);
+        assert_eq!(o.epoch(), 1);
+        assert_eq!(o.len(), 1, "slot beyond the new bucket count is dropped");
+        assert_eq!(o.get(0), Some(&[1.0][..]));
+        o.rebase(5, 2);
+        assert_eq!(o.epoch(), 2);
+        assert!(o.get(4).is_none());
+    }
+}

@@ -54,16 +54,67 @@ impl Reduced {
     }
 }
 
+/// A borrowed constraint system in flat CSR-style storage: all rows'
+/// coefficients concatenated in one contiguous buffer, with prefix-sum
+/// `bounds` (`len = rows + 1`, `bounds[0] = 0`) delimiting row `r` as
+/// `coeffs[bounds[r]..bounds[r + 1]]`. This is what the engine's
+/// per-component scratch arena assembles — rows stay contiguous per
+/// component, no per-row `Vec` allocations — and [`preprocess_flat`]
+/// consumes it directly. Origins are deliberately absent: preprocessing
+/// only reads coefficients and targets; callers track row identity by
+/// position (`Reduced::row_origin`).
+#[derive(Debug, Clone, Copy)]
+pub struct FlatRows<'a> {
+    /// Concatenated `(term, coefficient)` pairs of every row.
+    pub coeffs: &'a [(usize, f64)],
+    /// Row bounds: prefix sums into `coeffs` (`len = num_rows + 1`).
+    pub bounds: &'a [usize],
+    /// Right-hand sides, aligned with rows.
+    pub rhs: &'a [f64],
+}
+
+impl FlatRows<'_> {
+    /// Number of rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.rhs.len()
+    }
+
+    /// Row `r`'s coefficients.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[(usize, f64)] {
+        &self.coeffs[self.bounds[r]..self.bounds[r + 1]]
+    }
+}
+
 /// Runs the elimination fixpoint over `constraints` on `n_terms` variables.
 pub fn preprocess(constraints: &[Constraint], n_terms: usize) -> Result<Reduced, CoreError> {
+    let rows: Vec<Vec<(usize, f64)>> =
+        constraints.iter().map(|c| c.coeffs.clone()).collect();
+    let rhs: Vec<f64> = constraints.iter().map(|c| c.rhs).collect();
+    run_fixpoint(rows, rhs, n_terms)
+}
+
+/// [`preprocess`] over a flat CSR-style system — the engine's hot path
+/// (per-component rows assembled contiguously in a reusable scratch
+/// arena). Row indices in `Reduced::row_origin` are positions in `system`.
+pub fn preprocess_flat(system: FlatRows<'_>, n_terms: usize) -> Result<Reduced, CoreError> {
+    let rows: Vec<Vec<(usize, f64)>> =
+        (0..system.num_rows()).map(|r| system.row(r).to_vec()).collect();
+    run_fixpoint(rows, system.rhs.to_vec(), n_terms)
+}
+
+/// The elimination fixpoint proper, over an owned working set (`rows` are
+/// mutated in place as terms pin and substitute out).
+fn run_fixpoint(
+    mut rows: Vec<Vec<(usize, f64)>>,
+    mut rhs: Vec<f64>,
+    n_terms: usize,
+) -> Result<Reduced, CoreError> {
     // fixed[t] = Some(value) once term t is eliminated.
     let mut fixed: Vec<Option<f64>> = vec![None; n_terms];
     // Upper bounds implied by non-negative rows: `c·p ≤ rhs ⇒ p ≤ rhs/c`.
     let mut ub: Vec<f64> = vec![f64::INFINITY; n_terms];
-    // Active view of each row: remaining coefficients and adjusted rhs.
-    let mut rows: Vec<Vec<(usize, f64)>> =
-        constraints.iter().map(|c| c.coeffs.clone()).collect();
-    let mut rhs: Vec<f64> = constraints.iter().map(|c| c.rhs).collect();
     let mut alive: Vec<bool> = vec![true; rows.len()];
 
     loop {
@@ -275,6 +326,35 @@ mod tests {
         // x0 = 0 via zero row, then x0 = 0.2 is contradictory.
         let cs = vec![k(vec![(0, 1.0)], 0.0), k(vec![(0, 1.0)], 0.2)];
         assert!(matches!(preprocess(&cs, 1), Err(CoreError::Infeasible { .. })));
+    }
+
+    /// The flat CSR-style entry point is the same fixpoint: identical
+    /// `Reduced` (rows, rhs, origins, fixed terms) for the same system.
+    #[test]
+    fn flat_entry_point_matches_slice_entry_point() {
+        let cs = vec![
+            k(vec![(0, 1.0), (1, 1.0)], 0.0),
+            k(vec![(1, 1.0), (2, 1.0), (3, 1.0)], 0.5),
+            k(vec![(2, 2.0)], 0.4),
+        ];
+        let mut coeffs = Vec::new();
+        let mut bounds = vec![0usize];
+        let mut rhs = Vec::new();
+        for c in &cs {
+            coeffs.extend_from_slice(&c.coeffs);
+            bounds.push(coeffs.len());
+            rhs.push(c.rhs);
+        }
+        let flat = FlatRows { coeffs: &coeffs, bounds: &bounds, rhs: &rhs };
+        assert_eq!(flat.num_rows(), 3);
+        assert_eq!(flat.row(1), &cs[1].coeffs[..]);
+        let a = preprocess(&cs, 4).unwrap();
+        let b = preprocess_flat(flat, 4).unwrap();
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(a.rhs, b.rhs);
+        assert_eq!(a.row_origin, b.row_origin);
+        assert_eq!(a.var_map, b.var_map);
+        assert_eq!(a.fixed, b.fixed);
     }
 
     #[test]

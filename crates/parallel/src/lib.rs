@@ -141,18 +141,54 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    map_chunked_with(threads, chunk, items, || (), |(), i, t| f(i, t))
+}
+
+/// [`map_chunked`] with **per-worker state**: each worker calls `init()`
+/// exactly once and threads the resulting value mutably through every item
+/// it processes.
+///
+/// This is the scratch-arena shape: a worker that draws a batch of tiny
+/// solver tasks reuses one warm allocation arena across all of them
+/// instead of cold-starting per item. The state is worker-local — `f` gets
+/// `&mut S` without locks — and is dropped when the worker finishes; it
+/// never migrates between workers. Correctness must not depend on *which*
+/// items share a state: callers (the engine's batched component solves)
+/// treat `S` as a cache whose contents are cleared, not trusted, at each
+/// item, keeping results bit-identical for every thread count and claim
+/// interleaving.
+///
+/// With one effective worker everything runs on the calling thread with a
+/// single `init()` — the serial path exercises the exact same reuse.
+///
+/// # Panics
+/// Panics if `chunk == 0`, or (propagated) if `init` or `f` panics.
+pub fn map_chunked_with<T, S, R, FS, F>(
+    threads: usize,
+    chunk: usize,
+    items: &[T],
+    init: FS,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    FS: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
     assert!(chunk > 0, "chunk size must be positive");
     let num_chunks = items.len().div_ceil(chunk);
     let workers = resolve_threads(threads).min(num_chunks);
     if workers <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let mut state = init();
+        return items.iter().enumerate().map(|(i, t)| f(&mut state, i, t)).collect();
     }
 
     let cursor = AtomicUsize::new(0);
     let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);
 
-    let worker = |out: &mut Vec<(usize, R)>| {
+    let worker = |state: &mut S, out: &mut Vec<(usize, R)>| {
         loop {
             let start = cursor.fetch_add(chunk, Ordering::Relaxed);
             if start >= items.len() {
@@ -160,17 +196,20 @@ where
             }
             let end = (start + chunk).min(items.len());
             for (i, item) in items.iter().enumerate().take(end).skip(start) {
-                out.push((i, f(i, item)));
+                out.push((i, f(state, i, item)));
             }
         }
     };
 
     std::thread::scope(|s| {
+        let init = &init;
+        let worker = &worker;
         let handles: Vec<_> = (0..workers)
             .map(|_| {
-                s.spawn(|| {
+                s.spawn(move || {
+                    let mut state = init();
                     let mut out = Vec::new();
-                    worker(&mut out);
+                    worker(&mut state, &mut out);
                     out
                 })
             })
@@ -289,6 +328,66 @@ mod tests {
     #[should_panic(expected = "chunk size must be positive")]
     fn zero_chunk_rejected() {
         map_chunked(2, 0, &[1], |_, &x: &i32| x);
+    }
+
+    #[test]
+    fn per_worker_state_initialised_once_per_worker() {
+        let inits = AtomicU64::new(0);
+        let items: Vec<usize> = (0..200).collect();
+        for threads in [1, 2, 4] {
+            inits.store(0, Ordering::SeqCst);
+            let out = map_chunked_with(
+                threads,
+                3,
+                &items,
+                || {
+                    inits.fetch_add(1, Ordering::SeqCst);
+                    Vec::<usize>::new()
+                },
+                |scratch, i, &x| {
+                    // A reused arena carries garbage from the previous item;
+                    // correct callers clear it rather than trust it.
+                    scratch.push(x);
+                    i + x
+                },
+            );
+            assert_eq!(out, items.iter().map(|&x| 2 * x).collect::<Vec<_>>());
+            let n = inits.load(Ordering::SeqCst);
+            assert!(n >= 1, "at least one worker state");
+            assert!(
+                n <= resolve_threads(threads) as u64,
+                "threads={threads}: {n} states exceeds the worker count"
+            );
+        }
+    }
+
+    #[test]
+    fn per_worker_state_reused_across_chunks() {
+        // One worker, chunk 1 over many items: a single state must see
+        // every item (reuse across chunk claims, not per-chunk re-init).
+        let items: Vec<usize> = (0..57).collect();
+        let out = map_chunked_with(
+            1,
+            1,
+            &items,
+            Vec::<usize>::new,
+            |seen, _, &x| {
+                seen.push(x);
+                seen.len()
+            },
+        );
+        assert_eq!(out, (1..=57).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_chunked_with_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            map_chunked_with(4, 1, &(0..32).collect::<Vec<usize>>(), || 0u64, |_, _, &x| {
+                assert!(x != 9, "boom at 9");
+                x
+            })
+        });
+        assert!(result.is_err());
     }
 
     #[test]

@@ -171,6 +171,47 @@ fn seeded_lock_order_violation_in_real_registry_is_caught() {
 }
 
 #[test]
+fn seeded_hash_iteration_in_real_batcher_is_caught() {
+    // The batch planner's output order IS the merge order (bit-identity
+    // anchor), so the determinism rule must cover it: seed a plan that
+    // iterates a hash-ordered set into the batch list.
+    let src = std::fs::read_to_string(workspace_root().join("crates/core/src/batch.rs"))
+        .expect("read batch.rs");
+    let base_lines = src.lines().count() as u32;
+    // Named so it cannot collide with real bindings: the rule's hash-name
+    // pass is file-global.
+    let mutated = format!(
+        "{src}fn seeded_plan(seeded_set: HashSet<usize>) -> Vec<usize> {{\n    let mut order = Vec::new();\n    for ci in seeded_set.iter() {{\n        order.push(*ci);\n    }}\n    order\n}}\n"
+    );
+    let (clean, _) = audit_source(&SourceFile::parse("crates/core/src/batch.rs", &src));
+    assert!(clean.is_empty(), "today's batch.rs must be clean: {clean:?}");
+    let (d, _) = audit_source(&SourceFile::parse("crates/core/src/batch.rs", &mutated));
+    let hits: Vec<&pm_audit::Diagnostic> =
+        d.iter().filter(|d| d.rule == "determinism").collect();
+    assert_eq!(hits.len(), 1, "{d:?}");
+    assert_eq!(hits[0].line, base_lines + 3, "anchored to the seeded hash iteration line");
+    assert!(hits[0].message.contains("hash-ordered"), "{}", hits[0].message);
+}
+
+#[test]
+fn seeded_wall_clock_read_in_real_overlay_is_caught() {
+    // The flat overlay joined the determinism scope with this refactor;
+    // prove the rule actually bites there, not just in its unit tests.
+    let src = std::fs::read_to_string(workspace_root().join("crates/core/src/overlay.rs"))
+        .expect("read overlay.rs");
+    let base_lines = src.lines().count() as u32;
+    let mutated =
+        format!("{src}fn seeded_stamp() {{\n    let t = std::time::Instant::now();\n}}\n");
+    let (clean, _) = audit_source(&SourceFile::parse("crates/core/src/overlay.rs", &src));
+    assert!(clean.is_empty(), "today's overlay.rs must be clean: {clean:?}");
+    let (d, _) = audit_source(&SourceFile::parse("crates/core/src/overlay.rs", &mutated));
+    let hits: Vec<&pm_audit::Diagnostic> =
+        d.iter().filter(|d| d.rule == "determinism").collect();
+    assert_eq!(hits.len(), 1, "{d:?}");
+    assert_eq!(hits[0].line, base_lines + 2, "anchored to the seeded Instant::now line");
+}
+
+#[test]
 fn seeded_wall_clock_read_in_real_partition_is_caught() {
     let src = std::fs::read_to_string(workspace_root().join("crates/core/src/partition.rs"))
         .expect("read partition.rs");

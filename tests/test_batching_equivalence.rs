@@ -1,0 +1,207 @@
+//! Equivalence of batched and unbatched component solves.
+//!
+//! The engine fuses small Section 5.5 components into batched worker tasks
+//! (`EngineConfig::batch_min_cost`) to amortize dispatch overhead. The
+//! contract this file pins: batching is a *scheduling* decision — for any
+//! seeded workload, every batch-cost floor × thread-count combination
+//! produces **bit-identical** estimates to the unbatched sequential solve
+//! (`batch_min_cost = 0`, `threads = 1`), including across knowledge
+//! add/remove, refresh and table-delta rebase interleavings in a live
+//! session.
+
+use std::sync::Arc;
+
+use pm_anonymize::anatomy::{AnatomyBucketizer, AnatomyConfig};
+use pm_anonymize::published::PublishedTable;
+use pm_assoc::miner::{MinerConfig, RuleMiner};
+use pm_datagen::adult::{AdultGenerator, AdultGeneratorConfig};
+use privacy_maxent::analyst::{Analyst, KnowledgeHandle};
+use privacy_maxent::compiled::CompiledTable;
+use privacy_maxent::delta::TableDelta;
+use privacy_maxent::engine::{Engine, EngineConfig, Estimate};
+use privacy_maxent::knowledge::{Knowledge, KnowledgeBase};
+use proptest::prelude::*;
+
+/// Batch-cost floors exercised against the unbatched reference: singleton
+/// batches (0), a floor below any real component (1, still singletons),
+/// the engine default, and one batch holding the entire dirty set.
+const BATCH_COSTS: [u64; 4] = [1, 1024, 65_536, u64::MAX];
+
+fn config(threads: usize, batch_cost: u64) -> EngineConfig {
+    EngineConfig::builder()
+        .threads(threads)
+        .batch_min_cost(batch_cost)
+        .residual_limit(f64::INFINITY)
+        .build()
+}
+
+/// Seeded Adult-like workload: publication + mined Top-(K+, K−) knowledge.
+fn workload(records: usize, seed: u64, k: usize) -> (PublishedTable, Vec<Knowledge>) {
+    let data = AdultGenerator::new(AdultGeneratorConfig { records, seed }).generate();
+    let table = AnatomyBucketizer::new(AnatomyConfig { ell: 5, exempt_top: 1 })
+        .publish(&data)
+        .expect("bucketization succeeds");
+    let rules = RuleMiner::new(MinerConfig { min_support: 3, arities: vec![1, 2] })
+        .mine(&data);
+    let items = rules
+        .top_k(k / 2, k - k / 2)
+        .iter()
+        .map(|r| Knowledge::from_rule(r, data.schema()).expect("mined rules are valid"))
+        .collect();
+    (table, items)
+}
+
+fn estimate(table: &PublishedTable, items: &[Knowledge], cfg: EngineConfig) -> Estimate {
+    let mut kb = KnowledgeBase::new();
+    for item in items {
+        kb.push(item.clone()).expect("mined knowledge is valid");
+    }
+    Engine::new(cfg).estimate(table, &kb).expect("mined knowledge is feasible")
+}
+
+/// Every observable of the two estimates is bitwise equal.
+fn assert_bit_identical(reference: &Estimate, other: &Estimate, what: &str) {
+    assert_eq!(
+        reference.term_values(),
+        other.term_values(),
+        "{what}: raw P(q, s, b) terms differ"
+    );
+    for q in 0..reference.distinct_qi() {
+        assert_eq!(
+            reference.conditional_row(q),
+            other.conditional_row(q),
+            "{what}: P(S | q={q}) differs"
+        );
+    }
+    assert_eq!(
+        reference.stats.num_components, other.stats.num_components,
+        "{what}: component structure differs"
+    );
+    assert_eq!(
+        reference.stats.num_constraints, other.stats.num_constraints,
+        "{what}: reduced constraint count differs"
+    );
+    assert_eq!(
+        reference.stats.num_free_terms, other.stats.num_free_terms,
+        "{what}: free-term count differs"
+    );
+}
+
+/// A valid single-record table delta drawn from the table's own multisets.
+fn pick_delta(table: &PublishedTable, op: usize, bucket_sel: usize, rec_sel: usize) -> TableDelta {
+    let m = table.num_buckets();
+    let b = bucket_sel % m;
+    let bucket = table.bucket(b);
+    let q = bucket.qi_counts()[rec_sel % bucket.distinct_qi()].0;
+    let s = bucket.sa_counts()[rec_sel % bucket.distinct_sa()].0;
+    let tuple = table.interner().tuple(q).to_vec();
+    match op % 3 {
+        0 => TableDelta::new().insert(tuple, s, (b + 1) % m),
+        1 => TableDelta::new().retract(tuple, s, b),
+        _ => TableDelta::new().move_record(tuple, s, b, (b + 1) % m),
+    }
+}
+
+/// Replays one knowledge/delta/refresh tape in a session opened with `cfg`
+/// and returns the final estimate's raw term values.
+fn replay_tape(
+    table: &PublishedTable,
+    items: &[Knowledge],
+    ops: &[(usize, usize, usize)],
+    cfg: EngineConfig,
+) -> Vec<f64> {
+    let mut artifact =
+        Arc::new(CompiledTable::build(table.clone(), cfg).expect("baseline solves"));
+    let mut session = Analyst::open(Arc::clone(&artifact));
+    let mut next = 0usize;
+    let mut live: Vec<KnowledgeHandle> = Vec::new();
+    for &(op, sel_a, sel_b) in ops {
+        match op {
+            0 if next < items.len() => {
+                live.push(session.add_knowledge(items[next].clone()).expect("compiles"));
+                next += 1;
+            }
+            1 if !live.is_empty() => {
+                let h = live.remove(sel_a % live.len());
+                session.remove_knowledge(h).expect("handle is live");
+            }
+            2 => {
+                let delta = pick_delta(artifact.table(), sel_a, sel_b, sel_a);
+                let next_epoch =
+                    Arc::new(artifact.apply(&delta).expect("selector picks valid records"));
+                // A delta that starves some rule's antecedent is rejected
+                // atomically; the tape simply carries on — identically in
+                // every configuration, since validity is config-independent.
+                if session.rebase(&next_epoch).is_ok() {
+                    artifact = next_epoch;
+                }
+            }
+            _ => {
+                session.refresh().expect("mined knowledge is feasible");
+            }
+        }
+    }
+    session.refresh().expect("mined knowledge is feasible");
+    session.estimate().term_values().to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// One-shot solves: every batch-cost floor × thread count agrees
+    /// bitwise with the unbatched sequential reference.
+    #[test]
+    fn batched_estimate_is_bit_identical(seed in 1u64..10_000, k in 20usize..80) {
+        let (table, items) = workload(600, seed, k);
+        let reference = estimate(&table, &items, config(1, 0));
+        for batch_cost in BATCH_COSTS {
+            for threads in [1usize, 2, 8, 0] {
+                let batched = estimate(&table, &items, config(threads, batch_cost));
+                assert_bit_identical(
+                    &reference,
+                    &batched,
+                    &format!("seed={seed} k={k} threads={threads} batch_cost={batch_cost}"),
+                );
+            }
+        }
+    }
+
+    /// Session tapes: a random interleaving of knowledge adds/removes,
+    /// refreshes and table-delta rebases converges to the same bytes under
+    /// every batching configuration as under the unbatched sequential one.
+    #[test]
+    fn batched_session_tapes_are_bit_identical(
+        seed in 1u64..10_000,
+        k in 12usize..30,
+        ops in proptest::collection::vec((0usize..4, 0usize..1000, 0usize..1000), 5..12),
+    ) {
+        let (table, items) = workload(450, seed, k);
+        let reference = replay_tape(&table, &items, &ops, config(1, 0));
+        for (threads, batch_cost) in
+            [(1usize, 1024u64), (2, 1024), (8, u64::MAX), (0, 1)]
+        {
+            let batched = replay_tape(&table, &items, &ops, config(threads, batch_cost));
+            prop_assert_eq!(
+                &reference,
+                &batched,
+                "seed={} k={} threads={} batch_cost={} ops={:?}",
+                seed, k, threads, batch_cost, ops
+            );
+        }
+    }
+}
+
+/// The engine-default batching configuration also matches on a workload
+/// big enough that batches genuinely fuse many components (no proptest:
+/// one deterministic heavyweight case).
+#[test]
+fn default_batching_matches_unbatched_at_scale() {
+    let (table, items) = workload(900, 42, 60);
+    let reference = estimate(&table, &items, config(1, 0));
+    let default_cfg = EngineConfig::default();
+    assert!(default_cfg.batch_min_cost > 0, "default must actually batch");
+    for threads in [1usize, 2] {
+        let batched = estimate(&table, &items, config(threads, default_cfg.batch_min_cost));
+        assert_bit_identical(&reference, &batched, &format!("default batching, threads={threads}"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Structural-sharing lifecycle of the flat session overlay.
+//!
+//! The session's solution overlay is one shared flat value buffer plus a
+//! bucket → `(offset, len)` slot table. These tests pin the *mechanism*,
+//! not just the values: fork copy-on-write is proven by buffer pointer
+//! identity, steady-state refresh by slot/pointer reuse, and rebase by
+//! slot-table surgery — so a regression to per-bucket cloning (bytes would
+//! still be equal!) fails loudly.
+
+use std::sync::Arc;
+
+use pm_anonymize::anatomy::{AnatomyBucketizer, AnatomyConfig};
+use pm_anonymize::published::PublishedTable;
+use pm_assoc::miner::{MinerConfig, RuleMiner};
+use pm_datagen::adult::{AdultGenerator, AdultGeneratorConfig};
+use privacy_maxent::analyst::Analyst;
+use privacy_maxent::compiled::CompiledTable;
+use privacy_maxent::delta::TableDelta;
+use privacy_maxent::engine::EngineConfig;
+use privacy_maxent::knowledge::Knowledge;
+
+fn config() -> EngineConfig {
+    EngineConfig::builder().threads(1).residual_limit(f64::INFINITY).build()
+}
+
+/// Seeded workload: publication + mined knowledge items.
+fn workload(records: usize, seed: u64, k: usize) -> (PublishedTable, Vec<Knowledge>) {
+    let data = AdultGenerator::new(AdultGeneratorConfig { records, seed }).generate();
+    let table = AnatomyBucketizer::new(AnatomyConfig { ell: 5, exempt_top: 1 })
+        .publish(&data)
+        .expect("bucketization succeeds");
+    let rules = RuleMiner::new(MinerConfig { min_support: 3, arities: vec![1, 2] })
+        .mine(&data);
+    let items = rules
+        .top_k(k / 2, k - k / 2)
+        .iter()
+        .map(|r| Knowledge::from_rule(r, data.schema()).expect("mined rules are valid"))
+        .collect();
+    (table, items)
+}
+
+/// A refreshed session with overlay slots populated.
+fn refreshed_session(records: usize, seed: u64, k: usize) -> (Arc<CompiledTable>, Analyst) {
+    let (table, items) = workload(records, seed, k);
+    let artifact = Arc::new(CompiledTable::build(table, config()).expect("baseline solves"));
+    let mut session = Analyst::open(Arc::clone(&artifact));
+    session.add_knowledge_batch(&items).expect("knowledge compiles");
+    session.refresh().expect("mined knowledge is feasible");
+    assert!(session.overlay_len() > 0, "workload must populate overlay slots");
+    (artifact, session)
+}
+
+/// Removes and re-adds one footprint-bearing knowledge item, then
+/// refreshes: the minimal session write that forces a numeric re-solve of
+/// that item's components (and thus an overlay store) while leaving the
+/// estimate's bytes unchanged. Items whose compiled constraint touches no
+/// terms dirty nothing and are skipped.
+fn churn_one_item(session: &mut Analyst) {
+    let handles: Vec<_> = session.knowledge().map(|(h, _)| h).collect();
+    for h in handles {
+        let before = session.pending_buckets();
+        let item = session.remove_knowledge(h).expect("handle is live");
+        let dirtied = session.pending_buckets() > before;
+        let _ = session.add_knowledge(item).expect("item recompiles");
+        if dirtied {
+            session.refresh().expect("feasible");
+            return;
+        }
+    }
+    panic!("no knowledge item has a non-empty bucket footprint");
+}
+
+/// The overlay slots present in a session, as (bucket, offset, len).
+fn live_slots(session: &Analyst) -> Vec<(usize, usize, usize)> {
+    let m = session.table().num_buckets();
+    (0..m)
+        .filter_map(|b| session.overlay_slot(b).map(|(o, l)| (b, o, l)))
+        .collect()
+}
+
+#[test]
+fn fork_shares_the_buffer_until_first_write_then_cow_breaks() {
+    let (_artifact, mut parent) = refreshed_session(500, 3, 24);
+    let fork = parent.fork();
+
+    // A fork is a reference bump: same buffer, same slots.
+    assert!(parent.overlay_shares_buffer_with(&fork));
+    assert_eq!(parent.overlay_buffer_ptr(), fork.overlay_buffer_ptr());
+    assert_eq!(live_slots(&parent), live_slots(&fork));
+
+    // First overlay store on the parent (a refresh re-solving a knowledge
+    // footprint) breaks the sharing; the fork's bytes are untouched —
+    // pointer-identical, not merely value-equal.
+    let fork_ptr = fork.overlay_buffer_ptr();
+    let fork_values = fork.estimate().term_values().to_vec();
+    churn_one_item(&mut parent);
+    assert!(
+        !parent.overlay_shares_buffer_with(&fork),
+        "a refresh on one side must not keep the buffers shared"
+    );
+    assert_eq!(fork.overlay_buffer_ptr(), fork_ptr, "fork's buffer must not move");
+    assert_eq!(
+        fork.estimate().term_values(),
+        &fork_values[..],
+        "fork's served estimate must be unaffected by the parent's write"
+    );
+}
+
+#[test]
+fn fork_side_writes_leave_the_parent_buffer_alone() {
+    let (_artifact, parent) = refreshed_session(500, 5, 24);
+    let mut fork = parent.fork();
+    let parent_ptr = parent.overlay_buffer_ptr();
+    let parent_slots = live_slots(&parent);
+
+    churn_one_item(&mut fork);
+
+    assert!(!fork.overlay_shares_buffer_with(&parent));
+    assert_eq!(parent.overlay_buffer_ptr(), parent_ptr, "parent's buffer must not move");
+    assert_eq!(live_slots(&parent), parent_slots, "parent's slots must not move");
+}
+
+#[test]
+fn steady_state_refresh_writes_in_place() {
+    let (_artifact, mut session) = refreshed_session(500, 7, 24);
+    let ptr = session.overlay_buffer_ptr();
+    let slots = live_slots(&session);
+
+    // Dirty a knowledge footprint (remove + re-add an item) and refresh:
+    // every re-solved bucket has an identically sized slot, so the overlay
+    // must rewrite in place — same buffer, same slots.
+    churn_one_item(&mut session);
+
+    assert_eq!(
+        session.overlay_buffer_ptr(),
+        ptr,
+        "steady-state refresh must not reallocate the flat buffer"
+    );
+    assert_eq!(
+        live_slots(&session),
+        slots,
+        "steady-state refresh must reuse every slot in place"
+    );
+}
+
+#[test]
+fn snapshot_taken_before_a_refresh_keeps_serving_the_old_epoch() {
+    let (artifact, mut session) = refreshed_session(450, 11, 20);
+    let snap = session.snapshot();
+    let snap_values = snap.term_values().to_vec();
+    let old_epoch = artifact.epoch();
+    assert_eq!(snap.epoch(), old_epoch);
+
+    // Advance the table one epoch and rebase. The session is now stale
+    // mid-lifecycle: the snapshot must keep serving the old epoch's bytes.
+    let b = 0;
+    let bucket = artifact.table().bucket(b);
+    let q = bucket.qi_counts()[0].0;
+    let s = bucket.sa_counts()[0].0;
+    let tuple = artifact.table().interner().tuple(q).to_vec();
+    let delta = TableDelta::new().move_record(tuple, s, b, 1);
+    let next = Arc::new(artifact.apply(&delta).expect("valid delta"));
+    session.rebase(&next).expect("direct successor");
+
+    assert_eq!(session.overlay_epoch(), next.epoch(), "overlay layout rebases eagerly");
+    assert_eq!(snap.epoch(), old_epoch, "snapshot stays on the old epoch");
+    assert_eq!(snap.term_values(), &snap_values[..]);
+
+    // Even after the refresh completes, the pre-refresh snapshot is a
+    // consistent, immutable view of the old epoch.
+    session.refresh().expect("feasible");
+    assert_eq!(session.estimate().epoch(), next.epoch());
+    assert_eq!(snap.epoch(), old_epoch);
+    assert_eq!(snap.term_values(), &snap_values[..]);
+}
+
+#[test]
+fn rebase_drops_touched_slots_and_carries_the_rest_verbatim() {
+    let (artifact, mut session) = refreshed_session(500, 13, 24);
+    let before = live_slots(&session);
+
+    let b = before[0].0; // a bucket that certainly has a slot
+    let bucket = artifact.table().bucket(b);
+    let q = bucket.qi_counts()[0].0;
+    let s = bucket.sa_counts()[0].0;
+    let tuple = artifact.table().interner().tuple(q).to_vec();
+    let delta = TableDelta::new().retract(tuple, s, b);
+    let next = Arc::new(artifact.apply(&delta).expect("valid delta"));
+    let touched = next.applied_delta().expect("successor carries delta").touched_buckets().to_vec();
+    let stats = session.rebase(&next).expect("direct successor");
+
+    assert_eq!(session.overlay_epoch(), next.epoch());
+    assert_eq!(stats.carried, session.overlay_len(), "carried counts live slots");
+    for &(bucket, offset, len) in &before {
+        match session.overlay_slot(bucket) {
+            None => assert!(
+                touched.contains(&bucket),
+                "bucket {bucket}: only touched buckets may lose their slot"
+            ),
+            Some(slot) => {
+                assert!(!touched.contains(&bucket), "bucket {bucket}: touched slot survived");
+                assert_eq!(
+                    slot,
+                    (offset, len),
+                    "bucket {bucket}: untouched slots carry verbatim (no move, no resize)"
+                );
+            }
+        }
+    }
+    assert!(
+        before.iter().any(|&(bucket, _, _)| touched.contains(&bucket)),
+        "the delta must have hit at least one overlaid bucket for this test to bite"
+    );
+}
